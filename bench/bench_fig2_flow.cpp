@@ -1,0 +1,47 @@
+// F2 — Fig.2 reproduction: the extensible-processor design flow
+// (profile -> identify -> define -> retarget -> verify, iterated) run as an
+// executable loop on the voice-recognition application.
+#include <cstdio>
+
+#include "asip/flow.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  holms::bench::title("F2", "Extensible processor design flow (Fig.2)");
+  holms::asip::VoiceRecognitionApp app;
+  holms::asip::FlowOptions opts;
+  const auto fr = run_design_flow(app, opts);
+
+  holms::bench::note("base core profile (the Profiling box):");
+  std::printf("%-14s %14s %14s %12s\n", "region", "cycles", "instr",
+              "energy-uJ");
+  for (const auto& [name, prof] : holms::asip::hotspots(fr.base.result)) {
+    std::printf("%-14s %14llu %14llu %12.3f\n", name.c_str(),
+                static_cast<unsigned long long>(prof.cycles),
+                static_cast<unsigned long long>(prof.instructions),
+                prof.energy_pj * 1e-6);
+  }
+
+  holms::bench::rule();
+  holms::bench::note("exploration trace (one row per accepted move):");
+  std::printf("%-26s %14s %10s %10s\n", "move", "cycles", "gates",
+              "speedup");
+  std::printf("%-26s %14llu %10.0f %10.2f\n", "(base core)",
+              static_cast<unsigned long long>(fr.base.result.cycles),
+              fr.base.gates, 1.0);
+  for (const auto& s : fr.trace) {
+    std::printf("%-26s %14llu %10.0f %10.2f\n", s.move.c_str(),
+                static_cast<unsigned long long>(s.cycles), s.gates,
+                s.speedup_vs_base);
+  }
+
+  holms::bench::rule();
+  std::printf("final: %zu custom instructions, %.0f gates, speedup %.2fx, "
+              "energy ratio %.2f\n",
+              fr.best.extensions.size(), fr.best.gates,
+              fr.best.speedup_vs_base, fr.best.energy_ratio_vs_base);
+  holms::bench::note(
+      "expected shape: monotone cycle reduction per iteration, converging "
+      "within the gate budget after a handful of moves.");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Substrate micro-benchmarks (google-benchmark): the kernels every
+// experiment leans on — DES event dispatch, steady-state solvers, fGn
+// synthesis, flit routing, ISS execution, mapping evaluation.
+#include <benchmark/benchmark.h>
+
+#include "asip/kernels.hpp"
+#include "markov/jackson.hpp"
+#include "markov/queueing.hpp"
+#include "noc/mapping.hpp"
+#include "noc/router.hpp"
+#include "noc/taskgraph.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/selfsim.hpp"
+#include "wireless/link_sim.hpp"
+
+namespace {
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    holms::sim::Simulator sim;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) sim.schedule_in(1.0, tick);
+    };
+    sim.schedule_in(1.0, tick);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_SteadyState(benchmark::State& state) {
+  const auto method =
+      static_cast<holms::markov::SteadyStateMethod>(state.range(0));
+  holms::markov::ProducerConsumerModel m;
+  m.producer_rate = 95.0;
+  m.consumer_rate = 100.0;
+  m.buffer_capacity = static_cast<std::size_t>(state.range(1));
+  const auto chain = m.to_ctmc();
+  holms::markov::SolveOptions opts;
+  opts.method = method;
+  for (auto _ : state) {
+    auto r = chain.steady_state(opts);
+    benchmark::DoNotOptimize(r.distribution.data());
+  }
+}
+BENCHMARK(BM_SteadyState)
+    ->ArgsProduct({{0, 1, 2}, {16, 64, 256}})
+    ->ArgNames({"method", "states"});
+
+void BM_FgnHosking(benchmark::State& state) {
+  holms::sim::Rng rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto xs = holms::traffic::fgn_hosking(n, 0.8, rng);
+    benchmark::DoNotOptimize(xs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FgnHosking)->Arg(1024)->Arg(4096);
+
+void BM_NocCycle(benchmark::State& state) {
+  holms::noc::Mesh2D mesh(4, 4);
+  holms::noc::NocSim sim(mesh, holms::noc::NocSim::Config{},
+                         holms::sim::Rng(2));
+  for (holms::noc::TileId t = 1; t < mesh.num_tiles(); ++t) {
+    holms::noc::Flow f;
+    f.src = t;
+    f.dst = 0;
+    f.packet_flits = 8;
+    f.packets_per_cycle = 0.02;
+    sim.add_flow(f);
+  }
+  for (auto _ : state) {
+    sim.run(1000);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_NocCycle);
+
+void BM_IssVoiceApp(benchmark::State& state) {
+  holms::asip::VoiceRecognitionApp app;
+  const bool accel = state.range(0) != 0;
+  const std::vector<std::string> exts =
+      accel ? std::vector<std::string>{holms::asip::kExtMacLoad,
+                                       holms::asip::kExtSqdLoad,
+                                       holms::asip::kExtAbsDiff,
+                                       holms::asip::kExtDtwCell}
+            : std::vector<std::string>{};
+  for (auto _ : state) {
+    auto r = holms::asip::evaluate_app(app, holms::asip::CoreConfig{}, exts);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+}
+BENCHMARK(BM_IssVoiceApp)->Arg(0)->Arg(1)->ArgName("accel");
+
+void BM_MappingEvaluate(benchmark::State& state) {
+  const auto g = holms::noc::mms_graph();
+  holms::noc::Mesh2D mesh(4, 4);
+  holms::noc::EnergyModel em;
+  holms::sim::Rng rng(3);
+  const auto m = holms::noc::random_mapping(g.num_nodes(), mesh, rng);
+  for (auto _ : state) {
+    auto ev = holms::noc::evaluate_mapping(g, mesh, em, m, 1e9);
+    benchmark::DoNotOptimize(ev.comm_energy_j);
+  }
+}
+BENCHMARK(BM_MappingEvaluate);
+
+void BM_SaMapping(benchmark::State& state) {
+  const auto g = holms::noc::mms_graph();
+  holms::noc::Mesh2D mesh(4, 4);
+  holms::noc::EnergyModel em;
+  holms::noc::SaOptions opts;
+  opts.iterations = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    holms::sim::Rng rng(4);
+    auto m = holms::noc::sa_mapping(g, mesh, em, rng, opts);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_SaMapping)->Arg(1000)->Arg(5000)->ArgName("iters");
+
+void BM_JacksonSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> mus(n, 10.0);
+  auto net = holms::markov::tandem_network(mus, 5.0);
+  for (auto _ : state) {
+    auto sol = net.solve();
+    benchmark::DoNotOptimize(sol.total_jobs);
+  }
+}
+BENCHMARK(BM_JacksonSolve)->Arg(8)->Arg(64)->ArgName("stations");
+
+void BM_BbMapping(benchmark::State& state) {
+  holms::sim::Rng rng(5);
+  const auto g =
+      holms::noc::random_graph(static_cast<std::size_t>(state.range(0)), rng,
+                               1e6);
+  holms::noc::Mesh2D mesh(3, 3);
+  holms::noc::EnergyModel em;
+  for (auto _ : state) {
+    auto m = holms::noc::bb_mapping(g, mesh, em);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_BbMapping)->Arg(6)->Arg(8)->ArgName("cores");
+
+void BM_AwgnLinkSim(benchmark::State& state) {
+  holms::sim::Rng rng(6);
+  const auto m = static_cast<holms::wireless::Modulation>(state.range(0));
+  for (auto _ : state) {
+    auto r = holms::wireless::simulate_awgn_ber(m, 4.0, 10000, rng);
+    benchmark::DoNotOptimize(r.bit_errors);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_AwgnLinkSim)->Arg(0)->Arg(3)->ArgName("modulation");
+
+}  // namespace

@@ -1,0 +1,61 @@
+// E8 — §4 [27]: energy-optimized image transmission via joint source-channel
+// coding: "a global optimization problem is solved by using the feasible
+// direction methods.  This results in an average of 60% energy saving for
+// different channel conditions."
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "wireless/jscc.hpp"
+
+using namespace holms::wireless;
+
+int main() {
+  holms::bench::title("E8", "JSCC image transmission energy (60% claim)");
+  JsccOptimizer opt(ImageModel{}, RadioModel{}, JsccOptimizer::Options{});
+
+  // Indoor multipath link budget: the worst channel needs full power and a
+  // deep code; the best lets the radio idle down — [27]'s operating regime.
+  const double worst_gain = 5e-13;  // about -123 dB
+  const auto base = opt.baseline(worst_gain);
+  std::printf("non-adaptive baseline (worst-case design): R=%.2f bpp, "
+              "P=%.2f W, K=%d -> %.2f mJ, PSNR %.1f dB\n",
+              base.source_rate_bpp, base.tx_power_w,
+              base.code.constraint_length, base.total_energy_j * 1e3,
+              base.psnr_db);
+
+  holms::bench::rule();
+  std::printf("%-16s %8s %8s %4s %12s %10s %10s %9s\n", "channel-gain(dB)",
+              "R(bpp)", "P(W)", "K", "energy-mJ", "PSNR-dB", "base-mJ",
+              "saving");
+  double save_sum = 0.0;
+  int n = 0;
+  for (double db = -123.0; db <= -99.0; db += 3.0) {
+    const double gain = std::pow(10.0, db / 10.0);
+    const auto tuned = opt.optimize(gain);
+    const auto base_here = opt.evaluate(base, gain);
+    if (!tuned.feasible) {
+      std::printf("%-16.1f  (infeasible at distortion budget)\n", db);
+      continue;
+    }
+    const double saving =
+        1.0 - tuned.total_energy_j / base_here.total_energy_j;
+    save_sum += saving;
+    ++n;
+    std::printf("%-16.1f %8.2f %8.2f %4d %12.3f %10.1f %10.3f %8.1f%%\n",
+                db, tuned.source_rate_bpp, tuned.tx_power_w,
+                tuned.code.constraint_length, tuned.total_energy_j * 1e3,
+                tuned.psnr_db, base_here.total_energy_j * 1e3,
+                100.0 * saving);
+  }
+  holms::bench::rule();
+  std::printf("average energy saving across channel conditions: %.1f%%\n",
+              100.0 * save_sum / std::max(n, 1));
+  holms::bench::note("paper claim [27]: ~60% average energy saving.");
+  holms::bench::note(
+      "expected shape: on good channels the optimizer drops source rate to "
+      "the distortion floor, sheds power and coding, and saves a large "
+      "majority of the baseline energy; savings shrink toward the worst "
+      "channel where the baseline is actually needed.");
+  return 0;
+}

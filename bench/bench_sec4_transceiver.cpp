@@ -1,0 +1,89 @@
+// E7 — §4 [26]: "the modulation level and transmit power of the transmitter
+// and the complexity of the channel decoder of the receiver are dynamically
+// changed to match the characteristics of the communication channel ...
+// an average of 12% reduction in the overall energy consumption of the
+// transceivers without any appreciable performance penalty."
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "wireless/transceiver.hpp"
+
+using namespace holms::wireless;
+using holms::sim::Rng;
+
+int main() {
+  holms::bench::title("E7",
+                      "Game-theoretic transceiver adaptation (12% claim)");
+  RadioModel radio;
+  EnergyManager::Options opts;
+  EnergyManager mgr(radio, opts);
+
+  // Slow log-normal shadowing around a -93 dB median path gain, clamped to
+  // the provisioning range.
+  const double median_gain = 5e-10;
+  const double worst_gain = 1e-10;
+  const auto fixed = mgr.static_config(worst_gain);
+
+  std::printf("static worst-case design: %s, %.2f W, K=%d, %.2f nJ/bit\n",
+              modulation_name(fixed.modulation).c_str(), fixed.tx_power_w,
+              fixed.code.constraint_length, fixed.energy_per_bit_j * 1e9);
+
+  holms::bench::rule();
+  std::printf("%-10s %-22s %-22s %12s\n", "slot", "channel-gain(dB)",
+              "adapted config", "nJ/bit");
+  Rng rng(5);
+  holms::sim::OnlineStats e_static, e_adapt, e_oracle;
+  TransceiverConfig prev = fixed;
+  std::uint64_t misses = 0;
+  const int slots = 400;
+  double log_gain = std::log(median_gain);
+  for (int s = 0; s < slots; ++s) {
+    // AR(1) shadowing in log domain.
+    log_gain = 0.9 * log_gain + 0.1 * std::log(median_gain) +
+               rng.normal(0.0, 0.25);
+    const double gain =
+        std::max(worst_gain, std::min(std::exp(log_gain), 1e-8));
+
+    const auto adapted = mgr.game_theoretic(gain, prev);
+    const auto oracle = mgr.optimal(gain);
+    const auto still_fixed = mgr.evaluate(fixed.modulation, fixed.tx_power_w,
+                                          fixed.code, gain);
+    e_static.add(still_fixed.energy_per_bit_j);
+    e_adapt.add(adapted.energy_per_bit_j);
+    e_oracle.add(oracle.feasible ? oracle.energy_per_bit_j
+                                 : adapted.energy_per_bit_j);
+    if (!adapted.feasible) ++misses;
+    prev = adapted;
+    if (s % 80 == 0) {
+      char cfgbuf[64];
+      std::snprintf(cfgbuf, sizeof cfgbuf, "%s %.2fW K=%d",
+                    modulation_name(adapted.modulation).c_str(),
+                    adapted.tx_power_w, adapted.code.constraint_length);
+      std::printf("%-10d %-22.1f %-22s %12.2f\n", s,
+                  10.0 * std::log10(gain), cfgbuf,
+                  adapted.energy_per_bit_j * 1e9);
+    }
+  }
+
+  holms::bench::rule();
+  std::printf("%-28s %14s %10s\n", "policy", "nJ/bit (avg)", "saving");
+  std::printf("%-28s %14.2f %10s\n", "static (worst-case design)",
+              e_static.mean() * 1e9, "-");
+  std::printf("%-28s %14.2f %9.1f%%\n", "game-theoretic adaptation",
+              e_adapt.mean() * 1e9,
+              100.0 * (1.0 - e_adapt.mean() / e_static.mean()));
+  std::printf("%-28s %14.2f %9.1f%%\n", "oracle (exhaustive)",
+              e_oracle.mean() * 1e9,
+              100.0 * (1.0 - e_oracle.mean() / e_static.mean()));
+  std::printf("BER-target misses under adaptation: %llu / %d slots\n",
+              static_cast<unsigned long long>(misses), slots);
+  holms::bench::note("paper claim [26]: ~12% average transceiver energy "
+                     "reduction with no appreciable performance penalty.");
+  holms::bench::note(
+      "expected shape: adaptation saves a double-digit percentage vs the "
+      "static design and tracks the oracle closely, with zero BER misses.");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// E11 — §5 (extension): ambient multimedia must "operate with limited
+// resources and failing parts" while users "behave non-deterministically".
+// Availability of the surveillance application under tile failures, with a
+// static design-time mapping vs run-time adaptive remapping ([33]'s
+// fault-tolerant behaviour).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/ambient.hpp"
+#include "noc/taskgraph.hpp"
+
+using namespace holms::core;
+
+int main() {
+  holms::bench::title("E11", "Ambient operation under failures (sec 5)");
+
+  // The surveillance pipeline (schedulable DAG form) on a 4x4 platform:
+  // 4 spare tiles absorb failures.
+  Application app;
+  app.name = "ambient-surveillance";
+  app.graph = holms::noc::video_surveillance_dag();
+  const Platform plat = Platform::homogeneous(4, 4);
+  // Deadline pinned at 1.35x the healthy makespan: loose enough that the
+  // intact system always meets it, tight enough that doubling tasks up on
+  // shared tiles (after many failures) visibly degrades QoS.
+  {
+    app.qos.period_s = 10.0;  // placeholder for the probe evaluation
+    const auto healthy = evaluate_design(
+        app, plat,
+        holms::noc::greedy_mapping(app.graph, plat.mesh, plat.noc_energy),
+        false);
+    app.qos.period_s = healthy.schedule.makespan_s * 1.35;
+  }
+  std::printf("period: %.1f ms (1.35x healthy makespan)\n",
+              app.qos.period_s * 1e3);
+
+  std::printf("%-12s %-10s %12s %12s %12s %12s %10s %8s\n", "MTBF-s",
+              "policy", "avail", "ok", "degraded", "failed", "energy-kJ",
+              "remaps");
+  for (const double mtbf : {3600.0, 1800.0, 900.0, 450.0}) {
+    for (const FaultPolicy pol :
+         {FaultPolicy::kStatic, FaultPolicy::kAdaptiveRemap}) {
+      AmbientConfig cfg;
+      cfg.duration_s = 1200.0;
+      cfg.tile_mtbf_s = mtbf;
+      cfg.seed = 21;
+      const AmbientResult r = run_ambient_scenario(app, plat, pol, cfg);
+      std::printf("%-12.0f %-10s %12.3f %12zu %12zu %12zu %10.3f %8zu\n",
+                  mtbf, pol == FaultPolicy::kStatic ? "static" : "adaptive",
+                  r.availability, r.periods_ok, r.periods_degraded,
+                  r.periods_failed, r.energy_j * 1e-3, r.remaps_performed);
+    }
+  }
+  holms::bench::rule();
+  holms::bench::note(
+      "expected shape: static availability collapses as MTBF shrinks (any "
+      "failure hitting a used tile is fatal); adaptive remapping degrades "
+      "gracefully by migrating tasks to spare tiles — the ambient-"
+      "intelligence requirement of sec 5.");
+  return 0;
+}

@@ -1,0 +1,25 @@
+#pragma once
+// Shared table-printing helpers for the experiment regenerators in bench/.
+// Each bench binary prints the rows/series its DESIGN.md experiment calls
+// for; EXPERIMENTS.md records paper-claim vs measured for each.
+
+#include <cstdio>
+#include <string>
+
+namespace holms::bench {
+
+inline void title(const std::string& id, const std::string& text) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  %s\n", id.c_str(), text.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("-- %s\n", text.c_str());
+}
+
+inline void rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace holms::bench

@@ -1,0 +1,50 @@
+// §4.2 walkthrough: a mobile ad hoc network of multimedia hosts where
+// "every multimedia host has to perform the functions of a router" —
+// comparing minimum-power routing against the two lifetime-aware families.
+//
+// Build & run:  ./build/examples/manet_lifetime
+#include <cstdio>
+
+#include "manet/routing.hpp"
+
+int main() {
+  using namespace holms::manet;
+
+  Manet::Params params;
+  params.num_nodes = 36;
+  params.field_m = 350.0;
+  params.battery_j = 8.0;
+
+  LifetimeConfig cfg;
+  cfg.num_flows = 8;
+  cfg.packets_per_second = 15.0;
+  cfg.max_time_s = 20000.0;
+  cfg.mobile = true;
+
+  std::printf("MANET: %zu multimedia hosts on a %.0fx%.0f m field, "
+              "%zu CBR flows, random-waypoint mobility\n",
+              params.num_nodes, params.field_m, params.field_m,
+              cfg.num_flows);
+  std::printf("lifetime = time until %.0f%% of hosts die\n\n",
+              cfg.dead_fraction * 100.0);
+
+  std::printf("%-28s %12s %12s %10s %14s\n", "protocol", "1st-death-s",
+              "lifetime-s", "delivery", "discoveries");
+  double mpr = 0.0;
+  for (const Protocol p : {Protocol::kMinPower, Protocol::kBatteryCost,
+                           Protocol::kLifetimePrediction,
+                           Protocol::kGafSleep}) {
+    const LifetimeResult r = simulate_lifetime(p, params, cfg, 1234);
+    if (p == Protocol::kMinPower) mpr = r.lifetime_s;
+    std::printf("%-28s %12.0f %12.0f %10.3f %14llu\n",
+                protocol_name(p).c_str(), r.first_death_s, r.lifetime_s,
+                r.delivery_ratio,
+                static_cast<unsigned long long>(r.route_discoveries));
+  }
+  std::printf("\nmin-power routing re-uses the cheapest relays until they "
+              "die; battery-cost and lifetime-prediction routing spread the "
+              "forwarding load (lifetime gain vs MPR is the §4.2 >20%% "
+              "claim; exact value depends on topology/seed, mpr=%.0fs "
+              "here).\n", mpr);
+  return 0;
+}

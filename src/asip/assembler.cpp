@@ -1,0 +1,261 @@
+#include "asip/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "asip/builder.hpp"
+
+namespace holms::asip {
+namespace {
+
+struct OpSpec {
+  Opcode op;
+  // Operand shape: "d,a,b" register triple; "d,i" reg+imm; "d,a" two regs;
+  // "d,a,i" two regs + imm; "a,b,L" two regs + label; "L" label; "" none;
+  // "i,d,a,b" custom (ext id + 3 regs).
+  const char* shape;
+};
+
+const std::map<std::string, OpSpec>& op_table() {
+  static const std::map<std::string, OpSpec> table = {
+      {"halt", {Opcode::kHalt, ""}},
+      {"li", {Opcode::kLi, "d,i"}},
+      {"mov", {Opcode::kMov, "d,a"}},
+      {"add", {Opcode::kAdd, "d,a,b"}},
+      {"sub", {Opcode::kSub, "d,a,b"}},
+      {"mul", {Opcode::kMul, "d,a,b"}},
+      {"and", {Opcode::kAnd, "d,a,b"}},
+      {"or", {Opcode::kOr, "d,a,b"}},
+      {"xor", {Opcode::kXor, "d,a,b"}},
+      {"sll", {Opcode::kSll, "d,a,b"}},
+      {"sra", {Opcode::kSra, "d,a,b"}},
+      {"addi", {Opcode::kAddi, "d,a,i"}},
+      {"lw", {Opcode::kLw, "d,a,i?"}},
+      {"sw", {Opcode::kSw, "a,b,i?"}},
+      {"beq", {Opcode::kBeq, "a,b,L"}},
+      {"bne", {Opcode::kBne, "a,b,L"}},
+      {"blt", {Opcode::kBlt, "a,b,L"}},
+      {"bge", {Opcode::kBge, "a,b,L"}},
+      {"jmp", {Opcode::kJmp, "L"}},
+      {"custom", {Opcode::kCustom, "i,d,a,b"}},
+  };
+  return table;
+}
+
+std::string strip(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  const std::string last = strip(cur);
+  if (!last.empty()) out.push_back(last);
+  return out;
+}
+
+std::uint8_t parse_reg(std::size_t line, const std::string& tok) {
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R')) {
+    throw AssemblerError(line, "expected register, got '" + tok + "'");
+  }
+  int v = 0;
+  for (std::size_t i = 1; i < tok.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(tok[i]))) {
+      throw AssemblerError(line, "bad register '" + tok + "'");
+    }
+    v = v * 10 + (tok[i] - '0');
+  }
+  if (v >= static_cast<int>(kNumRegs)) {
+    throw AssemblerError(line, "register out of range '" + tok + "'");
+  }
+  return static_cast<std::uint8_t>(v);
+}
+
+std::int32_t parse_imm(std::size_t line, const std::string& tok) {
+  try {
+    std::size_t used = 0;
+    const long v = std::stol(tok, &used, 0);
+    if (used != tok.size()) throw std::invalid_argument(tok);
+    return static_cast<std::int32_t>(v);
+  } catch (const std::exception&) {
+    throw AssemblerError(line, "bad immediate '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  ProgramBuilder b;
+  std::istringstream in(source);
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip comments (';' or '#').
+    const auto cpos = raw.find_first_of(";#");
+    std::string line = strip(cpos == std::string::npos
+                                 ? raw
+                                 : raw.substr(0, cpos));
+    if (line.empty()) continue;
+
+    // Directives.
+    if (line.rfind(".region", 0) == 0) {
+      const std::string name = strip(line.substr(7));
+      if (name.empty()) throw AssemblerError(lineno, ".region needs a name");
+      b.region(name);
+      continue;
+    }
+    // Labels (possibly followed by an instruction on the same line).
+    const auto colon = line.find(':');
+    if (colon != std::string::npos &&
+        line.find_first_of(" \t") > colon) {
+      const std::string label = strip(line.substr(0, colon));
+      if (label.empty()) throw AssemblerError(lineno, "empty label");
+      try {
+        b.label(label);
+      } catch (const std::invalid_argument& e) {
+        throw AssemblerError(lineno, e.what());
+      }
+      line = strip(line.substr(colon + 1));
+      if (line.empty()) continue;
+    }
+
+    // Mnemonic + operands.
+    const auto sp = line.find_first_of(" \t");
+    const std::string mnem =
+        sp == std::string::npos ? line : line.substr(0, sp);
+    std::string lower = mnem;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    const auto it = op_table().find(lower);
+    if (it == op_table().end()) {
+      throw AssemblerError(lineno, "unknown mnemonic '" + mnem + "'");
+    }
+    const std::vector<std::string> ops = split_operands(
+        sp == std::string::npos ? "" : line.substr(sp + 1));
+    const OpSpec& spec = it->second;
+
+    auto need = [&](std::size_t lo, std::size_t hi) {
+      if (ops.size() < lo || ops.size() > hi) {
+        throw AssemblerError(lineno, "wrong operand count for '" + mnem +
+                                         "'");
+      }
+    };
+
+    const std::string shape = spec.shape;
+    if (shape.empty()) {
+      need(0, 0);
+      b.halt();
+    } else if (shape == "d,i") {
+      need(2, 2);
+      b.li(parse_reg(lineno, ops[0]), parse_imm(lineno, ops[1]));
+    } else if (shape == "d,a") {
+      need(2, 2);
+      b.mov(parse_reg(lineno, ops[0]), parse_reg(lineno, ops[1]));
+    } else if (shape == "d,a,b") {
+      need(3, 3);
+      const auto d = parse_reg(lineno, ops[0]);
+      const auto a = parse_reg(lineno, ops[1]);
+      const auto r2 = parse_reg(lineno, ops[2]);
+      switch (spec.op) {
+        case Opcode::kAdd: b.add(d, a, r2); break;
+        case Opcode::kSub: b.sub(d, a, r2); break;
+        case Opcode::kMul: b.mul(d, a, r2); break;
+        case Opcode::kAnd: b.and_(d, a, r2); break;
+        case Opcode::kOr: b.or_(d, a, r2); break;
+        case Opcode::kXor: b.xor_(d, a, r2); break;
+        case Opcode::kSll: b.sll(d, a, r2); break;
+        case Opcode::kSra: b.sra(d, a, r2); break;
+        default: throw AssemblerError(lineno, "internal shape error");
+      }
+    } else if (shape == "d,a,i") {
+      need(3, 3);
+      b.addi(parse_reg(lineno, ops[0]), parse_reg(lineno, ops[1]),
+             parse_imm(lineno, ops[2]));
+    } else if (shape == "d,a,i?") {
+      need(2, 3);
+      b.lw(parse_reg(lineno, ops[0]), parse_reg(lineno, ops[1]),
+           ops.size() == 3 ? parse_imm(lineno, ops[2]) : 0);
+    } else if (shape == "a,b,i?") {
+      need(2, 3);
+      b.sw(parse_reg(lineno, ops[0]), parse_reg(lineno, ops[1]),
+           ops.size() == 3 ? parse_imm(lineno, ops[2]) : 0);
+    } else if (shape == "a,b,L") {
+      need(3, 3);
+      const auto a = parse_reg(lineno, ops[0]);
+      const auto r2 = parse_reg(lineno, ops[1]);
+      switch (spec.op) {
+        case Opcode::kBeq: b.beq(a, r2, ops[2]); break;
+        case Opcode::kBne: b.bne(a, r2, ops[2]); break;
+        case Opcode::kBlt: b.blt(a, r2, ops[2]); break;
+        case Opcode::kBge: b.bge(a, r2, ops[2]); break;
+        default: throw AssemblerError(lineno, "internal shape error");
+      }
+    } else if (shape == "L") {
+      need(1, 1);
+      b.jmp(ops[0]);
+    } else if (shape == "i,d,a,b") {
+      need(4, 4);
+      b.custom(parse_imm(lineno, ops[0]), parse_reg(lineno, ops[1]),
+               parse_reg(lineno, ops[2]), parse_reg(lineno, ops[3]));
+    }
+  }
+  try {
+    return b.build();
+  } catch (const std::invalid_argument& e) {
+    throw AssemblerError(0, e.what());
+  }
+}
+
+std::string disassemble(const Instr& in) {
+  std::ostringstream out;
+  const std::string name = opcode_name(in.op);
+  auto r = [](std::uint8_t reg) { return "r" + std::to_string(reg); };
+  switch (in.op) {
+    case Opcode::kHalt: out << "halt"; break;
+    case Opcode::kLi: out << "li " << r(in.rd) << ", " << in.imm; break;
+    case Opcode::kMov: out << "mov " << r(in.rd) << ", " << r(in.rs1); break;
+    case Opcode::kAddi:
+      out << "addi " << r(in.rd) << ", " << r(in.rs1) << ", " << in.imm;
+      break;
+    case Opcode::kLw:
+      out << "lw " << r(in.rd) << ", " << r(in.rs1) << ", " << in.imm;
+      break;
+    case Opcode::kSw:
+      out << "sw " << r(in.rs1) << ", " << r(in.rs2) << ", " << in.imm;
+      break;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+      out << name << " " << r(in.rs1) << ", " << r(in.rs2) << ", @"
+          << in.imm;
+      break;
+    case Opcode::kJmp: out << "jmp @" << in.imm; break;
+    case Opcode::kCustom:
+      out << "custom " << in.imm << ", " << r(in.rd) << ", " << r(in.rs1)
+          << ", " << r(in.rs2);
+      break;
+    default:
+      out << name << " " << r(in.rd) << ", " << r(in.rs1) << ", "
+          << r(in.rs2);
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace holms::asip

@@ -1,0 +1,46 @@
+#pragma once
+// Text assembler for the HolMS ASIP.
+//
+// Lets programs be written as plain text instead of builder calls — the
+// front door a downstream user of the ISS actually wants.  Syntax, one
+// instruction per line:
+//
+//   ; comment                       # comment
+//   .region filterbank              ; profiling region for what follows
+//   loop:                           ; label
+//     li    r1, 42
+//     add   r3, r1, r2
+//     lw    r4, r1, 8               ; r4 = mem[r1 + 8]
+//     sw    r1, r4, -2              ; mem[r1 - 2] = r4
+//     blt   r1, r2, loop
+//     custom 0, r3, r1, r2          ; extension #0
+//     halt
+//
+// Registers are r0..r31; immediates are decimal (optionally negative).
+// Errors throw AssemblerError with the offending line number.
+
+#include <stdexcept>
+#include <string>
+
+#include "asip/isa.hpp"
+
+namespace holms::asip {
+
+class AssemblerError : public std::runtime_error {
+ public:
+  AssemblerError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Assembles `source` into an executable Program.
+Program assemble(const std::string& source);
+
+/// Disassembles one instruction (for diagnostics and round-trip tests).
+std::string disassemble(const Instr& instr);
+
+}  // namespace holms::asip

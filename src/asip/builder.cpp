@@ -1,0 +1,39 @@
+#include "asip/builder.hpp"
+
+#include <stdexcept>
+
+namespace holms::asip {
+
+void ProgramBuilder::label(const std::string& name) {
+  if (labels_.count(name)) {
+    throw std::invalid_argument("duplicate label: " + name);
+  }
+  labels_[name] = code_.size();
+}
+
+void ProgramBuilder::emit(Instr in) {
+  code_.push_back(in);
+  regions_.push_back(current_region_);
+}
+
+void ProgramBuilder::branch(Opcode op, std::uint8_t a, std::uint8_t b,
+                            const std::string& target) {
+  fixups_.push_back({code_.size(), target});
+  emit({op, 0, a, b, 0});
+}
+
+Program ProgramBuilder::build() {
+  for (const auto& f : fixups_) {
+    auto it = labels_.find(f.target);
+    if (it == labels_.end()) {
+      throw std::invalid_argument("undefined label: " + f.target);
+    }
+    code_[f.at].imm = static_cast<std::int32_t>(it->second);
+  }
+  Program p;
+  p.code = code_;
+  p.region = regions_;
+  return p;
+}
+
+}  // namespace holms::asip

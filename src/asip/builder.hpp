@@ -1,0 +1,76 @@
+#pragma once
+// Tiny structured assembler for the HolMS ASIP — the stand-in for the
+// "retargetable tool generation" box of Fig.2: the kernel library emits
+// either base-ISA sequences or custom-instruction sequences from the same
+// source, exactly like a retargeted compiler would.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asip/isa.hpp"
+
+namespace holms::asip {
+
+/// Forward-reference-friendly program builder with labels and regions.
+class ProgramBuilder {
+ public:
+  /// All instructions emitted until the next `region()` call are attributed
+  /// to `name` in ISS profiles.
+  void region(std::string name) { current_region_ = std::move(name); }
+
+  /// Declares/pins a label at the next emitted instruction.
+  void label(const std::string& name);
+
+  // -- instruction emitters (registers are indices 0..31, r0 == 0) --
+  void li(std::uint8_t rd, std::int32_t imm) { emit({Opcode::kLi, rd, 0, 0, imm}); }
+  void mov(std::uint8_t rd, std::uint8_t rs1) { emit({Opcode::kMov, rd, rs1, 0, 0}); }
+  void add(std::uint8_t rd, std::uint8_t a, std::uint8_t b) { emit({Opcode::kAdd, rd, a, b, 0}); }
+  void sub(std::uint8_t rd, std::uint8_t a, std::uint8_t b) { emit({Opcode::kSub, rd, a, b, 0}); }
+  void mul(std::uint8_t rd, std::uint8_t a, std::uint8_t b) { emit({Opcode::kMul, rd, a, b, 0}); }
+  void and_(std::uint8_t rd, std::uint8_t a, std::uint8_t b) { emit({Opcode::kAnd, rd, a, b, 0}); }
+  void or_(std::uint8_t rd, std::uint8_t a, std::uint8_t b) { emit({Opcode::kOr, rd, a, b, 0}); }
+  void xor_(std::uint8_t rd, std::uint8_t a, std::uint8_t b) { emit({Opcode::kXor, rd, a, b, 0}); }
+  void sll(std::uint8_t rd, std::uint8_t a, std::uint8_t b) { emit({Opcode::kSll, rd, a, b, 0}); }
+  void sra(std::uint8_t rd, std::uint8_t a, std::uint8_t b) { emit({Opcode::kSra, rd, a, b, 0}); }
+  void addi(std::uint8_t rd, std::uint8_t a, std::int32_t imm) { emit({Opcode::kAddi, rd, a, 0, imm}); }
+  void lw(std::uint8_t rd, std::uint8_t base, std::int32_t off = 0) { emit({Opcode::kLw, rd, base, 0, off}); }
+  void sw(std::uint8_t base, std::uint8_t src, std::int32_t off = 0) { emit({Opcode::kSw, 0, base, src, off}); }
+  void beq(std::uint8_t a, std::uint8_t b, const std::string& target) { branch(Opcode::kBeq, a, b, target); }
+  void bne(std::uint8_t a, std::uint8_t b, const std::string& target) { branch(Opcode::kBne, a, b, target); }
+  void blt(std::uint8_t a, std::uint8_t b, const std::string& target) { branch(Opcode::kBlt, a, b, target); }
+  void bge(std::uint8_t a, std::uint8_t b, const std::string& target) { branch(Opcode::kBge, a, b, target); }
+  void jmp(const std::string& target) { branch(Opcode::kJmp, 0, 0, target); }
+  void halt() { emit({Opcode::kHalt, 0, 0, 0, 0}); }
+
+  /// Emits custom instruction `ext_id` (index into the ISS extension list).
+  void custom(int ext_id, std::uint8_t rd, std::uint8_t rs1,
+              std::uint8_t rs2) {
+    emit({Opcode::kCustom, rd, rs1, rs2, ext_id});
+  }
+
+  /// Resolves all label references and returns the program.  Throws on
+  /// undefined labels.  The builder can be reused afterwards.
+  Program build();
+
+  std::size_t next_index() const { return code_.size(); }
+
+ private:
+  void emit(Instr in);
+  void branch(Opcode op, std::uint8_t a, std::uint8_t b,
+              const std::string& target);
+
+  struct Fixup {
+    std::size_t at;
+    std::string target;
+  };
+
+  std::vector<Instr> code_;
+  std::vector<std::string> regions_;
+  std::string current_region_ = "main";
+  std::map<std::string, std::size_t> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace holms::asip

@@ -1,0 +1,131 @@
+#include "asip/extensions.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "asip/iss.hpp"
+
+namespace holms::asip {
+namespace {
+
+std::int32_t sat16(std::int64_t v) {
+  return static_cast<std::int32_t>(std::clamp<std::int64_t>(v, -32768, 32767));
+}
+
+}  // namespace
+
+std::vector<Extension> extension_catalog() {
+  std::vector<Extension> cat;
+
+  // acc(rd) += sum_{k<4} mem[rs1+k]*mem[rs2+k]; rs1 += 4; rs2 += 4 — a
+  // 4-lane fused MAC with dual post-incrementing streaming loads: the classic
+  // FIR/dot-product accelerator datapath of commercial ASIP flows.
+  cat.push_back(Extension{
+      kExtMacLoad, -1, 2.0, 14000.0, 30.0,
+      [](CpuState& s, const Instr& in) {
+        std::int32_t acc = s.reg(in.rd);
+        for (int k = 0; k < 4; ++k) {
+          const std::int32_t a =
+              s.load(static_cast<std::size_t>(s.reg(in.rs1)) + k);
+          const std::int32_t b =
+              s.load(static_cast<std::size_t>(s.reg(in.rs2)) + k);
+          acc += a * b;
+        }
+        s.set_reg(in.rd, acc);
+        s.set_reg(in.rs1, s.reg(in.rs1) + 4);
+        s.set_reg(in.rs2, s.reg(in.rs2) + 4);
+      }});
+
+  // acc(rd) += sum_{k<4} (mem[rs1+k]-mem[rs2+k])^2; pointers += 4 — 4-lane
+  // L2-distance step for vector quantization.
+  cat.push_back(Extension{
+      kExtSqdLoad, -1, 2.0, 16000.0, 34.0,
+      [](CpuState& s, const Instr& in) {
+        std::int32_t acc = s.reg(in.rd);
+        for (int k = 0; k < 4; ++k) {
+          const std::int32_t a =
+              s.load(static_cast<std::size_t>(s.reg(in.rs1)) + k);
+          const std::int32_t b =
+              s.load(static_cast<std::size_t>(s.reg(in.rs2)) + k);
+          const std::int32_t d = a - b;
+          acc += d * d;
+        }
+        s.set_reg(in.rd, acc);
+        s.set_reg(in.rs1, s.reg(in.rs1) + 4);
+        s.set_reg(in.rs2, s.reg(in.rs2) + 4);
+      }});
+
+  // rd = |rs1 - rs2| — DTW local cost.
+  cat.push_back(Extension{
+      kExtAbsDiff, -1, 1.0, 2500.0, 5.0,
+      [](CpuState& s, const Instr& in) {
+        s.set_reg(in.rd, std::abs(s.reg(in.rs1) - s.reg(in.rs2)));
+      }});
+
+  // rd = min(rs1, rs2) — DTW predecessor selection.
+  cat.push_back(Extension{
+      kExtMin2, -1, 1.0, 2000.0, 4.0,
+      [](CpuState& s, const Instr& in) {
+        s.set_reg(in.rd, std::min(s.reg(in.rs1), s.reg(in.rs2)));
+      }});
+
+  // rd = sat16(rs1 + rs2) — saturating audio arithmetic.
+  cat.push_back(Extension{
+      kExtSatAdd, -1, 1.0, 3000.0, 5.0,
+      [](CpuState& s, const Instr& in) {
+        s.set_reg(in.rd, sat16(static_cast<std::int64_t>(s.reg(in.rs1)) +
+                               s.reg(in.rs2)));
+      }});
+
+  // acc(rd) += (rs1 * rs2) >> 15 — Q15 fixed-point MAC (register form).
+  cat.push_back(Extension{
+      kExtShiftMac, -1, 1.0, 9000.0, 12.0,
+      [](CpuState& s, const Instr& in) {
+        const std::int64_t p =
+            static_cast<std::int64_t>(s.reg(in.rs1)) * s.reg(in.rs2);
+        s.set_reg(in.rd, s.reg(in.rd) + static_cast<std::int32_t>(p >> 15));
+      }});
+
+  // Fused dynamic-programming cell update for DTW/Viterbi-style kernels:
+  // M[rs2] = rd + min(M[rs1], M[rs1 - 1], M[rs2 - 1]) where rs1 points at
+  // prev[j] and rs2 at curr[j].  Three loads, a 3-way min, an add and a
+  // store collapse into one multi-cycle instruction — the classic DP-lattice
+  // accelerator of commercial extensible-processor flows.
+  cat.push_back(Extension{
+      kExtDtwCell, -1, 3.0, 13000.0, 32.0,
+      [](CpuState& s, const Instr& in) {
+        const auto pj = static_cast<std::size_t>(s.reg(in.rs1));
+        const auto cj = static_cast<std::size_t>(s.reg(in.rs2));
+        const std::int32_t m =
+            std::min({s.load(pj), s.load(pj - 1), s.load(cj - 1)});
+        s.store(cj, s.reg(in.rd) + m);
+      }});
+
+  return cat;
+}
+
+Extension find_extension(const std::string& name) {
+  for (auto& e : extension_catalog()) {
+    if (e.name == name) return e;
+  }
+  throw std::invalid_argument("unknown extension: " + name);
+}
+
+double total_gates(const CoreConfig& cfg,
+                   const std::vector<Extension>& selected) {
+  double g = cfg.base_gates;
+  if (cfg.include_mac_block) g += 9000.0;
+  if (cfg.include_dcache) {
+    // Tag + data array: ~55 gates per cached word plus control.
+    g += 2500.0 + 55.0 * static_cast<double>(cfg.dcache_lines);
+  }
+  // Register file below the full 32 saves ~350 gates per register.
+  if (cfg.num_registers < kNumRegs) {
+    g -= 350.0 * static_cast<double>(kNumRegs - cfg.num_registers);
+  }
+  for (const auto& e : selected) g += e.gate_count;
+  return g;
+}
+
+}  // namespace holms::asip

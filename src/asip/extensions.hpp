@@ -1,0 +1,77 @@
+#pragma once
+// Custom-instruction extensions and predefined blocks (paper §3.1).
+//
+// "The designer has the choice to freely define highly customized multimedia
+//  instructions ... Predefined blocks ... may be chosen to be included or
+//  excluded ... the designer may have the choice to parameterize the
+//  extensible processor."
+//
+// Each extension is a fused datapath operation with a latency, a gate cost
+// and a semantics function that may touch registers *and* memory (so fused
+// load-compute-update patterns — the bread and butter of commercial ASIP
+// flows — are expressible).  The catalog below contains the candidates the
+// automatic identification step (flow.hpp) chooses from.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asip/isa.hpp"
+
+namespace holms::asip {
+
+class CpuState;  // defined in iss.hpp
+
+/// A candidate or selected custom instruction.
+struct Extension {
+  std::string name;
+  int id = -1;                  // slot in the extension registry
+  double cycles = 1.0;          // execution latency once integrated
+  double gate_count = 0.0;      // additional gates for the datapath
+  double energy_pj = 0.0;       // energy per execution
+  /// Executes the instruction; receives the CPU state and the instruction
+  /// word (rd/rs1/rs2 operands).
+  std::function<void(CpuState&, const Instr&)> semantics;
+};
+
+/// Well-known extension names used by the kernel library.
+inline constexpr const char* kExtMacLoad = "mac.load";    // acc += M[a++]*M[b++]
+inline constexpr const char* kExtSqdLoad = "sqd.load";    // acc += (M[a++]-M[b++])^2
+inline constexpr const char* kExtAbsDiff = "absdiff";     // rd = |a - b|
+inline constexpr const char* kExtMin2 = "min2";           // rd = min(a, b)
+inline constexpr const char* kExtSatAdd = "sat.add";      // rd = sat16(a + b)
+inline constexpr const char* kExtShiftMac = "shift.mac";  // acc += (a*b)>>15
+inline constexpr const char* kExtDtwCell = "dtw.cell";    // fused DP-cell update
+
+/// Full candidate catalog for the voice-recognition application domain.
+std::vector<Extension> extension_catalog();
+
+/// Returns the catalog entry by name; throws if unknown.
+Extension find_extension(const std::string& name);
+
+/// Predefined coarse-grain blocks (§3.1(b)) and parameter settings (§3.1(c)).
+struct CoreConfig {
+  // -- predefined blocks --
+  bool include_mac_block = false;   // single-cycle MUL (else 3-cycle)
+  bool include_dcache = true;
+  // -- parameterization --
+  std::size_t dcache_lines = 64;    // direct-mapped, 4 words per line
+  std::size_t num_registers = 32;   // <= kNumRegs; smaller saves gates
+  bool little_endian = true;        // no behavioural effect; gates only
+  // Pipeline interlock model (§3.1a: custom datapaths must integrate into
+  // "the existing pipeline architecture of the base core"): an instruction
+  // consuming the destination of the immediately preceding load stalls one
+  // cycle.  Fused load-compute extensions never pay it — part of their win.
+  bool model_pipeline_hazards = true;
+  // -- base core --
+  double base_gates = 85000.0;
+  double frequency_hz = 200e6;
+};
+
+/// Gate-count model: base core + blocks + cache + selected extensions.
+/// The paper's constraint for the voice-recognition system is < 200k gates.
+double total_gates(const CoreConfig& cfg,
+                   const std::vector<Extension>& selected);
+
+}  // namespace holms::asip

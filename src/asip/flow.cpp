@@ -1,0 +1,124 @@
+#include "asip/flow.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace holms::asip {
+namespace {
+
+DesignPoint evaluate_point(const AppRunner& runner, const CoreConfig& cfg,
+                           const std::vector<std::string>& exts) {
+  DesignPoint p;
+  p.cfg = cfg;
+  p.extensions = exts;
+  p.result = runner(cfg, exts);
+  std::vector<Extension> sel;
+  for (const auto& n : exts) sel.push_back(find_extension(n));
+  p.gates = total_gates(cfg, sel);
+  return p;
+}
+
+struct Candidate {
+  std::string label;
+  CoreConfig cfg;
+  std::vector<std::string> exts;
+};
+
+}  // namespace
+
+FlowResult run_design_flow(const AppRunner& runner,
+                           const FlowOptions& opts) {
+  FlowResult out;
+  CoreConfig cfg;  // plain base core
+  std::vector<std::string> exts;
+  out.base = evaluate_point(runner, cfg, exts);
+  out.base.speedup_vs_base = 1.0;
+  out.base.energy_ratio_vs_base = 1.0;
+
+  DesignPoint current = out.base;
+  const double base_cycles = static_cast<double>(out.base.result.cycles);
+  const double base_energy = out.base.result.energy_pj;
+
+  for (;;) {
+    // -- Identify: enumerate candidate moves from the current core. --
+    std::vector<Candidate> candidates;
+    if (exts.size() < opts.max_extensions) {
+      for (const auto& e : extension_catalog()) {
+        if (std::find(exts.begin(), exts.end(), e.name) != exts.end()) {
+          continue;
+        }
+        Candidate c{"+ext " + e.name, cfg, exts};
+        c.exts.push_back(e.name);
+        candidates.push_back(std::move(c));
+      }
+    }
+    if (!cfg.include_mac_block) {
+      Candidate c{"+block MAC", cfg, exts};
+      c.cfg.include_mac_block = true;
+      candidates.push_back(std::move(c));
+    }
+    if (cfg.dcache_lines < 512) {
+      Candidate c{"+param dcache=" + std::to_string(cfg.dcache_lines * 2),
+                  cfg, exts};
+      c.cfg.dcache_lines = cfg.dcache_lines * 2;
+      candidates.push_back(std::move(c));
+    }
+
+    // -- Define + retarget + verify: evaluate each candidate on the ISS. --
+    const auto objective_of = [&opts](const DesignPoint& p) {
+      return opts.objective == FlowObjective::kCycles
+                 ? static_cast<double>(p.result.cycles)
+                 : p.result.energy_pj;
+    };
+    std::optional<std::size_t> best;
+    double best_score = 0.0;
+    std::vector<DesignPoint> points(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      points[i] =
+          evaluate_point(runner, candidates[i].cfg, candidates[i].exts);
+      if (points[i].gates > opts.gate_budget) continue;
+      const double saved = objective_of(current) - objective_of(points[i]);
+      const double gain = saved / objective_of(current);
+      if (gain < opts.min_gain) continue;
+      // Rank by objective saved per additional gate (cheap wins first).
+      const double added_gates = std::max(1.0, points[i].gates - current.gates);
+      const double score = saved / added_gates;
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (!best) break;
+
+    cfg = candidates[*best].cfg;
+    exts = candidates[*best].exts;
+    current = points[*best];
+    current.speedup_vs_base =
+        base_cycles / static_cast<double>(current.result.cycles);
+    current.energy_ratio_vs_base = current.result.energy_pj / base_energy;
+    out.trace.push_back(FlowStep{candidates[*best].label,
+                                 current.result.cycles, current.gates,
+                                 current.speedup_vs_base});
+  }
+
+  out.best = current;
+  if (out.best.speedup_vs_base == 1.0 && out.best.result.cycles > 0) {
+    out.best.speedup_vs_base =
+        base_cycles / static_cast<double>(out.best.result.cycles);
+    out.best.energy_ratio_vs_base = out.best.result.energy_pj / base_energy;
+  }
+  return out;
+}
+
+FlowResult run_design_flow(const VoiceRecognitionApp& app,
+                           const FlowOptions& opts) {
+  const std::uint64_t seed = opts.seed;
+  return run_design_flow(
+      [&app, seed](const CoreConfig& cfg,
+                   const std::vector<std::string>& exts) {
+        return evaluate_app(app, cfg, exts, seed);
+      },
+      opts);
+}
+
+}  // namespace holms::asip

@@ -1,0 +1,78 @@
+#pragma once
+// The extensible-processor design flow of Fig.2, as an executable driver:
+//
+//   Application -> Profiling -> Identify {extensions, blocks, parameters}
+//     -> Define -> Retargetable tool generation -> verify constraints
+//     -> iterate
+//
+// Each iteration profiles the application on the current core, evaluates
+// every candidate move (add one custom instruction, include the MAC block,
+// grow the d-cache), picks the move with the best cycles-saved-per-gate
+// ratio that stays within the gate budget, and repeats until no move gains
+// more than `min_gain` or the budget/extension-count limits are hit —
+// exactly the loop a designer runs against a commercial ASIP platform.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asip/extensions.hpp"
+#include "asip/iss.hpp"
+#include "asip/kernels.hpp"
+
+namespace holms::asip {
+
+/// Application hook for the flow: run the application on a candidate core
+/// (the "retargetable tool generation + ISS" boxes collapsed into one call).
+using AppRunner = std::function<RunResult(
+    const CoreConfig&, const std::vector<std::string>& extensions)>;
+
+/// One evaluated configuration of the extensible core.
+struct DesignPoint {
+  CoreConfig cfg;
+  std::vector<std::string> extensions;
+  RunResult result;
+  double gates = 0.0;
+  double speedup_vs_base = 1.0;
+  double energy_ratio_vs_base = 1.0;
+};
+
+/// One step of the exploration trace (for Fig.2 reproduction).
+struct FlowStep {
+  std::string move;          // e.g. "+ext mac.load", "+block MAC", "+param dcache=256"
+  std::uint64_t cycles = 0;  // cycles after the move
+  double gates = 0.0;
+  double speedup_vs_base = 1.0;
+};
+
+/// What the flow optimizes (§3.1: profiling shows "which parts of the
+/// application represent the most time consuming ones (or, if the energy
+/// consumption is the constraint, which ones are the most energy
+/// consuming)").
+enum class FlowObjective { kCycles, kEnergy };
+
+struct FlowOptions {
+  double gate_budget = 200000.0;   // the paper's "< 200k gates"
+  std::size_t max_extensions = 10; // "less than 10 custom instructions"
+  double min_gain = 0.02;          // stop below 2% objective improvement
+  FlowObjective objective = FlowObjective::kCycles;
+  std::uint64_t seed = 42;
+};
+
+struct FlowResult {
+  DesignPoint base;
+  DesignPoint best;
+  std::vector<FlowStep> trace;
+};
+
+/// Runs the full Fig.2 loop for any application exposed as an AppRunner —
+/// the platform premise of §1 is exactly that one design flow serves many
+/// multimedia applications.
+FlowResult run_design_flow(const AppRunner& runner,
+                           const FlowOptions& opts = {});
+
+/// Convenience overload for the §3.1 voice-recognition application.
+FlowResult run_design_flow(const VoiceRecognitionApp& app,
+                           const FlowOptions& opts = {});
+
+}  // namespace holms::asip

@@ -1,0 +1,63 @@
+#pragma once
+// Base instruction set of the HolMS extensible processor (paper §3.1).
+//
+// A deliberately small RISC core — the point of the ASIP methodology is that
+// the *base* ISA is generic and cheap, and application performance comes from
+// custom instruction extensions layered on top (Fig.2).  The ISS in iss.hpp
+// executes this ISA cycle-by-cycle; extensions.hpp adds fused operations.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace holms::asip {
+
+inline constexpr std::size_t kNumRegs = 32;
+
+enum class Opcode : std::uint8_t {
+  kHalt,
+  kLi,    // rd = imm
+  kMov,   // rd = rs1
+  kAdd,   // rd = rs1 + rs2
+  kSub,
+  kMul,   // multi-cycle on the base core
+  kAnd,
+  kOr,
+  kXor,
+  kSll,   // rd = rs1 << (rs2 & 31)
+  kSra,   // rd = rs1 >> (rs2 & 31), arithmetic
+  kAddi,  // rd = rs1 + imm
+  kLw,    // rd = mem[rs1 + imm]
+  kSw,    // mem[rs1 + imm] = rs2
+  kBeq,   // if (rs1 == rs2) goto imm (absolute instruction index)
+  kBne,
+  kBlt,
+  kBge,
+  kJmp,   // goto imm
+  kCustom,  // extension instruction; ext id in imm, regs rd/rs1/rs2
+};
+
+/// One decoded instruction.  `imm` doubles as the branch target (absolute
+/// instruction index, resolved by the builder) and the extension id for
+/// kCustom.
+struct Instr {
+  Opcode op = Opcode::kHalt;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+};
+
+/// A program plus the region map used for profiling: region[i] names the
+/// source kernel/loop instruction i belongs to.
+struct Program {
+  std::vector<Instr> code;
+  std::vector<std::string> region;  // parallel to code
+
+  std::size_t size() const { return code.size(); }
+};
+
+/// Human-readable opcode name (diagnostics and profile reports).
+std::string opcode_name(Opcode op);
+
+}  // namespace holms::asip

@@ -1,0 +1,276 @@
+#include "asip/iss.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace holms::asip {
+
+std::string opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kHalt: return "halt";
+    case Opcode::kLi: return "li";
+    case Opcode::kMov: return "mov";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kSll: return "sll";
+    case Opcode::kSra: return "sra";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kLw: return "lw";
+    case Opcode::kSw: return "sw";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kCustom: return "custom";
+  }
+  return "?";
+}
+
+namespace {
+// Direct-mapped cache with 4-word lines: streaming access patterns hit 3 of
+// every 4 words, which is the locality real multimedia kernels rely on.
+constexpr std::size_t kWordsPerLine = 4;
+}  // namespace
+
+std::int32_t CpuState::load(std::size_t addr) {
+  ++loads;
+  if (cache_enabled_ && !tags_.empty()) {
+    const std::size_t block = addr / kWordsPerLine;
+    const std::size_t line = block % tags_.size();
+    if (tags_[line] != static_cast<std::int64_t>(block)) {
+      tags_[line] = static_cast<std::int64_t>(block);
+      ++dcache_misses;
+      ++pending_miss_cycles_;
+    }
+  }
+  return mem_.at(addr);
+}
+
+void CpuState::store(std::size_t addr, std::int32_t v) {
+  ++stores;
+  if (cache_enabled_ && !tags_.empty()) {
+    const std::size_t block = addr / kWordsPerLine;
+    const std::size_t line = block % tags_.size();
+    if (tags_[line] != static_cast<std::int64_t>(block)) {
+      tags_[line] = static_cast<std::int64_t>(block);
+      ++dcache_misses;
+      ++pending_miss_cycles_;
+    }
+  }
+  mem_.at(addr) = v;
+}
+
+Iss::Iss(CoreConfig cfg, std::vector<Extension> extensions,
+         std::size_t mem_words)
+    : cfg_(cfg), extensions_(std::move(extensions)), state_(mem_words) {
+  if (cfg_.include_mac_block) costs_.mul_cycles = 1.0;
+  state_.cache_enabled_ = cfg_.include_dcache;
+  if (cfg_.include_dcache) {
+    state_.tags_.assign(cfg_.dcache_lines, -1);
+  }
+  for (std::size_t i = 0; i < extensions_.size(); ++i) {
+    extensions_[i].id = static_cast<int>(i);
+    if (!extensions_[i].semantics) {
+      throw std::invalid_argument("Iss: extension without semantics");
+    }
+  }
+}
+
+RunResult Iss::run(const Program& program, std::uint64_t max_cycles) {
+  RunResult res;
+  if (program.code.empty()) {
+    res.halted = true;
+    return res;
+  }
+  if (program.region.size() != program.code.size()) {
+    throw std::invalid_argument("Iss::run: region map size mismatch");
+  }
+  std::size_t pc = 0;
+  const std::size_t n = program.code.size();
+  int pending_load_dest = -1;  // register written by the previous kLw
+  while (res.cycles < max_cycles) {
+    if (pc >= n) break;  // falling off the end behaves like halt
+    const Instr& in = program.code[pc];
+    const std::string& region = program.region[pc];
+    double cycles = 0.0;
+    double energy = 0.0;
+    std::size_t next_pc = pc + 1;
+    state_.pending_miss_cycles_ = 0;
+
+    // Load-use pipeline interlock: one bubble when this instruction reads
+    // the register the previous load produced.
+    double stall_cycles = 0.0;
+    double stall_energy = 0.0;
+    if (cfg_.model_pipeline_hazards && pending_load_dest > 0) {
+      bool reads = false;
+      switch (in.op) {
+        case Opcode::kHalt:
+        case Opcode::kLi:
+        case Opcode::kJmp:
+          break;
+        case Opcode::kMov:
+        case Opcode::kAddi:
+        case Opcode::kLw:
+          reads = in.rs1 == pending_load_dest;
+          break;
+        case Opcode::kCustom:
+          // Fused ops read all three operand registers (rd is often an
+          // accumulator).
+          reads = in.rs1 == pending_load_dest ||
+                  in.rs2 == pending_load_dest || in.rd == pending_load_dest;
+          break;
+        default:
+          reads = in.rs1 == pending_load_dest || in.rs2 == pending_load_dest;
+          break;
+      }
+      if (reads) {
+        stall_cycles = costs_.load_use_stall;
+        stall_energy = costs_.alu_energy * 0.25;  // bubble clocks the pipe
+      }
+    }
+    pending_load_dest = in.op == Opcode::kLw ? in.rd : -1;
+
+    auto r = [this](std::size_t i) { return state_.reg(i); };
+
+    switch (in.op) {
+      case Opcode::kHalt:
+        res.halted = true;
+        break;
+      case Opcode::kLi:
+        state_.set_reg(in.rd, in.imm);
+        cycles = costs_.alu_cycles;
+        energy = costs_.alu_energy;
+        break;
+      case Opcode::kMov:
+        state_.set_reg(in.rd, r(in.rs1));
+        cycles = costs_.alu_cycles;
+        energy = costs_.alu_energy;
+        break;
+      case Opcode::kAdd:
+        state_.set_reg(in.rd, r(in.rs1) + r(in.rs2));
+        cycles = costs_.alu_cycles;
+        energy = costs_.alu_energy;
+        break;
+      case Opcode::kSub:
+        state_.set_reg(in.rd, r(in.rs1) - r(in.rs2));
+        cycles = costs_.alu_cycles;
+        energy = costs_.alu_energy;
+        break;
+      case Opcode::kMul:
+        state_.set_reg(in.rd, r(in.rs1) * r(in.rs2));
+        cycles = costs_.mul_cycles;
+        energy = costs_.mul_energy;
+        break;
+      case Opcode::kAnd:
+        state_.set_reg(in.rd, r(in.rs1) & r(in.rs2));
+        cycles = costs_.alu_cycles;
+        energy = costs_.alu_energy;
+        break;
+      case Opcode::kOr:
+        state_.set_reg(in.rd, r(in.rs1) | r(in.rs2));
+        cycles = costs_.alu_cycles;
+        energy = costs_.alu_energy;
+        break;
+      case Opcode::kXor:
+        state_.set_reg(in.rd, r(in.rs1) ^ r(in.rs2));
+        cycles = costs_.alu_cycles;
+        energy = costs_.alu_energy;
+        break;
+      case Opcode::kSll:
+        state_.set_reg(in.rd, r(in.rs1) << (r(in.rs2) & 31));
+        cycles = costs_.alu_cycles;
+        energy = costs_.alu_energy;
+        break;
+      case Opcode::kSra:
+        state_.set_reg(in.rd, r(in.rs1) >> (r(in.rs2) & 31));
+        cycles = costs_.alu_cycles;
+        energy = costs_.alu_energy;
+        break;
+      case Opcode::kAddi:
+        state_.set_reg(in.rd, r(in.rs1) + in.imm);
+        cycles = costs_.alu_cycles;
+        energy = costs_.alu_energy;
+        break;
+      case Opcode::kLw:
+        state_.set_reg(in.rd, state_.load(
+            static_cast<std::size_t>(r(in.rs1) + in.imm)));
+        cycles = costs_.mem_cycles;
+        energy = costs_.mem_energy;
+        break;
+      case Opcode::kSw:
+        state_.store(static_cast<std::size_t>(r(in.rs1) + in.imm), r(in.rs2));
+        cycles = costs_.mem_cycles;
+        energy = costs_.mem_energy;
+        break;
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge: {
+        const std::int32_t a = r(in.rs1), b = r(in.rs2);
+        bool taken = false;
+        switch (in.op) {
+          case Opcode::kBeq: taken = a == b; break;
+          case Opcode::kBne: taken = a != b; break;
+          case Opcode::kBlt: taken = a < b; break;
+          default: taken = a >= b; break;
+        }
+        cycles = costs_.branch_cycles + (taken ? costs_.taken_extra : 0.0);
+        energy = costs_.branch_energy;
+        if (taken) next_pc = static_cast<std::size_t>(in.imm);
+        break;
+      }
+      case Opcode::kJmp:
+        cycles = costs_.branch_cycles + costs_.taken_extra;
+        energy = costs_.branch_energy;
+        next_pc = static_cast<std::size_t>(in.imm);
+        break;
+      case Opcode::kCustom: {
+        const std::size_t ext = static_cast<std::size_t>(in.imm);
+        if (ext >= extensions_.size()) {
+          throw std::runtime_error("Iss: undefined custom instruction");
+        }
+        extensions_[ext].semantics(state_, in);
+        cycles = extensions_[ext].cycles;
+        energy = extensions_[ext].energy_pj;
+        break;
+      }
+    }
+
+    // Cache misses raised inside load/store (base or fused) stall the pipe.
+    cycles += static_cast<double>(state_.pending_miss_cycles_) *
+                  costs_.miss_penalty +
+              stall_cycles;
+    energy += static_cast<double>(state_.pending_miss_cycles_) *
+                  costs_.miss_energy +
+              stall_energy;
+
+    res.cycles += static_cast<std::uint64_t>(cycles);
+    res.energy_pj += energy;
+    ++res.instructions;
+    auto& rp = res.by_region[region];
+    ++rp.instructions;
+    rp.cycles += static_cast<std::uint64_t>(cycles);
+    rp.energy_pj += energy;
+
+    if (in.op == Opcode::kHalt) break;
+    pc = next_pc;
+  }
+  return res;
+}
+
+std::vector<std::pair<std::string, RegionProfile>> hotspots(
+    const RunResult& r) {
+  std::vector<std::pair<std::string, RegionProfile>> v(r.by_region.begin(),
+                                                       r.by_region.end());
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    return a.second.cycles > b.second.cycles;
+  });
+  return v;
+}
+
+}  // namespace holms::asip

@@ -1,0 +1,123 @@
+#pragma once
+// Cycle-based instruction-set simulator (paper §3.1, Fig.2).
+//
+// "Profiling by means of an ISS ... unveils the bottlenecks through
+//  cycle-accurate simulation i.e. it shows which parts of the application
+//  represent the most time consuming ones (or ... the most energy
+//  consuming)."
+//
+// The ISS executes the base ISA plus any registered extensions, charges
+// per-opcode cycle and energy costs (with a direct-mapped data cache model),
+// and accumulates a per-region profile that drives the identification step
+// of the design flow.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asip/extensions.hpp"
+#include "asip/isa.hpp"
+
+namespace holms::asip {
+
+/// Architectural state exposed to extension semantics.
+class CpuState {
+ public:
+  explicit CpuState(std::size_t mem_words) : mem_(mem_words, 0) {}
+
+  std::int32_t reg(std::size_t i) const { return i == 0 ? 0 : regs_[i]; }
+  void set_reg(std::size_t i, std::int32_t v) {
+    if (i != 0) regs_[i] = v;  // r0 is hardwired to zero
+  }
+
+  std::int32_t load(std::size_t addr);
+  void store(std::size_t addr, std::int32_t v);
+  std::size_t mem_size() const { return mem_.size(); }
+
+  /// Raw memory access that bypasses the cache model (for test setup and
+  /// result readback, not charged to the program).
+  std::int32_t peek(std::size_t addr) const { return mem_.at(addr); }
+  void poke(std::size_t addr, std::int32_t v) { mem_.at(addr) = v; }
+
+  // Cache bookkeeping (filled in by the Iss, read by extensions via load/
+  // store so fused memory ops pay realistic costs too).
+  std::uint64_t loads = 0, stores = 0, dcache_misses = 0;
+
+ private:
+  friend class Iss;
+  std::int32_t regs_[kNumRegs] = {};
+  std::vector<std::int32_t> mem_;
+  // Direct-mapped cache tags; line index = addr % lines.
+  std::vector<std::int64_t> tags_;
+  bool cache_enabled_ = false;
+  std::uint64_t pending_miss_cycles_ = 0;
+};
+
+/// Per-region profile entry.
+struct RegionProfile {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  double energy_pj = 0.0;
+};
+
+/// Result of one simulation.
+struct RunResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  double energy_pj = 0.0;
+  bool halted = false;   // false = hit the max-cycle guard
+  std::map<std::string, RegionProfile> by_region;
+
+  double seconds(double frequency_hz) const {
+    return static_cast<double>(cycles) / frequency_hz;
+  }
+  double energy_joules() const { return energy_pj * 1e-12; }
+};
+
+/// Per-opcode-class cost model (cycles at the given core config; energies in
+/// picojoules).  The miss penalty applies to kLw/kSw and to extension memory
+/// accesses alike.
+struct CostModel {
+  double alu_cycles = 1.0;
+  double mul_cycles = 3.0;       // 1.0 when the MAC block is included
+  double mem_cycles = 1.0;       // on hit
+  double miss_penalty = 8.0;
+  double branch_cycles = 1.0;
+  double taken_extra = 1.0;
+  double load_use_stall = 1.0;   // bubble on a load-use hazard
+  double alu_energy = 4.0;
+  double mul_energy = 14.0;
+  double mem_energy = 10.0;
+  double miss_energy = 60.0;
+  double branch_energy = 4.0;
+};
+
+/// The instruction-set simulator.
+class Iss {
+ public:
+  Iss(CoreConfig cfg, std::vector<Extension> extensions,
+      std::size_t mem_words = 1 << 16);
+
+  /// Runs `program` to kHalt or `max_cycles`.  State persists across runs so
+  /// data planted with `state().poke` survives.
+  RunResult run(const Program& program, std::uint64_t max_cycles = 5e8);
+
+  CpuState& state() { return state_; }
+  const CoreConfig& config() const { return cfg_; }
+  const std::vector<Extension>& extensions() const { return extensions_; }
+  const CostModel& costs() const { return costs_; }
+
+ private:
+  CoreConfig cfg_;
+  std::vector<Extension> extensions_;
+  CostModel costs_;
+  CpuState state_;
+};
+
+/// Sorts regions by cycle share, descending — the "identify bottlenecks"
+/// output of the profiling step.
+std::vector<std::pair<std::string, RegionProfile>> hotspots(
+    const RunResult& r);
+
+}  // namespace holms::asip

@@ -1,0 +1,258 @@
+#include "asip/jpeg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace holms::asip {
+namespace {
+
+constexpr std::uint8_t R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6,
+                       R7 = 7, R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12,
+                       R13 = 13, R14 = 14, R15 = 15, R16 = 16, R17 = 17,
+                       R18 = 18, R20 = 20, R22 = 22, R23 = 23;
+
+int ext_id(const ExtMap& ext, const char* name) {
+  auto it = ext.find(name);
+  return it == ext.end() ? -1 : it->second;
+}
+
+// JPEG luminance quantizer (zigzag-independent, row-major).
+constexpr int kLumaQuant[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+// Standard zigzag scan order.
+constexpr int kZigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+}  // namespace
+
+JpegEncoderApp::JpegEncoderApp(const Params& p) : p_(p) {
+  if (p_.blocks == 0 || p_.blocks > 120) {
+    throw std::invalid_argument("JpegEncoderApp: blocks in [1, 120]");
+  }
+}
+
+void JpegEncoderApp::plant_inputs(CpuState& state, sim::Rng& rng) const {
+  // Image blocks: gradient + texture + noise, pixels centered in [-127,127].
+  for (std::size_t b = 0; b < p_.blocks; ++b) {
+    const double phase = static_cast<double>(b) * 0.7;
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        const double v = 40.0 * std::sin(0.8 * x + phase) +
+                         30.0 * std::cos(0.5 * y) +
+                         8.0 * (x - y) + rng.normal(0.0, 6.0);
+        state.poke(img_base() + b * 64 +
+                       static_cast<std::size_t>(y * 8 + x),
+                   static_cast<std::int32_t>(
+                       std::clamp(v, -127.0, 127.0)));
+      }
+    }
+  }
+  // DCT-II basis rounded to 7-bit integers: C[u][x].
+  for (int u = 0; u < 8; ++u) {
+    const double cu = u == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+    for (int x = 0; x < 8; ++x) {
+      const double c =
+          0.5 * cu * std::cos((2.0 * x + 1.0) * u * M_PI / 16.0);
+      state.poke(coef_base() + static_cast<std::size_t>(u * 8 + x),
+                 static_cast<std::int32_t>(std::lround(64.0 * c)));
+    }
+  }
+  // Q15 quantizer reciprocals and zigzag table.
+  for (int i = 0; i < 64; ++i) {
+    state.poke(qrec_base() + static_cast<std::size_t>(i),
+               static_cast<std::int32_t>(32768 / kLumaQuant[i]));
+    state.poke(zigzag_base() + static_cast<std::size_t>(i), kZigzag[i]);
+  }
+}
+
+Program JpegEncoderApp::compile(const ExtMap& ext) const {
+  ProgramBuilder b;
+  emit_fdct(b, ext);
+  emit_quant(b, ext);
+  emit_rle(b);
+  return b.build();
+}
+
+void JpegEncoderApp::emit_pass(ProgramBuilder& b, const ExtMap& ext,
+                               const std::string& prefix,
+                               std::uint8_t src_base_reg,
+                               std::uint8_t dst_base_reg) const {
+  const int mac = ext_id(ext, kExtMacLoad);
+  b.li(R2, 0);  // row
+  b.label(prefix + "_row");
+  {
+    b.li(R10, 8);
+    b.mul(R4, R2, R10);
+    b.add(R4, R4, src_base_reg);  // input row base
+    b.li(R3, 0);                  // output frequency u
+    b.label(prefix + "_u");
+    {
+      b.li(R6, 0);   // accumulator
+      b.mov(R7, R4); // input pointer (reset per u)
+      b.mul(R8, R3, R10);
+      b.addi(R8, R8, static_cast<std::int32_t>(coef_base()));
+      if (mac >= 0) {
+        b.custom(mac, R6, R7, R8);  // taps 0..3
+        b.custom(mac, R6, R7, R8);  // taps 4..7
+      } else {
+        b.li(R9, 0);
+        b.label(prefix + "_x");
+        b.lw(R5, R7);
+        b.lw(R22, R8);
+        b.mul(R5, R5, R22);
+        b.add(R6, R6, R5);
+        b.addi(R7, R7, 1);
+        b.addi(R8, R8, 1);
+        b.addi(R9, R9, 1);
+        b.blt(R9, R10, prefix + "_x");
+      }
+      b.sra(R6, R6, R20);  // R20 holds the scale shift (7)
+      // Transposed store: dst[u*8 + row].
+      b.mul(R9, R3, R10);
+      b.add(R9, R9, R2);
+      b.add(R9, R9, dst_base_reg);
+      b.sw(R9, R6);
+      b.addi(R3, R3, 1);
+      b.blt(R3, R11, prefix + "_u");
+    }
+    b.addi(R2, R2, 1);
+    b.blt(R2, R11, prefix + "_row");
+  }
+}
+
+void JpegEncoderApp::emit_fdct(ProgramBuilder& b, const ExtMap& ext) const {
+  b.region("fdct");
+  b.li(R11, 8);
+  b.li(R12, 64);
+  b.li(R13, static_cast<std::int32_t>(p_.blocks));
+  b.li(R20, 7);  // post-pass scale shift
+  b.li(R1, 0);   // block index
+  b.label("jf_block");
+  {
+    b.mul(R14, R1, R12);
+    b.addi(R14, R14, static_cast<std::int32_t>(img_base()));
+    b.mul(R15, R1, R12);
+    b.addi(R15, R15, static_cast<std::int32_t>(out_base()));
+    b.li(R16, static_cast<std::int32_t>(tmp_base()));
+    // Pass 1: image rows -> TMP (transposed).
+    emit_pass(b, ext, "jf1", R14, R16);
+    // Pass 2: TMP rows -> OUT block (transposed back).
+    b.li(R17, static_cast<std::int32_t>(tmp_base()));
+    emit_pass(b, ext, "jf2", R17, R15);
+    b.addi(R1, R1, 1);
+    b.blt(R1, R13, "jf_block");
+  }
+}
+
+void JpegEncoderApp::emit_quant(ProgramBuilder& b, const ExtMap& ext) const {
+  const int smac = ext_id(ext, kExtShiftMac);
+  b.region("quant");
+  const auto total = static_cast<std::int32_t>(p_.blocks * 64);
+  b.li(R12, total);
+  b.li(R15, 63);
+  b.li(R16, 15);
+  b.li(R1, 0);
+  b.label("jq_loop");
+  {
+    b.addi(R4, R1, static_cast<std::int32_t>(out_base()));
+    b.lw(R4, R4, 0);  // coefficient value
+    b.and_(R5, R1, R15);
+    b.addi(R5, R5, static_cast<std::int32_t>(qrec_base()));
+    b.lw(R5, R5, 0);  // Q15 reciprocal
+    if (smac >= 0) {
+      b.li(R6, 0);
+      b.custom(smac, R6, R4, R5);  // R6 += (R4*R5) >> 15
+    } else {
+      b.mul(R6, R4, R5);
+      b.sra(R6, R6, R16);
+    }
+    b.addi(R7, R1, static_cast<std::int32_t>(out_base()));
+    b.sw(R7, R6, 0);  // quantize in place
+    b.addi(R1, R1, 1);
+    b.blt(R1, R12, "jq_loop");
+  }
+}
+
+void JpegEncoderApp::emit_rle(ProgramBuilder& b) const {
+  b.region("rle");
+  b.li(R12, 64);
+  b.li(R13, static_cast<std::int32_t>(p_.blocks));
+  b.li(R17, 0);  // symbol count
+  b.li(R18, 0);  // checksum
+  b.li(R23, 7);  // run weight in the checksum
+  b.li(R1, 0);   // block
+  b.label("jr_block");
+  {
+    b.mul(R14, R1, R12);
+    b.addi(R14, R14, static_cast<std::int32_t>(out_base()));
+    b.li(R2, 0);  // zigzag position
+    b.li(R3, 0);  // current zero run
+    b.label("jr_k");
+    {
+      b.addi(R4, R2, static_cast<std::int32_t>(zigzag_base()));
+      b.lw(R4, R4, 0);
+      b.add(R4, R4, R14);
+      b.lw(R5, R4, 0);
+      b.bne(R5, 0, "jr_nz");
+      b.addi(R3, R3, 1);
+      b.jmp("jr_next");
+      b.label("jr_nz");
+      b.addi(R17, R17, 1);
+      b.mul(R9, R3, R23);
+      b.add(R9, R9, R5);
+      b.add(R18, R18, R9);
+      b.li(R3, 0);
+      b.label("jr_next");
+      b.addi(R2, R2, 1);
+      b.blt(R2, R12, "jr_k");
+    }
+    // End-of-block symbol when the block ends in a zero run.
+    b.beq(R3, 0, "jr_noeob");
+    b.addi(R17, R17, 1);
+    b.add(R18, R18, R3);
+    b.label("jr_noeob");
+    b.addi(R1, R1, 1);
+    b.blt(R1, R13, "jr_block");
+  }
+  b.li(R9, static_cast<std::int32_t>(result_base()));
+  b.sw(R9, R17, 0);
+  b.sw(R9, R18, 1);
+  b.halt();
+}
+
+std::int32_t JpegEncoderApp::symbols(const CpuState& s) const {
+  return s.peek(result_base());
+}
+
+std::int32_t JpegEncoderApp::checksum(const CpuState& s) const {
+  return s.peek(result_base() + 1);
+}
+
+RunResult evaluate_jpeg(const JpegEncoderApp& app, const CoreConfig& cfg,
+                        const std::vector<std::string>& extension_names,
+                        std::uint64_t seed, std::int32_t* symbols,
+                        std::int32_t* checksum) {
+  std::vector<Extension> exts;
+  ExtMap map;
+  for (const auto& name : extension_names) {
+    map[name] = static_cast<int>(exts.size());
+    exts.push_back(find_extension(name));
+  }
+  Iss iss(cfg, std::move(exts));
+  sim::Rng rng(seed);
+  app.plant_inputs(iss.state(), rng);
+  RunResult r = iss.run(app.compile(map));
+  if (symbols) *symbols = app.symbols(iss.state());
+  if (checksum) *checksum = app.checksum(iss.state());
+  return r;
+}
+
+}  // namespace holms::asip

@@ -1,0 +1,76 @@
+#pragma once
+// Second ASIP application: a JPEG-style still-image encoder front end.
+//
+// The paper's platform premise is that "hardware and software resources ...
+// can be shared across multiple multimedia applications" (§1) — the same
+// base core and extension catalog that serve the voice recognizer must also
+// serve an image codec.  Pipeline:
+//   1. fdct  — 8x8 forward DCT as two passes of 8-tap dot products
+//              (mac.load accelerates, like the filterbank)
+//   2. quant — Q15 reciprocal quantization (shift.mac accelerates)
+//   3. rle   — zigzag run-length coding (branchy; no extension applies,
+//              the honest Amdahl tail)
+
+#include <cstdint>
+
+#include "asip/iss.hpp"
+#include "asip/kernels.hpp"
+#include "sim/random.hpp"
+
+namespace holms::asip {
+
+class JpegEncoderApp {
+ public:
+  struct Params {
+    std::size_t blocks = 64;  // 8x8 pixel blocks to encode (<= 120)
+  };
+
+  JpegEncoderApp() : JpegEncoderApp(Params{}) {}
+  explicit JpegEncoderApp(const Params& p);
+
+  /// Plants synthetic image blocks (gradients + texture + noise), the DCT
+  /// basis, the quantizer reciprocals and the zigzag table.
+  void plant_inputs(CpuState& state, sim::Rng& rng) const;
+
+  /// Emits the three-kernel program; accelerated sequences are used for
+  /// every extension present in `ext` (mac.load, shift.mac).
+  Program compile(const ExtMap& ext = {}) const;
+
+  /// Number of (run,level) symbols emitted — the coded-size proxy.
+  std::int32_t symbols(const CpuState& state) const;
+  /// Order-sensitive checksum over emitted symbols (cross-config equality).
+  std::int32_t checksum(const CpuState& state) const;
+
+  // Memory layout (word addresses).
+  std::size_t img_base() const { return 0; }
+  std::size_t coef_base() const { return 8200; }
+  std::size_t tmp_base() const { return 8300; }
+  std::size_t qrec_base() const { return 8400; }
+  std::size_t zigzag_base() const { return 8500; }
+  std::size_t out_base() const { return 8600; }
+  std::size_t result_base() const { return 30000; }
+
+  const Params& params() const { return p_; }
+
+ private:
+  void emit_fdct(ProgramBuilder& b, const ExtMap& ext) const;
+  void emit_quant(ProgramBuilder& b, const ExtMap& ext) const;
+  void emit_rle(ProgramBuilder& b) const;
+  /// One 8x8 transform pass: rows of *src_base_reg dotted with the DCT
+  /// basis, written transposed to *dst_base_reg.
+  void emit_pass(ProgramBuilder& b, const ExtMap& ext,
+                 const std::string& prefix, std::uint8_t src_base_reg,
+                 std::uint8_t dst_base_reg) const;
+
+  Params p_;
+};
+
+/// Runs the JPEG app on a core configuration; mirror of evaluate_app for the
+/// voice recognizer.
+RunResult evaluate_jpeg(const JpegEncoderApp& app, const CoreConfig& cfg,
+                        const std::vector<std::string>& extension_names,
+                        std::uint64_t seed = 42,
+                        std::int32_t* symbols = nullptr,
+                        std::int32_t* checksum = nullptr);
+
+}  // namespace holms::asip

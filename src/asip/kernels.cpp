@@ -1,0 +1,331 @@
+#include "asip/kernels.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace holms::asip {
+namespace {
+
+// Register conventions (locals per kernel; r0 is hardwired zero).
+constexpr std::uint8_t R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6,
+                       R7 = 7, R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12,
+                       R13 = 13, R14 = 14, R15 = 15, R16 = 16, R17 = 17,
+                       R18 = 18, R19 = 19, R20 = 20, R21 = 21, R22 = 22;
+
+constexpr std::int32_t kInf = 0x3FFFFFFF;
+constexpr std::int32_t kEnergyShift = 12;
+
+int ext_id(const ExtMap& ext, const char* name) {
+  auto it = ext.find(name);
+  return it == ext.end() ? -1 : it->second;
+}
+
+}  // namespace
+
+VoiceRecognitionApp::VoiceRecognitionApp(const Params& p) : p_(p) {
+  if (p_.signal_len < p_.taps || p_.frame_stride == 0) {
+    throw std::invalid_argument("VoiceRecognitionApp: bad signal params");
+  }
+  frames_ = (p_.signal_len - p_.taps) / p_.frame_stride;
+  if (frames_ == 0 || frames_ > 2048) {
+    throw std::invalid_argument("VoiceRecognitionApp: bad frame count");
+  }
+}
+
+void VoiceRecognitionApp::plant_inputs(CpuState& state, sim::Rng& rng) const {
+  // Synthetic utterance: two formant-like sinusoids with a slow envelope
+  // plus noise — enough spectral structure for the filterbank to produce
+  // non-degenerate energies.
+  for (std::size_t i = 0; i < p_.signal_len; ++i) {
+    const double t = static_cast<double>(i);
+    const double env = 0.5 + 0.5 * std::sin(t * 0.004);
+    const double v = env * (1200.0 * std::sin(t * 0.31) +
+                            800.0 * std::sin(t * 0.11 + 1.0)) +
+                     rng.normal(0.0, 120.0);
+    state.poke(sig_base() + i, static_cast<std::int32_t>(v));
+  }
+  // Filter taps: random short kernels in [-256, 256].
+  for (std::size_t f = 0; f < p_.num_filters; ++f) {
+    for (std::size_t t = 0; t < p_.taps; ++t) {
+      state.poke(filt_base() + f * p_.taps + t,
+                 static_cast<std::int32_t>(rng.uniform_int(-256, 256)));
+    }
+  }
+  // Codebook entries on the same scale as shifted energies.
+  for (std::size_t c = 0; c < p_.codebook_size; ++c) {
+    for (std::size_t d = 0; d < p_.num_filters; ++d) {
+      state.poke(codebook_base() + c * p_.num_filters + d,
+                 static_cast<std::int32_t>(rng.uniform_int(-2000, 2000)));
+    }
+  }
+  // Word templates: sequences of codebook indices.
+  for (std::size_t k = 0; k < p_.num_templates; ++k) {
+    for (std::size_t j = 0; j < p_.template_len; ++j) {
+      state.poke(templ_base() + k * p_.template_len + j,
+                 static_cast<std::int32_t>(rng.uniform_int(
+                     0, static_cast<std::int64_t>(p_.codebook_size) - 1)));
+    }
+  }
+}
+
+Program VoiceRecognitionApp::compile(const ExtMap& ext) const {
+  if (ext_id(ext, kExtMacLoad) >= 0 && p_.taps % 4 != 0) {
+    throw std::invalid_argument("mac.load requires taps % 4 == 0");
+  }
+  if (ext_id(ext, kExtSqdLoad) >= 0 && p_.num_filters % 4 != 0) {
+    throw std::invalid_argument("sqd.load requires dims % 4 == 0");
+  }
+  ProgramBuilder b;
+  emit_filterbank(b, ext);
+  emit_vq(b, ext);
+  emit_dtw(b, ext);
+  return b.build();
+}
+
+void VoiceRecognitionApp::emit_filterbank(ProgramBuilder& b,
+                                          const ExtMap& ext) const {
+  const int mac = ext_id(ext, kExtMacLoad);
+  const auto T = static_cast<std::int32_t>(p_.taps);
+  const auto NF = static_cast<std::int32_t>(p_.num_filters);
+  const auto F = static_cast<std::int32_t>(frames_);
+  const auto STRIDE = static_cast<std::int32_t>(p_.frame_stride);
+
+  b.region("filterbank");
+  b.li(R11, T);
+  b.li(R12, NF);
+  b.li(R13, F);
+  b.li(R14, STRIDE);
+  b.li(R15, kEnergyShift);
+  b.li(R1, 0);  // frame index
+  b.label("fb_frame");
+  {
+    b.li(R2, 0);  // filter index
+    b.label("fb_filter");
+    {
+      b.li(R3, 0);  // accumulator
+      b.mul(R4, R1, R14);
+      b.addi(R4, R4, static_cast<std::int32_t>(sig_base()));
+      b.mul(R5, R2, R11);
+      b.addi(R5, R5, static_cast<std::int32_t>(filt_base()));
+      b.li(R6, 0);  // tap index
+      b.label("fb_tap");
+      if (mac >= 0) {
+        b.custom(mac, R3, R4, R5);
+        b.addi(R6, R6, 4);
+      } else {
+        b.lw(R7, R4);
+        b.lw(R8, R5);
+        b.mul(R9, R7, R8);
+        b.add(R3, R3, R9);
+        b.addi(R4, R4, 1);
+        b.addi(R5, R5, 1);
+        b.addi(R6, R6, 1);
+      }
+      b.blt(R6, R11, "fb_tap");
+      // Scale the energy down to the codebook range.
+      b.sra(R3, R3, R15);
+      b.mul(R9, R1, R12);
+      b.add(R9, R9, R2);
+      b.addi(R9, R9, static_cast<std::int32_t>(energy_base()));
+      b.sw(R9, R3);
+      b.addi(R2, R2, 1);
+      b.blt(R2, R12, "fb_filter");
+    }
+    b.addi(R1, R1, 1);
+    b.blt(R1, R13, "fb_frame");
+  }
+}
+
+void VoiceRecognitionApp::emit_vq(ProgramBuilder& b, const ExtMap& ext) const {
+  const int sqd = ext_id(ext, kExtSqdLoad);
+  const auto DIM = static_cast<std::int32_t>(p_.num_filters);
+  const auto CB = static_cast<std::int32_t>(p_.codebook_size);
+  const auto F = static_cast<std::int32_t>(frames_);
+
+  b.region("vq");
+  b.li(R11, DIM);
+  b.li(R12, CB);
+  b.li(R13, F);
+  b.li(R1, 0);  // frame index
+  b.label("vq_frame");
+  {
+    b.mul(R18, R1, R11);
+    b.addi(R18, R18, static_cast<std::int32_t>(energy_base()));
+    b.li(R16, kInf);  // best distance
+    b.li(R17, 0);     // best index
+    b.li(R2, 0);      // codeword index
+    b.label("vq_code");
+    {
+      b.li(R3, 0);  // distance accumulator
+      b.mov(R4, R18);
+      b.mul(R5, R2, R11);
+      b.addi(R5, R5, static_cast<std::int32_t>(codebook_base()));
+      b.li(R6, 0);  // dimension index
+      b.label("vq_dim");
+      if (sqd >= 0) {
+        b.custom(sqd, R3, R4, R5);
+        b.addi(R6, R6, 4);
+      } else {
+        b.lw(R7, R4);
+        b.lw(R8, R5);
+        b.sub(R9, R7, R8);
+        b.mul(R9, R9, R9);
+        b.add(R3, R3, R9);
+        b.addi(R4, R4, 1);
+        b.addi(R5, R5, 1);
+        b.addi(R6, R6, 1);
+      }
+      b.blt(R6, R11, "vq_dim");
+      b.bge(R3, R16, "vq_skip");
+      b.mov(R16, R3);
+      b.mov(R17, R2);
+      b.label("vq_skip");
+      b.addi(R2, R2, 1);
+      b.blt(R2, R12, "vq_code");
+    }
+    b.addi(R9, R1, static_cast<std::int32_t>(qseq_base()));
+    b.sw(R9, R17);
+    b.addi(R1, R1, 1);
+    b.blt(R1, R13, "vq_frame");
+  }
+}
+
+void VoiceRecognitionApp::emit_dtw(ProgramBuilder& b, const ExtMap& ext) const {
+  const int absd = ext_id(ext, kExtAbsDiff);
+  const int min2 = ext_id(ext, kExtMin2);
+  const int cell = ext_id(ext, kExtDtwCell);
+  const auto TL = static_cast<std::int32_t>(p_.template_len);
+  const auto F = static_cast<std::int32_t>(frames_);
+  const auto K = static_cast<std::int32_t>(p_.num_templates);
+
+  b.region("dtw");
+  b.li(R11, TL);
+  b.li(R12, F);
+  b.li(R13, K);
+  b.li(R14, static_cast<std::int32_t>(dtw_prev_base()));
+  b.li(R15, static_cast<std::int32_t>(dtw_curr_base()));
+  b.li(R16, kInf);
+  b.li(R17, kInf);  // best score so far
+  b.li(R18, 0);     // best template index
+  b.li(R20, static_cast<std::int32_t>(qseq_base()));
+  b.addi(R21, R11, 1);  // TL + 1 (row length)
+  b.addi(R22, R12, 1);  // F + 1
+  b.li(R1, 0);  // template index
+  b.label("dtw_template");
+  {
+    b.mul(R19, R1, R11);
+    b.addi(R19, R19, static_cast<std::int32_t>(templ_base()));
+    // prev[0] = 0, prev[1..TL] = INF.
+    b.sw(R14, 0, 0);  // prev[0] = r0 (zero)
+    b.li(R3, 1);
+    b.label("dtw_initrow");
+    b.add(R5, R14, R3);
+    b.sw(R5, R16);
+    b.addi(R3, R3, 1);
+    b.blt(R3, R21, "dtw_initrow");
+
+    b.li(R2, 1);  // i = 1..F
+    b.label("dtw_i");
+    {
+      b.sw(R15, R16, 0);  // curr[0] = INF
+      b.add(R4, R20, R2);
+      b.lw(R4, R4, -1);  // q[i-1]
+      b.li(R3, 1);       // j = 1..TL
+      b.label("dtw_j");
+      {
+        b.add(R5, R19, R3);
+        b.lw(R5, R5, -1);  // t[j-1]
+        // Local cost c = |q - t| into R6.
+        if (absd >= 0) {
+          b.custom(absd, R6, R4, R5);
+        } else {
+          b.sub(R6, R4, R5);
+          b.bge(R6, 0, "dtw_abs");
+          b.sub(R6, 0, R6);
+          b.label("dtw_abs");
+        }
+        if (cell >= 0) {
+          // Fused DP-cell: curr[j] = c + min(prev[j], prev[j-1], curr[j-1]).
+          b.add(R8, R14, R3);
+          b.add(R9, R15, R3);
+          b.custom(cell, R6, R8, R9);
+        } else {
+          // m = min(prev[j], prev[j-1], curr[j-1]) into R10.
+          b.add(R8, R14, R3);
+          b.lw(R7, R8, 0);
+          b.lw(R8, R8, -1);
+          b.add(R9, R15, R3);
+          b.lw(R9, R9, -1);
+          if (min2 >= 0) {
+            b.custom(min2, R10, R7, R8);
+            b.custom(min2, R10, R10, R9);
+          } else {
+            b.mov(R10, R7);
+            b.bge(R8, R10, "dtw_m1");
+            b.mov(R10, R8);
+            b.label("dtw_m1");
+            b.bge(R9, R10, "dtw_m2");
+            b.mov(R10, R9);
+            b.label("dtw_m2");
+          }
+          b.add(R6, R6, R10);
+          b.add(R9, R15, R3);
+          b.sw(R9, R6);
+        }
+        b.addi(R3, R3, 1);
+        b.blt(R3, R21, "dtw_j");
+      }
+      // Rotate rows: the just-computed row becomes prev (pointer swap, no
+      // copy — both row buffers live in scratch memory).
+      b.mov(R9, R14);
+      b.mov(R14, R15);
+      b.mov(R15, R9);
+      b.addi(R2, R2, 1);
+      b.blt(R2, R22, "dtw_i");
+    }
+    // Score = prev[TL]; keep per-template score and the arg-min.
+    b.add(R8, R14, R11);
+    b.lw(R9, R8, 0);
+    b.addi(R8, R1, static_cast<std::int32_t>(result_base()) + 2);
+    b.sw(R8, R9);
+    b.bge(R9, R17, "dtw_next");
+    b.mov(R17, R9);
+    b.mov(R18, R1);
+    b.label("dtw_next");
+    b.addi(R1, R1, 1);
+    b.blt(R1, R13, "dtw_template");
+  }
+  // Publish the decision.
+  b.li(R8, static_cast<std::int32_t>(result_base()));
+  b.sw(R8, R18, 0);
+  b.sw(R8, R17, 1);
+  b.halt();
+}
+
+std::int32_t VoiceRecognitionApp::recognized_word(const CpuState& s) const {
+  return s.peek(result_base());
+}
+
+std::int32_t VoiceRecognitionApp::best_score(const CpuState& s) const {
+  return s.peek(result_base() + 1);
+}
+
+RunResult evaluate_app(const VoiceRecognitionApp& app, const CoreConfig& cfg,
+                       const std::vector<std::string>& extension_names,
+                       std::uint64_t seed, std::int32_t* recognized) {
+  std::vector<Extension> exts;
+  ExtMap map;
+  for (const auto& name : extension_names) {
+    map[name] = static_cast<int>(exts.size());
+    exts.push_back(find_extension(name));
+  }
+  Iss iss(cfg, std::move(exts));
+  sim::Rng rng(seed);
+  app.plant_inputs(iss.state(), rng);
+  const Program prog = app.compile(map);
+  RunResult r = iss.run(prog);
+  if (recognized) *recognized = app.recognized_word(iss.state());
+  return r;
+}
+
+}  // namespace holms::asip

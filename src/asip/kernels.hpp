@@ -1,0 +1,92 @@
+#pragma once
+// The voice-recognition application of paper §3.1, written for the HolMS
+// ASIP: "a complete voice recognition system has been implemented using a
+// base processor core enhanced with less than 10 low-complexity custom
+// instructions ... speed-up factors between 5x-10x ... total gate count less
+// than 200k."
+//
+// Pipeline (classic small-vocabulary recognizer):
+//   1. filterbank — FIR energy filterbank over the audio signal (MAC loops)
+//   2. vq         — vector quantization of energy vectors against a codebook
+//   3. dtw        — dynamic-time-warping match against word templates
+//
+// `compile()` plays the role of the retargeted compiler: given the set of
+// available custom instructions it emits either base-ISA or accelerated
+// sequences from the same kernel source.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "asip/builder.hpp"
+#include "asip/iss.hpp"
+#include "sim/random.hpp"
+
+namespace holms::asip {
+
+/// Extension availability map: extension name -> id in the ISS's registry.
+using ExtMap = std::map<std::string, int>;
+
+class VoiceRecognitionApp {
+ public:
+  struct Params {
+    std::size_t signal_len = 2048;
+    std::size_t frame_stride = 32;
+    std::size_t num_filters = 16;   // == feature dimension
+    std::size_t taps = 32;
+    std::size_t codebook_size = 32;
+    std::size_t num_templates = 4;
+    std::size_t template_len = 16;
+  };
+
+  VoiceRecognitionApp() : VoiceRecognitionApp(Params{}) {}
+  explicit VoiceRecognitionApp(const Params& p);
+
+  /// Number of analysis frames derived from the signal length.
+  std::size_t num_frames() const { return frames_; }
+
+  /// Fills processor memory with a synthetic utterance, filter coefficients,
+  /// codebook and templates.  Deterministic given the rng.
+  void plant_inputs(CpuState& state, sim::Rng& rng) const;
+
+  /// Emits the full three-kernel program; uses custom instructions for every
+  /// extension present in `ext`.
+  Program compile(const ExtMap& ext = {}) const;
+
+  /// Reads the recognized template index back from memory.
+  std::int32_t recognized_word(const CpuState& state) const;
+  /// Reads the matching score (DTW distance) of the winner.
+  std::int32_t best_score(const CpuState& state) const;
+
+  // Memory layout (word addresses), public for tests.  Bases are offset off
+  // power-of-two boundaries so the arrays do not alias in the direct-mapped
+  // d-cache (prev/curr DTW rows in particular must not share lines).
+  std::size_t sig_base() const { return 0; }
+  std::size_t filt_base() const { return 4100; }
+  std::size_t energy_base() const { return 8212; }
+  std::size_t codebook_base() const { return 12340; }
+  std::size_t qseq_base() const { return 16420; }
+  std::size_t templ_base() const { return 20520; }
+  std::size_t dtw_prev_base() const { return 24600; }
+  std::size_t dtw_curr_base() const { return 24680; }
+  std::size_t result_base() const { return 32000; }
+
+  const Params& params() const { return p_; }
+
+ private:
+  void emit_filterbank(ProgramBuilder& b, const ExtMap& ext) const;
+  void emit_vq(ProgramBuilder& b, const ExtMap& ext) const;
+  void emit_dtw(ProgramBuilder& b, const ExtMap& ext) const;
+
+  Params p_;
+  std::size_t frames_ = 0;
+};
+
+/// Convenience: run `app` on a core described by (cfg, extension names) and
+/// return the ISS result.  Used by the design-flow driver and benches.
+RunResult evaluate_app(const VoiceRecognitionApp& app, const CoreConfig& cfg,
+                       const std::vector<std::string>& extension_names,
+                       std::uint64_t seed = 42,
+                       std::int32_t* recognized = nullptr);
+
+}  // namespace holms::asip

@@ -1,0 +1,144 @@
+#include "core/ambient.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace holms::core {
+namespace {
+
+// Moves every task on a dead tile to the live free tile that minimizes its
+// incremental communication energy (greedy repair, cheap enough to run
+// online).  Returns false if no live tile remains for some task.
+bool remap_off_dead_tiles(const Application& app, const Platform& platform,
+                          const std::vector<bool>& tile_alive,
+                          noc::Mapping& mapping) {
+  std::vector<bool> used(platform.mesh.num_tiles(), false);
+  for (std::size_t i = 0; i < mapping.size(); ++i) {
+    if (tile_alive[mapping[i]]) used[mapping[i]] = true;
+  }
+  for (std::size_t i = 0; i < mapping.size(); ++i) {
+    if (tile_alive[mapping[i]]) continue;
+    auto pick = [&](bool allow_shared) {
+      double best_cost = std::numeric_limits<double>::infinity();
+      std::size_t best_tile = platform.mesh.num_tiles();
+      for (std::size_t t = 0; t < platform.mesh.num_tiles(); ++t) {
+        if (!tile_alive[t] || (!allow_shared && used[t])) continue;
+        double cost = 0.0;
+        for (const auto& e : app.graph.edges()) {
+          if (e.src == i) {
+            cost += platform.noc_energy.transfer_energy(
+                e.volume_bits, platform.mesh.hops(t, mapping[e.dst]));
+          } else if (e.dst == i) {
+            cost += platform.noc_energy.transfer_energy(
+                e.volume_bits, platform.mesh.hops(mapping[e.src], t));
+          }
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_tile = t;
+        }
+      }
+      return best_tile;
+    };
+    // Prefer a spare tile; once spares run out, share a live tile — the
+    // application keeps running, possibly degraded (deadline pressure).
+    std::size_t best_tile = pick(/*allow_shared=*/false);
+    if (best_tile >= platform.mesh.num_tiles()) {
+      best_tile = pick(/*allow_shared=*/true);
+    }
+    if (best_tile >= platform.mesh.num_tiles()) return false;  // all dead
+    mapping[i] = best_tile;
+    used[best_tile] = true;
+  }
+  return true;
+}
+
+}  // namespace
+
+AmbientResult run_ambient_scenario(const Application& app,
+                                   const Platform& platform,
+                                   FaultPolicy policy,
+                                   const AmbientConfig& cfg) {
+  sim::Rng rng(cfg.seed);
+  AmbientResult res;
+
+  // Design-time mapping on the healthy platform.
+  noc::Mapping mapping =
+      noc::greedy_mapping(app.graph, platform.mesh, platform.noc_energy);
+
+  std::vector<bool> tile_alive(platform.mesh.num_tiles(), true);
+  // Per-tile Poisson failure: probability per period.
+  const double period = app.qos.period_s;
+  const double p_fail = 1.0 - std::exp(-period / cfg.tile_mtbf_s);
+
+  bool user_active_high = true;
+  bool mapping_valid = true;
+  Evaluation cached_eval = evaluate_design(app, platform, mapping, true);
+
+  const std::size_t periods =
+      static_cast<std::size_t>(cfg.duration_s / period);
+  for (std::size_t k = 0; k < periods; ++k) {
+    ++res.periods;
+
+    // Inject failures.
+    bool changed = false;
+    for (std::size_t t = 0; t < tile_alive.size(); ++t) {
+      if (tile_alive[t] && rng.bernoulli(p_fail)) {
+        tile_alive[t] = false;
+        changed = true;
+        ++res.failures_injected;
+      }
+    }
+    // User activity Markov chain.
+    if (rng.bernoulli(cfg.activity_switch_prob)) {
+      user_active_high = !user_active_high;
+    }
+    const double activity =
+        user_active_high ? cfg.activity_high : cfg.activity_low;
+
+    if (changed) {
+      bool any_dead_in_use = false;
+      for (std::size_t i = 0; i < mapping.size(); ++i) {
+        if (!tile_alive[mapping[i]]) any_dead_in_use = true;
+      }
+      if (any_dead_in_use) {
+        if (policy == FaultPolicy::kAdaptiveRemap) {
+          mapping_valid =
+              remap_off_dead_tiles(app, platform, tile_alive, mapping);
+          if (mapping_valid) {
+            ++res.remaps_performed;
+            cached_eval = evaluate_design(app, platform, mapping, true);
+          }
+        } else {
+          mapping_valid = false;
+        }
+      }
+    }
+
+    if (!mapping_valid) {
+      ++res.periods_failed;
+      continue;
+    }
+
+    // Activity scales the schedule: low activity shortens tasks, so the
+    // deadline verdict from the cached evaluation is conservative at high
+    // activity and safe at low.
+    const double effective_makespan =
+        cached_eval.schedule.makespan_s * activity;
+    if (effective_makespan <= period) {
+      ++res.periods_ok;
+    } else {
+      ++res.periods_degraded;
+    }
+    res.energy_j += cached_eval.total_energy_j * activity;
+  }
+
+  res.availability =
+      res.periods ? static_cast<double>(res.periods_ok) /
+                        static_cast<double>(res.periods)
+                  : 0.0;
+  return res;
+}
+
+}  // namespace holms::core

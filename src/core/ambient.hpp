@@ -1,0 +1,53 @@
+#pragma once
+// Ambient-multimedia extension (paper §5): resource-constrained operation
+// with failing parts and non-deterministic users.
+//
+// "they should be completely embedded into the environment, able to operate
+//  with limited resources and failing parts ... Since users tend to behave
+//  non-deterministically, there is room for stochastic modeling based on
+//  capturing the uncertainty in users behavior."  [33][34]
+//
+// The scenario runs an application for many periods.  Tiles fail at Poisson
+// times; user activity is a sticky Markov chain that scales the workload.
+// Two policies are compared: a static design (mapping fixed at design time,
+// tasks on dead tiles simply fail) and an adaptive one that remaps tasks off
+// failed tiles at run time — the fault-tolerant ambient-intelligence
+// behaviour of [33].
+
+#include <cstddef>
+
+#include "core/evaluator.hpp"
+#include "sim/random.hpp"
+
+namespace holms::core {
+
+enum class FaultPolicy { kStatic, kAdaptiveRemap };
+
+struct AmbientConfig {
+  double duration_s = 3600.0;
+  double tile_mtbf_s = 1800.0;    // per-tile mean time between failures
+  // User activity states scale every task's cycles.
+  double activity_low = 0.4;
+  double activity_high = 1.0;
+  double activity_switch_prob = 0.05;  // per period
+  std::uint64_t seed = 7;
+};
+
+struct AmbientResult {
+  std::size_t periods = 0;
+  std::size_t periods_ok = 0;        // deadline met and all tasks placed
+  std::size_t periods_degraded = 0;  // ran, but missed the deadline
+  std::size_t periods_failed = 0;    // some task had no live tile
+  double availability = 0.0;         // periods_ok / periods
+  double energy_j = 0.0;
+  std::size_t failures_injected = 0;
+  std::size_t remaps_performed = 0;
+};
+
+/// Runs the ambient scenario under the given fault-handling policy.
+AmbientResult run_ambient_scenario(const Application& app,
+                                   const Platform& platform,
+                                   FaultPolicy policy,
+                                   const AmbientConfig& cfg);
+
+}  // namespace holms::core

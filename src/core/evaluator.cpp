@@ -1,0 +1,126 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace holms::core {
+
+std::string tile_type_name(TileType t) {
+  switch (t) {
+    case TileType::kGpp: return "GPP";
+    case TileType::kAsip: return "ASIP";
+    case TileType::kAsic: return "ASIC";
+    case TileType::kMemory: return "MEM";
+  }
+  return "?";
+}
+
+noc::SchedProblem make_sched_problem(const Application& app,
+                                     const Platform& platform,
+                                     const noc::Mapping& mapping) {
+  if (mapping.size() != app.graph.num_nodes()) {
+    throw std::invalid_argument("make_sched_problem: mapping size mismatch");
+  }
+  if (platform.tiles.size() != platform.mesh.num_tiles()) {
+    throw std::invalid_argument("make_sched_problem: platform tiles mismatch");
+  }
+  noc::SchedProblem p;
+  p.mesh = platform.mesh;
+  p.tile_of = mapping;
+  p.deadline_s = app.qos.period_s;
+  p.power = platform.power;
+  p.points = platform.points;
+  p.link_bandwidth_bps = platform.link_bandwidth_bps;
+  p.hop_latency_s = platform.hop_latency_s;
+  p.noc_energy = platform.noc_energy;
+
+  for (std::size_t i = 0; i < app.graph.num_nodes(); ++i) {
+    const auto& node = app.graph.node(i);
+    const TileSpec& spec = platform.tiles.at(mapping[i]);
+    noc::SchedTask t;
+    t.name = node.name;
+    // A faster resource class executes the same work in fewer base cycles.
+    t.cycles = node.compute_cycles / spec.speedup;
+    p.tasks.push_back(std::move(t));
+  }
+  for (const auto& e : app.graph.edges()) {
+    p.deps.push_back(noc::SchedDep{e.src, e.dst, e.volume_bits});
+  }
+  return p;
+}
+
+Evaluation evaluate_design(const Application& app, const Platform& platform,
+                           const noc::Mapping& mapping, bool use_dvs) {
+  Evaluation ev;
+  ev.comm = noc::evaluate_mapping(app.graph, platform.mesh,
+                                  platform.noc_energy, mapping,
+                                  platform.link_bandwidth_bps);
+  const noc::SchedProblem prob = make_sched_problem(app, platform, mapping);
+  ev.schedule = use_dvs ? noc::schedule_energy_aware(prob)
+                        : noc::schedule_edf(prob);
+
+  // Scale compute energy by each tile's resource-class efficiency.
+  double compute_j = 0.0;
+  for (std::size_t i = 0; i < prob.tasks.size(); ++i) {
+    const TileSpec& spec = platform.tiles.at(mapping[i]);
+    const auto& op = platform.points.at(ev.schedule.placement[i].dvs_level);
+    compute_j +=
+        platform.power.energy_for_cycles(prob.tasks[i].cycles, op) *
+        spec.energy_factor;
+  }
+  ev.total_energy_j = compute_j + ev.comm.comm_energy_j +
+                      ev.schedule.idle_energy_j;
+  ev.average_power_w = ev.total_energy_j / app.qos.period_s;
+  // Manufacturing cost: only the tiles the mapping actually uses would be
+  // instantiated when the platform is synthesized.
+  std::vector<bool> used(platform.mesh.num_tiles(), false);
+  for (noc::TileId t : mapping) used[t] = true;
+  for (std::size_t t = 0; t < used.size(); ++t) {
+    if (used[t]) ev.platform_cost += platform.tiles[t].unit_cost;
+  }
+  ev.deadline_met = ev.schedule.deadline_met;
+  ev.power_met = app.qos.max_power_w <= 0.0 ||
+                 ev.average_power_w <= app.qos.max_power_w;
+  ev.cost_met =
+      app.qos.max_cost <= 0.0 || ev.platform_cost <= app.qos.max_cost;
+  ev.feasible = ev.deadline_met && ev.power_met && ev.cost_met &&
+                ev.comm.bandwidth_feasible;
+  return ev;
+}
+
+MultiAppEvaluation evaluate_multi_design(
+    const std::vector<Application>& apps, const Platform& platform,
+    const std::vector<noc::Mapping>& mappings, bool use_dvs,
+    double utilization_bound) {
+  if (apps.size() != mappings.size()) {
+    throw std::invalid_argument(
+        "evaluate_multi_design: apps/mappings size mismatch");
+  }
+  MultiAppEvaluation out;
+  out.tile_utilization.assign(platform.mesh.num_tiles(), 0.0);
+  bool all_qos = true;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    Evaluation ev = evaluate_design(apps[a], platform, mappings[a], use_dvs);
+    all_qos = all_qos && ev.feasible;
+    out.total_power_w += ev.average_power_w;
+    // Per-tile busy time at the chosen DVS levels, normalized by the app's
+    // own period.
+    const noc::SchedProblem prob =
+        make_sched_problem(apps[a], platform, mappings[a]);
+    for (std::size_t i = 0; i < prob.tasks.size(); ++i) {
+      const auto& op =
+          platform.points.at(ev.schedule.placement[i].dvs_level);
+      const double busy = prob.tasks[i].cycles / op.frequency_hz;
+      out.tile_utilization[mappings[a][i]] += busy / apps[a].qos.period_s;
+    }
+    out.per_app.push_back(std::move(ev));
+  }
+  for (double u : out.tile_utilization) {
+    out.max_tile_utilization = std::max(out.max_tile_utilization, u);
+  }
+  out.schedulable = out.max_tile_utilization <= utilization_bound + 1e-12;
+  out.feasible = out.schedulable && all_qos;
+  return out;
+}
+
+}  // namespace holms::core

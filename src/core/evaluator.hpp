@@ -1,0 +1,80 @@
+#pragma once
+// The unified evaluator of the holistic methodology (paper §2):
+//
+// "Simply speaking, designing a multimedia system consists of mapping the
+//  target application, onto a given implementation architecture, while
+//  satisfying a prescribed set of design constraints (e.g. power,
+//  performance, cost, etc.)."
+//
+// Given an Application (task graph + period + QoS requirements) and a
+// Platform, an Evaluation prices one candidate mapping: schedule (EDF or
+// energy-aware DVS), communication energy over the NoC, and QoS verdicts.
+
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "noc/mapping.hpp"
+#include "noc/scheduling.hpp"
+#include "noc/taskgraph.hpp"
+
+namespace holms::core {
+
+/// QoS requirements the design must satisfy (paper §2: latency, jitter,
+/// loss; here the schedulable subset — end-to-end deadline and power cap).
+struct QosRequirement {
+  double period_s = 0.04;        // application iteration period == deadline
+  double max_power_w = 0.0;      // 0 = unconstrained average power
+  double max_cost = 0.0;         // 0 = unconstrained platform cost (§1)
+};
+
+/// A multimedia application: communicating tasks plus its QoS contract.
+struct Application {
+  noc::AppGraph graph;
+  QosRequirement qos{};
+  std::string name = "app";
+};
+
+struct Evaluation {
+  noc::MappingEval comm;
+  noc::ScheduleResult schedule;
+  double total_energy_j = 0.0;   // per period
+  double average_power_w = 0.0;
+  double platform_cost = 0.0;    // sum of unit costs of the tiles in use
+  bool deadline_met = false;
+  bool power_met = false;
+  bool cost_met = false;
+  bool feasible = false;         // all constraints and bandwidth
+};
+
+/// Builds the scheduling problem a mapping induces on a platform
+/// (tile speedups shrink task cycles; memory tiles execute nothing).
+noc::SchedProblem make_sched_problem(const Application& app,
+                                     const Platform& platform,
+                                     const noc::Mapping& mapping);
+
+/// Prices one mapping.  `use_dvs` selects the energy-aware scheduler.
+Evaluation evaluate_design(const Application& app, const Platform& platform,
+                           const noc::Mapping& mapping, bool use_dvs);
+
+/// Several applications time-sharing one platform (§1: resources "shared
+/// across multiple multimedia applications").  Partitioned-scheduling
+/// admission: each application is scheduled in isolation at its own period,
+/// then per-tile utilizations are summed across applications; the shared
+/// design is schedulable when every tile stays below the utilization bound
+/// and every per-app deadline held in isolation.
+struct MultiAppEvaluation {
+  std::vector<Evaluation> per_app;
+  std::vector<double> tile_utilization;  // summed across applications
+  double max_tile_utilization = 0.0;
+  double total_power_w = 0.0;            // sum of per-app average powers
+  bool schedulable = false;
+  bool feasible = false;                 // schedulable + all per-app QoS
+};
+
+MultiAppEvaluation evaluate_multi_design(
+    const std::vector<Application>& apps, const Platform& platform,
+    const std::vector<noc::Mapping>& mappings, bool use_dvs,
+    double utilization_bound = 1.0);
+
+}  // namespace holms::core

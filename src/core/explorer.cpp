@@ -1,0 +1,128 @@
+#include "core/explorer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace holms::core {
+namespace {
+
+bool dominates(const DesignCandidate& a, const DesignCandidate& b) {
+  return a.eval.total_energy_j <= b.eval.total_energy_j &&
+         a.eval.schedule.makespan_s <= b.eval.schedule.makespan_s &&
+         (a.eval.total_energy_j < b.eval.total_energy_j ||
+          a.eval.schedule.makespan_s < b.eval.schedule.makespan_s);
+}
+
+}  // namespace
+
+ExploreResult explore(const Application& app, const Platform& platform,
+                      sim::Rng& rng, const ExploreOptions& opts) {
+  ExploreResult out;
+  double best_energy = std::numeric_limits<double>::infinity();
+
+  std::vector<noc::Mapping> candidates;
+  candidates.push_back(noc::greedy_mapping(app.graph, platform.mesh,
+                                           platform.noc_energy));
+  for (std::size_t r = 0; r < opts.restarts; ++r) {
+    sim::Rng sa_rng = rng.fork();
+    noc::SaOptions sa = opts.sa;
+    sa.link_capacity_bps = platform.link_bandwidth_bps;
+    candidates.push_back(noc::sa_mapping(app.graph, platform.mesh,
+                                         platform.noc_energy, sa_rng, sa));
+    candidates.push_back(
+        noc::random_mapping(app.graph.num_nodes(), platform.mesh, rng));
+  }
+
+  for (const auto& m : candidates) {
+    for (const bool dvs : {true, false}) {
+      if (!dvs && !opts.try_both_schedulers) continue;
+      DesignCandidate c;
+      c.mapping = m;
+      c.use_dvs = dvs;
+      c.eval = evaluate_design(app, platform, m, dvs);
+      ++out.evaluated;
+
+      if (c.eval.feasible && c.eval.total_energy_j < best_energy) {
+        best_energy = c.eval.total_energy_j;
+        out.best = c;
+        out.found_feasible = true;
+      }
+      // Maintain the Pareto front over (energy, makespan) among feasible
+      // candidates.
+      if (c.eval.feasible) {
+        bool dominated = false;
+        for (const auto& p : out.pareto) {
+          if (dominates(p, c)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) {
+          out.pareto.erase(
+              std::remove_if(out.pareto.begin(), out.pareto.end(),
+                             [&](const DesignCandidate& p) {
+                               return dominates(c, p);
+                             }),
+              out.pareto.end());
+          out.pareto.push_back(c);
+        }
+      }
+    }
+  }
+  std::sort(out.pareto.begin(), out.pareto.end(),
+            [](const DesignCandidate& a, const DesignCandidate& b) {
+              return a.eval.total_energy_j < b.eval.total_energy_j;
+            });
+  return out;
+}
+
+SynthesisResult synthesize_platform(const Application& app, std::size_t width,
+                                    std::size_t height, sim::Rng& rng,
+                                    const SynthesisOptions& opts) {
+  SynthesisResult out;
+  out.platform = Platform::homogeneous(width, height, gpp_tile());
+  out.design = explore(app, out.platform, rng, opts.explore);
+  out.found_feasible = out.design.found_feasible;
+
+  for (std::size_t step = 0; step < opts.max_upgrades; ++step) {
+    if (!out.design.found_feasible) break;
+    // Pick the heaviest task whose tile is not yet fully upgraded.
+    const noc::Mapping& m = out.design.best.mapping;
+    std::size_t target_tile = out.platform.mesh.num_tiles();
+    double heaviest = -1.0;
+    for (std::size_t i = 0; i < app.graph.num_nodes(); ++i) {
+      const TileSpec& spec = out.platform.tiles[m[i]];
+      if (spec.type == TileType::kAsic) continue;
+      if (app.graph.node(i).compute_cycles > heaviest) {
+        heaviest = app.graph.node(i).compute_cycles;
+        target_tile = m[i];
+      }
+    }
+    if (target_tile >= out.platform.mesh.num_tiles()) break;
+
+    Platform candidate = out.platform;
+    candidate.tiles[target_tile] =
+        candidate.tiles[target_tile].type == TileType::kGpp ? asip_tile()
+                                                            : asic_tile();
+    sim::Rng probe = rng.fork();
+    ExploreResult trial = explore(app, candidate, probe, opts.explore);
+    const bool within_budget =
+        opts.cost_budget <= 0.0 ||
+        (trial.found_feasible &&
+         trial.best.eval.platform_cost <= opts.cost_budget);
+    const bool improves =
+        trial.found_feasible &&
+        trial.best.eval.total_energy_j < out.design.best.eval.total_energy_j;
+    if (!within_budget || !improves) break;
+
+    out.platform = std::move(candidate);
+    out.design = std::move(trial);
+    out.trace.push_back(SynthesisStep{
+        target_tile, out.platform.tiles[target_tile].type,
+        out.design.best.eval.total_energy_j,
+        out.design.best.eval.platform_cost});
+  }
+  return out;
+}
+
+}  // namespace holms::core

@@ -1,0 +1,70 @@
+#pragma once
+// Design-space exploration: "The overall goal of successful design is then
+// to find the best mapping of the target multimedia application onto the
+// architectural resources, while satisfying an imposed set of design
+// constraints ... and specified QoS metrics" (paper abstract).
+//
+// The explorer couples the node-centric knobs (mapping, DVS) into one search
+// and reports the best feasible design plus the energy/latency Pareto front.
+
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "sim/random.hpp"
+
+namespace holms::core {
+
+struct DesignCandidate {
+  noc::Mapping mapping;
+  bool use_dvs = true;
+  Evaluation eval;
+};
+
+struct ExploreOptions {
+  std::size_t restarts = 3;        // independent SA runs
+  noc::SaOptions sa{};
+  bool try_both_schedulers = true; // evaluate EDF and DVS variants
+};
+
+struct ExploreResult {
+  DesignCandidate best;            // minimum energy among feasible
+  std::vector<DesignCandidate> pareto;  // energy/makespan front
+  std::size_t evaluated = 0;
+  bool found_feasible = false;
+};
+
+/// Searches mappings (greedy seed + SA restarts + random probes) and
+/// scheduler choice for the minimum-energy feasible design.
+ExploreResult explore(const Application& app, const Platform& platform,
+                      sim::Rng& rng, const ExploreOptions& opts = {});
+
+/// Platform synthesis under a manufacturing-cost budget (§1): starting from
+/// an all-GPP mesh, greedily upgrade the tiles hosting the heaviest tasks
+/// to ASIP/ASIC classes while the budget holds and total energy improves —
+/// the "fixed processing resources (ASICs) and programmable resources"
+/// platform assembly the paper's introduction describes.
+struct SynthesisOptions {
+  double cost_budget = 0.0;          // 0 = unconstrained
+  std::size_t max_upgrades = 16;
+  ExploreOptions explore{};          // per-candidate mapping search
+};
+
+struct SynthesisStep {
+  std::size_t tile = 0;
+  TileType to = TileType::kGpp;
+  double energy_j = 0.0;
+  double cost = 0.0;
+};
+
+struct SynthesisResult {
+  Platform platform;
+  ExploreResult design;
+  std::vector<SynthesisStep> trace;
+  bool found_feasible = false;
+};
+
+SynthesisResult synthesize_platform(const Application& app, std::size_t width,
+                                    std::size_t height, sim::Rng& rng,
+                                    const SynthesisOptions& opts = {});
+
+}  // namespace holms::core

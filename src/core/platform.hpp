@@ -1,0 +1,62 @@
+#pragma once
+// Platform model of the holistic design methodology (paper §1/§2).
+//
+// "emerging design platforms consisting of hardware and software resources
+//  that can be shared across multiple multimedia applications ... consist of
+//  fixed processing resources (e.g. ASICs) and programmable resources (e.g.
+//  general-purpose or DSP processors)."
+//
+// A Platform is a 2D-mesh NoC of heterogeneous tiles; each tile has a
+// resource class that scales how fast (and how efficiently) it executes a
+// task's cycles, mirroring the GPP / DSP-ASIP / ASIC spectrum of §3.
+
+#include <string>
+#include <vector>
+
+#include "dvfs/dvfs.hpp"
+#include "noc/topology.hpp"
+
+namespace holms::core {
+
+enum class TileType { kGpp, kAsip, kAsic, kMemory };
+
+/// Efficiency of a resource class relative to a GPP executing the same task.
+/// `unit_cost` is a relative manufacturing/NRE-amortized cost (paper §1:
+/// "the designing and manufacturing costs are increasingly important") —
+/// ASICs buy efficiency with cost and design time, ASIPs sit in between.
+struct TileSpec {
+  TileType type = TileType::kGpp;
+  double speedup = 1.0;        // cycles shrink by this factor
+  double energy_factor = 1.0;  // energy per cycle relative to GPP
+  double unit_cost = 1.0;      // relative cost of instantiating this tile
+};
+
+inline TileSpec gpp_tile() { return {TileType::kGpp, 1.0, 1.0, 1.0}; }
+inline TileSpec asip_tile() { return {TileType::kAsip, 4.0, 0.45, 1.8}; }
+inline TileSpec asic_tile() { return {TileType::kAsic, 12.0, 0.12, 5.0}; }
+inline TileSpec memory_tile() { return {TileType::kMemory, 1.0, 0.3, 0.7}; }
+
+/// The complete architecture: mesh + per-tile resources + interconnect and
+/// DVFS characteristics.
+struct Platform {
+  noc::Mesh2D mesh{4, 4};
+  std::vector<TileSpec> tiles;            // size == mesh.num_tiles()
+  std::vector<dvfs::OperatingPoint> points = dvfs::xscale_points();
+  dvfs::PowerModel power{};
+  noc::EnergyModel noc_energy{};
+  double link_bandwidth_bps = 2e9;
+  double hop_latency_s = 5e-9;
+
+  /// Uniform platform helper: w x h mesh of identical tiles.
+  static Platform homogeneous(std::size_t w, std::size_t h,
+                              TileSpec spec = gpp_tile()) {
+    Platform p;
+    p.mesh = noc::Mesh2D(w, h);
+    p.tiles.assign(p.mesh.num_tiles(), spec);
+    return p;
+  }
+};
+
+std::string tile_type_name(TileType t);
+
+}  // namespace holms::core

@@ -1,0 +1,222 @@
+#include "manet/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace holms::manet {
+
+double distance(const Vec2& a, const Vec2& b) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Manet::Manet(const Params& p, sim::Rng rng) : p_(p), rng_(rng) {
+  if (p_.num_nodes < 2) throw std::invalid_argument("Manet: need >= 2 nodes");
+  nodes_.resize(p_.num_nodes);
+  drained_this_tick_.assign(p_.num_nodes, 0.0);
+  for (auto& n : nodes_) {
+    n.pos = {rng_.uniform(0.0, p_.field_m), rng_.uniform(0.0, p_.field_m)};
+    n.battery_j = p_.battery_j;
+    n.initial_battery_j = p_.battery_j;
+    pick_waypoint(n);
+  }
+}
+
+void Manet::pick_waypoint(ManetNode& n) {
+  n.waypoint = {rng_.uniform(0.0, p_.field_m), rng_.uniform(0.0, p_.field_m)};
+  n.speed_mps = rng_.uniform(p_.min_speed_mps, p_.max_speed_mps);
+}
+
+void Manet::move(double dt) {
+  for (auto& n : nodes_) {
+    if (!n.alive) continue;
+    double remaining = n.speed_mps * dt;
+    while (remaining > 0.0) {
+      const double d = distance(n.pos, n.waypoint);
+      if (d <= remaining) {
+        n.pos = n.waypoint;
+        remaining -= d;
+        pick_waypoint(n);
+      } else {
+        const double f = remaining / d;
+        n.pos.x += (n.waypoint.x - n.pos.x) * f;
+        n.pos.y += (n.waypoint.y - n.pos.y) * f;
+        remaining = 0.0;
+      }
+    }
+  }
+}
+
+bool Manet::connected(std::size_t i, std::size_t j) const {
+  if (i == j) return false;
+  if (!is_awake(i) || !is_awake(j)) return false;
+  return distance(nodes_[i].pos, nodes_[j].pos) <= p_.radio.range_m;
+}
+
+void Manet::set_asleep(std::size_t i, bool asleep) {
+  nodes_.at(i).asleep = asleep;
+}
+
+void Manet::charge_idle(double dt) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].alive) continue;
+    drain(i, (nodes_[i].asleep ? p_.sleep_w : p_.idle_listen_w) * dt);
+  }
+}
+
+double Manet::link_distance(std::size_t i, std::size_t j) const {
+  return distance(nodes_.at(i).pos, nodes_.at(j).pos);
+}
+
+void Manet::drain(std::size_t i, double joules) {
+  auto& n = nodes_.at(i);
+  if (!n.alive) return;
+  n.battery_j -= joules;
+  drained_this_tick_[i] += joules;
+  if (n.battery_j <= 0.0) {
+    n.battery_j = 0.0;
+    n.alive = false;
+  }
+}
+
+void Manet::charge_link(std::size_t i, std::size_t j, double bits) {
+  drain(i, p_.radio.tx_energy(bits, link_distance(i, j)));
+  drain(j, p_.radio.rx_energy(bits));
+}
+
+void Manet::charge_flood(double bits) {
+  // One local broadcast TX per alive node plus receives from each neighbor —
+  // approximated as one TX at full range plus an average-degree worth of RX.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!is_awake(i)) continue;
+    drain(i, p_.radio.tx_energy(bits, p_.radio.range_m));
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!is_awake(i)) continue;
+    std::size_t degree = 0;
+    for (std::size_t j = 0; j < nodes_.size(); ++j) {
+      if (connected(i, j)) ++degree;
+    }
+    drain(i, p_.radio.rx_energy(bits) * static_cast<double>(degree));
+  }
+}
+
+std::size_t Manet::alive_count() const {
+  std::size_t c = 0;
+  for (const auto& n : nodes_) c += n.alive ? 1 : 0;
+  return c;
+}
+
+double Manet::residual_fraction(std::size_t i) const {
+  const auto& n = nodes_.at(i);
+  return n.initial_battery_j > 0.0 ? n.battery_j / n.initial_battery_j : 0.0;
+}
+
+void Manet::tick_discharge(double dt) {
+  constexpr double kAlpha = 0.3;  // EWMA smoothing, as in LPR [32]
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const double rate = drained_this_tick_[i] / std::max(dt, 1e-9);
+    nodes_[i].discharge_ewma_w =
+        kAlpha * rate + (1.0 - kAlpha) * nodes_[i].discharge_ewma_w;
+    drained_this_tick_[i] = 0.0;
+  }
+}
+
+std::vector<std::size_t> dijkstra_path(
+    const Manet& net, std::size_t src, std::size_t dst,
+    const std::function<double(std::size_t, std::size_t)>& cost) {
+  const std::size_t n = net.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<std::size_t> prev(n, n);
+  using Item = std::pair<double, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[src] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!net.connected(u, v)) continue;
+      const double c = cost(u, v);
+      if (!(c > 0.0) || !std::isfinite(c)) continue;
+      if (dist[u] + c < dist[v]) {
+        dist[v] = dist[u] + c;
+        prev[v] = u;
+        pq.push({dist[v], v});
+      }
+    }
+  }
+  if (!std::isfinite(dist[dst])) return {};
+  std::vector<std::size_t> path;
+  for (std::size_t cur = dst; cur != n; cur = prev[cur]) {
+    path.push_back(cur);
+    if (cur == src) break;
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.empty() || path.front() != src) return {};
+  return path;
+}
+
+std::vector<std::size_t> widest_path(
+    const Manet& net, std::size_t src, std::size_t dst,
+    const std::function<double(std::size_t)>& width) {
+  const std::size_t n = net.size();
+  std::vector<double> best(n, -1.0);
+  std::vector<std::size_t> prev(n, n);
+  using Item = std::pair<double, std::size_t>;  // (bottleneck width, node)
+  std::priority_queue<Item> pq;                 // max-heap
+  best[src] = std::numeric_limits<double>::infinity();
+  pq.push({best[src], src});
+  while (!pq.empty()) {
+    const auto [w, u] = pq.top();
+    pq.pop();
+    if (w < best[u]) continue;
+    if (u == dst) break;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!net.connected(u, v)) continue;
+      const double bw = std::min(w, width(v));
+      if (bw > best[v]) {
+        best[v] = bw;
+        prev[v] = u;
+        pq.push({bw, v});
+      }
+    }
+  }
+  if (best[dst] < 0.0) return {};
+  std::vector<std::size_t> path;
+  for (std::size_t cur = dst; cur != n; cur = prev[cur]) {
+    path.push_back(cur);
+    if (cur == src) break;
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.empty() || path.front() != src) return {};
+  return path;
+}
+
+std::vector<std::size_t> maxmin_minhop_path(
+    const Manet& net, std::size_t src, std::size_t dst,
+    const std::function<double(std::size_t)>& width,
+    double bottleneck_slack) {
+  const auto wp = widest_path(net, src, dst, width);
+  if (wp.empty()) return {};
+  double bottleneck = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < wp.size(); ++i) {
+    bottleneck = std::min(bottleneck, width(wp[i]));
+  }
+  const double floor = bottleneck * bottleneck_slack;
+  // Min-hop Dijkstra over the subgraph of nodes meeting the bottleneck
+  // (endpoints always admitted).
+  return dijkstra_path(net, src, dst, [&](std::size_t, std::size_t v) {
+    if (v != dst && width(v) < floor) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return 1.0;
+  });
+}
+
+}  // namespace holms::manet

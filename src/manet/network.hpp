@@ -1,0 +1,148 @@
+#pragma once
+// Mobile ad hoc network substrate (paper §4.2).
+//
+// "In MANETs, every multimedia host has to perform the functions of a
+//  router.  So if some hosts die early due to lack of energy, thereby
+//  causing the network to become fragmented, then it may not be possible for
+//  other hosts in the network to communicate with each other."
+//
+// Nodes carry batteries and move by random waypoint; the radio is the
+// standard first-order model (electronics + d^alpha amplifier).  Routing
+// protocols are layered on top in routing.hpp.
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace holms::manet {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Vec2& a, const Vec2& b);
+
+/// First-order radio energy model (per bit).
+struct RadioModel {
+  double elec_nj_per_bit = 50.0;    // TX/RX electronics
+  double amp_pj_per_bit_m2 = 100.0; // amplifier, * d^2
+  double range_m = 120.0;           // maximum usable link distance
+
+  /// Energy to transmit `bits` over distance `d` (joules).
+  double tx_energy(double bits, double d) const {
+    return bits * (elec_nj_per_bit * 1e-9 +
+                   amp_pj_per_bit_m2 * 1e-12 * d * d);
+  }
+  /// Energy to receive `bits` (joules).
+  double rx_energy(double bits) const {
+    return bits * elec_nj_per_bit * 1e-9;
+  }
+};
+
+struct ManetNode {
+  Vec2 pos{};
+  Vec2 waypoint{};
+  double speed_mps = 1.0;
+  double battery_j = 50.0;
+  double initial_battery_j = 50.0;
+  double discharge_ewma_w = 0.0;  // smoothed drain rate (for LPR)
+  bool alive = true;
+  bool asleep = false;  // radio off: no routing, near-zero idle drain
+};
+
+/// The network state: nodes + mobility + energy accounting.
+class Manet {
+ public:
+  struct Params {
+    std::size_t num_nodes = 40;
+    double field_m = 500.0;          // square field side
+    double battery_j = 30.0;
+    double min_speed_mps = 0.5;
+    double max_speed_mps = 2.0;
+    RadioModel radio{};
+    // Idle-listening drain of an awake radio vs a sleeping one: the energy
+    // the second category of §4.2 protocols ("allowing a subset of nodes to
+    // sleep") exists to save.
+    double idle_listen_w = 0.0005;
+    double sleep_w = 5e-6;
+  };
+
+  Manet(const Params& p, sim::Rng rng);
+
+  std::size_t size() const { return nodes_.size(); }
+  const ManetNode& node(std::size_t i) const { return nodes_.at(i); }
+  const Params& params() const { return p_; }
+
+  /// Advances mobility by dt seconds (random waypoint).
+  void move(double dt);
+
+  /// True if i and j are alive and within radio range.
+  bool connected(std::size_t i, std::size_t j) const;
+  double link_distance(std::size_t i, std::size_t j) const;
+
+  /// Charges transmit/receive energy for sending `bits` over link i->j
+  /// (both endpoints pay).  Updates discharge EWMAs and kills drained nodes.
+  void charge_link(std::size_t i, std::size_t j, double bits);
+
+  /// Charges every awake node one local broadcast (route discovery flood);
+  /// sleeping radios neither transmit nor overhear.
+  void charge_flood(double bits);
+
+  /// Charges idle-listening (awake) or sleep-mode drain for dt seconds.
+  void charge_idle(double dt);
+
+  /// Radio sleep control; sleeping nodes are excluded from connectivity.
+  void set_asleep(std::size_t i, bool asleep);
+  bool is_awake(std::size_t i) const {
+    const auto& n = nodes_.at(i);
+    return n.alive && !n.asleep;
+  }
+
+  std::size_t alive_count() const;
+  double residual_fraction(std::size_t i) const;
+
+  /// Periodic EWMA update of discharge rates (call once per simulated
+  /// second with the per-node energy drained in that interval).
+  void tick_discharge(double dt);
+
+  /// Direct battery access for tests and failure injection.
+  void drain(std::size_t i, double joules);
+
+ private:
+  Params p_;
+  std::vector<ManetNode> nodes_;
+  std::vector<double> drained_this_tick_;
+  sim::Rng rng_;
+
+  void pick_waypoint(ManetNode& n);
+};
+
+/// Generic Dijkstra over alive nodes with a caller-supplied link cost.
+/// Returns the node sequence src..dst, or empty if unreachable.
+/// cost(i, j) must be > 0 for usable links, +inf for unusable.
+std::vector<std::size_t> dijkstra_path(
+    const Manet& net, std::size_t src, std::size_t dst,
+    const std::function<double(std::size_t, std::size_t)>& cost);
+
+/// Widest-path (max-min) Dijkstra: maximizes the minimum node `width` along
+/// the path (excluding the source) — the route selection of max-min battery
+/// and lifetime-prediction protocols.
+std::vector<std::size_t> widest_path(
+    const Manet& net, std::size_t src, std::size_t dst,
+    const std::function<double(std::size_t)>& width);
+
+/// Max-min with a hop-count tie-break: first finds the best achievable
+/// bottleneck width, then the minimum-hop path whose intermediate nodes all
+/// meet (almost) that bottleneck.  This is the practical form of MMBCR/LPR
+/// route selection — pure widest-path tie-breaks arbitrarily and can wander
+/// across the whole network, wasting the very energy it tries to preserve.
+std::vector<std::size_t> maxmin_minhop_path(
+    const Manet& net, std::size_t src, std::size_t dst,
+    const std::function<double(std::size_t)>& width,
+    double bottleneck_slack = 0.999);
+
+}  // namespace holms::manet

@@ -1,0 +1,216 @@
+#include "manet/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/stats.hpp"
+
+namespace holms::manet {
+
+std::string protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kMinPower: return "min-power (MPR)";
+    case Protocol::kBatteryCost: return "battery-cost (BCLAR)";
+    case Protocol::kLifetimePrediction: return "lifetime-prediction (LPR)";
+    case Protocol::kGafSleep: return "sleep-scheduling (GAF)";
+  }
+  return "?";
+}
+
+std::size_t gaf_elect_leaders(Manet& net,
+                              const std::vector<std::size_t>& keep_awake) {
+  const double cell =
+      net.params().radio.range_m / std::sqrt(5.0);
+  const auto cells_per_row = static_cast<std::size_t>(
+      net.params().field_m / cell) + 1;
+  // cell id -> current leader candidate.
+  std::vector<std::size_t> leader(cells_per_row * cells_per_row, net.size());
+  auto cell_of = [&](std::size_t i) {
+    const auto& n = net.node(i);
+    const auto cx = static_cast<std::size_t>(n.pos.x / cell);
+    const auto cy = static_cast<std::size_t>(n.pos.y / cell);
+    return cy * cells_per_row + cx;
+  };
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (!net.node(i).alive) continue;
+    const std::size_t c = cell_of(i);
+    if (leader[c] == net.size() ||
+        net.node(i).battery_j > net.node(leader[c]).battery_j) {
+      leader[c] = i;
+    }
+  }
+  std::size_t awake = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (!net.node(i).alive) continue;
+    const bool endpoint = std::find(keep_awake.begin(), keep_awake.end(),
+                                    i) != keep_awake.end();
+    const bool is_leader = leader[cell_of(i)] == i;
+    net.set_asleep(i, !(is_leader || endpoint));
+    if (!net.node(i).asleep) ++awake;
+  }
+  return awake;
+}
+
+std::vector<std::size_t> find_route(const Manet& net, Protocol p,
+                                    std::size_t src, std::size_t dst,
+                                    double packet_bits) {
+  const RadioModel& radio = net.params().radio;
+  switch (p) {
+    case Protocol::kGafSleep:
+      // Sleeping nodes are already excluded by Manet::connected; among the
+      // awake leaders, route for minimum power.
+      [[fallthrough]];
+    case Protocol::kMinPower:
+      // Link cost = energy to push one packet across the link.
+      return dijkstra_path(net, src, dst, [&](std::size_t i, std::size_t j) {
+        return radio.tx_energy(packet_bits, net.link_distance(i, j)) +
+               radio.rx_energy(packet_bits);
+      });
+    case Protocol::kBatteryCost: {
+      // Toh's CMMBCR: while every node on the minimum-power route still has
+      // comfortable charge, use that route (no energy waste); once any relay
+      // falls below the threshold, switch to max-min-residual routing with a
+      // hop-count tie-break (MMBCR) to protect the weak nodes.
+      constexpr double kGamma = 0.4;
+      const auto min_power =
+          find_route(net, Protocol::kMinPower, src, dst, packet_bits);
+      bool healthy = !min_power.empty();
+      for (std::size_t i = 1; healthy && i + 1 < min_power.size(); ++i) {
+        healthy = net.residual_fraction(min_power[i]) >= kGamma;
+      }
+      if (healthy) return min_power;
+      return maxmin_minhop_path(net, src, dst, [&](std::size_t i) {
+        return net.residual_fraction(i);
+      });
+    }
+    case Protocol::kLifetimePrediction: {
+      // LPR: max-min predicted lifetime T_i = residual / EWMA(discharge
+      // rate), with a min-hop tie-break so cold-start ties (rate ~ 0 for
+      // everyone) degrade to shortest-path instead of arbitrary wandering.
+      return maxmin_minhop_path(net, src, dst, [&](std::size_t i) {
+        const auto& n = net.node(i);
+        const double rate = std::max(n.discharge_ewma_w, 1e-6);
+        return n.battery_j / rate;
+      });
+    }
+  }
+  return {};
+}
+
+LifetimeResult simulate_lifetime(Protocol p, const Manet::Params& params,
+                                 const LifetimeConfig& cfg,
+                                 std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Manet net(params, rng.fork());
+
+  // Persistent CBR flows between distinct random endpoints (paired across
+  // protocols because the rng draws happen in a fixed order).
+  struct FlowPair {
+    std::size_t src, dst;
+    std::vector<std::size_t> route;
+  };
+  std::vector<FlowPair> flows;
+  for (std::size_t f = 0; f < cfg.num_flows; ++f) {
+    std::size_t a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(net.size()) - 1));
+    std::size_t b = a;
+    while (b == a) {
+      b = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(net.size()) - 1));
+    }
+    flows.push_back({a, b, {}});
+  }
+
+  LifetimeResult res;
+  const std::size_t death_threshold = static_cast<std::size_t>(
+      std::ceil(cfg.dead_fraction * static_cast<double>(net.size())));
+  double t = 0.0;
+  double next_refresh = 0.0;
+  const double packets_per_tick = cfg.packets_per_second * cfg.tick_s;
+
+  while (t < cfg.max_time_s) {
+    if (cfg.mobile) net.move(cfg.tick_s);
+
+    // Idle-listening / sleep drain accrues every tick.
+    net.charge_idle(cfg.tick_s);
+
+    // Periodic route discovery: a flood per refresh interval (shared by all
+    // flows, as a proactive table-driven protocol would batch it).
+    const bool refresh = t >= next_refresh;
+    if (refresh) {
+      next_refresh = t + cfg.route_refresh_s;
+      ++res.route_discoveries;
+      if (p == Protocol::kGafSleep) {
+        std::vector<std::size_t> endpoints;
+        for (const auto& f : flows) {
+          endpoints.push_back(f.src);
+          endpoints.push_back(f.dst);
+        }
+        gaf_elect_leaders(net, endpoints);
+      }
+      const double before = [&] {
+        double b = 0.0;
+        for (std::size_t i = 0; i < net.size(); ++i) b += net.node(i).battery_j;
+        return b;
+      }();
+      net.charge_flood(cfg.control_packet_bits);
+      double after = 0.0;
+      for (std::size_t i = 0; i < net.size(); ++i) after += net.node(i).battery_j;
+      res.control_energy_j += before - after;
+      for (auto& f : flows) {
+        f.route = find_route(net, p, f.src, f.dst, cfg.packet_bits);
+      }
+    }
+
+    // Deliver this tick's packets along cached routes.
+    for (auto& f : flows) {
+      if (!net.node(f.src).alive || !net.node(f.dst).alive) continue;
+      for (double k = 0.0; k < packets_per_tick; k += 1.0) {
+        ++res.packets_sent;
+        // Validate the cached route (mobility or deaths may break it).
+        bool ok = f.route.size() >= 2;
+        for (std::size_t h = 0; ok && h + 1 < f.route.size(); ++h) {
+          ok = net.connected(f.route[h], f.route[h + 1]);
+        }
+        if (!ok) {
+          // On-demand repair: one more discovery flood.
+          ++res.route_discoveries;
+          net.charge_flood(cfg.control_packet_bits);
+          res.control_energy_j +=
+              cfg.control_packet_bits * 1e-9 * 50.0 *
+              static_cast<double>(net.alive_count());  // approx accounting
+          f.route = find_route(net, p, f.src, f.dst, cfg.packet_bits);
+          if (f.route.size() < 2) continue;  // unreachable this tick
+        }
+        for (std::size_t h = 0; h + 1 < f.route.size(); ++h) {
+          net.charge_link(f.route[h], f.route[h + 1], cfg.packet_bits);
+        }
+        ++res.packets_delivered;
+      }
+    }
+
+    net.tick_discharge(cfg.tick_s);
+    t += cfg.tick_s;
+
+    const std::size_t dead = net.size() - net.alive_count();
+    if (dead > 0 && res.first_death_s == 0.0) res.first_death_s = t;
+    if (dead >= death_threshold) break;
+  }
+
+  res.lifetime_s = t;
+  if (res.first_death_s == 0.0) res.first_death_s = t;
+  res.delivery_ratio =
+      res.packets_sent
+          ? static_cast<double>(res.packets_delivered) /
+                static_cast<double>(res.packets_sent)
+          : 0.0;
+  sim::OnlineStats residual;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    residual.add(net.residual_fraction(i));
+  }
+  res.mean_residual_at_end = residual.mean();
+  res.residual_stddev_at_end = residual.stddev();
+  return res;
+}
+
+}  // namespace holms::manet

@@ -1,0 +1,345 @@
+#include "markov/chain.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace holms::markov {
+namespace {
+
+void normalize(std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  if (sum <= 0.0) throw std::runtime_error("distribution has zero mass");
+  for (double& x : v) x /= sum;
+}
+
+double l1_delta(std::span<const double> a, std::span<const double> b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d;
+}
+
+// Solves pi * A = 0 with sum(pi) = 1 by replacing the last column with the
+// normalization constraint and doing Gaussian elimination with partial
+// pivoting on the transposed system A^T x = e_n.
+std::vector<double> solve_direct(const Matrix& a) {
+  const std::size_t n = a.rows();
+  // Build M = A^T with last row replaced by ones; rhs = e_{n-1}.
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m.at(i, j) = a.at(j, i);
+  for (std::size_t j = 0; j < n; ++j) m.at(n - 1, j) = 1.0;
+  std::vector<double> rhs(n, 0.0);
+  rhs[n - 1] = 1.0;
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(m.at(perm[col], col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(m.at(perm[r], col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("singular chain matrix");
+    std::swap(perm[col], perm[pivot]);
+    const double diag = m.at(perm[col], col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = m.at(perm[r], col) / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c)
+        m.at(perm[r], c) -= factor * m.at(perm[col], c);
+      rhs[perm[r]] -= factor * rhs[perm[col]];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = rhs[perm[i]];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= m.at(perm[i], c) * x[c];
+    x[i] = acc / m.at(perm[i], i);
+  }
+  // Clamp tiny negatives from roundoff.
+  for (double& v : x) v = std::max(v, 0.0);
+  normalize(x);
+  return x;
+}
+
+}  // namespace
+
+void Dtmc::set(std::size_t from, std::size_t to, double prob) {
+  assert(prob >= 0.0 && prob <= 1.0 + 1e-12);
+  p_.at(from, to) = prob;
+}
+
+bool Dtmc::is_stochastic(double tol) const {
+  for (std::size_t r = 0; r < size(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < size(); ++c) {
+      if (p_.at(r, c) < -tol) return false;
+      sum += p_.at(r, c);
+    }
+    if (std::abs(sum - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+SolveResult Dtmc::steady_state(const SolveOptions& opts) const {
+  const std::size_t n = size();
+  if (n == 0) return {};
+  SolveResult res;
+
+  if (opts.method == SteadyStateMethod::kDirectLU) {
+    // pi (P - I) = 0.
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        a.at(r, c) = p_.at(r, c) - (r == c ? 1.0 : 0.0);
+    res.distribution = solve_direct(a);
+    res.converged = true;
+    return res;
+  }
+
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    if (opts.method == SteadyStateMethod::kPowerIteration) {
+      std::fill(next.begin(), next.end(), 0.0);
+      for (std::size_t r = 0; r < n; ++r) {
+        const double pr = pi[r];
+        if (pr == 0.0) continue;
+        for (std::size_t c = 0; c < n; ++c) next[c] += pr * p_.at(r, c);
+      }
+    } else {  // Gauss–Seidel on pi = pi P, updating in place column by column.
+      next = pi;
+      for (std::size_t c = 0; c < n; ++c) {
+        double acc = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+          if (r == c) continue;
+          acc += next[r] * p_.at(r, c);
+        }
+        const double self = p_.at(c, c);
+        next[c] = self < 1.0 ? acc / (1.0 - self) : acc;
+      }
+      normalize(next);
+    }
+    const double delta = l1_delta(pi, next);
+    pi.swap(next);
+    res.iterations = it + 1;
+    if (delta < opts.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  normalize(pi);
+  res.distribution = std::move(pi);
+  return res;
+}
+
+std::vector<double> Dtmc::transient(std::span<const double> initial,
+                                    std::size_t steps) const {
+  const std::size_t n = size();
+  assert(initial.size() == n);
+  std::vector<double> pi(initial.begin(), initial.end());
+  std::vector<double> next(n, 0.0);
+  for (std::size_t s = 0; s < steps; ++s) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double pr = pi[r];
+      if (pr == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) next[c] += pr * p_.at(r, c);
+    }
+    pi.swap(next);
+  }
+  return pi;
+}
+
+void Ctmc::set_rate(std::size_t from, std::size_t to, double rate) {
+  assert(from != to && "diagonal is derived, set only off-diagonal rates");
+  assert(rate >= 0.0);
+  q_.at(from, to) = rate;
+}
+
+double Ctmc::exit_rate(std::size_t s) const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < size(); ++c)
+    if (c != s) sum += q_.at(s, c);
+  return sum;
+}
+
+Dtmc Ctmc::uniformized(double* lambda_out) const {
+  const std::size_t n = size();
+  double lambda = 0.0;
+  for (std::size_t s = 0; s < n; ++s) lambda = std::max(lambda, exit_rate(s));
+  // Slightly inflate so diagonal entries stay strictly positive, which makes
+  // the uniformized chain aperiodic.
+  lambda = lambda * 1.02 + 1e-12;
+  if (lambda_out) *lambda_out = lambda;
+  Dtmc d(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double off = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c == r) continue;
+      const double p = q_.at(r, c) / lambda;
+      d.set(r, c, p);
+      off += p;
+    }
+    d.set(r, r, 1.0 - off);
+  }
+  return d;
+}
+
+SolveResult Ctmc::steady_state(const SolveOptions& opts) const {
+  if (opts.method == SteadyStateMethod::kDirectLU) {
+    const std::size_t n = size();
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c)
+        if (c != r) a.at(r, c) = q_.at(r, c);
+      a.at(r, r) = -exit_rate(r);
+    }
+    SolveResult res;
+    res.distribution = solve_direct(a);
+    res.converged = true;
+    return res;
+  }
+  // Iterative methods work on the uniformized DTMC, which shares the CTMC's
+  // stationary distribution.
+  return uniformized().steady_state(opts);
+}
+
+std::vector<double> Ctmc::transient(std::span<const double> initial, double t,
+                                    double truncation_eps) const {
+  const std::size_t n = size();
+  assert(initial.size() == n);
+  if (t <= 0.0) return std::vector<double>(initial.begin(), initial.end());
+  double lambda = 0.0;
+  const Dtmc p = uniformized(&lambda);
+  // Uniformization: pi(t) = sum_k Poisson(lambda t; k) * pi0 P^k.
+  std::vector<double> term(initial.begin(), initial.end());
+  std::vector<double> result(n, 0.0);
+  const double lt = lambda * t;
+  double log_poisson = -lt;  // log of Poisson pmf at k = 0
+  double cumulative = 0.0;
+  // Cap iterations generously: mean + 10 sigma.
+  const std::size_t kmax =
+      static_cast<std::size_t>(lt + 10.0 * std::sqrt(lt) + 50.0);
+  for (std::size_t k = 0; k <= kmax; ++k) {
+    const double w = std::exp(log_poisson);
+    for (std::size_t i = 0; i < n; ++i) result[i] += w * term[i];
+    cumulative += w;
+    if (1.0 - cumulative < truncation_eps) break;
+    term = p.transient(term, 1);
+    log_poisson += std::log(lt) - std::log(static_cast<double>(k + 1));
+  }
+  normalize(result);
+  return result;
+}
+
+double expected_reward(std::span<const double> pi,
+                       const std::function<double(std::size_t)>& reward) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) acc += pi[i] * reward(i);
+  return acc;
+}
+
+namespace {
+
+// Solves A x = b by Gaussian elimination with partial pivoting (A is
+// overwritten-copied internally; small dense systems only).
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a.at(perm[col], col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a.at(perm[r], col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      throw std::runtime_error("absorbing_analysis: singular system "
+                               "(absorption unreachable from some state)");
+    }
+    std::swap(perm[col], perm[pivot]);
+    const double diag = a.at(perm[col], col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(perm[r], col) / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) {
+        a.at(perm[r], c) -= factor * a.at(perm[col], c);
+      }
+      b[perm[r]] -= factor * b[perm[col]];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[perm[i]];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a.at(perm[i], c) * x[c];
+    x[i] = acc / a.at(perm[i], i);
+  }
+  return x;
+}
+
+}  // namespace
+
+AbsorbingResult absorbing_analysis(const Dtmc& chain,
+                                   const std::vector<bool>& absorbing) {
+  const std::size_t n = chain.size();
+  if (absorbing.size() != n) {
+    throw std::invalid_argument("absorbing_analysis: flag size mismatch");
+  }
+  AbsorbingResult res;
+  std::vector<std::size_t> transient;
+  for (std::size_t i = 0; i < n; ++i) {
+    (absorbing[i] ? res.absorbing_states : transient).push_back(i);
+  }
+  if (res.absorbing_states.empty()) {
+    throw std::invalid_argument("absorbing_analysis: no absorbing state");
+  }
+  const std::size_t t = transient.size();
+  const std::size_t a = res.absorbing_states.size();
+  res.expected_steps.assign(n, 0.0);
+  res.absorption_probability = Matrix(n, a);
+  for (std::size_t k = 0; k < a; ++k) {
+    res.absorption_probability.at(res.absorbing_states[k], k) = 1.0;
+  }
+  if (t == 0) return res;
+
+  // (I - Q) over the transient states.
+  Matrix iq(t, t);
+  for (std::size_t r = 0; r < t; ++r) {
+    for (std::size_t c = 0; c < t; ++c) {
+      iq.at(r, c) = (r == c ? 1.0 : 0.0) -
+                    chain.get(transient[r], transient[c]);
+    }
+  }
+  // Expected steps: (I - Q) tvec = 1.
+  const std::vector<double> steps = solve_linear(iq, std::vector<double>(t, 1.0));
+  for (std::size_t r = 0; r < t; ++r) {
+    res.expected_steps[transient[r]] = steps[r];
+  }
+  // Absorption probabilities: (I - Q) B_col = R_col for each absorbing k.
+  for (std::size_t k = 0; k < a; ++k) {
+    std::vector<double> rhs(t, 0.0);
+    for (std::size_t r = 0; r < t; ++r) {
+      rhs[r] = chain.get(transient[r], res.absorbing_states[k]);
+    }
+    const std::vector<double> col = solve_linear(iq, std::move(rhs));
+    for (std::size_t r = 0; r < t; ++r) {
+      res.absorption_probability.at(transient[r], k) = col[r];
+    }
+  }
+  return res;
+}
+
+}  // namespace holms::markov

@@ -1,0 +1,111 @@
+#include "markov/jackson.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace holms::markov {
+
+JacksonNetwork::JacksonNetwork(std::vector<JacksonStation> stations)
+    : stations_(std::move(stations)),
+      routing_(stations_.size(), stations_.size()) {
+  if (stations_.empty()) {
+    throw std::invalid_argument("JacksonNetwork: need >= 1 station");
+  }
+  for (const auto& s : stations_) {
+    if (!(s.service_rate > 0.0) || s.external_arrivals < 0.0) {
+      throw std::invalid_argument("JacksonNetwork: invalid station");
+    }
+  }
+}
+
+void JacksonNetwork::set_routing(std::size_t from, std::size_t to,
+                                 double prob) {
+  if (from >= size() || to >= size() || !(prob >= 0.0 && prob <= 1.0)) {
+    throw std::invalid_argument("JacksonNetwork::set_routing: bad args");
+  }
+  routing_.at(from, to) = prob;
+}
+
+double JacksonNetwork::routing(std::size_t from, std::size_t to) const {
+  return routing_.at(from, to);
+}
+
+JacksonSolution JacksonNetwork::solve() const {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row += routing_.at(i, j);
+    if (row > 1.0 + 1e-12) {
+      throw std::invalid_argument(
+          "JacksonNetwork: routing row exceeds probability 1");
+    }
+  }
+
+  // Traffic equations: lambda (I - R^T) = lambda0  (solved by fixed-point
+  // iteration; the spectral radius of a substochastic R is < 1 whenever
+  // every job eventually leaves, so this converges geometrically).
+  JacksonSolution sol;
+  std::vector<double> lambda(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lambda[i] = stations_[i].external_arrivals;
+  }
+  std::vector<double> next(n, 0.0);
+  double delta = 1.0;
+  for (int iter = 0; iter < 100000 && delta > 1e-14; ++iter) {
+    for (std::size_t j = 0; j < n; ++j) {
+      next[j] = stations_[j].external_arrivals;
+      for (std::size_t i = 0; i < n; ++i) {
+        next[j] += lambda[i] * routing_.at(i, j);
+      }
+    }
+    delta = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      delta += std::abs(next[j] - lambda[j]);
+    }
+    lambda.swap(next);
+    if (iter == 99999) {
+      throw std::runtime_error(
+          "JacksonNetwork: traffic equations did not converge "
+          "(jobs trapped in a closed cycle?)");
+    }
+  }
+  sol.effective_arrival_rate = lambda;
+
+  double external = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    external += stations_[i].external_arrivals;
+    if (lambda[i] >= stations_[i].service_rate) {
+      sol.stable = false;
+      sol.station.push_back(QueueMetrics{});
+      continue;
+    }
+    QueueMetrics m = lambda[i] > 0.0
+                         ? mm1(lambda[i], stations_[i].service_rate)
+                         : QueueMetrics{};
+    sol.total_jobs += m.mean_queue_length;
+    sol.station.push_back(m);
+  }
+  sol.throughput = external;
+  sol.mean_sojourn_time =
+      sol.stable && external > 0.0 ? sol.total_jobs / external : 0.0;
+  return sol;
+}
+
+JacksonNetwork tandem_network(const std::vector<double>& service_rates,
+                              double arrival_rate) {
+  std::vector<JacksonStation> stations;
+  stations.reserve(service_rates.size());
+  for (std::size_t i = 0; i < service_rates.size(); ++i) {
+    JacksonStation s;
+    s.service_rate = service_rates[i];
+    s.external_arrivals = i == 0 ? arrival_rate : 0.0;
+    stations.push_back(s);
+  }
+  JacksonNetwork net(std::move(stations));
+  for (std::size_t i = 0; i + 1 < service_rates.size(); ++i) {
+    net.set_routing(i, i + 1, 1.0);
+  }
+  return net;
+}
+
+}  // namespace holms::markov

@@ -1,0 +1,125 @@
+#include "markov/queueing.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace holms::markov {
+
+QueueMetrics mm1(double lambda, double mu) {
+  if (!(lambda >= 0.0) || !(mu > 0.0)) {
+    throw std::invalid_argument("mm1: need lambda >= 0, mu > 0");
+  }
+  if (lambda >= mu) throw std::invalid_argument("mm1: unstable (rho >= 1)");
+  const double rho = lambda / mu;
+  QueueMetrics m;
+  m.utilization = rho;
+  m.mean_queue_length = rho / (1.0 - rho);
+  m.mean_waiting_time = lambda > 0.0 ? m.mean_queue_length / lambda : 1.0 / mu;
+  m.throughput = lambda;
+  m.blocking_probability = 0.0;
+  return m;
+}
+
+std::vector<double> mm1k_distribution(double lambda, double mu,
+                                      std::size_t k) {
+  if (!(lambda >= 0.0) || !(mu > 0.0) || k == 0) {
+    throw std::invalid_argument("mm1k: need lambda >= 0, mu > 0, k >= 1");
+  }
+  const double rho = lambda / mu;
+  std::vector<double> pi(k + 1);
+  if (std::abs(rho - 1.0) < 1e-12) {
+    const double p = 1.0 / static_cast<double>(k + 1);
+    for (double& x : pi) x = p;
+    return pi;
+  }
+  const double p0 =
+      (1.0 - rho) / (1.0 - std::pow(rho, static_cast<double>(k + 1)));
+  double acc = p0;
+  pi[0] = p0;
+  for (std::size_t n = 1; n <= k; ++n) {
+    acc *= rho;
+    pi[n] = acc;
+  }
+  return pi;
+}
+
+QueueMetrics mm1k(double lambda, double mu, std::size_t k) {
+  const std::vector<double> pi = mm1k_distribution(lambda, mu, k);
+  QueueMetrics m;
+  m.blocking_probability = pi.back();
+  m.utilization = 1.0 - pi.front();
+  for (std::size_t n = 0; n < pi.size(); ++n)
+    m.mean_queue_length += static_cast<double>(n) * pi[n];
+  const double lambda_eff = lambda * (1.0 - m.blocking_probability);
+  m.throughput = lambda_eff;
+  m.mean_waiting_time =
+      lambda_eff > 0.0 ? m.mean_queue_length / lambda_eff : 0.0;
+  return m;
+}
+
+QueueMetrics md1(double lambda, double service_time) {
+  if (!(lambda >= 0.0) || !(service_time > 0.0)) {
+    throw std::invalid_argument("md1: need lambda >= 0, service_time > 0");
+  }
+  const double rho = lambda * service_time;
+  if (rho >= 1.0) throw std::invalid_argument("md1: unstable (rho >= 1)");
+  QueueMetrics m;
+  m.utilization = rho;
+  // Pollaczek–Khinchine for M/G/1 with Var(S) = 0:
+  // Lq = rho^2 / (2 (1 - rho)); L = Lq + rho.
+  m.mean_queue_length = rho + rho * rho / (2.0 * (1.0 - rho));
+  m.mean_waiting_time = lambda > 0.0 ? m.mean_queue_length / lambda
+                                     : service_time;
+  m.throughput = lambda;
+  return m;
+}
+
+std::vector<double> birth_death_steady_state(std::span<const double> birth,
+                                             std::span<const double> death) {
+  const std::size_t n = birth.size();
+  if (n == 0 || death.size() != n) {
+    throw std::invalid_argument("birth_death: need equal non-empty vectors");
+  }
+  // pi_{i+1} = pi_i * birth_i / death_{i+1}; accumulate in log-free form with
+  // running normalization to avoid overflow on long chains.
+  std::vector<double> pi(n, 0.0);
+  pi[0] = 1.0;
+  double sum = 1.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (!(death[i + 1] > 0.0)) {
+      throw std::invalid_argument("birth_death: death rate must be > 0");
+    }
+    pi[i + 1] = pi[i] * birth[i] / death[i + 1];
+    sum += pi[i + 1];
+  }
+  for (double& x : pi) x /= sum;
+  return pi;
+}
+
+Ctmc ProducerConsumerModel::to_ctmc() const {
+  assert(buffer_capacity >= 1);
+  const std::size_t n = buffer_capacity + 1;
+  Ctmc c(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (s < buffer_capacity) c.set_rate(s, s + 1, producer_rate);
+    if (s > 0) c.set_rate(s, s - 1, consumer_rate);
+  }
+  return c;
+}
+
+ProducerConsumerModel::Result ProducerConsumerModel::analyze(
+    const SolveOptions& opts) const {
+  const SolveResult ss = to_ctmc().steady_state(opts);
+  Result r;
+  r.occupancy_distribution = ss.distribution;
+  for (std::size_t s = 0; s < r.occupancy_distribution.size(); ++s)
+    r.mean_occupancy +=
+        static_cast<double>(s) * r.occupancy_distribution[s];
+  r.producer_blocked = r.occupancy_distribution.back();
+  r.consumer_idle = r.occupancy_distribution.front();
+  r.throughput = consumer_rate * (1.0 - r.consumer_idle);
+  return r;
+}
+
+}  // namespace holms::markov

@@ -1,0 +1,302 @@
+#include "noc/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace holms::noc {
+namespace {
+
+// Directed link index: 4 outgoing links per tile (N,S,E,W).
+std::size_t link_index(const Mesh2D& mesh, TileId from, Dir d) {
+  return from * 4 + (static_cast<std::size_t>(d) - 1);
+  (void)mesh;
+}
+
+double penalized_cost(const AppGraph& g, const Mesh2D& mesh,
+                      const EnergyModel& energy, const Mapping& m,
+                      const SaOptions& opts) {
+  const MappingEval ev =
+      evaluate_mapping(g, mesh, energy, m, opts.link_capacity_bps);
+  double cost = ev.comm_energy_j;
+  if (opts.link_capacity_bps > 0.0 &&
+      ev.max_link_load_bps > opts.link_capacity_bps) {
+    const double overload = ev.max_link_load_bps / opts.link_capacity_bps;
+    cost *= 1.0 + opts.infeasibility_penalty * (overload - 1.0);
+  }
+  return cost;
+}
+
+}  // namespace
+
+MappingEval evaluate_mapping(const AppGraph& g, const Mesh2D& mesh,
+                             const EnergyModel& energy, const Mapping& m,
+                             double link_capacity_bps) {
+  if (m.size() != g.num_nodes()) {
+    throw std::invalid_argument("evaluate_mapping: mapping size mismatch");
+  }
+  MappingEval ev;
+  std::vector<double> link_load(mesh.num_tiles() * 4, 0.0);
+  double vol = 0.0, vol_hops = 0.0;
+  for (const auto& e : g.edges()) {
+    const TileId src = m[e.src], dst = m[e.dst];
+    const std::size_t h = mesh.hops(src, dst);
+    ev.comm_energy_j += energy.transfer_energy(e.volume_bits, h);
+    vol += e.volume_bits;
+    vol_hops += e.volume_bits * static_cast<double>(h);
+    const double bw = e.bandwidth_bps > 0.0 ? e.bandwidth_bps : e.volume_bits;
+    TileId cur = src;
+    while (cur != dst) {
+      const Dir d = mesh.xy_next(cur, dst);
+      link_load[link_index(mesh, cur, d)] += bw;
+      cur = mesh.neighbor(cur, d);
+    }
+  }
+  ev.volume_weighted_hops = vol > 0.0 ? vol_hops / vol : 0.0;
+  ev.max_link_load_bps =
+      link_load.empty() ? 0.0
+                        : *std::max_element(link_load.begin(), link_load.end());
+  ev.bandwidth_feasible = link_capacity_bps <= 0.0 ||
+                          ev.max_link_load_bps <= link_capacity_bps;
+  return ev;
+}
+
+Mapping random_mapping(std::size_t num_cores, const Mesh2D& mesh,
+                       sim::Rng& rng) {
+  if (num_cores > mesh.num_tiles()) {
+    throw std::invalid_argument("random_mapping: more cores than tiles");
+  }
+  std::vector<TileId> tiles(mesh.num_tiles());
+  std::iota(tiles.begin(), tiles.end(), 0);
+  // Fisher–Yates using our Rng for reproducibility.
+  for (std::size_t i = tiles.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(tiles[i - 1], tiles[j]);
+  }
+  return Mapping(tiles.begin(), tiles.begin() + static_cast<long>(num_cores));
+}
+
+Mapping greedy_mapping(const AppGraph& g, const Mesh2D& mesh,
+                       const EnergyModel& energy) {
+  const std::size_t n = g.num_nodes();
+  if (n > mesh.num_tiles()) {
+    throw std::invalid_argument("greedy_mapping: more cores than tiles");
+  }
+  Mapping m(n, 0);
+  std::vector<bool> core_placed(n, false);
+  std::vector<bool> tile_used(mesh.num_tiles(), false);
+
+  // Seed: the highest-traffic core goes to the mesh center.
+  std::size_t seed = 0;
+  double best_traffic = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = g.node_traffic(i);
+    if (t > best_traffic) {
+      best_traffic = t;
+      seed = i;
+    }
+  }
+  const TileId center = mesh.tile_at(mesh.width() / 2, mesh.height() / 2);
+  m[seed] = center;
+  core_placed[seed] = true;
+  tile_used[center] = true;
+
+  for (std::size_t placed = 1; placed < n; ++placed) {
+    // Pick the unplaced core most connected to the placed set.
+    std::size_t next = n;
+    double best_conn = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (core_placed[i]) continue;
+      double conn = 0.0;
+      for (const auto& e : g.edges()) {
+        if (e.src == i && core_placed[e.dst]) conn += e.volume_bits;
+        if (e.dst == i && core_placed[e.src]) conn += e.volume_bits;
+      }
+      if (conn > best_conn) {
+        best_conn = conn;
+        next = i;
+      }
+    }
+    // Place it on the free tile minimizing incremental energy.
+    TileId best_tile = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (TileId t = 0; t < mesh.num_tiles(); ++t) {
+      if (tile_used[t]) continue;
+      double cost = 0.0;
+      for (const auto& e : g.edges()) {
+        if (e.src == next && core_placed[e.dst]) {
+          cost += energy.transfer_energy(e.volume_bits, mesh.hops(t, m[e.dst]));
+        }
+        if (e.dst == next && core_placed[e.src]) {
+          cost += energy.transfer_energy(e.volume_bits, mesh.hops(m[e.src], t));
+        }
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_tile = t;
+      }
+    }
+    m[next] = best_tile;
+    core_placed[next] = true;
+    tile_used[best_tile] = true;
+  }
+  return m;
+}
+
+Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
+                   const EnergyModel& energy, sim::Rng& rng,
+                   const SaOptions& opts) {
+  const std::size_t n = g.num_nodes();
+  // Start from the greedy solution; SA then escapes its local minimum.
+  Mapping m = greedy_mapping(g, mesh, energy);
+
+  // Tile -> core occupancy (n = empty marker).
+  std::vector<std::size_t> occupant(mesh.num_tiles(), n);
+  for (std::size_t c = 0; c < n; ++c) occupant[m[c]] = c;
+
+  double cost = penalized_cost(g, mesh, energy, m, opts);
+  double best_cost = cost;
+  Mapping best = m;
+  double temp = opts.initial_temperature * std::max(cost, 1e-12);
+
+  for (std::size_t it = 0; it < opts.iterations; ++it) {
+    // Swap the contents of two tiles (core<->core or core<->empty).
+    const TileId a = static_cast<TileId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(mesh.num_tiles()) - 1));
+    const TileId b = static_cast<TileId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(mesh.num_tiles()) - 1));
+    if (a == b || (occupant[a] == n && occupant[b] == n)) continue;
+    const std::size_t ca = occupant[a], cb = occupant[b];
+    if (ca != n) m[ca] = b;
+    if (cb != n) m[cb] = a;
+    std::swap(occupant[a], occupant[b]);
+
+    const double new_cost = penalized_cost(g, mesh, energy, m, opts);
+    const double delta = new_cost - cost;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+      cost = new_cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = m;
+      }
+    } else {
+      // Undo.
+      if (ca != n) m[ca] = a;
+      if (cb != n) m[cb] = b;
+      std::swap(occupant[a], occupant[b]);
+    }
+    temp *= opts.cooling;
+  }
+  return best;
+}
+
+namespace {
+
+struct BbState {
+  const AppGraph* graph = nullptr;
+  const Mesh2D* mesh = nullptr;
+  const EnergyModel* energy = nullptr;
+  std::vector<std::size_t> order;      // cores in placement order
+  std::vector<TileId> placement;       // placement[k] = tile of order[k]
+  std::vector<bool> tile_used;
+  Mapping best;
+  double best_cost = 0.0;
+  double min_edge_energy = 0.0;        // energy of a 1-hop transfer per bit
+  std::size_t nodes_expanded = 0;
+  std::size_t node_budget = 0;
+
+  // Cost of edges whose both endpoints are among the first `k` placed cores.
+  double partial_cost(std::size_t k, TileId candidate) const {
+    double cost = 0.0;
+    const std::size_t core = order[k];
+    for (const auto& e : graph->edges()) {
+      const std::size_t other = e.src == core ? e.dst
+                                : e.dst == core ? e.src
+                                                : graph->num_nodes();
+      if (other >= graph->num_nodes()) continue;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (order[j] == other) {
+          cost += energy->transfer_energy(
+              e.volume_bits, mesh->hops(candidate, placement[j]));
+        }
+      }
+    }
+    return cost;
+  }
+
+  // Optimistic bound: every not-yet-bound edge costs at least one hop.
+  double remaining_bound(std::size_t k) const {
+    double vol = 0.0;
+    for (const auto& e : graph->edges()) {
+      bool src_placed = false, dst_placed = false;
+      for (std::size_t j = 0; j <= k; ++j) {
+        if (order[j] == e.src) src_placed = true;
+        if (order[j] == e.dst) dst_placed = true;
+      }
+      if (!(src_placed && dst_placed)) vol += e.volume_bits;
+    }
+    return vol * min_edge_energy;
+  }
+
+  void search(std::size_t k, double cost_so_far) {
+    if (node_budget && nodes_expanded >= node_budget) return;
+    ++nodes_expanded;
+    if (k == order.size()) {
+      if (cost_so_far < best_cost) {
+        best_cost = cost_so_far;
+        for (std::size_t j = 0; j < order.size(); ++j) {
+          best[order[j]] = placement[j];
+        }
+      }
+      return;
+    }
+    for (TileId t = 0; t < mesh->num_tiles(); ++t) {
+      if (tile_used[t]) continue;
+      const double added = partial_cost(k, t);
+      const double lower = cost_so_far + added;
+      if (lower + (k + 1 < order.size() ? remaining_bound(k) : 0.0) >=
+          best_cost) {
+        continue;  // prune
+      }
+      placement[k] = t;
+      tile_used[t] = true;
+      search(k + 1, lower);
+      tile_used[t] = false;
+    }
+  }
+};
+
+}  // namespace
+
+Mapping bb_mapping(const AppGraph& g, const Mesh2D& mesh,
+                   const EnergyModel& energy, std::size_t node_budget) {
+  const std::size_t n = g.num_nodes();
+  if (n > mesh.num_tiles()) {
+    throw std::invalid_argument("bb_mapping: more cores than tiles");
+  }
+  BbState st;
+  st.graph = &g;
+  st.mesh = &mesh;
+  st.energy = &energy;
+  st.node_budget = node_budget;
+  st.min_edge_energy = energy.bit_energy(1) * 1e-12;
+  // Place high-traffic cores first: tight bounds early.
+  st.order.resize(n);
+  std::iota(st.order.begin(), st.order.end(), 0);
+  std::sort(st.order.begin(), st.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return g.node_traffic(a) > g.node_traffic(b);
+            });
+  st.placement.assign(n, 0);
+  st.tile_used.assign(mesh.num_tiles(), false);
+  // Incumbent: the greedy solution (also the fallback under a budget).
+  st.best = greedy_mapping(g, mesh, energy);
+  st.best_cost = evaluate_mapping(g, mesh, energy, st.best).comm_energy_j;
+  st.search(0, 0.0);
+  return st.best;
+}
+
+}  // namespace holms::noc

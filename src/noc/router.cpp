@@ -1,0 +1,399 @@
+#include "noc/router.hpp"
+
+#include <stdexcept>
+
+#include "noc/taskgraph.hpp"
+
+namespace holms::noc {
+namespace {
+
+constexpr std::size_t port_of(Dir d) { return static_cast<std::size_t>(d); }
+
+// The input port of the *neighbor* that a flit leaving via `out` lands on.
+Dir entry_port(Dir out) {
+  switch (out) {
+    case Dir::kNorth: return Dir::kSouth;
+    case Dir::kSouth: return Dir::kNorth;
+    case Dir::kEast: return Dir::kWest;
+    case Dir::kWest: return Dir::kEast;
+    case Dir::kLocal: return Dir::kLocal;
+  }
+  return Dir::kLocal;
+}
+
+}  // namespace
+
+NocSim::NocSim(const Mesh2D& mesh, const Config& cfg, sim::Rng rng)
+    : mesh_(mesh), cfg_(cfg), rng_(rng), routers_(mesh.num_tiles()),
+      source_(mesh.num_tiles()) {
+  if (cfg_.buffer_depth == 0 || cfg_.virtual_channels == 0) {
+    throw std::invalid_argument("NocSim: need buffer_depth, VCs >= 1");
+  }
+  const std::size_t v = cfg_.virtual_channels;
+  for (auto& r : routers_) {
+    r.in.resize(kNumPorts);
+    for (auto& p : r.in) p.vc.resize(v);
+    r.vc_owner.assign(kNumPorts * v, -1);
+  }
+}
+
+void NocSim::add_flow(const Flow& f) {
+  if (f.src >= mesh_.num_tiles() || f.dst >= mesh_.num_tiles() ||
+      f.src == f.dst || f.packet_flits == 0 ||
+      !(f.packets_per_cycle >= 0.0 && f.packets_per_cycle <= 1.0)) {
+    throw std::invalid_argument("NocSim::add_flow: invalid flow");
+  }
+  flows_.push_back(f);
+}
+
+void NocSim::inject_phase() {
+  // Generate new packets into per-tile source queues.
+  for (const Flow& f : flows_) {
+    if (rng_.bernoulli(f.packets_per_cycle)) {
+      ++injected_;
+      const std::uint64_t pid = next_packet_++;
+      for (std::size_t i = 0; i < f.packet_flits; ++i) {
+        Flit fl;
+        fl.packet = pid;
+        fl.src = f.src;
+        fl.dst = f.dst;
+        fl.injected_cycle = cycle_;
+        if (f.packet_flits == 1) {
+          fl.type = FlitType::kHeadTail;
+        } else if (i == 0) {
+          fl.type = FlitType::kHead;
+        } else if (i + 1 == f.packet_flits) {
+          fl.type = FlitType::kTail;
+        } else {
+          fl.type = FlitType::kBody;
+        }
+        source_[f.src].queue.push_back(fl);
+      }
+    }
+  }
+  // Move flits into the local input port.  A packet streams into exactly one
+  // VC; a new packet only claims an idle, empty VC (atomic VC allocation).
+  const std::size_t v = cfg_.virtual_channels;
+  for (TileId t = 0; t < mesh_.num_tiles(); ++t) {
+    SourceState& src = source_[t];
+    auto& port = routers_[t].in[port_of(Dir::kLocal)];
+    for (;;) {
+      if (src.queue.empty()) break;
+      if (src.remaining == 0) {
+        // Find an idle empty VC for the next packet.
+        std::size_t chosen = v;
+        for (std::size_t i = 0; i < v; ++i) {
+          const auto& cand = port.vc[(src.inject_vc + 1 + i) % v];
+          if (cand.buffer.empty() && cand.out_port < 0) {
+            chosen = (src.inject_vc + 1 + i) % v;
+            break;
+          }
+        }
+        if (chosen == v) break;  // all VCs busy this cycle
+        src.inject_vc = chosen;
+        // Count the whole packet; flits stream in as space allows.
+        src.remaining = 1;
+        while (src.remaining < src.queue.size() &&
+               src.queue[src.remaining - 1].type != FlitType::kTail &&
+               src.queue[src.remaining - 1].type != FlitType::kHeadTail) {
+          ++src.remaining;
+        }
+      }
+      auto& vc = port.vc[src.inject_vc];
+      if (vc.buffer.size() >= cfg_.buffer_depth) break;
+      vc.buffer.push_back(src.queue.front());
+      src.queue.pop_front();
+      --src.remaining;
+      energy_pj_ += cfg_.energy.e_buffer_pj * cfg_.flit_bits;
+    }
+  }
+}
+
+bool NocSim::route_admits(TileId here, TileId dst, Dir out) const {
+  if (cfg_.routing == RoutingAlgo::kXY) {
+    return mesh_.xy_next(here, dst) == out;
+  }
+  // West-first turn model: any westward progress must happen before other
+  // turns, so while dst is to the west only kWest is admissible; afterwards
+  // every productive direction is.
+  if (here == dst) return out == Dir::kLocal;
+  const std::size_t hx = mesh_.x_of(here), dx = mesh_.x_of(dst);
+  const std::size_t hy = mesh_.y_of(here), dy = mesh_.y_of(dst);
+  if (dx < hx) return out == Dir::kWest;
+  switch (out) {
+    case Dir::kEast: return dx > hx;
+    case Dir::kNorth: return dy < hy;
+    case Dir::kSouth: return dy > hy;
+    case Dir::kLocal: return dx == hx && dy == hy;
+    case Dir::kWest: return false;
+  }
+  return false;
+}
+
+bool NocSim::downstream_vc_has_space(TileId router, Dir out, int vc) const {
+  if (out == Dir::kLocal) return true;  // ejection is never blocked
+  const TileId nb = mesh_.neighbor(router, out);
+  const auto& port = routers_[nb].in[port_of(entry_port(out))];
+  return port.vc[static_cast<std::size_t>(vc)].buffer.size() <
+         cfg_.buffer_depth;
+}
+
+int NocSim::free_downstream_vc(TileId router, Dir out) const {
+  const std::size_t v = cfg_.virtual_channels;
+  const Router& r = routers_[router];
+  for (std::size_t i = 0; i < v; ++i) {
+    if (r.vc_owner[port_of(out) * v + i] < 0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void NocSim::allocate_phase() {
+  const std::size_t v = cfg_.virtual_channels;
+  for (TileId t = 0; t < mesh_.num_tiles(); ++t) {
+    Router& r = routers_[t];
+    for (std::size_t ip = 0; ip < kNumPorts; ++ip) {
+      for (std::size_t vi = 0; vi < v; ++vi) {
+        VirtualChannel& vc = r.in[ip].vc[vi];
+        if (vc.out_port >= 0 || vc.buffer.empty()) continue;
+        const Flit& head = vc.buffer.front();
+        if (head.type != FlitType::kHead &&
+            head.type != FlitType::kHeadTail) {
+          continue;  // mid-worm flits wait for their head's allocation
+        }
+        // Candidate outputs under the routing function; adaptive algorithms
+        // prefer one with a free downstream VC that currently has space.
+        int best_op = -1, best_vc = -1;
+        for (std::size_t op = 0; op < kNumPorts; ++op) {
+          const Dir out = static_cast<Dir>(op);
+          if (!route_admits(t, head.dst, out)) continue;
+          const int vout = free_downstream_vc(t, out);
+          if (vout < 0) continue;
+          if (best_op < 0) {
+            best_op = static_cast<int>(op);
+            best_vc = vout;
+          }
+          if (cfg_.routing != RoutingAlgo::kXY &&
+              downstream_vc_has_space(t, out, vout)) {
+            best_op = static_cast<int>(op);
+            best_vc = vout;
+            break;
+          }
+        }
+        if (best_op < 0) continue;
+        vc.out_port = best_op;
+        vc.out_vc = best_vc;
+        r.vc_owner[static_cast<std::size_t>(best_op) * v +
+                   static_cast<std::size_t>(best_vc)] =
+            static_cast<int>(ip * v + vi);
+      }
+    }
+  }
+}
+
+void NocSim::switch_phase() {
+  // Two-phase update: decide all moves against the pre-cycle state, then
+  // apply, so a flit advances at most one hop per cycle and each output
+  // port carries at most one flit per cycle.
+  struct Move {
+    TileId router;
+    std::size_t ip;
+    std::size_t vi;
+  };
+  std::vector<Move> moves;
+  moves.reserve(mesh_.num_tiles() * 2);
+  const std::size_t v = cfg_.virtual_channels;
+
+  for (TileId t = 0; t < mesh_.num_tiles(); ++t) {
+    Router& r = routers_[t];
+    for (std::size_t op = 0; op < kNumPorts; ++op) {
+      // Round-robin over (input port, vc) candidates targeting this output.
+      const std::size_t slots = kNumPorts * v;
+      for (std::size_t k = 0; k < slots; ++k) {
+        const std::size_t idx = (r.rr[op] + k) % slots;
+        const std::size_t ip = idx / v, vi = idx % v;
+        const VirtualChannel& vc = r.in[ip].vc[vi];
+        if (vc.out_port != static_cast<int>(op) || vc.buffer.empty()) {
+          continue;
+        }
+        if (!downstream_vc_has_space(t, static_cast<Dir>(op), vc.out_vc)) {
+          continue;
+        }
+        moves.push_back(Move{t, ip, vi});
+        r.rr[op] = (idx + 1) % slots;
+        break;  // one flit per output port per cycle
+      }
+    }
+  }
+
+  for (const Move& mv : moves) {
+    Router& r = routers_[mv.router];
+    VirtualChannel& vc = r.in[mv.ip].vc[mv.vi];
+    const Flit fl = vc.buffer.front();
+    vc.buffer.pop_front();
+    const auto op = static_cast<std::size_t>(vc.out_port);
+    const Dir out = static_cast<Dir>(op);
+    const int vout = vc.out_vc;
+    const bool ends = fl.type == FlitType::kTail ||
+                      fl.type == FlitType::kHeadTail;
+    energy_pj_ += cfg_.energy.e_router_pj * cfg_.flit_bits;
+    if (out == Dir::kLocal) {
+      ++flits_ejected_;
+      if (ends) {
+        ++delivered_;
+        const double lat = static_cast<double>(cycle_ - fl.injected_cycle);
+        latency_.add(lat);
+        latency_hist_.add(lat);
+      }
+    } else {
+      energy_pj_ += cfg_.energy.e_link_pj * cfg_.flit_bits;
+      ++flit_hops_;
+      const TileId nb = mesh_.neighbor(mv.router, out);
+      routers_[nb]
+          .in[port_of(entry_port(out))]
+          .vc[static_cast<std::size_t>(vout)]
+          .buffer.push_back(fl);
+    }
+    if (ends) {
+      r.vc_owner[op * cfg_.virtual_channels +
+                 static_cast<std::size_t>(vout)] = -1;
+      vc.out_port = -1;
+      vc.out_vc = -1;
+    }
+  }
+}
+
+void NocSim::run(std::uint64_t cycles) {
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    inject_phase();
+    allocate_phase();
+    switch_phase();
+    // Sample buffer occupancy once per cycle.
+    std::uint64_t total = 0;
+    for (const auto& r : routers_) {
+      for (const auto& p : r.in) {
+        for (const auto& vc : p.vc) total += vc.buffer.size();
+      }
+    }
+    occupancy_accum_ += static_cast<double>(total) /
+                        static_cast<double>(routers_.size() * kNumPorts);
+    ++occupancy_samples_;
+    ++cycle_;
+  }
+}
+
+NocStats NocSim::stats() const {
+  NocStats s;
+  s.packets_injected = injected_;
+  s.packets_delivered = delivered_;
+  s.flit_hops = flit_hops_;
+  s.mean_packet_latency = latency_.mean();
+  s.p99_packet_latency = latency_hist_.quantile(0.99);
+  s.mean_buffer_occupancy =
+      occupancy_samples_
+          ? occupancy_accum_ / static_cast<double>(occupancy_samples_)
+          : 0.0;
+  s.accepted_flits_per_cycle =
+      cycle_ ? static_cast<double>(flit_hops_) / static_cast<double>(cycle_)
+             : 0.0;
+  s.energy_joules = energy_pj_ * 1e-12;
+  // Payload bits exclude one header flit per delivered packet.
+  const double payload_flits =
+      static_cast<double>(flits_ejected_) - static_cast<double>(delivered_);
+  const double bits_delivered = payload_flits * cfg_.flit_bits;
+  s.energy_per_bit_pj = bits_delivered > 0.0 ? energy_pj_ / bits_delivered
+                                             : 0.0;
+  return s;
+}
+
+void add_pattern_flows(NocSim& sim, const Mesh2D& mesh, TrafficPattern p,
+                       double packets_per_cycle, std::size_t packet_flits) {
+  const std::size_t n = mesh.num_tiles();
+  for (TileId src = 0; src < n; ++src) {
+    switch (p) {
+      case TrafficPattern::kUniformRandom: {
+        // Spread the per-tile rate evenly over all other destinations.
+        const double per_dst =
+            packets_per_cycle / static_cast<double>(n - 1);
+        for (TileId dst = 0; dst < n; ++dst) {
+          if (dst == src) continue;
+          sim.add_flow(Flow{src, dst, per_dst, packet_flits});
+        }
+        break;
+      }
+      case TrafficPattern::kTranspose: {
+        const TileId dst = mesh.tile_at(mesh.y_of(src), mesh.x_of(src));
+        if (dst != src) {
+          sim.add_flow(Flow{src, dst, packets_per_cycle, packet_flits});
+        }
+        break;
+      }
+      case TrafficPattern::kBitComplement: {
+        const TileId dst = n - 1 - src;
+        if (dst != src) {
+          sim.add_flow(Flow{src, dst, packets_per_cycle, packet_flits});
+        }
+        break;
+      }
+      case TrafficPattern::kHotspot: {
+        const TileId dst =
+            mesh.tile_at(mesh.width() / 2, mesh.height() / 2);
+        if (dst != src) {
+          sim.add_flow(Flow{src, dst, packets_per_cycle, packet_flits});
+        }
+        break;
+      }
+    }
+  }
+}
+
+void add_appgraph_flows(NocSim& sim, const AppGraph& g,
+                        const std::vector<TileId>& mapping,
+                        double aggregate_packets_per_cycle,
+                        std::size_t packet_flits) {
+  if (mapping.size() != g.num_nodes()) {
+    throw std::invalid_argument("add_appgraph_flows: mapping size mismatch");
+  }
+  double routed_volume = 0.0;
+  for (const auto& e : g.edges()) {
+    if (mapping[e.src] != mapping[e.dst]) routed_volume += e.volume_bits;
+  }
+  if (routed_volume <= 0.0) return;  // everything co-located: no traffic
+  for (const auto& e : g.edges()) {
+    if (mapping[e.src] == mapping[e.dst]) continue;
+    Flow f;
+    f.src = mapping[e.src];
+    f.dst = mapping[e.dst];
+    f.packet_flits = packet_flits;
+    f.packets_per_cycle =
+        aggregate_packets_per_cycle * e.volume_bits / routed_volume;
+    sim.add_flow(f);
+  }
+}
+
+std::vector<SweepPoint> latency_throughput_sweep(
+    const Mesh2D& mesh, TrafficPattern pattern,
+    const std::vector<double>& rates, std::uint64_t cycles,
+    const NocSim::Config& cfg, std::uint64_t seed) {
+  std::vector<SweepPoint> out;
+  out.reserve(rates.size());
+  for (double rate : rates) {
+    NocSim sim(mesh, cfg, sim::Rng(seed));
+    add_pattern_flows(sim, mesh, pattern, rate, 8);
+    sim.run(cycles);
+    const NocStats s = sim.stats();
+    SweepPoint pt;
+    pt.injection_rate = rate;
+    pt.mean_latency = s.mean_packet_latency;
+    pt.p99_latency = s.p99_packet_latency;
+    pt.accepted_flits_per_cycle = s.accepted_flits_per_cycle;
+    pt.delivery_ratio =
+        s.packets_injected
+            ? static_cast<double>(s.packets_delivered) /
+                  static_cast<double>(s.packets_injected)
+            : 0.0;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace holms::noc

@@ -1,0 +1,176 @@
+#pragma once
+// Flit-level wormhole NoC simulator (paper §3.2/§3.3, refs [21][22]).
+//
+// Cycle-driven 2D-mesh network: 5-port routers with finite per-virtual-
+// channel input buffers, XY or west-first routing, per-output round-robin
+// switch arbitration, and wormhole switching — once a head flit claims an
+// (output port, downstream VC) pair the worm holds it until the tail
+// passes.  This is exactly the mechanism behind the paper's packet-size
+// trade-off: "large packets might prohibitively long block a network link
+// causing a degradation in the allowable network throughput."  Virtual
+// channels relieve that head-of-line blocking at a buffer-area cost — a
+// §3.3-style customization knob.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "noc/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace holms::noc {
+
+enum class FlitType : std::uint8_t { kHead, kBody, kTail, kHeadTail };
+
+struct Flit {
+  FlitType type = FlitType::kHead;
+  std::uint64_t packet = 0;
+  TileId src = 0;
+  TileId dst = 0;
+  std::uint64_t injected_cycle = 0;  // when the packet entered the source queue
+};
+
+/// A constant-rate or Bernoulli packet flow between two tiles.
+struct Flow {
+  TileId src = 0;
+  TileId dst = 0;
+  double packets_per_cycle = 0.01;  // Bernoulli injection probability
+  std::size_t packet_flits = 8;     // including the head flit
+};
+
+struct NocStats {
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t flit_hops = 0;
+  double mean_packet_latency = 0.0;   // cycles, source-queue entry -> tail eject
+  double p99_packet_latency = 0.0;
+  double mean_buffer_occupancy = 0.0; // flits per router input port
+  double accepted_flits_per_cycle = 0.0;
+  double energy_joules = 0.0;
+  /// Energy per delivered *payload* bit (one flit per packet is the header).
+  double energy_per_bit_pj = 0.0;
+};
+
+/// Routing function used by the routers.
+enum class RoutingAlgo {
+  kXY,         // deterministic dimension-ordered (deadlock-free)
+  kWestFirst,  // partially adaptive turn-model routing (deadlock-free):
+               // all westward hops first, then adapt among the productive
+               // east/north/south outputs by downstream buffer space
+};
+
+/// The cycle-driven mesh network.
+class NocSim {
+ public:
+  struct Config {
+    std::size_t buffer_depth = 4;     // flits per virtual channel
+    std::size_t virtual_channels = 1; // VCs per input port
+    double flit_bits = 32.0;
+    EnergyModel energy{};
+    RoutingAlgo routing = RoutingAlgo::kXY;
+  };
+
+  NocSim(const Mesh2D& mesh, const Config& cfg, sim::Rng rng);
+
+  void add_flow(const Flow& f);
+
+  /// Advances `cycles` network cycles.
+  void run(std::uint64_t cycles);
+
+  NocStats stats() const;
+  std::uint64_t now() const { return cycle_; }
+
+ private:
+  struct VirtualChannel {
+    std::deque<Flit> buffer;
+    int out_port = -1;  // output port the resident worm holds (-1 free)
+    int out_vc = -1;    // downstream VC the worm was allocated
+  };
+
+  struct InputPort {
+    std::vector<VirtualChannel> vc;
+  };
+
+  struct Router {
+    std::vector<InputPort> in;  // kNumPorts entries
+    // owner[op * V + v]: which (input port, input vc) owns downstream VC v
+    // of output port op; -1 = free.  Encoded as ip * V + vc_in.
+    std::vector<int> vc_owner;
+    // Round-robin pointer per output port for switch arbitration.
+    std::size_t rr[kNumPorts] = {0, 0, 0, 0, 0};
+  };
+
+  struct SourceState {
+    std::deque<Flit> queue;       // flits awaiting injection, packet order
+    std::size_t inject_vc = 0;    // VC the current packet streams into
+    std::size_t remaining = 0;    // flits of the current packet still to go
+  };
+
+  void inject_phase();
+  void allocate_phase();
+  void switch_phase();
+  bool route_admits(TileId here, TileId dst, Dir out) const;
+  /// Free downstream VC index at neighbor entry port, or -1.
+  int free_downstream_vc(TileId router, Dir out) const;
+  bool downstream_vc_has_space(TileId router, Dir out, int vc) const;
+
+  const Mesh2D& mesh_;
+  Config cfg_;
+  sim::Rng rng_;
+  std::vector<Router> routers_;
+  std::vector<Flow> flows_;
+  std::vector<SourceState> source_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t next_packet_ = 1;
+
+  std::uint64_t injected_ = 0, delivered_ = 0, flit_hops_ = 0;
+  std::uint64_t flits_ejected_ = 0;
+  double energy_pj_ = 0.0;
+  sim::OnlineStats latency_;
+  sim::Histogram latency_hist_{0.0, 4096.0, 4096};
+  double occupancy_accum_ = 0.0;
+  std::uint64_t occupancy_samples_ = 0;
+};
+
+/// Classic synthetic traffic patterns for network characterization.
+enum class TrafficPattern {
+  kUniformRandom,   // every source spreads over all destinations
+  kTranspose,       // (x, y) -> (y, x)
+  kBitComplement,   // tile i -> N-1-i
+  kHotspot,         // everyone -> the center tile
+};
+
+/// Installs one pattern's flows at `packets_per_cycle` injection per tile.
+void add_pattern_flows(NocSim& sim, const Mesh2D& mesh, TrafficPattern p,
+                       double packets_per_cycle, std::size_t packet_flits);
+
+/// Replays an application's communication graph under a mapping: one flow
+/// per edge whose endpoints landed on distinct tiles, with injection rates
+/// proportional to edge volume and normalized so they sum to
+/// `aggregate_packets_per_cycle`.
+class AppGraph;  // fwd (taskgraph.hpp)
+void add_appgraph_flows(NocSim& sim, const class AppGraph& g,
+                        const std::vector<TileId>& mapping,
+                        double aggregate_packets_per_cycle,
+                        std::size_t packet_flits);
+
+/// One point of the latency/throughput characterization curve.
+struct SweepPoint {
+  double injection_rate = 0.0;  // packets per cycle per tile
+  double mean_latency = 0.0;
+  double p99_latency = 0.0;
+  double accepted_flits_per_cycle = 0.0;
+  double delivery_ratio = 0.0;
+};
+
+/// Sweeps injection rate for a pattern — the standard NoC evaluation curve
+/// ([21][22]): flat latency at low load, knee near saturation, then
+/// divergence while accepted throughput flattens.
+std::vector<SweepPoint> latency_throughput_sweep(
+    const Mesh2D& mesh, TrafficPattern pattern,
+    const std::vector<double>& rates, std::uint64_t cycles,
+    const NocSim::Config& cfg, std::uint64_t seed);
+
+}  // namespace holms::noc

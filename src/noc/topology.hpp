@@ -1,0 +1,125 @@
+#pragma once
+// Regular 2D-mesh NoC topology (paper §3.2).
+//
+// "Such a chip consists of regular tiles, where each tile can be a
+//  general-purpose processor, a DSP, a memory subsystem, etc.  A router is
+//  embedded within each tile with the objective of connecting it to its
+//  neighboring tiles."
+
+#include <cstddef>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace holms::noc {
+
+using TileId = std::size_t;
+
+enum class Dir : std::uint8_t { kLocal = 0, kNorth, kSouth, kEast, kWest };
+inline constexpr std::size_t kNumPorts = 5;
+
+/// W x H mesh with XY-dimension-ordered routing helpers.
+class Mesh2D {
+ public:
+  Mesh2D(std::size_t width, std::size_t height)
+      : w_(width), h_(height) {
+    if (width == 0 || height == 0) {
+      throw std::invalid_argument("Mesh2D: empty mesh");
+    }
+  }
+
+  std::size_t width() const { return w_; }
+  std::size_t height() const { return h_; }
+  std::size_t num_tiles() const { return w_ * h_; }
+
+  std::size_t x_of(TileId t) const { return t % w_; }
+  std::size_t y_of(TileId t) const { return t / w_; }
+  TileId tile_at(std::size_t x, std::size_t y) const { return y * w_ + x; }
+
+  /// Manhattan hop distance — the XY-routing path length.
+  std::size_t hops(TileId a, TileId b) const {
+    return static_cast<std::size_t>(
+               std::abs(static_cast<long>(x_of(a)) -
+                        static_cast<long>(x_of(b)))) +
+           static_cast<std::size_t>(
+               std::abs(static_cast<long>(y_of(a)) -
+                        static_cast<long>(y_of(b))));
+  }
+
+  /// Next output direction under XY routing from `here` toward `dest`.
+  Dir xy_next(TileId here, TileId dest) const {
+    if (here == dest) return Dir::kLocal;
+    const std::size_t hx = x_of(here), dx = x_of(dest);
+    if (hx < dx) return Dir::kEast;
+    if (hx > dx) return Dir::kWest;
+    return y_of(here) < y_of(dest) ? Dir::kSouth : Dir::kNorth;
+  }
+
+  /// Neighbor tile in a direction; throws if off-mesh.
+  TileId neighbor(TileId t, Dir d) const {
+    const std::size_t x = x_of(t), y = y_of(t);
+    switch (d) {
+      case Dir::kNorth:
+        if (y == 0) break;
+        return tile_at(x, y - 1);
+      case Dir::kSouth:
+        if (y + 1 >= h_) break;
+        return tile_at(x, y + 1);
+      case Dir::kEast:
+        if (x + 1 >= w_) break;
+        return tile_at(x + 1, y);
+      case Dir::kWest:
+        if (x == 0) break;
+        return tile_at(x - 1, y);
+      case Dir::kLocal:
+        return t;
+    }
+    throw std::out_of_range("Mesh2D::neighbor: off-mesh");
+  }
+
+  bool has_neighbor(TileId t, Dir d) const {
+    switch (d) {
+      case Dir::kNorth: return y_of(t) > 0;
+      case Dir::kSouth: return y_of(t) + 1 < h_;
+      case Dir::kEast: return x_of(t) + 1 < w_;
+      case Dir::kWest: return x_of(t) > 0;
+      case Dir::kLocal: return true;
+    }
+    return false;
+  }
+
+  /// Enumerates the XY route (sequence of tiles, inclusive of endpoints).
+  std::vector<TileId> xy_route(TileId src, TileId dst) const {
+    std::vector<TileId> path{src};
+    TileId cur = src;
+    while (cur != dst) {
+      cur = neighbor(cur, xy_next(cur, dst));
+      path.push_back(cur);
+    }
+    return path;
+  }
+
+ private:
+  std::size_t w_;
+  std::size_t h_;
+};
+
+/// Bit-energy model in the style of Hu–Marculescu [20][23]:
+/// moving one bit across h hops costs (h+1) router traversals and h link
+/// traversals.
+struct EnergyModel {
+  double e_router_pj = 0.98;  // pJ per bit per router
+  double e_link_pj = 1.74;    // pJ per bit per inter-tile link
+  double e_buffer_pj = 1.10;  // pJ per bit buffered under contention
+
+  double bit_energy(std::size_t hops) const {
+    return static_cast<double>(hops + 1) * e_router_pj +
+           static_cast<double>(hops) * e_link_pj;
+  }
+  /// Joules for `bits` over `hops`.
+  double transfer_energy(double bits, std::size_t hops) const {
+    return bits * bit_energy(hops) * 1e-12;
+  }
+};
+
+}  // namespace holms::noc

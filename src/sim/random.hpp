@@ -1,0 +1,99 @@
+#pragma once
+// Random-number utilities shared by every stochastic model in HolMS.
+//
+// A single `Rng` instance is threaded through each simulation so that runs
+// are exactly reproducible from a seed; distinct model components should use
+// distinct streams obtained via `Rng::fork()` to keep their draws decoupled
+// from one another (adding a component never perturbs another component's
+// sequence).
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace holms::sim {
+
+/// Deterministic pseudo-random stream with the named draws used across HolMS.
+///
+/// Wraps std::mt19937_64.  All draw helpers assert their parameter
+/// preconditions; violating them is a programming error, not a runtime
+/// condition.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Derives an independent child stream.  The child's seed is drawn from
+  /// this stream, so forking is itself reproducible.
+  Rng fork() { return Rng(engine_()); }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    assert(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p) {
+    assert(p >= 0.0 && p <= 1.0);
+    return uniform() < p;
+  }
+
+  /// Exponential with given rate (mean 1/rate).
+  double exponential(double rate) {
+    assert(rate > 0.0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Normal(mean, stddev).
+  double normal(double mean, double stddev) {
+    assert(stddev >= 0.0);
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Lognormal where the underlying normal has parameters (mu, sigma).
+  double lognormal(double mu, double sigma) {
+    assert(sigma >= 0.0);
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Pareto with shape alpha and scale xm (support [xm, inf)).
+  /// For 1 < alpha <= 2 the variance is infinite: the heavy-tailed regime
+  /// used to produce self-similar ON/OFF traffic (DESIGN.md S3).
+  double pareto(double alpha, double xm) {
+    assert(alpha > 0.0 && xm > 0.0);
+    double u = uniform();
+    // Guard against u == 0 which would yield infinity.
+    if (u <= 0.0) u = 1e-18;
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Geometric: number of failures before first success, p in (0, 1].
+  std::int64_t geometric(double p) {
+    assert(p > 0.0 && p <= 1.0);
+    return std::geometric_distribution<std::int64_t>(p)(engine_);
+  }
+
+  /// Poisson with given mean.
+  std::int64_t poisson(double mean) {
+    assert(mean >= 0.0);
+    if (mean == 0.0) return 0;
+    return std::poisson_distribution<std::int64_t>(mean)(engine_);
+  }
+
+  /// Raw 64-bit draw, for seeding and index shuffling.
+  std::uint64_t bits() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace holms::sim

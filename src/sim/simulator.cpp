@@ -1,0 +1,85 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace holms::sim {
+
+EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Scheduled{when, seq, std::move(fn)});
+  ++live_events_;
+  return EventId{seq};
+}
+
+void Simulator::cancel(EventId id) {
+  if (id.seq == 0) return;
+  cancelled_.push_back(id.seq);
+  if (live_events_ > 0) --live_events_;
+}
+
+bool Simulator::is_cancelled(std::uint64_t seq) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), seq);
+  if (it == cancelled_.end()) return false;
+  // Swap-erase: the cancelled list is short-lived and unordered.
+  *it = cancelled_.back();
+  cancelled_.pop_back();
+  return true;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Scheduled ev = queue_.top();
+    queue_.pop();
+    if (is_cancelled(ev.seq)) continue;
+    --live_events_;
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(Time until) {
+  stop_requested_ = false;
+  std::size_t n = 0;
+  while (!stop_requested_) {
+    // Peek past cancelled entries to decide whether the next live event is
+    // within the horizon.
+    while (!queue_.empty() && is_cancelled(queue_.top().seq)) queue_.pop();
+    if (queue_.empty() || queue_.top().when > until) break;
+    if (step()) ++n;
+  }
+  if (until != std::numeric_limits<Time>::infinity() && now_ < until &&
+      !stop_requested_) {
+    now_ = until;
+  }
+  return n;
+}
+
+void Ticker::start(Time offset) {
+  if (running_) return;
+  running_ = true;
+  pending_ = sim_.schedule_in(offset, [this] { fire(); });
+}
+
+void Ticker::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = EventId{};
+}
+
+void Ticker::fire() {
+  if (!running_) return;
+  if (!on_tick_()) {
+    running_ = false;
+    pending_ = EventId{};
+    return;
+  }
+  pending_ = sim_.schedule_in(period_, [this] { fire(); });
+}
+
+}  // namespace holms::sim

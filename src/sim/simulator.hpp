@@ -1,0 +1,103 @@
+#pragma once
+// Discrete-event simulation kernel.
+//
+// This is the SystemC-equivalent substrate every process-network, NoC,
+// wireless and MANET model in HolMS runs on (DESIGN.md S1).  Models schedule
+// closures at absolute or relative times; the kernel executes them in
+// (time, insertion-order) order so simultaneous events are deterministic.
+//
+// The kernel is deliberately single-threaded: reproducibility from a seed is
+// worth more than parallel speed for the average-case statistics the paper's
+// methodology is built around (§2.2).
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace holms::sim {
+
+using Time = double;
+
+/// Handle used to cancel a scheduled event.
+struct EventId {
+  std::uint64_t seq = 0;
+};
+
+/// Event-driven simulation kernel with cancellation and a stop condition.
+class Simulator {
+ public:
+  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  EventId schedule_at(Time when, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` time units from now (delay >= 0).
+  EventId schedule_in(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event; cancelling an already-fired or unknown event is
+  /// a harmless no-op (the common race when a timeout and its completion
+  /// event land in the same delta-cycle).
+  void cancel(EventId id);
+
+  /// Runs until the queue drains or `until` is reached; returns the number of
+  /// events executed.  The clock is advanced to `until` if the queue drains
+  /// earlier than `until` (so time-weighted stats can be closed consistently).
+  std::size_t run(Time until = std::numeric_limits<Time>::infinity());
+
+  /// Executes at most one event; returns false when the queue is empty.
+  bool step();
+
+  /// Requests that `run()` return before dispatching the next event.
+  void stop() { stop_requested_ = true; }
+
+  Time now() const { return now_; }
+  std::size_t pending() const { return live_events_; }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Scheduled {
+    Time when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Scheduled& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
+      queue_;
+  std::vector<std::uint64_t> cancelled_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  bool stop_requested_ = false;
+
+  bool is_cancelled(std::uint64_t seq);
+};
+
+/// Convenience: a periodic activity bound to a simulator.  The callback may
+/// return false to stop the ticker.
+class Ticker {
+ public:
+  Ticker(Simulator& sim, Time period, std::function<bool()> on_tick)
+      : sim_(sim), period_(period), on_tick_(std::move(on_tick)) {}
+
+  /// Arms the first tick `offset` from now.
+  void start(Time offset = 0.0);
+  void stop();
+
+ private:
+  void fire();
+
+  Simulator& sim_;
+  Time period_;
+  std::function<bool()> on_tick_;
+  EventId pending_{};
+  bool running_ = false;
+};
+
+}  // namespace holms::sim

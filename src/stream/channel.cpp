@@ -1,0 +1,45 @@
+#include "stream/channel.hpp"
+
+#include <stdexcept>
+
+namespace holms::stream {
+
+IidErrorModel::IidErrorModel(double per, sim::Rng rng) : per_(per), rng_(rng) {
+  if (!(per >= 0.0 && per <= 1.0)) {
+    throw std::invalid_argument("IidErrorModel: per must be in [0,1]");
+  }
+}
+
+bool IidErrorModel::corrupts(double) { return rng_.bernoulli(per_); }
+
+GilbertElliottModel::GilbertElliottModel(const Params& p, sim::Rng rng)
+    : p_(p), rng_(rng) {
+  if (!(p.per_good >= 0.0 && p.per_good <= 1.0) ||
+      !(p.per_bad >= 0.0 && p.per_bad <= 1.0) || !(p.rate_g2b > 0.0) ||
+      !(p.rate_b2g > 0.0)) {
+    throw std::invalid_argument("GilbertElliottModel: invalid params");
+  }
+  state_until_ = rng_.exponential(p_.rate_g2b);
+}
+
+void GilbertElliottModel::advance_to(double now) {
+  if (now < last_now_) return;  // tolerate out-of-order queries
+  while (state_until_ <= now) {
+    bad_ = !bad_;
+    state_until_ += rng_.exponential(bad_ ? p_.rate_b2g : p_.rate_g2b);
+  }
+  last_now_ = now;
+}
+
+bool GilbertElliottModel::corrupts(double now) {
+  advance_to(now);
+  return rng_.bernoulli(bad_ ? p_.per_bad : p_.per_good);
+}
+
+double GilbertElliottModel::mean_error_rate() const {
+  // Stationary P(bad) = rate_g2b / (rate_g2b + rate_b2g).
+  const double p_bad = p_.rate_g2b / (p_.rate_g2b + p_.rate_b2g);
+  return p_bad * p_.per_bad + (1.0 - p_bad) * p_.per_good;
+}
+
+}  // namespace holms::stream

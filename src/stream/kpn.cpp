@@ -1,0 +1,317 @@
+#include "stream/kpn.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace holms::stream {
+
+void Buffer::push(double now, Token t) {
+  assert(!full());
+  q_.push_back(t);
+  occupancy_.update(now, static_cast<double>(q_.size()));
+}
+
+Token Buffer::pop(double now) {
+  assert(!empty());
+  Token t = q_.front();
+  q_.pop_front();
+  occupancy_.update(now, static_cast<double>(q_.size()));
+  return t;
+}
+
+CpuId ProcessNetwork::add_cpu(SchedPolicy policy) {
+  Cpu c;
+  c.policy = policy;
+  cpus_.push_back(std::move(c));
+  return CpuId{cpus_.size() - 1};
+}
+
+NodeId ProcessNetwork::add_worker(NodeSpec spec) {
+  if (!spec.service_time) {
+    throw std::invalid_argument("add_worker: service_time required");
+  }
+  if (spec.cpu.v >= cpus_.size()) {
+    throw std::out_of_range("add_worker: unknown CPU");
+  }
+  Node n;
+  n.kind = Kind::kWorker;
+  n.spec = std::move(spec);
+  nodes_.push_back(std::move(n));
+  cpus_[nodes_.back().spec.cpu.v].nodes.push_back(nodes_.size() - 1);
+  return NodeId{nodes_.size() - 1};
+}
+
+NodeId ProcessNetwork::add_source(std::string name,
+                                  std::function<double()> next_gap,
+                                  std::function<Token(std::uint64_t)> make) {
+  Node n;
+  n.kind = Kind::kSource;
+  n.spec.name = std::move(name);
+  n.next_gap = std::move(next_gap);
+  n.make = std::move(make);
+  nodes_.push_back(std::move(n));
+  return NodeId{nodes_.size() - 1};
+}
+
+NodeId ProcessNetwork::add_sink(std::string name) {
+  Node n;
+  n.kind = Kind::kSink;
+  n.spec.name = std::move(name);
+  nodes_.push_back(std::move(n));
+  return NodeId{nodes_.size() - 1};
+}
+
+EdgeId ProcessNetwork::connect(NodeId from, NodeId to, std::size_t capacity,
+                               std::string buffer_name, std::size_t produce,
+                               std::size_t consume) {
+  if (capacity == 0) throw std::invalid_argument("connect: capacity >= 1");
+  if (produce == 0 || consume == 0 || produce > capacity ||
+      consume > capacity) {
+    throw std::invalid_argument(
+        "connect: SDF rates must be in [1, capacity]");
+  }
+  if (buffer_name.empty()) {
+    buffer_name = nodes_.at(from.v).spec.name + "->" + nodes_.at(to.v).spec.name;
+  }
+  edges_.push_back(std::make_unique<Buffer>(std::move(buffer_name), capacity,
+                                            produce, consume));
+  const EdgeId e{edges_.size() - 1};
+  nodes_.at(from.v).outputs.push_back(e);
+  nodes_.at(to.v).inputs.push_back(e);
+  return e;
+}
+
+void ProcessNetwork::start() {
+  if (started_) return;
+  started_ = true;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == Kind::kSource) {
+      const double gap = nodes_[i].next_gap();
+      sim_.schedule_in(gap, [this, i] { source_emit(i); });
+    }
+  }
+}
+
+void ProcessNetwork::finish() {
+  const double now = sim_.now();
+  for (auto& e : edges_) e->close_stats(now);
+  // Account for any node still blocked at the end of the run.
+  for (auto& n : nodes_) {
+    if (n.blocked) {
+      n.stats.blocked_time += now - n.blocked_since;
+      n.blocked_since = now;
+    }
+  }
+}
+
+bool ProcessNetwork::can_fire(const Node& n) const {
+  if (n.blocked) return false;
+  if (n.inputs.empty()) return false;
+  for (EdgeId e : n.inputs) {
+    if (edges_[e.v]->size() < edges_[e.v]->consume_count()) return false;
+  }
+  // Output space is checked optimistically at completion time
+  // (completion-time blocking), so a producer can start work even when the
+  // downstream buffer is momentarily full.
+  return true;
+}
+
+void ProcessNetwork::dispatch(std::size_t cpu_idx) {
+  Cpu& cpu = cpus_[cpu_idx];
+  if (cpu.busy || cpu.nodes.empty()) return;
+
+  std::size_t chosen = nodes_.size();
+  if (cpu.policy == SchedPolicy::kRoundRobin) {
+    for (std::size_t k = 0; k < cpu.nodes.size(); ++k) {
+      const std::size_t idx =
+          cpu.nodes[(cpu.rr_next + k) % cpu.nodes.size()];
+      if (can_fire(nodes_[idx])) {
+        chosen = idx;
+        cpu.rr_next = (cpu.rr_next + k + 1) % cpu.nodes.size();
+        break;
+      }
+    }
+  } else {  // fixed priority: highest priority ready node wins
+    int best = std::numeric_limits<int>::min();
+    for (std::size_t idx : cpu.nodes) {
+      if (can_fire(nodes_[idx]) && nodes_[idx].spec.priority > best) {
+        best = nodes_[idx].spec.priority;
+        chosen = idx;
+      }
+    }
+  }
+  if (chosen < nodes_.size()) fire(chosen);
+}
+
+void ProcessNetwork::fire(std::size_t node_idx) {
+  Node& n = nodes_[node_idx];
+  Cpu& cpu = cpus_[n.spec.cpu.v];
+  assert(!cpu.busy);
+  const double now = sim_.now();
+  std::vector<Token> ins;
+  ins.reserve(n.inputs.size());
+  for (EdgeId e : n.inputs) {
+    for (std::size_t k = 0; k < edges_[e.v]->consume_count(); ++k) {
+      ins.push_back(edges_[e.v]->pop(now));
+    }
+  }
+  const double dt = n.spec.service_time(ins.front());
+  assert(dt >= 0.0);
+  cpu.busy = true;
+  Token out = n.spec.transform ? n.spec.transform(ins) : ins.front();
+  sim_.schedule_in(dt, [this, node_idx, out, dt] {
+    Node& nn = nodes_[node_idx];
+    Cpu& c = cpus_[nn.spec.cpu.v];
+    c.busy = false;
+    c.busy_time += dt;
+    nn.stats.busy_time += dt;
+    ++nn.stats.firings;
+    // Try to emit; block the node (not the CPU) if downstream is full.
+    bool space = true;
+    for (EdgeId e : nn.outputs) {
+      if (edges_[e.v]->size() + edges_[e.v]->produce_count() >
+          edges_[e.v]->capacity()) {
+        space = false;
+      }
+    }
+    if (space) {
+      const double now2 = sim_.now();
+      for (EdgeId e : nn.outputs) {
+        for (std::size_t k = 0; k < edges_[e.v]->produce_count(); ++k) {
+          edges_[e.v]->push(now2, out);
+        }
+      }
+    } else {
+      nn.blocked = true;
+      nn.blocked_since = sim_.now();
+      nn.pending_emit = out;
+    }
+    on_state_change();
+  });
+}
+
+void ProcessNetwork::on_state_change() {
+  // Fixpoint: unblocking a producer can enable a consumer whose firing frees
+  // more space, and so on.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const double now = sim_.now();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      Node& n = nodes_[i];
+      if (!n.blocked) continue;
+      bool space = true;
+      for (EdgeId e : n.outputs) {
+        if (edges_[e.v]->size() + edges_[e.v]->produce_count() >
+            edges_[e.v]->capacity()) {
+          space = false;
+        }
+      }
+      if (space) {
+        for (EdgeId e : n.outputs) {
+          for (std::size_t k = 0; k < edges_[e.v]->produce_count(); ++k) {
+            edges_[e.v]->push(now, n.pending_emit);
+          }
+        }
+        n.stats.blocked_time += now - n.blocked_since;
+        n.blocked = false;
+        progress = true;
+      }
+    }
+    for (std::size_t c = 0; c < cpus_.size(); ++c) {
+      const bool was_busy = cpus_[c].busy;
+      dispatch(c);
+      if (!was_busy && cpus_[c].busy) progress = true;
+    }
+    // Sinks drain instantly.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].kind == Kind::kSink) {
+        bool any = true;
+        while (any) {
+          any = false;
+          Node& s = nodes_[i];
+          bool all_ready = !s.inputs.empty();
+          for (EdgeId e : s.inputs) {
+            if (edges_[e.v]->size() < edges_[e.v]->consume_count()) {
+              all_ready = false;
+            }
+          }
+          if (all_ready) {
+            deliver_to_sink(i);
+            any = true;
+            progress = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+void ProcessNetwork::source_emit(std::size_t node_idx) {
+  Node& n = nodes_[node_idx];
+  const double now = sim_.now();
+  Token t = n.make(next_token_++);
+  t.created_at = now;
+  bool space = true;
+  for (EdgeId e : n.outputs) {
+    if (edges_[e.v]->size() + edges_[e.v]->produce_count() >
+        edges_[e.v]->capacity()) {
+      space = false;
+    }
+  }
+  if (space && !n.outputs.empty()) {
+    for (EdgeId e : n.outputs) {
+      for (std::size_t k = 0; k < edges_[e.v]->produce_count(); ++k) {
+        edges_[e.v]->push(now, t);
+      }
+    }
+    ++n.stats.firings;
+  } else {
+    ++n.stats.drops;
+  }
+  const double gap = n.next_gap();
+  if (gap >= 0.0 && std::isfinite(gap)) {
+    sim_.schedule_in(gap, [this, node_idx] { source_emit(node_idx); });
+  }
+  on_state_change();
+}
+
+void ProcessNetwork::deliver_to_sink(std::size_t node_idx) {
+  Node& n = nodes_[node_idx];
+  const double now = sim_.now();
+  Token first;
+  bool have = false;
+  for (EdgeId e : n.inputs) {
+    for (std::size_t k = 0; k < edges_[e.v]->consume_count(); ++k) {
+      Token t = edges_[e.v]->pop(now);
+      if (!have) {
+        first = t;
+        have = true;
+      }
+    }
+  }
+  if (!have) return;
+  ++n.stats.firings;
+  ++delivered_;
+  latency_.add(now - first.created_at);
+  if (last_departure_ >= 0.0) {
+    const double gap = now - last_departure_;
+    if (last_gap_ >= 0.0) departure_gap_deviation_.add(std::abs(gap - last_gap_));
+    last_gap_ = gap;
+  }
+  last_departure_ = now;
+}
+
+double ProcessNetwork::mean_jitter() const {
+  return departure_gap_deviation_.count() ? departure_gap_deviation_.mean()
+                                          : 0.0;
+}
+
+double ProcessNetwork::cpu_utilization(CpuId c, double elapsed) const {
+  if (!(elapsed > 0.0)) return 0.0;
+  return cpus_.at(c.v).busy_time / elapsed;
+}
+
+}  // namespace holms::stream

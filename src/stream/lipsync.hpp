@@ -1,0 +1,67 @@
+#pragma once
+// Inter-stream synchronization (paper §2.1):
+//
+// "In its most abstract form, a multimedia application can be reduced to a
+//  set of different media streams (audio, video, etc ...) that satisfy a
+//  particular temporal relationship.  For instance, in order to enforce
+//  lip-synchronization, the audio and video streams needs to be synchronized
+//  at precise time instances."
+//
+// Two jittery streams (audio and video) arrive at a playout point.  A
+// synchronizer holds units in per-stream playout buffers and releases
+// matched pairs on a common clock; skew beyond the tolerance forces a
+// resync action (skip or pause), and the fraction of in-sync presentations
+// is the QoS metric.  The classic lip-sync tolerance is +-80 ms.
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace holms::stream {
+
+/// One media unit (an audio block or a video frame) with its nominal
+/// presentation timestamp.
+struct MediaUnit {
+  std::uint64_t seq = 0;
+  double pts = 0.0;         // nominal presentation time
+  double arrived_at = 0.0;  // when it reached the playout buffer
+};
+
+/// Network/decode path model for one stream: fixed rate plus random delay
+/// jitter and loss.
+struct StreamPathModel {
+  double unit_period = 1.0 / 30.0;  // media units per second (1/rate)
+  double base_delay = 0.05;         // mean one-way latency
+  double jitter_stddev = 0.01;      // Gaussian delay jitter
+  double loss_prob = 0.0;           // units lost in transit
+};
+
+struct LipSyncConfig {
+  StreamPathModel video{1.0 / 30.0, 0.08, 0.015, 0.0};
+  StreamPathModel audio{1.0 / 50.0, 0.03, 0.003, 0.0};
+  double sync_tolerance = 0.080;   // +-80 ms: the lip-sync envelope
+  double playout_offset = 0.150;   // fixed playout delay added to pts
+  std::size_t buffer_capacity = 64;
+};
+
+struct LipSyncReport {
+  std::uint64_t presented = 0;        // video units displayed
+  std::uint64_t in_sync = 0;          // displayed within tolerance
+  std::uint64_t video_late = 0;       // video missed its playout instant
+  std::uint64_t audio_gaps = 0;       // playout instants with no audio
+  std::uint64_t resyncs = 0;          // tolerance exceeded -> clock resync
+  double in_sync_fraction = 0.0;
+  double mean_abs_skew = 0.0;         // |audio pts - video pts| at playout
+  double max_abs_skew = 0.0;
+  double mean_video_buffer = 0.0;     // playout-buffer occupancy
+  double mean_audio_buffer = 0.0;
+};
+
+/// Simulates `duration` seconds of synchronized playout.
+LipSyncReport run_lipsync(const LipSyncConfig& cfg, double duration,
+                          std::uint64_t seed);
+
+}  // namespace holms::stream

@@ -1,0 +1,55 @@
+#pragma once
+// The MPEG-2 decoder process network of Fig.1(b):
+//
+//   receive -> B2 -> VLD -> { B3 -> IDCT -> C1 }  -> display
+//                         -> { B4 -> MV   -> C2 } /
+//
+// with all decode processes arbitrated by a scheduler on one (or two) CPUs.
+// This is the paper's running example of the Producer–Consumer paradigm
+// applied locally: "the average length of these buffers is very important as
+// it reflects their utilization over time."
+
+#include <cstddef>
+
+#include "sim/simulator.hpp"
+#include "stream/kpn.hpp"
+#include "traffic/video.hpp"
+
+namespace holms::stream {
+
+struct Mpeg2Config {
+  std::size_t b2_capacity = 8;
+  std::size_t b3_capacity = 4;
+  std::size_t b4_capacity = 4;
+  std::size_t c_capacity = 4;
+  bool two_cpus = false;           // map IDCT/MV to a second CPU
+  SchedPolicy policy = SchedPolicy::kRoundRobin;
+  double cpu_frequency_hz = 400e6;
+  double vld_cycles_per_bit = 40.0;
+  double idct_cycles_per_bit = 60.0;
+  double mv_cycles_per_bit = 25.0;
+};
+
+struct Mpeg2Report {
+  double mean_b2 = 0.0;            // time-average buffer occupancies
+  double mean_b3 = 0.0;
+  double mean_b4 = 0.0;
+  double mean_frame_latency = 0.0; // arrival -> display
+  double jitter = 0.0;
+  double fps_out = 0.0;            // displayed frames per second
+  double cpu0_utilization = 0.0;
+  double cpu1_utilization = 0.0;   // 0 unless two_cpus
+  double vld_blocked_time = 0.0;   // producer write-blocked on B3/B4
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t frames_dropped = 0;  // receive found B2 full
+};
+
+/// Builds the decoder network, feeds it `num_frames` frames from the trace
+/// generator at its frame rate, and runs until the pipeline drains (bounded
+/// by `extra_drain_time` after the last arrival).
+Mpeg2Report run_mpeg2_decoder(traffic::VideoTraceGenerator& video,
+                              std::size_t num_frames, const Mpeg2Config& cfg,
+                              double extra_drain_time = 2.0);
+
+}  // namespace holms::stream

@@ -1,0 +1,173 @@
+#include "streaming/fgs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace holms::streaming {
+
+ChannelTrace::ChannelTrace(sim::Rng rng, double good_bps, double mid_bps,
+                           double bad_bps)
+    : rng_(rng), rates_{good_bps, mid_bps, bad_bps} {}
+
+double ChannelTrace::next_capacity_bps() {
+  // Sticky three-state Markov chain: 80% stay, 20% move to a neighbor state
+  // (reflecting at the ends) — slot-scale coherence like an indoor channel.
+  if (rng_.bernoulli(0.2)) {
+    if (state_ == 0) {
+      state_ = 1;
+    } else if (state_ == 2) {
+      state_ = 1;
+    } else {
+      state_ = rng_.bernoulli(0.5) ? 0 : 2;
+    }
+  }
+  // Small lognormal wobble within the state.
+  return rates_[state_] * std::exp(rng_.normal(0.0, 0.08));
+}
+
+namespace {
+
+double psnr_at_rate(const FgsConfig& cfg, double decoded_bps) {
+  if (decoded_bps < cfg.base_layer_bps) {
+    // Base layer incomplete: severe degradation, scaled by coverage.
+    const double frac = decoded_bps / cfg.base_layer_bps;
+    return cfg.psnr_base_db * std::max(0.3, frac);
+  }
+  const double ratio = decoded_bps / cfg.base_layer_bps;
+  return cfg.psnr_base_db +
+         cfg.psnr_gain_db_per_doubling * std::log2(ratio + 1e-12);
+}
+
+/// Accumulators for one client across slots.
+struct ClientState {
+  sim::OnlineStats psnr;
+  sim::OnlineStats load;
+  double rx_bits = 0.0;
+  double wasted_bits = 0.0;
+  double rx_energy_j = 0.0;
+  double cpu_energy_j = 0.0;
+  double min_psnr = std::numeric_limits<double>::infinity();
+  std::size_t base_misses = 0;
+};
+
+/// One client's slot under the given policy and channel share.
+void process_slot(FgsPolicy policy, const FgsConfig& cfg,
+                  dvfs::Processor& cpu, double capacity_bps,
+                  ClientState& st) {
+  const double max_stream_bps = cfg.base_layer_bps + cfg.max_enhancement_bps;
+
+  // --- client advertises its decoding aptitude ---
+  if (policy == FgsPolicy::kClientFeedback) {
+    const double expected_bps = std::min(capacity_bps, max_stream_bps);
+    const double needed_cycles = expected_bps * cfg.slot_s *
+                                 cfg.decode_cycles_per_bit /
+                                 cfg.target_normalized_load;
+    std::size_t lvl = cpu.num_points() - 1;
+    for (std::size_t l = 0; l < cpu.num_points(); ++l) {
+      if (cpu.point(l).frequency_hz * cfg.slot_s >= needed_cycles) {
+        lvl = l;
+        break;
+      }
+    }
+    cpu.set_level(lvl);
+    st.rx_energy_j += cfg.feedback_tx_nj * 1e-9;  // per-slot feedback cost
+  }
+  const double aptitude_bits =
+      cpu.current().frequency_hz * cfg.slot_s / cfg.decode_cycles_per_bit;
+
+  // --- server picks the send rate ---
+  double send_bps;
+  if (policy == FgsPolicy::kClientFeedback) {
+    send_bps =
+        std::min({capacity_bps, max_stream_bps, aptitude_bits / cfg.slot_s});
+  } else {
+    send_bps = std::min(capacity_bps, max_stream_bps);
+  }
+  const double rx_bits = send_bps * cfg.slot_s;
+
+  // --- client receives and decodes ---
+  const double decodable_bits = std::min(rx_bits, aptitude_bits);
+  st.rx_bits += rx_bits;
+  st.wasted_bits += rx_bits - decodable_bits;
+  st.rx_energy_j += cfg.rx_nj_per_bit * 1e-9 * rx_bits;
+
+  const double decode_cycles = decodable_bits * cfg.decode_cycles_per_bit;
+  st.cpu_energy_j += cpu.energy_for_cycles(decode_cycles);
+  const double busy_s = decode_cycles / cpu.current().frequency_hz;
+  const double idle_s = std::max(0.0, cfg.slot_s - busy_s);
+  st.cpu_energy_j +=
+      0.25 * cpu.model().total_power(cpu.current()) * idle_s;
+
+  st.load.add(aptitude_bits > 0.0 ? rx_bits / aptitude_bits : 0.0);
+  const double decoded_bps = decodable_bits / cfg.slot_s;
+  if (decoded_bps < cfg.base_layer_bps) ++st.base_misses;
+  const double psnr = psnr_at_rate(cfg, decoded_bps);
+  st.psnr.add(psnr);
+  st.min_psnr = std::min(st.min_psnr, psnr);
+}
+
+FgsReport make_report(const ClientState& st, std::size_t slots) {
+  FgsReport rep;
+  rep.slots = slots;
+  rep.mean_psnr_db = st.psnr.mean();
+  rep.min_psnr_db = slots ? st.min_psnr : 0.0;
+  rep.client_rx_energy_j = st.rx_energy_j;
+  rep.client_cpu_energy_j = st.cpu_energy_j;
+  rep.client_total_energy_j = st.rx_energy_j + st.cpu_energy_j;
+  rep.mean_normalized_load = st.load.count() ? st.load.mean() : 0.0;
+  rep.wasted_rx_fraction =
+      st.rx_bits > 0.0 ? st.wasted_bits / st.rx_bits : 0.0;
+  rep.base_layer_misses = st.base_misses;
+  return rep;
+}
+
+}  // namespace
+
+FgsReport run_fgs_session(FgsPolicy policy, const FgsConfig& cfg,
+                          dvfs::Processor& client_cpu, ChannelTrace& channel,
+                          std::size_t slots) {
+  if (policy == FgsPolicy::kNonAdaptive) {
+    client_cpu.set_level(client_cpu.num_points() - 1);
+  }
+  ClientState st;
+  for (std::size_t s = 0; s < slots; ++s) {
+    process_slot(policy, cfg, client_cpu, channel.next_capacity_bps(), st);
+  }
+  return make_report(st, slots);
+}
+
+AdhocReport run_fgs_adhoc(FgsPolicy policy, const FgsConfig& cfg,
+                          std::vector<dvfs::Processor>& clients,
+                          ChannelTrace& shared_channel, std::size_t slots) {
+  AdhocReport rep;
+  if (clients.empty()) return rep;
+  if (policy == FgsPolicy::kNonAdaptive) {
+    for (auto& c : clients) c.set_level(c.num_points() - 1);
+  }
+  std::vector<ClientState> states(clients.size());
+  for (std::size_t s = 0; s < slots; ++s) {
+    // Fair medium share: every active stream gets capacity / N this slot
+    // (every multimedia host also forwards/receives, §4.2 — here they all
+    // contend for the same spectrum).
+    const double share = shared_channel.next_capacity_bps() /
+                         static_cast<double>(clients.size());
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      process_slot(policy, cfg, clients[c], share, states[c]);
+    }
+  }
+  rep.min_psnr_db = std::numeric_limits<double>::infinity();
+  sim::OnlineStats psnr;
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    rep.per_client.push_back(make_report(states[c], slots));
+    rep.total_client_energy_j += rep.per_client.back().client_total_energy_j;
+    psnr.add(rep.per_client.back().mean_psnr_db);
+    rep.min_psnr_db =
+        std::min(rep.min_psnr_db, rep.per_client.back().min_psnr_db);
+  }
+  rep.mean_psnr_db = psnr.mean();
+  if (slots == 0) rep.min_psnr_db = 0.0;
+  return rep;
+}
+
+}  // namespace holms::streaming

@@ -1,0 +1,93 @@
+#pragma once
+// Energy-aware MPEG-4 FGS video streaming (paper §4.1, refs [28][29]).
+//
+// "a low energy MPEG-4 FGS streaming policy using a client-feedback method
+//  is presented, where the client decoding aptitude in each timeslot is
+//  communicated to the server, and the server subsequently determines the
+//  additional amount of data in the form of enhancement layers on top of the
+//  MPEG-4 base layer. ... a dynamic voltage and frequency scaling technique
+//  is used to adjust the decoding aptitude of the client ... the notion of a
+//  normalized decoding load is introduced ... a video streaming system that
+//  maintains this normalized load at unity produces the optimum video
+//  quality with no energy waste."
+//
+// The session advances in timeslots.  Each slot the wireless channel offers
+// a capacity, the server picks a send rate (base layer + FGS enhancement
+// truncated at any bit position), the client receives and decodes.  Data
+// received beyond the client's decoding aptitude is pure communication-
+// energy waste; aptitude beyond the received data is compute-energy waste.
+
+#include <cstddef>
+#include <vector>
+
+#include "dvfs/dvfs.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace holms::streaming {
+
+enum class FgsPolicy {
+  kNonAdaptive,      // server sends max enhancement; client at max frequency
+  kClientFeedback,   // [28]: per-slot aptitude feedback + client DVFS
+};
+
+struct FgsConfig {
+  double slot_s = 0.5;               // feedback timeslot
+  double base_layer_bps = 256e3;     // BL must always be decoded
+  double max_enhancement_bps = 2.0e6;  // FGS cap on top of BL
+  double decode_cycles_per_bit = 180.0;
+  double rx_nj_per_bit = 230.0;      // WLAN receive energy (client side)
+  double feedback_tx_nj = 4000.0;    // per-slot feedback message cost
+  double target_normalized_load = 1.0;
+  // Quality model: PSNR grows logarithmically in rate above the base layer.
+  double psnr_base_db = 30.0;
+  double psnr_gain_db_per_doubling = 2.8;
+};
+
+/// Markov-modulated wireless channel capacity per slot (three states).
+class ChannelTrace {
+ public:
+  ChannelTrace(sim::Rng rng, double good_bps = 3.0e6, double mid_bps = 1.2e6,
+               double bad_bps = 0.35e6);
+  /// Capacity offered in the next slot.
+  double next_capacity_bps();
+
+ private:
+  sim::Rng rng_;
+  double rates_[3];
+  std::size_t state_ = 0;
+};
+
+struct FgsReport {
+  double mean_psnr_db = 0.0;
+  double min_psnr_db = 0.0;
+  double client_rx_energy_j = 0.0;     // communication energy at the client
+  double client_cpu_energy_j = 0.0;
+  double client_total_energy_j = 0.0;
+  double mean_normalized_load = 0.0;
+  double wasted_rx_fraction = 0.0;     // received bits never decoded
+  std::size_t base_layer_misses = 0;   // slots where BL couldn't be decoded
+  std::size_t slots = 0;
+};
+
+/// Runs one streaming session for `slots` timeslots.
+FgsReport run_fgs_session(FgsPolicy policy, const FgsConfig& cfg,
+                          dvfs::Processor& client_cpu, ChannelTrace& channel,
+                          std::size_t slots);
+
+/// Distributed (ad hoc mode, §4.1) streaming: several peer-to-peer streams
+/// share one wireless medium.  Each slot the channel capacity is divided
+/// equally among the streams that want to transmit (CSMA-style fair share);
+/// each client then applies its own policy against its share.
+struct AdhocReport {
+  std::vector<FgsReport> per_client;
+  double total_client_energy_j = 0.0;
+  double mean_psnr_db = 0.0;
+  double min_psnr_db = 0.0;
+};
+
+AdhocReport run_fgs_adhoc(FgsPolicy policy, const FgsConfig& cfg,
+                          std::vector<dvfs::Processor>& clients,
+                          ChannelTrace& shared_channel, std::size_t slots);
+
+}  // namespace holms::streaming

@@ -1,0 +1,46 @@
+#pragma once
+// Self-similarity toolkit: exact fractional-Gaussian-noise synthesis and the
+// two classical Hurst estimators (paper §3.2, ref [19]).
+//
+// Long-range dependence is what separates multimedia traffic from the
+// Markovian models classical queueing assumes; estimating H from a trace and
+// synthesizing traces with prescribed H are both needed by experiment E3.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace holms::traffic {
+
+/// Generates `n` samples of fractional Gaussian noise with Hurst parameter
+/// `h` in (0, 1), zero mean and unit variance, using the Hosking (1984)
+/// recursive method (exact, O(n^2) — fine for the 2^14..2^16 sample traces
+/// used here).
+std::vector<double> fgn_hosking(std::size_t n, double h, sim::Rng& rng);
+
+/// Theoretical autocovariance of fGn at the given lag.
+double fgn_autocovariance(double h, std::size_t lag);
+
+/// Rescaled-range (R/S) estimate of the Hurst parameter: slope of
+/// log(R/S) vs log(block size) over dyadic block sizes.
+double hurst_rs(std::span<const double> xs);
+
+/// Aggregated-variance estimate of H: Var(X^(m)) ~ m^(2H-2); slope of
+/// log Var vs log m gives 2H - 2.
+double hurst_aggregated_variance(std::span<const double> xs);
+
+/// Periodogram estimate of H: for an LRD process the spectral density
+/// behaves as f^(1-2H) near the origin, so the slope of log I(f) vs log f
+/// over the lowest frequencies gives 1 - 2H.  Complements the time-domain
+/// estimators (frequency-domain estimators are less biased by short-range
+/// structure).
+double hurst_periodogram(std::span<const double> xs,
+                         double low_frequency_fraction = 0.1);
+
+/// Least-squares slope of y against x (shared by the estimators; exposed for
+/// testing).
+double ls_slope(std::span<const double> x, std::span<const double> y);
+
+}  // namespace holms::traffic

@@ -1,0 +1,158 @@
+#include "traffic/sources.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace holms::traffic {
+
+CbrSource::CbrSource(double rate) : period_(1.0 / rate) {
+  if (!(rate > 0.0)) throw std::invalid_argument("CbrSource: rate must be > 0");
+}
+
+PoissonSource::PoissonSource(double rate, sim::Rng rng)
+    : rate_(rate), rng_(rng) {
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("PoissonSource: rate must be > 0");
+  }
+}
+
+double PoissonSource::next_interarrival() { return rng_.exponential(rate_); }
+
+MmppSource::MmppSource(double rate0, double rate1, double switch01,
+                       double switch10, sim::Rng rng)
+    : rates_{rate0, rate1}, switch_rates_{switch01, switch10}, rng_(rng) {
+  if (!(rate0 >= 0.0) || !(rate1 >= 0.0) || !(switch01 > 0.0) ||
+      !(switch10 > 0.0) || (rate0 <= 0.0 && rate1 <= 0.0)) {
+    throw std::invalid_argument("MmppSource: invalid rates");
+  }
+  time_to_switch_ = rng_.exponential(switch_rates_[0]);
+}
+
+double MmppSource::mean_rate() const {
+  // Stationary probability of state 0 is switch10 / (switch01 + switch10).
+  const double p0 = switch_rates_[1] / (switch_rates_[0] + switch_rates_[1]);
+  return p0 * rates_[0] + (1.0 - p0) * rates_[1];
+}
+
+double MmppSource::next_interarrival() {
+  double waited = 0.0;
+  for (;;) {
+    const double rate = rates_[state_];
+    const double to_arrival = rate > 0.0
+                                  ? rng_.exponential(rate)
+                                  : std::numeric_limits<double>::infinity();
+    if (to_arrival < time_to_switch_) {
+      time_to_switch_ -= to_arrival;
+      return waited + to_arrival;
+    }
+    // Phase switch happens first; memorylessness lets us redraw the arrival.
+    waited += time_to_switch_;
+    state_ ^= 1;
+    time_to_switch_ = rng_.exponential(switch_rates_[state_]);
+  }
+}
+
+OnOffParetoSource::OnOffParetoSource(const Params& p, sim::Rng rng)
+    : p_(p), rng_(rng) {
+  if (!(p.peak_rate > 0.0) || !(p.mean_on > 0.0) || !(p.mean_off > 0.0) ||
+      !(p.alpha_on > 1.0) || !(p.alpha_off > 1.0)) {
+    throw std::invalid_argument(
+        "OnOffParetoSource: need positive params and alpha > 1");
+  }
+  // Pareto(alpha, xm) has mean alpha*xm/(alpha-1); solve xm for target mean.
+  xm_on_ = p.mean_on * (p.alpha_on - 1.0) / p.alpha_on;
+  xm_off_ = p.mean_off * (p.alpha_off - 1.0) / p.alpha_off;
+  on_remaining_ = draw_on();  // start in ON so the first arrival is finite
+}
+
+double OnOffParetoSource::draw_on() { return rng_.pareto(p_.alpha_on, xm_on_); }
+double OnOffParetoSource::draw_off() {
+  return rng_.pareto(p_.alpha_off, xm_off_);
+}
+
+double OnOffParetoSource::mean_rate() const {
+  return p_.peak_rate * p_.mean_on / (p_.mean_on + p_.mean_off);
+}
+
+double OnOffParetoSource::hurst() const {
+  const double alpha = std::min(p_.alpha_on, p_.alpha_off);
+  return (3.0 - alpha) / 2.0;
+}
+
+double OnOffParetoSource::next_interarrival() {
+  const double gap = 1.0 / p_.peak_rate;  // deterministic spacing while ON
+  double waited = 0.0;
+  for (;;) {
+    if (on_remaining_ >= gap) {
+      on_remaining_ -= gap;
+      return waited + gap;
+    }
+    // Burn the tail of the ON period, then a whole OFF period.
+    waited += on_remaining_ + draw_off();
+    on_remaining_ = draw_on();
+  }
+}
+
+SuperposedSource::SuperposedSource(
+    std::vector<std::unique_ptr<ArrivalProcess>> sources)
+    : sources_(std::move(sources)) {
+  if (sources_.empty()) {
+    throw std::invalid_argument("SuperposedSource: need >= 1 source");
+  }
+  next_time_.reserve(sources_.size());
+  for (auto& s : sources_) next_time_.push_back(s->next_interarrival());
+}
+
+double SuperposedSource::mean_rate() const {
+  double sum = 0.0;
+  for (const auto& s : sources_) sum += s->mean_rate();
+  return sum;
+}
+
+double SuperposedSource::next_interarrival() {
+  const auto it = std::min_element(next_time_.begin(), next_time_.end());
+  const std::size_t idx = static_cast<std::size_t>(it - next_time_.begin());
+  const double when = *it;
+  const double gap = when - now_;
+  now_ = when;
+  next_time_[idx] = when + sources_[idx]->next_interarrival();
+  return gap;
+}
+
+std::unique_ptr<ArrivalProcess> make_selfsimilar_aggregate(
+    std::size_t n, double target_rate, double alpha, sim::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("aggregate: need >= 1 source");
+  std::vector<std::unique_ptr<ArrivalProcess>> sources;
+  sources.reserve(n);
+  OnOffParetoSource::Params p;
+  p.alpha_on = alpha;
+  p.alpha_off = alpha;
+  p.mean_on = 1.0;
+  p.mean_off = 4.0;
+  // Each source contributes target_rate/n on average; duty cycle is
+  // mean_on / (mean_on + mean_off) = 0.2.
+  const double duty = p.mean_on / (p.mean_on + p.mean_off);
+  p.peak_rate = target_rate / (static_cast<double>(n) * duty);
+  for (std::size_t i = 0; i < n; ++i) {
+    sources.push_back(std::make_unique<OnOffParetoSource>(p, rng.fork()));
+  }
+  return std::make_unique<SuperposedSource>(std::move(sources));
+}
+
+std::vector<double> arrivals_per_slot(ArrivalProcess& src, double dt,
+                                      std::size_t slots) {
+  assert(dt > 0.0);
+  std::vector<double> counts(slots, 0.0);
+  double t = src.next_interarrival();
+  const double horizon = dt * static_cast<double>(slots);
+  while (t < horizon) {
+    counts[static_cast<std::size_t>(t / dt)] += 1.0;
+    t += src.next_interarrival();
+  }
+  return counts;
+}
+
+}  // namespace holms::traffic

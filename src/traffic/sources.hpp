@@ -1,0 +1,129 @@
+#pragma once
+// Arrival-process models for multimedia traffic (paper §3.2).
+//
+// "the bursty nature of the multimedia traffic makes self-similarity a
+//  critical design factor ... self-similar processes typically obey some
+//  power-law decay of the autocorrelation function."
+//
+// The short-range-dependent (Markovian) family here — CBR, Poisson, MMPP —
+// is the *baseline* the paper says classical analysis covers; the
+// long-range-dependent family (ON/OFF Pareto superposition, fGn-driven rate)
+// is what breaks it.  Experiment E3 feeds both into the same router queue.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace holms::traffic {
+
+/// A point process: successive inter-arrival times of fixed-size packets.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Returns the time until the next arrival (> 0).
+  virtual double next_interarrival() = 0;
+  /// Long-run mean arrival rate (packets per unit time).
+  virtual double mean_rate() const = 0;
+};
+
+/// Constant bit rate: deterministic spacing (isochronous audio).
+class CbrSource final : public ArrivalProcess {
+ public:
+  explicit CbrSource(double rate);
+  double next_interarrival() override { return period_; }
+  double mean_rate() const override { return 1.0 / period_; }
+
+ private:
+  double period_;
+};
+
+/// Poisson arrivals: the memoryless baseline.
+class PoissonSource final : public ArrivalProcess {
+ public:
+  PoissonSource(double rate, sim::Rng rng);
+  double next_interarrival() override;
+  double mean_rate() const override { return rate_; }
+
+ private:
+  double rate_;
+  sim::Rng rng_;
+};
+
+/// Two-state Markov-modulated Poisson process: bursty but still
+/// short-range dependent.  State 0 emits at rate0, state 1 at rate1;
+/// exponential sojourns.
+class MmppSource final : public ArrivalProcess {
+ public:
+  MmppSource(double rate0, double rate1, double switch01, double switch10,
+             sim::Rng rng);
+  double next_interarrival() override;
+  double mean_rate() const override;
+
+ private:
+  double rates_[2];
+  double switch_rates_[2];  // out of state 0, out of state 1
+  int state_ = 0;
+  double time_to_switch_;
+  sim::Rng rng_;
+};
+
+/// Single ON/OFF source with Pareto-distributed ON and OFF periods.  During
+/// ON, packets are emitted at `peak_rate`; OFF is silent.  With shape
+/// 1 < alpha < 2 the superposition of many such sources converges to a
+/// self-similar process with Hurst H = (3 - alpha) / 2 (Taqqu et al.) — the
+/// canonical construction behind multimedia LRD traffic.
+class OnOffParetoSource final : public ArrivalProcess {
+ public:
+  struct Params {
+    double peak_rate = 10.0;   // packets per unit time while ON
+    double mean_on = 1.0;      // mean ON duration
+    double mean_off = 4.0;     // mean OFF duration
+    double alpha_on = 1.5;     // Pareto shape of ON periods
+    double alpha_off = 1.5;    // Pareto shape of OFF periods
+  };
+  OnOffParetoSource(const Params& p, sim::Rng rng);
+
+  double next_interarrival() override;
+  double mean_rate() const override;
+  /// Theoretical Hurst parameter of the aggregate, min over both shapes.
+  double hurst() const;
+
+ private:
+  double draw_on();
+  double draw_off();
+
+  Params p_;
+  double xm_on_;
+  double xm_off_;
+  double on_remaining_ = 0.0;  // time left in current ON period
+  sim::Rng rng_;
+};
+
+/// Superposition of independent arrival processes, itself an arrival
+/// process.  Maintains a small calendar of per-source next-arrival times.
+class SuperposedSource final : public ArrivalProcess {
+ public:
+  explicit SuperposedSource(
+      std::vector<std::unique_ptr<ArrivalProcess>> sources);
+  double next_interarrival() override;
+  double mean_rate() const override;
+
+ private:
+  std::vector<std::unique_ptr<ArrivalProcess>> sources_;
+  std::vector<double> next_time_;  // absolute next arrival per source
+  double now_ = 0.0;
+};
+
+/// Builds the standard LRD aggregate used in E3: `n` homogeneous ON/OFF
+/// Pareto sources scaled so the aggregate mean rate equals `target_rate`.
+std::unique_ptr<ArrivalProcess> make_selfsimilar_aggregate(
+    std::size_t n, double target_rate, double alpha, sim::Rng& rng);
+
+/// Bins an arrival process into counts per slot of width `dt` — the input
+/// format for the Hurst estimators.
+std::vector<double> arrivals_per_slot(ArrivalProcess& src, double dt,
+                                      std::size_t slots);
+
+}  // namespace holms::traffic

@@ -1,0 +1,92 @@
+#include "traffic/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace holms::traffic {
+namespace {
+
+FrameType type_from_string(const std::string& s, std::size_t line) {
+  if (s == "I") return FrameType::kI;
+  if (s == "P") return FrameType::kP;
+  if (s == "B") return FrameType::kB;
+  throw std::runtime_error("trace line " + std::to_string(line) +
+                           ": unknown frame type '" + s + "'");
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& out,
+                     const std::vector<VideoFrame>& trace) {
+  out.precision(17);  // lossless double round-trip
+  out << "index,type,size_bits,decode_complexity\n";
+  for (const auto& f : trace) {
+    out << f.index << ',' << VideoTraceGenerator::type_name(f.type) << ','
+        << f.size_bits << ',' << f.decode_complexity << '\n';
+  }
+}
+
+std::vector<VideoFrame> read_trace_csv(std::istream& in) {
+  std::vector<VideoFrame> trace;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (lineno == 1 && line.rfind("index,", 0) == 0) continue;  // header
+    std::istringstream row(line);
+    std::string idx, type, size, cx;
+    if (!std::getline(row, idx, ',') || !std::getline(row, type, ',') ||
+        !std::getline(row, size, ',') || !std::getline(row, cx)) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": expected 4 comma-separated fields");
+    }
+    VideoFrame f;
+    try {
+      f.index = std::stoull(idx);
+      f.size_bits = std::stod(size);
+      f.decode_complexity = std::stod(cx);
+    } catch (const std::exception&) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": malformed number");
+    }
+    f.type = type_from_string(type, lineno);
+    if (f.size_bits < 0.0 || f.decode_complexity < 0.0) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": negative size/complexity");
+    }
+    trace.push_back(f);
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path,
+                const std::vector<VideoFrame>& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  write_trace_csv(out, trace);
+}
+
+std::vector<VideoFrame> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  return read_trace_csv(in);
+}
+
+TracePlaybackSource::TracePlaybackSource(std::vector<VideoFrame> trace,
+                                         double frame_rate)
+    : trace_(std::move(trace)), frame_rate_(frame_rate) {
+  if (trace_.empty() || !(frame_rate > 0.0)) {
+    throw std::invalid_argument(
+        "TracePlaybackSource: need non-empty trace, rate > 0");
+  }
+}
+
+double TracePlaybackSource::next_interarrival() {
+  last_bits_ = trace_[next_].size_bits;
+  next_ = (next_ + 1) % trace_.size();
+  return 1.0 / frame_rate_;
+}
+
+}  // namespace holms::traffic

@@ -1,0 +1,50 @@
+#pragma once
+// Trace import/export and empirical playback.
+//
+// Real evaluations replay recorded traces (the paper's §2.2 complaint is
+// exactly about the volume of such traces).  HolMS stores traces as plain
+// CSV — `index,type,size_bits,decode_complexity` per frame — so generated
+// workloads can be saved, inspected, and replayed, and externally recorded
+// frame-size traces can be fed to every consumer of VideoFrame sequences.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "traffic/sources.hpp"
+#include "traffic/video.hpp"
+
+namespace holms::traffic {
+
+/// Serializes frames as CSV (with a header line).
+void write_trace_csv(std::ostream& out, const std::vector<VideoFrame>& trace);
+
+/// Parses a CSV trace; throws std::runtime_error with the offending line
+/// number on malformed input.
+std::vector<VideoFrame> read_trace_csv(std::istream& in);
+
+/// Convenience file wrappers.
+void save_trace(const std::string& path, const std::vector<VideoFrame>& t);
+std::vector<VideoFrame> load_trace(const std::string& path);
+
+/// Plays a recorded frame trace back as an arrival process: one packet per
+/// frame at the trace's frame rate (wrapping around at the end), so
+/// empirical traces drive the same queues synthetic sources do.
+class TracePlaybackSource final : public ArrivalProcess {
+ public:
+  TracePlaybackSource(std::vector<VideoFrame> trace, double frame_rate);
+
+  double next_interarrival() override;
+  double mean_rate() const override { return frame_rate_; }
+
+  /// Size of the frame that the most recent arrival carried.
+  double last_frame_bits() const { return last_bits_; }
+
+ private:
+  std::vector<VideoFrame> trace_;
+  double frame_rate_;
+  std::size_t next_ = 0;
+  double last_bits_ = 0.0;
+};
+
+}  // namespace holms::traffic

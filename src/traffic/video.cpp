@@ -1,0 +1,112 @@
+#include "traffic/video.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "traffic/selfsim.hpp"
+
+namespace holms::traffic {
+
+VideoTraceGenerator::VideoTraceGenerator(const Params& p, sim::Rng rng)
+    : p_(p), rng_(rng) {
+  if (p.gop_length == 0 || !(p.frame_rate > 0.0) || !(p.mean_bitrate > 0.0) ||
+      !(p.i_to_p_ratio >= 1.0) || !(p.p_to_b_ratio >= 1.0)) {
+    throw std::invalid_argument("VideoTraceGenerator: invalid params");
+  }
+  // Solve per-type mean sizes so the GOP-average bitrate hits mean_bitrate.
+  // Count frame types in one GOP.
+  std::size_t ni = 0, np = 0, nb = 0;
+  for (std::size_t i = 0; i < p_.gop_length; ++i) {
+    switch (type_at(i)) {
+      case FrameType::kI: ++ni; break;
+      case FrameType::kP: ++np; break;
+      case FrameType::kB: ++nb; break;
+    }
+  }
+  const double bits_per_gop =
+      p_.mean_bitrate * static_cast<double>(p_.gop_length) / p_.frame_rate;
+  // mean_i = r_ip * r_pb * mean_b ; mean_p = r_pb * mean_b.
+  const double rip = p_.i_to_p_ratio, rpb = p_.p_to_b_ratio;
+  const double denom = static_cast<double>(ni) * rip * rpb +
+                       static_cast<double>(np) * rpb +
+                       static_cast<double>(nb);
+  mean_b_ = bits_per_gop / denom;
+  mean_p_ = rpb * mean_b_;
+  mean_i_ = rip * mean_p_;
+}
+
+FrameType VideoTraceGenerator::type_at(std::size_t index) const {
+  const std::size_t pos = index % p_.gop_length;
+  if (pos == 0) return FrameType::kI;
+  const std::size_t cycle = p_.b_per_anchor + 1;
+  return (pos % cycle == 0) ? FrameType::kP : FrameType::kB;
+}
+
+std::vector<VideoFrame> VideoTraceGenerator::generate(std::size_t n) {
+  std::vector<VideoFrame> frames;
+  frames.reserve(n);
+  // Scene-activity modulation: a slowly varying LRD multiplier shared by all
+  // frames, produced from fGn smoothed at one-value-per-GOP granularity.
+  std::vector<double> scene;
+  if (p_.scene_strength > 0.0 && n > 0) {
+    const std::size_t gops = n / p_.gop_length + 2;
+    scene = fgn_hosking(gops, p_.scene_hurst, rng_);
+  }
+  // Lognormal with mean 1 and cv = size_cv: sigma^2 = ln(1 + cv^2).
+  const double sigma2 = std::log(1.0 + p_.size_cv * p_.size_cv);
+  const double sigma = std::sqrt(sigma2);
+  const double mu = -0.5 * sigma2;
+  for (std::size_t i = 0; i < n; ++i) {
+    VideoFrame f;
+    f.index = i;
+    f.type = type_at(i);
+    double mean = 0.0;
+    switch (f.type) {
+      case FrameType::kI: mean = mean_i_; break;
+      case FrameType::kP: mean = mean_p_; break;
+      case FrameType::kB: mean = mean_b_; break;
+    }
+    double mod = 1.0;
+    if (!scene.empty()) {
+      const double z = scene[i / p_.gop_length];
+      mod = std::max(0.1, 1.0 + p_.scene_strength * z);
+    }
+    f.size_bits = mean * mod * rng_.lognormal(mu, sigma);
+    f.decode_complexity = f.size_bits * p_.cycles_per_bit;
+    frames.push_back(f);
+  }
+  return frames;
+}
+
+std::string VideoTraceGenerator::type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kI: return "I";
+    case FrameType::kP: return "P";
+    case FrameType::kB: return "B";
+  }
+  return "?";
+}
+
+TraceStats summarize(const std::vector<VideoFrame>& frames,
+                     double frame_rate) {
+  TraceStats s;
+  if (frames.empty()) return s;
+  double total = 0.0, ti = 0.0, tp = 0.0, tb = 0.0;
+  for (const auto& f : frames) {
+    total += f.size_bits;
+    switch (f.type) {
+      case FrameType::kI: ti += f.size_bits; ++s.count_i; break;
+      case FrameType::kP: tp += f.size_bits; ++s.count_p; break;
+      case FrameType::kB: tb += f.size_bits; ++s.count_b; break;
+    }
+  }
+  const double duration = static_cast<double>(frames.size()) / frame_rate;
+  s.mean_bitrate = total / duration;
+  if (s.count_i) s.mean_i = ti / static_cast<double>(s.count_i);
+  if (s.count_p) s.mean_p = tp / static_cast<double>(s.count_p);
+  if (s.count_b) s.mean_b = tb / static_cast<double>(s.count_b);
+  return s;
+}
+
+}  // namespace holms::traffic

@@ -1,0 +1,73 @@
+#pragma once
+// Synthetic compressed-video workload generator.
+//
+// Substitute for real MPEG bitstreams (DESIGN.md §2): "a few minutes of
+// compressed MPEG-2 video can easily require a few Gbytes of input data to
+// simulate" — instead we synthesize GOP-structured frame sequences whose
+// first- and second-order statistics (frame-type size ratios, lognormal
+// marginals, scene-level long-range dependence) match published MPEG trace
+// characterizations.  Every stream/streaming/NoC experiment that needs video
+// input draws from this generator.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace holms::traffic {
+
+enum class FrameType { kI, kP, kB };
+
+struct VideoFrame {
+  FrameType type = FrameType::kI;
+  std::size_t index = 0;        // display order
+  double size_bits = 0.0;       // coded size
+  double decode_complexity = 0.0;  // abstract decode cycles (prop. to size)
+};
+
+/// GOP-structured MPEG-like video source.
+class VideoTraceGenerator {
+ public:
+  struct Params {
+    std::size_t gop_length = 12;       // frames per GOP (IBBPBBPBBPBB)
+    std::size_t b_per_anchor = 2;      // B frames between I/P anchors
+    double frame_rate = 30.0;          // frames per second
+    double mean_bitrate = 4e6;         // bits per second
+    double size_cv = 0.35;             // coeff. of variation within a type
+    double i_to_p_ratio = 3.0;         // mean I size / mean P size
+    double p_to_b_ratio = 2.0;         // mean P size / mean B size
+    double scene_hurst = 0.8;          // LRD of scene-activity modulation
+    double scene_strength = 0.3;       // modulation depth (0 = none)
+    double cycles_per_bit = 120.0;     // decode complexity scaling
+  };
+
+  VideoTraceGenerator(const Params& p, sim::Rng rng);
+
+  /// Generates `n` frames in display order.
+  std::vector<VideoFrame> generate(std::size_t n);
+
+  /// Frame period in seconds.
+  double frame_period() const { return 1.0 / p_.frame_rate; }
+  const Params& params() const { return p_; }
+
+  static std::string type_name(FrameType t);
+
+ private:
+  FrameType type_at(std::size_t index) const;
+
+  Params p_;
+  sim::Rng rng_;
+  double mean_i_ = 0.0, mean_p_ = 0.0, mean_b_ = 0.0;
+};
+
+/// Aggregate statistics of a generated trace (for tests and benches).
+struct TraceStats {
+  double mean_bitrate = 0.0;
+  double mean_i = 0.0, mean_p = 0.0, mean_b = 0.0;
+  std::size_t count_i = 0, count_p = 0, count_b = 0;
+};
+TraceStats summarize(const std::vector<VideoFrame>& frames,
+                     double frame_rate);
+
+}  // namespace holms::traffic

@@ -1,0 +1,120 @@
+#include "wireless/jscc.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace holms::wireless {
+
+JsccConfig JsccOptimizer::evaluate(const JsccConfig& in,
+                                   double channel_gain) const {
+  JsccConfig c = in;
+  // Source distortion from the Gaussian R-D bound.
+  const double d_source =
+      img_.sigma2 * std::pow(2.0, -2.0 * c.source_rate_bpp);
+  // Channel-induced distortion: residual post-decoding errors corrupt
+  // coefficients; amplification maps BER to MSE.
+  const double ebn0 =
+      radio_.ebn0(c.tx_power_w, channel_gain, c.modulation) *
+      c.code.coding_gain();
+  const double residual_ber = ber(c.modulation, ebn0);
+  const double d_channel = opts_.residual_ber_amplification * residual_ber;
+  c.distortion = d_source + d_channel;
+  c.feasible = c.distortion <= opts_.max_distortion;
+  c.psnr_db = 10.0 * std::log10(255.0 * 255.0 / std::max(c.distortion, 1e-9));
+
+  // Energy: source encode + transmit (+PA/electronics) + channel decode.
+  const double info_bits = img_.pixels * c.source_rate_bpp;
+  const double encode_j = img_.encode_nj_per_pixel_per_bpp * 1e-9 *
+                          img_.pixels * c.source_rate_bpp;
+  const double per_bit =
+      radio_.energy_per_info_bit(c.tx_power_w, c.modulation, c.code);
+  c.total_energy_j = encode_j + per_bit * info_bits;
+  return c;
+}
+
+JsccConfig JsccOptimizer::baseline(double worst_channel_gain) const {
+  // Full quality, protected for the worst channel — what a non-adaptive
+  // designer ships.  Among configs feasible at the worst channel, pick the
+  // lowest-energy one with the maximum source rate.
+  JsccConfig best;
+  best.total_energy_j = std::numeric_limits<double>::infinity();
+  JsccConfig c;
+  c.source_rate_bpp = opts_.source_rates.back();
+  for (double p : opts_.power_levels_w) {
+    for (int k : opts_.constraint_lengths) {
+      c.code.constraint_length = k;
+      c.tx_power_w = p;
+      const JsccConfig ev = evaluate(c, worst_channel_gain);
+      if (ev.feasible && ev.total_energy_j < best.total_energy_j) best = ev;
+    }
+  }
+  return best;
+}
+
+JsccConfig JsccOptimizer::optimize(double channel_gain) const {
+  // Coordinate descent from a mid-grid start; each sweep relaxes one
+  // coordinate (R, P, K) to its best feasible value, iterating to a fixed
+  // point.  The grids are small enough that this reaches the exhaustive
+  // optimum in practice; a final exhaustive polish guarantees it.
+  JsccConfig cur;
+  cur.source_rate_bpp = opts_.source_rates[opts_.source_rates.size() / 2];
+  cur.tx_power_w = opts_.power_levels_w[opts_.power_levels_w.size() / 2];
+  cur.code.constraint_length =
+      opts_.constraint_lengths[opts_.constraint_lengths.size() / 2];
+  cur = evaluate(cur, channel_gain);
+
+  for (int sweep = 0; sweep < 8; ++sweep) {
+    bool changed = false;
+    auto consider = [&](JsccConfig cand) {
+      cand = evaluate(cand, channel_gain);
+      const bool better =
+          cand.feasible &&
+          (!cur.feasible || cand.total_energy_j < cur.total_energy_j);
+      if (better) {
+        cur = cand;
+        changed = true;
+      }
+    };
+    for (double r : opts_.source_rates) {
+      JsccConfig cand = cur;
+      cand.source_rate_bpp = r;
+      consider(cand);
+    }
+    for (double p : opts_.power_levels_w) {
+      JsccConfig cand = cur;
+      cand.tx_power_w = p;
+      consider(cand);
+    }
+    for (int k : opts_.constraint_lengths) {
+      JsccConfig cand = cur;
+      cand.code.constraint_length = k;
+      consider(cand);
+    }
+    if (!changed) break;
+  }
+
+  if (!cur.feasible) {
+    // Exhaustive fallback (also polishes coordinate-descent ties).
+    JsccConfig best = cur;
+    double best_e = std::numeric_limits<double>::infinity();
+    for (double r : opts_.source_rates) {
+      for (double p : opts_.power_levels_w) {
+        for (int k : opts_.constraint_lengths) {
+          JsccConfig cand;
+          cand.source_rate_bpp = r;
+          cand.tx_power_w = p;
+          cand.code.constraint_length = k;
+          cand = evaluate(cand, channel_gain);
+          if (cand.feasible && cand.total_energy_j < best_e) {
+            best = cand;
+            best_e = cand.total_energy_j;
+          }
+        }
+      }
+    }
+    cur = best;
+  }
+  return cur;
+}
+
+}  // namespace holms::wireless

@@ -1,0 +1,76 @@
+#pragma once
+// Joint source-channel-coding image transmission energy optimizer
+// (paper §4, ref [27] Appadwedula et al.).
+//
+// "an energy-optimized image transmission system for indoor wireless
+//  applications that exploits the variations in the image data and the
+//  wireless multi-path channel by using dynamic algorithm transformations
+//  and joint source-channel coding ... an average of 60% energy saving for
+//  different channel conditions."
+//
+// The client encodes an N-pixel image at source rate R (bits/pixel, D(R) =
+// sigma^2 2^{-2R} Gaussian R-D model), protects it with a convolutional code
+// of rate r, and transmits at power P.  Total energy = source-coding compute
+// + transmit + receiver decode; the optimizer searches (R, r, P) for the
+// minimum-energy configuration meeting a distortion budget under the current
+// channel gain, via coordinate descent over the discrete grid (the
+// feasible-direction analogue of [27]).
+
+#include <vector>
+
+#include "wireless/transceiver.hpp"
+
+namespace holms::wireless {
+
+struct ImageModel {
+  double pixels = 512.0 * 512.0;
+  double sigma2 = 2500.0;            // source variance (8-bit imagery)
+  double encode_nj_per_pixel_per_bpp = 1.4;  // DCT/quant energy scaling
+};
+
+struct JsccConfig {
+  double source_rate_bpp = 2.0;   // R
+  CodeConfig code{};              // channel code (rate + constraint length)
+  double tx_power_w = 0.1;        // P
+  Modulation modulation = Modulation::kQpsk;
+
+  double total_energy_j = 0.0;
+  double distortion = 0.0;        // expected end-to-end MSE
+  double psnr_db = 0.0;
+  bool feasible = false;
+};
+
+class JsccOptimizer {
+ public:
+  struct Options {
+    double max_distortion = 45.0;       // MSE budget (~31.6 dB PSNR floor)
+    std::vector<double> source_rates = {0.25, 0.5, 0.75, 1.0, 1.5,
+                                        2.0,  2.5, 3.0,  3.5, 4.0};
+    std::vector<double> power_levels_w = {0.01, 0.02, 0.05, 0.1, 0.2, 0.35,
+                                          0.5};
+    std::vector<int> constraint_lengths = {0, 3, 5, 7, 9};
+    double residual_ber_amplification = 1e4;  // MSE per residual bit error
+  };
+
+  JsccOptimizer(ImageModel img, RadioModel radio, Options opts)
+      : img_(img), radio_(radio), opts_(opts) {}
+
+  /// Evaluates one configuration against a channel gain.
+  JsccConfig evaluate(const JsccConfig& c, double channel_gain) const;
+
+  /// Full-quality non-adaptive baseline: max source rate, worst-case-channel
+  /// protection, fixed for all channel states.
+  JsccConfig baseline(double worst_channel_gain) const;
+
+  /// Coordinate-descent optimum for the current channel state.
+  JsccConfig optimize(double channel_gain) const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  ImageModel img_;
+  RadioModel radio_;
+  Options opts_;
+};
+
+}  // namespace holms::wireless

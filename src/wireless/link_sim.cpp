@@ -1,0 +1,116 @@
+#include "wireless/link_sim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace holms::wireless {
+namespace {
+
+// Binary-reflected Gray code.
+std::uint32_t gray(std::uint32_t i) { return i ^ (i >> 1); }
+
+int popcount(std::uint32_t v) {
+  int c = 0;
+  while (v) {
+    v &= v - 1;
+    ++c;
+  }
+  return c;
+}
+
+// One PAM axis of a square QAM constellation: `levels` amplitudes at
+// a * (2i - levels + 1).  Returns the number of Gray bit errors for one
+// random symbol at noise stddev `sigma`.
+int pam_axis_errors(std::uint32_t levels, double a, double sigma,
+                    holms::sim::Rng& rng) {
+  const auto tx = static_cast<std::uint32_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(levels) - 1));
+  const double x =
+      a * (2.0 * static_cast<double>(tx) - static_cast<double>(levels) + 1.0);
+  const double y = x + rng.normal(0.0, sigma);
+  // ML detection: nearest level.
+  double idx = (y / a + static_cast<double>(levels) - 1.0) / 2.0;
+  long rx = std::lround(idx);
+  rx = std::max(0L, std::min(rx, static_cast<long>(levels) - 1));
+  return popcount(gray(tx) ^ gray(static_cast<std::uint32_t>(rx)));
+}
+
+}  // namespace
+
+LinkSimResult simulate_awgn_ber(Modulation m, double ebn0,
+                                std::uint64_t bits, sim::Rng& rng) {
+  if (!(ebn0 > 0.0)) {
+    throw std::invalid_argument("simulate_awgn_ber: ebn0 must be > 0");
+  }
+  LinkSimResult res;
+  const double k = bits_per_symbol(m);
+  // Eb = 1 => N0 = 1/ebn0, per-axis noise sigma = sqrt(N0/2).
+  const double sigma = std::sqrt(1.0 / (2.0 * ebn0));
+
+  if (m == Modulation::kBpsk || m == Modulation::kQpsk) {
+    // Gray-coded QPSK is two independent BPSK axes with Es/axis = Eb.
+    while (res.bits < bits) {
+      const bool b = rng.bernoulli(0.5);
+      const double x = b ? 1.0 : -1.0;
+      const double y = x + rng.normal(0.0, sigma);
+      res.bit_errors += (y >= 0.0) != b ? 1 : 0;
+      ++res.bits;
+    }
+  } else {
+    const auto total = static_cast<std::uint32_t>(std::lround(std::pow(2.0, k)));
+    const auto levels = static_cast<std::uint32_t>(
+        std::lround(std::sqrt(static_cast<double>(total))));
+    // Per-axis amplitude normalizing average symbol energy to k * Eb.
+    const double a =
+        std::sqrt(3.0 * k / (2.0 * (static_cast<double>(total) - 1.0)));
+    const std::uint64_t bits_per_sym = static_cast<std::uint64_t>(k);
+    while (res.bits < bits) {
+      res.bit_errors += static_cast<std::uint64_t>(
+          pam_axis_errors(levels, a, sigma, rng) +
+          pam_axis_errors(levels, a, sigma, rng));
+      res.bits += bits_per_sym;
+    }
+  }
+  res.ber = res.bits ? static_cast<double>(res.bit_errors) /
+                           static_cast<double>(res.bits)
+                     : 0.0;
+  return res;
+}
+
+double simulate_packet_error_rate(Modulation m, double ebn0,
+                                  std::size_t packet_bits,
+                                  std::size_t packets, sim::Rng& rng) {
+  if (packet_bits == 0 || packets == 0) {
+    throw std::invalid_argument("simulate_packet_error_rate: empty workload");
+  }
+  std::size_t failed = 0;
+  for (std::size_t p = 0; p < packets; ++p) {
+    const LinkSimResult r = simulate_awgn_ber(m, ebn0, packet_bits, rng);
+    if (r.bit_errors > 0) ++failed;
+  }
+  return static_cast<double>(failed) / static_cast<double>(packets);
+}
+
+LinkSimResult simulate_rayleigh_ber(Modulation m, double mean_ebn0,
+                                    std::uint64_t bits,
+                                    std::size_t block_bits, sim::Rng& rng) {
+  if (block_bits == 0) {
+    throw std::invalid_argument("simulate_rayleigh_ber: block_bits >= 1");
+  }
+  LinkSimResult res;
+  while (res.bits < bits) {
+    // h^2 ~ Exp(1) (Rayleigh amplitude, unit mean power).
+    const double h2 = rng.exponential(1.0);
+    const double ebn0 = std::max(1e-6, mean_ebn0 * h2);
+    const LinkSimResult blk = simulate_awgn_ber(
+        m, ebn0, std::min<std::uint64_t>(block_bits, bits - res.bits), rng);
+    res.bits += blk.bits;
+    res.bit_errors += blk.bit_errors;
+  }
+  res.ber = res.bits ? static_cast<double>(res.bit_errors) /
+                           static_cast<double>(res.bits)
+                     : 0.0;
+  return res;
+}
+
+}  // namespace holms::wireless

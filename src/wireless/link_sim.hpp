@@ -1,0 +1,43 @@
+#pragma once
+// Monte-Carlo symbol-level link simulator.
+//
+// The §4 energy managers trade off against *analytic* BER-vs-Eb/N0 curves
+// (Proakis [25]).  This module transmits actual Gray-mapped symbols through
+// an AWGN channel so the closed forms in modulation.hpp are validated
+// against a from-scratch physical simulation — and so packet-level error
+// processes can be generated when a bench wants a real bit stream instead
+// of a formula.
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "wireless/modulation.hpp"
+
+namespace holms::wireless {
+
+struct LinkSimResult {
+  std::uint64_t bits = 0;
+  std::uint64_t bit_errors = 0;
+  double ber = 0.0;
+};
+
+/// Transmits `bits` random bits as Gray-mapped symbols over AWGN at the
+/// given Eb/N0 (linear) and counts bit errors with per-axis ML detection.
+LinkSimResult simulate_awgn_ber(Modulation m, double ebn0,
+                                std::uint64_t bits, sim::Rng& rng);
+
+/// Packet error rate by Monte-Carlo: a packet fails if any of its bits is
+/// in error (uncoded transmission).
+double simulate_packet_error_rate(Modulation m, double ebn0,
+                                  std::size_t packet_bits,
+                                  std::size_t packets, sim::Rng& rng);
+
+/// Rayleigh block-fading wrapper: per block the channel amplitude h is
+/// Rayleigh(E[h^2] = 1) and the effective Eb/N0 is h^2 * mean_ebn0.
+/// Averaged over many blocks this reproduces the heavy BER floor that makes
+/// adaptation (E7) worthwhile.
+LinkSimResult simulate_rayleigh_ber(Modulation m, double mean_ebn0,
+                                    std::uint64_t bits,
+                                    std::size_t block_bits, sim::Rng& rng);
+
+}  // namespace holms::wireless

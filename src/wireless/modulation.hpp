@@ -1,0 +1,51 @@
+#pragma once
+// Pass-band modulation models (paper §4, ref [25] Proakis).
+//
+// "The first category of techniques, which focus on the pass-band
+//  transceiver, exploits the fact that different modulation schemes result
+//  in different BER vs. received signal-to-noise ratio (SNR)
+//  characteristics.  The key trade-off is thus between the modulation and/or
+//  power levels and the BER."
+//
+// Standard textbook BER approximations over AWGN; Eb/N0 is linear (not dB).
+
+#include <array>
+#include <string>
+
+namespace holms::wireless {
+
+enum class Modulation { kBpsk, kQpsk, kQam16, kQam64 };
+
+inline constexpr std::array<Modulation, 4> kAllModulations = {
+    Modulation::kBpsk, Modulation::kQpsk, Modulation::kQam16,
+    Modulation::kQam64};
+
+/// Bits carried per symbol.
+double bits_per_symbol(Modulation m);
+
+/// Gaussian tail function Q(x).
+double q_function(double x);
+
+/// Uncoded bit error rate at the given Eb/N0 (linear).
+double ber(Modulation m, double ebn0);
+
+/// Eb/N0 (linear) required to reach `target_ber`; bisection on the
+/// monotone BER curve.
+double required_ebn0(Modulation m, double target_ber);
+
+std::string modulation_name(Modulation m);
+
+/// Convolutional channel coding abstraction (base-band, §4): constraint
+/// length K buys coding gain but costs decoder energy that grows as 2^K
+/// (Viterbi trellis states).
+struct CodeConfig {
+  int constraint_length = 0;  // 0 = uncoded; typical 3..9
+  double code_rate = 0.5;     // info bits per coded bit when coded
+
+  /// Effective Eb/N0 multiplier (linear coding gain) of this code.
+  double coding_gain() const;
+  /// Decoder energy per information bit, in nJ.
+  double decode_energy_nj() const;
+};
+
+}  // namespace holms::wireless

@@ -1,0 +1,124 @@
+#include "wireless/transceiver.hpp"
+
+#include <limits>
+
+namespace holms::wireless {
+
+double RadioModel::energy_per_info_bit(double tx_power_w, Modulation m,
+                                       const CodeConfig& code) const {
+  const double coded_bit_rate = symbol_rate * bits_per_symbol(m);
+  const double rate = code.constraint_length > 0 ? code.code_rate : 1.0;
+  const double info_bit_rate = coded_bit_rate * rate;
+  const double tx_drain = tx_power_w / pa_efficiency + tx_electronics_w;
+  const double rx_drain = rx_electronics_w;
+  return (tx_drain + rx_drain) / info_bit_rate +
+         code.decode_energy_nj() * 1e-9;
+}
+
+TransceiverConfig EnergyManager::evaluate(Modulation m, double tx_power_w,
+                                          const CodeConfig& code,
+                                          double channel_gain) const {
+  TransceiverConfig c;
+  c.modulation = m;
+  c.tx_power_w = tx_power_w;
+  c.code = code;
+  const double effective_ebn0 =
+      radio_.ebn0(tx_power_w, channel_gain, m) * code.coding_gain();
+  c.post_ber = ber(m, effective_ebn0);
+  c.feasible = c.post_ber <= opts_.target_ber;
+  c.energy_per_bit_j = radio_.energy_per_info_bit(tx_power_w, m, code);
+  return c;
+}
+
+TransceiverConfig EnergyManager::optimal(double channel_gain) const {
+  TransceiverConfig best;
+  best.energy_per_bit_j = std::numeric_limits<double>::infinity();
+  for (Modulation m : kAllModulations) {
+    for (double p : opts_.power_levels_w) {
+      for (int k : opts_.constraint_lengths) {
+        CodeConfig code;
+        code.constraint_length = k;
+        const TransceiverConfig c = evaluate(m, p, code, channel_gain);
+        if (c.feasible && c.energy_per_bit_j < best.energy_per_bit_j) {
+          best = c;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+TransceiverConfig EnergyManager::static_config(
+    double worst_channel_gain) const {
+  // The non-adaptive designer provisions for the worst channel; the same
+  // configuration is then used regardless of the actual state.
+  return optimal(worst_channel_gain);
+}
+
+TransceiverConfig EnergyManager::game_theoretic(double channel_gain,
+                                                TransceiverConfig start)
+    const {
+  TransceiverConfig cur = evaluate(start.modulation, start.tx_power_w,
+                                   start.code, channel_gain);
+  for (std::size_t round = 0; round < opts_.max_best_response_rounds;
+       ++round) {
+    bool changed = false;
+
+    // TX best response: choose (modulation, power) minimizing TX-side
+    // energy given the receiver's current code.
+    {
+      TransceiverConfig best = cur;
+      double best_e = cur.feasible ? cur.energy_per_bit_j
+                                   : std::numeric_limits<double>::infinity();
+      for (Modulation m : kAllModulations) {
+        for (double p : opts_.power_levels_w) {
+          const TransceiverConfig c = evaluate(m, p, cur.code, channel_gain);
+          if (c.feasible && c.energy_per_bit_j < best_e) {
+            best = c;
+            best_e = c.energy_per_bit_j;
+          }
+        }
+      }
+      if (best.modulation != cur.modulation ||
+          best.tx_power_w != cur.tx_power_w) {
+        cur = best;
+        changed = true;
+      }
+    }
+
+    // RX best response: choose the decoder constraint length minimizing the
+    // joint energy given the transmitter's setting.
+    {
+      TransceiverConfig best = cur;
+      double best_e = cur.feasible ? cur.energy_per_bit_j
+                                   : std::numeric_limits<double>::infinity();
+      for (int k : opts_.constraint_lengths) {
+        CodeConfig code;
+        code.constraint_length = k;
+        const TransceiverConfig c =
+            evaluate(cur.modulation, cur.tx_power_w, code, channel_gain);
+        if (c.feasible && c.energy_per_bit_j < best_e) {
+          best = c;
+          best_e = c.energy_per_bit_j;
+        }
+      }
+      if (best.code.constraint_length != cur.code.constraint_length) {
+        cur = best;
+        changed = true;
+      }
+    }
+
+    if (!changed) break;
+  }
+  if (!cur.feasible) {
+    // Fall back to the strongest joint configuration (max power, BPSK,
+    // deepest code) so the caller always gets a defined answer.
+    CodeConfig code;
+    code.constraint_length = opts_.constraint_lengths.back();
+    cur = evaluate(Modulation::kBpsk, opts_.power_levels_w.back(), code,
+                   channel_gain);
+  }
+  return cur;
+}
+
+}  // namespace holms::wireless

@@ -1,0 +1,95 @@
+#pragma once
+// Transceiver energy model and the game-theoretic dynamic energy manager
+// (paper §4, ref [26]).
+//
+// "the modulation level and transmit power of the transmitter and the
+//  complexity of the channel decoder of the receiver are dynamically changed
+//  to match the characteristics of the communication channel thereby
+//  minimizing the energy consumption of the transceivers.  Experimental
+//  results show an average of 12% reduction in the overall energy
+//  consumption of the transceivers."
+//
+// Transmitter and receiver are modeled as the two players of [26]: the TX
+// strategy is a (modulation, transmit power) pair, the RX strategy is the
+// convolutional decoder constraint length.  Best-response iteration over the
+// finite strategy sets reaches the joint low-energy operating point.
+
+#include <vector>
+
+#include "wireless/modulation.hpp"
+
+namespace holms::wireless {
+
+/// First-order radio energy model.
+struct RadioModel {
+  double symbol_rate = 1e6;         // symbols per second
+  double pa_efficiency = 0.35;      // transmit PA drain = P_tx / eff
+  double tx_electronics_w = 0.08;   // mixers/filters/synthesizer while TX
+  double rx_electronics_w = 0.10;   // LNA + demod while RX
+  double noise_power_w = 1e-13;     // N0 * bandwidth at the receiver
+
+  /// Received Eb/N0 (linear) for a given transmit power and channel power
+  /// gain (linear, << 1).
+  double ebn0(double tx_power_w, double channel_gain, Modulation m) const {
+    const double rx_power = tx_power_w * channel_gain;
+    const double snr = rx_power / noise_power_w;
+    return snr / bits_per_symbol(m);  // Eb/N0 = SNR / (bits/symbol) at Rs=B
+  }
+
+  /// Energy per *information* bit for a TX/RX configuration (joules):
+  /// PA + electronics on both sides + channel-decoder work, all divided by
+  /// the information bit rate.
+  double energy_per_info_bit(double tx_power_w, Modulation m,
+                             const CodeConfig& code) const;
+};
+
+/// One joint transceiver configuration.
+struct TransceiverConfig {
+  Modulation modulation = Modulation::kQpsk;
+  double tx_power_w = 0.1;
+  CodeConfig code{};
+  double energy_per_bit_j = 0.0;   // filled by the manager
+  double post_ber = 0.5;           // post-decoding BER
+  bool feasible = false;
+};
+
+/// The adaptation policies compared in experiment E7.
+class EnergyManager {
+ public:
+  struct Options {
+    double target_ber = 1e-5;
+    std::vector<double> power_levels_w = {0.01, 0.02, 0.05, 0.1,
+                                          0.2,  0.35, 0.5};
+    std::vector<int> constraint_lengths = {0, 3, 5, 7, 9};
+    std::size_t max_best_response_rounds = 16;
+  };
+
+  EnergyManager(RadioModel radio, Options opts)
+      : radio_(radio), opts_(opts) {}
+
+  /// Static baseline: the single configuration that meets the BER target in
+  /// the *worst* expected channel, used for every channel state.
+  TransceiverConfig static_config(double worst_channel_gain) const;
+
+  /// Exhaustive joint minimum (oracle lower bound).
+  TransceiverConfig optimal(double channel_gain) const;
+
+  /// Game-theoretic adaptation of [26]: TX and RX alternate best responses
+  /// from the current configuration until a fixed point.
+  TransceiverConfig game_theoretic(double channel_gain,
+                                   TransceiverConfig start) const;
+
+  /// Evaluates one configuration against a channel state.
+  TransceiverConfig evaluate(Modulation m, double tx_power_w,
+                             const CodeConfig& code,
+                             double channel_gain) const;
+
+  const Options& options() const { return opts_; }
+  const RadioModel& radio() const { return radio_; }
+
+ private:
+  RadioModel radio_;
+  Options opts_;
+};
+
+}  // namespace holms::wireless

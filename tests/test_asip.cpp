@@ -1,0 +1,646 @@
+// Unit tests for the extensible-processor subsystem (holms::asip) —
+// paper §3.1, Fig.2.
+#include <gtest/gtest.h>
+
+#include "asip/assembler.hpp"
+#include "asip/builder.hpp"
+#include "asip/extensions.hpp"
+#include "asip/flow.hpp"
+#include "asip/iss.hpp"
+#include "asip/jpeg.hpp"
+#include "asip/kernels.hpp"
+
+namespace {
+
+using namespace holms::asip;
+
+Iss make_iss(std::vector<Extension> exts = {}) {
+  CoreConfig cfg;
+  return Iss(cfg, std::move(exts));
+}
+
+// ---------- builder ----------
+
+TEST(Builder, ForwardAndBackwardLabels) {
+  ProgramBuilder b;
+  b.li(1, 0);
+  b.label("loop");
+  b.addi(1, 1, 1);
+  b.li(2, 5);
+  b.blt(1, 2, "loop");
+  b.jmp("end");
+  b.li(3, 99);  // skipped
+  b.label("end");
+  b.halt();
+  const Program p = b.build();
+  Iss iss = make_iss();
+  const RunResult r = iss.run(p);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(iss.state().reg(1), 5);
+  EXPECT_EQ(iss.state().reg(3), 0);
+}
+
+TEST(Builder, UndefinedLabelThrows) {
+  ProgramBuilder b;
+  b.jmp("nowhere");
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(Builder, DuplicateLabelThrows) {
+  ProgramBuilder b;
+  b.label("x");
+  b.halt();
+  EXPECT_THROW(b.label("x"), std::invalid_argument);
+}
+
+TEST(Builder, RegionsAttributedPerInstruction) {
+  ProgramBuilder b;
+  b.region("alpha");
+  b.li(1, 1);
+  b.region("beta");
+  b.li(2, 2);
+  b.halt();
+  const Program p = b.build();
+  EXPECT_EQ(p.region[0], "alpha");
+  EXPECT_EQ(p.region[1], "beta");
+}
+
+// ---------- text assembler ----------
+
+TEST(Assembler, AssemblesAndRunsLoop) {
+  const Program p = assemble(R"(
+    ; sum 1..10 into r2
+    .region summing
+      li   r1, 0        ; counter
+      li   r2, 0        ; accumulator
+      li   r3, 10
+    loop:
+      addi r1, r1, 1
+      add  r2, r2, r1
+      blt  r1, r3, loop
+      halt
+  )");
+  Iss iss = make_iss();
+  const RunResult r = iss.run(p);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(iss.state().reg(2), 55);
+  EXPECT_TRUE(r.by_region.count("summing"));
+}
+
+TEST(Assembler, MemoryAndOffsets) {
+  const Program p = assemble(R"(
+    li r1, 100
+    li r2, -7
+    sw r1, r2, 3     ; mem[103] = -7
+    lw r3, r1, 3
+    sw r1, r3        ; mem[100] = -7 (default offset 0)
+    halt
+  )");
+  Iss iss = make_iss();
+  iss.run(p);
+  EXPECT_EQ(iss.state().peek(103), -7);
+  EXPECT_EQ(iss.state().peek(100), -7);
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction) {
+  const Program p = assemble(R"(
+    li r1, 3
+    top: addi r1, r1, -1
+    bne r1, r0, top
+    halt
+  )");
+  Iss iss = make_iss();
+  EXPECT_TRUE(iss.run(p).halted);
+  EXPECT_EQ(iss.state().reg(1), 0);
+}
+
+TEST(Assembler, CustomInstructionSyntax) {
+  const Program p = assemble(R"(
+    li r1, 9
+    li r2, 4
+    custom 0, r3, r1, r2
+    halt
+  )");
+  Iss iss(CoreConfig{}, {find_extension(kExtAbsDiff)});
+  iss.run(p);
+  EXPECT_EQ(iss.state().reg(3), 5);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("li r1, 1\nbogus r2\nhalt\n");
+    FAIL() << "expected AssemblerError";
+  } catch (const AssemblerError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+  EXPECT_THROW(assemble("li r99, 1"), AssemblerError);
+  EXPECT_THROW(assemble("li r1"), AssemblerError);
+  EXPECT_THROW(assemble("li r1, xyz"), AssemblerError);
+  EXPECT_THROW(assemble("jmp nowhere"), AssemblerError);
+  EXPECT_THROW(assemble("x:\nx:\nhalt"), AssemblerError);
+}
+
+TEST(Assembler, DisassembleRoundTripNames) {
+  const Program p = assemble(R"(
+    li r1, 5
+    addi r2, r1, -3
+    lw r3, r2, 1
+    beq r1, r2, end
+    end: halt
+  )");
+  EXPECT_EQ(disassemble(p.code[0]), "li r1, 5");
+  EXPECT_EQ(disassemble(p.code[1]), "addi r2, r1, -3");
+  EXPECT_EQ(disassemble(p.code[2]), "lw r3, r2, 1");
+  EXPECT_EQ(disassemble(p.code[3]), "beq r1, r2, @4");
+  EXPECT_EQ(disassemble(p.code[4]), "halt");
+}
+
+// ---------- ISS semantics ----------
+
+TEST(Iss, ArithmeticAndLogic) {
+  ProgramBuilder b;
+  b.li(1, 6);
+  b.li(2, 3);
+  b.add(3, 1, 2);   // 9
+  b.sub(4, 1, 2);   // 3
+  b.mul(5, 1, 2);   // 18
+  b.and_(6, 1, 2);  // 2
+  b.or_(7, 1, 2);   // 7
+  b.xor_(8, 1, 2);  // 5
+  b.li(9, 2);
+  b.sll(10, 1, 9);  // 24
+  b.sra(11, 1, 9);  // 1
+  b.halt();
+  Iss iss = make_iss();
+  iss.run(b.build());
+  EXPECT_EQ(iss.state().reg(3), 9);
+  EXPECT_EQ(iss.state().reg(4), 3);
+  EXPECT_EQ(iss.state().reg(5), 18);
+  EXPECT_EQ(iss.state().reg(6), 2);
+  EXPECT_EQ(iss.state().reg(7), 7);
+  EXPECT_EQ(iss.state().reg(8), 5);
+  EXPECT_EQ(iss.state().reg(10), 24);
+  EXPECT_EQ(iss.state().reg(11), 1);
+}
+
+TEST(Iss, R0IsHardwiredZero) {
+  ProgramBuilder b;
+  b.li(0, 42);       // should be ignored
+  b.addi(1, 0, 7);   // r1 = r0 + 7 = 7
+  b.halt();
+  Iss iss = make_iss();
+  iss.run(b.build());
+  EXPECT_EQ(iss.state().reg(0), 0);
+  EXPECT_EQ(iss.state().reg(1), 7);
+}
+
+TEST(Iss, LoadStoreRoundTrip) {
+  ProgramBuilder b;
+  b.li(1, 100);   // base address
+  b.li(2, -77);
+  b.sw(1, 2, 3);  // mem[103] = -77
+  b.lw(3, 1, 3);
+  b.halt();
+  Iss iss = make_iss();
+  iss.run(b.build());
+  EXPECT_EQ(iss.state().reg(3), -77);
+  EXPECT_EQ(iss.state().peek(103), -77);
+}
+
+TEST(Iss, BranchVariants) {
+  ProgramBuilder b;
+  b.li(1, 5);
+  b.li(2, 5);
+  b.li(10, 0);
+  b.beq(1, 2, "t1");
+  b.li(10, 1);  // skipped
+  b.label("t1");
+  b.li(3, 4);
+  b.bne(1, 3, "t2");
+  b.li(10, 2);  // skipped
+  b.label("t2");
+  b.blt(3, 1, "t3");
+  b.li(10, 3);  // skipped
+  b.label("t3");
+  b.bge(1, 2, "t4");
+  b.li(10, 4);  // skipped
+  b.label("t4");
+  b.halt();
+  Iss iss = make_iss();
+  iss.run(b.build());
+  EXPECT_EQ(iss.state().reg(10), 0);
+}
+
+TEST(Iss, MulCheaperWithMacBlock) {
+  ProgramBuilder b;
+  b.li(1, 3);
+  b.li(2, 4);
+  for (int i = 0; i < 100; ++i) b.mul(3, 1, 2);
+  b.halt();
+  const Program p = b.build();
+  CoreConfig base;
+  CoreConfig mac;
+  mac.include_mac_block = true;
+  Iss slow(base, {});
+  Iss fast(mac, {});
+  const auto rs = slow.run(p);
+  const auto rf = fast.run(p);
+  EXPECT_GT(rs.cycles, rf.cycles);
+  EXPECT_EQ(rs.instructions, rf.instructions);
+}
+
+TEST(Iss, CacheMissesCountedAndCostCycles) {
+  ProgramBuilder b;
+  // Stream 256 words: with 4-word lines, ~64 misses cold.
+  b.li(1, 0);
+  b.li(2, 256);
+  b.label("loop");
+  b.lw(3, 1, 0);
+  b.addi(1, 1, 1);
+  b.blt(1, 2, "loop");
+  b.halt();
+  const Program p = b.build();
+  CoreConfig cached;
+  Iss iss(cached, {});
+  const auto r = iss.run(p);
+  EXPECT_NEAR(static_cast<double>(iss.state().dcache_misses), 64.0, 2.0);
+
+  CoreConfig uncached;
+  uncached.include_dcache = false;
+  Iss iss2(uncached, {});
+  const auto r2 = iss2.run(p);
+  EXPECT_GT(r.cycles, r2.cycles);  // misses stall the cached core
+  EXPECT_EQ(iss2.state().dcache_misses, 0u);
+}
+
+TEST(Iss, LoadUseHazardStallsOneCycle) {
+  // Dependent: lw r1 immediately feeds the add.
+  ProgramBuilder dep;
+  dep.li(2, 100);
+  dep.lw(1, 2, 0);
+  dep.add(3, 1, 1);
+  dep.halt();
+  // Independent: an unrelated instruction fills the slot.
+  ProgramBuilder indep;
+  indep.li(2, 100);
+  indep.lw(1, 2, 0);
+  indep.li(4, 7);
+  indep.add(3, 1, 1);
+  indep.halt();
+  CoreConfig cfg;
+  Iss a(cfg, {});
+  Iss b(cfg, {});
+  const auto ra = a.run(dep.build());
+  const auto rb = b.run(indep.build());
+  // indep executes one extra 1-cycle li but avoids the 1-cycle stall:
+  // identical cycle counts.
+  EXPECT_EQ(ra.cycles, rb.cycles);
+
+  CoreConfig no_hazards;
+  no_hazards.model_pipeline_hazards = false;
+  Iss c(no_hazards, {});
+  const auto rc = c.run(dep.build());
+  EXPECT_EQ(rc.cycles + 1, ra.cycles);
+}
+
+TEST(Iss, StoreAfterLoadAlsoInterlocks) {
+  ProgramBuilder b;
+  b.li(2, 100);
+  b.lw(1, 2, 0);
+  b.sw(2, 1, 1);  // stores the just-loaded value
+  b.halt();
+  CoreConfig with, without;
+  without.model_pipeline_hazards = false;
+  Iss x(with, {});
+  Iss y(without, {});
+  EXPECT_EQ(x.run(b.build()).cycles, y.run(b.build()).cycles + 1);
+}
+
+TEST(Iss, MaxCycleGuardStopsRunaway) {
+  ProgramBuilder b;
+  b.label("spin");
+  b.jmp("spin");
+  Iss iss = make_iss();
+  const auto r = iss.run(b.build(), 1000);
+  EXPECT_FALSE(r.halted);
+  EXPECT_GE(r.cycles, 1000u);
+}
+
+TEST(Iss, RegionProfileSumsToTotal) {
+  ProgramBuilder b;
+  b.region("a");
+  b.li(1, 10);
+  b.label("l");
+  b.addi(1, 1, -1);
+  b.region("b");
+  b.bne(1, 0, "l");
+  b.halt();
+  Iss iss = make_iss();
+  const auto r = iss.run(b.build());
+  std::uint64_t sum = 0;
+  for (const auto& [name, prof] : r.by_region) sum += prof.cycles;
+  EXPECT_EQ(sum, r.cycles);
+}
+
+TEST(Iss, UndefinedCustomThrows) {
+  ProgramBuilder b;
+  b.custom(3, 1, 2, 3);
+  b.halt();
+  Iss iss = make_iss();  // no extensions registered
+  EXPECT_THROW(iss.run(b.build()), std::runtime_error);
+}
+
+// ---------- extensions ----------
+
+TEST(Extensions, CatalogHasUniqueNamesAndSemantics) {
+  const auto cat = extension_catalog();
+  EXPECT_GE(cat.size(), 6u);
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    EXPECT_TRUE(cat[i].semantics);
+    EXPECT_GT(cat[i].gate_count, 0.0);
+    for (std::size_t j = i + 1; j < cat.size(); ++j) {
+      EXPECT_NE(cat[i].name, cat[j].name);
+    }
+  }
+  EXPECT_THROW(find_extension("does-not-exist"), std::invalid_argument);
+}
+
+TEST(Extensions, MacLoadMatchesScalarDotProduct) {
+  Iss iss(CoreConfig{}, {find_extension(kExtMacLoad)});
+  for (int i = 0; i < 8; ++i) {
+    iss.state().poke(100 + i, i + 1);   // 1..8
+    iss.state().poke(200 + i, 2);       // x2
+  }
+  ProgramBuilder b;
+  b.li(1, 100);
+  b.li(2, 200);
+  b.li(3, 0);
+  b.custom(0, 3, 1, 2);  // 4 lanes
+  b.custom(0, 3, 1, 2);  // next 4 lanes
+  b.halt();
+  iss.run(b.build());
+  EXPECT_EQ(iss.state().reg(3), 2 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8));
+  EXPECT_EQ(iss.state().reg(1), 108);  // post-incremented by 8
+}
+
+TEST(Extensions, SqdLoadComputesSquaredDistance) {
+  Iss iss(CoreConfig{}, {find_extension(kExtSqdLoad)});
+  const int a[4] = {5, 0, -3, 2};
+  const int bb[4] = {1, 4, 1, 2};
+  int expected = 0;
+  for (int i = 0; i < 4; ++i) {
+    iss.state().poke(100 + i, a[i]);
+    iss.state().poke(200 + i, bb[i]);
+    expected += (a[i] - bb[i]) * (a[i] - bb[i]);
+  }
+  ProgramBuilder b;
+  b.li(1, 100);
+  b.li(2, 200);
+  b.li(3, 0);
+  b.custom(0, 3, 1, 2);
+  b.halt();
+  iss.run(b.build());
+  EXPECT_EQ(iss.state().reg(3), expected);
+}
+
+TEST(Extensions, AbsDiffAndMin2) {
+  Iss iss(CoreConfig{},
+          {find_extension(kExtAbsDiff), find_extension(kExtMin2)});
+  ProgramBuilder b;
+  b.li(1, 3);
+  b.li(2, 10);
+  b.custom(0, 4, 1, 2);  // |3-10| = 7
+  b.custom(1, 5, 1, 2);  // min = 3
+  b.halt();
+  iss.run(b.build());
+  EXPECT_EQ(iss.state().reg(4), 7);
+  EXPECT_EQ(iss.state().reg(5), 3);
+}
+
+TEST(Extensions, SatAddClamps) {
+  Iss iss(CoreConfig{}, {find_extension(kExtSatAdd)});
+  ProgramBuilder b;
+  b.li(1, 30000);
+  b.li(2, 30000);
+  b.custom(0, 3, 1, 2);
+  b.halt();
+  iss.run(b.build());
+  EXPECT_EQ(iss.state().reg(3), 32767);
+}
+
+TEST(Gates, ModelIsMonotoneInFeatures) {
+  CoreConfig base;
+  const double g0 = total_gates(base, {});
+  CoreConfig mac = base;
+  mac.include_mac_block = true;
+  EXPECT_GT(total_gates(mac, {}), g0);
+  CoreConfig big_cache = base;
+  big_cache.dcache_lines = 256;
+  EXPECT_GT(total_gates(big_cache, {}), g0);
+  EXPECT_GT(total_gates(base, {find_extension(kExtMacLoad)}), g0);
+  CoreConfig few_regs = base;
+  few_regs.num_registers = 16;
+  EXPECT_LT(total_gates(few_regs, {}), g0);
+}
+
+// ---------- voice-recognition application ----------
+
+TEST(VoiceApp, BaseAndAcceleratedProduceIdenticalResults) {
+  VoiceRecognitionApp app;
+  std::int32_t base_word = -1, accel_word = -2;
+  const RunResult rb = evaluate_app(app, CoreConfig{}, {}, 42, &base_word);
+  const RunResult ra = evaluate_app(
+      app, CoreConfig{},
+      {kExtMacLoad, kExtSqdLoad, kExtAbsDiff, kExtMin2}, 42, &accel_word);
+  EXPECT_TRUE(rb.halted);
+  EXPECT_TRUE(ra.halted);
+  EXPECT_EQ(base_word, accel_word);  // bit-exact decisions
+  EXPECT_LT(ra.cycles, rb.cycles);
+  EXPECT_LT(ra.instructions, rb.instructions);
+}
+
+TEST(VoiceApp, ProfileShowsMacKernelsDominateBaseCore) {
+  VoiceRecognitionApp app;
+  const RunResult r = evaluate_app(app, CoreConfig{}, {});
+  const auto hs = hotspots(r);
+  ASSERT_GE(hs.size(), 3u);
+  // The MAC-dominated kernels (filterbank/vq) are the bottleneck the
+  // identification step must surface; dtw is a secondary region.
+  EXPECT_TRUE(hs.front().first == "filterbank" || hs.front().first == "vq");
+  double total = 0.0, mac = 0.0;
+  for (const auto& [name, prof] : hs) {
+    total += static_cast<double>(prof.cycles);
+    if (name == "filterbank" || name == "vq") {
+      mac += static_cast<double>(prof.cycles);
+    }
+  }
+  EXPECT_GT(mac / total, 0.6);
+}
+
+TEST(VoiceApp, RecognizedWordIsValidTemplateIndex) {
+  VoiceRecognitionApp app;
+  std::int32_t word = -1;
+  evaluate_app(app, CoreConfig{}, {}, 7, &word);
+  EXPECT_GE(word, 0);
+  EXPECT_LT(word,
+            static_cast<std::int32_t>(app.params().num_templates));
+}
+
+TEST(VoiceApp, SpeedupInPaperBand) {
+  // The §3.1 claim: 5x-10x speedup, < 10 custom instructions, < 200k gates.
+  VoiceRecognitionApp app;
+  const RunResult rb = evaluate_app(app, CoreConfig{}, {});
+  CoreConfig tuned;
+  tuned.include_mac_block = true;
+  tuned.dcache_lines = 256;
+  const std::vector<std::string> exts = {kExtMacLoad, kExtSqdLoad,
+                                         kExtAbsDiff, kExtDtwCell};
+  const RunResult ra = evaluate_app(app, tuned, exts);
+  const double speedup = static_cast<double>(rb.cycles) /
+                         static_cast<double>(ra.cycles);
+  EXPECT_GE(speedup, 4.0);
+  EXPECT_LE(speedup, 15.0);
+  std::vector<Extension> sel;
+  for (const auto& n : exts) sel.push_back(find_extension(n));
+  EXPECT_LT(total_gates(tuned, sel), 200000.0);
+  EXPECT_LT(sel.size(), 10u);
+}
+
+// ---------- design flow (Fig.2) ----------
+
+TEST(DesignFlow, ConvergesUnderBudget) {
+  VoiceRecognitionApp app;
+  FlowOptions opts;
+  const FlowResult fr = run_design_flow(app, opts);
+  EXPECT_GT(fr.best.speedup_vs_base, 2.0);
+  EXPECT_LE(fr.best.extensions.size(), opts.max_extensions);
+  EXPECT_LE(fr.best.gates, opts.gate_budget);
+  EXPECT_FALSE(fr.trace.empty());
+  // Cycles decrease monotonically along the flow trace.
+  std::uint64_t prev = fr.base.result.cycles;
+  for (const auto& step : fr.trace) {
+    EXPECT_LT(step.cycles, prev);
+    prev = step.cycles;
+  }
+}
+
+// ---------- JPEG encoder: platform reuse across applications (§1) ----------
+
+TEST(JpegApp, BaseAndAcceleratedBitExact) {
+  JpegEncoderApp app;
+  std::int32_t sym_b = -1, chk_b = -1, sym_a = -2, chk_a = -2;
+  const RunResult rb = evaluate_jpeg(app, CoreConfig{}, {}, 42, &sym_b,
+                                     &chk_b);
+  const RunResult ra = evaluate_jpeg(app, CoreConfig{},
+                                     {kExtMacLoad, kExtShiftMac}, 42, &sym_a,
+                                     &chk_a);
+  EXPECT_TRUE(rb.halted);
+  EXPECT_TRUE(ra.halted);
+  EXPECT_EQ(sym_b, sym_a);
+  EXPECT_EQ(chk_b, chk_a);
+  EXPECT_LT(ra.cycles, rb.cycles);
+}
+
+TEST(JpegApp, QuantizationCompressesCoefficients) {
+  JpegEncoderApp app;
+  std::int32_t sym = -1;
+  evaluate_jpeg(app, CoreConfig{}, {}, 42, &sym);
+  // Far fewer symbols than coefficients: most quantize to zero runs.
+  EXPECT_GT(sym, static_cast<std::int32_t>(app.params().blocks));
+  EXPECT_LT(sym, static_cast<std::int32_t>(app.params().blocks * 40));
+}
+
+TEST(JpegApp, FdctDominatesBaseProfile) {
+  JpegEncoderApp app;
+  const RunResult r = evaluate_jpeg(app, CoreConfig{}, {});
+  const auto hs = hotspots(r);
+  ASSERT_GE(hs.size(), 3u);
+  EXPECT_EQ(hs.front().first, "fdct");
+}
+
+TEST(JpegApp, SameCatalogServesBothApplications) {
+  // The §1 platform premise: one extension catalog, many applications.
+  JpegEncoderApp jpeg;
+  VoiceRecognitionApp voice;
+  const RunResult jb = evaluate_jpeg(jpeg, CoreConfig{}, {});
+  const RunResult ja = evaluate_jpeg(jpeg, CoreConfig{},
+                                     {kExtMacLoad, kExtShiftMac});
+  const RunResult vb = evaluate_app(voice, CoreConfig{}, {});
+  const RunResult va = evaluate_app(voice, CoreConfig{},
+                                    {kExtMacLoad, kExtSqdLoad});
+  EXPECT_GT(static_cast<double>(jb.cycles) / static_cast<double>(ja.cycles),
+            1.5);
+  EXPECT_GT(static_cast<double>(vb.cycles) / static_cast<double>(va.cycles),
+            2.0);
+}
+
+TEST(JpegApp, GenericFlowCustomizesJpegCore) {
+  JpegEncoderApp app;
+  FlowOptions opts;
+  const FlowResult fr = run_design_flow(
+      [&app](const CoreConfig& cfg, const std::vector<std::string>& exts) {
+        return evaluate_jpeg(app, cfg, exts);
+      },
+      opts);
+  EXPECT_GT(fr.best.speedup_vs_base, 1.5);
+  EXPECT_LE(fr.best.gates, opts.gate_budget);
+  // The flow should have picked mac.load (fdct dominates).
+  bool has_mac = false;
+  for (const auto& e : fr.best.extensions) has_mac |= e == kExtMacLoad;
+  EXPECT_TRUE(has_mac);
+}
+
+TEST(JpegApp, RegionProfileCoversWholeProgram) {
+  JpegEncoderApp app;
+  const RunResult r = evaluate_jpeg(app, CoreConfig{}, {});
+  std::uint64_t sum = 0;
+  for (const auto& [name, prof] : r.by_region) sum += prof.cycles;
+  EXPECT_EQ(sum, r.cycles);
+  EXPECT_EQ(r.by_region.size(), 3u);  // fdct, quant, rle
+  EXPECT_TRUE(r.by_region.count("fdct"));
+  EXPECT_TRUE(r.by_region.count("quant"));
+  EXPECT_TRUE(r.by_region.count("rle"));
+}
+
+TEST(JpegApp, MoreBlocksMoreWork) {
+  JpegEncoderApp::Params small_p, large_p;
+  small_p.blocks = 16;
+  large_p.blocks = 64;
+  const RunResult rs = evaluate_jpeg(JpegEncoderApp{small_p}, CoreConfig{}, {});
+  const RunResult rl = evaluate_jpeg(JpegEncoderApp{large_p}, CoreConfig{}, {});
+  // Work scales roughly linearly in the block count.
+  const double ratio = static_cast<double>(rl.cycles) /
+                       static_cast<double>(rs.cycles);
+  EXPECT_NEAR(ratio, 4.0, 0.5);
+}
+
+TEST(JpegApp, RejectsBadParams) {
+  JpegEncoderApp::Params p;
+  p.blocks = 0;
+  EXPECT_THROW(JpegEncoderApp{p}, std::invalid_argument);
+  p.blocks = 500;
+  EXPECT_THROW(JpegEncoderApp{p}, std::invalid_argument);
+}
+
+TEST(DesignFlow, EnergyObjectiveMinimizesEnergy) {
+  VoiceRecognitionApp app;
+  FlowOptions cyc, nrg;
+  nrg.objective = FlowObjective::kEnergy;
+  const FlowResult rc = run_design_flow(app, cyc);
+  const FlowResult re = run_design_flow(app, nrg);
+  // The energy-driven flow never ends up with more energy than the
+  // cycle-driven one, and both stay within the constraints.
+  EXPECT_LE(re.best.result.energy_pj, rc.best.result.energy_pj * 1.0001);
+  EXPECT_LE(re.best.gates, nrg.gate_budget);
+  EXPECT_LT(re.best.energy_ratio_vs_base, 0.6);
+}
+
+TEST(DesignFlow, TraceGatesStayWithinBudget) {
+  VoiceRecognitionApp app;
+  FlowOptions opts;
+  opts.gate_budget = 120000.0;  // tighter budget -> fewer moves
+  const FlowResult fr = run_design_flow(app, opts);
+  for (const auto& step : fr.trace) EXPECT_LE(step.gates, opts.gate_budget);
+}
+
+}  // namespace

@@ -1,0 +1,351 @@
+// Unit tests for the MANET substrate and routing protocols (holms::manet) —
+// paper §4.2.
+#include <gtest/gtest.h>
+
+#include "manet/network.hpp"
+#include "manet/routing.hpp"
+
+namespace {
+
+using holms::sim::Rng;
+using namespace holms::manet;
+
+Manet::Params small_params() {
+  Manet::Params p;
+  p.num_nodes = 25;
+  p.field_m = 300.0;
+  p.battery_j = 5.0;
+  p.radio.range_m = 120.0;
+  return p;
+}
+
+TEST(Radio, EnergyMonotoneInDistanceAndBits) {
+  RadioModel r;
+  EXPECT_GT(r.tx_energy(1000, 100.0), r.tx_energy(1000, 10.0));
+  EXPECT_GT(r.tx_energy(2000, 50.0), r.tx_energy(1000, 50.0));
+  EXPECT_NEAR(r.rx_energy(1000), 1000 * 50e-9, 1e-15);
+}
+
+TEST(Manet, NodesStartInFieldWithFullBattery) {
+  Manet net(small_params(), Rng(1));
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const auto& n = net.node(i);
+    EXPECT_GE(n.pos.x, 0.0);
+    EXPECT_LE(n.pos.x, 300.0);
+    EXPECT_GE(n.pos.y, 0.0);
+    EXPECT_LE(n.pos.y, 300.0);
+    EXPECT_DOUBLE_EQ(n.battery_j, 5.0);
+    EXPECT_TRUE(n.alive);
+    EXPECT_DOUBLE_EQ(net.residual_fraction(i), 1.0);
+  }
+}
+
+TEST(Manet, MobilityStaysInField) {
+  Manet net(small_params(), Rng(2));
+  for (int step = 0; step < 500; ++step) net.move(5.0);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_GE(net.node(i).pos.x, -1e-9);
+    EXPECT_LE(net.node(i).pos.x, 300.0 + 1e-9);
+    EXPECT_GE(net.node(i).pos.y, -1e-9);
+    EXPECT_LE(net.node(i).pos.y, 300.0 + 1e-9);
+  }
+}
+
+TEST(Manet, ConnectivityByRangeAndLiveness) {
+  Manet::Params p = small_params();
+  Manet net(p, Rng(3));
+  bool found_pair = false;
+  for (std::size_t i = 0; i < net.size() && !found_pair; ++i) {
+    for (std::size_t j = 0; j < net.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(net.connected(i, j),
+                net.link_distance(i, j) <= p.radio.range_m);
+      if (net.connected(i, j)) found_pair = true;
+    }
+  }
+  EXPECT_TRUE(found_pair);
+  EXPECT_FALSE(net.connected(0, 0));
+}
+
+TEST(Manet, DrainKillsNodeAtZero) {
+  Manet net(small_params(), Rng(4));
+  net.drain(0, 4.0);
+  EXPECT_TRUE(net.node(0).alive);
+  net.drain(0, 2.0);
+  EXPECT_FALSE(net.node(0).alive);
+  EXPECT_DOUBLE_EQ(net.node(0).battery_j, 0.0);
+  EXPECT_EQ(net.alive_count(), net.size() - 1);
+  // Draining a dead node is a no-op.
+  net.drain(0, 1.0);
+  EXPECT_DOUBLE_EQ(net.node(0).battery_j, 0.0);
+}
+
+TEST(Manet, ChargeLinkBillsBothEndpoints) {
+  Manet net(small_params(), Rng(5));
+  const double b0 = net.node(0).battery_j;
+  const double b1 = net.node(1).battery_j;
+  net.charge_link(0, 1, 1e6);
+  EXPECT_LT(net.node(0).battery_j, b0);  // transmitter pays more
+  EXPECT_LT(net.node(1).battery_j, b1);
+  EXPECT_LT(net.node(0).battery_j, net.node(1).battery_j);
+}
+
+TEST(Manet, DischargeEwmaTracksDrain) {
+  Manet net(small_params(), Rng(6));
+  net.drain(3, 1.0);
+  net.tick_discharge(1.0);
+  EXPECT_NEAR(net.node(3).discharge_ewma_w, 0.3, 1e-9);  // alpha = 0.3
+  net.tick_discharge(1.0);  // no drain this tick -> decays
+  EXPECT_NEAR(net.node(3).discharge_ewma_w, 0.21, 1e-9);
+}
+
+// ---------- path algorithms ----------
+
+// A deterministic 4-node line topology for path checks: positions forced by
+// draining randomness out of the constructor and overwriting is not exposed,
+// so use a large field and find a connected pair instead.
+TEST(Dijkstra, FindsPathAndRespectsCosts) {
+  Manet::Params p = small_params();
+  p.num_nodes = 40;
+  p.field_m = 250.0;  // dense -> connected w.h.p.
+  Manet net(p, Rng(7));
+  const auto hop_count = [&](std::size_t a, std::size_t b) {
+    return dijkstra_path(net, a, b,
+                         [](std::size_t, std::size_t) { return 1.0; });
+  };
+  int found = 0;
+  for (std::size_t d = 1; d < net.size(); ++d) {
+    const auto path = hop_count(0, d);
+    if (path.empty()) continue;
+    ++found;
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), d);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(net.connected(path[i], path[i + 1]));
+    }
+  }
+  EXPECT_GT(found, 20);
+}
+
+TEST(Dijkstra, UnreachableReturnsEmpty) {
+  Manet::Params p = small_params();
+  p.num_nodes = 2;
+  p.field_m = 10000.0;  // two nodes, far apart w.h.p.
+  Manet net(p, Rng(8));
+  if (!net.connected(0, 1)) {
+    EXPECT_TRUE(dijkstra_path(net, 0, 1, [](std::size_t, std::size_t) {
+                  return 1.0;
+                }).empty());
+  } else {
+    GTEST_SKIP() << "nodes happened to be in range";
+  }
+}
+
+TEST(WidestPath, PrefersHighWidthNodes) {
+  Manet::Params p = small_params();
+  p.num_nodes = 40;
+  p.field_m = 250.0;
+  Manet net(p, Rng(9));
+  // Widths: node index as width -> the path should avoid low-index relays
+  // when alternatives exist; at minimum the bottleneck is maximal, which we
+  // verify against a brute-force check on the shortest alternative.
+  const auto width = [](std::size_t i) { return static_cast<double>(i); };
+  for (std::size_t d = 1; d < 10; ++d) {
+    const auto wp = widest_path(net, 0, d, width);
+    if (wp.empty()) continue;
+    // Bottleneck of the returned path (excluding source).
+    double bn = 1e18;
+    for (std::size_t i = 1; i < wp.size(); ++i) {
+      bn = std::min(bn, width(wp[i]));
+    }
+    // Any simple alternative: the min-hop path has bottleneck <= bn.
+    const auto sp = dijkstra_path(
+        net, 0, d, [](std::size_t, std::size_t) { return 1.0; });
+    if (!sp.empty()) {
+      double bn_sp = 1e18;
+      for (std::size_t i = 1; i < sp.size(); ++i) {
+        bn_sp = std::min(bn_sp, width(sp[i]));
+      }
+      EXPECT_GE(bn, bn_sp);
+    }
+  }
+}
+
+// ---------- protocols ----------
+
+TEST(Protocols, NamesAreDistinct) {
+  EXPECT_NE(protocol_name(Protocol::kMinPower),
+            protocol_name(Protocol::kBatteryCost));
+  EXPECT_NE(protocol_name(Protocol::kBatteryCost),
+            protocol_name(Protocol::kLifetimePrediction));
+}
+
+TEST(Protocols, BatteryCostRoutesAroundDrainedNodes) {
+  Manet::Params p = small_params();
+  p.num_nodes = 60;
+  p.field_m = 300.0;
+  Manet net(p, Rng(10));
+  // Find any 2-hop-or-more MPR route, drain its middle node, and check the
+  // battery-cost protocol avoids it afterwards.
+  for (std::size_t dst = 1; dst < net.size(); ++dst) {
+    auto route = find_route(net, Protocol::kMinPower, 0, dst, 4096);
+    if (route.size() < 3) continue;
+    const std::size_t relay = route[1];
+    net.drain(relay, net.node(relay).battery_j * 0.98);  // nearly dead
+    const auto after =
+        find_route(net, Protocol::kBatteryCost, 0, dst, 4096);
+    if (after.empty()) continue;
+    bool uses_relay = false;
+    for (std::size_t i = 1; i + 1 < after.size(); ++i) {
+      if (after[i] == relay) uses_relay = true;
+    }
+    // With 60 nodes on a 300m field an alternative exists w.h.p.
+    EXPECT_FALSE(uses_relay);
+    return;
+  }
+  GTEST_SKIP() << "no multi-hop route found";
+}
+
+LifetimeConfig quick_cfg() {
+  LifetimeConfig c;
+  c.num_flows = 6;
+  c.packets_per_second = 20.0;
+  c.max_time_s = 4000.0;
+  c.mobile = false;  // static topology isolates the energy effect
+  return c;
+}
+
+TEST(Lifetime, SimulationTerminatesWithDeaths) {
+  const LifetimeResult r =
+      simulate_lifetime(Protocol::kMinPower, small_params(), quick_cfg(), 11);
+  EXPECT_GT(r.packets_sent, 1000u);
+  EXPECT_GT(r.delivery_ratio, 0.5);
+  EXPECT_GT(r.first_death_s, 0.0);
+  EXPECT_GE(r.lifetime_s, r.first_death_s);
+  EXPECT_GT(r.route_discoveries, 0u);
+  EXPECT_GT(r.control_energy_j, 0.0);
+}
+
+TEST(Lifetime, BatteryAwareProtocolsOutliveMinPower) {
+  // The §4.2 claim (shape): lifetime-aware routing beats min-power routing
+  // on network lifetime.  Average over seeds for robustness.
+  double mpr = 0.0, bclar = 0.0, lpr = 0.0;
+  const int seeds = 3;
+  for (int s = 0; s < seeds; ++s) {
+    mpr += simulate_lifetime(Protocol::kMinPower, small_params(), quick_cfg(),
+                             100 + s)
+               .lifetime_s;
+    bclar += simulate_lifetime(Protocol::kBatteryCost, small_params(),
+                               quick_cfg(), 100 + s)
+                 .lifetime_s;
+    lpr += simulate_lifetime(Protocol::kLifetimePrediction, small_params(),
+                             quick_cfg(), 100 + s)
+               .lifetime_s;
+  }
+  EXPECT_GT(bclar, mpr * 1.05);
+  EXPECT_GT(lpr, mpr * 1.05);
+}
+
+TEST(Lifetime, BatteryAwareBalancesResidualEnergy) {
+  const LifetimeResult mpr = simulate_lifetime(
+      Protocol::kMinPower, small_params(), quick_cfg(), 42);
+  const LifetimeResult bc = simulate_lifetime(
+      Protocol::kBatteryCost, small_params(), quick_cfg(), 42);
+  // Load balancing shows up as a tighter residual-energy distribution.
+  EXPECT_LT(bc.residual_stddev_at_end, mpr.residual_stddev_at_end * 1.2);
+}
+
+// ---------- sleep scheduling (GAF) ----------
+
+TEST(Gaf, ElectionKeepsOneLeaderPerCellPlusEndpoints) {
+  Manet::Params p = small_params();
+  p.num_nodes = 50;
+  Manet net(p, Rng(20));
+  const std::vector<std::size_t> endpoints{0, 1};
+  const std::size_t awake = gaf_elect_leaders(net, endpoints);
+  EXPECT_LT(awake, net.size());  // somebody actually sleeps
+  EXPECT_TRUE(net.is_awake(0));
+  EXPECT_TRUE(net.is_awake(1));
+  // Sleeping nodes are invisible to connectivity.
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.node(i).alive && net.node(i).asleep) {
+      for (std::size_t j = 0; j < net.size(); ++j) {
+        EXPECT_FALSE(net.connected(i, j));
+      }
+    }
+  }
+}
+
+TEST(Gaf, SleepersDrainSlowerThanListeners) {
+  Manet::Params p = small_params();
+  Manet net(p, Rng(21));
+  net.set_asleep(0, true);
+  const double b0 = net.node(0).battery_j;
+  const double b1 = net.node(1).battery_j;
+  net.charge_idle(1000.0);
+  const double sleep_drain = b0 - net.node(0).battery_j;
+  const double listen_drain = b1 - net.node(1).battery_j;
+  EXPECT_LT(sleep_drain, listen_drain / 10.0);
+}
+
+TEST(Gaf, ExtendsLifetimeUnderLightTraffic) {
+  // With light traffic the idle-listening drain dominates: sleeping most of
+  // the network buys a clear lifetime win over always-on MPR.
+  Manet::Params p = small_params();
+  p.num_nodes = 50;
+  LifetimeConfig cfg = quick_cfg();
+  cfg.packets_per_second = 2.0;
+  cfg.num_flows = 3;
+  cfg.max_time_s = 30000.0;
+  double mpr = 0.0, gaf = 0.0;
+  for (int s = 0; s < 2; ++s) {
+    mpr += simulate_lifetime(Protocol::kMinPower, p, cfg, 300 + s).lifetime_s;
+    gaf += simulate_lifetime(Protocol::kGafSleep, p, cfg, 300 + s).lifetime_s;
+  }
+  EXPECT_GT(gaf, mpr * 1.15);
+}
+
+TEST(Gaf, AdjacentCellLeadersAreAlwaysInRange) {
+  // The r/sqrt(5) grid guarantees any node of a cell reaches any node of a
+  // 4-adjacent cell; verify on the elected leaders.
+  Manet::Params p = small_params();
+  p.num_nodes = 60;
+  Manet net(p, Rng(25));
+  gaf_elect_leaders(net, {});
+  const double cell = p.radio.range_m / std::sqrt(5.0);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (!net.is_awake(i)) continue;
+    for (std::size_t j = 0; j < net.size(); ++j) {
+      if (i == j || !net.is_awake(j)) continue;
+      const auto& a = net.node(i).pos;
+      const auto& b = net.node(j).pos;
+      const bool adjacent_cells =
+          std::abs(std::floor(a.x / cell) - std::floor(b.x / cell)) +
+              std::abs(std::floor(a.y / cell) - std::floor(b.y / cell)) <=
+          1.0;
+      if (adjacent_cells) EXPECT_TRUE(net.connected(i, j));
+    }
+  }
+}
+
+TEST(Gaf, DeliveryStaysHigh) {
+  Manet::Params p = small_params();
+  p.num_nodes = 50;
+  const LifetimeResult r =
+      simulate_lifetime(Protocol::kGafSleep, p, quick_cfg(), 31);
+  EXPECT_GT(r.delivery_ratio, 0.85);
+}
+
+TEST(Lifetime, MorePacketsDrainFaster) {
+  LifetimeConfig light = quick_cfg();
+  light.packets_per_second = 5.0;
+  LifetimeConfig heavy = quick_cfg();
+  heavy.packets_per_second = 40.0;
+  const auto rl =
+      simulate_lifetime(Protocol::kMinPower, small_params(), light, 13);
+  const auto rh =
+      simulate_lifetime(Protocol::kMinPower, small_params(), heavy, 13);
+  EXPECT_GT(rl.lifetime_s, rh.lifetime_s);
+}
+
+}  // namespace

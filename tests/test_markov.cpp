@@ -1,0 +1,392 @@
+// Unit tests for the analytical engine (holms::markov) — paper §2.2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/chain.hpp"
+#include "markov/jackson.hpp"
+#include "markov/queueing.hpp"
+
+namespace {
+
+using holms::markov::Ctmc;
+using holms::markov::Dtmc;
+using holms::markov::ProducerConsumerModel;
+using holms::markov::SolveOptions;
+using holms::markov::SolveResult;
+using holms::markov::SteadyStateMethod;
+
+SolveOptions method(SteadyStateMethod m) {
+  SolveOptions o;
+  o.method = m;
+  return o;
+}
+
+// Two-state chain with known stationary distribution p/(p+q), q/(p+q).
+Dtmc two_state(double p, double q) {
+  Dtmc d(2);
+  d.set(0, 0, 1.0 - p);
+  d.set(0, 1, p);
+  d.set(1, 0, q);
+  d.set(1, 1, 1.0 - q);
+  return d;
+}
+
+class DtmcSolvers
+    : public ::testing::TestWithParam<SteadyStateMethod> {};
+
+TEST_P(DtmcSolvers, TwoStateAnalytic) {
+  const Dtmc d = two_state(0.3, 0.1);
+  const SolveResult r = d.steady_state(method(GetParam()));
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.distribution[0], 0.25, 1e-8);
+  EXPECT_NEAR(r.distribution[1], 0.75, 1e-8);
+}
+
+TEST_P(DtmcSolvers, DistributionSumsToOne) {
+  Dtmc d(4);
+  // Ring with self-loops.
+  for (std::size_t i = 0; i < 4; ++i) {
+    d.set(i, i, 0.5);
+    d.set(i, (i + 1) % 4, 0.5);
+  }
+  const SolveResult r = d.steady_state(method(GetParam()));
+  double sum = 0.0;
+  for (double x : r.distribution) {
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double x : r.distribution) EXPECT_NEAR(x, 0.25, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, DtmcSolvers,
+                         ::testing::Values(SteadyStateMethod::kPowerIteration,
+                                           SteadyStateMethod::kGaussSeidel,
+                                           SteadyStateMethod::kDirectLU));
+
+TEST(Dtmc, IsStochasticDetectsBadRows) {
+  Dtmc d = two_state(0.3, 0.1);
+  EXPECT_TRUE(d.is_stochastic());
+  d.set(0, 1, 0.9);  // row 0 now sums to 1.6
+  EXPECT_FALSE(d.is_stochastic());
+}
+
+TEST(Dtmc, TransientConvergesToSteadyState) {
+  const Dtmc d = two_state(0.3, 0.1);
+  const std::vector<double> init{1.0, 0.0};
+  const auto pi100 = d.transient(init, 200);
+  EXPECT_NEAR(pi100[0], 0.25, 1e-6);
+  EXPECT_NEAR(pi100[1], 0.75, 1e-6);
+}
+
+TEST(Dtmc, TransientOneStepIsMatrixRow) {
+  const Dtmc d = two_state(0.3, 0.1);
+  const auto pi = d.transient(std::vector<double>{1.0, 0.0}, 1);
+  EXPECT_NEAR(pi[0], 0.7, 1e-12);
+  EXPECT_NEAR(pi[1], 0.3, 1e-12);
+}
+
+TEST(Ctmc, TwoStateSteadyState) {
+  // Rates 0->1 = 2, 1->0 = 6: pi = (0.75, 0.25).
+  Ctmc c(2);
+  c.set_rate(0, 1, 2.0);
+  c.set_rate(1, 0, 6.0);
+  for (auto m : {SteadyStateMethod::kPowerIteration,
+                 SteadyStateMethod::kGaussSeidel,
+                 SteadyStateMethod::kDirectLU}) {
+    const SolveResult r = c.steady_state(method(m));
+    EXPECT_NEAR(r.distribution[0], 0.75, 1e-7) << static_cast<int>(m);
+    EXPECT_NEAR(r.distribution[1], 0.25, 1e-7) << static_cast<int>(m);
+  }
+}
+
+TEST(Ctmc, ExitRateIsRowSum) {
+  Ctmc c(3);
+  c.set_rate(0, 1, 2.0);
+  c.set_rate(0, 2, 3.0);
+  EXPECT_DOUBLE_EQ(c.exit_rate(0), 5.0);
+  EXPECT_DOUBLE_EQ(c.exit_rate(1), 0.0);
+}
+
+TEST(Ctmc, TransientMatchesAnalyticTwoState) {
+  // For rates a=1 (0->1), b=3 (1->0): p1(t) = a/(a+b) (1 - e^{-(a+b)t}).
+  Ctmc c(2);
+  c.set_rate(0, 1, 1.0);
+  c.set_rate(1, 0, 3.0);
+  const std::vector<double> init{1.0, 0.0};
+  for (double t : {0.1, 0.5, 2.0}) {
+    const auto pi = c.transient(init, t);
+    const double expected = 0.25 * (1.0 - std::exp(-4.0 * t));
+    EXPECT_NEAR(pi[1], expected, 1e-6) << "t=" << t;
+  }
+}
+
+TEST(Ctmc, TransientAtZeroIsInitial) {
+  Ctmc c(2);
+  c.set_rate(0, 1, 1.0);
+  c.set_rate(1, 0, 1.0);
+  const auto pi = c.transient(std::vector<double>{0.3, 0.7}, 0.0);
+  EXPECT_DOUBLE_EQ(pi[0], 0.3);
+  EXPECT_DOUBLE_EQ(pi[1], 0.7);
+}
+
+TEST(Ctmc, UniformizedChainIsStochastic) {
+  Ctmc c(3);
+  c.set_rate(0, 1, 1.0);
+  c.set_rate(1, 2, 2.0);
+  c.set_rate(2, 0, 0.5);
+  EXPECT_TRUE(c.uniformized().is_stochastic());
+}
+
+TEST(ExpectedReward, ComputesWeightedSum) {
+  const std::vector<double> pi{0.25, 0.75};
+  const double r = holms::markov::expected_reward(
+      pi, [](std::size_t i) { return i == 0 ? 4.0 : 8.0; });
+  EXPECT_DOUBLE_EQ(r, 7.0);
+}
+
+// ---------- absorbing chains ----------
+
+TEST(Absorbing, GamblersRuinStepCount) {
+  // States 0..4, p = 0.5 random walk, 0 and 4 absorbing.
+  // Expected steps from i: i * (4 - i).
+  holms::markov::Dtmc d(5);
+  d.set(0, 0, 1.0);
+  d.set(4, 4, 1.0);
+  for (std::size_t i = 1; i <= 3; ++i) {
+    d.set(i, i - 1, 0.5);
+    d.set(i, i + 1, 0.5);
+  }
+  const std::vector<bool> abs_flags{true, false, false, false, true};
+  const auto r = holms::markov::absorbing_analysis(d, abs_flags);
+  EXPECT_DOUBLE_EQ(r.expected_steps[0], 0.0);
+  EXPECT_NEAR(r.expected_steps[1], 3.0, 1e-9);
+  EXPECT_NEAR(r.expected_steps[2], 4.0, 1e-9);
+  EXPECT_NEAR(r.expected_steps[3], 3.0, 1e-9);
+}
+
+TEST(Absorbing, RuinProbabilities) {
+  holms::markov::Dtmc d(5);
+  d.set(0, 0, 1.0);
+  d.set(4, 4, 1.0);
+  for (std::size_t i = 1; i <= 3; ++i) {
+    d.set(i, i - 1, 0.5);
+    d.set(i, i + 1, 0.5);
+  }
+  const auto r = holms::markov::absorbing_analysis(
+      d, {true, false, false, false, true});
+  ASSERT_EQ(r.absorbing_states.size(), 2u);
+  // Fair walk: P(hit 4 from i) = i/4.
+  for (std::size_t i = 0; i <= 4; ++i) {
+    const double p_hi = r.absorption_probability.at(i, 1);
+    const double p_lo = r.absorption_probability.at(i, 0);
+    EXPECT_NEAR(p_hi, static_cast<double>(i) / 4.0, 1e-9);
+    EXPECT_NEAR(p_lo + p_hi, 1.0, 1e-9);
+  }
+}
+
+TEST(Absorbing, RejectsNoAbsorbingState) {
+  const holms::markov::Dtmc d = two_state(0.3, 0.1);
+  EXPECT_THROW(holms::markov::absorbing_analysis(d, {false, false}),
+               std::invalid_argument);
+}
+
+TEST(Absorbing, RejectsUnreachableAbsorption) {
+  holms::markov::Dtmc d(3);
+  d.set(0, 0, 1.0);  // absorbing
+  d.set(1, 2, 1.0);  // 1 <-> 2 closed class, never reaches 0
+  d.set(2, 1, 1.0);
+  EXPECT_THROW(
+      holms::markov::absorbing_analysis(d, {true, false, false}),
+      std::runtime_error);
+}
+
+// ---------- queueing formulas ----------
+
+TEST(Mm1, LittlesLawHolds) {
+  const auto m = holms::markov::mm1(2.0, 5.0);
+  EXPECT_NEAR(m.mean_queue_length, m.throughput * m.mean_waiting_time, 1e-12);
+  EXPECT_NEAR(m.utilization, 0.4, 1e-12);
+  EXPECT_NEAR(m.mean_queue_length, 0.4 / 0.6, 1e-12);
+}
+
+TEST(Mm1, RejectsUnstable) {
+  EXPECT_THROW(holms::markov::mm1(5.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(holms::markov::mm1(6.0, 5.0), std::invalid_argument);
+}
+
+TEST(Mm1k, DistributionIsGeometricTruncated) {
+  const auto pi = holms::markov::mm1k_distribution(1.0, 2.0, 3);
+  ASSERT_EQ(pi.size(), 4u);
+  double sum = 0.0;
+  for (double x : pi) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(pi[1] / pi[0], 0.5, 1e-12);
+  EXPECT_NEAR(pi[3] / pi[2], 0.5, 1e-12);
+}
+
+TEST(Mm1k, EqualRatesIsUniform) {
+  const auto pi = holms::markov::mm1k_distribution(2.0, 2.0, 4);
+  for (double x : pi) EXPECT_NEAR(x, 0.2, 1e-9);
+}
+
+TEST(Mm1k, ConvergesToMm1ForLargeK) {
+  const auto finite = holms::markov::mm1k(1.0, 2.0, 200);
+  const auto infinite = holms::markov::mm1(1.0, 2.0);
+  EXPECT_NEAR(finite.mean_queue_length, infinite.mean_queue_length, 1e-6);
+  EXPECT_NEAR(finite.blocking_probability, 0.0, 1e-12);
+}
+
+TEST(Mm1k, BlockingReducesThroughput) {
+  const auto m = holms::markov::mm1k(4.0, 2.0, 2);  // heavily overloaded
+  EXPECT_GT(m.blocking_probability, 0.3);
+  EXPECT_NEAR(m.throughput, 4.0 * (1.0 - m.blocking_probability), 1e-12);
+  EXPECT_LT(m.throughput, 2.0 + 1e-9);  // can't exceed service rate
+}
+
+TEST(Md1, LessWaitingThanMm1AtSameLoad) {
+  const auto md = holms::markov::md1(1.0, 0.5);
+  const auto mm = holms::markov::mm1(1.0, 2.0);
+  EXPECT_LT(md.mean_queue_length, mm.mean_queue_length);
+  EXPECT_NEAR(md.utilization, mm.utilization, 1e-12);
+}
+
+TEST(Md1, PollaczekKhinchineValue) {
+  // rho = 0.5: L = 0.5 + 0.25/(2*0.5) = 0.75.
+  const auto m = holms::markov::md1(1.0, 0.5);
+  EXPECT_NEAR(m.mean_queue_length, 0.75, 1e-12);
+}
+
+TEST(BirthDeath, MatchesMm1kDistribution) {
+  const double lambda = 1.3, mu = 2.0;
+  const std::size_t k = 5;
+  std::vector<double> birth(k + 1, lambda), death(k + 1, mu);
+  const auto bd = holms::markov::birth_death_steady_state(birth, death);
+  const auto ref = holms::markov::mm1k_distribution(lambda, mu, k);
+  ASSERT_EQ(bd.size(), ref.size());
+  for (std::size_t i = 0; i <= k; ++i) EXPECT_NEAR(bd[i], ref[i], 1e-9);
+}
+
+TEST(BirthDeath, RejectsZeroDeathRate) {
+  std::vector<double> birth{1.0, 1.0}, death{1.0, 0.0};
+  EXPECT_THROW(holms::markov::birth_death_steady_state(birth, death),
+               std::invalid_argument);
+}
+
+// ---------- Jackson networks ----------
+
+TEST(Jackson, TandemReducesToIndependentMm1) {
+  const auto net = holms::markov::tandem_network({5.0, 4.0, 6.0}, 2.0);
+  const auto sol = net.solve();
+  ASSERT_TRUE(sol.stable);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(sol.effective_arrival_rate[i], 2.0, 1e-9);
+  }
+  const auto ref0 = holms::markov::mm1(2.0, 5.0);
+  EXPECT_NEAR(sol.station[0].mean_queue_length, ref0.mean_queue_length,
+              1e-9);
+  // Sojourn time = sum of per-station W (Little on the whole network).
+  double w = 0.0;
+  for (const auto& s : sol.station) w += s.mean_waiting_time;
+  EXPECT_NEAR(sol.mean_sojourn_time, w, 1e-9);
+}
+
+TEST(Jackson, FeedbackLoopAmplifiesLoad) {
+  // One station, external rate 1, feedback p = 0.5: lambda = 1/(1-0.5) = 2.
+  holms::markov::JacksonNetwork net(
+      {holms::markov::JacksonStation{5.0, 1.0}});
+  net.set_routing(0, 0, 0.5);
+  const auto sol = net.solve();
+  ASSERT_TRUE(sol.stable);
+  EXPECT_NEAR(sol.effective_arrival_rate[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.throughput, 1.0, 1e-12);
+}
+
+TEST(Jackson, SplitRouting) {
+  // Station 0 splits 70/30 to stations 1 and 2.
+  holms::markov::JacksonNetwork net({{10.0, 4.0}, {10.0, 0.0}, {10.0, 0.0}});
+  net.set_routing(0, 1, 0.7);
+  net.set_routing(0, 2, 0.3);
+  const auto sol = net.solve();
+  EXPECT_NEAR(sol.effective_arrival_rate[1], 2.8, 1e-9);
+  EXPECT_NEAR(sol.effective_arrival_rate[2], 1.2, 1e-9);
+}
+
+TEST(Jackson, DetectsInstability) {
+  const auto net = holms::markov::tandem_network({5.0, 1.5}, 2.0);
+  const auto sol = net.solve();
+  EXPECT_FALSE(sol.stable);  // station 1 has rho > 1
+}
+
+TEST(Jackson, RejectsBadRouting) {
+  holms::markov::JacksonNetwork net({{1.0, 1.0}, {1.0, 0.0}});
+  net.set_routing(0, 0, 0.6);
+  net.set_routing(0, 1, 0.6);  // row sums to 1.2
+  EXPECT_THROW(net.solve(), std::invalid_argument);
+  EXPECT_THROW(net.set_routing(0, 5, 0.1), std::invalid_argument);
+  EXPECT_THROW(holms::markov::JacksonNetwork({}), std::invalid_argument);
+}
+
+TEST(Jackson, MatchesDecoderPipelineIntuition) {
+  // The MPEG-2 chain as a queueing network: receive -> VLD -> IDCT with a
+  // 20% VLD reprocess loop; the bottleneck station carries the longest
+  // queue.
+  holms::markov::JacksonNetwork net(
+      {{100.0, 30.0},    // receive
+       {45.0, 0.0},      // VLD (bottleneck with feedback)
+       {80.0, 0.0}});    // IDCT
+  net.set_routing(0, 1, 1.0);
+  net.set_routing(1, 1, 0.2);   // reprocessing feedback
+  net.set_routing(1, 2, 0.8);
+  const auto sol = net.solve();
+  ASSERT_TRUE(sol.stable);
+  EXPECT_NEAR(sol.effective_arrival_rate[1], 30.0 / 0.8, 1e-6);
+  EXPECT_GT(sol.station[1].mean_queue_length,
+            sol.station[0].mean_queue_length);
+  EXPECT_GT(sol.station[1].mean_queue_length,
+            sol.station[2].mean_queue_length);
+}
+
+TEST(ProducerConsumer, BalancedPipelineIsSymmetric) {
+  ProducerConsumerModel m;
+  m.producer_rate = 2.0;
+  m.consumer_rate = 2.0;
+  m.buffer_capacity = 4;
+  const auto r = m.analyze();
+  EXPECT_NEAR(r.producer_blocked, r.consumer_idle, 1e-6);
+  EXPECT_NEAR(r.mean_occupancy, 2.0, 1e-6);  // uniform over 0..4
+}
+
+TEST(ProducerConsumer, FastConsumerStarves) {
+  ProducerConsumerModel m;
+  m.producer_rate = 1.0;
+  m.consumer_rate = 10.0;
+  m.buffer_capacity = 4;
+  const auto r = m.analyze();
+  EXPECT_GT(r.consumer_idle, 0.8);
+  EXPECT_LT(r.producer_blocked, 0.01);
+  // Throughput limited by the producer.
+  EXPECT_NEAR(r.throughput, 1.0, 0.01);
+}
+
+TEST(ProducerConsumer, SlowConsumerBlocksProducer) {
+  ProducerConsumerModel m;
+  m.producer_rate = 10.0;
+  m.consumer_rate = 1.0;
+  m.buffer_capacity = 4;
+  const auto r = m.analyze();
+  EXPECT_GT(r.producer_blocked, 0.8);
+  EXPECT_NEAR(r.throughput, 1.0, 0.02);  // limited by the consumer
+}
+
+TEST(ProducerConsumer, BiggerBufferRaisesThroughput) {
+  ProducerConsumerModel a, b;
+  a.producer_rate = b.producer_rate = 2.0;
+  a.consumer_rate = b.consumer_rate = 2.0;
+  a.buffer_capacity = 1;
+  b.buffer_capacity = 16;
+  EXPECT_LT(a.analyze().throughput, b.analyze().throughput);
+}
+
+}  // namespace

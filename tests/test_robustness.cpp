@@ -1,0 +1,275 @@
+// Robustness and failure-injection tests: every public entry point must
+// either produce a defined result or throw a typed exception — never crash,
+// hang, or silently return garbage — under degenerate configurations.
+#include <gtest/gtest.h>
+
+#include "asip/assembler.hpp"
+#include "asip/builder.hpp"
+#include "asip/iss.hpp"
+#include "core/ambient.hpp"
+#include "core/explorer.hpp"
+#include "manet/routing.hpp"
+#include "markov/chain.hpp"
+#include "markov/jackson.hpp"
+#include "noc/router.hpp"
+#include "noc/scheduling.hpp"
+#include "sim/simulator.hpp"
+#include "stream/kpn.hpp"
+#include "stream/lipsync.hpp"
+#include "stream/stream_system.hpp"
+#include "streaming/fgs.hpp"
+#include "traffic/sources.hpp"
+#include "wireless/jscc.hpp"
+
+namespace {
+
+using holms::sim::Rng;
+
+// ---------- sim ----------
+
+TEST(Robust, SimulatorSelfCancellingEvent) {
+  holms::sim::Simulator sim;
+  holms::sim::EventId id{};
+  id = sim.schedule_at(1.0, [&] { sim.cancel(id); });  // cancels itself, late
+  EXPECT_NO_THROW(sim.run());
+}
+
+TEST(Robust, SimulatorCancelTwice) {
+  holms::sim::Simulator sim;
+  const auto id = sim.schedule_at(1.0, [] {});
+  sim.cancel(id);
+  sim.cancel(id);
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(Robust, SimulatorEmptyRunAdvancesClock) {
+  holms::sim::Simulator sim;
+  sim.run(5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+// ---------- markov ----------
+
+TEST(Robust, SingleStateChain) {
+  holms::markov::Dtmc d(1);
+  d.set(0, 0, 1.0);
+  const auto r = d.steady_state();
+  ASSERT_EQ(r.distribution.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.distribution[0], 1.0);
+}
+
+TEST(Robust, PeriodicChainStillSolvableByDirectMethod) {
+  // Period-2 chain: power iteration oscillates, LU does not care.
+  holms::markov::Dtmc d(2);
+  d.set(0, 1, 1.0);
+  d.set(1, 0, 1.0);
+  holms::markov::SolveOptions lu;
+  lu.method = holms::markov::SteadyStateMethod::kDirectLU;
+  const auto r = d.steady_state(lu);
+  EXPECT_NEAR(r.distribution[0], 0.5, 1e-9);
+}
+
+TEST(Robust, JacksonTrappedCycleThrows) {
+  holms::markov::JacksonNetwork net({{5.0, 1.0}, {5.0, 0.0}});
+  net.set_routing(0, 1, 1.0);
+  net.set_routing(1, 0, 1.0);  // nothing ever leaves
+  EXPECT_THROW(net.solve(), std::runtime_error);
+}
+
+// ---------- stream ----------
+
+TEST(Robust, StreamZeroDurationIsEmptyReport) {
+  holms::traffic::CbrSource src(10.0);
+  holms::stream::IidErrorModel err(0.0, Rng(1));
+  const auto q = run_stream(src, err, holms::stream::StreamConfig{}, 0.0);
+  EXPECT_EQ(q.delivered, 0u);
+  EXPECT_DOUBLE_EQ(q.loss_rate, 0.0);
+}
+
+TEST(Robust, StreamFullyLossyChannel) {
+  holms::traffic::CbrSource src(50.0);
+  holms::stream::IidErrorModel err(1.0, Rng(2));
+  holms::stream::StreamConfig cfg;
+  cfg.arq_max_retransmissions = 2;
+  const auto q = run_stream(src, err, cfg, 10.0);
+  EXPECT_EQ(q.delivered, 0u);
+  EXPECT_NEAR(q.loss_rate, 1.0, 1e-9);
+  EXPECT_GT(q.retransmissions, 0u);
+}
+
+TEST(Robust, ProcessNetworkWithNoSourcesDrainsImmediately) {
+  holms::sim::Simulator sim;
+  holms::stream::ProcessNetwork net(sim);
+  const auto cpu = net.add_cpu();
+  holms::stream::NodeSpec w;
+  w.name = "idle";
+  w.cpu = cpu;
+  w.service_time = [](const holms::stream::Token&) { return 1.0; };
+  const auto a = net.add_worker(std::move(w));
+  const auto sink = net.add_sink("sink");
+  net.connect(a, sink, 2);
+  net.start();
+  sim.run(10.0);
+  net.finish();
+  EXPECT_EQ(net.tokens_delivered(), 0u);
+}
+
+TEST(Robust, LipsyncZeroDuration) {
+  const auto r = holms::stream::run_lipsync({}, 0.0, 1);
+  EXPECT_EQ(r.presented, 0u);
+  EXPECT_DOUBLE_EQ(r.in_sync_fraction, 0.0);
+}
+
+// ---------- asip ----------
+
+TEST(Robust, IssEmptyProgramHalts) {
+  holms::asip::Iss iss(holms::asip::CoreConfig{}, {});
+  const auto r = iss.run(holms::asip::Program{});
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(r.cycles, 0u);
+}
+
+TEST(Robust, IssFallingOffTheEndStops) {
+  holms::asip::ProgramBuilder b;
+  b.li(1, 1);  // no halt
+  holms::asip::Iss iss(holms::asip::CoreConfig{}, {});
+  const auto r = iss.run(b.build());
+  EXPECT_EQ(r.instructions, 1u);
+}
+
+TEST(Robust, IssRegionMapMismatchThrows) {
+  holms::asip::Program p;
+  p.code.push_back({holms::asip::Opcode::kHalt, 0, 0, 0, 0});
+  // region left empty -> mismatch
+  holms::asip::Iss iss(holms::asip::CoreConfig{}, {});
+  EXPECT_THROW(iss.run(p), std::invalid_argument);
+}
+
+TEST(Robust, AssemblerEmptySourceIsEmptyProgram) {
+  const auto p = holms::asip::assemble("  \n ; nothing here\n");
+  EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(Robust, IssOutOfRangeMemoryThrows) {
+  holms::asip::ProgramBuilder b;
+  b.li(1, 1 << 20);  // far beyond the 64k-word memory
+  b.lw(2, 1, 0);
+  b.halt();
+  holms::asip::Iss iss(holms::asip::CoreConfig{}, {});
+  EXPECT_THROW(iss.run(b.build()), std::out_of_range);
+}
+
+// ---------- noc ----------
+
+TEST(Robust, SingleTileMeshHasNoFlows) {
+  holms::noc::Mesh2D mesh(1, 1);
+  holms::noc::NocSim sim(mesh, holms::noc::NocSim::Config{}, Rng(3));
+  holms::noc::Flow f;
+  f.src = 0;
+  f.dst = 0;
+  EXPECT_THROW(sim.add_flow(f), std::invalid_argument);
+  EXPECT_NO_THROW(sim.run(100));
+  EXPECT_EQ(sim.stats().packets_injected, 0u);
+}
+
+TEST(Robust, NocZeroCyclesRun) {
+  holms::noc::Mesh2D mesh(2, 2);
+  holms::noc::NocSim sim(mesh, holms::noc::NocSim::Config{}, Rng(4));
+  sim.run(0);
+  EXPECT_EQ(sim.stats().packets_delivered, 0u);
+}
+
+TEST(Robust, SchedulerEmptyTaskListThrows) {
+  holms::noc::SchedProblem p;
+  EXPECT_THROW(holms::noc::schedule_edf(p), std::invalid_argument);
+}
+
+TEST(Robust, SchedulerSingleTask) {
+  holms::noc::SchedProblem p;
+  p.mesh = holms::noc::Mesh2D(2, 2);
+  p.tasks = {{"only", 1e6}};
+  p.tile_of = {0};
+  p.deadline_s = 1.0;
+  const auto r = holms::noc::schedule_edf(p);
+  EXPECT_TRUE(r.deadline_met);
+  EXPECT_TRUE(holms::noc::schedule_is_valid(p, r));
+}
+
+// ---------- wireless / streaming ----------
+
+TEST(Robust, JsccImpossibleDistortionBudget) {
+  holms::wireless::JsccOptimizer::Options opts;
+  opts.max_distortion = 1e-9;  // unreachable even at max rate
+  holms::wireless::JsccOptimizer opt(holms::wireless::ImageModel{},
+                                     holms::wireless::RadioModel{}, opts);
+  const auto c = opt.optimize(1e-8);
+  EXPECT_FALSE(c.feasible);  // reported, not crashed
+}
+
+TEST(Robust, FgsSingleSlot) {
+  holms::dvfs::Processor cpu(holms::dvfs::xscale_points(),
+                             holms::dvfs::PowerModel{});
+  holms::streaming::ChannelTrace tr{Rng(5)};
+  const auto r = holms::streaming::run_fgs_session(
+      holms::streaming::FgsPolicy::kClientFeedback, {}, cpu, tr, 1);
+  EXPECT_EQ(r.slots, 1u);
+  EXPECT_GT(r.client_total_energy_j, 0.0);
+}
+
+// ---------- manet ----------
+
+TEST(Robust, ManetAllNodesDeadStopsSimulation) {
+  holms::manet::Manet::Params p;
+  p.num_nodes = 5;
+  p.battery_j = 1e-6;  // everyone dies on the first flood
+  holms::manet::LifetimeConfig cfg;
+  cfg.max_time_s = 100.0;
+  const auto r = holms::manet::simulate_lifetime(
+      holms::manet::Protocol::kMinPower, p, cfg, 6);
+  EXPECT_LE(r.lifetime_s, 100.0);
+  EXPECT_GT(r.route_discoveries, 0u);
+}
+
+TEST(Robust, ManetTwoNodesOutOfRange) {
+  holms::manet::Manet::Params p;
+  p.num_nodes = 2;
+  p.field_m = 50000.0;
+  holms::manet::Manet net(p, Rng(7));
+  const auto route = holms::manet::find_route(
+      net, holms::manet::Protocol::kMinPower, 0, 1, 1000.0);
+  if (!net.connected(0, 1)) {
+    EXPECT_TRUE(route.empty());
+  }
+}
+
+// ---------- core ----------
+
+TEST(Robust, ExplorerImpossibleQosReportsInfeasible) {
+  holms::core::Application app;
+  app.graph.add_node("t0", 1e12);  // absurd work
+  app.graph.add_node("t1", 1e12);
+  app.graph.add_edge(0, 1, 1e6);
+  app.qos.period_s = 1e-6;
+  const auto plat = holms::core::Platform::homogeneous(2, 2);
+  Rng rng(8);
+  const auto res = holms::core::explore(app, plat, rng);
+  EXPECT_FALSE(res.found_feasible);
+  EXPECT_TRUE(res.pareto.empty());
+}
+
+TEST(Robust, AmbientZeroDuration) {
+  holms::core::Application app;
+  app.graph.add_node("a", 1e6);
+  app.graph.add_node("b", 1e6);
+  app.graph.add_edge(0, 1, 1e5);
+  const auto plat = holms::core::Platform::homogeneous(2, 2);
+  holms::core::AmbientConfig cfg;
+  cfg.duration_s = 0.0;
+  const auto r = holms::core::run_ambient_scenario(
+      app, plat, holms::core::FaultPolicy::kStatic, cfg);
+  EXPECT_EQ(r.periods, 0u);
+  EXPECT_DOUBLE_EQ(r.availability, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,359 @@
+// Unit tests for the DES kernel, RNG and statistics substrate (holms::sim).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using holms::sim::EventId;
+using holms::sim::Histogram;
+using holms::sim::OnlineStats;
+using holms::sim::Rng;
+using holms::sim::Simulator;
+using holms::sim::Ticker;
+using holms::sim::TimeWeightedStats;
+
+// ---------- Simulator ----------
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, SimultaneousEventsKeepInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, RunUntilHorizonStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  const std::size_t n = sim.run(2.0);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(0.5, [&] { sim.cancel(id); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelUnknownIsNoop) {
+  Simulator sim;
+  sim.cancel(EventId{});      // null id
+  sim.cancel(EventId{999});   // never scheduled
+  sim.schedule_at(1.0, [] {});
+  EXPECT_NO_THROW(sim.run());
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(1.0, recurse);
+  };
+  sim.schedule_in(1.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, StopRequestHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Ticker, FiresPeriodicallyUntilStopped) {
+  Simulator sim;
+  int ticks = 0;
+  Ticker t(sim, 1.0, [&] { return ++ticks < 3; });
+  t.start(0.5);
+  sim.run(10.0);
+  EXPECT_EQ(ticks, 3);  // 0.5, 1.5, 2.5 then callback returned false
+}
+
+TEST(Ticker, StopCancelsPending) {
+  Simulator sim;
+  int ticks = 0;
+  Ticker t(sim, 1.0, [&] {
+    ++ticks;
+    return true;
+  });
+  t.start(1.0);
+  sim.schedule_at(2.5, [&] { t.stop(); });
+  sim.run(10.0);
+  EXPECT_EQ(ticks, 2);
+}
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Rng, ForkDecouplesStreams) {
+  Rng a(123);
+  Rng child = a.fork();
+  // Child's draws do not perturb parent determinism.
+  Rng reference(123);
+  (void)reference.bits();  // the fork consumed one parent draw
+  for (int i = 0; i < 10; ++i) (void)child.bits();
+  EXPECT_EQ(a.bits(), reference.bits());
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(7);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.005);
+}
+
+TEST(Rng, ParetoMeanMatchesFormula) {
+  Rng rng(7);
+  OnlineStats s;
+  const double alpha = 2.5, xm = 1.0;
+  for (int i = 0; i < 200000; ++i) s.add(rng.pareto(alpha, xm));
+  EXPECT_NEAR(s.mean(), alpha * xm / (alpha - 1.0), 0.03);
+}
+
+TEST(Rng, ParetoSupportsLowerBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(1.5, 2.0), 2.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(13);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    lo = lo || v == 2;
+    hi = hi || v == 5;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, LognormalMeanMatchesFormula) {
+  Rng rng(21);
+  OnlineStats s;
+  const double mu = 0.5, sigma = 0.4;
+  for (int i = 0; i < 200000; ++i) s.add(rng.lognormal(mu, sigma));
+  EXPECT_NEAR(s.mean(), std::exp(mu + sigma * sigma / 2.0), 0.02);
+}
+
+TEST(Rng, PoissonMeanAndVarianceMatch) {
+  Rng rng(22);
+  OnlineStats s;
+  for (int i = 0; i < 100000; ++i) {
+    s.add(static_cast<double>(rng.poisson(6.5)));
+  }
+  EXPECT_NEAR(s.mean(), 6.5, 0.05);
+  EXPECT_NEAR(s.variance(), 6.5, 0.2);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, GeometricMeanMatchesFormula) {
+  Rng rng(23);
+  OnlineStats s;
+  const double p = 0.25;
+  for (int i = 0; i < 100000; ++i) {
+    s.add(static_cast<double>(rng.geometric(p)));
+  }
+  EXPECT_NEAR(s.mean(), (1.0 - p) / p, 0.05);
+}
+
+TEST(Simulator, PendingTracksLiveEvents) {
+  Simulator sim;
+  const auto a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+// ---------- OnlineStats ----------
+
+TEST(OnlineStats, KnownValues) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Rng rng(5);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i < 400 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+// ---------- TimeWeightedStats ----------
+
+TEST(TimeWeightedStats, PiecewiseConstantMean) {
+  TimeWeightedStats s;
+  s.update(0.0, 1.0);  // 1 for [0,2)
+  s.update(2.0, 3.0);  // 3 for [2,3)
+  s.finish(3.0);
+  EXPECT_NEAR(s.mean(), (1.0 * 2 + 3.0 * 1) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.time_observed(), 3.0);
+}
+
+TEST(TimeWeightedStats, ZeroSpanReturnsCurrent) {
+  TimeWeightedStats s;
+  s.update(1.0, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+}
+
+// ---------- Histogram ----------
+
+TEST(Histogram, QuantilesOfUniformFill) {
+  Histogram h(0.0, 10.0, 100);
+  for (int i = 0; i < 10000; ++i) h.add(i % 100 * 0.1 + 0.05);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.2);
+  EXPECT_NEAR(h.quantile(0.99), 9.9, 0.2);
+  EXPECT_EQ(h.total(), 10000u);
+}
+
+TEST(Histogram, OutOfRangeGoesToEdgeBins) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(Histogram, TailFraction) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.tail_fraction(8.0), 0.2, 1e-12);
+}
+
+TEST(Histogram, RejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// ---------- batch means & autocorrelation ----------
+
+TEST(BatchMeans, ShrinksWithSampleSize) {
+  Rng rng(3);
+  std::vector<double> small, large;
+  for (int i = 0; i < 400; ++i) small.push_back(rng.normal(0, 1));
+  for (int i = 0; i < 40000; ++i) large.push_back(rng.normal(0, 1));
+  const double hw_small = holms::sim::batch_means_half_width(small);
+  const double hw_large = holms::sim::batch_means_half_width(large);
+  EXPECT_GT(hw_small, hw_large);
+  EXPECT_GT(hw_large, 0.0);
+}
+
+TEST(Autocorrelation, IidIsNearZeroAtLag) {
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(0, 1));
+  EXPECT_NEAR(holms::sim::autocorrelation(xs, 5), 0.0, 0.03);
+  EXPECT_NEAR(holms::sim::autocorrelation(xs, 0), 1.0, 1e-12);
+}
+
+TEST(Autocorrelation, Ar1HasGeometricDecay) {
+  Rng rng(19);
+  std::vector<double> xs{0.0};
+  const double phi = 0.8;
+  for (int i = 0; i < 50000; ++i) {
+    xs.push_back(phi * xs.back() + rng.normal(0, 1));
+  }
+  const double r1 = holms::sim::autocorrelation(xs, 1);
+  const double r2 = holms::sim::autocorrelation(xs, 2);
+  EXPECT_NEAR(r1, phi, 0.03);
+  EXPECT_NEAR(r2, phi * phi, 0.04);
+}
+
+}  // namespace

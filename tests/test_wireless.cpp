@@ -1,0 +1,341 @@
+// Unit tests for the wireless subsystem: modulation, transceiver energy
+// management, JSCC (holms::wireless) — paper §4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+#include "wireless/jscc.hpp"
+#include "wireless/link_sim.hpp"
+#include "wireless/modulation.hpp"
+#include "wireless/transceiver.hpp"
+
+namespace {
+
+using namespace holms::wireless;
+
+// ---------- modulation ----------
+
+TEST(Modulation, BitsPerSymbol) {
+  EXPECT_DOUBLE_EQ(bits_per_symbol(Modulation::kBpsk), 1.0);
+  EXPECT_DOUBLE_EQ(bits_per_symbol(Modulation::kQpsk), 2.0);
+  EXPECT_DOUBLE_EQ(bits_per_symbol(Modulation::kQam16), 4.0);
+  EXPECT_DOUBLE_EQ(bits_per_symbol(Modulation::kQam64), 6.0);
+}
+
+TEST(Modulation, QFunctionSanity) {
+  EXPECT_NEAR(q_function(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(q_function(1.6448536269514722), 0.05, 1e-6);
+  EXPECT_LT(q_function(5.0), 3e-7);
+}
+
+class BerMonotone : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(BerMonotone, DecreasesWithEbn0) {
+  double prev = 0.6;
+  for (double db = -5.0; db <= 25.0; db += 1.0) {
+    const double b = ber(GetParam(), std::pow(10.0, db / 10.0));
+    EXPECT_LE(b, prev + 1e-15) << "at " << db << " dB";
+    prev = b;
+  }
+}
+
+TEST_P(BerMonotone, RequiredEbn0IsInverse) {
+  for (double target : {1e-3, 1e-5, 1e-7}) {
+    const double e = required_ebn0(GetParam(), target);
+    EXPECT_NEAR(ber(GetParam(), e), target, target * 0.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BerMonotone,
+                         ::testing::Values(Modulation::kBpsk,
+                                           Modulation::kQpsk,
+                                           Modulation::kQam16,
+                                           Modulation::kQam64));
+
+TEST(Modulation, HigherOrderNeedsMoreEnergyPerBit) {
+  // At the same target BER, denser constellations need higher Eb/N0.
+  const double t = 1e-5;
+  EXPECT_LT(required_ebn0(Modulation::kBpsk, t),
+            required_ebn0(Modulation::kQam16, t));
+  EXPECT_LT(required_ebn0(Modulation::kQam16, t),
+            required_ebn0(Modulation::kQam64, t));
+}
+
+TEST(Modulation, BpskQpskSamePerBit) {
+  for (double e : {1.0, 4.0, 10.0}) {
+    EXPECT_NEAR(ber(Modulation::kBpsk, e), ber(Modulation::kQpsk, e), 1e-15);
+  }
+}
+
+TEST(Modulation, ZeroEbn0IsCoinFlip) {
+  EXPECT_DOUBLE_EQ(ber(Modulation::kBpsk, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(ber(Modulation::kQam64, -1.0), 0.5);
+}
+
+// ---------- Monte-Carlo link validation ----------
+
+struct McCase {
+  Modulation m;
+  double ebn0_db;
+};
+
+class MonteCarloBer : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(MonteCarloBer, MatchesAnalyticCurve) {
+  holms::sim::Rng rng(99);
+  const double ebn0 = std::pow(10.0, GetParam().ebn0_db / 10.0);
+  const double analytic = ber(GetParam().m, ebn0);
+  ASSERT_GT(analytic, 5e-4) << "pick SNRs with measurable error rates";
+  const auto r = simulate_awgn_ber(GetParam().m, ebn0, 400000, rng);
+  // QAM union-bound approximations are a few percent off; allow 25%.
+  EXPECT_NEAR(r.ber, analytic, analytic * 0.25 + 2e-4)
+      << modulation_name(GetParam().m) << " @ " << GetParam().ebn0_db
+      << " dB";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MonteCarloBer,
+    ::testing::Values(McCase{Modulation::kBpsk, 2.0},
+                      McCase{Modulation::kBpsk, 5.0},
+                      McCase{Modulation::kQpsk, 4.0},
+                      McCase{Modulation::kQam16, 8.0},
+                      McCase{Modulation::kQam16, 11.0},
+                      McCase{Modulation::kQam64, 13.0}));
+
+TEST(MonteCarloLink, PacketErrorRateFollowsBer) {
+  holms::sim::Rng rng(7);
+  const double ebn0 = std::pow(10.0, 6.0 / 10.0);
+  const double b = ber(Modulation::kQpsk, ebn0);
+  const double expected_per = 1.0 - std::pow(1.0 - b, 256.0);
+  const double per =
+      simulate_packet_error_rate(Modulation::kQpsk, ebn0, 256, 2000, rng);
+  EXPECT_NEAR(per, expected_per, 0.05);
+}
+
+TEST(MonteCarloLink, RayleighIsWorseThanAwgn) {
+  holms::sim::Rng r1(8), r2(8);
+  const double ebn0 = std::pow(10.0, 10.0 / 10.0);
+  const auto awgn = simulate_awgn_ber(Modulation::kQpsk, ebn0, 200000, r1);
+  const auto fading =
+      simulate_rayleigh_ber(Modulation::kQpsk, ebn0, 200000, 1000, r2);
+  EXPECT_GT(fading.ber, 4.0 * awgn.ber);
+}
+
+TEST(MonteCarloLink, RejectsBadArguments) {
+  holms::sim::Rng rng(1);
+  EXPECT_THROW(simulate_awgn_ber(Modulation::kBpsk, 0.0, 100, rng),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_packet_error_rate(Modulation::kBpsk, 1.0, 0, 10, rng),
+               std::invalid_argument);
+  EXPECT_THROW(
+      simulate_rayleigh_ber(Modulation::kBpsk, 1.0, 100, 0, rng),
+      std::invalid_argument);
+}
+
+// ---------- coding ----------
+
+TEST(Code, GainGrowsWithConstraintLengthAndSaturates) {
+  CodeConfig none;
+  EXPECT_DOUBLE_EQ(none.coding_gain(), 1.0);
+  double prev = 1.0;
+  for (int k : {3, 5, 7, 9}) {
+    CodeConfig c;
+    c.constraint_length = k;
+    EXPECT_GE(c.coding_gain(), prev);
+    prev = c.coding_gain();
+  }
+  CodeConfig k10, k12;
+  k10.constraint_length = 10;
+  k12.constraint_length = 12;
+  EXPECT_NEAR(k10.coding_gain(), k12.coding_gain(), 1e-9);  // saturated
+}
+
+TEST(Code, DecodeEnergyExponentialInK) {
+  CodeConfig k5, k7;
+  k5.constraint_length = 5;
+  k7.constraint_length = 7;
+  EXPECT_NEAR(k7.decode_energy_nj() / k5.decode_energy_nj(), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(CodeConfig{}.decode_energy_nj(), 0.0);
+}
+
+TEST(Code, RateAffectsInfoBitEnergy) {
+  // Halving the code rate halves the information bit rate: fixed-power
+  // electronics then cost twice as much per info bit.
+  RadioModel r;
+  CodeConfig uncoded;
+  CodeConfig half;
+  half.constraint_length = 3;
+  half.code_rate = 0.5;
+  const double e0 = r.energy_per_info_bit(0.1, Modulation::kQpsk, uncoded);
+  const double e1 = r.energy_per_info_bit(0.1, Modulation::kQpsk, half);
+  const double radio_part0 = e0;  // no decode energy in the uncoded case
+  EXPECT_NEAR(e1 - half.decode_energy_nj() * 1e-9, 2.0 * radio_part0,
+              radio_part0 * 0.01);
+}
+
+// ---------- transceiver energy management (E7 mechanics) ----------
+
+RadioModel default_radio() { return RadioModel{}; }
+
+EnergyManager::Options default_opts() { return EnergyManager::Options{}; }
+
+TEST(Transceiver, Ebn0ScalesWithPowerAndGain) {
+  const RadioModel r = default_radio();
+  const double e1 = r.ebn0(0.1, 1e-9, Modulation::kQpsk);
+  EXPECT_GT(e1, 0.0);
+  EXPECT_NEAR(r.ebn0(0.2, 1e-9, Modulation::kQpsk), 2.0 * e1, 1e-6 * e1);
+  EXPECT_NEAR(r.ebn0(0.1, 2e-9, Modulation::kQpsk), 2.0 * e1, 1e-6 * e1);
+  // Denser modulation spreads the same SNR over more bits.
+  EXPECT_LT(r.ebn0(0.1, 1e-9, Modulation::kQam16), e1);
+}
+
+TEST(Transceiver, EnergyPerBitFallsWithModulationOrder) {
+  const RadioModel r = default_radio();
+  const CodeConfig none;
+  EXPECT_GT(r.energy_per_info_bit(0.1, Modulation::kBpsk, none),
+            r.energy_per_info_bit(0.1, Modulation::kQam64, none));
+}
+
+TEST(Transceiver, EvaluateFlagsInfeasibleLowPower) {
+  EnergyManager mgr(default_radio(), default_opts());
+  const auto bad = mgr.evaluate(Modulation::kQam64, 0.01, CodeConfig{}, 1e-12);
+  EXPECT_FALSE(bad.feasible);
+  const auto good = mgr.evaluate(Modulation::kBpsk, 0.5, CodeConfig{}, 1e-8);
+  EXPECT_TRUE(good.feasible);
+}
+
+TEST(Transceiver, OptimalIsFeasibleAndMinimal) {
+  EnergyManager mgr(default_radio(), default_opts());
+  const double gain = 3e-10;
+  const auto opt = mgr.optimal(gain);
+  ASSERT_TRUE(opt.feasible);
+  // Spot check: no listed config beats it.
+  for (Modulation m : kAllModulations) {
+    for (double p : mgr.options().power_levels_w) {
+      for (int k : mgr.options().constraint_lengths) {
+        CodeConfig c;
+        c.constraint_length = k;
+        const auto e = mgr.evaluate(m, p, c, gain);
+        if (e.feasible) {
+          EXPECT_GE(e.energy_per_bit_j, opt.energy_per_bit_j - 1e-18);
+        }
+      }
+    }
+  }
+}
+
+TEST(Transceiver, GameTheoreticReachesFeasiblePoint) {
+  EnergyManager mgr(default_radio(), default_opts());
+  for (double gain : {1e-10, 5e-10, 3e-9}) {
+    TransceiverConfig start;  // arbitrary initial strategy
+    const auto gt = mgr.game_theoretic(gain, start);
+    EXPECT_TRUE(gt.feasible) << "gain " << gain;
+    const auto opt = mgr.optimal(gain);
+    EXPECT_GE(gt.energy_per_bit_j, opt.energy_per_bit_j - 1e-18);
+    // Best-response dynamics land close to the joint optimum here.
+    EXPECT_LE(gt.energy_per_bit_j, opt.energy_per_bit_j * 1.5);
+  }
+}
+
+TEST(Transceiver, AdaptationBeatsWorstCaseProvisioning) {
+  // The 12%-savings mechanism: a static design provisions for the worst
+  // channel; adaptation relaxes power/modulation when the channel is good.
+  EnergyManager mgr(default_radio(), default_opts());
+  const double worst = 1e-10, good = 3e-9;
+  const auto fixed = mgr.static_config(worst);
+  ASSERT_TRUE(fixed.feasible);
+  const auto adapted = mgr.game_theoretic(good, fixed);
+  EXPECT_LT(adapted.energy_per_bit_j, fixed.energy_per_bit_j);
+}
+
+TEST(Transceiver, BadChannelFallsBackToRobustConfig) {
+  EnergyManager mgr(default_radio(), default_opts());
+  TransceiverConfig start;
+  const auto c = mgr.game_theoretic(1e-14, start);  // hopeless channel
+  // Fallback is defined even when infeasible: strongest configuration.
+  EXPECT_EQ(c.modulation, Modulation::kBpsk);
+  EXPECT_DOUBLE_EQ(c.tx_power_w, mgr.options().power_levels_w.back());
+}
+
+// ---------- JSCC (E8 mechanics) ----------
+
+JsccOptimizer make_jscc() {
+  return JsccOptimizer(ImageModel{}, RadioModel{}, JsccOptimizer::Options{});
+}
+
+TEST(Jscc, DistortionDecomposes) {
+  const JsccOptimizer opt = make_jscc();
+  JsccConfig c;
+  c.source_rate_bpp = 4.0;
+  c.tx_power_w = 0.5;
+  c.code.constraint_length = 9;
+  const auto clean = opt.evaluate(c, 1e-8);  // excellent channel
+  // At R=4: D_source = 2500 * 2^-8 ~= 9.8; channel term ~ 0.
+  EXPECT_NEAR(clean.distortion, 2500.0 * std::pow(2.0, -8.0), 0.5);
+  EXPECT_TRUE(clean.feasible);
+  const auto noisy = opt.evaluate(c, 1e-13);
+  EXPECT_GT(noisy.distortion, clean.distortion);
+}
+
+TEST(Jscc, HigherSourceRateCostsMoreEnergy) {
+  const JsccOptimizer opt = make_jscc();
+  JsccConfig lo, hi;
+  lo.source_rate_bpp = 0.5;
+  hi.source_rate_bpp = 4.0;
+  lo.tx_power_w = hi.tx_power_w = 0.1;
+  const auto a = opt.evaluate(lo, 1e-9);
+  const auto b = opt.evaluate(hi, 1e-9);
+  EXPECT_GT(b.total_energy_j, a.total_energy_j);
+}
+
+TEST(Jscc, OptimizeIsFeasibleAndBeatsBaselineOnGoodChannel) {
+  const JsccOptimizer opt = make_jscc();
+  const double worst = 2e-10, good = 5e-9;
+  const auto base = opt.baseline(worst);
+  ASSERT_TRUE(base.feasible);
+  const auto tuned = opt.optimize(good);
+  ASSERT_TRUE(tuned.feasible);
+  EXPECT_LT(tuned.total_energy_j, base.total_energy_j);
+  EXPECT_LE(tuned.distortion, opt.options().max_distortion);
+}
+
+TEST(Jscc, OptimizerMatchesExhaustiveSearch) {
+  const JsccOptimizer opt = make_jscc();
+  for (double gain : {3e-10, 1e-9, 5e-9}) {
+    const auto got = opt.optimize(gain);
+    // Exhaustive reference.
+    JsccConfig best;
+    double best_e = 1e99;
+    for (double r : opt.options().source_rates) {
+      for (double p : opt.options().power_levels_w) {
+        for (int k : opt.options().constraint_lengths) {
+          JsccConfig c;
+          c.source_rate_bpp = r;
+          c.tx_power_w = p;
+          c.code.constraint_length = k;
+          c = opt.evaluate(c, gain);
+          if (c.feasible && c.total_energy_j < best_e) {
+            best_e = c.total_energy_j;
+            best = c;
+          }
+        }
+      }
+    }
+    ASSERT_TRUE(got.feasible) << gain;
+    EXPECT_LE(got.total_energy_j, best_e * 1.05) << gain;
+  }
+}
+
+TEST(Jscc, PsnrConsistentWithDistortion) {
+  const JsccOptimizer opt = make_jscc();
+  JsccConfig c;
+  c.source_rate_bpp = 2.0;
+  c.tx_power_w = 0.35;
+  c.code.constraint_length = 7;
+  const auto e = opt.evaluate(c, 1e-8);
+  EXPECT_NEAR(e.psnr_db, 10.0 * std::log10(255.0 * 255.0 / e.distortion),
+              1e-9);
+}
+
+}  // namespace
