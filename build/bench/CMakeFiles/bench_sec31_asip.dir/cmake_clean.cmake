@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec31_asip.dir/bench_sec31_asip.cpp.o"
+  "CMakeFiles/bench_sec31_asip.dir/bench_sec31_asip.cpp.o.d"
+  "bench_sec31_asip"
+  "bench_sec31_asip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec31_asip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec32_selfsim.dir/bench_sec32_selfsim.cpp.o"
+  "CMakeFiles/bench_sec32_selfsim.dir/bench_sec32_selfsim.cpp.o.d"
+  "bench_sec32_selfsim"
+  "bench_sec32_selfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_selfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec33_mapping.dir/bench_sec33_mapping.cpp.o"
+  "CMakeFiles/bench_sec33_mapping.dir/bench_sec33_mapping.cpp.o.d"
+  "bench_sec33_mapping"
+  "bench_sec33_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec33_packetsize.dir/bench_sec33_packetsize.cpp.o"
+  "CMakeFiles/bench_sec33_packetsize.dir/bench_sec33_packetsize.cpp.o.d"
+  "bench_sec33_packetsize"
+  "bench_sec33_packetsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_packetsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec33_sched.dir/bench_sec33_sched.cpp.o"
+  "CMakeFiles/bench_sec33_sched.dir/bench_sec33_sched.cpp.o.d"
+  "bench_sec33_sched"
+  "bench_sec33_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

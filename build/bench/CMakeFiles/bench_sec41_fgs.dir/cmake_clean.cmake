@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec41_fgs.dir/bench_sec41_fgs.cpp.o"
+  "CMakeFiles/bench_sec41_fgs.dir/bench_sec41_fgs.cpp.o.d"
+  "bench_sec41_fgs"
+  "bench_sec41_fgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec41_fgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

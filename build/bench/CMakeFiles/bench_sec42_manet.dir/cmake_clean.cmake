@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec42_manet.dir/bench_sec42_manet.cpp.o"
+  "CMakeFiles/bench_sec42_manet.dir/bench_sec42_manet.cpp.o.d"
+  "bench_sec42_manet"
+  "bench_sec42_manet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_manet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

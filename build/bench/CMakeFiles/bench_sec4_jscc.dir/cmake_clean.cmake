@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_jscc.dir/bench_sec4_jscc.cpp.o"
+  "CMakeFiles/bench_sec4_jscc.dir/bench_sec4_jscc.cpp.o.d"
+  "bench_sec4_jscc"
+  "bench_sec4_jscc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_jscc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

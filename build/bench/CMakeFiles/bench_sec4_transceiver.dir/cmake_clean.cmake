@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_transceiver.dir/bench_sec4_transceiver.cpp.o"
+  "CMakeFiles/bench_sec4_transceiver.dir/bench_sec4_transceiver.cpp.o.d"
+  "bench_sec4_transceiver"
+  "bench_sec4_transceiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_transceiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_ambient.dir/bench_sec5_ambient.cpp.o"
+  "CMakeFiles/bench_sec5_ambient.dir/bench_sec5_ambient.cpp.o.d"
+  "bench_sec5_ambient"
+  "bench_sec5_ambient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_ambient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

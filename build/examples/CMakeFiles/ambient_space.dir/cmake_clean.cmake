@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambient_space.dir/ambient_space.cpp.o"
+  "CMakeFiles/ambient_space.dir/ambient_space.cpp.o.d"
+  "ambient_space"
+  "ambient_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambient_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asip_customize.dir/asip_customize.cpp.o"
+  "CMakeFiles/asip_customize.dir/asip_customize.cpp.o.d"
+  "asip_customize"
+  "asip_customize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asip_customize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

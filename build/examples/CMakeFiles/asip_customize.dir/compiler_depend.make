@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for asip_customize.
+# This may be replaced when dependencies are built.

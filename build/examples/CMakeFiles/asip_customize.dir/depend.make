@@ -1,0 +1,2 @@
+# Empty dependencies file for asip_customize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_lifetime.dir/manet_lifetime.cpp.o"
+  "CMakeFiles/manet_lifetime.dir/manet_lifetime.cpp.o.d"
+  "manet_lifetime"
+  "manet_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

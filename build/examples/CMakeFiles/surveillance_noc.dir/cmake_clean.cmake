@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveillance_noc.dir/surveillance_noc.cpp.o"
+  "CMakeFiles/surveillance_noc.dir/surveillance_noc.cpp.o.d"
+  "surveillance_noc"
+  "surveillance_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveillance_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for surveillance_noc.
+# This may be replaced when dependencies are built.

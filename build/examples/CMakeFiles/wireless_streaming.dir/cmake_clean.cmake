@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_streaming.dir/wireless_streaming.cpp.o"
+  "CMakeFiles/wireless_streaming.dir/wireless_streaming.cpp.o.d"
+  "wireless_streaming"
+  "wireless_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("markov")
+subdirs("traffic")
+subdirs("dvfs")
+subdirs("stream")
+subdirs("asip")
+subdirs("noc")
+subdirs("wireless")
+subdirs("streaming")
+subdirs("manet")
+subdirs("core")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asip/assembler.cpp" "src/asip/CMakeFiles/holms_asip.dir/assembler.cpp.o" "gcc" "src/asip/CMakeFiles/holms_asip.dir/assembler.cpp.o.d"
+  "/root/repo/src/asip/builder.cpp" "src/asip/CMakeFiles/holms_asip.dir/builder.cpp.o" "gcc" "src/asip/CMakeFiles/holms_asip.dir/builder.cpp.o.d"
+  "/root/repo/src/asip/extensions.cpp" "src/asip/CMakeFiles/holms_asip.dir/extensions.cpp.o" "gcc" "src/asip/CMakeFiles/holms_asip.dir/extensions.cpp.o.d"
+  "/root/repo/src/asip/flow.cpp" "src/asip/CMakeFiles/holms_asip.dir/flow.cpp.o" "gcc" "src/asip/CMakeFiles/holms_asip.dir/flow.cpp.o.d"
+  "/root/repo/src/asip/iss.cpp" "src/asip/CMakeFiles/holms_asip.dir/iss.cpp.o" "gcc" "src/asip/CMakeFiles/holms_asip.dir/iss.cpp.o.d"
+  "/root/repo/src/asip/jpeg.cpp" "src/asip/CMakeFiles/holms_asip.dir/jpeg.cpp.o" "gcc" "src/asip/CMakeFiles/holms_asip.dir/jpeg.cpp.o.d"
+  "/root/repo/src/asip/kernels.cpp" "src/asip/CMakeFiles/holms_asip.dir/kernels.cpp.o" "gcc" "src/asip/CMakeFiles/holms_asip.dir/kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/holms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

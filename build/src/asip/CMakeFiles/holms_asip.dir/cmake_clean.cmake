@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holms_asip.dir/assembler.cpp.o"
+  "CMakeFiles/holms_asip.dir/assembler.cpp.o.d"
+  "CMakeFiles/holms_asip.dir/builder.cpp.o"
+  "CMakeFiles/holms_asip.dir/builder.cpp.o.d"
+  "CMakeFiles/holms_asip.dir/extensions.cpp.o"
+  "CMakeFiles/holms_asip.dir/extensions.cpp.o.d"
+  "CMakeFiles/holms_asip.dir/flow.cpp.o"
+  "CMakeFiles/holms_asip.dir/flow.cpp.o.d"
+  "CMakeFiles/holms_asip.dir/iss.cpp.o"
+  "CMakeFiles/holms_asip.dir/iss.cpp.o.d"
+  "CMakeFiles/holms_asip.dir/jpeg.cpp.o"
+  "CMakeFiles/holms_asip.dir/jpeg.cpp.o.d"
+  "CMakeFiles/holms_asip.dir/kernels.cpp.o"
+  "CMakeFiles/holms_asip.dir/kernels.cpp.o.d"
+  "libholms_asip.a"
+  "libholms_asip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holms_asip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

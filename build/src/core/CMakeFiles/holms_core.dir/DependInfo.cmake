@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ambient.cpp" "src/core/CMakeFiles/holms_core.dir/ambient.cpp.o" "gcc" "src/core/CMakeFiles/holms_core.dir/ambient.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/holms_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/holms_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/explorer.cpp" "src/core/CMakeFiles/holms_core.dir/explorer.cpp.o" "gcc" "src/core/CMakeFiles/holms_core.dir/explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/holms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/holms_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/holms_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/holms_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/holms_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/holms_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/holms_markov.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

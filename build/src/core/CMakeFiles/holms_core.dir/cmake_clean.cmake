@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holms_core.dir/ambient.cpp.o"
+  "CMakeFiles/holms_core.dir/ambient.cpp.o.d"
+  "CMakeFiles/holms_core.dir/evaluator.cpp.o"
+  "CMakeFiles/holms_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/holms_core.dir/explorer.cpp.o"
+  "CMakeFiles/holms_core.dir/explorer.cpp.o.d"
+  "libholms_core.a"
+  "libholms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

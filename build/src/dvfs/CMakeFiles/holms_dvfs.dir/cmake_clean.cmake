@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holms_dvfs.dir/dvfs.cpp.o"
+  "CMakeFiles/holms_dvfs.dir/dvfs.cpp.o.d"
+  "libholms_dvfs.a"
+  "libholms_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holms_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holms_manet.dir/network.cpp.o"
+  "CMakeFiles/holms_manet.dir/network.cpp.o.d"
+  "CMakeFiles/holms_manet.dir/routing.cpp.o"
+  "CMakeFiles/holms_manet.dir/routing.cpp.o.d"
+  "libholms_manet.a"
+  "libholms_manet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holms_manet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/chain.cpp" "src/markov/CMakeFiles/holms_markov.dir/chain.cpp.o" "gcc" "src/markov/CMakeFiles/holms_markov.dir/chain.cpp.o.d"
+  "/root/repo/src/markov/jackson.cpp" "src/markov/CMakeFiles/holms_markov.dir/jackson.cpp.o" "gcc" "src/markov/CMakeFiles/holms_markov.dir/jackson.cpp.o.d"
+  "/root/repo/src/markov/queueing.cpp" "src/markov/CMakeFiles/holms_markov.dir/queueing.cpp.o" "gcc" "src/markov/CMakeFiles/holms_markov.dir/queueing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/holms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holms_markov.dir/chain.cpp.o"
+  "CMakeFiles/holms_markov.dir/chain.cpp.o.d"
+  "CMakeFiles/holms_markov.dir/jackson.cpp.o"
+  "CMakeFiles/holms_markov.dir/jackson.cpp.o.d"
+  "CMakeFiles/holms_markov.dir/queueing.cpp.o"
+  "CMakeFiles/holms_markov.dir/queueing.cpp.o.d"
+  "libholms_markov.a"
+  "libholms_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holms_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

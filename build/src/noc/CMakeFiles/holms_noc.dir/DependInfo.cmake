@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/mapping.cpp" "src/noc/CMakeFiles/holms_noc.dir/mapping.cpp.o" "gcc" "src/noc/CMakeFiles/holms_noc.dir/mapping.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/noc/CMakeFiles/holms_noc.dir/router.cpp.o" "gcc" "src/noc/CMakeFiles/holms_noc.dir/router.cpp.o.d"
+  "/root/repo/src/noc/scheduling.cpp" "src/noc/CMakeFiles/holms_noc.dir/scheduling.cpp.o" "gcc" "src/noc/CMakeFiles/holms_noc.dir/scheduling.cpp.o.d"
+  "/root/repo/src/noc/taskgraph.cpp" "src/noc/CMakeFiles/holms_noc.dir/taskgraph.cpp.o" "gcc" "src/noc/CMakeFiles/holms_noc.dir/taskgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/holms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/holms_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/holms_dvfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holms_noc.dir/mapping.cpp.o"
+  "CMakeFiles/holms_noc.dir/mapping.cpp.o.d"
+  "CMakeFiles/holms_noc.dir/router.cpp.o"
+  "CMakeFiles/holms_noc.dir/router.cpp.o.d"
+  "CMakeFiles/holms_noc.dir/scheduling.cpp.o"
+  "CMakeFiles/holms_noc.dir/scheduling.cpp.o.d"
+  "CMakeFiles/holms_noc.dir/taskgraph.cpp.o"
+  "CMakeFiles/holms_noc.dir/taskgraph.cpp.o.d"
+  "libholms_noc.a"
+  "libholms_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holms_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holms_sim.dir/simulator.cpp.o"
+  "CMakeFiles/holms_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/holms_sim.dir/stats.cpp.o"
+  "CMakeFiles/holms_sim.dir/stats.cpp.o.d"
+  "libholms_sim.a"
+  "libholms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

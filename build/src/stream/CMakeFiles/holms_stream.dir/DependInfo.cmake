@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/channel.cpp" "src/stream/CMakeFiles/holms_stream.dir/channel.cpp.o" "gcc" "src/stream/CMakeFiles/holms_stream.dir/channel.cpp.o.d"
+  "/root/repo/src/stream/kpn.cpp" "src/stream/CMakeFiles/holms_stream.dir/kpn.cpp.o" "gcc" "src/stream/CMakeFiles/holms_stream.dir/kpn.cpp.o.d"
+  "/root/repo/src/stream/lipsync.cpp" "src/stream/CMakeFiles/holms_stream.dir/lipsync.cpp.o" "gcc" "src/stream/CMakeFiles/holms_stream.dir/lipsync.cpp.o.d"
+  "/root/repo/src/stream/mpeg2.cpp" "src/stream/CMakeFiles/holms_stream.dir/mpeg2.cpp.o" "gcc" "src/stream/CMakeFiles/holms_stream.dir/mpeg2.cpp.o.d"
+  "/root/repo/src/stream/stream_system.cpp" "src/stream/CMakeFiles/holms_stream.dir/stream_system.cpp.o" "gcc" "src/stream/CMakeFiles/holms_stream.dir/stream_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/holms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/holms_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/holms_markov.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

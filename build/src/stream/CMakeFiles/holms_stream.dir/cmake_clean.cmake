@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holms_stream.dir/channel.cpp.o"
+  "CMakeFiles/holms_stream.dir/channel.cpp.o.d"
+  "CMakeFiles/holms_stream.dir/kpn.cpp.o"
+  "CMakeFiles/holms_stream.dir/kpn.cpp.o.d"
+  "CMakeFiles/holms_stream.dir/lipsync.cpp.o"
+  "CMakeFiles/holms_stream.dir/lipsync.cpp.o.d"
+  "CMakeFiles/holms_stream.dir/mpeg2.cpp.o"
+  "CMakeFiles/holms_stream.dir/mpeg2.cpp.o.d"
+  "CMakeFiles/holms_stream.dir/stream_system.cpp.o"
+  "CMakeFiles/holms_stream.dir/stream_system.cpp.o.d"
+  "libholms_stream.a"
+  "libholms_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holms_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holms_streaming.dir/fgs.cpp.o"
+  "CMakeFiles/holms_streaming.dir/fgs.cpp.o.d"
+  "libholms_streaming.a"
+  "libholms_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holms_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

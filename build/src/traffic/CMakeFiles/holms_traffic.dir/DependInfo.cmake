@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/selfsim.cpp" "src/traffic/CMakeFiles/holms_traffic.dir/selfsim.cpp.o" "gcc" "src/traffic/CMakeFiles/holms_traffic.dir/selfsim.cpp.o.d"
+  "/root/repo/src/traffic/sources.cpp" "src/traffic/CMakeFiles/holms_traffic.dir/sources.cpp.o" "gcc" "src/traffic/CMakeFiles/holms_traffic.dir/sources.cpp.o.d"
+  "/root/repo/src/traffic/trace_io.cpp" "src/traffic/CMakeFiles/holms_traffic.dir/trace_io.cpp.o" "gcc" "src/traffic/CMakeFiles/holms_traffic.dir/trace_io.cpp.o.d"
+  "/root/repo/src/traffic/video.cpp" "src/traffic/CMakeFiles/holms_traffic.dir/video.cpp.o" "gcc" "src/traffic/CMakeFiles/holms_traffic.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/holms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holms_traffic.dir/selfsim.cpp.o"
+  "CMakeFiles/holms_traffic.dir/selfsim.cpp.o.d"
+  "CMakeFiles/holms_traffic.dir/sources.cpp.o"
+  "CMakeFiles/holms_traffic.dir/sources.cpp.o.d"
+  "CMakeFiles/holms_traffic.dir/trace_io.cpp.o"
+  "CMakeFiles/holms_traffic.dir/trace_io.cpp.o.d"
+  "CMakeFiles/holms_traffic.dir/video.cpp.o"
+  "CMakeFiles/holms_traffic.dir/video.cpp.o.d"
+  "libholms_traffic.a"
+  "libholms_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holms_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

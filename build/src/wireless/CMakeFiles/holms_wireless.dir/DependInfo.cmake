@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wireless/jscc.cpp" "src/wireless/CMakeFiles/holms_wireless.dir/jscc.cpp.o" "gcc" "src/wireless/CMakeFiles/holms_wireless.dir/jscc.cpp.o.d"
+  "/root/repo/src/wireless/link_sim.cpp" "src/wireless/CMakeFiles/holms_wireless.dir/link_sim.cpp.o" "gcc" "src/wireless/CMakeFiles/holms_wireless.dir/link_sim.cpp.o.d"
+  "/root/repo/src/wireless/modulation.cpp" "src/wireless/CMakeFiles/holms_wireless.dir/modulation.cpp.o" "gcc" "src/wireless/CMakeFiles/holms_wireless.dir/modulation.cpp.o.d"
+  "/root/repo/src/wireless/transceiver.cpp" "src/wireless/CMakeFiles/holms_wireless.dir/transceiver.cpp.o" "gcc" "src/wireless/CMakeFiles/holms_wireless.dir/transceiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/holms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

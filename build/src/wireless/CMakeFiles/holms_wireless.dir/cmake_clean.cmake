@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holms_wireless.dir/jscc.cpp.o"
+  "CMakeFiles/holms_wireless.dir/jscc.cpp.o.d"
+  "CMakeFiles/holms_wireless.dir/link_sim.cpp.o"
+  "CMakeFiles/holms_wireless.dir/link_sim.cpp.o.d"
+  "CMakeFiles/holms_wireless.dir/modulation.cpp.o"
+  "CMakeFiles/holms_wireless.dir/modulation.cpp.o.d"
+  "CMakeFiles/holms_wireless.dir/transceiver.cpp.o"
+  "CMakeFiles/holms_wireless.dir/transceiver.cpp.o.d"
+  "libholms_wireless.a"
+  "libholms_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holms_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

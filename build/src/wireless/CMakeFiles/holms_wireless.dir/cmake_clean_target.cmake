@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libholms_wireless.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asip.dir/test_asip.cpp.o"
+  "CMakeFiles/test_asip.dir/test_asip.cpp.o.d"
+  "test_asip"
+  "test_asip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

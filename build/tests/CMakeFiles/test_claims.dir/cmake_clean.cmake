@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_claims.dir/test_claims.cpp.o"
+  "CMakeFiles/test_claims.dir/test_claims.cpp.o.d"
+  "test_claims"
+  "test_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/test_property.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/test_property.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/holms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/holms_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/holms_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/streaming/CMakeFiles/holms_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/manet/CMakeFiles/holms_manet.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/holms_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/asip/CMakeFiles/holms_asip.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/holms_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/holms_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/holms_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/holms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

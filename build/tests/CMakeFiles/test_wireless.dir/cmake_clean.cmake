@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wireless.dir/test_wireless.cpp.o"
+  "CMakeFiles/test_wireless.dir/test_wireless.cpp.o.d"
+  "test_wireless"
+  "test_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;holms_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_markov "/root/repo/build/tests/test_markov")
+set_tests_properties(test_markov PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;holms_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_traffic "/root/repo/build/tests/test_traffic")
+set_tests_properties(test_traffic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;holms_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_stream "/root/repo/build/tests/test_stream")
+set_tests_properties(test_stream PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;holms_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_asip "/root/repo/build/tests/test_asip")
+set_tests_properties(test_asip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;holms_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_noc "/root/repo/build/tests/test_noc")
+set_tests_properties(test_noc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;holms_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_wireless "/root/repo/build/tests/test_wireless")
+set_tests_properties(test_wireless PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;holms_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_streaming "/root/repo/build/tests/test_streaming")
+set_tests_properties(test_streaming PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;holms_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_manet "/root/repo/build/tests/test_manet")
+set_tests_properties(test_manet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;holms_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;holms_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;holms_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_property "/root/repo/build/tests/test_property")
+set_tests_properties(test_property PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;holms_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_robustness "/root/repo/build/tests/test_robustness")
+set_tests_properties(test_robustness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;holms_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_claims "/root/repo/build/tests/test_claims")
+set_tests_properties(test_claims PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;25;holms_test;/root/repo/tests/CMakeLists.txt;0;")
