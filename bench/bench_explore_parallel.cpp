@@ -1,0 +1,104 @@
+// EP — parallel design-space exploration (ISSUE 1): serial vs parallel
+// explore() on the holms::exec thread pool, with the determinism contract
+// checked on every run (threads=N must reproduce threads=1 bitwise).
+//
+// The ISSUE names a "6x6 mesh, 64-task app"; mappings are injective (one
+// core per tile), so 64 tasks need an 8x8 mesh — we run the 6x6 mesh at its
+// injective capacity-half (32 tasks) and the 64-task app on 8x8.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "core/explorer.hpp"
+#include "noc/taskgraph.hpp"
+
+using namespace holms::core;
+using holms::sim::Rng;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct RunStats {
+  double serial_s = 0.0;
+  double parallel_s = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+RunStats run_case(const char* name, std::size_t tasks, std::size_t mesh_w,
+                  std::size_t mesh_h, std::size_t threads) {
+  Application app;
+  Rng graph_rng(17);
+  app.graph = holms::noc::random_graph(tasks, graph_rng, 5e5);
+  app.qos.period_s = 0.08;
+  const Platform plat = Platform::homogeneous(mesh_w, mesh_h);
+
+  ExploreOptions opts;
+  opts.restarts = 6;
+  opts.sa.iterations = 4000;
+
+  RunStats st;
+  opts.threads = 1;
+  Rng serial_rng(42);
+  auto t0 = std::chrono::steady_clock::now();
+  const ExploreResult serial = explore(app, plat, serial_rng, opts);
+  st.serial_s = seconds_since(t0);
+
+  opts.threads = threads;
+  Rng parallel_rng(42);
+  t0 = std::chrono::steady_clock::now();
+  const ExploreResult parallel = explore(app, plat, parallel_rng, opts);
+  st.parallel_s = seconds_since(t0);
+
+  st.speedup = st.parallel_s > 0.0 ? st.serial_s / st.parallel_s : 0.0;
+  st.identical =
+      serial.best.eval.total_energy_j == parallel.best.eval.total_energy_j &&
+      serial.best.mapping == parallel.best.mapping &&
+      serial.pareto.size() == parallel.pareto.size() &&
+      serial.evaluated == parallel.evaluated;
+
+  std::printf("%-28s %3zu tasks on %zux%zu  serial %7.3fs  parallel(%zu) "
+              "%7.3fs  speedup %5.2fx  identical %s\n",
+              name, tasks, mesh_w, mesh_h, st.serial_s, threads,
+              st.parallel_s, st.speedup, st.identical ? "yes" : "NO");
+  return st;
+}
+
+}  // namespace
+
+int main() {
+  holms::bench::BenchReport report("explore_parallel");
+  holms::bench::title("EP", "Parallel DSE: holms::exec speedup + determinism");
+  const std::size_t hw = std::thread::hardware_concurrency();
+  // At least 4 so the pool path is exercised (and determinism checked under
+  // real interleaving) even on small machines; speedup obviously needs the
+  // physical cores to back it.
+  const std::size_t threads = hw < 4 ? 4 : hw;
+  holms::bench::note("hardware threads: " + std::to_string(hw) +
+                     ", pool threads: " + std::to_string(threads));
+
+  const RunStats small = run_case("6x6 mesh (inj. capacity/2)", 32, 6, 6,
+                                  threads);
+  const RunStats large = run_case("64-task app", 64, 8, 8, threads);
+
+  holms::bench::rule();
+  holms::bench::note("expected shape: speedup -> thread count while restarts "
+                     ">= threads; identical must always be yes.");
+
+  report.set("hardware_threads", static_cast<double>(hw));
+  report.set("pool_threads", static_cast<double>(threads));
+  report.set("serial_s_6x6", small.serial_s);
+  report.set("parallel_s_6x6", small.parallel_s);
+  report.set("speedup_6x6", small.speedup);
+  report.set("serial_s_8x8", large.serial_s);
+  report.set("parallel_s_8x8", large.parallel_s);
+  report.set("speedup_8x8", large.speedup);
+  report.set("deterministic",
+             (small.identical && large.identical) ? 1.0 : 0.0);
+  return (small.identical && large.identical) ? 0 : 1;
+}

@@ -15,6 +15,7 @@
 using holms::sim::Rng;
 
 int main() {
+  holms::bench::BenchReport report("fig1_stream");
   holms::bench::title("F1", "Generic multimedia stream of Fig.1(a)/(b)");
 
   // --- Series 1: loss/latency/energy vs channel error rate, with/without ARQ.

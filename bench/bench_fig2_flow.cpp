@@ -7,6 +7,7 @@
 #include "bench_util.hpp"
 
 int main() {
+  holms::bench::BenchReport report("fig2_flow");
   holms::bench::title("F2", "Extensible processor design flow (Fig.2)");
   holms::asip::VoiceRecognitionApp app;
   holms::asip::FlowOptions opts;

@@ -70,6 +70,7 @@ SimResult simulate(double prod, double cons, std::size_t cap,
 }  // namespace
 
 int main() {
+  holms::bench::BenchReport report("sec22_analysis");
   holms::bench::title("E2", "Analytical vs simulated steady state (Fig.1 "
                             "producer-consumer)");
   std::printf("%-22s %10s %10s %10s %10s %9s %9s %8s\n", "case (p/c/cap)",

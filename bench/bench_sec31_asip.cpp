@@ -22,6 +22,7 @@ struct ConfigRow {
 }  // namespace
 
 int main() {
+  holms::bench::BenchReport report("sec31_asip");
   holms::bench::title("E1", "ASIP customization for voice recognition (5-10x)");
   VoiceRecognitionApp app;
 

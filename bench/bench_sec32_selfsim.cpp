@@ -18,6 +18,7 @@
 using holms::sim::Rng;
 
 int main() {
+  holms::bench::BenchReport report("sec32_selfsim");
   holms::bench::title("E3",
                       "Self-similar vs Markovian traffic at a router buffer");
 

@@ -58,6 +58,7 @@ void run_case(const char* name, const AppGraph& g, const Mesh2D& mesh,
 }  // namespace
 
 int main() {
+  holms::bench::BenchReport report("sec33_mapping");
   holms::bench::title("E4", "Energy-aware NoC mapping vs ad-hoc (>50% claim)");
   run_case("MMS video/audio enc+dec", mms_graph(), Mesh2D(4, 4), 60e6);
   run_case("video surveillance (sec 3.2)", video_surveillance_graph(),

@@ -15,6 +15,7 @@ using namespace holms::noc;
 using holms::sim::Rng;
 
 int main() {
+  holms::bench::BenchReport report("sec33_packetsize");
   holms::bench::title("E5", "Packet-size trade-off on the wormhole NoC");
 
   const Mesh2D mesh(4, 4);

@@ -53,6 +53,7 @@ void run_pair(const char* label, double client_mhz, std::uint64_t seed,
 }  // namespace
 
 int main() {
+  holms::bench::BenchReport report("sec41_fgs");
   holms::bench::title("E9", "Energy-aware MPEG-4 FGS streaming (15% claim)");
   std::printf("%-26s %-13s %9s %9s %9s %8s %8s %9s\n", "client", "policy",
               "rx-J", "cpu-J", "total-J", "norm-ld", "waste", "PSNR-dB");

@@ -10,6 +10,7 @@
 using namespace holms::manet;
 
 int main() {
+  holms::bench::BenchReport report("sec42_manet");
   holms::bench::title("E10", "Energy-aware MANET routing lifetime (>20%)");
 
   Manet::Params params;

@@ -11,6 +11,7 @@
 using namespace holms::wireless;
 
 int main() {
+  holms::bench::BenchReport report("sec4_jscc");
   holms::bench::title("E8", "JSCC image transmission energy (60% claim)");
   JsccOptimizer opt(ImageModel{}, RadioModel{}, JsccOptimizer::Options{});
 

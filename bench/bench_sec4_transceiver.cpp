@@ -15,6 +15,7 @@ using namespace holms::wireless;
 using holms::sim::Rng;
 
 int main() {
+  holms::bench::BenchReport report("sec4_transceiver");
   holms::bench::title("E7",
                       "Game-theoretic transceiver adaptation (12% claim)");
   RadioModel radio;

@@ -12,6 +12,7 @@
 using namespace holms::core;
 
 int main() {
+  holms::bench::BenchReport report("sec5_ambient");
   holms::bench::title("E11", "Ambient operation under failures (sec 5)");
 
   // The surveillance pipeline (schedulable DAG form) on a 4x4 platform:

@@ -1,10 +1,21 @@
 #pragma once
-// Shared table-printing helpers for the experiment regenerators in bench/.
+// Shared helpers for the experiment regenerators in bench/.
 // Each bench binary prints the rows/series its DESIGN.md experiment calls
 // for; EXPERIMENTS.md records paper-claim vs measured for each.
+//
+// Every bench also emits a machine-readable BENCH_<name>.json run report:
+// instantiate one BenchReport at the top of main().  It installs an
+// exec::MetricsRegistry as the process sink (so explorer / SA / simulator
+// instrumentation is captured), times the whole run, derives the headline
+// rates (candidates/s, cache hit rate) and writes the file on destruction.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/metrics.hpp"
 
 namespace holms::bench {
 
@@ -21,5 +32,66 @@ inline void note(const std::string& text) {
 inline void rule() {
   std::printf("----------------------------------------------------------------\n");
 }
+
+/// Per-bench run report: BENCH_<name>.json in the working directory.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)),
+        sink_(registry_),
+        start_(std::chrono::steady_clock::now()) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  /// Attaches an extra scalar to the report (speedups, problem sizes, ...).
+  void set(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    extras_.emplace_back(key, buf);
+  }
+
+  exec::MetricsRegistry& registry() { return registry_; }
+
+  ~BenchReport() {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const double candidates =
+        static_cast<double>(registry_.counter("explore.candidates").value());
+    const double hits =
+        static_cast<double>(registry_.counter("explore.cache_hits").value());
+    const double misses =
+        static_cast<double>(registry_.counter("explore.cache_misses").value());
+    const double lookups = hits + misses;
+
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"name\":\"%s\",\"wall_time_s\":%.6f", name_.c_str(),
+                 wall);
+    std::fprintf(f, ",\"candidates_per_s\":%.3f",
+                 wall > 0.0 ? candidates / wall : 0.0);
+    std::fprintf(f, ",\"cache_hit_rate\":%.6f",
+                 lookups > 0.0 ? hits / lookups : 0.0);
+    for (const auto& [k, v] : extras_) {
+      std::fprintf(f, ",\"%s\":%s", k.c_str(), v.c_str());
+    }
+    std::fprintf(f, ",\"metrics\":%s}\n", registry_.dump_json().c_str());
+    std::fclose(f);
+    std::printf("-- run report: %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  exec::MetricsRegistry registry_;
+  exec::ScopedMetricsSink sink_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> extras_;
+};
 
 }  // namespace holms::bench

@@ -1,9 +1,28 @@
 #include "core/evaluator.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
+#include "exec/metrics.hpp"
+#include "exec/rng_stream.hpp"
+
 namespace holms::core {
+namespace {
+
+// Streaming 64-bit hash: order-sensitive fold of one value into the state.
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  return exec::splitmix64(h ^ exec::splitmix64(v));
+}
+
+std::uint64_t fold(std::uint64_t h, double d) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof d);
+  std::memcpy(&bits, &d, sizeof bits);
+  return fold(h, bits);
+}
+
+}  // namespace
 
 std::string tile_type_name(TileType t) {
   switch (t) {
@@ -85,6 +104,101 @@ Evaluation evaluate_design(const Application& app, const Platform& platform,
       app.qos.max_cost <= 0.0 || ev.platform_cost <= app.qos.max_cost;
   ev.feasible = ev.deadline_met && ev.power_met && ev.cost_met &&
                 ev.comm.bandwidth_feasible;
+  return ev;
+}
+
+std::uint64_t platform_fingerprint(const Platform& p) {
+  std::uint64_t h = 0x686f6c6d735f7066ULL;  // "holms_pf"
+  h = fold(h, static_cast<std::uint64_t>(p.mesh.width()));
+  h = fold(h, static_cast<std::uint64_t>(p.mesh.height()));
+  for (const TileSpec& t : p.tiles) {
+    h = fold(h, static_cast<std::uint64_t>(t.type));
+    h = fold(h, t.speedup);
+    h = fold(h, t.energy_factor);
+    h = fold(h, t.unit_cost);
+  }
+  for (const auto& op : p.points) {
+    h = fold(h, op.frequency_hz);
+    h = fold(h, op.voltage);
+  }
+  h = fold(h, p.power.ceff_farad);
+  h = fold(h, p.power.leak_per_volt);
+  h = fold(h, p.noc_energy.e_router_pj);
+  h = fold(h, p.noc_energy.e_link_pj);
+  h = fold(h, p.noc_energy.e_buffer_pj);
+  h = fold(h, p.link_bandwidth_bps);
+  h = fold(h, p.hop_latency_s);
+  return h;
+}
+
+std::uint64_t app_fingerprint(const Application& app) {
+  std::uint64_t h = 0x686f6c6d735f6166ULL;  // "holms_af"
+  h = fold(h, static_cast<std::uint64_t>(app.graph.num_nodes()));
+  for (std::size_t i = 0; i < app.graph.num_nodes(); ++i) {
+    h = fold(h, app.graph.node(i).compute_cycles);
+  }
+  for (const auto& e : app.graph.edges()) {
+    h = fold(h, static_cast<std::uint64_t>(e.src));
+    h = fold(h, static_cast<std::uint64_t>(e.dst));
+    h = fold(h, e.volume_bits);
+    h = fold(h, e.bandwidth_bps);
+  }
+  h = fold(h, app.qos.period_s);
+  h = fold(h, app.qos.max_power_w);
+  h = fold(h, app.qos.max_cost);
+  return h;
+}
+
+std::size_t EvalCache::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = fold(k.app_fp, k.platform_fp);
+  h = fold(h, static_cast<std::uint64_t>(k.use_dvs));
+  for (noc::TileId t : k.mapping) h = fold(h, static_cast<std::uint64_t>(t));
+  return static_cast<std::size_t>(h);
+}
+
+EvalCache::EvalCache(std::size_t shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::size_t EvalCache::size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s->mu);
+    n += s->map.size();
+  }
+  return n;
+}
+
+Evaluation EvalCache::evaluate(const Application& app, std::uint64_t app_fp,
+                               const Platform& platform,
+                               std::uint64_t platform_fp,
+                               const noc::Mapping& mapping, bool use_dvs) {
+  Key key{app_fp, platform_fp, use_dvs, mapping};
+  const std::size_t h = KeyHash{}(key);
+  Shard& shard = shard_for(h);
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      exec::count("explore.cache_hits");
+      return it->second;
+    }
+  }
+  // Compute outside the shard lock: other threads may fill other entries
+  // (or even race on the same key — both compute the same pure result, the
+  // second insert is a no-op).
+  Evaluation ev = evaluate_design(app, platform, mapping, use_dvs);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  exec::count("explore.cache_misses");
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.map.emplace(std::move(key), ev);
+  }
   return ev;
 }
 

@@ -10,7 +10,12 @@
 // Platform, an Evaluation prices one candidate mapping: schedule (EDF or
 // energy-aware DVS), communication energy over the NoC, and QoS verdicts.
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/platform.hpp"
@@ -54,8 +59,75 @@ noc::SchedProblem make_sched_problem(const Application& app,
                                      const noc::Mapping& mapping);
 
 /// Prices one mapping.  `use_dvs` selects the energy-aware scheduler.
+///
+/// Thread-safety: pure function of its arguments — it reads the app,
+/// platform and mapping through const references, touches no global or
+/// static state, and allocates all working state locally (the same holds
+/// transitively for noc::evaluate_mapping and both schedulers).  Concurrent
+/// calls on shared inputs are safe, which is what lets the explorer price
+/// candidates on a holms::exec::ThreadPool.
 Evaluation evaluate_design(const Application& app, const Platform& platform,
                            const noc::Mapping& mapping, bool use_dvs);
+
+/// Order-independent 64-bit fingerprints used as evaluation-cache keys.
+/// Two platforms (or applications) with equal fingerprints are treated as
+/// interchangeable by the cache; the fingerprint folds every field that
+/// evaluate_design reads, so differing inputs collide only with ~2^-64
+/// probability (mappings, by contrast, are compared exactly).
+std::uint64_t platform_fingerprint(const Platform& platform);
+std::uint64_t app_fingerprint(const Application& app);
+
+/// Sharded memoization cache for evaluate_design: SA restarts and the
+/// synthesis loop revisit identical (mapping, scheduler, platform) triples
+/// — most prominently the greedy seed mapping, re-priced once per upgrade
+/// trial — and re-pricing means re-running the list scheduler.  Keys are
+/// (app fingerprint, platform fingerprint, scheduler flag, exact mapping);
+/// the mapping is compared element-wise, so a cache hit returns a value
+/// bitwise-identical to a fresh evaluation.  Shard count fixed at
+/// construction; each shard has its own mutex so concurrent explorer
+/// threads rarely contend.
+class EvalCache {
+ public:
+  explicit EvalCache(std::size_t shards = 16);
+
+  /// Returns the cached evaluation or computes, stores and returns it.
+  Evaluation evaluate(const Application& app, std::uint64_t app_fp,
+                      const Platform& platform, std::uint64_t platform_fp,
+                      const noc::Mapping& mapping, bool use_dvs);
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+
+ private:
+  struct Key {
+    std::uint64_t app_fp = 0;
+    std::uint64_t platform_fp = 0;
+    bool use_dvs = false;
+    noc::Mapping mapping;
+    bool operator==(const Key& o) const {
+      return app_fp == o.app_fp && platform_fp == o.platform_fp &&
+             use_dvs == o.use_dvs && mapping == o.mapping;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Key, Evaluation, KeyHash> map;
+  };
+
+  Shard& shard_for(std::size_t key_hash) {
+    return *shards_[key_hash % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
 
 /// Several applications time-sharing one platform (§1: resources "shared
 /// across multiple multimedia applications").  Partitioned-scheduling
@@ -72,6 +144,8 @@ struct MultiAppEvaluation {
   bool feasible = false;                 // schedulable + all per-app QoS
 };
 
+/// Thread-safety: pure function of its arguments, like evaluate_design —
+/// safe to call concurrently on shared inputs.
 MultiAppEvaluation evaluate_multi_design(
     const std::vector<Application>& apps, const Platform& platform,
     const std::vector<noc::Mapping>& mappings, bool use_dvs,

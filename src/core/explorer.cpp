@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
+
+#include "exec/metrics.hpp"
+#include "exec/rng_stream.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace holms::core {
 namespace {
@@ -13,61 +18,121 @@ bool dominates(const DesignCandidate& a, const DesignCandidate& b) {
           a.eval.schedule.makespan_s < b.eval.schedule.makespan_s);
 }
 
+/// Serial, index-ordered merge of priced candidates into best + Pareto
+/// front.  Runs after the parallel pricing phase, always in job order, which
+/// pins the tie-breaks (first minimal-energy candidate wins) independently
+/// of which thread priced which job.
+void merge_candidate(ExploreResult& out, double& best_energy,
+                     DesignCandidate&& c) {
+  if (c.eval.feasible && c.eval.total_energy_j < best_energy) {
+    best_energy = c.eval.total_energy_j;
+    out.best = c;
+    out.found_feasible = true;
+  }
+  // Maintain the Pareto front over (energy, makespan) among feasible
+  // candidates.
+  if (c.eval.feasible) {
+    bool dominated = false;
+    for (const auto& p : out.pareto) {
+      if (dominates(p, c)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      out.pareto.erase(
+          std::remove_if(out.pareto.begin(), out.pareto.end(),
+                         [&](const DesignCandidate& p) {
+                           return dominates(c, p);
+                         }),
+          out.pareto.end());
+      out.pareto.push_back(std::move(c));
+    }
+  }
+}
+
 }  // namespace
 
 ExploreResult explore(const Application& app, const Platform& platform,
                       sim::Rng& rng, const ExploreOptions& opts) {
+  exec::ScopedTimer timer("explore.seconds");
   ExploreResult out;
   double best_energy = std::numeric_limits<double>::infinity();
 
-  std::vector<noc::Mapping> candidates;
-  candidates.push_back(noc::greedy_mapping(app.graph, platform.mesh,
-                                           platform.noc_energy));
-  for (std::size_t r = 0; r < opts.restarts; ++r) {
-    sim::Rng sa_rng = rng.fork();
-    noc::SaOptions sa = opts.sa;
-    sa.link_capacity_bps = platform.link_bandwidth_bps;
-    candidates.push_back(noc::sa_mapping(app.graph, platform.mesh,
-                                         platform.noc_energy, sa_rng, sa));
-    candidates.push_back(
-        noc::random_mapping(app.graph.num_nodes(), platform.mesh, rng));
+  // One base draw; every candidate derives its stream from (base, index) so
+  // the schedule of the pool below can never leak into the results.
+  const std::uint64_t stream_base = rng.bits();
+
+  exec::ThreadPool* pool = opts.pool;
+  std::optional<exec::ThreadPool> local_pool;
+  if (pool == nullptr && exec::resolve_threads(opts.threads) > 1) {
+    local_pool.emplace(opts.threads);
+    pool = &*local_pool;
   }
 
-  for (const auto& m : candidates) {
-    for (const bool dvs : {true, false}) {
-      if (!dvs && !opts.try_both_schedulers) continue;
-      DesignCandidate c;
-      c.mapping = m;
-      c.use_dvs = dvs;
-      c.eval = evaluate_design(app, platform, m, dvs);
-      ++out.evaluated;
+  // Candidate mappings by index: 0 = greedy seed, then per restart r one SA
+  // run (index 1 + 2r) and one random probe (index 2 + 2r).
+  const std::size_t num_mappings = 1 + 2 * opts.restarts;
+  exec::count("explore.restarts", opts.restarts);
+  const std::vector<noc::Mapping> mappings =
+      exec::parallel_transform<noc::Mapping>(
+          pool, num_mappings, [&](std::size_t i) {
+            if (i == 0) {
+              return noc::greedy_mapping(app.graph, platform.mesh,
+                                         platform.noc_energy);
+            }
+            sim::Rng stream(exec::stream_seed(stream_base, i));
+            if ((i - 1) % 2 == 0) {
+              noc::SaOptions sa = opts.sa;
+              sa.link_capacity_bps = platform.link_bandwidth_bps;
+              return noc::sa_mapping(app.graph, platform.mesh,
+                                     platform.noc_energy, stream, sa);
+            }
+            return noc::random_mapping(app.graph.num_nodes(), platform.mesh,
+                                       stream);
+          });
 
-      if (c.eval.feasible && c.eval.total_energy_j < best_energy) {
-        best_energy = c.eval.total_energy_j;
-        out.best = c;
-        out.found_feasible = true;
-      }
-      // Maintain the Pareto front over (energy, makespan) among feasible
-      // candidates.
-      if (c.eval.feasible) {
-        bool dominated = false;
-        for (const auto& p : out.pareto) {
-          if (dominates(p, c)) {
-            dominated = true;
-            break;
-          }
+  // Pricing jobs: for each mapping, the DVS variant then (optionally) EDF —
+  // the same enumeration order the serial explorer used.
+  struct Job {
+    std::size_t mapping = 0;
+    bool use_dvs = true;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(num_mappings * 2);
+  for (std::size_t m = 0; m < num_mappings; ++m) {
+    jobs.push_back(Job{m, true});
+    if (opts.try_both_schedulers) jobs.push_back(Job{m, false});
+  }
+
+  EvalCache* cache = opts.cache;
+  std::optional<EvalCache> local_cache;
+  if (cache == nullptr && opts.use_cache) {
+    local_cache.emplace();
+    cache = &*local_cache;
+  }
+  const std::uint64_t app_fp = cache ? app_fingerprint(app) : 0;
+  const std::uint64_t plat_fp = cache ? platform_fingerprint(platform) : 0;
+
+  std::vector<Evaluation> evals = exec::parallel_transform<Evaluation>(
+      pool, jobs.size(), [&](std::size_t j) {
+        const Job& job = jobs[j];
+        if (cache) {
+          return cache->evaluate(app, app_fp, platform, plat_fp,
+                                 mappings[job.mapping], job.use_dvs);
         }
-        if (!dominated) {
-          out.pareto.erase(
-              std::remove_if(out.pareto.begin(), out.pareto.end(),
-                             [&](const DesignCandidate& p) {
-                               return dominates(c, p);
-                             }),
-              out.pareto.end());
-          out.pareto.push_back(c);
-        }
-      }
-    }
+        return evaluate_design(app, platform, mappings[job.mapping],
+                               job.use_dvs);
+      });
+  exec::count("explore.candidates", jobs.size());
+
+  out.evaluated = jobs.size();
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    DesignCandidate c;
+    c.mapping = mappings[jobs[j].mapping];
+    c.use_dvs = jobs[j].use_dvs;
+    c.eval = std::move(evals[j]);
+    merge_candidate(out, best_energy, std::move(c));
   }
   std::sort(out.pareto.begin(), out.pareto.end(),
             [](const DesignCandidate& a, const DesignCandidate& b) {
@@ -79,48 +144,97 @@ ExploreResult explore(const Application& app, const Platform& platform,
 SynthesisResult synthesize_platform(const Application& app, std::size_t width,
                                     std::size_t height, sim::Rng& rng,
                                     const SynthesisOptions& opts) {
+  exec::ScopedTimer timer("synthesize.seconds");
   SynthesisResult out;
   out.platform = Platform::homogeneous(width, height, gpp_tile());
-  out.design = explore(app, out.platform, rng, opts.explore);
+
+  // One evaluation cache spans the whole synthesis: every upgrade trial
+  // re-prices the greedy seed mapping (and often the same SA results) on
+  // mostly-unchanged platforms, and identical (platform, mapping, scheduler)
+  // triples are only priced once across all steps and threads.
+  EvalCache shared_cache;
+  exec::ThreadPool* pool = nullptr;
+  std::optional<exec::ThreadPool> local_pool;
+  if (exec::resolve_threads(opts.threads) > 1) {
+    local_pool.emplace(opts.threads);
+    pool = &*local_pool;
+  }
+  ExploreOptions inner = opts.explore;
+  if (inner.cache == nullptr) inner.cache = &shared_cache;
+  if (pool != nullptr) {
+    // Upgrade candidates are the parallel axis; nested pools would only
+    // oversubscribe (determinism holds either way).
+    inner.threads = 1;
+    inner.pool = nullptr;
+  }
+
+  out.design = explore(app, out.platform, rng, inner);
   out.found_feasible = out.design.found_feasible;
 
   for (std::size_t step = 0; step < opts.max_upgrades; ++step) {
     if (!out.design.found_feasible) break;
-    // Pick the heaviest task whose tile is not yet fully upgraded.
+    // Candidate upgrades: every tile hosting at least one task that is not
+    // yet fully upgraded, ordered by the heaviest task it hosts (the legacy
+    // serial heuristic's pick comes first, so its tie-break is preserved).
     const noc::Mapping& m = out.design.best.mapping;
-    std::size_t target_tile = out.platform.mesh.num_tiles();
-    double heaviest = -1.0;
+    std::vector<std::size_t> tiles;
+    std::vector<double> weight(out.platform.mesh.num_tiles(), -1.0);
     for (std::size_t i = 0; i < app.graph.num_nodes(); ++i) {
-      const TileSpec& spec = out.platform.tiles[m[i]];
-      if (spec.type == TileType::kAsic) continue;
-      if (app.graph.node(i).compute_cycles > heaviest) {
-        heaviest = app.graph.node(i).compute_cycles;
-        target_tile = m[i];
+      const std::size_t tile = m[i];
+      if (out.platform.tiles[tile].type == TileType::kAsic) continue;
+      if (weight[tile] < 0.0) tiles.push_back(tile);
+      weight[tile] = std::max(weight[tile], app.graph.node(i).compute_cycles);
+    }
+    std::sort(tiles.begin(), tiles.end(), [&](std::size_t a, std::size_t b) {
+      if (weight[a] != weight[b]) return weight[a] > weight[b];
+      return a < b;
+    });
+    if (tiles.empty()) break;
+    exec::count("synthesize.upgrade_candidates", tiles.size());
+
+    struct Trial {
+      Platform platform;
+      ExploreResult design;
+    };
+    const std::uint64_t stream_base = rng.bits();
+    std::vector<Trial> trials = exec::parallel_transform<Trial>(
+        pool, tiles.size(), [&](std::size_t c) {
+          Trial t;
+          t.platform = out.platform;
+          TileSpec& spec = t.platform.tiles[tiles[c]];
+          spec = spec.type == TileType::kGpp ? asip_tile() : asic_tile();
+          sim::Rng probe(exec::stream_seed(stream_base, c));
+          t.design = explore(app, t.platform, probe, inner);
+          return t;
+        });
+
+    // Deterministic accept: the lowest-energy improving trial within
+    // budget; ties break toward the earlier candidate index.
+    std::size_t chosen = trials.size();
+    for (std::size_t c = 0; c < trials.size(); ++c) {
+      const Trial& t = trials[c];
+      if (!t.design.found_feasible) continue;
+      const bool within_budget =
+          opts.cost_budget <= 0.0 ||
+          t.design.best.eval.platform_cost <= opts.cost_budget;
+      const bool improves = t.design.best.eval.total_energy_j <
+                            out.design.best.eval.total_energy_j;
+      if (!within_budget || !improves) continue;
+      if (chosen == trials.size() ||
+          t.design.best.eval.total_energy_j <
+              trials[chosen].design.best.eval.total_energy_j) {
+        chosen = c;
       }
     }
-    if (target_tile >= out.platform.mesh.num_tiles()) break;
+    if (chosen == trials.size()) break;
 
-    Platform candidate = out.platform;
-    candidate.tiles[target_tile] =
-        candidate.tiles[target_tile].type == TileType::kGpp ? asip_tile()
-                                                            : asic_tile();
-    sim::Rng probe = rng.fork();
-    ExploreResult trial = explore(app, candidate, probe, opts.explore);
-    const bool within_budget =
-        opts.cost_budget <= 0.0 ||
-        (trial.found_feasible &&
-         trial.best.eval.platform_cost <= opts.cost_budget);
-    const bool improves =
-        trial.found_feasible &&
-        trial.best.eval.total_energy_j < out.design.best.eval.total_energy_j;
-    if (!within_budget || !improves) break;
-
-    out.platform = std::move(candidate);
-    out.design = std::move(trial);
+    out.platform = std::move(trials[chosen].platform);
+    out.design = std::move(trials[chosen].design);
     out.trace.push_back(SynthesisStep{
-        target_tile, out.platform.tiles[target_tile].type,
+        tiles[chosen], out.platform.tiles[tiles[chosen]].type,
         out.design.best.eval.total_energy_j,
         out.design.best.eval.platform_cost});
+    exec::count("synthesize.upgrades_accepted");
   }
   return out;
 }

@@ -6,11 +6,22 @@
 //
 // The explorer couples the node-centric knobs (mapping, DVS) into one search
 // and reports the best feasible design plus the energy/latency Pareto front.
+//
+// Parallel execution (holms::exec): candidate generation and pricing run on
+// a deterministic thread pool.  Every SA restart / random probe derives its
+// RNG stream from (caller seed, candidate index) — exec/rng_stream.hpp — and
+// results are merged serially in candidate order, so `threads = 8` returns a
+// bitwise-identical ExploreResult to `threads = 1` for the same seed.
 
+#include <cstddef>
 #include <vector>
 
 #include "core/evaluator.hpp"
 #include "sim/random.hpp"
+
+namespace holms::exec {
+class ThreadPool;
+}
 
 namespace holms::core {
 
@@ -24,6 +35,11 @@ struct ExploreOptions {
   std::size_t restarts = 3;        // independent SA runs
   noc::SaOptions sa{};
   bool try_both_schedulers = true; // evaluate EDF and DVS variants
+  std::size_t threads = 1;         // 0 = hardware concurrency, 1 = serial
+  bool use_cache = true;           // memoize evaluate_design calls
+  EvalCache* cache = nullptr;      // external cache (overrides use_cache);
+                                   // shared by synthesize_platform trials
+  exec::ThreadPool* pool = nullptr;  // external pool (overrides threads)
 };
 
 struct ExploreResult {
@@ -35,18 +51,25 @@ struct ExploreResult {
 
 /// Searches mappings (greedy seed + SA restarts + random probes) and
 /// scheduler choice for the minimum-energy feasible design.
+///
+/// Consumes exactly one draw from `rng` (the base of the per-candidate
+/// counter-based streams) regardless of restarts or thread count.
 ExploreResult explore(const Application& app, const Platform& platform,
                       sim::Rng& rng, const ExploreOptions& opts = {});
 
 /// Platform synthesis under a manufacturing-cost budget (§1): starting from
-/// an all-GPP mesh, greedily upgrade the tiles hosting the heaviest tasks
-/// to ASIP/ASIC classes while the budget holds and total energy improves —
-/// the "fixed processing resources (ASICs) and programmable resources"
-/// platform assembly the paper's introduction describes.
+/// an all-GPP mesh, greedily upgrade tiles hosting tasks to ASIP/ASIC
+/// classes while the budget holds and total energy improves — the "fixed
+/// processing resources (ASICs) and programmable resources" platform
+/// assembly the paper's introduction describes.  Each step prices every
+/// upgradeable tile concurrently (one explore() per candidate platform, all
+/// sharing one evaluation cache) and accepts the best improving upgrade;
+/// ties break on candidate order, so the result is thread-count independent.
 struct SynthesisOptions {
   double cost_budget = 0.0;          // 0 = unconstrained
   std::size_t max_upgrades = 16;
   ExploreOptions explore{};          // per-candidate mapping search
+  std::size_t threads = 1;           // 0 = hardware concurrency, 1 = serial
 };
 
 struct SynthesisStep {

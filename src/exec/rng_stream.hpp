@@ -1,0 +1,36 @@
+#pragma once
+// Counter-based RNG stream derivation for deterministic parallelism.
+//
+// The explorer's parallel refactor must keep the promise the sim kernel's
+// header makes: runs are exactly reproducible from a seed.  Forking a shared
+// Rng inside a parallel loop would make child seeds depend on the order in
+// which worker threads reach the fork — i.e. on the schedule.  Instead, each
+// task index derives its own stream seed purely from (base seed, index) with
+// a strong 64-bit mixer, so stream i is the same whether the loop runs on
+// one thread or sixteen, and adding a task never perturbs another task's
+// stream.
+//
+// The mixer is splitmix64 (Steele/Vigna), the standard seed-sequence mixer:
+// a bijective avalanche function, so distinct (base, index) pairs map to
+// distinct 64-bit seeds with no cheap collisions.
+
+#include <cstdint>
+
+namespace holms::exec {
+
+/// One splitmix64 scramble step: bijective on 64-bit values.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seed of the `index`-th parallel stream derived from `base`.  Independent
+/// of thread count and schedule by construction; two mixing rounds decouple
+/// consecutive indices from consecutive-looking seeds.
+constexpr std::uint64_t stream_seed(std::uint64_t base, std::uint64_t index) {
+  return splitmix64(splitmix64(base) ^ splitmix64(index * 0xd1342543de82ef95ULL + 1));
+}
+
+}  // namespace holms::exec

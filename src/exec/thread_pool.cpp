@@ -1,0 +1,115 @@
+#include "exec/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+namespace holms::exec {
+
+// Generation-stamped job dispatch: parallel_for publishes a job under the
+// mutex and bumps `generation`; each worker remembers the last generation it
+// served, so a worker can never run the same job twice, and a worker that
+// wakes late simply finds the index counter exhausted and goes back to
+// sleep.  Completion = all indices claimed AND no worker still inside the
+// body (`active == 0`).
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable wake;   // workers wait here for a new generation
+  std::condition_variable done;   // the caller waits here for completion
+  std::uint64_t generation = 0;
+  bool stopping = false;
+
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::size_t active = 0;         // workers currently executing this job
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> workers;
+
+  void drain() {
+    // Claim indices until the job is exhausted.  Exceptions stop this
+    // worker's participation but other indices still run (the explorer's
+    // per-candidate work does not throw in normal operation; evaluator
+    // preconditions throw before any loop is entered).
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu);
+    while (true) {
+      wake.wait(lk, [&] { return stopping || generation != seen; });
+      if (stopping) return;
+      seen = generation;
+      // The caller clears `body` (under the mutex) once the job completes;
+      // a worker that only wakes after that point must not touch the job.
+      if (body == nullptr) continue;
+      ++active;
+      lk.unlock();
+      drain();
+      lk.lock();
+      if (--active == 0) done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  size_ = resolve_threads(threads);
+  if (size_ <= 1) return;
+  impl_ = new Impl;
+  impl_->workers.reserve(size_ - 1);
+  for (std::size_t i = 0; i + 1 < size_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->wake.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (impl_ == nullptr || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->body = &body;
+    impl_->n = n;
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->first_error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->wake.notify_all();
+  impl_->drain();  // the caller is a worker too
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->done.wait(lk, [&] { return impl_->active == 0; });
+  impl_->body = nullptr;
+  if (impl_->first_error) {
+    std::exception_ptr err = impl_->first_error;
+    impl_->first_error = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace holms::exec

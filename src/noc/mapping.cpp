@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "exec/metrics.hpp"
+
 namespace holms::noc {
 namespace {
 
@@ -161,6 +163,9 @@ Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
   double best_cost = cost;
   Mapping best = m;
   double temp = opts.initial_temperature * std::max(cost, 1e-12);
+  // Accumulated locally and flushed once: the Metropolis loop is the mapper's
+  // hot path and must not take the metrics fast-path branch per move.
+  std::uint64_t accepted = 0, rejected = 0;
 
   for (std::size_t it = 0; it < opts.iterations; ++it) {
     // Swap the contents of two tiles (core<->core or core<->empty).
@@ -177,12 +182,14 @@ Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
     const double new_cost = penalized_cost(g, mesh, energy, m, opts);
     const double delta = new_cost - cost;
     if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+      ++accepted;
       cost = new_cost;
       if (cost < best_cost) {
         best_cost = cost;
         best = m;
       }
     } else {
+      ++rejected;
       // Undo.
       if (ca != n) m[ca] = a;
       if (cb != n) m[cb] = b;
@@ -190,6 +197,9 @@ Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
     }
     temp *= opts.cooling;
   }
+  exec::count("sa.moves_accepted", accepted);
+  exec::count("sa.moves_rejected", rejected);
+  exec::observe("sa.final_temperature", temp);
   return best;
 }
 

@@ -1,7 +1,8 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
 #include <cassert>
+
+#include "exec/metrics.hpp"
 
 namespace holms::sim {
 
@@ -10,22 +11,21 @@ EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
   const std::uint64_t seq = next_seq_++;
   queue_.push(Scheduled{when, seq, std::move(fn)});
   ++live_events_;
+  queue_high_water_ = std::max(queue_high_water_, queue_.size());
   return EventId{seq};
 }
 
 void Simulator::cancel(EventId id) {
   if (id.seq == 0) return;
-  cancelled_.push_back(id.seq);
-  if (live_events_ > 0) --live_events_;
+  // insert().second guards the live count against double-cancel of the
+  // same handle (previously each duplicate decremented it again).
+  if (cancelled_.insert(id.seq).second && live_events_ > 0) --live_events_;
 }
 
 bool Simulator::is_cancelled(std::uint64_t seq) {
-  auto it = std::find(cancelled_.begin(), cancelled_.end(), seq);
-  if (it == cancelled_.end()) return false;
-  // Swap-erase: the cancelled list is short-lived and unordered.
-  *it = cancelled_.back();
-  cancelled_.pop_back();
-  return true;
+  // erase() returns the number of elements removed: O(1) membership test
+  // and compaction in one call.
+  return cancelled_.erase(seq) != 0;
 }
 
 bool Simulator::step() {
@@ -56,6 +56,9 @@ std::size_t Simulator::run(Time until) {
       !stop_requested_) {
     now_ = until;
   }
+  exec::count("sim.events_executed", n);
+  exec::observe("sim.queue_high_water",
+                static_cast<double>(queue_high_water_));
   return n;
 }
 

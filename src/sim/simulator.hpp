@@ -14,6 +14,7 @@
 #include <functional>
 #include <limits>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace holms::sim {
@@ -56,6 +57,11 @@ class Simulator {
   std::size_t pending() const { return live_events_; }
   std::uint64_t executed() const { return executed_; }
 
+  /// Largest queue size ever reached (live + not-yet-compacted cancelled
+  /// entries) — the kernel's memory high-water mark, reported to the
+  /// exec::metrics registry at the end of each run().
+  std::size_t queue_high_water() const { return queue_high_water_; }
+
  private:
   struct Scheduled {
     Time when;
@@ -69,11 +75,18 @@ class Simulator {
 
   std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
       queue_;
-  std::vector<std::uint64_t> cancelled_;
+  // Hash set, not a vector: heavy timeout/cancel workloads (MANET route
+  // timeouts, wireless retransmit timers) accumulate thousands of pending
+  // cancellations, and a linear scan per popped event made the kernel
+  // O(cancelled^2).  Entries are erased when their event pops (the usual
+  // case), keeping the set near the count of cancelled-but-not-yet-due
+  // events.
+  std::unordered_set<std::uint64_t> cancelled_;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t live_events_ = 0;
+  std::size_t queue_high_water_ = 0;
   bool stop_requested_ = false;
 
   bool is_cancelled(std::uint64_t seq);
