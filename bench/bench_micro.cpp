@@ -1,9 +1,19 @@
 // Substrate micro-benchmarks (google-benchmark): the kernels every
 // experiment leans on — DES event dispatch, steady-state solvers, fGn
 // synthesis, flit routing, ISS execution, mapping evaluation.
+//
+// Custom main(): besides the google-benchmark tables, a set of hand-timed
+// headline rates (SA moves/s full vs incremental, dense vs sparse stationary
+// solve, simulator events/s) is written into BENCH_micro.json — the CI
+// perf-smoke job gates those numbers against bench/thresholds.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "asip/kernels.hpp"
+#include "bench_util.hpp"
+#include "markov/chain.hpp"
 #include "markov/jackson.hpp"
 #include "markov/queueing.hpp"
 #include "noc/mapping.hpp"
@@ -122,6 +132,52 @@ void BM_SaMapping(benchmark::State& state) {
 }
 BENCHMARK(BM_SaMapping)->Arg(1000)->Arg(5000)->ArgName("iters");
 
+// Full re-evaluation (SaOptions::debug_full_eval) vs the O(deg) delta-cost
+// path, on the E4 video/audio configuration (mms_graph, 4x4 mesh).
+void BM_SaMappingMode(benchmark::State& state) {
+  const auto g = holms::noc::mms_graph();
+  holms::noc::Mesh2D mesh(4, 4);
+  holms::noc::EnergyModel em;
+  holms::noc::SaOptions opts;
+  opts.iterations = 20000;
+  opts.debug_full_eval = state.range(0) == 0;
+  for (auto _ : state) {
+    holms::sim::Rng rng(4);
+    auto m = holms::noc::sa_mapping(g, mesh, em, rng, opts);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(opts.iterations));
+}
+BENCHMARK(BM_SaMappingMode)->Arg(0)->Arg(1)->ArgName("incremental");
+
+holms::markov::Dtmc birth_death_chain(std::size_t n) {
+  holms::markov::Dtmc d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double stay = 0.2;
+    if (i + 1 < n) d.set(i, i + 1, 0.5); else stay += 0.5;
+    if (i > 0) d.set(i, i - 1, 0.3); else stay += 0.3;
+    d.set(i, i, stay);
+  }
+  return d;
+}
+
+// Dense vs CSR power iteration as the chain grows; the iterates (and
+// therefore iteration counts) are identical, only the sweep cost differs.
+void BM_StationarySparsity(benchmark::State& state) {
+  const auto d = birth_death_chain(static_cast<std::size_t>(state.range(1)));
+  holms::markov::SolveOptions opts;
+  opts.sparsity = state.range(0) != 0 ? holms::markov::SparsityMode::kSparse
+                                      : holms::markov::SparsityMode::kDense;
+  for (auto _ : state) {
+    auto r = d.steady_state(opts);
+    benchmark::DoNotOptimize(r.distribution.data());
+  }
+}
+BENCHMARK(BM_StationarySparsity)
+    ->ArgsProduct({{0, 1}, {128, 512, 1024}})
+    ->ArgNames({"sparse", "states"});
+
 void BM_JacksonSolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::vector<double> mus(n, 10.0);
@@ -158,4 +214,102 @@ void BM_AwgnLinkSim(benchmark::State& state) {
 }
 BENCHMARK(BM_AwgnLinkSim)->Arg(0)->Arg(3)->ArgName("modulation");
 
+// ---------------------------------------------------------------------------
+// Headline rates for the perf trajectory (BENCH_micro.json).
+// ---------------------------------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// SA moves/s on the E4 configuration; `full` selects the debug baseline.
+double sa_moves_per_s(bool full) {
+  const auto g = holms::noc::mms_graph();
+  holms::noc::Mesh2D mesh(4, 4);
+  holms::noc::EnergyModel em;
+  holms::noc::SaOptions opts;
+  opts.iterations = full ? 100000 : 300000;
+  opts.cooling = 1.0 - 1.0 / static_cast<double>(opts.iterations);
+  opts.debug_full_eval = full;
+  {  // warmup: route tables, caches, branch predictors
+    holms::sim::Rng rng(4);
+    holms::noc::SaOptions w = opts;
+    w.iterations = 2000;
+    benchmark::DoNotOptimize(holms::noc::sa_mapping(g, mesh, em, rng, w));
+  }
+  holms::sim::Rng rng(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto m = holms::noc::sa_mapping(g, mesh, em, rng, opts);
+  const double dt = seconds_since(t0);
+  benchmark::DoNotOptimize(m.data());
+  return static_cast<double>(opts.iterations) / dt;
+}
+
+// Stationary solve wall time at n states (power iteration, birth-death).
+double stationary_seconds(std::size_t n, holms::markov::SparsityMode mode) {
+  const auto d = birth_death_chain(n);
+  holms::markov::SolveOptions opts;
+  opts.sparsity = mode;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = d.steady_state(opts);
+  benchmark::DoNotOptimize(r.distribution.data());
+  return seconds_since(t0);
+}
+
+double sim_events_per_s() {
+  holms::sim::Simulator sim;
+  std::size_t count = 0;
+  constexpr std::size_t kEvents = 1000000;
+  struct Chain {
+    holms::sim::Simulator& sim;
+    std::size_t& count;
+    std::size_t remaining;
+    void operator()() const {
+      ++count;
+      if (remaining > 0) sim.schedule_in(1.0, Chain{sim, count, remaining - 1});
+    }
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.schedule_in(1.0, Chain{sim, count, kEvents - 1});
+  sim.run();
+  const double dt = seconds_since(t0);
+  benchmark::DoNotOptimize(count);
+  return static_cast<double>(kEvents) / dt;
+}
+
+void headline_metrics(holms::bench::BenchReport& report) {
+  const double full = sa_moves_per_s(true);
+  const double inc = sa_moves_per_s(false);
+  report.set("sa_moves_per_s_full", full);
+  report.set("sa_moves_per_s_incremental", inc);
+  report.set("sa_speedup_vs_full", inc / full);
+  std::printf("-- SA moves/s: full %.3g, incremental %.3g (%.2fx)\n", full,
+              inc, inc / full);
+
+  const double dense =
+      stationary_seconds(512, holms::markov::SparsityMode::kDense);
+  const double sparse =
+      stationary_seconds(512, holms::markov::SparsityMode::kSparse);
+  report.set("stationary_dense_s_n512", dense);
+  report.set("stationary_sparse_s_n512", sparse);
+  report.set("sparse_speedup_n512", dense / sparse);
+  std::printf("-- stationary n=512: dense %.3gs, sparse %.3gs (%.2fx)\n",
+              dense, sparse, dense / sparse);
+
+  const double events = sim_events_per_s();
+  report.set("sim_events_per_s", events);
+  std::printf("-- simulator events/s: %.3g\n", events);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  holms::bench::BenchReport report("micro");
+  headline_metrics(report);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_*.json report against bench/thresholds.json.
+
+Usage: check_thresholds.py <report.json> [thresholds.json]
+
+Every key under thresholds "min" must be present in the report (top level)
+and >= the threshold.  Exits non-zero listing all violations.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    report_path = sys.argv[1]
+    thresholds_path = (
+        sys.argv[2] if len(sys.argv) > 2 else "bench/thresholds.json"
+    )
+    with open(report_path) as f:
+        report = json.load(f)
+    with open(thresholds_path) as f:
+        thresholds = json.load(f)
+
+    failures = []
+    for key, floor in thresholds.get("min", {}).items():
+        value = report.get(key)
+        if value is None:
+            failures.append(f"{key}: missing from {report_path}")
+        elif value < floor:
+            failures.append(f"{key}: {value:.6g} < required {floor:.6g}")
+        else:
+            print(f"ok  {key}: {value:.6g} >= {floor:.6g}")
+    if failures:
+        print("\nperf-smoke FAILED:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("\nperf-smoke passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

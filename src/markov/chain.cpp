@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "markov/sparse.hpp"
+
 namespace holms::markov {
 namespace {
 
@@ -103,6 +105,25 @@ SolveResult Dtmc::steady_state(const SolveOptions& opts) const {
     res.distribution = solve_direct(a);
     res.converged = true;
     return res;
+  }
+
+  // Representation choice (speed only — the sparse kernels reproduce the
+  // dense iterates bitwise, see sparse.hpp).
+  bool use_sparse = opts.sparsity == SparsityMode::kSparse;
+  if (opts.sparsity == SparsityMode::kAuto && n >= opts.sparse_min_states) {
+    std::size_t nnz = 0;
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        if (p_.at(r, c) != 0.0) ++nnz;
+    use_sparse = static_cast<double>(nnz) <=
+                 opts.sparse_max_density * static_cast<double>(n) *
+                     static_cast<double>(n);
+  }
+  if (use_sparse) {
+    const CsrMatrix p = CsrMatrix::from_dense(p_);
+    return opts.method == SteadyStateMethod::kPowerIteration
+               ? sparse_power_iteration(p, opts)
+               : sparse_gauss_seidel(p, opts);
   }
 
   std::vector<double> pi(n, 1.0 / static_cast<double>(n));
@@ -250,45 +271,68 @@ double expected_reward(std::span<const double> pi,
 
 namespace {
 
-// Solves A x = b by Gaussian elimination with partial pivoting (A is
-// overwritten-copied internally; small dense systems only).
-std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
-  const std::size_t n = a.rows();
-  std::vector<std::size_t> perm(n);
-  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
-  for (std::size_t col = 0; col < n; ++col) {
-    std::size_t pivot = col;
-    double best = std::abs(a.at(perm[col], col));
-    for (std::size_t r = col + 1; r < n; ++r) {
-      const double v = std::abs(a.at(perm[r], col));
-      if (v > best) {
-        best = v;
-        pivot = r;
+// PA = LU factorization with partial pivoting, factored once and applied to
+// many right-hand sides.  absorbing_analysis solves the same (I - Q) system
+// for 1 + |absorbing| RHS vectors; eliminating per call was O(k * t^3).  The
+// multipliers are stored in the eliminated below-diagonal slots, and solve()
+// replays exactly the operation sequence the old fused elimination applied to
+// b — results are bitwise identical to the pre-factorization code.
+class LuFactors {
+ public:
+  explicit LuFactors(Matrix a) : lu_(std::move(a)), perm_(lu_.rows()) {
+    const std::size_t n = lu_.rows();
+    for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+    for (std::size_t col = 0; col < n; ++col) {
+      std::size_t pivot = col;
+      double best = std::abs(lu_.at(perm_[col], col));
+      for (std::size_t r = col + 1; r < n; ++r) {
+        const double v = std::abs(lu_.at(perm_[r], col));
+        if (v > best) {
+          best = v;
+          pivot = r;
+        }
+      }
+      if (best < 1e-300) {
+        throw std::runtime_error("absorbing_analysis: singular system "
+                                 "(absorption unreachable from some state)");
+      }
+      std::swap(perm_[col], perm_[pivot]);
+      const double diag = lu_.at(perm_[col], col);
+      for (std::size_t r = col + 1; r < n; ++r) {
+        const double factor = lu_.at(perm_[r], col) / diag;
+        lu_.at(perm_[r], col) = factor;  // L multiplier in the zeroed slot
+        if (factor == 0.0) continue;
+        for (std::size_t c = col + 1; c < n; ++c) {
+          lu_.at(perm_[r], c) -= factor * lu_.at(perm_[col], c);
+        }
       }
     }
-    if (best < 1e-300) {
-      throw std::runtime_error("absorbing_analysis: singular system "
-                               "(absorption unreachable from some state)");
-    }
-    std::swap(perm[col], perm[pivot]);
-    const double diag = a.at(perm[col], col);
-    for (std::size_t r = col + 1; r < n; ++r) {
-      const double factor = a.at(perm[r], col) / diag;
-      if (factor == 0.0) continue;
-      for (std::size_t c = col; c < n; ++c) {
-        a.at(perm[r], c) -= factor * a.at(perm[col], c);
+  }
+
+  std::vector<double> solve(std::vector<double> b) const {
+    const std::size_t n = lu_.rows();
+    // Forward: replay the eliminations on b.
+    for (std::size_t col = 0; col < n; ++col) {
+      for (std::size_t r = col + 1; r < n; ++r) {
+        const double factor = lu_.at(perm_[r], col);
+        if (factor == 0.0) continue;
+        b[perm_[r]] -= factor * b[perm_[col]];
       }
-      b[perm[r]] -= factor * b[perm[col]];
     }
+    // Back-substitution against U.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+      double acc = b[perm_[i]];
+      for (std::size_t c = i + 1; c < n; ++c) acc -= lu_.at(perm_[i], c) * x[c];
+      x[i] = acc / lu_.at(perm_[i], i);
+    }
+    return x;
   }
-  std::vector<double> x(n, 0.0);
-  for (std::size_t i = n; i-- > 0;) {
-    double acc = b[perm[i]];
-    for (std::size_t c = i + 1; c < n; ++c) acc -= a.at(perm[i], c) * x[c];
-    x[i] = acc / a.at(perm[i], i);
-  }
-  return x;
-}
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+};
 
 }  // namespace
 
@@ -323,8 +367,11 @@ AbsorbingResult absorbing_analysis(const Dtmc& chain,
                     chain.get(transient[r], transient[c]);
     }
   }
+  // One factorization serves the expected-steps system and every absorption
+  // column (1 + a right-hand sides).
+  const LuFactors lu(std::move(iq));
   // Expected steps: (I - Q) tvec = 1.
-  const std::vector<double> steps = solve_linear(iq, std::vector<double>(t, 1.0));
+  const std::vector<double> steps = lu.solve(std::vector<double>(t, 1.0));
   for (std::size_t r = 0; r < t; ++r) {
     res.expected_steps[transient[r]] = steps[r];
   }
@@ -334,7 +381,7 @@ AbsorbingResult absorbing_analysis(const Dtmc& chain,
     for (std::size_t r = 0; r < t; ++r) {
       rhs[r] = chain.get(transient[r], res.absorbing_states[k]);
     }
-    const std::vector<double> col = solve_linear(iq, std::move(rhs));
+    const std::vector<double> col = lu.solve(std::move(rhs));
     for (std::size_t r = 0; r < t; ++r) {
       res.absorption_probability.at(transient[r], k) = col[r];
     }

@@ -44,16 +44,29 @@ class Matrix {
 
 enum class SteadyStateMethod { kPowerIteration, kGaussSeidel, kDirectLU };
 
+/// Matrix representation for the iterative solvers.  kAuto picks CSR when the
+/// chain is both large and sparse (see sparse_min_states / sparse_max_density)
+/// — the sparse kernels produce bitwise-identical iterates, so this is purely
+/// a speed decision.  kDirectLU always runs dense.
+enum class SparsityMode { kAuto, kDense, kSparse };
+
 struct SolveOptions {
   SteadyStateMethod method = SteadyStateMethod::kPowerIteration;
   std::size_t max_iterations = 200000;
   double tolerance = 1e-12;  // L1 change per sweep
+  SparsityMode sparsity = SparsityMode::kAuto;
+  /// kAuto thresholds: go sparse when size >= sparse_min_states AND the
+  /// nonzero density is <= sparse_max_density.  Below ~64 states the dense
+  /// sweep fits in cache and the CSR indirection isn't worth building.
+  std::size_t sparse_min_states = 64;
+  double sparse_max_density = 0.25;
 };
 
 struct SolveResult {
   std::vector<double> distribution;  // stationary probabilities, sums to 1
   std::size_t iterations = 0;        // 0 for direct methods
   bool converged = false;
+  bool used_sparse = false;          // solved via the CSR kernels
 };
 
 /// Discrete-time Markov chain over states 0..n-1 with row-stochastic

@@ -1,0 +1,157 @@
+#include "markov/sparse.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace holms::markov {
+namespace {
+
+// Same helpers as chain.cpp's (kept file-local there); duplicated rather than
+// exported so the dense translation unit keeps zero extra surface.
+void normalize(std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  if (sum <= 0.0) throw std::runtime_error("distribution has zero mass");
+  for (double& x : v) x /= sum;
+}
+
+double l1_delta(std::span<const double> a, std::span<const double> b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d;
+}
+
+}  // namespace
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& a) {
+  CsrMatrix m;
+  m.rows_ = a.rows();
+  m.cols_ = a.cols();
+  m.offsets_.reserve(m.rows_ + 1);
+  m.offsets_.push_back(0);
+  std::size_t nnz = 0;
+  for (std::size_t r = 0; r < m.rows_; ++r)
+    for (std::size_t c = 0; c < m.cols_; ++c)
+      if (a.at(r, c) != 0.0) ++nnz;
+  m.cols_idx_.reserve(nnz);
+  m.vals_.reserve(nnz);
+  for (std::size_t r = 0; r < m.rows_; ++r) {
+    for (std::size_t c = 0; c < m.cols_; ++c) {
+      const double v = a.at(r, c);
+      if (v == 0.0) continue;
+      m.cols_idx_.push_back(static_cast<std::uint32_t>(c));
+      m.vals_.push_back(v);
+    }
+    m.offsets_.push_back(m.vals_.size());
+  }
+  return m;
+}
+
+double CsrMatrix::density() const {
+  const double cells = static_cast<double>(rows_) * static_cast<double>(cols_);
+  return cells > 0.0 ? static_cast<double>(nnz()) / cells : 0.0;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  // Counting sort by column: offsets first, then stable placement.  Scanning
+  // source rows in order makes each transposed row's entries arrive in
+  // increasing (source-row = transposed-column) order.
+  t.offsets_.assign(cols_ + 1, 0);
+  for (const std::uint32_t c : cols_idx_) ++t.offsets_[c + 1];
+  for (std::size_t i = 0; i < cols_; ++i) t.offsets_[i + 1] += t.offsets_[i];
+  t.cols_idx_.resize(nnz());
+  t.vals_.resize(nnz());
+  std::vector<std::size_t> fill(t.offsets_.begin(), t.offsets_.end() - 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_vals(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const std::size_t slot = fill[cols[i]]++;
+      t.cols_idx_[slot] = static_cast<std::uint32_t>(r);
+      t.vals_[slot] = vals[i];
+    }
+  }
+  return t;
+}
+
+SolveResult sparse_power_iteration(const CsrMatrix& p,
+                                   const SolveOptions& opts) {
+  const std::size_t n = p.rows();
+  SolveResult res;
+  res.used_sparse = true;
+  if (n == 0) return res;
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double pr = pi[r];
+      if (pr == 0.0) continue;
+      const auto cols = p.row_cols(r);
+      const auto vals = p.row_vals(r);
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        next[cols[i]] += pr * vals[i];
+      }
+    }
+    const double delta = l1_delta(pi, next);
+    pi.swap(next);
+    res.iterations = it + 1;
+    if (delta < opts.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  normalize(pi);
+  res.distribution = std::move(pi);
+  return res;
+}
+
+SolveResult sparse_gauss_seidel(const CsrMatrix& p, const SolveOptions& opts) {
+  const std::size_t n = p.rows();
+  SolveResult res;
+  res.used_sparse = true;
+  if (n == 0) return res;
+  // Column sweeps need column access: work on the transpose, with the
+  // diagonal split out (the dense loop skips r == c and divides by 1 - p_cc).
+  const CsrMatrix pt = p.transposed();
+  std::vector<double> diag(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto cols = p.row_cols(r);
+    const auto vals = p.row_vals(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == r) diag[r] = vals[i];
+    }
+  }
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    next = pi;
+    for (std::size_t c = 0; c < n; ++c) {
+      double acc = 0.0;
+      const auto rows = pt.row_cols(c);  // source rows with p(r, c) != 0
+      const auto vals = pt.row_vals(c);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i] == c) continue;
+        acc += next[rows[i]] * vals[i];
+      }
+      const double self = diag[c];
+      next[c] = self < 1.0 ? acc / (1.0 - self) : acc;
+    }
+    normalize(next);
+    const double delta = l1_delta(pi, next);
+    pi.swap(next);
+    res.iterations = it + 1;
+    if (delta < opts.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  normalize(pi);
+  res.distribution = std::move(pi);
+  return res;
+}
+
+}  // namespace holms::markov

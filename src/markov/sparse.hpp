@@ -1,0 +1,68 @@
+#pragma once
+// Sparse stationary-solve kernels (paper §2.2).
+//
+// Queueing-network generator matrices are overwhelmingly sparse — a
+// birth-death chain has O(n) nonzeros in an n x n matrix, and even the
+// Jackson-network product-form chains touch only a handful of neighbors per
+// state.  The dense solvers in chain.cpp are O(n^2) per sweep regardless;
+// these CSR kernels are O(nnz) per sweep and produce *bitwise identical*
+// iterates to their dense counterparts, because the skipped entries are exact
+// zeros and the surviving products are visited in the same (row, col) order
+// the dense loops use.  Dtmc/Ctmc::steady_state route here automatically (see
+// SolveOptions::sparsity); these entry points are public for tests and
+// benchmarks that want to pin one representation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "markov/chain.hpp"
+
+namespace holms::markov {
+
+/// Compressed-sparse-row matrix over double.  Entries within a row are stored
+/// in increasing column order (from_dense scans row-major), which is what the
+/// bitwise-equivalence argument above relies on.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Drops exact zeros; keeps everything else.
+  static CsrMatrix from_dense(const Matrix& a);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return vals_.size(); }
+  /// nnz / (rows * cols); 0 for an empty matrix.
+  double density() const;
+
+  std::span<const std::uint32_t> row_cols(std::size_t r) const {
+    return {cols_idx_.data() + offsets_[r], cols_idx_.data() + offsets_[r + 1]};
+  }
+  std::span<const double> row_vals(std::size_t r) const {
+    return {vals_.data() + offsets_[r], vals_.data() + offsets_[r + 1]};
+  }
+
+  /// Transpose (i.e. the CSC view of this matrix, materialized as CSR).
+  /// Entries within each transposed row again end up in increasing column
+  /// order — counting placement preserves the scan order.
+  CsrMatrix transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> offsets_;     // rows_ + 1
+  std::vector<std::uint32_t> cols_idx_;  // column of each entry
+  std::vector<double> vals_;
+};
+
+/// Power iteration pi <- pi P on a row-stochastic CSR matrix.  Iterates are
+/// bitwise identical to Dtmc::steady_state's dense power iteration.
+SolveResult sparse_power_iteration(const CsrMatrix& p,
+                                   const SolveOptions& opts);
+
+/// Gauss–Seidel on pi = pi P, sweeping columns in place (needs the transpose;
+/// built internally once).  Matches the dense Gauss–Seidel bitwise.
+SolveResult sparse_gauss_seidel(const CsrMatrix& p, const SolveOptions& opts);
+
+}  // namespace holms::markov

@@ -1,21 +1,17 @@
 #include "noc/mapping.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 
 #include "exec/metrics.hpp"
 
 namespace holms::noc {
 namespace {
-
-// Directed link index: 4 outgoing links per tile (N,S,E,W).
-std::size_t link_index(const Mesh2D& mesh, TileId from, Dir d) {
-  return from * 4 + (static_cast<std::size_t>(d) - 1);
-  (void)mesh;
-}
 
 double penalized_cost(const AppGraph& g, const Mesh2D& mesh,
                       const EnergyModel& energy, const Mapping& m,
@@ -31,6 +27,17 @@ double penalized_cost(const AppGraph& g, const Mesh2D& mesh,
   return cost;
 }
 
+// Metropolis acceptance for an uphill move with scaled delta x = delta/temp.
+// Shared by the incremental and full-evaluation SA loops so both consume the
+// identical RNG stream.  exp(-46) < 1e-19 sits below the smallest value
+// Rng::uniform() produces at its 53-bit resolution, so a certain rejection
+// skips the draw-and-exp entirely — late in a cooling schedule that is almost
+// every uphill move.
+bool metropolis_accept(sim::Rng& rng, double x) {
+  if (x >= 46.0) return false;
+  return rng.uniform() < std::exp(-x);
+}
+
 }  // namespace
 
 MappingEval evaluate_mapping(const AppGraph& g, const Mesh2D& mesh,
@@ -40,7 +47,11 @@ MappingEval evaluate_mapping(const AppGraph& g, const Mesh2D& mesh,
     throw std::invalid_argument("evaluate_mapping: mapping size mismatch");
   }
   MappingEval ev;
-  std::vector<double> link_load(mesh.num_tiles() * 4, 0.0);
+  // Per-thread scratch: the link-load table was the only allocation on this
+  // hot path (one vector per evaluation, millions of evaluations per
+  // explore); assign() reuses the high-water capacity after the first call.
+  thread_local std::vector<double> link_load;
+  link_load.assign(mesh.num_links(), 0.0);
   double vol = 0.0, vol_hops = 0.0;
   for (const auto& e : g.edges()) {
     const TileId src = m[e.src], dst = m[e.dst];
@@ -52,7 +63,7 @@ MappingEval evaluate_mapping(const AppGraph& g, const Mesh2D& mesh,
     TileId cur = src;
     while (cur != dst) {
       const Dir d = mesh.xy_next(cur, dst);
-      link_load[link_index(mesh, cur, d)] += bw;
+      link_load[mesh.link_index(cur, d)] += bw;
       cur = mesh.neighbor(cur, d);
     }
   }
@@ -81,6 +92,42 @@ Mapping random_mapping(std::size_t num_cores, const Mesh2D& mesh,
   return Mapping(tiles.begin(), tiles.begin() + static_cast<long>(num_cores));
 }
 
+namespace {
+
+// Incident-occurrence CSR over cores: occurrence = edge_index * 2 + role
+// (role 1 = the core is the edge's src).  Per-core occurrence lists are in
+// edge order with the src role first, so any per-core accumulation visits
+// edges in exactly the order a full scan over g.edges() would — sums stay
+// bitwise identical to the pre-index code.
+struct IncidenceIndex {
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> occ;
+
+  explicit IncidenceIndex(const AppGraph& g) {
+    const std::size_t n = g.num_nodes();
+    std::vector<std::uint32_t> degree(n, 0);
+    for (const auto& e : g.edges()) {
+      ++degree[e.src];
+      ++degree[e.dst];
+    }
+    offsets.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) offsets[i + 1] = offsets[i] + degree[i];
+    occ.resize(offsets[n]);
+    std::vector<std::uint32_t> fill(offsets.begin(), offsets.end() - 1);
+    for (std::size_t ei = 0; ei < g.edges().size(); ++ei) {
+      const auto& e = g.edges()[ei];
+      occ[fill[e.src]++] = static_cast<std::uint32_t>(ei * 2 + 1);
+      occ[fill[e.dst]++] = static_cast<std::uint32_t>(ei * 2);
+    }
+  }
+
+  std::span<const std::uint32_t> of(std::size_t core) const {
+    return {occ.data() + offsets[core], occ.data() + offsets[core + 1]};
+  }
+};
+
+}  // namespace
+
 Mapping greedy_mapping(const AppGraph& g, const Mesh2D& mesh,
                        const EnergyModel& energy) {
   const std::size_t n = g.num_nodes();
@@ -90,6 +137,7 @@ Mapping greedy_mapping(const AppGraph& g, const Mesh2D& mesh,
   Mapping m(n, 0);
   std::vector<bool> core_placed(n, false);
   std::vector<bool> tile_used(mesh.num_tiles(), false);
+  const IncidenceIndex inc(g);
 
   // Seed: the highest-traffic core goes to the mesh center.
   std::size_t seed = 0;
@@ -106,6 +154,17 @@ Mapping greedy_mapping(const AppGraph& g, const Mesh2D& mesh,
   core_placed[seed] = true;
   tile_used[center] = true;
 
+  // Pins of the core being placed: the already-placed endpoints of its
+  // incident edges, with coordinates hoisted so the tile loop below does
+  // pure integer Manhattan arithmetic instead of re-scanning every edge and
+  // re-deriving mesh coordinates per candidate tile.
+  struct Pin {
+    std::size_t x, y;
+    double volume_bits;
+  };
+  std::vector<Pin> pins;
+  pins.reserve(g.edges().size());
+
   for (std::size_t placed = 1; placed < n; ++placed) {
     // Pick the unplaced core most connected to the placed set.
     std::size_t next = n;
@@ -113,9 +172,10 @@ Mapping greedy_mapping(const AppGraph& g, const Mesh2D& mesh,
     for (std::size_t i = 0; i < n; ++i) {
       if (core_placed[i]) continue;
       double conn = 0.0;
-      for (const auto& e : g.edges()) {
-        if (e.src == i && core_placed[e.dst]) conn += e.volume_bits;
-        if (e.dst == i && core_placed[e.src]) conn += e.volume_bits;
+      for (const std::uint32_t o : inc.of(i)) {
+        const auto& e = g.edges()[o >> 1];
+        const std::size_t other = (o & 1) ? e.dst : e.src;
+        if (core_placed[other]) conn += e.volume_bits;
       }
       if (conn > best_conn) {
         best_conn = conn;
@@ -123,18 +183,24 @@ Mapping greedy_mapping(const AppGraph& g, const Mesh2D& mesh,
       }
     }
     // Place it on the free tile minimizing incremental energy.
+    pins.clear();
+    for (const std::uint32_t o : inc.of(next)) {
+      const auto& e = g.edges()[o >> 1];
+      const std::size_t other = (o & 1) ? e.dst : e.src;
+      if (!core_placed[other]) continue;
+      const TileId ot = m[other];
+      pins.push_back(Pin{mesh.x_of(ot), mesh.y_of(ot), e.volume_bits});
+    }
     TileId best_tile = 0;
     double best_cost = std::numeric_limits<double>::infinity();
     for (TileId t = 0; t < mesh.num_tiles(); ++t) {
       if (tile_used[t]) continue;
+      const std::size_t tx = mesh.x_of(t), ty = mesh.y_of(t);
       double cost = 0.0;
-      for (const auto& e : g.edges()) {
-        if (e.src == next && core_placed[e.dst]) {
-          cost += energy.transfer_energy(e.volume_bits, mesh.hops(t, m[e.dst]));
-        }
-        if (e.dst == next && core_placed[e.src]) {
-          cost += energy.transfer_energy(e.volume_bits, mesh.hops(m[e.src], t));
-        }
+      for (const Pin& p : pins) {
+        const std::size_t h = (tx > p.x ? tx - p.x : p.x - tx) +
+                              (ty > p.y ? ty - p.y : p.y - ty);
+        cost += energy.transfer_energy(p.volume_bits, h);
       }
       if (cost < best_cost) {
         best_cost = cost;
@@ -148,14 +214,186 @@ Mapping greedy_mapping(const AppGraph& g, const Mesh2D& mesh,
   return m;
 }
 
-Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
-                   const EnergyModel& energy, sim::Rng& rng,
-                   const SaOptions& opts) {
-  const std::size_t n = g.num_nodes();
-  // Start from the greedy solution; SA then escapes its local minimum.
-  Mapping m = greedy_mapping(g, mesh, energy);
+// ---------------------------------------------------------------------------
+// SwapEvaluator — O(deg) delta-cost move evaluation for sa_mapping.
+// ---------------------------------------------------------------------------
 
-  // Tile -> core occupancy (n = empty marker).
+SwapEvaluator::SwapEvaluator(const AppGraph& g, const Mesh2D& mesh,
+                             const EnergyModel& energy, Mapping m,
+                             double link_capacity_bps,
+                             double infeasibility_penalty)
+    : g_(g),
+      mesh_(mesh),
+      energy_(energy),
+      capacity_(link_capacity_bps),
+      penalty_(infeasibility_penalty),
+      routes_(mesh),
+      m_(std::move(m)) {
+  if (m_.size() != g_.num_nodes()) {
+    throw std::invalid_argument("SwapEvaluator: mapping size mismatch");
+  }
+  const IncidenceIndex inc(g_);
+  inc_offsets_ = inc.offsets;
+  inc_edges_ = inc.occ;
+  // A move touches the routes of deg(a) + deg(b) edges, each route once per
+  // endpoint in the worst case.
+  undo_links_.reserve(64);
+  rebuild();
+}
+
+void SwapEvaluator::rebuild() {
+  const std::size_t n = g_.num_nodes();
+  occupant_.assign(mesh_.num_tiles(), kEmpty);
+  for (std::size_t c = 0; c < n; ++c) occupant_[m_[c]] = c;
+  link_load_.assign(mesh_.num_links(), 0.0);
+  // Accumulate energy and loads in edge order — the exact summation order of
+  // evaluate_mapping, so the initial state is bitwise identical to a full
+  // evaluation of the same mapping.
+  energy_j_ = 0.0;
+  for (const auto& e : g_.edges()) {
+    const TileId src = m_[e.src], dst = m_[e.dst];
+    energy_j_ += energy_.transfer_energy(e.volume_bits, routes_.hops(src, dst));
+    const double bw = e.bandwidth_bps > 0.0 ? e.bandwidth_bps : e.volume_bits;
+    for (const std::uint32_t link : routes_.links(src, dst)) {
+      link_load_[link] += bw;
+    }
+  }
+  max_load_ = link_load_.empty()
+                  ? 0.0
+                  : *std::max_element(link_load_.begin(), link_load_.end());
+  max_dirty_ = false;
+  move_open_ = false;
+}
+
+double SwapEvaluator::max_link_load_bps() {
+  if (max_dirty_) {
+    max_load_ = link_load_.empty()
+                    ? 0.0
+                    : *std::max_element(link_load_.begin(), link_load_.end());
+    max_dirty_ = false;
+  }
+  return max_load_;
+}
+
+double SwapEvaluator::cost() {
+  double c = energy_j_;
+  if (capacity_ > 0.0) {
+    const double ml = max_link_load_bps();
+    if (ml > capacity_) {
+      c *= 1.0 + penalty_ * (ml / capacity_ - 1.0);
+    }
+  }
+  return c;
+}
+
+void SwapEvaluator::add_route_load(TileId src, TileId dst, double bw) {
+  for (const std::uint32_t link : routes_.links(src, dst)) {
+    double& load = link_load_[link];
+    undo_links_.emplace_back(link, load);
+    load += bw;
+    if (!max_dirty_ && load > max_load_) max_load_ = load;
+  }
+}
+
+void SwapEvaluator::sub_route_load(TileId src, TileId dst, double bw) {
+  for (const std::uint32_t link : routes_.links(src, dst)) {
+    double& load = link_load_[link];
+    undo_links_.emplace_back(link, load);
+    // Decrementing the busiest link dethrones the cached maximum; rescan
+    // lazily on the next cost() instead of per adjustment.
+    if (load == max_load_) max_dirty_ = true;
+    load -= bw;
+  }
+}
+
+double SwapEvaluator::apply_swap(TileId a, TileId b) {
+  assert(!move_open_ && "apply_swap before resolving the previous move");
+  assert(a != b);
+  const std::size_t ca = occupant_[a], cb = occupant_[b];
+  undo_links_.clear();
+  undo_energy_ = energy_j_;
+  undo_max_ = max_load_;
+  undo_dirty_ = max_dirty_;
+  last_a_ = a;
+  last_b_ = b;
+  move_open_ = true;
+
+  // Tile of a core after the swap (m_ still holds the pre-swap placement).
+  const auto tile_after = [&](std::size_t core) -> TileId {
+    if (core == ca) return b;
+    if (core == cb) return a;
+    return m_[core];
+  };
+  // Touch each affected edge once: every edge of ca, then edges of cb that
+  // do not also touch ca.  Link loads only feed the overload penalty, so an
+  // unconstrained run (capacity <= 0, e.g. the E4 energy study) skips their
+  // maintenance entirely and a move is pure delta-energy arithmetic.
+  const bool track_loads = capacity_ > 0.0;
+  double delta_e = 0.0;
+  const auto apply_edge = [&](const AppEdge& e) {
+    const TileId os = m_[e.src], od = m_[e.dst];
+    const TileId ns = tile_after(e.src), nd = tile_after(e.dst);
+    if (os == ns && od == nd) return;  // both endpoints moved in lockstep
+    delta_e += energy_.transfer_energy(e.volume_bits, routes_.hops(ns, nd)) -
+               energy_.transfer_energy(e.volume_bits, routes_.hops(os, od));
+    if (track_loads) {
+      const double bw =
+          e.bandwidth_bps > 0.0 ? e.bandwidth_bps : e.volume_bits;
+      sub_route_load(os, od, bw);
+      add_route_load(ns, nd, bw);
+    }
+  };
+  if (ca != kEmpty) {
+    for (const std::uint32_t o : std::span(inc_edges_)
+             .subspan(inc_offsets_[ca], inc_offsets_[ca + 1] - inc_offsets_[ca])) {
+      apply_edge(g_.edges()[o >> 1]);
+    }
+  }
+  if (cb != kEmpty) {
+    for (const std::uint32_t o : std::span(inc_edges_)
+             .subspan(inc_offsets_[cb], inc_offsets_[cb + 1] - inc_offsets_[cb])) {
+      const AppEdge& e = g_.edges()[o >> 1];
+      if (ca != kEmpty && (e.src == ca || e.dst == ca)) continue;  // done above
+      apply_edge(e);
+    }
+  }
+  energy_j_ += delta_e;
+
+  // Commit the placement swap.
+  if (ca != kEmpty) m_[ca] = b;
+  if (cb != kEmpty) m_[cb] = a;
+  std::swap(occupant_[a], occupant_[b]);
+  return cost();
+}
+
+void SwapEvaluator::revert_swap() {
+  assert(move_open_ && "revert_swap without a pending apply_swap");
+  move_open_ = false;
+  // Restore touched link loads in reverse so repeated touches of one link
+  // unwind correctly; everything else comes back from scalar snapshots.
+  for (auto it = undo_links_.rbegin(); it != undo_links_.rend(); ++it) {
+    link_load_[it->first] = it->second;
+  }
+  energy_j_ = undo_energy_;
+  max_load_ = undo_max_;
+  max_dirty_ = undo_dirty_;
+  const std::size_t ca = occupant_[last_a_], cb = occupant_[last_b_];
+  // occupant_ was swapped by apply: the core now on a came from b and vice
+  // versa.  Swap back and restore the mapping entries.
+  if (ca != kEmpty) m_[ca] = last_b_;
+  if (cb != kEmpty) m_[cb] = last_a_;
+  std::swap(occupant_[last_a_], occupant_[last_b_]);
+}
+
+namespace {
+
+// The pre-incremental Metropolis loop: one full evaluate_mapping per move.
+// Kept verbatim behind SaOptions::debug_full_eval as the baseline bench_micro
+// measures against and the oracle the equivalence tests drive.
+Mapping sa_mapping_full(const AppGraph& g, const Mesh2D& mesh,
+                        const EnergyModel& energy, sim::Rng& rng,
+                        const SaOptions& opts, Mapping m) {
+  const std::size_t n = g.num_nodes();
   std::vector<std::size_t> occupant(mesh.num_tiles(), n);
   for (std::size_t c = 0; c < n; ++c) occupant[m[c]] = c;
 
@@ -163,16 +401,13 @@ Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
   double best_cost = cost;
   Mapping best = m;
   double temp = opts.initial_temperature * std::max(cost, 1e-12);
-  // Accumulated locally and flushed once: the Metropolis loop is the mapper's
-  // hot path and must not take the metrics fast-path branch per move.
   std::uint64_t accepted = 0, rejected = 0;
 
+  const std::size_t tiles = mesh.num_tiles();
   for (std::size_t it = 0; it < opts.iterations; ++it) {
-    // Swap the contents of two tiles (core<->core or core<->empty).
-    const TileId a = static_cast<TileId>(
-        rng.uniform_int(0, static_cast<std::int64_t>(mesh.num_tiles()) - 1));
-    const TileId b = static_cast<TileId>(
-        rng.uniform_int(0, static_cast<std::int64_t>(mesh.num_tiles()) - 1));
+    const auto pair = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(tiles * tiles) - 1));
+    const TileId a = pair / tiles, b = pair % tiles;
     if (a == b || (occupant[a] == n && occupant[b] == n)) continue;
     const std::size_t ca = occupant[a], cb = occupant[b];
     if (ca != n) m[ca] = b;
@@ -181,7 +416,7 @@ Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
 
     const double new_cost = penalized_cost(g, mesh, energy, m, opts);
     const double delta = new_cost - cost;
-    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+    if (delta <= 0.0 || metropolis_accept(rng, delta / temp)) {
       ++accepted;
       cost = new_cost;
       if (cost < best_cost) {
@@ -194,6 +429,65 @@ Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
       if (ca != n) m[ca] = a;
       if (cb != n) m[cb] = b;
       std::swap(occupant[a], occupant[b]);
+    }
+    temp *= opts.cooling;
+  }
+  exec::count("sa.moves_accepted", accepted);
+  exec::count("sa.moves_rejected", rejected);
+  exec::observe("sa.final_temperature", temp);
+  return best;
+}
+
+}  // namespace
+
+Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
+                   const EnergyModel& energy, sim::Rng& rng,
+                   const SaOptions& opts) {
+  // Start from the greedy solution; SA then escapes its local minimum.
+  Mapping m = greedy_mapping(g, mesh, energy);
+  if (opts.debug_full_eval) {
+    return sa_mapping_full(g, mesh, energy, rng, opts, std::move(m));
+  }
+
+  // Delta-cost path: the evaluator keeps per-link loads and the running
+  // energy, so a move costs O(deg(a) + deg(b)) route adjustments instead of
+  // a full O(edges * hops) re-evaluation.  The RNG draw sequence is the same
+  // as the full path's, so both modes explore the same move trajectory
+  // (modulo accept flips within the ~1e-12 incremental/full cost gap).
+  SwapEvaluator ev(g, mesh, energy, std::move(m), opts.link_capacity_bps,
+                   opts.infeasibility_penalty);
+  double cost = ev.cost();
+  double best_cost = cost;
+  Mapping best = ev.mapping();
+  double temp = opts.initial_temperature * std::max(cost, 1e-12);
+  // Accumulated locally and flushed once: the Metropolis loop is the mapper's
+  // hot path and must not take the metrics fast-path branch per move.
+  std::uint64_t accepted = 0, rejected = 0;
+
+  const std::size_t tiles = mesh.num_tiles();
+  for (std::size_t it = 0; it < opts.iterations; ++it) {
+    // Swap the contents of two tiles (core<->core or core<->empty); one draw
+    // over the T^2 pair space replaces two per-tile draws.
+    const auto pair = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(tiles * tiles) - 1));
+    const TileId a = pair / tiles, b = pair % tiles;
+    if (a == b || (ev.occupant(a) == SwapEvaluator::kEmpty &&
+                   ev.occupant(b) == SwapEvaluator::kEmpty)) {
+      continue;
+    }
+    const double new_cost = ev.apply_swap(a, b);
+    const double delta = new_cost - cost;
+    if (delta <= 0.0 || metropolis_accept(rng, delta / temp)) {
+      ++accepted;
+      ev.commit_swap();
+      cost = new_cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = ev.mapping();
+      }
+    } else {
+      ++rejected;
+      ev.revert_swap();
     }
     temp *= opts.cooling;
   }

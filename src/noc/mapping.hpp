@@ -52,6 +52,94 @@ struct SaOptions {
   double cooling = 0.9995;
   double link_capacity_bps = 0.0;    // 0 = unconstrained
   double infeasibility_penalty = 2.0;  // cost multiplier per violation ratio
+  /// Debug baseline: re-run the full O(edges * hops) evaluate_mapping for
+  /// every move instead of the O(deg) delta-cost path.  Kept for A/B
+  /// benchmarking and as the correctness oracle the equivalence tests and
+  /// bench_micro compare against.
+  bool debug_full_eval = false;
+};
+
+/// Incremental (delta-cost) mapping evaluator: the state behind sa_mapping's
+/// O(deg(a) + deg(b)) swap moves.  Maintains the per-link load table, the
+/// running communication energy and the busiest-link load for a mapping, and
+/// updates all three by touching only the edges incident to the two swapped
+/// tiles (routes come from a precomputed XyRouteTable).  apply_swap snapshots
+/// every value it mutates, so revert_swap restores the pre-move state
+/// *bitwise* — rejected moves (the vast majority, late in an SA schedule)
+/// leave no floating-point residue.  Accepted moves accumulate one rounding
+/// step each; the equivalence suite in tests/test_hotpath.cpp pins the drift
+/// against full re-evaluation to < 1e-9 over 10k+ move sequences.
+class SwapEvaluator {
+ public:
+  /// Marker for "no core on this tile" in occupant().
+  static constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
+
+  SwapEvaluator(const AppGraph& g, const Mesh2D& mesh,
+                const EnergyModel& energy, Mapping m,
+                double link_capacity_bps = 0.0,
+                double infeasibility_penalty = 2.0);
+
+  /// Current penalized cost: comm energy, scaled by the same overload
+  /// penalty sa_mapping's full-evaluation path applies.
+  double cost();
+  double comm_energy_j() const { return energy_j_; }
+  /// Load of the busiest directed link (lazily rescanned after a decrement
+  /// dethroned the previous maximum).  Loads are maintained across moves
+  /// only under a bandwidth constraint (link_capacity_bps > 0) — they only
+  /// feed the overload penalty, so unconstrained runs skip the bookkeeping;
+  /// there this reflects the mapping as of the last rebuild().
+  double max_link_load_bps();
+
+  const Mapping& mapping() const { return m_; }
+  std::size_t occupant(TileId t) const { return occupant_[t]; }
+
+  /// Swaps the contents of tiles a and b (core<->core or core<->empty) and
+  /// returns the new penalized cost.  Cost of the update is
+  /// O((deg(a)+deg(b)) * mean_hops) link-load adjustments.
+  double apply_swap(TileId a, TileId b);
+
+  /// Restores the exact pre-apply_swap state (bitwise).  Only valid once
+  /// per apply_swap.
+  void revert_swap();
+
+  /// Accepts the pending move: discards the undo log.  Every apply_swap must
+  /// be resolved by exactly one commit_swap or revert_swap.
+  void commit_swap() { move_open_ = false; }
+
+  /// Recomputes every cached quantity from the mapping (drift control /
+  /// debugging; never required by sa_mapping).
+  void rebuild();
+
+ private:
+  void add_route_load(TileId src, TileId dst, double bw);
+  void sub_route_load(TileId src, TileId dst, double bw);
+
+  const AppGraph& g_;
+  const Mesh2D& mesh_;
+  const EnergyModel& energy_;
+  double capacity_;
+  double penalty_;
+
+  XyRouteTable routes_;
+  // Incident-occurrence CSR: for each core, the edges touching it, encoded
+  // as edge_index * 2 + (1 if the core is the edge's src endpoint).
+  std::vector<std::uint32_t> inc_offsets_;
+  std::vector<std::uint32_t> inc_edges_;
+
+  Mapping m_;
+  std::vector<std::size_t> occupant_;  // tile -> core, kEmpty if free
+  std::vector<double> link_load_;
+  double energy_j_ = 0.0;
+  double max_load_ = 0.0;
+  bool max_dirty_ = false;
+
+  // Undo log of the last apply_swap.
+  std::vector<std::pair<std::uint32_t, double>> undo_links_;
+  double undo_energy_ = 0.0;
+  double undo_max_ = 0.0;
+  bool undo_dirty_ = false;
+  TileId last_a_ = 0, last_b_ = 0;
+  bool move_open_ = false;
 };
 
 /// Simulated-annealing energy-aware mapping (swap moves, Metropolis accept).

@@ -7,7 +7,9 @@
 //  neighboring tiles."
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -99,9 +101,68 @@ class Mesh2D {
     return path;
   }
 
+  /// Number of directed inter-tile links (4 outgoing per tile; edge tiles
+  /// simply never use their off-mesh slots).
+  std::size_t num_links() const { return num_tiles() * 4; }
+
+  /// Dense index of the directed link leaving `from` in direction `d`
+  /// (d != kLocal).  Shared by evaluate_mapping and the route table so link
+  /// loads computed by either agree slot for slot.
+  std::size_t link_index(TileId from, Dir d) const {
+    return from * 4 + (static_cast<std::size_t>(d) - 1);
+  }
+
  private:
   std::size_t w_;
   std::size_t h_;
+};
+
+/// Precomputed XY routes for every (src, dst) tile pair, stored as spans of
+/// directed-link indices (CSR layout over the pair index src*T+dst).  Walking
+/// a route via xy_next/neighbor costs a div/mod pair per hop; the table
+/// reduces it to a contiguous span load, which is what makes delta-cost
+/// mapping moves O(hops) with a tiny constant.  Memory is O(T^2 * mean_hops)
+/// — fine for the on-chip meshes this library targets (T <= a few hundred).
+class XyRouteTable {
+ public:
+  explicit XyRouteTable(const Mesh2D& mesh) : tiles_(mesh.num_tiles()) {
+    offsets_.reserve(tiles_ * tiles_ + 1);
+    offsets_.push_back(0);
+    // Total route length = sum of hop counts; reserve exactly.
+    std::size_t total = 0;
+    for (TileId s = 0; s < tiles_; ++s)
+      for (TileId d = 0; d < tiles_; ++d) total += mesh.hops(s, d);
+    links_.reserve(total);
+    for (TileId s = 0; s < tiles_; ++s) {
+      for (TileId d = 0; d < tiles_; ++d) {
+        TileId cur = s;
+        while (cur != d) {
+          const Dir dir = mesh.xy_next(cur, d);
+          links_.push_back(static_cast<std::uint32_t>(mesh.link_index(cur, dir)));
+          cur = mesh.neighbor(cur, dir);
+        }
+        offsets_.push_back(static_cast<std::uint32_t>(links_.size()));
+      }
+    }
+  }
+
+  /// Directed-link indices of the XY route src -> dst, in route order.
+  std::span<const std::uint32_t> links(TileId src, TileId dst) const {
+    const std::size_t p = src * tiles_ + dst;
+    return {links_.data() + offsets_[p],
+            links_.data() + offsets_[p + 1]};
+  }
+
+  /// Hop count (route length) — same value as Mesh2D::hops, table lookup.
+  std::size_t hops(TileId src, TileId dst) const {
+    const std::size_t p = src * tiles_ + dst;
+    return offsets_[p + 1] - offsets_[p];
+  }
+
+ private:
+  std::size_t tiles_;
+  std::vector<std::uint32_t> offsets_;  // pair index -> start in links_
+  std::vector<std::uint32_t> links_;
 };
 
 /// Bit-energy model in the style of Hu–Marculescu [20][23]:

@@ -1,18 +1,18 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
-
 #include "exec/metrics.hpp"
 
 namespace holms::sim {
 
-EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
-  assert(when >= now_ && "cannot schedule in the past");
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Scheduled{when, seq, std::move(fn)});
-  ++live_events_;
-  queue_high_water_ = std::max(queue_high_water_, queue_.size());
-  return EventId{seq};
+Simulator::~Simulator() {
+  // Destroy the callables of every still-queued event (cancelled or not);
+  // the slabs themselves die with slabs_.
+  while (!queue_.empty()) {
+    const Entry ev = queue_.top();
+    queue_.pop();
+    Slot& s = slot(ev.slot);
+    if (s.destroy) s.destroy(s);
+  }
 }
 
 void Simulator::cancel(EventId id) {
@@ -30,13 +30,20 @@ bool Simulator::is_cancelled(std::uint64_t seq) {
 
 bool Simulator::step() {
   while (!queue_.empty()) {
-    Scheduled ev = queue_.top();
+    const Entry ev = queue_.top();
     queue_.pop();
-    if (is_cancelled(ev.seq)) continue;
+    if (is_cancelled(ev.seq)) {
+      discard_slot(ev.slot);
+      continue;
+    }
     --live_events_;
     now_ = ev.when;
     ++executed_;
-    ev.fn();
+    // The slot reference stays valid across invoke even if the callback
+    // schedules (slabs are append-only); it is recycled only afterwards.
+    Slot& s = slot(ev.slot);
+    s.invoke(s);
+    discard_slot(ev.slot);
     return true;
   }
   return false;
@@ -45,12 +52,51 @@ bool Simulator::step() {
 std::size_t Simulator::run(Time until) {
   stop_requested_ = false;
   std::size_t n = 0;
+  std::vector<Entry> batch;
+  batch.reserve(16);
   while (!stop_requested_) {
-    // Peek past cancelled entries to decide whether the next live event is
+    // Pop past cancelled entries to decide whether the next live event is
     // within the horizon.
-    while (!queue_.empty() && is_cancelled(queue_.top().seq)) queue_.pop();
+    while (!queue_.empty() && is_cancelled(queue_.top().seq)) {
+      const std::uint32_t slot_idx = queue_.top().slot;
+      queue_.pop();
+      discard_slot(slot_idx);
+    }
     if (queue_.empty() || queue_.top().when > until) break;
-    if (step()) ++n;
+    // Pop the whole same-timestamp cohort at once, then dispatch in seq
+    // order.  Events a callback schedules *at this same timestamp* land in
+    // the queue and form the next batch — exactly the order the one-pop-per
+    // -event loop produced, with fewer heap sifts.
+    const Time t = queue_.top().when;
+    batch.clear();
+    while (!queue_.empty() && queue_.top().when == t) {
+      batch.push_back(queue_.top());
+      queue_.pop();
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Entry& ev = batch[i];
+      // Re-check: an earlier event in this batch may have cancelled a later
+      // one after it was popped.
+      if (is_cancelled(ev.seq)) {
+        discard_slot(ev.slot);
+        continue;
+      }
+      --live_events_;
+      now_ = ev.when;
+      ++executed_;
+      ++n;
+      Slot& s = slot(ev.slot);
+      s.invoke(s);
+      discard_slot(ev.slot);
+      if (stop_requested_ && i + 1 < batch.size()) {
+        // Return the unexecuted tail to the queue so pending() and a later
+        // resume see exactly the events a per-pop loop would have left.
+        for (std::size_t j = i + 1; j < batch.size(); ++j) {
+          queue_.push(batch[j]);
+        }
+        break;
+      }
+    }
   }
   if (until != std::numeric_limits<Time>::infinity() && now_ < until &&
       !stop_requested_) {

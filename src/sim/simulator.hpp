@@ -9,12 +9,26 @@
 // The kernel is deliberately single-threaded: reproducibility from a seed is
 // worth more than parallel speed for the average-case statistics the paper's
 // methodology is built around (§2.2).
+//
+// Storage: callbacks live in a slab-allocated pool of fixed slots with a
+// small-buffer store (kInlineCallbackBytes), not in per-event std::function
+// objects — the priority queue then holds trivially-copyable {time, seq,
+// slot} entries and a typical schedule/dispatch cycle performs zero heap
+// allocations (slabs are recycled through a free list; captures larger than
+// the inline buffer fall back to one heap allocation for that event only).
+// See DESIGN.md §5d for the lifetime rules.
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace holms::sim {
@@ -29,12 +43,32 @@ struct EventId {
 /// Event-driven simulation kernel with cancellation and a stop condition.
 class Simulator {
  public:
-  /// Schedules `fn` at absolute time `when` (must be >= now()).
-  EventId schedule_at(Time when, std::function<void()> fn);
+  /// Captures up to this many bytes are stored inline in the event slot.
+  static constexpr std::size_t kInlineCallbackBytes = 48;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()).  Any
+  /// callable with signature void() is accepted; it is moved into the event
+  /// pool directly (no std::function wrapping).
+  template <typename Fn>
+  EventId schedule_at(Time when, Fn&& fn) {
+    assert(when >= now_ && "cannot schedule in the past");
+    const std::uint64_t seq = next_seq_++;
+    const std::uint32_t slot_idx = emplace_callback(std::forward<Fn>(fn));
+    queue_.push(Entry{when, seq, slot_idx});
+    ++live_events_;
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
+    return EventId{seq};
+  }
 
   /// Schedules `fn` `delay` time units from now (delay >= 0).
-  EventId schedule_in(Time delay, std::function<void()> fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  template <typename Fn>
+  EventId schedule_in(Time delay, Fn&& fn) {
+    return schedule_at(now_ + delay, std::forward<Fn>(fn));
   }
 
   /// Cancels a pending event; cancelling an already-fired or unknown event is
@@ -45,6 +79,8 @@ class Simulator {
   /// Runs until the queue drains or `until` is reached; returns the number of
   /// events executed.  The clock is advanced to `until` if the queue drains
   /// earlier than `until` (so time-weighted stats can be closed consistently).
+  /// Same-timestamp events are popped as one batch and dispatched in
+  /// insertion order — identical semantics, fewer heap sift operations.
   std::size_t run(Time until = std::numeric_limits<Time>::infinity());
 
   /// Executes at most one event; returns false when the queue is empty.
@@ -63,18 +99,96 @@ class Simulator {
   std::size_t queue_high_water() const { return queue_high_water_; }
 
  private:
-  struct Scheduled {
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::size_t kSlabSize = 256;  // slots per slab
+
+  /// One pooled callback.  The callable object is constructed into `storage`
+  /// (or, when it doesn't fit, `storage` holds a pointer to a heap copy).
+  /// Lifetime rules: the slot is owned by exactly one queue entry from
+  /// schedule to dispatch; invoke() runs the callable in place, destroy()
+  /// destructs/frees it, and the slot returns to the free list only *after*
+  /// both — so a callback may safely schedule new events (slabs never move)
+  /// but must not touch its own captures after returning.
+  struct Slot {
+    alignas(std::max_align_t) unsigned char storage[kInlineCallbackBytes];
+    void (*invoke)(Slot&) = nullptr;
+    void (*destroy)(Slot&) = nullptr;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  /// Trivially-copyable queue entry; min-heap on (when, seq).
+  struct Entry {
     Time when;
     std::uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Scheduled& o) const {
+    std::uint32_t slot;
+    bool operator>(const Entry& o) const {
       if (when != o.when) return when > o.when;
       return seq > o.seq;
     }
   };
 
-  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
-      queue_;
+  Slot& slot(std::uint32_t i) { return slabs_[i / kSlabSize][i % kSlabSize]; }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t idx = free_head_;
+      free_head_ = slot(idx).next_free;
+      return idx;
+    }
+    const std::uint32_t idx = static_cast<std::uint32_t>(slot_count_);
+    if (slot_count_ % kSlabSize == 0) {
+      slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+    }
+    ++slot_count_;
+    return idx;
+  }
+
+  void release_slot(std::uint32_t i) {
+    Slot& s = slot(i);
+    s.invoke = nullptr;
+    s.destroy = nullptr;
+    s.next_free = free_head_;
+    free_head_ = i;
+  }
+
+  /// Destroys the stored callable and recycles the slot (cancelled entries,
+  /// post-invoke cleanup, destructor drain).
+  void discard_slot(std::uint32_t i) {
+    Slot& s = slot(i);
+    if (s.destroy) s.destroy(s);
+    release_slot(i);
+  }
+
+  template <typename Fn>
+  std::uint32_t emplace_callback(Fn&& fn) {
+    using T = std::decay_t<Fn>;
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slot(idx);
+    if constexpr (sizeof(T) <= kInlineCallbackBytes &&
+                  alignof(T) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(s.storage)) T(std::forward<Fn>(fn));
+      s.invoke = [](Slot& sl) {
+        (*std::launder(reinterpret_cast<T*>(sl.storage)))();
+      };
+      s.destroy = [](Slot& sl) {
+        std::launder(reinterpret_cast<T*>(sl.storage))->~T();
+      };
+    } else {
+      // Oversized capture: one heap allocation for this event only.
+      ::new (static_cast<void*>(s.storage)) T*(new T(std::forward<Fn>(fn)));
+      s.invoke = [](Slot& sl) {
+        (**std::launder(reinterpret_cast<T**>(sl.storage)))();
+      };
+      s.destroy = [](Slot& sl) {
+        delete *std::launder(reinterpret_cast<T**>(sl.storage));
+      };
+    }
+    return idx;
+  }
+
+  bool is_cancelled(std::uint64_t seq);
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   // Hash set, not a vector: heavy timeout/cancel workloads (MANET route
   // timeouts, wireless retransmit timers) accumulate thousands of pending
   // cancellations, and a linear scan per popped event made the kernel
@@ -82,14 +196,15 @@ class Simulator {
   // case), keeping the set near the count of cancelled-but-not-yet-due
   // events.
   std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::size_t slot_count_ = 0;
+  std::uint32_t free_head_ = kNoSlot;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t live_events_ = 0;
   std::size_t queue_high_water_ = 0;
   bool stop_requested_ = false;
-
-  bool is_cancelled(std::uint64_t seq);
 };
 
 /// Convenience: a periodic activity bound to a simulator.  The callback may

@@ -1,0 +1,357 @@
+// Equivalence suites for the PR-2 hot-path kernels: the incremental SA move
+// evaluator vs full re-evaluation, the CSR stationary solvers vs their dense
+// counterparts, and the slab/small-buffer event pool vs the documented kernel
+// semantics (ordering, cancellation, batching, lifetimes).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "markov/chain.hpp"
+#include "markov/sparse.hpp"
+#include "noc/mapping.hpp"
+#include "noc/taskgraph.hpp"
+#include "noc/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace holms;
+
+// ---------------------------------------------------------------------------
+// Incremental SA move evaluation.
+// ---------------------------------------------------------------------------
+
+double full_penalized_cost(const noc::AppGraph& g, const noc::Mesh2D& mesh,
+                           const noc::EnergyModel& em, const noc::Mapping& m,
+                           double capacity, double penalty) {
+  const noc::MappingEval ev = noc::evaluate_mapping(g, mesh, em, m, capacity);
+  double c = ev.comm_energy_j;
+  if (capacity > 0.0 && ev.max_link_load_bps > capacity) {
+    c *= 1.0 + penalty * (ev.max_link_load_bps / capacity - 1.0);
+  }
+  return c;
+}
+
+// Drives >= 10k random swaps through a SwapEvaluator (random commit/revert
+// mix) and checks (a) every revert restores the cost bitwise, and (b) the
+// incrementally-maintained cost tracks a from-scratch evaluation to 1e-9.
+void drive_and_compare(const noc::AppGraph& g, const noc::Mesh2D& mesh,
+                       double capacity, std::uint64_t seed) {
+  const noc::EnergyModel em;
+  const double penalty = 2.0;
+  sim::Rng rng(seed);
+  noc::Mapping m0 = noc::greedy_mapping(g, mesh, em);
+  noc::SwapEvaluator ev(g, mesh, em, m0, capacity, penalty);
+
+  ASSERT_DOUBLE_EQ(ev.cost(),
+                   full_penalized_cost(g, mesh, em, m0, capacity, penalty));
+
+  const auto tiles = static_cast<std::int64_t>(mesh.num_tiles());
+  constexpr std::size_t kMoves = 12000;
+  for (std::size_t i = 0; i < kMoves; ++i) {
+    const auto a = static_cast<noc::TileId>(rng.uniform_int(0, tiles - 1));
+    const auto b = static_cast<noc::TileId>(rng.uniform_int(0, tiles - 1));
+    if (a == b) continue;
+    const double before = ev.cost();
+    const double after = ev.apply_swap(a, b);
+    if (rng.bernoulli(0.5)) {
+      ev.commit_swap();
+      (void)after;
+    } else {
+      ev.revert_swap();
+      // Rejected moves must leave zero floating-point residue.
+      ASSERT_EQ(ev.cost(), before) << "revert not bitwise at move " << i;
+    }
+    if (i % 500 == 0) {
+      const double full = full_penalized_cost(g, mesh, em, ev.mapping(),
+                                              capacity, penalty);
+      ASSERT_NEAR(ev.cost(), full, 1e-9 * std::max(1.0, std::abs(full)))
+          << "incremental cost drifted at move " << i;
+    }
+  }
+  // Final check after the full sequence.
+  const double full =
+      full_penalized_cost(g, mesh, em, ev.mapping(), capacity, penalty);
+  EXPECT_NEAR(ev.cost(), full, 1e-9 * std::max(1.0, std::abs(full)));
+}
+
+TEST(SwapEvaluator, TracksFullCostMmsGraph) {
+  drive_and_compare(noc::mms_graph(), noc::Mesh2D(4, 4), 0.0, 11);
+  drive_and_compare(noc::mms_graph(), noc::Mesh2D(4, 4), 2e9, 12);
+}
+
+TEST(SwapEvaluator, TracksFullCostSurveillanceGraph) {
+  const auto g = noc::video_surveillance_graph();
+  const noc::Mesh2D mesh(4, 4);
+  drive_and_compare(g, mesh, 0.0, 21);
+  drive_and_compare(g, mesh, 1e9, 22);
+}
+
+TEST(SwapEvaluator, TracksFullCostRandomGraphRectangularMesh) {
+  sim::Rng grng(33);
+  const auto g = noc::random_graph(12, grng, 1e6);
+  // Non-square mesh with empty tiles: exercises core<->empty swaps and any
+  // x/y confusion in the route table.
+  const noc::Mesh2D mesh(5, 3);
+  drive_and_compare(g, mesh, 0.0, 31);
+  drive_and_compare(g, mesh, 5e5, 32);
+}
+
+TEST(XyRouteTable, MatchesMeshRoutes) {
+  for (const auto& dims : {std::pair<std::size_t, std::size_t>{4, 4},
+                           std::pair<std::size_t, std::size_t>{5, 3}}) {
+    const noc::Mesh2D mesh(dims.first, dims.second);
+    const noc::XyRouteTable table(mesh);
+    for (noc::TileId s = 0; s < mesh.num_tiles(); ++s) {
+      for (noc::TileId d = 0; d < mesh.num_tiles(); ++d) {
+        ASSERT_EQ(table.hops(s, d), mesh.hops(s, d));
+        const auto route = mesh.xy_route(s, d);
+        const auto links = table.links(s, d);
+        ASSERT_EQ(links.size(), route.size() - 1);
+        for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+          const noc::Dir dir = mesh.xy_next(route[i], d);
+          ASSERT_EQ(links[i], mesh.link_index(route[i], dir));
+        }
+      }
+    }
+  }
+}
+
+TEST(SaMapping, DebugFullEvalReachesSameQuality) {
+  const auto g = noc::mms_graph();
+  const noc::Mesh2D mesh(4, 4);
+  const noc::EnergyModel em;
+  noc::SaOptions opts;
+  opts.iterations = 4000;
+  opts.debug_full_eval = false;
+  sim::Rng r1(7);
+  const auto inc = noc::sa_mapping(g, mesh, em, r1, opts);
+  opts.debug_full_eval = true;
+  sim::Rng r2(7);
+  const auto full = noc::sa_mapping(g, mesh, em, r2, opts);
+  const double ci = noc::evaluate_mapping(g, mesh, em, inc).comm_energy_j;
+  const double cf = noc::evaluate_mapping(g, mesh, em, full).comm_energy_j;
+  // Same seed, same RNG draw sequence: the two modes walk the same move
+  // trajectory except where an accept decision flips inside the ~1e-12
+  // incremental/full gap.  Quality must be indistinguishable.
+  EXPECT_NEAR(ci, cf, 0.02 * cf);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse stationary solvers.
+// ---------------------------------------------------------------------------
+
+markov::Dtmc birth_death_chain(std::size_t n) {
+  markov::Dtmc d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double stay = 0.2;
+    if (i + 1 < n) d.set(i, i + 1, 0.5); else stay += 0.5;
+    if (i > 0) d.set(i, i - 1, 0.3); else stay += 0.3;
+    d.set(i, i, stay);
+  }
+  return d;
+}
+
+TEST(SparseSolve, MatchesDenseBitwise) {
+  const markov::Dtmc d = birth_death_chain(128);
+  for (const auto method : {markov::SteadyStateMethod::kPowerIteration,
+                            markov::SteadyStateMethod::kGaussSeidel}) {
+    markov::SolveOptions dense;
+    dense.method = method;
+    dense.sparsity = markov::SparsityMode::kDense;
+    markov::SolveOptions sparse = dense;
+    sparse.sparsity = markov::SparsityMode::kSparse;
+    const auto rd = d.steady_state(dense);
+    const auto rs = d.steady_state(sparse);
+    ASSERT_TRUE(rd.converged);
+    ASSERT_TRUE(rs.converged);
+    EXPECT_FALSE(rd.used_sparse);
+    EXPECT_TRUE(rs.used_sparse);
+    // Identical iterate sequence => identical iteration count, and the
+    // distributions agree far below the 1e-10 requirement (bitwise).
+    EXPECT_EQ(rd.iterations, rs.iterations);
+    ASSERT_EQ(rd.distribution.size(), rs.distribution.size());
+    for (std::size_t i = 0; i < rd.distribution.size(); ++i) {
+      EXPECT_NEAR(rd.distribution[i], rs.distribution[i], 1e-10);
+      EXPECT_EQ(rd.distribution[i], rs.distribution[i]) << "state " << i;
+    }
+  }
+}
+
+TEST(SparseSolve, CtmcRoutesThroughSparseAutomatically) {
+  const std::size_t n = 96;
+  markov::Ctmc q(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    q.set_rate(i, i + 1, 3.0);
+    q.set_rate(i + 1, i, 4.0);
+  }
+  markov::SolveOptions opts;  // kAuto
+  const auto r = q.steady_state(opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_TRUE(r.used_sparse);  // n >= 64 and tridiagonal density << 0.25
+  // Verify against the direct dense solve.
+  markov::SolveOptions lu;
+  lu.method = markov::SteadyStateMethod::kDirectLU;
+  const auto exact = q.steady_state(lu);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(r.distribution[i], exact.distribution[i], 1e-8);
+  }
+}
+
+TEST(SparseSolve, AutoStaysDenseWhenSmallOrDense) {
+  // Small chain: below sparse_min_states.
+  const auto small = birth_death_chain(16).steady_state({});
+  EXPECT_FALSE(small.used_sparse);
+  // Large but dense chain: uniform transitions have density 1.
+  const std::size_t n = 96;
+  markov::Dtmc dense(n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      dense.set(r, c, 1.0 / static_cast<double>(n));
+  const auto rd = dense.steady_state({});
+  EXPECT_FALSE(rd.used_sparse);
+  EXPECT_TRUE(rd.converged);
+}
+
+TEST(CsrMatrix, TransposeRoundTrip) {
+  markov::Matrix a(3, 4);
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = -1.5;
+  a.at(1, 3) = 4.0;
+  a.at(2, 2) = 7.0;
+  const auto csr = markov::CsrMatrix::from_dense(a);
+  EXPECT_EQ(csr.nnz(), 4u);
+  EXPECT_NEAR(csr.density(), 4.0 / 12.0, 1e-15);
+  const auto t = csr.transposed();
+  EXPECT_EQ(t.rows(), 4u);
+  EXPECT_EQ(t.cols(), 3u);
+  const auto tt = t.transposed();
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto cols = tt.row_cols(r);
+    const auto vals = tt.row_vals(r);
+    std::size_t k = 0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      if (a.at(r, c) == 0.0) continue;
+      ASSERT_LT(k, cols.size());
+      EXPECT_EQ(cols[k], c);
+      EXPECT_EQ(vals[k], a.at(r, c));
+      ++k;
+    }
+    EXPECT_EQ(k, cols.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event-pool simulator kernel.
+// ---------------------------------------------------------------------------
+
+TEST(EventPool, DeterministicTraceWithBatchesAndCancels) {
+  sim::Simulator s;
+  std::vector<std::pair<double, int>> trace;
+  const auto mark = [&](int tag) { trace.emplace_back(s.now(), tag); };
+
+  s.schedule_at(2.0, [&] { mark(1); });
+  const auto victim = s.schedule_at(2.0, [&] { mark(99); });
+  s.schedule_at(2.0, [&] { mark(2); });
+  s.schedule_at(1.0, [&] {
+    mark(0);
+    s.cancel(victim);                      // cancels into the future batch
+    s.schedule_at(2.0, [&] { mark(3); });  // joins the t=2 cohort (later seq)
+    s.schedule_in(0.0, [&] { mark(4); });  // same-timestamp follow-up at t=1
+  });
+  const std::size_t n = s.run();
+  EXPECT_EQ(n, 5u);
+  const std::vector<std::pair<double, int>> expected = {
+      {1.0, 0}, {1.0, 4}, {2.0, 1}, {2.0, 2}, {2.0, 3}};
+  EXPECT_EQ(trace, expected);
+}
+
+TEST(EventPool, CancelWithinSameTimestampBatch) {
+  sim::Simulator s;
+  int ran = 0;
+  sim::EventId later{};
+  s.schedule_at(1.0, [&] {
+    ++ran;
+    s.cancel(later);  // target was scheduled at the same timestamp
+  });
+  later = s.schedule_at(1.0, [&] { ran += 100; });
+  s.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(EventPool, StopMidBatchLeavesTailPending) {
+  sim::Simulator s;
+  std::vector<int> ran;
+  s.schedule_at(1.0, [&] { ran.push_back(1); });
+  s.schedule_at(1.0, [&] {
+    ran.push_back(2);
+    s.stop();
+  });
+  s.schedule_at(1.0, [&] { ran.push_back(3); });
+  const std::size_t first = s.run();
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(s.pending(), 1u);
+  // Resume: the re-queued tail runs, still at t=1, in original order.
+  const std::size_t second = s.run();
+  EXPECT_EQ(second, 1u);
+  EXPECT_EQ(ran, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 1.0);
+}
+
+TEST(EventPool, LargeCapturesFallBackToHeap) {
+  sim::Simulator s;
+  std::array<double, 32> payload{};  // 256 bytes: well past the inline buffer
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<double>(i) * 0.5;
+  }
+  double sum = 0.0;
+  s.schedule_at(1.0, [payload, &sum] {
+    for (const double v : payload) sum += v;
+  });
+  s.run();
+  EXPECT_NEAR(sum, 0.5 * (31.0 * 32.0 / 2.0), 1e-12);
+}
+
+TEST(EventPool, DestructorReleasesUnrunCallbacks) {
+  const auto token = std::make_shared<int>(42);
+  {
+    sim::Simulator s;
+    s.schedule_at(1.0, [token] { (void)*token; });         // inline capture
+    std::array<std::shared_ptr<int>, 16> many;
+    many.fill(token);
+    s.schedule_at(2.0, [many] { (void)many; });            // heap fallback
+    const auto cancelled = s.schedule_at(3.0, [token] { (void)*token; });
+    s.cancel(cancelled);
+    EXPECT_GT(token.use_count(), 1);
+  }
+  // All three never ran; their captures must still have been destroyed.
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventPool, SlotsAreRecycledAcrossManyEvents) {
+  sim::Simulator s;
+  std::size_t count = 0;
+  struct Chain {
+    sim::Simulator& sim;
+    std::size_t& count;
+    std::size_t remaining;
+    void operator()() const {
+      ++count;
+      if (remaining > 0) sim.schedule_in(1.0, Chain{sim, count, remaining - 1});
+    }
+  };
+  s.schedule_in(1.0, Chain{s, count, 9999});
+  s.run();
+  EXPECT_EQ(count, 10000u);
+  EXPECT_EQ(s.executed(), 10000u);
+  // One live event at a time: the pool never needs more than one slab.
+  EXPECT_EQ(s.queue_high_water(), 1u);
+}
+
+}  // namespace
