@@ -1,0 +1,197 @@
+// Fault-injection robustness experiment (DESIGN.md §5e).
+//
+// Sweeps the fraction of failed mesh links against the three NoC routing
+// functions, measuring delivery ratio and detour overhead; replays one
+// schedule twice to pin bitwise reproducibility; and runs the FGS graceful-
+// degradation ladder under sustained 30% channel loss.  Emits
+// BENCH_fault.json, gated by the "fault" section of bench/thresholds.json:
+//   ft_delivery_ratio_5pct   >= 0.95  (kFaultTolerant with 5% links dead)
+//   xy_delivery_gap_5pct     >= 0.30  (kXY demonstrably blackholes)
+//   fgs_min_psnr_db_30loss   >= 30.0  (base-layer PSNR intact under loss)
+//   bitwise_reproducible     >= 1.0   (same (seed, schedule) => same stats)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dvfs/dvfs.hpp"
+#include "fault/schedule.hpp"
+#include "manet/routing.hpp"
+#include "noc/router.hpp"
+#include "streaming/fgs.hpp"
+
+namespace {
+
+using holms::fault::FaultEvent;
+using holms::fault::FaultKind;
+using holms::fault::FaultSchedule;
+using holms::fault::Target;
+using holms::sim::Rng;
+
+constexpr std::uint64_t kCycles = 12000;
+constexpr double kFailAt = 2000.0;  // links die after warm-up, stay dead
+
+holms::noc::NocStats run_noc(const holms::noc::Mesh2D& mesh,
+                             holms::noc::RoutingAlgo algo,
+                             const FaultSchedule* schedule) {
+  holms::noc::NocSim::Config cfg;
+  cfg.virtual_channels = 2;
+  cfg.routing = algo;
+  holms::noc::NocSim sim(mesh, cfg, Rng(99));
+  add_pattern_flows(sim, mesh, holms::noc::TrafficPattern::kUniformRandom,
+                    0.02, 4);
+  if (schedule != nullptr) sim.attach_fault_schedule(schedule);
+  sim.run(kCycles);
+  return sim.stats();
+}
+
+/// Fails ~frac of the undirected links (every round(1/frac)-th id, the same
+/// spread tests/test_fault.cpp pins) at kFailAt.
+FaultSchedule link_kill_schedule(const holms::noc::Mesh2D& mesh,
+                                 double frac) {
+  std::vector<FaultEvent> trace;
+  if (frac > 0.0) {
+    const std::size_t stride =
+        static_cast<std::size_t>(1.0 / frac + 0.5);
+    for (std::size_t id = 0; id < mesh.num_undirected_links(); id += stride) {
+      trace.push_back({kFailAt, FaultKind::kFail, Target::kLink, id});
+    }
+  }
+  return FaultSchedule::from_trace(trace);
+}
+
+const char* algo_name(holms::noc::RoutingAlgo a) {
+  switch (a) {
+    case holms::noc::RoutingAlgo::kXY: return "xy";
+    case holms::noc::RoutingAlgo::kWestFirst: return "west-first";
+    case holms::noc::RoutingAlgo::kFaultTolerant: return "fault-tolerant";
+  }
+  return "?";
+}
+
+bool stats_equal(const holms::noc::NocStats& a, const holms::noc::NocStats& b) {
+  return a.packets_injected == b.packets_injected &&
+         a.packets_delivered == b.packets_delivered &&
+         a.packets_dropped == b.packets_dropped &&
+         a.flit_hops == b.flit_hops && a.reroute_hops == b.reroute_hops &&
+         a.faults_applied == b.faults_applied &&
+         a.mean_packet_latency == b.mean_packet_latency &&
+         a.energy_joules == b.energy_joules;
+}
+
+}  // namespace
+
+int main() {
+  holms::bench::BenchReport report("fault");
+  holms::bench::title("5e", "cross-layer fault injection and degradation");
+
+  // --- NoC: delivery ratio vs failed-link fraction, per routing algo ---
+  const holms::noc::Mesh2D mesh(8, 8);
+  const std::vector<double> fracs = {0.0, 0.02, 0.05, 0.10};
+  const std::vector<holms::noc::RoutingAlgo> algos = {
+      holms::noc::RoutingAlgo::kXY, holms::noc::RoutingAlgo::kWestFirst,
+      holms::noc::RoutingAlgo::kFaultTolerant};
+
+  holms::bench::note(
+      "8x8 mesh, uniform traffic 0.02 pkt/cyc/tile, links fail at cycle "
+      "2000 and stay dead");
+  std::printf("%-15s %8s %10s %9s %10s %12s\n", "routing", "links", "delivery",
+              "dropped", "latency", "reroute/hop");
+  double ft_5 = 0.0, xy_5 = 0.0, ft_reroute_5 = 0.0;
+  for (const double frac : fracs) {
+    const FaultSchedule sched = link_kill_schedule(mesh, frac);
+    for (const auto algo : algos) {
+      const auto st =
+          run_noc(mesh, algo, sched.empty() ? nullptr : &sched);
+      const double reroute =
+          st.flit_hops > 0
+              ? static_cast<double>(st.reroute_hops) /
+                    static_cast<double>(st.flit_hops)
+              : 0.0;
+      std::printf("%-15s %7.0f%% %10.4f %9llu %10.1f %12.5f\n",
+                  algo_name(algo), frac * 100.0, st.delivery_ratio,
+                  static_cast<unsigned long long>(st.packets_dropped),
+                  st.mean_packet_latency, reroute);
+      if (frac == 0.05) {
+        if (algo == holms::noc::RoutingAlgo::kFaultTolerant) {
+          ft_5 = st.delivery_ratio;
+          ft_reroute_5 = reroute;
+        } else if (algo == holms::noc::RoutingAlgo::kXY) {
+          xy_5 = st.delivery_ratio;
+        }
+      }
+    }
+    holms::bench::rule();
+  }
+  report.set("ft_delivery_ratio_5pct", ft_5);
+  report.set("xy_delivery_ratio_5pct", xy_5);
+  report.set("xy_delivery_gap_5pct", ft_5 - xy_5);
+  report.set("ft_reroute_overhead_5pct", ft_reroute_5);
+
+  // --- bitwise reproducibility: one Poisson schedule, two replays ---
+  FaultSchedule::PoissonSpec spec;
+  spec.target = Target::kLink;
+  spec.num_targets = mesh.num_undirected_links();
+  spec.fail_rate = 1.0 / 4000.0;
+  spec.repair_rate = 1.0 / 1500.0;
+  spec.horizon = static_cast<double>(kCycles);
+  const FaultSchedule poisson = FaultSchedule::poisson(21, spec);
+  const auto r1 =
+      run_noc(mesh, holms::noc::RoutingAlgo::kFaultTolerant, &poisson);
+  const auto r2 =
+      run_noc(mesh, holms::noc::RoutingAlgo::kFaultTolerant, &poisson);
+  const bool reproducible = stats_equal(r1, r2);
+  holms::bench::note(
+      "poisson link fail/repair replayed twice: fingerprint " +
+      std::to_string(poisson.fingerprint()) +
+      (reproducible ? ", stats bitwise identical" : ", STATS DIVERGED"));
+  report.set("bitwise_reproducible", reproducible ? 1.0 : 0.0);
+  report.set("poisson_faults_applied", static_cast<double>(r1.faults_applied));
+
+  // --- FGS: graceful degradation under sustained 30% loss ---
+  const FaultSchedule always_bad =
+      FaultSchedule::from_trace({{0.0, FaultKind::kFail, Target::kLink, 0}});
+  holms::streaming::FgsConfig fgs_cfg;
+  holms::dvfs::Processor cpu(holms::dvfs::xscale_points(),
+                             holms::dvfs::PowerModel{});
+  holms::streaming::ChannelTrace ch(Rng(31), 3.0e6, 1.2e6, 0.6e6);
+  holms::streaming::SlotLossTrace loss(&always_bad, fgs_cfg.slot_s, 0.0, 0.3);
+  const auto fgs = holms::streaming::run_fgs_session(
+      holms::streaming::FgsPolicy::kGracefulDegradation, fgs_cfg, cpu, ch,
+      400, &loss);
+  std::printf(
+      "fgs graceful @30%% loss: min psnr %.2f dB, base misses %zu, "
+      "mean shed %.3f\n",
+      fgs.min_psnr_db, fgs.base_layer_misses, fgs.mean_enhancement_shed);
+  report.set("fgs_min_psnr_db_30loss", fgs.min_psnr_db);
+  report.set("fgs_base_misses_30loss",
+             static_cast<double>(fgs.base_layer_misses));
+  report.set("fgs_mean_shed_30loss", fgs.mean_enhancement_shed);
+
+  // --- MANET: route repair keeps sessions alive through node crashes ---
+  holms::manet::Manet::Params mp;
+  mp.num_nodes = 30;
+  FaultSchedule::PoissonSpec crash;
+  crash.target = Target::kNode;
+  crash.num_targets = mp.num_nodes;
+  crash.fail_rate = 1.0 / 200.0;
+  crash.repair_rate = 1.0 / 60.0;
+  crash.horizon = 800.0;
+  const FaultSchedule crashes = FaultSchedule::poisson(13, crash);
+  holms::manet::LifetimeConfig mcfg;
+  mcfg.max_time_s = 800.0;
+  mcfg.num_flows = 4;
+  const auto manet = holms::manet::simulate_lifetime(
+      holms::manet::Protocol::kBatteryCost, mp, mcfg, 17, &crashes);
+  std::printf(
+      "manet w/ crashes: delivery %.4f, repairs %llu, blackholed %llu, "
+      "faults %llu\n",
+      manet.delivery_ratio,
+      static_cast<unsigned long long>(manet.route_repairs),
+      static_cast<unsigned long long>(manet.packets_blackholed),
+      static_cast<unsigned long long>(manet.faults_applied));
+  report.set("manet_delivery_ratio_crashes", manet.delivery_ratio);
+  report.set("manet_route_repairs", static_cast<double>(manet.route_repairs));
+
+  return 0;
+}

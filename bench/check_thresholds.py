@@ -3,8 +3,11 @@
 
 Usage: check_thresholds.py <report.json> [thresholds.json]
 
-Every key under thresholds "min" must be present in the report (top level)
-and >= the threshold.  Exits non-zero listing all violations.
+The thresholds file may hold one section per report name (keyed by the
+report's "name" field, e.g. "fault" for BENCH_fault.json); reports without
+their own section use the top-level "min" block.  Every key under the
+selected "min" must be present in the report (top level) and >= the
+threshold.  Exits non-zero listing all violations.
 """
 import json
 import sys
@@ -23,8 +26,12 @@ def main() -> int:
     with open(thresholds_path) as f:
         thresholds = json.load(f)
 
+    section = thresholds.get(report.get("name"), thresholds)
+    if not isinstance(section, dict) or "min" not in section:
+        section = thresholds
+
     failures = []
-    for key, floor in thresholds.get("min", {}).items():
+    for key, floor in section.get("min", {}).items():
         value = report.get(key)
         if value is None:
             failures.append(f"{key}: missing from {report_path}")

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 #include <vector>
+
+#include "exec/rng_stream.hpp"
+#include "fault/injector.hpp"
 
 namespace holms::core {
 namespace {
@@ -59,39 +63,78 @@ bool remap_off_dead_tiles(const Application& app, const Platform& platform,
 AmbientResult run_ambient_scenario(const Application& app,
                                    const Platform& platform,
                                    FaultPolicy policy,
-                                   const AmbientConfig& cfg) {
-  sim::Rng rng(cfg.seed);
+                                   const AmbientConfig& cfg,
+                                   const AmbientOptions& opts) {
   AmbientResult res;
 
+  // Fault source: the shared schedule, or one derived from the config's
+  // Poisson parameters (the legacy behavior).  Either way the scenario
+  // replays an explicit event list, so two policies compared on the same
+  // (seed, schedule) see the exact same failures.
+  fault::FaultSchedule derived;
+  const fault::FaultSchedule* schedule = opts.schedule;
+  if (schedule == nullptr) {
+    fault::FaultSchedule::PoissonSpec spec;
+    spec.target = fault::Target::kTile;
+    spec.num_targets = platform.mesh.num_tiles();
+    spec.fail_rate = 1.0 / cfg.tile_mtbf_s;
+    spec.repair_rate = cfg.tile_mttr_s > 0.0 ? 1.0 / cfg.tile_mttr_s : 0.0;
+    spec.horizon = cfg.duration_s;
+    derived =
+        fault::FaultSchedule::poisson(exec::stream_seed(cfg.seed, 0), spec);
+    schedule = &derived;
+  } else {
+    for (const fault::FaultEvent& e : schedule->events()) {
+      if (e.target == fault::Target::kTile &&
+          e.id >= platform.mesh.num_tiles()) {
+        throw std::invalid_argument(
+            "run_ambient_scenario: fault event tile id out of range");
+      }
+    }
+  }
+  fault::FaultInjector injector(schedule);
+  // The activity chain draws from its own counter-derived stream, so the
+  // fault process and the user model never perturb each other.
+  sim::Rng activity_rng(exec::stream_seed(cfg.seed, 1));
+
   // Design-time mapping on the healthy platform.
-  noc::Mapping mapping =
-      noc::greedy_mapping(app.graph, platform.mesh, platform.noc_energy);
+  const noc::Mapping design_mapping =
+      opts.initial_mapping != nullptr
+          ? *opts.initial_mapping
+          : noc::greedy_mapping(app.graph, platform.mesh, platform.noc_energy);
+  noc::Mapping mapping = design_mapping;
 
   std::vector<bool> tile_alive(platform.mesh.num_tiles(), true);
-  // Per-tile Poisson failure: probability per period.
   const double period = app.qos.period_s;
-  const double p_fail = 1.0 - std::exp(-period / cfg.tile_mtbf_s);
 
   bool user_active_high = true;
   bool mapping_valid = true;
-  Evaluation cached_eval = evaluate_design(app, platform, mapping, true);
+  bool displaced = false;  // tasks currently off their design-time tiles
+  Evaluation cached_eval =
+      evaluate_design(app, platform, mapping, opts.use_dvs);
 
   const std::size_t periods =
       static_cast<std::size_t>(cfg.duration_s / period);
   for (std::size_t k = 0; k < periods; ++k) {
     ++res.periods;
 
-    // Inject failures.
+    // Replay fault events up to the start of this period.
     bool changed = false;
-    for (std::size_t t = 0; t < tile_alive.size(); ++t) {
-      if (tile_alive[t] && rng.bernoulli(p_fail)) {
-        tile_alive[t] = false;
-        changed = true;
-        ++res.failures_injected;
-      }
-    }
+    injector.poll(static_cast<double>(k) * period,
+                  [&](const fault::FaultEvent& e) {
+                    if (e.target != fault::Target::kTile) return;
+                    const bool up = e.kind == fault::FaultKind::kRepair;
+                    if (tile_alive[e.id] == up) return;
+                    tile_alive[e.id] = up;
+                    changed = true;
+                    if (up) {
+                      ++res.repairs_applied;
+                    } else {
+                      ++res.failures_injected;
+                    }
+                  });
     // User activity Markov chain.
-    if (rng.bernoulli(cfg.activity_switch_prob)) {
+    if (activity_rng.bernoulli(cfg.activity_switch_prob)) {
       user_active_high = !user_active_high;
     }
     const double activity =
@@ -102,17 +145,38 @@ AmbientResult run_ambient_scenario(const Application& app,
       for (std::size_t i = 0; i < mapping.size(); ++i) {
         if (!tile_alive[mapping[i]]) any_dead_in_use = true;
       }
-      if (any_dead_in_use) {
-        if (policy == FaultPolicy::kAdaptiveRemap) {
+      if (policy == FaultPolicy::kAdaptiveRemap) {
+        if (any_dead_in_use) {
           mapping_valid =
               remap_off_dead_tiles(app, platform, tile_alive, mapping);
           if (mapping_valid) {
             ++res.remaps_performed;
-            cached_eval = evaluate_design(app, platform, mapping, true);
+            displaced = mapping != design_mapping;
+            cached_eval =
+                evaluate_design(app, platform, mapping, opts.use_dvs);
           }
         } else {
-          mapping_valid = false;
+          mapping_valid = true;  // every tile in use is live again
+          if (displaced) {
+            // Repairs may have revived the design-time tiles: fall back to
+            // the intended placement as soon as it is whole again.
+            bool design_whole = true;
+            for (std::size_t i = 0; i < design_mapping.size(); ++i) {
+              if (!tile_alive[design_mapping[i]]) design_whole = false;
+            }
+            if (design_whole) {
+              mapping = design_mapping;
+              displaced = false;
+              ++res.remaps_performed;
+              cached_eval =
+                  evaluate_design(app, platform, mapping, opts.use_dvs);
+            }
+          }
         }
+      } else {
+        // Static policy: the mapping never moves; it is valid exactly when
+        // every used tile is live (repairs can restore it).
+        mapping_valid = !any_dead_in_use;
       }
     }
 
@@ -130,6 +194,7 @@ AmbientResult run_ambient_scenario(const Application& app,
       ++res.periods_ok;
     } else {
       ++res.periods_degraded;
+      if (displaced) ++res.periods_fault_degraded;
     }
     res.energy_j += cached_eval.total_energy_j * activity;
   }

@@ -17,6 +17,7 @@
 #include <cstddef>
 
 #include "core/evaluator.hpp"
+#include "fault/schedule.hpp"
 #include "sim/random.hpp"
 
 namespace holms::core {
@@ -26,6 +27,7 @@ enum class FaultPolicy { kStatic, kAdaptiveRemap };
 struct AmbientConfig {
   double duration_s = 3600.0;
   double tile_mtbf_s = 1800.0;    // per-tile mean time between failures
+  double tile_mttr_s = 0.0;       // mean time to repair (0 = permanent)
   // User activity states scale every task's cycles.
   double activity_low = 0.4;
   double activity_high = 1.0;
@@ -38,16 +40,36 @@ struct AmbientResult {
   std::size_t periods_ok = 0;        // deadline met and all tasks placed
   std::size_t periods_degraded = 0;  // ran, but missed the deadline
   std::size_t periods_failed = 0;    // some task had no live tile
+  // Of the degraded periods, how many missed their deadline while tasks were
+  // displaced from their design-time tiles by faults (as opposed to plain
+  // load pressure).  Always <= periods_degraded; the partition invariant
+  // periods_ok + periods_degraded + periods_failed == periods is unaffected.
+  std::size_t periods_fault_degraded = 0;
   double availability = 0.0;         // periods_ok / periods
   double energy_j = 0.0;
   std::size_t failures_injected = 0;
+  std::size_t repairs_applied = 0;   // tile-repair events consumed
   std::size_t remaps_performed = 0;
+};
+
+/// Optional inputs for the ambient scenario.
+struct AmbientOptions {
+  /// Shared fault schedule (Target::kTile, times in seconds, ids = tiles;
+  /// out-of-range ids throw).  Null derives a Poisson schedule from
+  /// AmbientConfig (tile_mtbf_s / tile_mttr_s / seed), which is what the
+  /// legacy 4-argument calls get.
+  const fault::FaultSchedule* schedule = nullptr;
+  /// Design-time mapping to stress (null = greedy mapping), e.g. a candidate
+  /// from explore() being scored for availability.
+  const noc::Mapping* initial_mapping = nullptr;
+  bool use_dvs = true;
 };
 
 /// Runs the ambient scenario under the given fault-handling policy.
 AmbientResult run_ambient_scenario(const Application& app,
                                    const Platform& platform,
                                    FaultPolicy policy,
-                                   const AmbientConfig& cfg);
+                                   const AmbientConfig& cfg,
+                                   const AmbientOptions& opts = {});
 
 }  // namespace holms::core

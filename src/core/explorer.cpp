@@ -126,12 +126,61 @@ ExploreResult explore(const Application& app, const Platform& platform,
       });
   exec::count("explore.candidates", jobs.size());
 
+  // Robustness pass: replay each (still feasible) candidate through R
+  // ambient fault replicas.  The replicas are independent schedules derived
+  // from (ambient.seed, replica) — candidate j's score never depends on the
+  // thread schedule, so thread-count invariance is preserved.
+  std::vector<double> availability(jobs.size(), 1.0);
+  if (opts.faults != nullptr && opts.faults->replicas > 0) {
+    const FaultScenario& fs = *opts.faults;
+    std::vector<fault::FaultSchedule> schedules;
+    schedules.reserve(fs.replicas);
+    fault::FaultSchedule::PoissonSpec spec;
+    spec.target = fault::Target::kTile;
+    spec.num_targets = platform.mesh.num_tiles();
+    spec.fail_rate = 1.0 / fs.ambient.tile_mtbf_s;
+    spec.repair_rate =
+        fs.ambient.tile_mttr_s > 0.0 ? 1.0 / fs.ambient.tile_mttr_s : 0.0;
+    spec.horizon = fs.ambient.duration_s;
+    for (std::size_t r = 0; r < fs.replicas; ++r) {
+      schedules.push_back(fault::FaultSchedule::poisson(
+          exec::stream_seed(fs.ambient.seed, r), spec));
+    }
+    const std::size_t total = jobs.size() * fs.replicas;
+    const std::vector<double> avail_runs = exec::parallel_transform<double>(
+        pool, total, [&](std::size_t i) {
+          const std::size_t j = i / fs.replicas;
+          const std::size_t r = i % fs.replicas;
+          if (!evals[j].feasible) return 1.0;  // deterministic skip
+          AmbientOptions aopts;
+          aopts.schedule = &schedules[r];
+          aopts.initial_mapping = &mappings[jobs[j].mapping];
+          aopts.use_dvs = jobs[j].use_dvs;
+          return run_ambient_scenario(app, platform, fs.policy, fs.ambient,
+                                      aopts)
+              .availability;
+        });
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r < fs.replicas; ++r) {
+        sum += avail_runs[j * fs.replicas + r];
+      }
+      availability[j] = sum / static_cast<double>(fs.replicas);
+    }
+    exec::count("explore.fault_replicas", total);
+  }
+
   out.evaluated = jobs.size();
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     DesignCandidate c;
     c.mapping = mappings[jobs[j].mapping];
     c.use_dvs = jobs[j].use_dvs;
     c.eval = std::move(evals[j]);
+    c.availability = availability[j];
+    if (opts.faults != nullptr &&
+        c.availability < opts.faults->min_availability) {
+      c.eval.feasible = false;  // robust-infeasible: can't meet uptime floor
+    }
     merge_candidate(out, best_energy, std::move(c));
   }
   std::sort(out.pareto.begin(), out.pareto.end(),

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/ambient.hpp"
 #include "core/evaluator.hpp"
 #include "sim/random.hpp"
 
@@ -29,6 +30,22 @@ struct DesignCandidate {
   noc::Mapping mapping;
   bool use_dvs = true;
   Evaluation eval;
+  /// Mean ambient availability across fault replicas (1.0 when exploration
+  /// ran without a FaultScenario).
+  double availability = 1.0;
+};
+
+/// Robustness-aware scoring: every candidate design is additionally replayed
+/// through `replicas` ambient fault scenarios (distinct schedules derived
+/// from `ambient.seed` via counter-based streams) and its mean availability
+/// must clear `min_availability` to stay feasible.  Replicas are priced on
+/// the same holms::exec pool as the base evaluations — they are just more
+/// candidates.
+struct FaultScenario {
+  AmbientConfig ambient{};
+  FaultPolicy policy = FaultPolicy::kAdaptiveRemap;
+  std::size_t replicas = 2;
+  double min_availability = 0.0;
 };
 
 struct ExploreOptions {
@@ -40,6 +57,7 @@ struct ExploreOptions {
   EvalCache* cache = nullptr;      // external cache (overrides use_cache);
                                    // shared by synthesize_platform trials
   exec::ThreadPool* pool = nullptr;  // external pool (overrides threads)
+  const FaultScenario* faults = nullptr;  // robustness-aware DSE (optional)
 };
 
 struct ExploreResult {

@@ -1,0 +1,56 @@
+#pragma once
+// Replay cursor over a FaultSchedule.
+//
+// A FaultInjector is a (schedule pointer, index) pair that a simulator polls
+// once per time step.  Polling applies every not-yet-applied event with
+// time <= now, in canonical schedule order, through a caller-supplied
+// callback — the simulator owns the semantics (what a dead link means), the
+// injector owns only the clock walk.  With a null schedule poll() is a single
+// predictable branch, so un-armed simulators pay nothing on the hot path.
+
+#include <cstddef>
+#include <utility>
+
+#include "fault/schedule.hpp"
+
+namespace holms::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultSchedule* schedule) : schedule_(schedule) {}
+
+  /// Re-targets the cursor (and rewinds it).
+  void reset(const FaultSchedule* schedule) {
+    schedule_ = schedule;
+    next_ = 0;
+  }
+
+  bool armed() const { return schedule_ != nullptr && !schedule_->empty(); }
+
+  /// True when every event has been applied.
+  bool exhausted() const {
+    return schedule_ == nullptr || next_ >= schedule_->events().size();
+  }
+
+  /// Applies every pending event with time <= now via fn(const FaultEvent&),
+  /// in schedule order.  Returns the number of events applied.
+  template <class Fn>
+  std::size_t poll(double now, Fn&& fn) {
+    if (schedule_ == nullptr) return 0;
+    const auto& ev = schedule_->events();
+    std::size_t applied = 0;
+    while (next_ < ev.size() && ev[next_].time <= now) {
+      fn(ev[next_]);
+      ++next_;
+      ++applied;
+    }
+    return applied;
+  }
+
+ private:
+  const FaultSchedule* schedule_ = nullptr;
+  std::size_t next_ = 0;
+};
+
+}  // namespace holms::fault

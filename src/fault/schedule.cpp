@@ -1,0 +1,86 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <tuple>
+
+#include "exec/rng_stream.hpp"
+#include "sim/random.hpp"
+
+namespace holms::fault {
+
+namespace {
+
+bool event_order(const FaultEvent& a, const FaultEvent& b) {
+  return std::tie(a.time, a.target, a.id, a.kind) <
+         std::tie(b.time, b.target, b.id, b.kind);
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::from_trace(std::vector<FaultEvent> events) {
+  for (const FaultEvent& e : events) {
+    if (!(e.time >= 0.0)) {
+      throw std::invalid_argument(
+          "FaultSchedule::from_trace: event time must be >= 0 and finite");
+    }
+  }
+  std::stable_sort(events.begin(), events.end(), event_order);
+  return FaultSchedule(std::move(events));
+}
+
+FaultSchedule FaultSchedule::poisson(std::uint64_t seed,
+                                     const PoissonSpec& spec) {
+  if (spec.fail_rate <= 0.0) {
+    throw std::invalid_argument("FaultSchedule::poisson: fail_rate must be > 0");
+  }
+  if (spec.repair_rate < 0.0) {
+    throw std::invalid_argument(
+        "FaultSchedule::poisson: repair_rate must be >= 0");
+  }
+  if (spec.horizon < 0.0) {
+    throw std::invalid_argument("FaultSchedule::poisson: horizon must be >= 0");
+  }
+  std::vector<FaultEvent> events;
+  for (std::size_t id = 0; id < spec.num_targets; ++id) {
+    // Per-target counter-derived stream: the target's event sequence depends
+    // only on (seed, id), never on how many other targets exist.
+    sim::Rng rng(exec::stream_seed(seed, id));
+    double t = 0.0;
+    bool up = true;
+    while (true) {
+      const double rate = up ? spec.fail_rate : spec.repair_rate;
+      if (rate <= 0.0) break;  // permanent failure: no repair leg
+      t += rng.exponential(rate);
+      if (t >= spec.horizon) break;
+      events.push_back(FaultEvent{
+          t, up ? FaultKind::kFail : FaultKind::kRepair, spec.target, id});
+      up = !up;
+    }
+  }
+  std::stable_sort(events.begin(), events.end(), event_order);
+  return FaultSchedule(std::move(events));
+}
+
+FaultSchedule FaultSchedule::merge(const FaultSchedule& a,
+                                   const FaultSchedule& b) {
+  std::vector<FaultEvent> events;
+  events.reserve(a.events_.size() + b.events_.size());
+  std::merge(a.events_.begin(), a.events_.end(), b.events_.begin(),
+             b.events_.end(), std::back_inserter(events), event_order);
+  return FaultSchedule(std::move(events));
+}
+
+std::uint64_t FaultSchedule::fingerprint() const {
+  std::uint64_t h = 0x6861756c746c6179ULL;  // arbitrary nonzero start
+  for (const FaultEvent& e : events_) {
+    h = exec::splitmix64(h ^ std::bit_cast<std::uint64_t>(e.time));
+    h = exec::splitmix64(h ^ (static_cast<std::uint64_t>(e.kind) |
+                              (static_cast<std::uint64_t>(e.target) << 8) |
+                              (static_cast<std::uint64_t>(e.id) << 16)));
+  }
+  return h;
+}
+
+}  // namespace holms::fault

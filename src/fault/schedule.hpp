@@ -1,0 +1,105 @@
+#pragma once
+// Seeded, replayable fault schedules shared by every HolMS layer.
+//
+// The paper's ambient-intelligence vision (§5) asks for systems that keep
+// operating "with limited resources and failing parts".  Prior to this layer
+// each simulator either assumed a permanently healthy substrate (NoC, MANET,
+// FGS) or rolled its own private failure clock (core::run_ambient_scenario).
+// `FaultSchedule` centralises failure modelling: a sorted, immutable list of
+// fail/repair events over abstract targets (links, nodes, tiles) that is
+//   * deterministic — built either from an explicit trace or from a seeded
+//     Poisson process, so the same (seed, spec) always yields the same
+//     events, bitwise;
+//   * layer-agnostic — event times are in the consumer's native unit
+//     (cycles for the NoC, seconds for MANET/FGS/ambient); the schedule
+//     itself never interprets them;
+//   * replayable — consumers walk it with a `FaultInjector` cursor, so one
+//     schedule can drive many independent runs (fault replicas in
+//     `core::explore()` are just more candidates).
+//
+// Simulators must stay fast when no faults are armed: the injector is a raw
+// pointer + index, and a null schedule means the hot path never branches on
+// fault state (see router.cpp's `faults_armed()` pattern).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace holms::fault {
+
+/// What happens to the target at the event time.
+enum class FaultKind : std::uint8_t {
+  kFail,    ///< target goes down
+  kRepair,  ///< target comes back up
+};
+
+/// What kind of component the event addresses.  The id namespace is defined
+/// by the consumer: for the NoC, kLink ids are Mesh2D undirected-link ids and
+/// kTile/kNode ids are tile ids; for MANET, kNode ids are node indices; the
+/// ambient scenario consumes kTile ids.
+enum class Target : std::uint8_t {
+  kLink,
+  kNode,
+  kTile,
+};
+
+/// One fail or repair event.  `time` is in the consumer's native unit.
+struct FaultEvent {
+  double time = 0.0;
+  FaultKind kind = FaultKind::kFail;
+  Target target = Target::kLink;
+  std::size_t id = 0;
+};
+
+/// Immutable, time-sorted sequence of fault events.
+///
+/// Construction validates and canonicalises the event order (time, then
+/// target, then id, then kind) so two schedules built from the same inputs
+/// compare and replay identically regardless of how the trace was assembled.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Builds a schedule from an explicit trace.  Events are sorted into
+  /// canonical order; negative times throw std::invalid_argument.
+  static FaultSchedule from_trace(std::vector<FaultEvent> events);
+
+  /// Parameters for a seeded Poisson fail/repair process over a set of
+  /// targets.  Each target alternates exponential(fail_rate) time-to-failure
+  /// and exponential(repair_rate) time-to-repair; repair_rate == 0 makes
+  /// failures permanent.
+  struct PoissonSpec {
+    Target target = Target::kLink;
+    std::size_t num_targets = 0;  ///< ids 0..num_targets-1
+    double fail_rate = 0.0;       ///< failures per unit time (> 0)
+    double repair_rate = 0.0;     ///< repairs per unit time (>= 0; 0 = permanent)
+    double horizon = 0.0;         ///< events generated in [0, horizon)
+  };
+
+  /// Generates a schedule from a seeded Poisson process.  Each target id gets
+  /// its own counter-derived RNG stream (exec::stream_seed(seed, id)), so the
+  /// schedule is invariant to target iteration order and to num_targets of
+  /// *other* specs: adding a target never perturbs another target's events.
+  static FaultSchedule poisson(std::uint64_t seed, const PoissonSpec& spec);
+
+  /// Concatenates two schedules (e.g. link faults + node faults) into one
+  /// canonical merged schedule.
+  static FaultSchedule merge(const FaultSchedule& a, const FaultSchedule& b);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Order-sensitive 64-bit digest of the full event list (times hashed
+  /// bitwise).  Two schedules with equal fingerprints replay identically;
+  /// used by tests and BENCH_fault.json to pin reproducibility.
+  std::uint64_t fingerprint() const;
+
+ private:
+  explicit FaultSchedule(std::vector<FaultEvent> events)
+      : events_(std::move(events)) {}
+
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace holms::fault

@@ -14,6 +14,18 @@ double distance(const Vec2& a, const Vec2& b) {
 
 Manet::Manet(const Params& p, sim::Rng rng) : p_(p), rng_(rng) {
   if (p_.num_nodes < 2) throw std::invalid_argument("Manet: need >= 2 nodes");
+  if (!(p_.radio.range_m > 0.0)) {
+    throw std::invalid_argument("Manet: radio range_m must be > 0");
+  }
+  if (!(p_.field_m > 0.0)) {
+    throw std::invalid_argument("Manet: field_m must be > 0");
+  }
+  if (!(p_.battery_j > 0.0)) {
+    throw std::invalid_argument("Manet: battery_j must be > 0");
+  }
+  if (!(p_.min_speed_mps >= 0.0) || p_.max_speed_mps < p_.min_speed_mps) {
+    throw std::invalid_argument("Manet: need 0 <= min_speed <= max_speed");
+  }
   nodes_.resize(p_.num_nodes);
   drained_this_tick_.assign(p_.num_nodes, 0.0);
   for (auto& n : nodes_) {
@@ -79,6 +91,13 @@ void Manet::drain(std::size_t i, double joules) {
     n.battery_j = 0.0;
     n.alive = false;
   }
+}
+
+void Manet::fail_node(std::size_t i) { nodes_.at(i).alive = false; }
+
+void Manet::repair_node(std::size_t i) {
+  auto& n = nodes_.at(i);
+  if (n.battery_j > 0.0) n.alive = true;
 }
 
 void Manet::charge_link(std::size_t i, std::size_t j, double bits) {

@@ -112,6 +112,14 @@ class Manet {
   /// Direct battery access for tests and failure injection.
   void drain(std::size_t i, double joules);
 
+  /// Crash-fault injection (fault::Target::kNode events): the node's radio
+  /// goes down but its battery keeps its charge, so unlike battery death the
+  /// fault is repairable.
+  void fail_node(std::size_t i);
+  /// Brings a crashed node back, unless its battery has since been declared
+  /// dead (battery death stays permanent).
+  void repair_node(std::size_t i);
+
  private:
   Params p_;
   std::vector<ManetNode> nodes_;

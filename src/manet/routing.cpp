@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
+#include "fault/injector.hpp"
 #include "sim/stats.hpp"
 
 namespace holms::manet {
@@ -99,15 +101,28 @@ std::vector<std::size_t> find_route(const Manet& net, Protocol p,
 
 LifetimeResult simulate_lifetime(Protocol p, const Manet::Params& params,
                                  const LifetimeConfig& cfg,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed,
+                                 const fault::FaultSchedule* faults) {
   sim::Rng rng(seed);
   Manet net(params, rng.fork());
+
+  if (faults != nullptr) {
+    for (const fault::FaultEvent& e : faults->events()) {
+      if (e.target == fault::Target::kNode && e.id >= net.size()) {
+        throw std::invalid_argument(
+            "simulate_lifetime: fault event node id out of range");
+      }
+    }
+  }
+  fault::FaultInjector injector(faults);
 
   // Persistent CBR flows between distinct random endpoints (paired across
   // protocols because the rng draws happen in a fixed order).
   struct FlowPair {
     std::size_t src, dst;
     std::vector<std::size_t> route;
+    std::size_t consecutive_fail = 0;  // failed repair attempts in a row
+    double next_repair_t = 0.0;        // backoff: no repair before this time
   };
   std::vector<FlowPair> flows;
   for (std::size_t f = 0; f < cfg.num_flows; ++f) {
@@ -129,6 +144,19 @@ LifetimeResult simulate_lifetime(Protocol p, const Manet::Params& params,
   const double packets_per_tick = cfg.packets_per_second * cfg.tick_s;
 
   while (t < cfg.max_time_s) {
+    // Injected crash/repair events land at tick boundaries (times in
+    // seconds); non-kNode events in a merged schedule are simply skipped.
+    injector.poll(t, [&](const fault::FaultEvent& e) {
+      if (e.target != fault::Target::kNode) return;
+      if (e.kind == fault::FaultKind::kFail) {
+        net.fail_node(e.id);
+        ++res.faults_applied;
+      } else {
+        net.repair_node(e.id);
+        ++res.repairs_applied;
+      }
+    });
+
     if (cfg.mobile) net.move(cfg.tick_s);
 
     // Idle-listening / sleep drain accrues every tick.
@@ -159,6 +187,10 @@ LifetimeResult simulate_lifetime(Protocol p, const Manet::Params& params,
       res.control_energy_j += before - after;
       for (auto& f : flows) {
         f.route = find_route(net, p, f.src, f.dst, cfg.packet_bits);
+        if (f.route.size() >= 2) {
+          f.consecutive_fail = 0;  // the periodic refresh healed the flow
+          f.next_repair_t = 0.0;
+        }
       }
     }
 
@@ -173,14 +205,36 @@ LifetimeResult simulate_lifetime(Protocol p, const Manet::Params& params,
           ok = net.connected(f.route[h], f.route[h + 1]);
         }
         if (!ok) {
+          if (t < f.next_repair_t) {
+            // Backing off after repeated failed repairs: don't flood the
+            // (likely fragmented) network again yet — the packet is lost.
+            ++res.packets_blackholed;
+            continue;
+          }
           // On-demand repair: one more discovery flood.
           ++res.route_discoveries;
+          ++res.route_repairs;
           net.charge_flood(cfg.control_packet_bits);
           res.control_energy_j +=
               cfg.control_packet_bits * 1e-9 * 50.0 *
               static_cast<double>(net.alive_count());  // approx accounting
           f.route = find_route(net, p, f.src, f.dst, cfg.packet_bits);
-          if (f.route.size() < 2) continue;  // unreachable this tick
+          if (f.route.size() < 2) {
+            ++res.repair_failures;
+            ++f.consecutive_fail;
+            if (f.consecutive_fail >= cfg.repair_retry_limit) {
+              // Bounded retry exhausted: exponential backoff, doubling per
+              // further failure, capped.
+              const double expo = static_cast<double>(
+                  f.consecutive_fail - cfg.repair_retry_limit);
+              f.next_repair_t =
+                  t + std::min(cfg.repair_backoff_s * std::pow(2.0, expo),
+                               cfg.repair_backoff_max_s);
+            }
+            continue;  // unreachable this tick
+          }
+          f.consecutive_fail = 0;
+          f.next_repair_t = 0.0;
         }
         for (std::size_t h = 0; h + 1 < f.route.size(); ++h) {
           net.charge_link(f.route[h], f.route[h + 1], cfg.packet_bits);

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/schedule.hpp"
 #include "manet/network.hpp"
 
 namespace holms::manet {
@@ -58,6 +59,16 @@ struct LifetimeConfig {
   double control_packet_bits = 512.0;  // ...each costs a network flood
   double dead_fraction = 0.2;          // lifetime = 20% of hosts dead
   bool mobile = true;
+  // Route repair with bounded retry + exponential backoff: when a relay dies
+  // mid-session a flow retries discovery immediately up to `repair_retry_limit`
+  // consecutive failures, then backs off exponentially (base
+  // `repair_backoff_s`, doubling per further failure, capped at
+  // `repair_backoff_max_s`) instead of flooding the fragmented network every
+  // packet.  Packets arriving during a backoff window are counted as
+  // blackholed, not retried.
+  std::size_t repair_retry_limit = 3;
+  double repair_backoff_s = 2.0;
+  double repair_backoff_max_s = 64.0;
 };
 
 struct LifetimeResult {
@@ -70,13 +81,21 @@ struct LifetimeResult {
   double control_energy_j = 0.0;    // flood energy spent on discovery
   double mean_residual_at_end = 0.0;
   double residual_stddev_at_end = 0.0;  // load-balance indicator
+  std::uint64_t route_repairs = 0;      // on-demand (non-periodic) discoveries
+  std::uint64_t repair_failures = 0;    // repairs that found no route
+  std::uint64_t packets_blackholed = 0; // dropped inside a backoff window
+  std::uint64_t faults_applied = 0;     // injected node-crash events
+  std::uint64_t repairs_applied = 0;    // injected node-repair events
 };
 
 /// Runs the lifetime experiment for one protocol on a fresh network drawn
 /// from `params` with the given seed (same seed => same topology/flows for
-/// every protocol, so comparisons are paired).
+/// every protocol, so comparisons are paired).  An optional shared
+/// `FaultSchedule` injects node crash/repair events (Target::kNode, times in
+/// seconds, ids = node indices; out-of-range ids throw).
 LifetimeResult simulate_lifetime(Protocol p, const Manet::Params& params,
                                  const LifetimeConfig& cfg,
-                                 std::uint64_t seed);
+                                 std::uint64_t seed,
+                                 const fault::FaultSchedule* faults = nullptr);
 
 }  // namespace holms::manet

@@ -1,5 +1,6 @@
 #include "noc/router.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "noc/taskgraph.hpp"
@@ -35,6 +36,242 @@ NocSim::NocSim(const Mesh2D& mesh, const Config& cfg, sim::Rng rng)
     for (auto& p : r.in) p.vc.resize(v);
     r.vc_owner.assign(kNumPorts * v, -1);
   }
+  if (cfg_.routing == RoutingAlgo::kFaultTolerant) rebuild_ft_tables();
+}
+
+void NocSim::arm_faults() {
+  if (!link_up_.empty()) return;
+  link_up_.assign(mesh_.num_links(), 1);
+  router_up_.assign(mesh_.num_tiles(), 1);
+}
+
+void NocSim::attach_fault_schedule(const fault::FaultSchedule* schedule) {
+  if (schedule != nullptr) {
+    for (const fault::FaultEvent& e : schedule->events()) {
+      const bool ok = e.target == fault::Target::kLink
+                          ? e.id < mesh_.num_undirected_links()
+                          : e.id < mesh_.num_tiles();
+      if (!ok) {
+        throw std::invalid_argument(
+            "NocSim::attach_fault_schedule: event id out of range");
+      }
+    }
+    arm_faults();
+  }
+  fault_schedule_ = schedule;
+  injector_.reset(schedule);
+}
+
+void NocSim::set_link_up(TileId t, Dir d, bool up) {
+  if (d == Dir::kLocal || t >= mesh_.num_tiles() || !mesh_.has_neighbor(t, d)) {
+    throw std::invalid_argument("NocSim::set_link_up: no such link");
+  }
+  arm_faults();
+  const TileId nb = mesh_.neighbor(t, d);
+  const std::uint8_t v = up ? 1 : 0;
+  const bool was_up = link_up_[mesh_.link_index(t, d)] != 0;
+  link_up_[mesh_.link_index(t, d)] = v;
+  link_up_[mesh_.link_index(nb, entry_port(d))] = v;
+  if (was_up && !up) {
+    // Drop worms currently allocated across either directed channel: their
+    // flits straddle (or are about to straddle) a link that no longer exists.
+    std::unordered_set<std::uint64_t> doomed;
+    const std::size_t vcs = cfg_.virtual_channels;
+    auto collect = [&](TileId router, Dir out) {
+      for (auto& port : routers_[router].in) {
+        for (std::size_t vi = 0; vi < vcs; ++vi) {
+          const VirtualChannel& vc = port.vc[vi];
+          if (vc.out_port == static_cast<int>(port_of(out)) &&
+              vc.cur_packet != 0) {
+            doomed.insert(vc.cur_packet);
+          }
+        }
+      }
+    };
+    collect(t, d);
+    collect(nb, entry_port(d));
+    purge_packets(doomed);
+  }
+  if (cfg_.routing == RoutingAlgo::kFaultTolerant) rebuild_ft_tables();
+}
+
+void NocSim::set_router_up(TileId t, bool up) {
+  if (t >= mesh_.num_tiles()) {
+    throw std::invalid_argument("NocSim::set_router_up: no such tile");
+  }
+  arm_faults();
+  const bool was_up = router_up_[t] != 0;
+  router_up_[t] = up ? 1 : 0;
+  if (was_up && !up) {
+    std::unordered_set<std::uint64_t> doomed;
+    const std::size_t vcs = cfg_.virtual_channels;
+    // Everything buffered in or allocated out of the dead router dies.
+    for (auto& port : routers_[t].in) {
+      for (std::size_t vi = 0; vi < vcs; ++vi) {
+        const VirtualChannel& vc = port.vc[vi];
+        if (vc.cur_packet != 0) doomed.insert(vc.cur_packet);
+        for (const Flit& fl : vc.buffer) doomed.insert(fl.packet);
+      }
+    }
+    // Plus worms allocated *into* it from the neighbors.
+    for (std::size_t op = 1; op < kNumPorts; ++op) {
+      const Dir toward_t = static_cast<Dir>(op);
+      if (!mesh_.has_neighbor(t, toward_t)) continue;
+      const TileId nb = mesh_.neighbor(t, toward_t);
+      const Dir nb_out = entry_port(toward_t);  // nb's port facing t
+      for (auto& port : routers_[nb].in) {
+        for (std::size_t vi = 0; vi < vcs; ++vi) {
+          const VirtualChannel& vc = port.vc[vi];
+          if (vc.out_port == static_cast<int>(port_of(nb_out)) &&
+              vc.cur_packet != 0) {
+            doomed.insert(vc.cur_packet);
+          }
+        }
+      }
+    }
+    // Plus packets still queued at the dead tile's source.
+    for (const Flit& fl : source_[t].queue) doomed.insert(fl.packet);
+    purge_packets(doomed);
+  }
+  if (cfg_.routing == RoutingAlgo::kFaultTolerant) rebuild_ft_tables();
+}
+
+void NocSim::apply_fault_event(const fault::FaultEvent& e) {
+  const bool up = e.kind == fault::FaultKind::kRepair;
+  if (e.target == fault::Target::kLink) {
+    const auto [t, d] = mesh_.undirected_link(e.id);
+    set_link_up(t, d, up);
+  } else {
+    set_router_up(e.id, up);
+  }
+  ++faults_applied_;
+}
+
+void NocSim::purge_packets(const std::unordered_set<std::uint64_t>& pids) {
+  if (pids.empty()) return;
+  const std::size_t vcs = cfg_.virtual_channels;
+  for (Router& r : routers_) {
+    for (std::size_t ip = 0; ip < kNumPorts; ++ip) {
+      for (std::size_t vi = 0; vi < vcs; ++vi) {
+        VirtualChannel& vc = r.in[ip].vc[vi];
+        if (vc.cur_packet != 0 && pids.count(vc.cur_packet)) {
+          if (vc.out_port >= 0) {
+            r.vc_owner[static_cast<std::size_t>(vc.out_port) * vcs +
+                       static_cast<std::size_t>(vc.out_vc)] = -1;
+          }
+          vc.out_port = -1;
+          vc.out_vc = -1;
+          vc.cur_packet = 0;
+          vc.head_stall = 0;
+        }
+        auto& buf = vc.buffer;
+        const std::size_t before = buf.size();
+        buf.erase(std::remove_if(buf.begin(), buf.end(),
+                                 [&](const Flit& fl) {
+                                   return pids.count(fl.packet) != 0;
+                                 }),
+                  buf.end());
+        // The front flit changed: the stall count belonged to the old head.
+        if (buf.size() != before) vc.head_stall = 0;
+      }
+    }
+  }
+  for (SourceState& src : source_) {
+    if (src.remaining > 0 && !src.queue.empty() &&
+        pids.count(src.queue.front().packet)) {
+      src.remaining = 0;  // the packet mid-stream into its VC is gone
+    }
+    src.queue.erase(std::remove_if(src.queue.begin(), src.queue.end(),
+                                   [&](const Flit& fl) {
+                                     return pids.count(fl.packet) != 0;
+                                   }),
+                    src.queue.end());
+  }
+  dropped_ += pids.size();
+}
+
+bool NocSim::move_legal(TileId t_from, Dir in_from, Dir move) const {
+  if (move == Dir::kLocal || move == in_from) return false;  // no 180° turns
+  if (!mesh_.has_neighbor(t_from, move)) return false;
+  if (!link_live(t_from, move) || !router_live(t_from) ||
+      !router_live(mesh_.neighbor(t_from, move))) {
+    return false;
+  }
+  if (in_from != Dir::kLocal) {
+    // Odd-even turn model (Chiu): EN/ES turns forbidden in even columns,
+    // NW/SW turns forbidden in odd columns.  The prohibited-turn set is
+    // static — independent of fault state — which is what keeps every
+    // reconfigured route table deadlock-free (DESIGN.md §5e).
+    const Dir prev = entry_port(in_from);  // direction of the previous hop
+    const bool even_col = mesh_.x_of(t_from) % 2 == 0;
+    if (prev == Dir::kEast && even_col &&
+        (move == Dir::kNorth || move == Dir::kSouth)) {
+      return false;
+    }
+    if ((prev == Dir::kNorth || prev == Dir::kSouth) && !even_col &&
+        move == Dir::kWest) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void NocSim::rebuild_ft_tables() {
+  const std::size_t T = mesh_.num_tiles();
+  ft_admit_.assign(T * T * kNumPorts, 0);
+  constexpr std::uint32_t kInf = 0xffffffffu;
+  std::vector<std::uint32_t> dist(T * kNumPorts);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(T * kNumPorts);
+  for (TileId dst = 0; dst < T; ++dst) {
+    // Reverse BFS from the destination over (tile, in_port) states: a state
+    // records through which port the worm *entered* the tile, because the
+    // turn model constrains the next move by the previous one.
+    std::fill(dist.begin(), dist.end(), kInf);
+    queue.clear();
+    if (router_live(dst)) {
+      for (std::size_t in = 0; in < kNumPorts; ++in) {
+        dist[dst * kNumPorts + in] = 0;
+        queue.push_back(static_cast<std::uint32_t>(dst * kNumPorts + in));
+      }
+    }
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const std::size_t state = queue[qi];
+      const TileId t_to = state / kNumPorts;
+      const Dir in_to = static_cast<Dir>(state % kNumPorts);
+      // kLocal entry states are injection-only: no move produces them.
+      if (in_to == Dir::kLocal || !mesh_.has_neighbor(t_to, in_to)) continue;
+      const Dir d_move = entry_port(in_to);  // the move that entered via in_to
+      const TileId t_from = mesh_.neighbor(t_to, in_to);
+      for (std::size_t in_from = 0; in_from < kNumPorts; ++in_from) {
+        if (!move_legal(t_from, static_cast<Dir>(in_from), d_move)) continue;
+        const std::size_t s2 = t_from * kNumPorts + in_from;
+        if (dist[s2] == kInf) {
+          dist[s2] = dist[state] + 1;
+          queue.push_back(static_cast<std::uint32_t>(s2));
+        }
+      }
+    }
+    std::uint8_t* admit = ft_admit_.data() + dst * T * kNumPorts;
+    for (TileId t = 0; t < T; ++t) {
+      for (std::size_t in = 0; in < kNumPorts; ++in) {
+        std::uint8_t mask = 0;
+        if (t == dst) {
+          mask = 1u << port_of(Dir::kLocal);
+        } else if (dist[t * kNumPorts + in] != kInf) {
+          const std::uint32_t d = dist[t * kNumPorts + in];
+          for (std::size_t m = 1; m < kNumPorts; ++m) {
+            const Dir dm = static_cast<Dir>(m);
+            if (!move_legal(t, static_cast<Dir>(in), dm)) continue;
+            const std::size_t s2 = mesh_.neighbor(t, dm) * kNumPorts +
+                                   port_of(entry_port(dm));
+            if (dist[s2] != kInf && dist[s2] + 1 == d) mask |= 1u << m;
+          }
+        }
+        admit[t * kNumPorts + in] = mask;
+      }
+    }
+  }
 }
 
 void NocSim::add_flow(const Flow& f) {
@@ -51,6 +288,14 @@ void NocSim::inject_phase() {
   for (const Flow& f : flows_) {
     if (rng_.bernoulli(f.packets_per_cycle)) {
       ++injected_;
+      if (faults_armed() && !router_live(f.src)) {
+        // The source tile's router is down: the packet is generated by the
+        // core but lost at the network interface.  The Bernoulli draw is
+        // consumed either way, so the injection sequence of healthy flows
+        // matches the fault-free run exactly.
+        ++dropped_;
+        continue;
+      }
       const std::uint64_t pid = next_packet_++;
       for (std::size_t i = 0; i < f.packet_flits; ++i) {
         Flit fl;
@@ -75,6 +320,7 @@ void NocSim::inject_phase() {
   // VC; a new packet only claims an idle, empty VC (atomic VC allocation).
   const std::size_t v = cfg_.virtual_channels;
   for (TileId t = 0; t < mesh_.num_tiles(); ++t) {
+    if (faults_armed() && !router_live(t)) continue;  // dead NI streams nothing
     SourceState& src = source_[t];
     auto& port = routers_[t].in[port_of(Dir::kLocal)];
     for (;;) {
@@ -109,9 +355,16 @@ void NocSim::inject_phase() {
   }
 }
 
-bool NocSim::route_admits(TileId here, TileId dst, Dir out) const {
+bool NocSim::route_admits(TileId here, TileId dst, Dir out,
+                          Dir in_port) const {
   if (cfg_.routing == RoutingAlgo::kXY) {
     return mesh_.xy_next(here, dst) == out;
+  }
+  if (cfg_.routing == RoutingAlgo::kFaultTolerant) {
+    const std::uint8_t mask =
+        ft_admit_[(dst * mesh_.num_tiles() + here) * kNumPorts +
+                  port_of(in_port)];
+    return (mask >> port_of(out)) & 1u;
   }
   // West-first turn model: any westward progress must happen before other
   // turns, so while dst is to the west only kWest is admissible; afterwards
@@ -149,6 +402,7 @@ int NocSim::free_downstream_vc(TileId router, Dir out) const {
 
 void NocSim::allocate_phase() {
   const std::size_t v = cfg_.virtual_channels;
+  std::unordered_set<std::uint64_t> stall_drops;
   for (TileId t = 0; t < mesh_.num_tiles(); ++t) {
     Router& r = routers_[t];
     for (std::size_t ip = 0; ip < kNumPorts; ++ip) {
@@ -165,7 +419,12 @@ void NocSim::allocate_phase() {
         int best_op = -1, best_vc = -1;
         for (std::size_t op = 0; op < kNumPorts; ++op) {
           const Dir out = static_cast<Dir>(op);
-          if (!route_admits(t, head.dst, out)) continue;
+          if (!route_admits(t, head.dst, out, static_cast<Dir>(ip))) continue;
+          if (faults_armed() && out != Dir::kLocal &&
+              (!link_live(t, out) ||
+               !router_live(mesh_.neighbor(t, out)))) {
+            continue;  // never allocate onto a dead link or into a dead router
+          }
           const int vout = free_downstream_vc(t, out);
           if (vout < 0) continue;
           if (best_op < 0) {
@@ -179,15 +438,23 @@ void NocSim::allocate_phase() {
             break;
           }
         }
-        if (best_op < 0) continue;
+        if (best_op < 0) {
+          if (faults_armed() && ++vc.head_stall >= cfg_.head_stall_drop_cycles) {
+            stall_drops.insert(head.packet);  // blackholed — give up on it
+          }
+          continue;
+        }
         vc.out_port = best_op;
         vc.out_vc = best_vc;
+        vc.cur_packet = head.packet;
+        vc.head_stall = 0;
         r.vc_owner[static_cast<std::size_t>(best_op) * v +
                    static_cast<std::size_t>(best_vc)] =
             static_cast<int>(ip * v + vi);
       }
     }
   }
+  purge_packets(stall_drops);
 }
 
 void NocSim::switch_phase() {
@@ -248,6 +515,11 @@ void NocSim::switch_phase() {
       energy_pj_ += cfg_.energy.e_link_pj * cfg_.flit_bits;
       ++flit_hops_;
       const TileId nb = mesh_.neighbor(mv.router, out);
+      if (cfg_.routing == RoutingAlgo::kFaultTolerant &&
+          (fl.type == FlitType::kHead || fl.type == FlitType::kHeadTail) &&
+          mesh_.hops(nb, fl.dst) >= mesh_.hops(mv.router, fl.dst)) {
+        ++reroute_hops_;  // detour: this hop did not close the distance
+      }
       routers_[nb]
           .in[port_of(entry_port(out))]
           .vc[static_cast<std::size_t>(vout)]
@@ -258,12 +530,19 @@ void NocSim::switch_phase() {
                  static_cast<std::size_t>(vout)] = -1;
       vc.out_port = -1;
       vc.out_vc = -1;
+      vc.cur_packet = 0;
     }
   }
 }
 
 void NocSim::run(std::uint64_t cycles) {
   for (std::uint64_t c = 0; c < cycles; ++c) {
+    if (fault_schedule_ != nullptr) {
+      injector_.poll(static_cast<double>(cycle_),
+                     [this](const fault::FaultEvent& e) {
+                       apply_fault_event(e);
+                     });
+    }
     inject_phase();
     allocate_phase();
     switch_phase();
@@ -302,6 +581,13 @@ NocStats NocSim::stats() const {
   const double bits_delivered = payload_flits * cfg_.flit_bits;
   s.energy_per_bit_pj = bits_delivered > 0.0 ? energy_pj_ / bits_delivered
                                              : 0.0;
+  s.packets_dropped = dropped_;
+  s.delivery_ratio =
+      injected_ ? static_cast<double>(delivered_) /
+                      static_cast<double>(injected_)
+                : 1.0;
+  s.reroute_hops = reroute_hops_;
+  s.faults_applied = faults_applied_;
   return s;
 }
 

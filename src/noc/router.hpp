@@ -14,8 +14,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <unordered_set>
 #include <vector>
 
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
 #include "noc/topology.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
@@ -51,14 +54,32 @@ struct NocStats {
   double energy_joules = 0.0;
   /// Energy per delivered *payload* bit (one flit per packet is the header).
   double energy_per_bit_pj = 0.0;
+  /// Packets lost to faults: worms purged off failing links/routers, packets
+  /// sourced at a dead router, and heads that exceeded the stall-drop budget
+  /// (blackholed by a non-fault-tolerant routing function).
+  std::uint64_t packets_dropped = 0;
+  /// delivered / injected (1.0 when nothing was injected).
+  double delivery_ratio = 1.0;
+  /// Non-productive head-flit hops taken by kFaultTolerant detours (hops
+  /// that did not reduce the Manhattan distance to the destination).
+  std::uint64_t reroute_hops = 0;
+  /// Fault-schedule events applied so far.
+  std::uint64_t faults_applied = 0;
 };
 
 /// Routing function used by the routers.
 enum class RoutingAlgo {
-  kXY,         // deterministic dimension-ordered (deadlock-free)
-  kWestFirst,  // partially adaptive turn-model routing (deadlock-free):
-               // all westward hops first, then adapt among the productive
-               // east/north/south outputs by downstream buffer space
+  kXY,            // deterministic dimension-ordered (deadlock-free)
+  kWestFirst,     // partially adaptive turn-model routing (deadlock-free):
+                  // all westward hops first, then adapt among the productive
+                  // east/north/south outputs by downstream buffer space
+  kFaultTolerant, // odd-even turn-model adaptive routing over the *live*
+                  // subgraph: per-destination BFS route tables rebuilt on
+                  // every fault/repair event detour around dead links and
+                  // routers, possibly non-minimally (counted as
+                  // reroute_hops), while the static odd-even turn
+                  // prohibitions keep every reachable configuration
+                  // deadlock-free (DESIGN.md §5e)
 };
 
 /// The cycle-driven mesh network.
@@ -70,6 +91,12 @@ class NocSim {
     double flit_bits = 32.0;
     EnergyModel energy{};
     RoutingAlgo routing = RoutingAlgo::kXY;
+    /// Anti-wedge safety valve, consulted only once faults are armed: a head
+    /// flit that fails allocation this many consecutive cycles (its
+    /// destination unreachable or its only admissible link dead) has its
+    /// whole packet dropped and counted, so a blackhole never wedges the
+    /// cycle loop or starves the VCs behind it.
+    std::uint32_t head_stall_drop_cycles = 1024;
   };
 
   NocSim(const Mesh2D& mesh, const Config& cfg, sim::Rng rng);
@@ -82,11 +109,35 @@ class NocSim {
   NocStats stats() const;
   std::uint64_t now() const { return cycle_; }
 
+  /// Arms fault injection from a shared schedule.  Event times are cycles;
+  /// Target::kLink ids are Mesh2D undirected-link ids, Target::kNode /
+  /// Target::kTile ids are tile ids (both address the tile's router).
+  /// Out-of-range ids throw std::invalid_argument.  The schedule must
+  /// outlive the simulator.
+  void attach_fault_schedule(const fault::FaultSchedule* schedule);
+
+  /// Manual fault control (also used by the schedule replay): fails/repairs
+  /// the physical link leaving `t` in direction `d` — both directed channels
+  /// — purging in-flight worms on failure.
+  void set_link_up(TileId t, Dir d, bool up);
+  /// Fails/repairs a tile's router, purging everything buffered in or
+  /// allocated into it on failure.
+  void set_router_up(TileId t, bool up);
+
+  bool link_up(TileId t, Dir d) const {
+    return link_up_.empty() || link_up_[mesh_.link_index(t, d)] != 0;
+  }
+  bool router_up(TileId t) const {
+    return router_up_.empty() || router_up_[t] != 0;
+  }
+
  private:
   struct VirtualChannel {
     std::deque<Flit> buffer;
     int out_port = -1;  // output port the resident worm holds (-1 free)
     int out_vc = -1;    // downstream VC the worm was allocated
+    std::uint64_t cur_packet = 0;  // packet id of the allocated worm (0 none)
+    std::uint32_t head_stall = 0;  // consecutive failed head allocations
   };
 
   struct InputPort {
@@ -111,10 +162,31 @@ class NocSim {
   void inject_phase();
   void allocate_phase();
   void switch_phase();
-  bool route_admits(TileId here, TileId dst, Dir out) const;
+  bool route_admits(TileId here, TileId dst, Dir out, Dir in_port) const;
   /// Free downstream VC index at neighbor entry port, or -1.
   int free_downstream_vc(TileId router, Dir out) const;
   bool downstream_vc_has_space(TileId router, Dir out, int vc) const;
+
+  // --- fault machinery (inert until armed: link_up_ stays empty) ---
+  bool faults_armed() const { return !link_up_.empty(); }
+  void arm_faults();
+  bool link_live(TileId t, Dir d) const {
+    return link_up_.empty() || link_up_[mesh_.link_index(t, d)] != 0;
+  }
+  bool router_live(TileId t) const {
+    return router_up_.empty() || router_up_[t] != 0;
+  }
+  void apply_fault_event(const fault::FaultEvent& e);
+  /// Removes every trace of the given packets: VC allocations (via
+  /// cur_packet), buffered flits, and source-queue flits; counts them as
+  /// dropped.
+  void purge_packets(const std::unordered_set<std::uint64_t>& pids);
+  /// True iff the odd-even turn model admits moving in direction `move` out
+  /// of `t_from` for a worm that entered via `in_from`, over live links only.
+  bool move_legal(TileId t_from, Dir in_from, Dir move) const;
+  /// Rebuilds the kFaultTolerant per-destination admit masks (BFS over the
+  /// (tile, in_port) state graph on live links honoring the turn model).
+  void rebuild_ft_tables();
 
   const Mesh2D& mesh_;
   Config cfg_;
@@ -125,8 +197,17 @@ class NocSim {
   std::uint64_t cycle_ = 0;
   std::uint64_t next_packet_ = 1;
 
+  const fault::FaultSchedule* fault_schedule_ = nullptr;
+  fault::FaultInjector injector_;
+  std::vector<std::uint8_t> link_up_;    // per directed link; empty = armed off
+  std::vector<std::uint8_t> router_up_;  // per tile; empty = armed off
+  // kFaultTolerant admit masks: [(dst*T + tile)*kNumPorts + in_port] -> 5-bit
+  // output-direction mask.  Rebuilt only on fault/repair events.
+  std::vector<std::uint8_t> ft_admit_;
+
   std::uint64_t injected_ = 0, delivered_ = 0, flit_hops_ = 0;
   std::uint64_t flits_ejected_ = 0;
+  std::uint64_t dropped_ = 0, reroute_hops_ = 0, faults_applied_ = 0;
   double energy_pj_ = 0.0;
   sim::OnlineStats latency_;
   sim::Histogram latency_hist_{0.0, 4096.0, 4096};

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace holms::noc {
@@ -110,6 +111,29 @@ class Mesh2D {
   /// loads computed by either agree slot for slot.
   std::size_t link_index(TileId from, Dir d) const {
     return from * 4 + (static_cast<std::size_t>(d) - 1);
+  }
+
+  /// Number of physical (undirected) inter-tile links: (w-1)*h horizontal +
+  /// w*(h-1) vertical.  This is the id namespace fault::FaultSchedule uses
+  /// for Target::kLink events — a physical link failing takes out both
+  /// directed channels at once.
+  std::size_t num_undirected_links() const {
+    return (w_ - 1) * h_ + w_ * (h_ - 1);
+  }
+
+  /// Canonical (tile, direction) endpoint of undirected link `id`:
+  /// horizontal links first (row-major, East from their west endpoint), then
+  /// vertical links (row-major, South from their north endpoint).
+  std::pair<TileId, Dir> undirected_link(std::size_t id) const {
+    const std::size_t horizontal = (w_ - 1) * h_;
+    if (id < horizontal) {
+      return {tile_at(id % (w_ - 1), id / (w_ - 1)), Dir::kEast};
+    }
+    id -= horizontal;
+    if (id < w_ * (h_ - 1)) {
+      return {tile_at(id % w_, id / w_), Dir::kSouth};
+    }
+    throw std::out_of_range("Mesh2D::undirected_link: bad link id");
   }
 
  private:

@@ -3,8 +3,37 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace holms::streaming {
+
+SlotLossTrace::SlotLossTrace(const fault::FaultSchedule* schedule,
+                             double slot_s, double nominal_loss,
+                             double faulty_loss)
+    : injector_(schedule), slot_s_(slot_s), nominal_(nominal_loss),
+      faulty_(faulty_loss) {
+  if (!(slot_s > 0.0)) {
+    throw std::invalid_argument("SlotLossTrace: slot_s must be > 0");
+  }
+  if (!(nominal_loss >= 0.0 && nominal_loss <= 1.0) ||
+      !(faulty_loss >= 0.0 && faulty_loss <= 1.0)) {
+    throw std::invalid_argument("SlotLossTrace: loss must be in [0, 1]");
+  }
+}
+
+double SlotLossTrace::loss_for_slot(std::size_t slot) {
+  // Apply every event up to the start of this slot; the active-fault count
+  // is what's left standing.
+  injector_.poll(static_cast<double>(slot) * slot_s_,
+                 [this](const fault::FaultEvent& e) {
+                   if (e.kind == fault::FaultKind::kFail) {
+                     ++active_faults_;
+                   } else if (active_faults_ > 0) {
+                     --active_faults_;
+                   }
+                 });
+  return active_faults_ > 0 ? faulty_ : nominal_;
+}
 
 ChannelTrace::ChannelTrace(sim::Rng rng, double good_bps, double mid_bps,
                            double bad_bps)
@@ -43,22 +72,28 @@ double psnr_at_rate(const FgsConfig& cfg, double decoded_bps) {
 struct ClientState {
   sim::OnlineStats psnr;
   sim::OnlineStats load;
+  sim::OnlineStats loss;
+  sim::OnlineStats shed;
   double rx_bits = 0.0;
   double wasted_bits = 0.0;
   double rx_energy_j = 0.0;
   double cpu_energy_j = 0.0;
   double min_psnr = std::numeric_limits<double>::infinity();
   std::size_t base_misses = 0;
+  double loss_ewma = 0.0;  // sustained-loss estimate driving the ladder
 };
 
-/// One client's slot under the given policy and channel share.
+/// One client's slot under the given policy, channel share, and loss
+/// fraction.
 void process_slot(FgsPolicy policy, const FgsConfig& cfg,
-                  dvfs::Processor& cpu, double capacity_bps,
+                  dvfs::Processor& cpu, double capacity_bps, double loss,
                   ClientState& st) {
   const double max_stream_bps = cfg.base_layer_bps + cfg.max_enhancement_bps;
+  const bool feedback = policy == FgsPolicy::kClientFeedback ||
+                        policy == FgsPolicy::kGracefulDegradation;
 
   // --- client advertises its decoding aptitude ---
-  if (policy == FgsPolicy::kClientFeedback) {
+  if (feedback) {
     const double expected_bps = std::min(capacity_bps, max_stream_bps);
     const double needed_cycles = expected_bps * cfg.slot_s *
                                  cfg.decode_cycles_per_bit /
@@ -76,20 +111,59 @@ void process_slot(FgsPolicy policy, const FgsConfig& cfg,
   const double aptitude_bits =
       cpu.current().frequency_hz * cfg.slot_s / cfg.decode_cycles_per_bit;
 
+  // --- degradation ladder (graceful only): shed enhancement, protect base ---
+  double shed = 0.0, fec_margin = 0.0;
+  if (policy == FgsPolicy::kGracefulDegradation) {
+    shed = std::clamp(cfg.loss_shed_gain * st.loss_ewma, 0.0, 1.0);
+    if (st.loss_ewma >= cfg.base_only_loss_threshold) shed = 1.0;
+    // Repetition FEC sized so base survives the estimated loss:
+    // (1+m)(1-L) >= 1  =>  m >= L/(1-L), capped.
+    fec_margin = std::min(
+        st.loss_ewma / std::max(1.0 - st.loss_ewma, 1e-9), cfg.base_fec_cap);
+  }
+
   // --- server picks the send rate ---
   double send_bps;
-  if (policy == FgsPolicy::kClientFeedback) {
+  double base_sent_bps = cfg.base_layer_bps;
+  if (policy == FgsPolicy::kGracefulDegradation) {
+    const double cap =
+        std::min({capacity_bps, max_stream_bps, aptitude_bits / cfg.slot_s});
+    base_sent_bps = std::min(cfg.base_layer_bps * (1.0 + fec_margin), cap);
+    const double enh_budget_bps = cfg.max_enhancement_bps * (1.0 - shed);
+    send_bps =
+        base_sent_bps + std::min(enh_budget_bps,
+                                 std::max(0.0, cap - base_sent_bps));
+  } else if (policy == FgsPolicy::kClientFeedback) {
     send_bps =
         std::min({capacity_bps, max_stream_bps, aptitude_bits / cfg.slot_s});
   } else {
     send_bps = std::min(capacity_bps, max_stream_bps);
   }
-  const double rx_bits = send_bps * cfg.slot_s;
+  const double sent_bits = send_bps * cfg.slot_s;
+
+  // --- channel loss ---
+  // Graceful degradation marks enhancement packets droppable, so loss
+  // consumes the enhancement first, then eats into the (FEC-protected) base;
+  // every other policy loses bits uniformly across the stream.
+  const double lost_bits = loss * sent_bits;
+  const double rx_bits = sent_bits - lost_bits;  // what reaches the radio
+  double useful_bits;  // arrived bits that carry decodable video
+  const double base_target_bits = cfg.base_layer_bps * cfg.slot_s;
+  if (policy == FgsPolicy::kGracefulDegradation) {
+    const double base_sent_bits = base_sent_bps * cfg.slot_s;
+    const double enh_sent_bits = sent_bits - base_sent_bits;
+    const double enh_lost = std::min(lost_bits, enh_sent_bits);
+    const double base_arrived = base_sent_bits - (lost_bits - enh_lost);
+    const double base_usable = std::min(base_arrived, base_target_bits);
+    useful_bits = base_usable + (enh_sent_bits - enh_lost);
+  } else {
+    useful_bits = rx_bits;
+  }
 
   // --- client receives and decodes ---
-  const double decodable_bits = std::min(rx_bits, aptitude_bits);
+  const double decodable_bits = std::min(useful_bits, aptitude_bits);
   st.rx_bits += rx_bits;
-  st.wasted_bits += rx_bits - decodable_bits;
+  st.wasted_bits += rx_bits - decodable_bits;  // incl. surviving FEC copies
   st.rx_energy_j += cfg.rx_nj_per_bit * 1e-9 * rx_bits;
 
   const double decode_cycles = decodable_bits * cfg.decode_cycles_per_bit;
@@ -100,11 +174,15 @@ void process_slot(FgsPolicy policy, const FgsConfig& cfg,
       0.25 * cpu.model().total_power(cpu.current()) * idle_s;
 
   st.load.add(aptitude_bits > 0.0 ? rx_bits / aptitude_bits : 0.0);
+  st.loss.add(loss);
+  st.shed.add(shed);
   const double decoded_bps = decodable_bits / cfg.slot_s;
   if (decoded_bps < cfg.base_layer_bps) ++st.base_misses;
   const double psnr = psnr_at_rate(cfg, decoded_bps);
   st.psnr.add(psnr);
   st.min_psnr = std::min(st.min_psnr, psnr);
+  st.loss_ewma =
+      cfg.loss_ewma_alpha * loss + (1.0 - cfg.loss_ewma_alpha) * st.loss_ewma;
 }
 
 FgsReport make_report(const ClientState& st, std::size_t slots) {
@@ -119,6 +197,8 @@ FgsReport make_report(const ClientState& st, std::size_t slots) {
   rep.wasted_rx_fraction =
       st.rx_bits > 0.0 ? st.wasted_bits / st.rx_bits : 0.0;
   rep.base_layer_misses = st.base_misses;
+  rep.mean_loss = st.loss.count() ? st.loss.mean() : 0.0;
+  rep.mean_enhancement_shed = st.shed.count() ? st.shed.mean() : 0.0;
   return rep;
 }
 
@@ -126,20 +206,22 @@ FgsReport make_report(const ClientState& st, std::size_t slots) {
 
 FgsReport run_fgs_session(FgsPolicy policy, const FgsConfig& cfg,
                           dvfs::Processor& client_cpu, ChannelTrace& channel,
-                          std::size_t slots) {
+                          std::size_t slots, SlotLossTrace* loss) {
   if (policy == FgsPolicy::kNonAdaptive) {
     client_cpu.set_level(client_cpu.num_points() - 1);
   }
   ClientState st;
   for (std::size_t s = 0; s < slots; ++s) {
-    process_slot(policy, cfg, client_cpu, channel.next_capacity_bps(), st);
+    const double l = loss != nullptr ? loss->loss_for_slot(s) : 0.0;
+    process_slot(policy, cfg, client_cpu, channel.next_capacity_bps(), l, st);
   }
   return make_report(st, slots);
 }
 
 AdhocReport run_fgs_adhoc(FgsPolicy policy, const FgsConfig& cfg,
                           std::vector<dvfs::Processor>& clients,
-                          ChannelTrace& shared_channel, std::size_t slots) {
+                          ChannelTrace& shared_channel, std::size_t slots,
+                          SlotLossTrace* loss) {
   AdhocReport rep;
   if (clients.empty()) return rep;
   if (policy == FgsPolicy::kNonAdaptive) {
@@ -152,8 +234,9 @@ AdhocReport run_fgs_adhoc(FgsPolicy policy, const FgsConfig& cfg,
     // contend for the same spectrum).
     const double share = shared_channel.next_capacity_bps() /
                          static_cast<double>(clients.size());
+    const double l = loss != nullptr ? loss->loss_for_slot(s) : 0.0;
     for (std::size_t c = 0; c < clients.size(); ++c) {
-      process_slot(policy, cfg, clients[c], share, states[c]);
+      process_slot(policy, cfg, clients[c], share, l, states[c]);
     }
   }
   rep.min_psnr_db = std::numeric_limits<double>::infinity();

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "dvfs/dvfs.hpp"
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
 
@@ -29,6 +31,12 @@ namespace holms::streaming {
 enum class FgsPolicy {
   kNonAdaptive,      // server sends max enhancement; client at max frequency
   kClientFeedback,   // [28]: per-slot aptitude feedback + client DVFS
+  kGracefulDegradation,  // kClientFeedback + loss-driven degradation ladder:
+                         // under sustained loss the server sheds FGS
+                         // enhancement bits first and spends part of the
+                         // freed budget on base-layer repetition (FEC
+                         // margin), dropping to base-only under severe loss
+                         // and recovering as the channel heals
 };
 
 struct FgsConfig {
@@ -42,6 +50,36 @@ struct FgsConfig {
   // Quality model: PSNR grows logarithmically in rate above the base layer.
   double psnr_base_db = 30.0;
   double psnr_gain_db_per_doubling = 2.8;
+  // Graceful-degradation ladder (kGracefulDegradation only).  The loss EWMA
+  // tracks sustained channel loss; the shed fraction of the enhancement
+  // budget grows `loss_shed_gain` times faster than the EWMA; above
+  // `base_only_loss_threshold` only the base layer is sent; the base layer
+  // is protected with a repetition-FEC margin of loss/(1-loss), capped at
+  // `base_fec_cap` extra copies.
+  double loss_ewma_alpha = 0.3;
+  double loss_shed_gain = 2.0;
+  double base_only_loss_threshold = 0.5;
+  double base_fec_cap = 1.0;
+};
+
+/// Per-slot packet-loss fraction derived from a shared FaultSchedule (event
+/// times in seconds): while any scheduled fault is active the channel loses
+/// `faulty_loss` of the bits in flight, otherwise `nominal_loss`.  Slots must
+/// be queried in increasing order (replay cursor).
+class SlotLossTrace {
+ public:
+  SlotLossTrace(const fault::FaultSchedule* schedule, double slot_s,
+                double nominal_loss = 0.0, double faulty_loss = 0.3);
+
+  /// Loss fraction for slot `slot` (slots queried monotonically).
+  double loss_for_slot(std::size_t slot);
+
+ private:
+  fault::FaultInjector injector_;
+  double slot_s_;
+  double nominal_;
+  double faulty_;
+  std::size_t active_faults_ = 0;
 };
 
 /// Markov-modulated wireless channel capacity per slot (three states).
@@ -68,12 +106,16 @@ struct FgsReport {
   double wasted_rx_fraction = 0.0;     // received bits never decoded
   std::size_t base_layer_misses = 0;   // slots where BL couldn't be decoded
   std::size_t slots = 0;
+  double mean_loss = 0.0;              // mean channel-loss fraction seen
+  double mean_enhancement_shed = 0.0;  // mean shed fraction (graceful only)
 };
 
-/// Runs one streaming session for `slots` timeslots.
+/// Runs one streaming session for `slots` timeslots.  An optional loss trace
+/// injects per-slot channel loss; graceful degradation sheds enhancement
+/// before the base layer, every other policy loses bits uniformly.
 FgsReport run_fgs_session(FgsPolicy policy, const FgsConfig& cfg,
                           dvfs::Processor& client_cpu, ChannelTrace& channel,
-                          std::size_t slots);
+                          std::size_t slots, SlotLossTrace* loss = nullptr);
 
 /// Distributed (ad hoc mode, §4.1) streaming: several peer-to-peer streams
 /// share one wireless medium.  Each slot the channel capacity is divided
@@ -88,6 +130,7 @@ struct AdhocReport {
 
 AdhocReport run_fgs_adhoc(FgsPolicy policy, const FgsConfig& cfg,
                           std::vector<dvfs::Processor>& clients,
-                          ChannelTrace& shared_channel, std::size_t slots);
+                          ChannelTrace& shared_channel, std::size_t slots,
+                          SlotLossTrace* loss = nullptr);
 
 }  // namespace holms::streaming

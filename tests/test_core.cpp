@@ -359,8 +359,64 @@ TEST(Ambient, AccountingIsConsistent) {
   const AmbientResult r = run_ambient_scenario(
       app, plat, FaultPolicy::kAdaptiveRemap, quick_ambient());
   EXPECT_EQ(r.periods, r.periods_ok + r.periods_degraded + r.periods_failed);
+  // Fault-displaced degradation is a strict subset of degradation: the
+  // partition above is unaffected by the finer-grained counter.
+  EXPECT_LE(r.periods_fault_degraded, r.periods_degraded);
   EXPECT_GT(r.energy_j, 0.0);
   EXPECT_LE(r.availability, 1.0);
+}
+
+TEST(Ambient, SharedScheduleReplaysIdentically) {
+  const Application app = small_app();
+  const Platform plat = Platform::homogeneous(3, 3);
+  holms::fault::FaultSchedule::PoissonSpec spec;
+  spec.target = holms::fault::Target::kTile;
+  spec.num_targets = plat.mesh.num_tiles();
+  spec.fail_rate = 1.0 / 400.0;
+  spec.repair_rate = 1.0 / 150.0;
+  spec.horizon = 600.0;
+  const auto sched = holms::fault::FaultSchedule::poisson(3, spec);
+  AmbientOptions opts;
+  opts.schedule = &sched;
+  const AmbientResult a = run_ambient_scenario(
+      app, plat, FaultPolicy::kAdaptiveRemap, quick_ambient(), opts);
+  const AmbientResult b = run_ambient_scenario(
+      app, plat, FaultPolicy::kAdaptiveRemap, quick_ambient(), opts);
+  EXPECT_EQ(a.periods_ok, b.periods_ok);
+  EXPECT_EQ(a.periods_degraded, b.periods_degraded);
+  EXPECT_EQ(a.periods_fault_degraded, b.periods_fault_degraded);
+  EXPECT_EQ(a.periods_failed, b.periods_failed);
+  EXPECT_EQ(a.failures_injected, b.failures_injected);
+  EXPECT_EQ(a.repairs_applied, b.repairs_applied);
+  EXPECT_EQ(a.remaps_performed, b.remaps_performed);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_DOUBLE_EQ(a.availability, b.availability);
+}
+
+TEST(Ambient, RepairRestoresDesignMapping) {
+  // One tile in use fails and later comes back: the adaptive policy must
+  // remap away (displacing the design mapping) and then restore it once the
+  // design-time tile is whole again — two remaps, one failure, one repair.
+  const Application app = small_app();
+  const Platform plat = Platform::homogeneous(3, 3);
+  const holms::noc::Mapping design{0, 1, 2, 3};
+  const auto sched = holms::fault::FaultSchedule::from_trace({
+      {60.0, holms::fault::FaultKind::kFail, holms::fault::Target::kTile, 0},
+      {120.0, holms::fault::FaultKind::kRepair, holms::fault::Target::kTile,
+       0},
+  });
+  AmbientConfig cfg = quick_ambient();
+  cfg.duration_s = 300.0;
+  AmbientOptions opts;
+  opts.schedule = &sched;
+  opts.initial_mapping = &design;
+  const AmbientResult r = run_ambient_scenario(
+      app, plat, FaultPolicy::kAdaptiveRemap, cfg, opts);
+  EXPECT_EQ(r.failures_injected, 1u);
+  EXPECT_EQ(r.repairs_applied, 1u);
+  EXPECT_EQ(r.remaps_performed, 2u);  // displace + restore
+  EXPECT_EQ(r.periods_failed, 0u);    // spare tiles always available
+  EXPECT_EQ(r.periods, r.periods_ok + r.periods_degraded + r.periods_failed);
 }
 
 TEST(Ambient, NoFailuresMeansFullAvailability) {

@@ -1,0 +1,480 @@
+// Cross-layer fault injection tests (holms::fault + consumers).
+//
+// The contract under test: every simulator driven by a (seed, FaultSchedule)
+// pair is bitwise reproducible — same schedule, same numbers — and the
+// fault-tolerant mechanisms (kFaultTolerant NoC routing, MANET route repair,
+// FGS graceful degradation, robustness-aware explore()) degrade gracefully
+// instead of wedging or silently lying.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ambient.hpp"
+#include "core/explorer.hpp"
+#include "exec/rng_stream.hpp"
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
+#include "manet/routing.hpp"
+#include "noc/router.hpp"
+#include "streaming/fgs.hpp"
+
+namespace {
+
+using holms::sim::Rng;
+using holms::fault::FaultEvent;
+using holms::fault::FaultKind;
+using holms::fault::FaultSchedule;
+using holms::fault::Target;
+
+// ---------- schedule ----------
+
+TEST(FaultSchedule, FromTraceCanonicalisesOrder) {
+  const std::vector<FaultEvent> forward = {
+      {1.0, FaultKind::kFail, Target::kLink, 3},
+      {2.0, FaultKind::kFail, Target::kLink, 1},
+      {2.0, FaultKind::kRepair, Target::kLink, 1},
+  };
+  std::vector<FaultEvent> shuffled = {forward[2], forward[0], forward[1]};
+  const auto a = FaultSchedule::from_trace(forward);
+  const auto b = FaultSchedule::from_trace(shuffled);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_DOUBLE_EQ(a.events()[0].time, 1.0);
+  // Same (time, target, id): kFail sorts before kRepair.
+  EXPECT_EQ(a.events()[1].kind, FaultKind::kFail);
+  EXPECT_EQ(a.events()[2].kind, FaultKind::kRepair);
+}
+
+TEST(FaultSchedule, NegativeTimeThrows) {
+  EXPECT_THROW(
+      FaultSchedule::from_trace({{-0.5, FaultKind::kFail, Target::kNode, 0}}),
+      std::invalid_argument);
+}
+
+TEST(FaultSchedule, PoissonIsSeedDeterministic) {
+  FaultSchedule::PoissonSpec spec;
+  spec.target = Target::kLink;
+  spec.num_targets = 16;
+  spec.fail_rate = 1.0 / 50.0;
+  spec.repair_rate = 1.0 / 10.0;
+  spec.horizon = 1000.0;
+  const auto a = FaultSchedule::poisson(42, spec);
+  const auto b = FaultSchedule::poisson(42, spec);
+  const auto c = FaultSchedule::poisson(43, spec);
+  ASSERT_GT(a.size(), 0u);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(a.events()[i].id, b.events()[i].id);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+  }
+}
+
+TEST(FaultSchedule, PoissonTargetStreamsAreIndependent) {
+  // Counter-based per-target streams: widening the target set never perturbs
+  // the events of the targets already present.
+  FaultSchedule::PoissonSpec narrow;
+  narrow.target = Target::kTile;
+  narrow.num_targets = 4;
+  narrow.fail_rate = 0.01;
+  narrow.repair_rate = 0.05;
+  narrow.horizon = 2000.0;
+  FaultSchedule::PoissonSpec wide = narrow;
+  wide.num_targets = 9;
+  const auto a = FaultSchedule::poisson(7, narrow);
+  const auto b = FaultSchedule::poisson(7, wide);
+  std::vector<FaultEvent> b_low;
+  for (const auto& e : b.events()) {
+    if (e.id < narrow.num_targets) b_low.push_back(e);
+  }
+  ASSERT_EQ(a.size(), b_low.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events()[i].time, b_low[i].time);
+    EXPECT_EQ(a.events()[i].id, b_low[i].id);
+    EXPECT_EQ(a.events()[i].kind, b_low[i].kind);
+  }
+}
+
+TEST(FaultSchedule, PoissonValidatesSpec) {
+  FaultSchedule::PoissonSpec spec;
+  spec.num_targets = 2;
+  spec.horizon = 10.0;
+  spec.fail_rate = 0.0;  // must be > 0
+  EXPECT_THROW(FaultSchedule::poisson(1, spec), std::invalid_argument);
+  spec.fail_rate = 0.1;
+  spec.repair_rate = -1.0;
+  EXPECT_THROW(FaultSchedule::poisson(1, spec), std::invalid_argument);
+  spec.repair_rate = 0.0;
+  spec.horizon = -5.0;
+  EXPECT_THROW(FaultSchedule::poisson(1, spec), std::invalid_argument);
+}
+
+TEST(FaultSchedule, MergeIsCanonical) {
+  const auto a = FaultSchedule::from_trace(
+      {{5.0, FaultKind::kFail, Target::kLink, 0}});
+  const auto b = FaultSchedule::from_trace(
+      {{1.0, FaultKind::kFail, Target::kNode, 2}});
+  const auto m = FaultSchedule::merge(a, b);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.events()[0].time, 1.0);
+  EXPECT_EQ(FaultSchedule::merge(a, b).fingerprint(),
+            FaultSchedule::merge(b, a).fingerprint());
+}
+
+TEST(FaultInjector, PollAppliesEventsUpToNow) {
+  const auto s = FaultSchedule::from_trace({
+      {1.0, FaultKind::kFail, Target::kNode, 0},
+      {2.0, FaultKind::kFail, Target::kNode, 1},
+      {3.0, FaultKind::kRepair, Target::kNode, 0},
+  });
+  holms::fault::FaultInjector inj(&s);
+  EXPECT_TRUE(inj.armed());
+  std::size_t applied = 0;
+  EXPECT_EQ(inj.poll(0.5, [&](const FaultEvent&) { ++applied; }), 0u);
+  EXPECT_EQ(inj.poll(2.0, [&](const FaultEvent&) { ++applied; }), 2u);
+  EXPECT_FALSE(inj.exhausted());
+  EXPECT_EQ(inj.poll(100.0, [&](const FaultEvent&) { ++applied; }), 1u);
+  EXPECT_EQ(applied, 3u);
+  EXPECT_TRUE(inj.exhausted());
+}
+
+// ---------- NoC ----------
+
+holms::noc::NocSim::Config noc_cfg(holms::noc::RoutingAlgo algo) {
+  holms::noc::NocSim::Config cfg;
+  cfg.virtual_channels = 2;
+  cfg.routing = algo;
+  return cfg;
+}
+
+holms::noc::NocStats run_noc(const holms::noc::Mesh2D& mesh,
+                             holms::noc::RoutingAlgo algo,
+                             const FaultSchedule* schedule,
+                             std::uint64_t cycles = 8000) {
+  holms::noc::NocSim sim(mesh, noc_cfg(algo), Rng(99));
+  add_pattern_flows(sim, mesh, holms::noc::TrafficPattern::kUniformRandom,
+                    0.02, 4);
+  if (schedule != nullptr) sim.attach_fault_schedule(schedule);
+  sim.run(cycles);
+  return sim.stats();
+}
+
+TEST(NocFault, SameScheduleSameSeedBitwiseIdentical) {
+  const holms::noc::Mesh2D mesh(6, 6);
+  FaultSchedule::PoissonSpec spec;
+  spec.target = Target::kLink;
+  spec.num_targets = mesh.num_undirected_links();
+  spec.fail_rate = 1.0 / 4000.0;   // per-link, per-cycle
+  spec.repair_rate = 1.0 / 1500.0;
+  spec.horizon = 8000.0;
+  const auto sched = FaultSchedule::poisson(21, spec);
+  ASSERT_FALSE(sched.empty());
+  const auto a =
+      run_noc(mesh, holms::noc::RoutingAlgo::kFaultTolerant, &sched);
+  const auto b =
+      run_noc(mesh, holms::noc::RoutingAlgo::kFaultTolerant, &sched);
+  EXPECT_GT(a.faults_applied, 0u);
+  EXPECT_EQ(a.packets_injected, b.packets_injected);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+  EXPECT_EQ(a.flit_hops, b.flit_hops);
+  EXPECT_EQ(a.reroute_hops, b.reroute_hops);
+  EXPECT_EQ(a.faults_applied, b.faults_applied);
+  EXPECT_DOUBLE_EQ(a.mean_packet_latency, b.mean_packet_latency);
+  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, b.delivery_ratio);
+}
+
+TEST(NocFault, FaultTolerantSustainsDeliveryWhereXyBlackholes) {
+  // Acceptance scenario: 8x8 mesh, ~5% of links fail mid-run and stay dead.
+  const holms::noc::Mesh2D mesh(8, 8);
+  std::vector<FaultEvent> trace;
+  const std::size_t num_links = mesh.num_undirected_links();  // 112
+  for (std::size_t i = 0; i < num_links; i += 20) {           // 6 links ~ 5.4%
+    trace.push_back({2000.0, FaultKind::kFail, Target::kLink, i});
+  }
+  const auto sched = FaultSchedule::from_trace(trace);
+
+  const auto ft = run_noc(mesh, holms::noc::RoutingAlgo::kFaultTolerant,
+                          &sched, 12000);
+  const auto xy = run_noc(mesh, holms::noc::RoutingAlgo::kXY, &sched, 12000);
+
+  EXPECT_GE(ft.delivery_ratio, 0.95);
+  EXPECT_GT(ft.reroute_hops, 0u);  // detours actually taken
+  // XY keeps steering worms into the dead links: deliveries collapse and the
+  // stall-drop valve converts the blackholed heads into counted drops.
+  EXPECT_LT(xy.delivery_ratio, 0.6);
+  EXPECT_GT(xy.packets_dropped, 100u);
+  EXPECT_GT(ft.delivery_ratio, xy.delivery_ratio + 0.3);
+}
+
+TEST(NocFault, FaultTolerantWithoutFaultsBehavesLikeBaseline) {
+  const holms::noc::Mesh2D mesh(4, 4);
+  const auto ft =
+      run_noc(mesh, holms::noc::RoutingAlgo::kFaultTolerant, nullptr, 4000);
+  const auto xy = run_noc(mesh, holms::noc::RoutingAlgo::kXY, nullptr, 4000);
+  EXPECT_EQ(ft.packets_dropped, 0u);
+  EXPECT_EQ(xy.packets_dropped, 0u);
+  EXPECT_GE(ft.delivery_ratio, 0.95);
+  EXPECT_GE(xy.delivery_ratio, 0.95);
+  EXPECT_EQ(ft.faults_applied, 0u);
+}
+
+TEST(NocFault, ManualLinkControlTogglesAndRepairs) {
+  const holms::noc::Mesh2D mesh(3, 3);
+  holms::noc::NocSim sim(mesh, noc_cfg(holms::noc::RoutingAlgo::kFaultTolerant),
+                         Rng(5));
+  EXPECT_TRUE(sim.link_up(0, holms::noc::Dir::kEast));
+  sim.set_link_up(0, holms::noc::Dir::kEast, false);
+  EXPECT_FALSE(sim.link_up(0, holms::noc::Dir::kEast));
+  // The reverse directed channel dies with it.
+  EXPECT_FALSE(sim.link_up(1, holms::noc::Dir::kWest));
+  sim.set_link_up(0, holms::noc::Dir::kEast, true);
+  EXPECT_TRUE(sim.link_up(0, holms::noc::Dir::kEast));
+  sim.set_router_up(4, false);
+  EXPECT_FALSE(sim.router_up(4));
+  sim.set_router_up(4, true);
+  EXPECT_TRUE(sim.router_up(4));
+}
+
+TEST(NocFault, DeadRouterTrafficIsDroppedNotWedged) {
+  const holms::noc::Mesh2D mesh(4, 4);
+  holms::noc::NocSim sim(mesh, noc_cfg(holms::noc::RoutingAlgo::kFaultTolerant),
+                         Rng(11));
+  holms::noc::Flow f;
+  f.src = 0;
+  f.dst = 15;
+  f.packets_per_cycle = 0.05;
+  f.packet_flits = 4;
+  sim.add_flow(f);
+  sim.set_router_up(15, false);  // destination gone: nothing is deliverable
+  sim.run(4000);
+  const auto st = sim.stats();
+  EXPECT_GT(st.packets_injected, 0u);
+  EXPECT_EQ(st.packets_delivered, 0u);
+  EXPECT_GT(st.packets_dropped, 0u);
+  EXPECT_DOUBLE_EQ(st.delivery_ratio, 0.0);
+}
+
+// ---------- MANET ----------
+
+holms::manet::LifetimeConfig manet_cfg() {
+  holms::manet::LifetimeConfig cfg;
+  cfg.max_time_s = 800.0;
+  cfg.num_flows = 4;
+  return cfg;
+}
+
+TEST(ManetFault, SameScheduleSameSeedIdenticalCounts) {
+  holms::manet::Manet::Params p;
+  p.num_nodes = 30;
+  FaultSchedule::PoissonSpec spec;
+  spec.target = Target::kNode;
+  spec.num_targets = p.num_nodes;
+  spec.fail_rate = 1.0 / 300.0;
+  spec.repair_rate = 1.0 / 80.0;
+  spec.horizon = 800.0;
+  const auto sched = FaultSchedule::poisson(13, spec);
+  ASSERT_FALSE(sched.empty());
+  const auto a = holms::manet::simulate_lifetime(
+      holms::manet::Protocol::kBatteryCost, p, manet_cfg(), 17, &sched);
+  const auto b = holms::manet::simulate_lifetime(
+      holms::manet::Protocol::kBatteryCost, p, manet_cfg(), 17, &sched);
+  EXPECT_GT(a.faults_applied, 0u);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.route_repairs, b.route_repairs);
+  EXPECT_EQ(a.repair_failures, b.repair_failures);
+  EXPECT_EQ(a.packets_blackholed, b.packets_blackholed);
+  EXPECT_EQ(a.faults_applied, b.faults_applied);
+  EXPECT_EQ(a.repairs_applied, b.repairs_applied);
+  EXPECT_DOUBLE_EQ(a.lifetime_s, b.lifetime_s);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, b.delivery_ratio);
+}
+
+TEST(ManetFault, CrashScheduleTriggersRouteRepair) {
+  holms::manet::Manet::Params p;
+  p.num_nodes = 30;
+  FaultSchedule::PoissonSpec spec;
+  spec.target = Target::kNode;
+  spec.num_targets = p.num_nodes;
+  spec.fail_rate = 1.0 / 150.0;  // aggressive crashes
+  spec.repair_rate = 1.0 / 60.0;
+  spec.horizon = 800.0;
+  const auto sched = FaultSchedule::poisson(29, spec);
+  const auto faulty = holms::manet::simulate_lifetime(
+      holms::manet::Protocol::kBatteryCost, p, manet_cfg(), 17, &sched);
+  const auto clean = holms::manet::simulate_lifetime(
+      holms::manet::Protocol::kBatteryCost, p, manet_cfg(), 17);
+  EXPECT_GT(faulty.faults_applied, 0u);
+  EXPECT_GT(faulty.repairs_applied, 0u);
+  EXPECT_GT(faulty.route_repairs, 0u);  // on-demand repair actually ran
+  EXPECT_LE(faulty.packets_delivered, faulty.packets_sent);
+  // Crashes cost deliveries, but repair keeps the session alive.
+  EXPECT_LT(faulty.delivery_ratio, clean.delivery_ratio + 1e-9);
+  EXPECT_GT(faulty.delivery_ratio, 0.0);
+  EXPECT_EQ(clean.faults_applied, 0u);
+}
+
+// ---------- FGS streaming ----------
+
+TEST(FgsFault, SlotLossTraceFollowsSchedule) {
+  const auto sched = FaultSchedule::from_trace({
+      {10.0, FaultKind::kFail, Target::kLink, 0},
+      {20.0, FaultKind::kRepair, Target::kLink, 0},
+  });
+  holms::streaming::SlotLossTrace trace(&sched, 1.0, 0.01, 0.3);
+  for (std::size_t s = 0; s < 30; ++s) {
+    const double l = trace.loss_for_slot(s);
+    if (s >= 10 && s < 20) {
+      EXPECT_DOUBLE_EQ(l, 0.3) << "slot " << s;
+    } else {
+      EXPECT_DOUBLE_EQ(l, 0.01) << "slot " << s;
+    }
+  }
+}
+
+TEST(FgsFault, GracefulDegradationKeepsBaseIntactUnder30PctLoss) {
+  // Permanent 30% loss from t=0.  The channel's worst state still carries
+  // base/(1-loss) (~366 kbps), so shedding enhancement + FEC margin must keep
+  // every slot's base layer decodable: zero misses, PSNR never below base.
+  const auto sched = FaultSchedule::from_trace(
+      {{0.0, FaultKind::kFail, Target::kLink, 0}});
+  holms::streaming::FgsConfig cfg;
+  holms::dvfs::Processor cpu(holms::dvfs::xscale_points(),
+                             holms::dvfs::PowerModel{});
+  holms::streaming::ChannelTrace ch(Rng(31), 3.0e6, 1.2e6, 0.6e6);
+  holms::streaming::SlotLossTrace loss(&sched, cfg.slot_s, 0.0, 0.3);
+  const auto r = holms::streaming::run_fgs_session(
+      holms::streaming::FgsPolicy::kGracefulDegradation, cfg, cpu, ch, 400,
+      &loss);
+  EXPECT_EQ(r.base_layer_misses, 0u);
+  EXPECT_GE(r.min_psnr_db, cfg.psnr_base_db - 1e-9);
+  EXPECT_NEAR(r.mean_loss, 0.3, 1e-9);
+  EXPECT_GT(r.mean_enhancement_shed, 0.3);  // ladder actually engaged
+}
+
+TEST(FgsFault, GracefulRecoversWhenChannelHeals) {
+  // Fault covers the first half of the session; after the repair the shed
+  // fraction must decay back toward zero (EWMA-driven recovery).
+  holms::streaming::FgsConfig cfg;
+  const double half_t = 200 * cfg.slot_s;
+  const auto sched = FaultSchedule::from_trace({
+      {0.0, FaultKind::kFail, Target::kLink, 0},
+      {half_t, FaultKind::kRepair, Target::kLink, 0},
+  });
+  holms::dvfs::Processor cpu(holms::dvfs::xscale_points(),
+                             holms::dvfs::PowerModel{});
+  holms::streaming::ChannelTrace ch(Rng(31), 3.0e6, 1.2e6, 0.6e6);
+  holms::streaming::SlotLossTrace loss(&sched, cfg.slot_s, 0.0, 0.3);
+  const auto r = holms::streaming::run_fgs_session(
+      holms::streaming::FgsPolicy::kGracefulDegradation, cfg, cpu, ch, 400,
+      &loss);
+  EXPECT_NEAR(r.mean_loss, 0.15, 1e-9);
+  // Mean shed over the whole session sits well below the sustained-loss shed
+  // level (~0.6): the second half ran essentially unshed.
+  EXPECT_LT(r.mean_enhancement_shed, 0.45);
+  EXPECT_GT(r.mean_enhancement_shed, 0.1);
+  EXPECT_EQ(r.base_layer_misses, 0u);
+}
+
+TEST(FgsFault, GracefulSessionIsDeterministic) {
+  const auto sched = FaultSchedule::from_trace(
+      {{0.0, FaultKind::kFail, Target::kLink, 0}});
+  holms::streaming::FgsConfig cfg;
+  auto run = [&] {
+    holms::dvfs::Processor cpu(holms::dvfs::xscale_points(),
+                               holms::dvfs::PowerModel{});
+    holms::streaming::ChannelTrace ch(Rng(31), 3.0e6, 1.2e6, 0.6e6);
+    holms::streaming::SlotLossTrace loss(&sched, cfg.slot_s, 0.0, 0.3);
+    return holms::streaming::run_fgs_session(
+        holms::streaming::FgsPolicy::kGracefulDegradation, cfg, cpu, ch, 200,
+        &loss);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_DOUBLE_EQ(a.mean_psnr_db, b.mean_psnr_db);
+  EXPECT_DOUBLE_EQ(a.min_psnr_db, b.min_psnr_db);
+  EXPECT_DOUBLE_EQ(a.client_total_energy_j, b.client_total_energy_j);
+  EXPECT_DOUBLE_EQ(a.mean_enhancement_shed, b.mean_enhancement_shed);
+  EXPECT_EQ(a.base_layer_misses, b.base_layer_misses);
+}
+
+// ---------- robustness-aware explore() ----------
+
+holms::core::Application fault_app() {
+  holms::core::Application app;
+  app.name = "pipe";
+  const auto a = app.graph.add_node("a", 4e6);
+  const auto b = app.graph.add_node("b", 6e6);
+  const auto c = app.graph.add_node("c", 5e6);
+  app.graph.add_edge(a, b, 1e5);
+  app.graph.add_edge(b, c, 1e5);
+  return app;
+}
+
+holms::core::FaultScenario fault_scenario() {
+  holms::core::FaultScenario fs;
+  fs.ambient.duration_s = 300.0;
+  fs.ambient.tile_mtbf_s = 400.0;
+  fs.ambient.tile_mttr_s = 120.0;
+  fs.ambient.seed = 23;
+  fs.replicas = 2;
+  return fs;
+}
+
+TEST(ExploreFault, AvailabilityScoredAndThreadInvariant) {
+  const auto app = fault_app();
+  const auto plat = holms::core::Platform::homogeneous(3, 3);
+  const auto fs = fault_scenario();
+  auto run = [&](std::size_t threads) {
+    holms::core::ExploreOptions opts;
+    opts.restarts = 2;
+    opts.threads = threads;
+    opts.faults = &fs;
+    Rng rng(9);
+    return holms::core::explore(app, plat, rng, opts);
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_TRUE(serial.found_feasible);
+  EXPECT_GT(serial.best.availability, 0.0);
+  EXPECT_LE(serial.best.availability, 1.0);
+  EXPECT_DOUBLE_EQ(serial.best.eval.total_energy_j,
+                   parallel.best.eval.total_energy_j);
+  EXPECT_DOUBLE_EQ(serial.best.availability, parallel.best.availability);
+  EXPECT_EQ(serial.evaluated, parallel.evaluated);
+  ASSERT_EQ(serial.pareto.size(), parallel.pareto.size());
+  for (std::size_t i = 0; i < serial.pareto.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.pareto[i].availability,
+                     parallel.pareto[i].availability);
+    EXPECT_DOUBLE_EQ(serial.pareto[i].eval.total_energy_j,
+                     parallel.pareto[i].eval.total_energy_j);
+  }
+}
+
+TEST(ExploreFault, NoScenarioMeansFullAvailability) {
+  const auto app = fault_app();
+  const auto plat = holms::core::Platform::homogeneous(3, 3);
+  Rng rng(9);
+  const auto res = holms::core::explore(app, plat, rng);
+  ASSERT_TRUE(res.found_feasible);
+  EXPECT_DOUBLE_EQ(res.best.availability, 1.0);
+}
+
+TEST(ExploreFault, UnreachableAvailabilityFloorRejectsEverything) {
+  const auto app = fault_app();
+  const auto plat = holms::core::Platform::homogeneous(3, 3);
+  auto fs = fault_scenario();
+  fs.min_availability = 1.5;  // no candidate can clear > 1.0
+  holms::core::ExploreOptions opts;
+  opts.faults = &fs;
+  Rng rng(9);
+  const auto res = holms::core::explore(app, plat, rng, opts);
+  EXPECT_FALSE(res.found_feasible);
+  EXPECT_TRUE(res.pareto.empty());
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 #include "asip/iss.hpp"
 #include "core/ambient.hpp"
 #include "core/explorer.hpp"
+#include "fault/schedule.hpp"
 #include "manet/routing.hpp"
 #include "markov/chain.hpp"
 #include "markov/jackson.hpp"
@@ -173,6 +174,43 @@ TEST(Robust, SingleTileMeshHasNoFlows) {
   EXPECT_EQ(sim.stats().packets_injected, 0u);
 }
 
+TEST(Robust, NocZeroBufferDepthThrows) {
+  holms::noc::Mesh2D mesh(2, 2);
+  holms::noc::NocSim::Config cfg;
+  cfg.buffer_depth = 0;
+  EXPECT_THROW(holms::noc::NocSim(mesh, cfg, Rng(3)), std::invalid_argument);
+}
+
+TEST(Robust, NocZeroVirtualChannelsThrows) {
+  holms::noc::Mesh2D mesh(2, 2);
+  holms::noc::NocSim::Config cfg;
+  cfg.virtual_channels = 0;
+  EXPECT_THROW(holms::noc::NocSim(mesh, cfg, Rng(3)), std::invalid_argument);
+}
+
+TEST(Robust, NocFaultScheduleIdOutOfRangeThrows) {
+  holms::noc::Mesh2D mesh(2, 2);
+  holms::noc::NocSim sim(mesh, holms::noc::NocSim::Config{}, Rng(3));
+  const auto bad_link = holms::fault::FaultSchedule::from_trace(
+      {{1.0, holms::fault::FaultKind::kFail, holms::fault::Target::kLink,
+        mesh.num_undirected_links()}});
+  EXPECT_THROW(sim.attach_fault_schedule(&bad_link), std::invalid_argument);
+  const auto bad_tile = holms::fault::FaultSchedule::from_trace(
+      {{1.0, holms::fault::FaultKind::kFail, holms::fault::Target::kTile,
+        mesh.num_tiles()}});
+  EXPECT_THROW(sim.attach_fault_schedule(&bad_tile), std::invalid_argument);
+}
+
+TEST(Robust, NocSetLinkUpNoSuchLinkThrows) {
+  holms::noc::Mesh2D mesh(2, 2);
+  holms::noc::NocSim sim(mesh, holms::noc::NocSim::Config{}, Rng(3));
+  // Tile 1 is the north-east corner of the 2x2 mesh: no east neighbor.
+  EXPECT_THROW(sim.set_link_up(1, holms::noc::Dir::kEast, false),
+               std::invalid_argument);
+  EXPECT_THROW(sim.set_link_up(0, holms::noc::Dir::kLocal, false),
+               std::invalid_argument);
+}
+
 TEST(Robust, NocZeroCyclesRun) {
   holms::noc::Mesh2D mesh(2, 2);
   holms::noc::NocSim sim(mesh, holms::noc::NocSim::Config{}, Rng(4));
@@ -231,6 +269,40 @@ TEST(Robust, ManetAllNodesDeadStopsSimulation) {
   EXPECT_GT(r.route_discoveries, 0u);
 }
 
+TEST(Robust, ManetNonPositiveRadioRangeThrows) {
+  holms::manet::Manet::Params p;
+  p.radio.range_m = 0.0;
+  EXPECT_THROW(holms::manet::Manet(p, Rng(7)), std::invalid_argument);
+  p.radio.range_m = -10.0;
+  EXPECT_THROW(holms::manet::Manet(p, Rng(7)), std::invalid_argument);
+}
+
+TEST(Robust, ManetDegenerateParamsThrow) {
+  holms::manet::Manet::Params p;
+  p.field_m = 0.0;
+  EXPECT_THROW(holms::manet::Manet(p, Rng(7)), std::invalid_argument);
+  p = {};
+  p.battery_j = -1.0;
+  EXPECT_THROW(holms::manet::Manet(p, Rng(7)), std::invalid_argument);
+  p = {};
+  p.min_speed_mps = 5.0;
+  p.max_speed_mps = 1.0;  // inverted speed interval
+  EXPECT_THROW(holms::manet::Manet(p, Rng(7)), std::invalid_argument);
+}
+
+TEST(Robust, ManetLifetimeFaultIdOutOfRangeThrows) {
+  holms::manet::Manet::Params p;
+  p.num_nodes = 5;
+  const auto sched = holms::fault::FaultSchedule::from_trace(
+      {{1.0, holms::fault::FaultKind::kFail, holms::fault::Target::kNode,
+        p.num_nodes}});
+  holms::manet::LifetimeConfig cfg;
+  cfg.max_time_s = 10.0;
+  EXPECT_THROW(holms::manet::simulate_lifetime(
+                   holms::manet::Protocol::kMinPower, p, cfg, 6, &sched),
+               std::invalid_argument);
+}
+
 TEST(Robust, ManetTwoNodesOutOfRange) {
   holms::manet::Manet::Params p;
   p.num_nodes = 2;
@@ -256,6 +328,32 @@ TEST(Robust, ExplorerImpossibleQosReportsInfeasible) {
   const auto res = holms::core::explore(app, plat, rng);
   EXPECT_FALSE(res.found_feasible);
   EXPECT_TRUE(res.pareto.empty());
+}
+
+TEST(Robust, AmbientScheduleTileIdOutOfRangeThrows) {
+  holms::core::Application app;
+  app.graph.add_node("a", 1e6);
+  app.graph.add_node("b", 1e6);
+  app.graph.add_edge(0, 1, 1e5);
+  const auto plat = holms::core::Platform::homogeneous(2, 2);
+  const auto sched = holms::fault::FaultSchedule::from_trace(
+      {{1.0, holms::fault::FaultKind::kFail, holms::fault::Target::kTile,
+        plat.mesh.num_tiles()}});
+  holms::core::AmbientOptions opts;
+  opts.schedule = &sched;
+  EXPECT_THROW(
+      holms::core::run_ambient_scenario(
+          app, plat, holms::core::FaultPolicy::kStatic, {}, opts),
+      std::invalid_argument);
+}
+
+TEST(Robust, SlotLossTraceInvalidConfigThrows) {
+  EXPECT_THROW(holms::streaming::SlotLossTrace(nullptr, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(holms::streaming::SlotLossTrace(nullptr, 1.0, -0.1, 0.3),
+               std::invalid_argument);
+  EXPECT_THROW(holms::streaming::SlotLossTrace(nullptr, 1.0, 0.0, 1.5),
+               std::invalid_argument);
 }
 
 TEST(Robust, AmbientZeroDuration) {
