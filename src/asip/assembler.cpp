@@ -8,6 +8,8 @@
 
 #include "asip/builder.hpp"
 
+#include "exec/error.hpp"
+
 namespace holms::asip {
 namespace {
 
@@ -89,7 +91,7 @@ std::int32_t parse_imm(std::size_t line, const std::string& tok) {
   try {
     std::size_t used = 0;
     const long v = std::stol(tok, &used, 0);
-    if (used != tok.size()) throw std::invalid_argument(tok);
+    if (used != tok.size()) throw holms::InvalidArgument(tok);
     return static_cast<std::int32_t>(v);
   } catch (const std::exception&) {
     throw AssemblerError(line, "bad immediate '" + tok + "'");

@@ -19,17 +19,17 @@
 // Registers are r0..r31; immediates are decimal (optionally negative).
 // Errors throw AssemblerError with the offending line number.
 
-#include <stdexcept>
 #include <string>
 
 #include "asip/isa.hpp"
+#include "exec/error.hpp"
 
 namespace holms::asip {
 
-class AssemblerError : public std::runtime_error {
+class AssemblerError : public holms::RuntimeError {
  public:
   AssemblerError(std::size_t line, const std::string& message)
-      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+      : holms::RuntimeError("line " + std::to_string(line) + ": " + message),
         line_(line) {}
   std::size_t line() const { return line_; }
 

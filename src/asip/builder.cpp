@@ -2,11 +2,13 @@
 
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::asip {
 
 void ProgramBuilder::label(const std::string& name) {
   if (labels_.count(name)) {
-    throw std::invalid_argument("duplicate label: " + name);
+    throw holms::InvalidArgument("duplicate label: " + name);
   }
   labels_[name] = code_.size();
 }
@@ -26,7 +28,7 @@ Program ProgramBuilder::build() {
   for (const auto& f : fixups_) {
     auto it = labels_.find(f.target);
     if (it == labels_.end()) {
-      throw std::invalid_argument("undefined label: " + f.target);
+      throw holms::InvalidArgument("undefined label: " + f.target);
     }
     code_[f.at].imm = static_cast<std::int32_t>(it->second);
   }

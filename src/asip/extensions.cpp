@@ -6,6 +6,8 @@
 
 #include "asip/iss.hpp"
 
+#include "exec/error.hpp"
+
 namespace holms::asip {
 namespace {
 
@@ -109,7 +111,7 @@ Extension find_extension(const std::string& name) {
   for (auto& e : extension_catalog()) {
     if (e.name == name) return e;
   }
-  throw std::invalid_argument("unknown extension: " + name);
+  throw holms::InvalidArgument("unknown extension: " + name);
 }
 
 double total_gates(const CoreConfig& cfg,

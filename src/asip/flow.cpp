@@ -28,6 +28,7 @@ struct Candidate {
 
 FlowResult run_design_flow(const AppRunner& runner,
                            const FlowOptions& opts) {
+  opts.validate();
   FlowResult out;
   CoreConfig cfg;  // plain base core
   std::vector<std::string> exts;

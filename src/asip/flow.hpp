@@ -19,6 +19,7 @@
 #include "asip/extensions.hpp"
 #include "asip/iss.hpp"
 #include "asip/kernels.hpp"
+#include "exec/error.hpp"
 
 namespace holms::asip {
 
@@ -57,6 +58,19 @@ struct FlowOptions {
   double min_gain = 0.02;          // stop below 2% objective improvement
   FlowObjective objective = FlowObjective::kCycles;
   std::uint64_t seed = 42;
+
+  /// Contract rule C001; called by run_design_flow.
+  void validate() const {
+    if (!(gate_budget >= 0.0)) {
+      throw holms::InvalidArgument("FlowOptions: gate_budget must be >= 0");
+    }
+    if (max_extensions == 0) {
+      throw holms::InvalidArgument("FlowOptions: max_extensions must be >= 1");
+    }
+    if (!(min_gain >= 0.0)) {
+      throw holms::InvalidArgument("FlowOptions: min_gain must be >= 0");
+    }
+  }
 };
 
 struct FlowResult {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::asip {
 
 std::string opcode_name(Opcode op) {
@@ -76,7 +78,7 @@ Iss::Iss(CoreConfig cfg, std::vector<Extension> extensions,
   for (std::size_t i = 0; i < extensions_.size(); ++i) {
     extensions_[i].id = static_cast<int>(i);
     if (!extensions_[i].semantics) {
-      throw std::invalid_argument("Iss: extension without semantics");
+      throw holms::InvalidArgument("Iss: extension without semantics");
     }
   }
 }
@@ -88,7 +90,7 @@ RunResult Iss::run(const Program& program, std::uint64_t max_cycles) {
     return res;
   }
   if (program.region.size() != program.code.size()) {
-    throw std::invalid_argument("Iss::run: region map size mismatch");
+    throw holms::InvalidArgument("Iss::run: region map size mismatch");
   }
   std::size_t pc = 0;
   const std::size_t n = program.code.size();
@@ -232,7 +234,7 @@ RunResult Iss::run(const Program& program, std::uint64_t max_cycles) {
       case Opcode::kCustom: {
         const std::size_t ext = static_cast<std::size_t>(in.imm);
         if (ext >= extensions_.size()) {
-          throw std::runtime_error("Iss: undefined custom instruction");
+          throw holms::RuntimeError("Iss: undefined custom instruction");
         }
         extensions_[ext].semantics(state_, in);
         cycles = extensions_[ext].cycles;

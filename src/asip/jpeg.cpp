@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::asip {
 namespace {
 
@@ -34,9 +36,7 @@ constexpr int kZigzag[64] = {
 }  // namespace
 
 JpegEncoderApp::JpegEncoderApp(const Params& p) : p_(p) {
-  if (p_.blocks == 0 || p_.blocks > 120) {
-    throw std::invalid_argument("JpegEncoderApp: blocks in [1, 120]");
-  }
+  p_.validate();
 }
 
 void JpegEncoderApp::plant_inputs(CpuState& state, sim::Rng& rng) const {

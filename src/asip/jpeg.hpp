@@ -16,6 +16,7 @@
 #include "asip/iss.hpp"
 #include "asip/kernels.hpp"
 #include "sim/random.hpp"
+#include "exec/error.hpp"
 
 namespace holms::asip {
 
@@ -23,6 +24,13 @@ class JpegEncoderApp {
  public:
   struct Params {
     std::size_t blocks = 64;  // 8x8 pixel blocks to encode (<= 120)
+
+    /// Contract rule C001: every public Params carries its own checker.
+    void validate() const {
+      if (blocks == 0 || blocks > 120) {
+        throw holms::InvalidArgument("JpegEncoderApp: blocks in [1, 120]");
+      }
+    }
   };
 
   JpegEncoderApp() : JpegEncoderApp(Params{}) {}

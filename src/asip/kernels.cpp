@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::asip {
 namespace {
 
@@ -23,12 +25,10 @@ int ext_id(const ExtMap& ext, const char* name) {
 }  // namespace
 
 VoiceRecognitionApp::VoiceRecognitionApp(const Params& p) : p_(p) {
-  if (p_.signal_len < p_.taps || p_.frame_stride == 0) {
-    throw std::invalid_argument("VoiceRecognitionApp: bad signal params");
-  }
+  p_.validate();
   frames_ = (p_.signal_len - p_.taps) / p_.frame_stride;
   if (frames_ == 0 || frames_ > 2048) {
-    throw std::invalid_argument("VoiceRecognitionApp: bad frame count");
+    throw holms::InvalidArgument("VoiceRecognitionApp: bad frame count");
   }
 }
 
@@ -70,10 +70,10 @@ void VoiceRecognitionApp::plant_inputs(CpuState& state, sim::Rng& rng) const {
 
 Program VoiceRecognitionApp::compile(const ExtMap& ext) const {
   if (ext_id(ext, kExtMacLoad) >= 0 && p_.taps % 4 != 0) {
-    throw std::invalid_argument("mac.load requires taps % 4 == 0");
+    throw holms::InvalidArgument("mac.load requires taps % 4 == 0");
   }
   if (ext_id(ext, kExtSqdLoad) >= 0 && p_.num_filters % 4 != 0) {
-    throw std::invalid_argument("sqd.load requires dims % 4 == 0");
+    throw holms::InvalidArgument("sqd.load requires dims % 4 == 0");
   }
   ProgramBuilder b;
   emit_filterbank(b, ext);

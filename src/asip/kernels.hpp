@@ -21,6 +21,7 @@
 #include "asip/builder.hpp"
 #include "asip/iss.hpp"
 #include "sim/random.hpp"
+#include "exec/error.hpp"
 
 namespace holms::asip {
 
@@ -37,6 +38,19 @@ class VoiceRecognitionApp {
     std::size_t codebook_size = 32;
     std::size_t num_templates = 4;
     std::size_t template_len = 16;
+
+    /// Contract rule C001.  Derived quantities (frame count) are checked by
+    /// the constructor; this covers the raw fields.
+    void validate() const {
+      if (signal_len < taps || frame_stride == 0) {
+        throw holms::InvalidArgument("VoiceRecognitionApp: bad signal params");
+      }
+      if (taps == 0 || num_filters == 0 || codebook_size == 0 ||
+          num_templates == 0 || template_len == 0) {
+        throw holms::InvalidArgument(
+            "VoiceRecognitionApp: all kernel dimensions must be >= 1");
+      }
+    }
   };
 
   VoiceRecognitionApp() : VoiceRecognitionApp(Params{}) {}

@@ -8,6 +8,8 @@
 #include "exec/rng_stream.hpp"
 #include "fault/injector.hpp"
 
+#include "exec/error.hpp"
+
 namespace holms::core {
 namespace {
 
@@ -87,7 +89,7 @@ AmbientResult run_ambient_scenario(const Application& app,
     for (const fault::FaultEvent& e : schedule->events()) {
       if (e.target == fault::Target::kTile &&
           e.id >= platform.mesh.num_tiles()) {
-        throw std::invalid_argument(
+        throw holms::InvalidArgument(
             "run_ambient_scenario: fault event tile id out of range");
       }
     }

@@ -63,6 +63,11 @@ struct AmbientOptions {
   /// from explore() being scored for availability.
   const noc::Mapping* initial_mapping = nullptr;
   bool use_dvs = true;
+
+  /// Contract rule C001.  Both pointers are optional by design and id ranges
+  /// can only be checked against a platform, which run_ambient_scenario does;
+  /// nothing to reject here.
+  void validate() const {}
 };
 
 /// Runs the ambient scenario under the given fault-handling policy.

@@ -7,6 +7,8 @@
 #include "exec/metrics.hpp"
 #include "exec/rng_stream.hpp"
 
+#include "exec/error.hpp"
+
 namespace holms::core {
 namespace {
 
@@ -38,10 +40,10 @@ noc::SchedProblem make_sched_problem(const Application& app,
                                      const Platform& platform,
                                      const noc::Mapping& mapping) {
   if (mapping.size() != app.graph.num_nodes()) {
-    throw std::invalid_argument("make_sched_problem: mapping size mismatch");
+    throw holms::InvalidArgument("make_sched_problem: mapping size mismatch");
   }
   if (platform.tiles.size() != platform.mesh.num_tiles()) {
-    throw std::invalid_argument("make_sched_problem: platform tiles mismatch");
+    throw holms::InvalidArgument("make_sched_problem: platform tiles mismatch");
   }
   noc::SchedProblem p;
   p.mesh = platform.mesh;
@@ -207,7 +209,7 @@ MultiAppEvaluation evaluate_multi_design(
     const std::vector<noc::Mapping>& mappings, bool use_dvs,
     double utilization_bound) {
   if (apps.size() != mappings.size()) {
-    throw std::invalid_argument(
+    throw holms::InvalidArgument(
         "evaluate_multi_design: apps/mappings size mismatch");
   }
   MultiAppEvaluation out;

@@ -55,6 +55,7 @@ void merge_candidate(ExploreResult& out, double& best_energy,
 
 ExploreResult explore(const Application& app, const Platform& platform,
                       sim::Rng& rng, const ExploreOptions& opts) {
+  opts.validate();
   exec::ScopedTimer timer("explore.seconds");
   ExploreResult out;
   double best_energy = std::numeric_limits<double>::infinity();
@@ -193,6 +194,7 @@ ExploreResult explore(const Application& app, const Platform& platform,
 SynthesisResult synthesize_platform(const Application& app, std::size_t width,
                                     std::size_t height, sim::Rng& rng,
                                     const SynthesisOptions& opts) {
+  opts.validate();
   exec::ScopedTimer timer("synthesize.seconds");
   SynthesisResult out;
   out.platform = Platform::homogeneous(width, height, gpp_tile());

@@ -19,6 +19,7 @@
 #include "core/ambient.hpp"
 #include "core/evaluator.hpp"
 #include "sim/random.hpp"
+#include "exec/error.hpp"
 
 namespace holms::exec {
 class ThreadPool;
@@ -58,6 +59,23 @@ struct ExploreOptions {
                                    // shared by synthesize_platform trials
   exec::ThreadPool* pool = nullptr;  // external pool (overrides threads)
   const FaultScenario* faults = nullptr;  // robustness-aware DSE (optional)
+
+  /// Contract rule C001; called by explore().  `restarts = 0` is legal (the
+  /// greedy seed and random probes still run), so only nested knobs and the
+  /// fault scenario are checked here.
+  void validate() const {
+    sa.validate();
+    if (faults != nullptr && faults->replicas == 0) {
+      throw holms::InvalidArgument(
+          "ExploreOptions: FaultScenario.replicas must be >= 1");
+    }
+    if (faults != nullptr && !(faults->min_availability >= 0.0)) {
+      // > 1 is legal: an unreachable floor rejects every candidate, which
+      // callers use to probe infeasibility.
+      throw holms::InvalidArgument(
+          "ExploreOptions: FaultScenario.min_availability must be >= 0");
+    }
+  }
 };
 
 struct ExploreResult {
@@ -88,6 +106,15 @@ struct SynthesisOptions {
   std::size_t max_upgrades = 16;
   ExploreOptions explore{};          // per-candidate mapping search
   std::size_t threads = 1;           // 0 = hardware concurrency, 1 = serial
+
+  /// Contract rule C001; called by synthesize_platform().
+  void validate() const {
+    explore.validate();
+    if (!(cost_budget >= 0.0)) {
+      throw holms::InvalidArgument(
+          "SynthesisOptions: cost_budget must be >= 0");
+    }
+  }
 };
 
 struct SynthesisStep {

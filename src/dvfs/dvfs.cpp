@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::dvfs {
 
 std::vector<OperatingPoint> xscale_points() {
@@ -15,7 +17,7 @@ std::vector<OperatingPoint> xscale_points() {
 Processor::Processor(std::vector<OperatingPoint> points, PowerModel model)
     : points_(std::move(points)), model_(model) {
   if (points_.empty()) {
-    throw std::invalid_argument("Processor: need >= 1 operating point");
+    throw holms::InvalidArgument("Processor: need >= 1 operating point");
   }
   std::sort(points_.begin(), points_.end(),
             [](const OperatingPoint& a, const OperatingPoint& b) {
@@ -23,7 +25,7 @@ Processor::Processor(std::vector<OperatingPoint> points, PowerModel model)
             });
   for (const auto& p : points_) {
     if (!(p.frequency_hz > 0.0) || !(p.voltage > 0.0)) {
-      throw std::invalid_argument("Processor: invalid operating point");
+      throw holms::InvalidArgument("Processor: invalid operating point");
     }
   }
   level_ = points_.size() - 1;  // boot at full speed
@@ -31,7 +33,7 @@ Processor::Processor(std::vector<OperatingPoint> points, PowerModel model)
 
 void Processor::set_level(std::size_t level) {
   if (level >= points_.size()) {
-    throw std::out_of_range("Processor::set_level");
+    throw holms::OutOfRange("Processor::set_level");
   }
   level_ = level;
 }
@@ -58,7 +60,7 @@ LoadTrackingGovernor::LoadTrackingGovernor(Processor& cpu,
                                            double deadband)
     : cpu_(cpu), target_(target_utilization), deadband_(deadband) {
   if (!(target_utilization > 0.0 && target_utilization <= 1.0)) {
-    throw std::invalid_argument("LoadTrackingGovernor: bad target");
+    throw holms::InvalidArgument("LoadTrackingGovernor: bad target");
   }
 }
 

@@ -1,0 +1,52 @@
+#pragma once
+// Typed exception hierarchy for every throw that crosses a public HolMS API.
+//
+// Each class below derives from the matching <stdexcept> type, so existing
+// callers (and tests) that catch std::invalid_argument / std::runtime_error /
+// std::out_of_range keep working unchanged — the hierarchy adds a common
+// holms::Error tag base that callers can catch to mean "any HolMS-originated
+// failure" without also swallowing allocator or iostream exceptions.
+//
+// The contract (enforced by holms_lint rule C002, DESIGN.md §5f): library
+// code under src/ never throws a bare std::* exception; it throws one of
+// these.  Precondition violations use InvalidArgument, index/key misses use
+// OutOfRange, and numerical / environmental failures use RuntimeError.
+
+#include <stdexcept>
+#include <string>
+
+namespace holms {
+
+/// Tag base for every exception HolMS throws.  Not constructible on its own;
+/// catch `const holms::Error&` to handle any library failure, then rethrow or
+/// call what() via the std::exception side of the concrete type.
+class Error {
+ public:
+  virtual ~Error() = default;
+
+ protected:
+  Error() = default;
+};
+
+/// A caller-supplied value violated a documented precondition (bad rate,
+/// empty vector, inconsistent sizes, ...).  Also the type Params/Options
+/// validate() members throw.
+class InvalidArgument : public std::invalid_argument, public Error {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// An index, id, or key was outside the valid domain of a container or model.
+class OutOfRange : public std::out_of_range, public Error {
+ public:
+  using std::out_of_range::out_of_range;
+};
+
+/// The computation itself failed: singular system, non-convergence, corrupt
+/// trace file — conditions only detectable while running.
+class RuntimeError : public std::runtime_error, public Error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace holms

@@ -29,9 +29,13 @@ void atomic_add(std::atomic<double>& slot, double x) {
 }
 
 std::uint64_t now_ns() {
+  // Metrics wall-time is allowlisted by design: ScopedTimer histograms are
+  // observability output only and never feed back into simulation state, so
+  // the reproducibility guarantee (DESIGN.md §5c) is unaffected.
+  // HOLMS_LINT_ALLOW(D002): observability-only wall clock, never model state
+  const auto since_epoch = std::chrono::steady_clock::now().time_since_epoch();
   return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+      std::chrono::duration_cast<std::chrono::nanoseconds>(since_epoch)
           .count());
 }
 

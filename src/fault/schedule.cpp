@@ -8,6 +8,8 @@
 #include "exec/rng_stream.hpp"
 #include "sim/random.hpp"
 
+#include "exec/error.hpp"
+
 namespace holms::fault {
 
 namespace {
@@ -22,7 +24,7 @@ bool event_order(const FaultEvent& a, const FaultEvent& b) {
 FaultSchedule FaultSchedule::from_trace(std::vector<FaultEvent> events) {
   for (const FaultEvent& e : events) {
     if (!(e.time >= 0.0)) {
-      throw std::invalid_argument(
+      throw holms::InvalidArgument(
           "FaultSchedule::from_trace: event time must be >= 0 and finite");
     }
   }
@@ -33,14 +35,14 @@ FaultSchedule FaultSchedule::from_trace(std::vector<FaultEvent> events) {
 FaultSchedule FaultSchedule::poisson(std::uint64_t seed,
                                      const PoissonSpec& spec) {
   if (spec.fail_rate <= 0.0) {
-    throw std::invalid_argument("FaultSchedule::poisson: fail_rate must be > 0");
+    throw holms::InvalidArgument("FaultSchedule::poisson: fail_rate must be > 0");
   }
   if (spec.repair_rate < 0.0) {
-    throw std::invalid_argument(
+    throw holms::InvalidArgument(
         "FaultSchedule::poisson: repair_rate must be >= 0");
   }
   if (spec.horizon < 0.0) {
-    throw std::invalid_argument("FaultSchedule::poisson: horizon must be >= 0");
+    throw holms::InvalidArgument("FaultSchedule::poisson: horizon must be >= 0");
   }
   std::vector<FaultEvent> events;
   for (std::size_t id = 0; id < spec.num_targets; ++id) {

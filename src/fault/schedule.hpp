@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/error.hpp"
+
 namespace holms::fault {
 
 /// What happens to the target at the event time.
@@ -61,7 +63,7 @@ class FaultSchedule {
   FaultSchedule() = default;
 
   /// Builds a schedule from an explicit trace.  Events are sorted into
-  /// canonical order; negative times throw std::invalid_argument.
+  /// canonical order; negative times throw holms::InvalidArgument.
   static FaultSchedule from_trace(std::vector<FaultEvent> events);
 
   /// Parameters for a seeded Poisson fail/repair process over a set of

@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::manet {
 
 double distance(const Vec2& a, const Vec2& b) {
@@ -13,19 +15,7 @@ double distance(const Vec2& a, const Vec2& b) {
 }
 
 Manet::Manet(const Params& p, sim::Rng rng) : p_(p), rng_(rng) {
-  if (p_.num_nodes < 2) throw std::invalid_argument("Manet: need >= 2 nodes");
-  if (!(p_.radio.range_m > 0.0)) {
-    throw std::invalid_argument("Manet: radio range_m must be > 0");
-  }
-  if (!(p_.field_m > 0.0)) {
-    throw std::invalid_argument("Manet: field_m must be > 0");
-  }
-  if (!(p_.battery_j > 0.0)) {
-    throw std::invalid_argument("Manet: battery_j must be > 0");
-  }
-  if (!(p_.min_speed_mps >= 0.0) || p_.max_speed_mps < p_.min_speed_mps) {
-    throw std::invalid_argument("Manet: need 0 <= min_speed <= max_speed");
-  }
+  p_.validate();
   nodes_.resize(p_.num_nodes);
   drained_this_tick_.assign(p_.num_nodes, 0.0);
   for (auto& n : nodes_) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/random.hpp"
+#include "exec/error.hpp"
 
 namespace holms::manet {
 
@@ -69,6 +70,28 @@ class Manet {
     // sleep") exists to save.
     double idle_listen_w = 0.0005;
     double sleep_w = 5e-6;
+
+    /// Contract rule C001; called by the Manet constructor.
+    void validate() const {
+      if (num_nodes < 2) {
+        throw holms::InvalidArgument("Manet: need >= 2 nodes");
+      }
+      if (!(radio.range_m > 0.0)) {
+        throw holms::InvalidArgument("Manet: radio range_m must be > 0");
+      }
+      if (!(field_m > 0.0)) {
+        throw holms::InvalidArgument("Manet: field_m must be > 0");
+      }
+      if (!(battery_j > 0.0)) {
+        throw holms::InvalidArgument("Manet: battery_j must be > 0");
+      }
+      if (!(min_speed_mps >= 0.0) || max_speed_mps < min_speed_mps) {
+        throw holms::InvalidArgument("Manet: need 0 <= min_speed <= max_speed");
+      }
+      if (!(idle_listen_w >= 0.0) || !(sleep_w >= 0.0)) {
+        throw holms::InvalidArgument("Manet: idle/sleep drain must be >= 0");
+      }
+    }
   };
 
   Manet(const Params& p, sim::Rng rng);

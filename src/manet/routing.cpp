@@ -7,6 +7,8 @@
 #include "fault/injector.hpp"
 #include "sim/stats.hpp"
 
+#include "exec/error.hpp"
+
 namespace holms::manet {
 
 std::string protocol_name(Protocol p) {
@@ -109,7 +111,7 @@ LifetimeResult simulate_lifetime(Protocol p, const Manet::Params& params,
   if (faults != nullptr) {
     for (const fault::FaultEvent& e : faults->events()) {
       if (e.target == fault::Target::kNode && e.id >= net.size()) {
-        throw std::invalid_argument(
+        throw holms::InvalidArgument(
             "simulate_lifetime: fault event node id out of range");
       }
     }

@@ -7,13 +7,15 @@
 
 #include "markov/sparse.hpp"
 
+#include "exec/error.hpp"
+
 namespace holms::markov {
 namespace {
 
 void normalize(std::vector<double>& v) {
   double sum = 0.0;
   for (double x : v) sum += x;
-  if (sum <= 0.0) throw std::runtime_error("distribution has zero mass");
+  if (sum <= 0.0) throw holms::RuntimeError("distribution has zero mass");
   for (double& x : v) x /= sum;
 }
 
@@ -49,7 +51,7 @@ std::vector<double> solve_direct(const Matrix& a) {
         pivot = r;
       }
     }
-    if (best < 1e-300) throw std::runtime_error("singular chain matrix");
+    if (best < 1e-300) throw holms::RuntimeError("singular chain matrix");
     std::swap(perm[col], perm[pivot]);
     const double diag = m.at(perm[col], col);
     for (std::size_t r = col + 1; r < n; ++r) {
@@ -92,6 +94,7 @@ bool Dtmc::is_stochastic(double tol) const {
 }
 
 SolveResult Dtmc::steady_state(const SolveOptions& opts) const {
+  opts.validate();
   const std::size_t n = size();
   if (n == 0) return {};
   SolveResult res;
@@ -216,6 +219,7 @@ Dtmc Ctmc::uniformized(double* lambda_out) const {
 }
 
 SolveResult Ctmc::steady_state(const SolveOptions& opts) const {
+  opts.validate();
   if (opts.method == SteadyStateMethod::kDirectLU) {
     const std::size_t n = size();
     Matrix a(n, n);
@@ -293,7 +297,7 @@ class LuFactors {
         }
       }
       if (best < 1e-300) {
-        throw std::runtime_error("absorbing_analysis: singular system "
+        throw holms::RuntimeError("absorbing_analysis: singular system "
                                  "(absorption unreachable from some state)");
       }
       std::swap(perm_[col], perm_[pivot]);
@@ -340,7 +344,7 @@ AbsorbingResult absorbing_analysis(const Dtmc& chain,
                                    const std::vector<bool>& absorbing) {
   const std::size_t n = chain.size();
   if (absorbing.size() != n) {
-    throw std::invalid_argument("absorbing_analysis: flag size mismatch");
+    throw holms::InvalidArgument("absorbing_analysis: flag size mismatch");
   }
   AbsorbingResult res;
   std::vector<std::size_t> transient;
@@ -348,7 +352,7 @@ AbsorbingResult absorbing_analysis(const Dtmc& chain,
     (absorbing[i] ? res.absorbing_states : transient).push_back(i);
   }
   if (res.absorbing_states.empty()) {
-    throw std::invalid_argument("absorbing_analysis: no absorbing state");
+    throw holms::InvalidArgument("absorbing_analysis: no absorbing state");
   }
   const std::size_t t = transient.size();
   const std::size_t a = res.absorbing_states.size();

@@ -21,6 +21,8 @@
 #include <span>
 #include <vector>
 
+#include "exec/error.hpp"
+
 namespace holms::markov {
 
 /// Dense row-major matrix; small helper sufficient for chain analysis
@@ -60,6 +62,21 @@ struct SolveOptions {
   /// sweep fits in cache and the CSR indirection isn't worth building.
   std::size_t sparse_min_states = 64;
   double sparse_max_density = 0.25;
+
+  /// Rejects nonsensical solver settings; called by the steady_state /
+  /// transient entry points (contract rule C001, DESIGN.md §5f).
+  void validate() const {
+    if (max_iterations == 0) {
+      throw holms::InvalidArgument("SolveOptions: max_iterations must be >= 1");
+    }
+    if (!(tolerance > 0.0)) {
+      throw holms::InvalidArgument("SolveOptions: tolerance must be > 0");
+    }
+    if (!(sparse_max_density >= 0.0 && sparse_max_density <= 1.0)) {
+      throw holms::InvalidArgument(
+          "SolveOptions: sparse_max_density must be in [0, 1]");
+    }
+  }
 };
 
 struct SolveResult {

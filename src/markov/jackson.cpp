@@ -3,17 +3,19 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::markov {
 
 JacksonNetwork::JacksonNetwork(std::vector<JacksonStation> stations)
     : stations_(std::move(stations)),
       routing_(stations_.size(), stations_.size()) {
   if (stations_.empty()) {
-    throw std::invalid_argument("JacksonNetwork: need >= 1 station");
+    throw holms::InvalidArgument("JacksonNetwork: need >= 1 station");
   }
   for (const auto& s : stations_) {
     if (!(s.service_rate > 0.0) || s.external_arrivals < 0.0) {
-      throw std::invalid_argument("JacksonNetwork: invalid station");
+      throw holms::InvalidArgument("JacksonNetwork: invalid station");
     }
   }
 }
@@ -21,7 +23,7 @@ JacksonNetwork::JacksonNetwork(std::vector<JacksonStation> stations)
 void JacksonNetwork::set_routing(std::size_t from, std::size_t to,
                                  double prob) {
   if (from >= size() || to >= size() || !(prob >= 0.0 && prob <= 1.0)) {
-    throw std::invalid_argument("JacksonNetwork::set_routing: bad args");
+    throw holms::InvalidArgument("JacksonNetwork::set_routing: bad args");
   }
   routing_.at(from, to) = prob;
 }
@@ -36,7 +38,7 @@ JacksonSolution JacksonNetwork::solve() const {
     double row = 0.0;
     for (std::size_t j = 0; j < n; ++j) row += routing_.at(i, j);
     if (row > 1.0 + 1e-12) {
-      throw std::invalid_argument(
+      throw holms::InvalidArgument(
           "JacksonNetwork: routing row exceeds probability 1");
     }
   }
@@ -64,7 +66,7 @@ JacksonSolution JacksonNetwork::solve() const {
     }
     lambda.swap(next);
     if (iter == 99999) {
-      throw std::runtime_error(
+      throw holms::RuntimeError(
           "JacksonNetwork: traffic equations did not converge "
           "(jobs trapped in a closed cycle?)");
     }

@@ -4,13 +4,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::markov {
 
 QueueMetrics mm1(double lambda, double mu) {
   if (!(lambda >= 0.0) || !(mu > 0.0)) {
-    throw std::invalid_argument("mm1: need lambda >= 0, mu > 0");
+    throw holms::InvalidArgument("mm1: need lambda >= 0, mu > 0");
   }
-  if (lambda >= mu) throw std::invalid_argument("mm1: unstable (rho >= 1)");
+  if (lambda >= mu) throw holms::InvalidArgument("mm1: unstable (rho >= 1)");
   const double rho = lambda / mu;
   QueueMetrics m;
   m.utilization = rho;
@@ -24,7 +26,7 @@ QueueMetrics mm1(double lambda, double mu) {
 std::vector<double> mm1k_distribution(double lambda, double mu,
                                       std::size_t k) {
   if (!(lambda >= 0.0) || !(mu > 0.0) || k == 0) {
-    throw std::invalid_argument("mm1k: need lambda >= 0, mu > 0, k >= 1");
+    throw holms::InvalidArgument("mm1k: need lambda >= 0, mu > 0, k >= 1");
   }
   const double rho = lambda / mu;
   std::vector<double> pi(k + 1);
@@ -60,10 +62,10 @@ QueueMetrics mm1k(double lambda, double mu, std::size_t k) {
 
 QueueMetrics md1(double lambda, double service_time) {
   if (!(lambda >= 0.0) || !(service_time > 0.0)) {
-    throw std::invalid_argument("md1: need lambda >= 0, service_time > 0");
+    throw holms::InvalidArgument("md1: need lambda >= 0, service_time > 0");
   }
   const double rho = lambda * service_time;
-  if (rho >= 1.0) throw std::invalid_argument("md1: unstable (rho >= 1)");
+  if (rho >= 1.0) throw holms::InvalidArgument("md1: unstable (rho >= 1)");
   QueueMetrics m;
   m.utilization = rho;
   // Pollaczek–Khinchine for M/G/1 with Var(S) = 0:
@@ -79,7 +81,7 @@ std::vector<double> birth_death_steady_state(std::span<const double> birth,
                                              std::span<const double> death) {
   const std::size_t n = birth.size();
   if (n == 0 || death.size() != n) {
-    throw std::invalid_argument("birth_death: need equal non-empty vectors");
+    throw holms::InvalidArgument("birth_death: need equal non-empty vectors");
   }
   // pi_{i+1} = pi_i * birth_i / death_{i+1}; accumulate in log-free form with
   // running normalization to avoid overflow on long chains.
@@ -88,7 +90,7 @@ std::vector<double> birth_death_steady_state(std::span<const double> birth,
   double sum = 1.0;
   for (std::size_t i = 0; i + 1 < n; ++i) {
     if (!(death[i + 1] > 0.0)) {
-      throw std::invalid_argument("birth_death: death rate must be > 0");
+      throw holms::InvalidArgument("birth_death: death rate must be > 0");
     }
     pi[i + 1] = pi[i] * birth[i] / death[i + 1];
     sum += pi[i + 1];

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::markov {
 namespace {
 
@@ -11,7 +13,7 @@ namespace {
 void normalize(std::vector<double>& v) {
   double sum = 0.0;
   for (double x : v) sum += x;
-  if (sum <= 0.0) throw std::runtime_error("distribution has zero mass");
+  if (sum <= 0.0) throw holms::RuntimeError("distribution has zero mass");
   for (double& x : v) x /= sum;
 }
 

@@ -10,6 +10,8 @@
 
 #include "exec/metrics.hpp"
 
+#include "exec/error.hpp"
+
 namespace holms::noc {
 namespace {
 
@@ -44,7 +46,7 @@ MappingEval evaluate_mapping(const AppGraph& g, const Mesh2D& mesh,
                              const EnergyModel& energy, const Mapping& m,
                              double link_capacity_bps) {
   if (m.size() != g.num_nodes()) {
-    throw std::invalid_argument("evaluate_mapping: mapping size mismatch");
+    throw holms::InvalidArgument("evaluate_mapping: mapping size mismatch");
   }
   MappingEval ev;
   // Per-thread scratch: the link-load table was the only allocation on this
@@ -79,7 +81,7 @@ MappingEval evaluate_mapping(const AppGraph& g, const Mesh2D& mesh,
 Mapping random_mapping(std::size_t num_cores, const Mesh2D& mesh,
                        sim::Rng& rng) {
   if (num_cores > mesh.num_tiles()) {
-    throw std::invalid_argument("random_mapping: more cores than tiles");
+    throw holms::InvalidArgument("random_mapping: more cores than tiles");
   }
   std::vector<TileId> tiles(mesh.num_tiles());
   std::iota(tiles.begin(), tiles.end(), 0);
@@ -132,7 +134,7 @@ Mapping greedy_mapping(const AppGraph& g, const Mesh2D& mesh,
                        const EnergyModel& energy) {
   const std::size_t n = g.num_nodes();
   if (n > mesh.num_tiles()) {
-    throw std::invalid_argument("greedy_mapping: more cores than tiles");
+    throw holms::InvalidArgument("greedy_mapping: more cores than tiles");
   }
   Mapping m(n, 0);
   std::vector<bool> core_placed(n, false);
@@ -230,7 +232,7 @@ SwapEvaluator::SwapEvaluator(const AppGraph& g, const Mesh2D& mesh,
       routes_(mesh),
       m_(std::move(m)) {
   if (m_.size() != g_.num_nodes()) {
-    throw std::invalid_argument("SwapEvaluator: mapping size mismatch");
+    throw holms::InvalidArgument("SwapEvaluator: mapping size mismatch");
   }
   const IncidenceIndex inc(g_);
   inc_offsets_ = inc.offsets;
@@ -443,6 +445,7 @@ Mapping sa_mapping_full(const AppGraph& g, const Mesh2D& mesh,
 Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
                    const EnergyModel& energy, sim::Rng& rng,
                    const SaOptions& opts) {
+  opts.validate();
   // Start from the greedy solution; SA then escapes its local minimum.
   Mapping m = greedy_mapping(g, mesh, energy);
   if (opts.debug_full_eval) {
@@ -579,7 +582,7 @@ Mapping bb_mapping(const AppGraph& g, const Mesh2D& mesh,
                    const EnergyModel& energy, std::size_t node_budget) {
   const std::size_t n = g.num_nodes();
   if (n > mesh.num_tiles()) {
-    throw std::invalid_argument("bb_mapping: more cores than tiles");
+    throw holms::InvalidArgument("bb_mapping: more cores than tiles");
   }
   BbState st;
   st.graph = &g;

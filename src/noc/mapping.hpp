@@ -17,6 +17,7 @@
 #include "noc/taskgraph.hpp"
 #include "noc/topology.hpp"
 #include "sim/random.hpp"
+#include "exec/error.hpp"
 
 namespace holms::noc {
 
@@ -57,6 +58,28 @@ struct SaOptions {
   /// benchmarking and as the correctness oracle the equivalence tests and
   /// bench_micro compare against.
   bool debug_full_eval = false;
+
+  /// Contract rule C001; called by sa_mapping.
+  void validate() const {
+    if (iterations == 0) {
+      throw holms::InvalidArgument("SaOptions: iterations must be >= 1");
+    }
+    if (!(initial_temperature > 0.0)) {
+      throw holms::InvalidArgument(
+          "SaOptions: initial_temperature must be > 0");
+    }
+    if (!(cooling > 0.0 && cooling <= 1.0)) {
+      throw holms::InvalidArgument("SaOptions: cooling must be in (0, 1]");
+    }
+    if (!(link_capacity_bps >= 0.0)) {
+      throw holms::InvalidArgument(
+          "SaOptions: link_capacity_bps must be >= 0");
+    }
+    if (!(infeasibility_penalty >= 0.0)) {
+      throw holms::InvalidArgument(
+          "SaOptions: infeasibility_penalty must be >= 0");
+    }
+  }
 };
 
 /// Incremental (delta-cost) mapping evaluator: the state behind sa_mapping's

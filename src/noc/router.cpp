@@ -5,6 +5,8 @@
 
 #include "noc/taskgraph.hpp"
 
+#include "exec/error.hpp"
+
 namespace holms::noc {
 namespace {
 
@@ -28,7 +30,7 @@ NocSim::NocSim(const Mesh2D& mesh, const Config& cfg, sim::Rng rng)
     : mesh_(mesh), cfg_(cfg), rng_(rng), routers_(mesh.num_tiles()),
       source_(mesh.num_tiles()) {
   if (cfg_.buffer_depth == 0 || cfg_.virtual_channels == 0) {
-    throw std::invalid_argument("NocSim: need buffer_depth, VCs >= 1");
+    throw holms::InvalidArgument("NocSim: need buffer_depth, VCs >= 1");
   }
   const std::size_t v = cfg_.virtual_channels;
   for (auto& r : routers_) {
@@ -52,7 +54,7 @@ void NocSim::attach_fault_schedule(const fault::FaultSchedule* schedule) {
                           ? e.id < mesh_.num_undirected_links()
                           : e.id < mesh_.num_tiles();
       if (!ok) {
-        throw std::invalid_argument(
+        throw holms::InvalidArgument(
             "NocSim::attach_fault_schedule: event id out of range");
       }
     }
@@ -64,7 +66,7 @@ void NocSim::attach_fault_schedule(const fault::FaultSchedule* schedule) {
 
 void NocSim::set_link_up(TileId t, Dir d, bool up) {
   if (d == Dir::kLocal || t >= mesh_.num_tiles() || !mesh_.has_neighbor(t, d)) {
-    throw std::invalid_argument("NocSim::set_link_up: no such link");
+    throw holms::InvalidArgument("NocSim::set_link_up: no such link");
   }
   arm_faults();
   const TileId nb = mesh_.neighbor(t, d);
@@ -97,7 +99,7 @@ void NocSim::set_link_up(TileId t, Dir d, bool up) {
 
 void NocSim::set_router_up(TileId t, bool up) {
   if (t >= mesh_.num_tiles()) {
-    throw std::invalid_argument("NocSim::set_router_up: no such tile");
+    throw holms::InvalidArgument("NocSim::set_router_up: no such tile");
   }
   arm_faults();
   const bool was_up = router_up_[t] != 0;
@@ -278,7 +280,7 @@ void NocSim::add_flow(const Flow& f) {
   if (f.src >= mesh_.num_tiles() || f.dst >= mesh_.num_tiles() ||
       f.src == f.dst || f.packet_flits == 0 ||
       !(f.packets_per_cycle >= 0.0 && f.packets_per_cycle <= 1.0)) {
-    throw std::invalid_argument("NocSim::add_flow: invalid flow");
+    throw holms::InvalidArgument("NocSim::add_flow: invalid flow");
   }
   flows_.push_back(f);
 }
@@ -637,7 +639,7 @@ void add_appgraph_flows(NocSim& sim, const AppGraph& g,
                         double aggregate_packets_per_cycle,
                         std::size_t packet_flits) {
   if (mapping.size() != g.num_nodes()) {
-    throw std::invalid_argument("add_appgraph_flows: mapping size mismatch");
+    throw holms::InvalidArgument("add_appgraph_flows: mapping size mismatch");
   }
   double routed_volume = 0.0;
   for (const auto& e : g.edges()) {

@@ -23,6 +23,8 @@
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
 
+#include "exec/error.hpp"
+
 namespace holms::noc {
 
 enum class FlitType : std::uint8_t { kHead, kBody, kTail, kHeadTail };
@@ -112,7 +114,7 @@ class NocSim {
   /// Arms fault injection from a shared schedule.  Event times are cycles;
   /// Target::kLink ids are Mesh2D undirected-link ids, Target::kNode /
   /// Target::kTile ids are tile ids (both address the tile's router).
-  /// Out-of-range ids throw std::invalid_argument.  The schedule must
+  /// Out-of-range ids throw holms::InvalidArgument.  The schedule must
   /// outlive the simulator.
   void attach_fault_schedule(const fault::FaultSchedule* schedule);
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::noc {
 namespace {
 
@@ -20,7 +22,7 @@ std::vector<double> critical_lengths(const SchedProblem& p,
     for (const auto& d : p.deps) {
       if (d.src == i) {
         if (d.dst <= i) {
-          throw std::invalid_argument(
+          throw holms::InvalidArgument(
               "SchedProblem: tasks must be topologically ordered");
         }
         cl[i] = std::max(cl[i], exec_time[i] + cl[d.dst]);
@@ -86,7 +88,7 @@ ScheduleResult list_schedule(const SchedProblem& p,
       progressed = true;
     }
     if (!progressed) {
-      throw std::invalid_argument("list_schedule: dependency cycle");
+      throw holms::InvalidArgument("list_schedule: dependency cycle");
     }
   }
 
@@ -115,15 +117,15 @@ ScheduleResult list_schedule(const SchedProblem& p,
 
 void validate_problem(const SchedProblem& p) {
   if (p.tasks.empty() || p.tile_of.size() != p.tasks.size()) {
-    throw std::invalid_argument("SchedProblem: mapping/task size mismatch");
+    throw holms::InvalidArgument("SchedProblem: mapping/task size mismatch");
   }
   for (TileId t : p.tile_of) {
     if (t >= p.mesh.num_tiles()) {
-      throw std::invalid_argument("SchedProblem: tile out of range");
+      throw holms::InvalidArgument("SchedProblem: tile out of range");
     }
   }
   if (p.points.empty()) {
-    throw std::invalid_argument("SchedProblem: need operating points");
+    throw holms::InvalidArgument("SchedProblem: need operating points");
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::noc {
 
 std::size_t AppGraph::add_node(std::string name, double compute_cycles) {
@@ -12,10 +14,10 @@ std::size_t AppGraph::add_node(std::string name, double compute_cycles) {
 void AppGraph::add_edge(std::size_t src, std::size_t dst, double volume_bits,
                         double bandwidth_bps) {
   if (src >= nodes_.size() || dst >= nodes_.size() || src == dst) {
-    throw std::invalid_argument("AppGraph::add_edge: bad endpoints");
+    throw holms::InvalidArgument("AppGraph::add_edge: bad endpoints");
   }
   if (!(volume_bits > 0.0)) {
-    throw std::invalid_argument("AppGraph::add_edge: volume must be > 0");
+    throw holms::InvalidArgument("AppGraph::add_edge: volume must be > 0");
   }
   edges_.push_back(AppEdge{src, dst, volume_bits, bandwidth_bps});
 }
@@ -123,7 +125,7 @@ AppGraph video_surveillance_graph() {
 }
 
 AppGraph random_graph(std::size_t n, sim::Rng& rng, double mean_volume) {
-  if (n < 2) throw std::invalid_argument("random_graph: need >= 2 nodes");
+  if (n < 2) throw holms::InvalidArgument("random_graph: need >= 2 nodes");
   AppGraph g;
   for (std::size_t i = 0; i < n; ++i) {
     g.add_node("t" + std::to_string(i), rng.uniform(0.5e6, 5e6));

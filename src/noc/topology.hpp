@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "exec/error.hpp"
+
 namespace holms::noc {
 
 using TileId = std::size_t;
@@ -27,7 +29,7 @@ class Mesh2D {
   Mesh2D(std::size_t width, std::size_t height)
       : w_(width), h_(height) {
     if (width == 0 || height == 0) {
-      throw std::invalid_argument("Mesh2D: empty mesh");
+      throw holms::InvalidArgument("Mesh2D: empty mesh");
     }
   }
 
@@ -77,7 +79,7 @@ class Mesh2D {
       case Dir::kLocal:
         return t;
     }
-    throw std::out_of_range("Mesh2D::neighbor: off-mesh");
+    throw holms::OutOfRange("Mesh2D::neighbor: off-mesh");
   }
 
   bool has_neighbor(TileId t, Dir d) const {
@@ -133,7 +135,7 @@ class Mesh2D {
     if (id < w_ * (h_ - 1)) {
       return {tile_at(id % w_, id / w_), Dir::kSouth};
     }
-    throw std::out_of_range("Mesh2D::undirected_link: bad link id");
+    throw holms::OutOfRange("Mesh2D::undirected_link: bad link id");
   }
 
  private:

@@ -6,6 +6,10 @@
 // distinct streams obtained via `Rng::fork()` to keep their draws decoupled
 // from one another (adding a component never perturbs another component's
 // sequence).
+//
+// HOLMS_LINT_ALLOW_FILE(D001): allowlisted RNG module — the one place std engines/distributions may live
+// Everything else must draw through sim::Rng (or exec::stream_seed for
+// parallel stream derivation); holms_lint rule D001 enforces this.
 
 #include <cassert>
 #include <cmath>

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::sim {
 
 void OnlineStats::add(double x) {
@@ -71,7 +73,7 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
       counts_(bins, 0) {
   if (!(hi > lo) || bins == 0) {
-    throw std::invalid_argument("Histogram requires hi > lo and bins > 0");
+    throw holms::InvalidArgument("Histogram requires hi > lo and bins > 0");
   }
 }
 

@@ -2,11 +2,13 @@
 
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::stream {
 
 IidErrorModel::IidErrorModel(double per, sim::Rng rng) : per_(per), rng_(rng) {
   if (!(per >= 0.0 && per <= 1.0)) {
-    throw std::invalid_argument("IidErrorModel: per must be in [0,1]");
+    throw holms::InvalidArgument("IidErrorModel: per must be in [0,1]");
   }
 }
 
@@ -14,11 +16,7 @@ bool IidErrorModel::corrupts(double) { return rng_.bernoulli(per_); }
 
 GilbertElliottModel::GilbertElliottModel(const Params& p, sim::Rng rng)
     : p_(p), rng_(rng) {
-  if (!(p.per_good >= 0.0 && p.per_good <= 1.0) ||
-      !(p.per_bad >= 0.0 && p.per_bad <= 1.0) || !(p.rate_g2b > 0.0) ||
-      !(p.rate_b2g > 0.0)) {
-    throw std::invalid_argument("GilbertElliottModel: invalid params");
-  }
+  p.validate();
   state_until_ = rng_.exponential(p_.rate_g2b);
 }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "sim/random.hpp"
+#include "exec/error.hpp"
 
 namespace holms::stream {
 
@@ -56,6 +57,15 @@ class GilbertElliottModel final : public ErrorModel {
     double per_bad = 0.3;      // packet error prob in Bad
     double rate_g2b = 0.1;     // Good -> Bad transitions per unit time
     double rate_b2g = 1.0;     // Bad -> Good transitions per unit time
+
+    /// Contract rule C001; called by the model constructor.
+    void validate() const {
+      if (!(per_good >= 0.0 && per_good <= 1.0) ||
+          !(per_bad >= 0.0 && per_bad <= 1.0) || !(rate_g2b > 0.0) ||
+          !(rate_b2g > 0.0)) {
+        throw holms::InvalidArgument("GilbertElliottModel: invalid params");
+      }
+    }
   };
   GilbertElliottModel(const Params& p, sim::Rng rng);
 

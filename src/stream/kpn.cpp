@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::stream {
 
 void Buffer::push(double now, Token t) {
@@ -30,10 +32,10 @@ CpuId ProcessNetwork::add_cpu(SchedPolicy policy) {
 
 NodeId ProcessNetwork::add_worker(NodeSpec spec) {
   if (!spec.service_time) {
-    throw std::invalid_argument("add_worker: service_time required");
+    throw holms::InvalidArgument("add_worker: service_time required");
   }
   if (spec.cpu.v >= cpus_.size()) {
-    throw std::out_of_range("add_worker: unknown CPU");
+    throw holms::OutOfRange("add_worker: unknown CPU");
   }
   Node n;
   n.kind = Kind::kWorker;
@@ -66,10 +68,10 @@ NodeId ProcessNetwork::add_sink(std::string name) {
 EdgeId ProcessNetwork::connect(NodeId from, NodeId to, std::size_t capacity,
                                std::string buffer_name, std::size_t produce,
                                std::size_t consume) {
-  if (capacity == 0) throw std::invalid_argument("connect: capacity >= 1");
+  if (capacity == 0) throw holms::InvalidArgument("connect: capacity >= 1");
   if (produce == 0 || consume == 0 || produce > capacity ||
       consume > capacity) {
-    throw std::invalid_argument(
+    throw holms::InvalidArgument(
         "connect: SDF rates must be in [1, capacity]");
   }
   if (buffer_name.empty()) {

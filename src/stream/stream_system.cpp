@@ -183,6 +183,7 @@ StreamQos run_stream(traffic::ArrivalProcess& source, ErrorModel& errors,
 StreamTuningResult tune_stream(const StreamConfig& base,
                                const GilbertElliottModel::Params& channel,
                                const StreamTuningOptions& opts) {
+  opts.validate();
   StreamTuningResult best;
   double best_goodput = -1.0;
   for (const double rate : opts.source_rates) {

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::streaming {
 
 SlotLossTrace::SlotLossTrace(const fault::FaultSchedule* schedule,
@@ -13,11 +15,11 @@ SlotLossTrace::SlotLossTrace(const fault::FaultSchedule* schedule,
     : injector_(schedule), slot_s_(slot_s), nominal_(nominal_loss),
       faulty_(faulty_loss) {
   if (!(slot_s > 0.0)) {
-    throw std::invalid_argument("SlotLossTrace: slot_s must be > 0");
+    throw holms::InvalidArgument("SlotLossTrace: slot_s must be > 0");
   }
   if (!(nominal_loss >= 0.0 && nominal_loss <= 1.0) ||
       !(faulty_loss >= 0.0 && faulty_loss <= 1.0)) {
-    throw std::invalid_argument("SlotLossTrace: loss must be in [0, 1]");
+    throw holms::InvalidArgument("SlotLossTrace: loss must be in [0, 1]");
   }
 }
 

@@ -7,6 +7,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::traffic {
 
 double fgn_autocovariance(double h, std::size_t lag) {
@@ -19,7 +21,7 @@ double fgn_autocovariance(double h, std::size_t lag) {
 
 std::vector<double> fgn_hosking(std::size_t n, double h, sim::Rng& rng) {
   if (!(h > 0.0 && h < 1.0)) {
-    throw std::invalid_argument("fgn_hosking: H must be in (0,1)");
+    throw holms::InvalidArgument("fgn_hosking: H must be in (0,1)");
   }
   std::vector<double> out;
   out.reserve(n);
@@ -92,7 +94,7 @@ double rescaled_range(std::span<const double> xs) {
 }  // namespace
 
 double hurst_rs(std::span<const double> xs) {
-  if (xs.size() < 32) throw std::invalid_argument("hurst_rs: trace too short");
+  if (xs.size() < 32) throw holms::InvalidArgument("hurst_rs: trace too short");
   std::vector<double> log_m, log_rs;
   for (std::size_t m = 8; m <= xs.size() / 4; m *= 2) {
     const std::size_t blocks = xs.size() / m;
@@ -109,13 +111,13 @@ double hurst_rs(std::span<const double> xs) {
     log_m.push_back(std::log(static_cast<double>(m)));
     log_rs.push_back(std::log(acc / static_cast<double>(used)));
   }
-  if (log_m.size() < 2) throw std::runtime_error("hurst_rs: degenerate trace");
+  if (log_m.size() < 2) throw holms::RuntimeError("hurst_rs: degenerate trace");
   return ls_slope(log_m, log_rs);
 }
 
 double hurst_aggregated_variance(std::span<const double> xs) {
   if (xs.size() < 64) {
-    throw std::invalid_argument("hurst_aggregated_variance: trace too short");
+    throw holms::InvalidArgument("hurst_aggregated_variance: trace too short");
   }
   std::vector<double> log_m, log_var;
   for (std::size_t m = 1; m <= xs.size() / 16; m *= 2) {
@@ -132,7 +134,7 @@ double hurst_aggregated_variance(std::span<const double> xs) {
     log_var.push_back(std::log(var));
   }
   if (log_m.size() < 2) {
-    throw std::runtime_error("hurst_aggregated_variance: degenerate trace");
+    throw holms::RuntimeError("hurst_aggregated_variance: degenerate trace");
   }
   // slope = 2H - 2.
   const double slope = ls_slope(log_m, log_var);
@@ -143,10 +145,10 @@ double hurst_periodogram(std::span<const double> xs,
                          double low_frequency_fraction) {
   const std::size_t n = xs.size();
   if (n < 128) {
-    throw std::invalid_argument("hurst_periodogram: trace too short");
+    throw holms::InvalidArgument("hurst_periodogram: trace too short");
   }
   if (!(low_frequency_fraction > 0.0 && low_frequency_fraction <= 0.5)) {
-    throw std::invalid_argument("hurst_periodogram: bad frequency fraction");
+    throw holms::InvalidArgument("hurst_periodogram: bad frequency fraction");
   }
   double mean = 0.0;
   for (double x : xs) mean += x;
@@ -174,7 +176,7 @@ double hurst_periodogram(std::span<const double> xs,
     log_i.push_back(std::log(periodogram));
   }
   if (log_f.size() < 4) {
-    throw std::runtime_error("hurst_periodogram: degenerate spectrum");
+    throw holms::RuntimeError("hurst_periodogram: degenerate spectrum");
   }
   // slope = 1 - 2H.
   const double slope = ls_slope(log_f, log_i);

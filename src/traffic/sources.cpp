@@ -6,16 +6,18 @@
 #include <limits>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::traffic {
 
 CbrSource::CbrSource(double rate) : period_(1.0 / rate) {
-  if (!(rate > 0.0)) throw std::invalid_argument("CbrSource: rate must be > 0");
+  if (!(rate > 0.0)) throw holms::InvalidArgument("CbrSource: rate must be > 0");
 }
 
 PoissonSource::PoissonSource(double rate, sim::Rng rng)
     : rate_(rate), rng_(rng) {
   if (!(rate > 0.0)) {
-    throw std::invalid_argument("PoissonSource: rate must be > 0");
+    throw holms::InvalidArgument("PoissonSource: rate must be > 0");
   }
 }
 
@@ -26,7 +28,7 @@ MmppSource::MmppSource(double rate0, double rate1, double switch01,
     : rates_{rate0, rate1}, switch_rates_{switch01, switch10}, rng_(rng) {
   if (!(rate0 >= 0.0) || !(rate1 >= 0.0) || !(switch01 > 0.0) ||
       !(switch10 > 0.0) || (rate0 <= 0.0 && rate1 <= 0.0)) {
-    throw std::invalid_argument("MmppSource: invalid rates");
+    throw holms::InvalidArgument("MmppSource: invalid rates");
   }
   time_to_switch_ = rng_.exponential(switch_rates_[0]);
 }
@@ -57,11 +59,7 @@ double MmppSource::next_interarrival() {
 
 OnOffParetoSource::OnOffParetoSource(const Params& p, sim::Rng rng)
     : p_(p), rng_(rng) {
-  if (!(p.peak_rate > 0.0) || !(p.mean_on > 0.0) || !(p.mean_off > 0.0) ||
-      !(p.alpha_on > 1.0) || !(p.alpha_off > 1.0)) {
-    throw std::invalid_argument(
-        "OnOffParetoSource: need positive params and alpha > 1");
-  }
+  p.validate();
   // Pareto(alpha, xm) has mean alpha*xm/(alpha-1); solve xm for target mean.
   xm_on_ = p.mean_on * (p.alpha_on - 1.0) / p.alpha_on;
   xm_off_ = p.mean_off * (p.alpha_off - 1.0) / p.alpha_off;
@@ -100,7 +98,7 @@ SuperposedSource::SuperposedSource(
     std::vector<std::unique_ptr<ArrivalProcess>> sources)
     : sources_(std::move(sources)) {
   if (sources_.empty()) {
-    throw std::invalid_argument("SuperposedSource: need >= 1 source");
+    throw holms::InvalidArgument("SuperposedSource: need >= 1 source");
   }
   next_time_.reserve(sources_.size());
   for (auto& s : sources_) next_time_.push_back(s->next_interarrival());
@@ -124,7 +122,7 @@ double SuperposedSource::next_interarrival() {
 
 std::unique_ptr<ArrivalProcess> make_selfsimilar_aggregate(
     std::size_t n, double target_rate, double alpha, sim::Rng& rng) {
-  if (n == 0) throw std::invalid_argument("aggregate: need >= 1 source");
+  if (n == 0) throw holms::InvalidArgument("aggregate: need >= 1 source");
   std::vector<std::unique_ptr<ArrivalProcess>> sources;
   sources.reserve(n);
   OnOffParetoSource::Params p;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/random.hpp"
+#include "exec/error.hpp"
 
 namespace holms::traffic {
 
@@ -82,6 +83,16 @@ class OnOffParetoSource final : public ArrivalProcess {
     double mean_off = 4.0;     // mean OFF duration
     double alpha_on = 1.5;     // Pareto shape of ON periods
     double alpha_off = 1.5;    // Pareto shape of OFF periods
+
+    /// Contract rule C001; called by the source constructor.  Shapes must
+    /// exceed 1 so the mean ON/OFF durations exist.
+    void validate() const {
+      if (!(peak_rate > 0.0) || !(mean_on > 0.0) || !(mean_off > 0.0) ||
+          !(alpha_on > 1.0) || !(alpha_off > 1.0)) {
+        throw holms::InvalidArgument(
+            "OnOffParetoSource: rates/means > 0, shapes > 1 required");
+      }
+    }
   };
   OnOffParetoSource(const Params& p, sim::Rng rng);
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::traffic {
 namespace {
 
@@ -11,7 +13,7 @@ FrameType type_from_string(const std::string& s, std::size_t line) {
   if (s == "I") return FrameType::kI;
   if (s == "P") return FrameType::kP;
   if (s == "B") return FrameType::kB;
-  throw std::runtime_error("trace line " + std::to_string(line) +
+  throw holms::RuntimeError("trace line " + std::to_string(line) +
                            ": unknown frame type '" + s + "'");
 }
 
@@ -39,7 +41,7 @@ std::vector<VideoFrame> read_trace_csv(std::istream& in) {
     std::string idx, type, size, cx;
     if (!std::getline(row, idx, ',') || !std::getline(row, type, ',') ||
         !std::getline(row, size, ',') || !std::getline(row, cx)) {
-      throw std::runtime_error("trace line " + std::to_string(lineno) +
+      throw holms::RuntimeError("trace line " + std::to_string(lineno) +
                                ": expected 4 comma-separated fields");
     }
     VideoFrame f;
@@ -48,12 +50,12 @@ std::vector<VideoFrame> read_trace_csv(std::istream& in) {
       f.size_bits = std::stod(size);
       f.decode_complexity = std::stod(cx);
     } catch (const std::exception&) {
-      throw std::runtime_error("trace line " + std::to_string(lineno) +
+      throw holms::RuntimeError("trace line " + std::to_string(lineno) +
                                ": malformed number");
     }
     f.type = type_from_string(type, lineno);
     if (f.size_bits < 0.0 || f.decode_complexity < 0.0) {
-      throw std::runtime_error("trace line " + std::to_string(lineno) +
+      throw holms::RuntimeError("trace line " + std::to_string(lineno) +
                                ": negative size/complexity");
     }
     trace.push_back(f);
@@ -64,13 +66,13 @@ std::vector<VideoFrame> read_trace_csv(std::istream& in) {
 void save_trace(const std::string& path,
                 const std::vector<VideoFrame>& trace) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  if (!out) throw holms::RuntimeError("save_trace: cannot open " + path);
   write_trace_csv(out, trace);
 }
 
 std::vector<VideoFrame> load_trace(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  if (!in) throw holms::RuntimeError("load_trace: cannot open " + path);
   return read_trace_csv(in);
 }
 
@@ -78,7 +80,7 @@ TracePlaybackSource::TracePlaybackSource(std::vector<VideoFrame> trace,
                                          double frame_rate)
     : trace_(std::move(trace)), frame_rate_(frame_rate) {
   if (trace_.empty() || !(frame_rate > 0.0)) {
-    throw std::invalid_argument(
+    throw holms::InvalidArgument(
         "TracePlaybackSource: need non-empty trace, rate > 0");
   }
 }

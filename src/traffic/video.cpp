@@ -6,14 +6,13 @@
 
 #include "traffic/selfsim.hpp"
 
+#include "exec/error.hpp"
+
 namespace holms::traffic {
 
 VideoTraceGenerator::VideoTraceGenerator(const Params& p, sim::Rng rng)
     : p_(p), rng_(rng) {
-  if (p.gop_length == 0 || !(p.frame_rate > 0.0) || !(p.mean_bitrate > 0.0) ||
-      !(p.i_to_p_ratio >= 1.0) || !(p.p_to_b_ratio >= 1.0)) {
-    throw std::invalid_argument("VideoTraceGenerator: invalid params");
-  }
+  p.validate();
   // Solve per-type mean sizes so the GOP-average bitrate hits mean_bitrate.
   // Count frame types in one GOP.
   std::size_t ni = 0, np = 0, nb = 0;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/random.hpp"
+#include "exec/error.hpp"
 
 namespace holms::traffic {
 
@@ -40,6 +41,18 @@ class VideoTraceGenerator {
     double scene_hurst = 0.8;          // LRD of scene-activity modulation
     double scene_strength = 0.3;       // modulation depth (0 = none)
     double cycles_per_bit = 120.0;     // decode complexity scaling
+
+    /// Contract rule C001; called by the generator constructor.
+    void validate() const {
+      if (gop_length == 0 || !(frame_rate > 0.0) || !(mean_bitrate > 0.0) ||
+          !(i_to_p_ratio >= 1.0) || !(p_to_b_ratio >= 1.0)) {
+        throw holms::InvalidArgument("VideoTraceGenerator: invalid params");
+      }
+      if (!(size_cv >= 0.0) || !(cycles_per_bit >= 0.0)) {
+        throw holms::InvalidArgument(
+            "VideoTraceGenerator: size_cv and cycles_per_bit must be >= 0");
+      }
+    }
   };
 
   VideoTraceGenerator(const Params& p, sim::Rng rng);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "wireless/transceiver.hpp"
+#include "exec/error.hpp"
 
 namespace holms::wireless {
 
@@ -50,10 +51,41 @@ class JsccOptimizer {
                                           0.5};
     std::vector<int> constraint_lengths = {0, 3, 5, 7, 9};
     double residual_ber_amplification = 1e4;  // MSE per residual bit error
+
+    /// Contract rule C001; checked on JsccOptimizer construction.
+    void validate() const {
+      if (!(max_distortion > 0.0)) {
+        throw holms::InvalidArgument(
+            "JsccOptimizer: max_distortion must be > 0");
+      }
+      if (source_rates.empty() || power_levels_w.empty() ||
+          constraint_lengths.empty()) {
+        throw holms::InvalidArgument(
+            "JsccOptimizer: need >= 1 rate, power level and code option");
+      }
+      for (double r : source_rates) {
+        if (!(r > 0.0)) {
+          throw holms::InvalidArgument(
+              "JsccOptimizer: source rates must be > 0");
+        }
+      }
+      for (double p : power_levels_w) {
+        if (!(p > 0.0)) {
+          throw holms::InvalidArgument(
+              "JsccOptimizer: power levels must be > 0");
+        }
+      }
+      if (!(residual_ber_amplification >= 0.0)) {
+        throw holms::InvalidArgument(
+            "JsccOptimizer: residual_ber_amplification must be >= 0");
+      }
+    }
   };
 
   JsccOptimizer(ImageModel img, RadioModel radio, Options opts)
-      : img_(img), radio_(radio), opts_(opts) {}
+      : img_(img), radio_(radio), opts_(std::move(opts)) {
+    opts_.validate();
+  }
 
   /// Evaluates one configuration against a channel gain.
   JsccConfig evaluate(const JsccConfig& c, double channel_gain) const;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::wireless {
 namespace {
 
@@ -40,7 +42,7 @@ int pam_axis_errors(std::uint32_t levels, double a, double sigma,
 LinkSimResult simulate_awgn_ber(Modulation m, double ebn0,
                                 std::uint64_t bits, sim::Rng& rng) {
   if (!(ebn0 > 0.0)) {
-    throw std::invalid_argument("simulate_awgn_ber: ebn0 must be > 0");
+    throw holms::InvalidArgument("simulate_awgn_ber: ebn0 must be > 0");
   }
   LinkSimResult res;
   const double k = bits_per_symbol(m);
@@ -81,7 +83,7 @@ double simulate_packet_error_rate(Modulation m, double ebn0,
                                   std::size_t packet_bits,
                                   std::size_t packets, sim::Rng& rng) {
   if (packet_bits == 0 || packets == 0) {
-    throw std::invalid_argument("simulate_packet_error_rate: empty workload");
+    throw holms::InvalidArgument("simulate_packet_error_rate: empty workload");
   }
   std::size_t failed = 0;
   for (std::size_t p = 0; p < packets; ++p) {
@@ -95,7 +97,7 @@ LinkSimResult simulate_rayleigh_ber(Modulation m, double mean_ebn0,
                                     std::uint64_t bits,
                                     std::size_t block_bits, sim::Rng& rng) {
   if (block_bits == 0) {
-    throw std::invalid_argument("simulate_rayleigh_ber: block_bits >= 1");
+    throw holms::InvalidArgument("simulate_rayleigh_ber: block_bits >= 1");
   }
   LinkSimResult res;
   while (res.bits < bits) {

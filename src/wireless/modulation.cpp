@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/error.hpp"
+
 namespace holms::wireless {
 
 double bits_per_symbol(Modulation m) {
@@ -38,7 +40,7 @@ double ber(Modulation m, double ebn0) {
 
 double required_ebn0(Modulation m, double target_ber) {
   if (!(target_ber > 0.0 && target_ber < 0.5)) {
-    throw std::invalid_argument("required_ebn0: target in (0, 0.5)");
+    throw holms::InvalidArgument("required_ebn0: target in (0, 0.5)");
   }
   double lo = 1e-3, hi = 1e6;
   for (int i = 0; i < 200; ++i) {

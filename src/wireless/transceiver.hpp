@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "wireless/modulation.hpp"
+#include "exec/error.hpp"
 
 namespace holms::wireless {
 
@@ -62,10 +63,34 @@ class EnergyManager {
                                           0.2,  0.35, 0.5};
     std::vector<int> constraint_lengths = {0, 3, 5, 7, 9};
     std::size_t max_best_response_rounds = 16;
+
+    /// Contract rule C001; checked on EnergyManager construction.
+    void validate() const {
+      if (!(target_ber > 0.0 && target_ber < 0.5)) {
+        throw holms::InvalidArgument(
+            "EnergyManager: target_ber must be in (0, 0.5)");
+      }
+      if (power_levels_w.empty() || constraint_lengths.empty()) {
+        throw holms::InvalidArgument(
+            "EnergyManager: need >= 1 power level and code option");
+      }
+      for (double p : power_levels_w) {
+        if (!(p > 0.0)) {
+          throw holms::InvalidArgument(
+              "EnergyManager: power levels must be > 0");
+        }
+      }
+      if (max_best_response_rounds == 0) {
+        throw holms::InvalidArgument(
+            "EnergyManager: max_best_response_rounds must be >= 1");
+      }
+    }
   };
 
   EnergyManager(RadioModel radio, Options opts)
-      : radio_(radio), opts_(opts) {}
+      : radio_(radio), opts_(std::move(opts)) {
+    opts_.validate();
+  }
 
   /// Static baseline: the single configuration that meets the BER target in
   /// the *worst* expected channel, used for every channel state.

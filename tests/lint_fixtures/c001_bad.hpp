@@ -1,0 +1,11 @@
+#pragma once
+// C001 positive: public Params/Options structs without validate().
+struct SolverOptions {
+  int max_iterations = 100;
+};
+class Widget {
+ public:
+  struct Params {
+    double rate = 1.0;
+  };
+};

@@ -1,0 +1,10 @@
+#pragma once
+// C001 negative: validate() present; non-Params structs are out of scope.
+struct SolverOptions {
+  int max_iterations = 100;
+  void validate() const;
+};
+struct SolverResult {  // not *Params / *Options: no validate() required
+  double value = 0.0;
+};
+struct Params;  // forward declaration: no definition to check

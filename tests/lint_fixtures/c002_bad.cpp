@@ -1,0 +1,5 @@
+// C002 positive: bare std exception escaping a library API.
+#include <stdexcept>
+void check(int x) {
+  if (x < 0) throw std::invalid_argument("x must be >= 0");
+}

@@ -1,0 +1,5 @@
+// C002 negative: the typed holms hierarchy.
+#include "exec/error.hpp"
+void check(int x) {
+  if (x < 0) throw holms::InvalidArgument("x must be >= 0");
+}

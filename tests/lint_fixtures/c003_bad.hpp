@@ -1,0 +1,4 @@
+#pragma once
+// C003 positive: using namespace in a header.
+#include <vector>
+using namespace std;

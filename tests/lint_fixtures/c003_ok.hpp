@@ -1,0 +1,6 @@
+#pragma once
+// C003 negative: qualified names and scoped aliases only.
+#include <vector>
+namespace holms {
+using Row = std::vector<double>;
+}

@@ -1,0 +1,2 @@
+// C004 positive: no #pragma once anywhere in this header.
+struct Foo {};

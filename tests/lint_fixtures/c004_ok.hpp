@@ -1,0 +1,3 @@
+#pragma once
+// C004 negative.
+struct Foo {};

@@ -1,0 +1,7 @@
+// D001 positive: std engine + distribution + rand() in library code.
+#include <random>
+double draw() {
+  std::mt19937 gen(123);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  return u(gen) + static_cast<double>(rand());
+}

@@ -1,0 +1,10 @@
+// D001 negative: draws through sim::Rng; identifiers that merely *contain*
+// banned names (mm1k_distribution) and member accesses (q.rand()) must not
+// fire, and neither may rng.normal(...) on the wrapper itself.
+#include "sim/random.hpp"
+std::vector<double> mm1k_distribution(double lambda, double mu, int k);
+struct Queue;
+double via_member(Queue& q) { return q.rand(); }
+double use(holms::sim::Rng& rng) {
+  return rng.uniform() + rng.normal(0.0, 1.0);
+}

@@ -1,0 +1,7 @@
+// D002 positive: wall-clock reads in library code.
+#include <chrono>
+#include <ctime>
+long stamp() {
+  auto t = std::chrono::steady_clock::now();
+  return static_cast<long>(time(nullptr)) + t.time_since_epoch().count();
+}

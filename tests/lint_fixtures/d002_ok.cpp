@@ -1,0 +1,4 @@
+// D002 negative: simulated time and member functions named like clocks.
+struct Sim { double now() const { return t_; } double t_ = 0.0; };
+double service_time(double x) { return x * 2.0; }
+double run(const Sim& sim) { return sim.now() + service_time(1.0); }

@@ -1,0 +1,8 @@
+// D003 positive: range-for over an unordered container.
+#include <unordered_map>
+#include <string>
+double sum(const std::unordered_map<std::string, double>& weights) {
+  double s = 0.0;
+  for (const auto& [k, v] : weights) s += v;
+  return s;
+}

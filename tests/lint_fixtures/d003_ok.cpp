@@ -1,0 +1,10 @@
+// D003 negative: membership tests and ordered iteration are fine.
+#include <map>
+#include <unordered_set>
+double sum(const std::map<int, double>& m, const std::unordered_set<int>& skip) {
+  double s = 0.0;
+  for (const auto& [k, v] : m) {
+    if (skip.count(k) == 0) s += v;
+  }
+  return s;
+}

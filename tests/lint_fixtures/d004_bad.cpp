@@ -1,0 +1,5 @@
+// D004 positive: mutable statics at namespace scope.
+static int call_count;
+namespace holms {
+static double last_result = 0.0;
+}

@@ -1,0 +1,11 @@
+// D004 negative: constants, static functions, and function-local statics
+// with const are all allowed.
+static constexpr int kLimit = 8;
+static const double kScale = 2.0;
+static int helper(int x) { return x + kLimit; }
+namespace holms {
+int run(int x) {
+  static const int base = 3;
+  return helper(x) + base;
+}
+}

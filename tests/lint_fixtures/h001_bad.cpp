@@ -1,0 +1,7 @@
+// H001 positive: direct console output from library code.
+#include <cstdio>
+#include <iostream>
+void debug(int x) {
+  std::cout << "x = " << x << "\n";
+  printf("%d\n", x);
+}

@@ -1,0 +1,9 @@
+// H001 negative: formatting into buffers/strings is fine, and so are
+// identifiers that merely contain the banned names.
+#include <cstdio>
+#include <string>
+std::string debug(int x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%d", x);
+  return buf;
+}

@@ -1,0 +1,13 @@
+// Malformed suppressions: missing reason and unknown rule id -> X001, and
+// the underlying findings stay live.
+#include <chrono>
+long stamp() {
+  // HOLMS_LINT_ALLOW(D002)
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+long stamp2() {
+  // HOLMS_LINT_ALLOW(D999): no such rule
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}

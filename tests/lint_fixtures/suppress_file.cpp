@@ -1,0 +1,4 @@
+// HOLMS_LINT_ALLOW_FILE(D002): fixture — whole-file allowlisting
+#include <chrono>
+long a() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+long b() { return std::chrono::system_clock::now().time_since_epoch().count(); }

@@ -1,0 +1,12 @@
+// Suppression behavior: a reasoned allow-annotation on the offending line
+// (or alone on the line directly above it) silences exactly that rule there.
+#include <chrono>
+long stamp() {
+  // HOLMS_LINT_ALLOW(D002): fixture — pretend this is observability-only
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+long stamp2() {
+  auto t = std::chrono::steady_clock::now();  // HOLMS_LINT_ALLOW(D002): trailing form
+  return t.time_since_epoch().count();
+}

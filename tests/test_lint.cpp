@@ -1,0 +1,360 @@
+// Golden-fixture tests for holms_lint (tools/holms_lint, DESIGN.md §5f).
+//
+// Each rule gets one positive fixture (the violation fires) and one negative
+// fixture (near-miss code stays clean), pinning the scanner's heuristics so
+// rule edits can't silently widen or narrow them.  Fixtures live in
+// tests/lint_fixtures/ — the CLI skips that directory when linting the repo,
+// and these tests lex them with an explicit FileKind (their on-disk path
+// would classify them as test code and exempt the library-only rules).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace lint = holms::lint;
+
+namespace {
+
+std::string fixture_text(const std::string& name) {
+  const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+lint::SourceFile lex_fixture(const std::string& name, lint::FileKind kind) {
+  return lint::lex(name, fixture_text(name), kind);
+}
+
+std::vector<lint::Finding> lint_fixture(const std::string& name,
+                                        lint::FileKind kind) {
+  const lint::SourceFile f = lex_fixture(name, kind);
+  return lint::run_rules(f);
+}
+
+std::size_t active_count(const std::vector<lint::Finding>& fs,
+                         const std::string& rule) {
+  std::size_t n = 0;
+  for (const lint::Finding& f : fs) {
+    if (!f.suppressed && f.rule == rule) ++n;
+  }
+  return n;
+}
+
+std::size_t active_total(const std::vector<lint::Finding>& fs) {
+  std::size_t n = 0;
+  for (const lint::Finding& f : fs) {
+    if (!f.suppressed) ++n;
+  }
+  return n;
+}
+
+std::size_t suppressed_count(const std::vector<lint::Finding>& fs,
+                             const std::string& rule) {
+  std::size_t n = 0;
+  for (const lint::Finding& f : fs) {
+    if (f.suppressed && f.rule == rule) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+// ---- D001: banned randomness primitives -----------------------------------
+
+TEST(LintD001, FlagsStdEnginesDistributionsAndRand) {
+  const auto fs =
+      lint_fixture("d001_bad.cpp", lint::FileKind::kLibrarySource);
+  // mt19937, uniform_real_distribution, rand().
+  EXPECT_EQ(active_count(fs, "D001"), 3u);
+}
+
+TEST(LintD001, IgnoresSimRngAndLookalikeIdentifiers) {
+  const auto fs = lint_fixture("d001_ok.cpp", lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_total(fs), 0u);
+}
+
+// ---- D002: wall-clock reads -----------------------------------------------
+
+TEST(LintD002, FlagsClockNowAndTimeCalls) {
+  const auto fs =
+      lint_fixture("d002_bad.cpp", lint::FileKind::kLibrarySource);
+  // steady_clock::now() and time(nullptr).
+  EXPECT_EQ(active_count(fs, "D002"), 2u);
+}
+
+TEST(LintD002, IgnoresSimulatedTimeAndMemberFunctions) {
+  const auto fs = lint_fixture("d002_ok.cpp", lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_total(fs), 0u);
+}
+
+// ---- D003: range-for over unordered containers ----------------------------
+
+TEST(LintD003, FlagsRangeForOverUnorderedMap) {
+  const auto fs =
+      lint_fixture("d003_bad.cpp", lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_count(fs, "D003"), 1u);
+}
+
+TEST(LintD003, AllowsOrderedIterationAndMembershipTests) {
+  const auto fs = lint_fixture("d003_ok.cpp", lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_total(fs), 0u);
+}
+
+// ---- D004: mutable statics at namespace scope -----------------------------
+
+TEST(LintD004, FlagsMutableNamespaceScopeStatics) {
+  const auto fs =
+      lint_fixture("d004_bad.cpp", lint::FileKind::kLibrarySource);
+  // `static int call_count;` at file scope and `static double last_result`
+  // inside namespace holms.
+  EXPECT_EQ(active_count(fs, "D004"), 2u);
+}
+
+TEST(LintD004, AllowsConstantsStaticFunctionsAndLocals) {
+  const auto fs = lint_fixture("d004_ok.cpp", lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_total(fs), 0u);
+}
+
+// ---- C001: Params/Options structs must expose validate() ------------------
+
+TEST(LintC001, FlagsParamsStructsWithoutValidate) {
+  const auto fs =
+      lint_fixture("c001_bad.hpp", lint::FileKind::kLibraryHeader);
+  // SolverOptions at namespace scope and Widget::Params nested.
+  EXPECT_EQ(active_count(fs, "C001"), 2u);
+}
+
+TEST(LintC001, AcceptsValidateMembersAndSkipsNonParamsStructs) {
+  const auto fs = lint_fixture("c001_ok.hpp", lint::FileKind::kLibraryHeader);
+  EXPECT_EQ(active_total(fs), 0u);
+}
+
+// ---- C002: typed exception hierarchy only ---------------------------------
+
+TEST(LintC002, FlagsThrowOfBareStdExceptions) {
+  const auto fs =
+      lint_fixture("c002_bad.cpp", lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_count(fs, "C002"), 1u);
+}
+
+TEST(LintC002, AcceptsTypedHolmsHierarchy) {
+  const auto fs = lint_fixture("c002_ok.cpp", lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_total(fs), 0u);
+}
+
+// ---- C003: no `using namespace` in headers --------------------------------
+
+TEST(LintC003, FlagsUsingNamespaceInAnyHeader) {
+  // Fires in library headers...
+  const auto lib =
+      lint_fixture("c003_bad.hpp", lint::FileKind::kLibraryHeader);
+  EXPECT_EQ(active_count(lib, "C003"), 1u);
+  // ...and in test/bench headers too: headers leak regardless of owner.
+  const auto other =
+      lint_fixture("c003_bad.hpp", lint::FileKind::kOtherHeader);
+  EXPECT_EQ(active_count(other, "C003"), 1u);
+}
+
+TEST(LintC003, AcceptsScopedAliases) {
+  const auto fs = lint_fixture("c003_ok.hpp", lint::FileKind::kLibraryHeader);
+  EXPECT_EQ(active_total(fs), 0u);
+}
+
+// ---- C004: headers need #pragma once --------------------------------------
+
+TEST(LintC004, FlagsHeaderWithoutPragmaOnce) {
+  const auto fs =
+      lint_fixture("c004_bad.hpp", lint::FileKind::kLibraryHeader);
+  EXPECT_EQ(active_count(fs, "C004"), 1u);
+  // The finding anchors to line 1: there is no offending line to point at.
+  for (const lint::Finding& f : fs) {
+    if (f.rule == "C004") {
+      EXPECT_EQ(f.line, 1u);
+    }
+  }
+}
+
+TEST(LintC004, AcceptsPragmaOnce) {
+  const auto fs = lint_fixture("c004_ok.hpp", lint::FileKind::kLibraryHeader);
+  EXPECT_EQ(active_total(fs), 0u);
+}
+
+// ---- H001: no direct console output in library code -----------------------
+
+TEST(LintH001, FlagsCoutAndPrintf) {
+  const auto fs =
+      lint_fixture("h001_bad.cpp", lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_count(fs, "H001"), 2u);
+}
+
+TEST(LintH001, AllowsBufferFormatting) {
+  const auto fs = lint_fixture("h001_ok.cpp", lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_total(fs), 0u);
+}
+
+// ---- rule scoping ----------------------------------------------------------
+
+TEST(LintScoping, TestAndBenchCodeIsExemptFromLibraryRules) {
+  // The same violations that fire in library code are fine in tests/bench:
+  // they legitimately use ad-hoc randomness, clocks and stdout.
+  for (const char* name :
+       {"d001_bad.cpp", "d002_bad.cpp", "d003_bad.cpp", "d004_bad.cpp",
+        "c002_bad.cpp", "h001_bad.cpp"}) {
+    const auto fs = lint_fixture(name, lint::FileKind::kOtherSource);
+    EXPECT_EQ(active_total(fs), 0u) << name;
+  }
+  // Header-wide rules still apply to non-library headers...
+  const auto hdr = lint_fixture("c004_bad.hpp", lint::FileKind::kOtherHeader);
+  EXPECT_EQ(active_count(hdr, "C004"), 1u);
+  // ...but C001 (validate members) is a library-API contract only.
+  const auto c001 =
+      lint_fixture("c001_bad.hpp", lint::FileKind::kOtherHeader);
+  EXPECT_EQ(active_count(c001, "C001"), 0u);
+}
+
+TEST(LintScoping, ClassifyPathMatchesRepoLayout) {
+  EXPECT_EQ(lint::classify_path("src/noc/mapping.cpp"),
+            lint::FileKind::kLibrarySource);
+  EXPECT_EQ(lint::classify_path("src/noc/mapping.hpp"),
+            lint::FileKind::kLibraryHeader);
+  EXPECT_EQ(lint::classify_path("tests/test_core.cpp"),
+            lint::FileKind::kOtherSource);
+  EXPECT_EQ(lint::classify_path("bench/bench_util.hpp"),
+            lint::FileKind::kOtherHeader);
+}
+
+// ---- suppressions ----------------------------------------------------------
+
+TEST(LintSuppression, LineAndTrailingAllowSilenceTheFinding) {
+  const auto fs =
+      lint_fixture("suppress_ok.cpp", lint::FileKind::kLibrarySource);
+  // Both clock reads are found but suppressed, with their reasons attached.
+  EXPECT_EQ(active_total(fs), 0u);
+  EXPECT_EQ(suppressed_count(fs, "D002"), 2u);
+  for (const lint::Finding& f : fs) {
+    EXPECT_TRUE(f.suppressed);
+    EXPECT_FALSE(f.suppress_reason.empty());
+  }
+}
+
+TEST(LintSuppression, MalformedAllowIsX001AndDoesNotSuppress) {
+  const auto fs =
+      lint_fixture("suppress_bad.cpp", lint::FileKind::kLibrarySource);
+  // Missing reason and unknown rule id: two X001s, and both underlying
+  // D002 findings stay live.
+  EXPECT_EQ(active_count(fs, "X001"), 2u);
+  EXPECT_EQ(active_count(fs, "D002"), 2u);
+  EXPECT_EQ(suppressed_count(fs, "D002"), 0u);
+}
+
+TEST(LintSuppression, FileLevelAllowCoversTheWholeFile) {
+  const auto fs =
+      lint_fixture("suppress_file.cpp", lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_total(fs), 0u);
+  EXPECT_EQ(suppressed_count(fs, "D002"), 2u);
+}
+
+// ---- baseline --------------------------------------------------------------
+
+namespace {
+
+struct Linted {
+  lint::SourceFile file;
+  std::vector<lint::Finding> findings;
+  std::map<std::string, const lint::SourceFile*> by_path;
+
+  Linted(const std::string& name, const std::string& content,
+         lint::FileKind kind)
+      : file(lint::lex(name, content, kind)) {
+    findings = lint::run_rules(file);
+    by_path[file.path] = &file;
+  }
+};
+
+}  // namespace
+
+TEST(LintBaseline, GrandfathersExistingFindings) {
+  Linted v("d002_bad.cpp", fixture_text("d002_bad.cpp"),
+           lint::FileKind::kLibrarySource);
+  ASSERT_EQ(active_total(v.findings), 2u);
+
+  const lint::Baseline base = lint::make_baseline(v.findings, v.by_path);
+  EXPECT_EQ(
+      lint::subtract_baseline(v.findings, v.by_path, base).size(), 0u);
+  // With no baseline, everything is new.
+  EXPECT_EQ(
+      lint::subtract_baseline(v.findings, v.by_path, lint::Baseline{}).size(),
+      2u);
+}
+
+TEST(LintBaseline, KeysSurviveLineNumberDrift) {
+  const std::string original = fixture_text("d002_bad.cpp");
+  Linted v("d002_bad.cpp", original, lint::FileKind::kLibrarySource);
+  const lint::Baseline base = lint::make_baseline(v.findings, v.by_path);
+
+  // Shift every line down: unrelated edits above a finding must not turn it
+  // into a regression.  Keys hash the normalized source line, not its number.
+  Linted shifted("d002_bad.cpp", "// new leading comment\n\n\n" + original,
+                 lint::FileKind::kLibrarySource);
+  ASSERT_EQ(active_total(shifted.findings), 2u);
+  EXPECT_NE(shifted.findings[0].line, v.findings[0].line);
+  EXPECT_EQ(
+      lint::subtract_baseline(shifted.findings, shifted.by_path, base).size(),
+      0u);
+}
+
+TEST(LintBaseline, NewCopiesOfABaselinedLineAreRegressions) {
+  const std::string original = fixture_text("d002_bad.cpp");
+  Linted v("d002_bad.cpp", original, lint::FileKind::kLibrarySource);
+  const lint::Baseline base = lint::make_baseline(v.findings, v.by_path);
+
+  // Paste an extra copy of a grandfathered violation: the per-key count
+  // budget is exhausted and exactly the surplus copy surfaces as new.
+  Linted grown("d002_bad.cpp",
+               original +
+                   "long stamp2() {\n"
+                   "  auto t = std::chrono::steady_clock::now();\n"
+                   "  return t.time_since_epoch().count();\n"
+                   "}\n",
+               lint::FileKind::kLibrarySource);
+  ASSERT_EQ(active_total(grown.findings), 3u);
+  EXPECT_EQ(
+      lint::subtract_baseline(grown.findings, grown.by_path, base).size(), 1u);
+}
+
+TEST(LintBaseline, JsonRoundTrips) {
+  Linted v("d002_bad.cpp", fixture_text("d002_bad.cpp"),
+           lint::FileKind::kLibrarySource);
+  const lint::Baseline base = lint::make_baseline(v.findings, v.by_path);
+  ASSERT_FALSE(base.empty());
+  EXPECT_EQ(lint::parse_baseline_json(lint::baseline_to_json(base)), base);
+
+  // The checked-in empty baseline parses too.
+  const lint::Baseline empty =
+      lint::parse_baseline_json("{\"version\": 1, \"entries\": {}}");
+  EXPECT_TRUE(empty.empty());
+
+  EXPECT_THROW(lint::parse_baseline_json("not json"), std::runtime_error);
+}
+
+TEST(LintBaseline, SuppressedFindingsNeverReachTheBaselineDiff) {
+  Linted v("suppress_ok.cpp", fixture_text("suppress_ok.cpp"),
+           lint::FileKind::kLibrarySource);
+  ASSERT_EQ(v.findings.size(), 2u);
+  // Even an empty baseline reports nothing new: suppression already
+  // accounted for these.
+  EXPECT_EQ(
+      lint::subtract_baseline(v.findings, v.by_path, lint::Baseline{}).size(),
+      0u);
+  // And suppressed findings are not written into fresh baselines.
+  EXPECT_TRUE(lint::make_baseline(v.findings, v.by_path).empty());
+}

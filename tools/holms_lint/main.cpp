@@ -1,0 +1,228 @@
+// holms_lint CLI.
+//
+//   holms_lint [options] <path>...           (files or directories)
+//
+//   --baseline FILE        grandfather findings listed in FILE
+//   --strict               ignore the baseline: fail on ANY unsuppressed
+//                          finding (suppressions stay honored — they are
+//                          explicit, reviewed annotations)
+//   --json FILE            write the machine-readable report (default
+//                          LINT_report.json; "-" disables)
+//   --write-baseline FILE  regenerate a baseline from the current findings
+//   --list-rules           print the rule catalogue and exit
+//   --quiet                summary only, no per-finding lines
+//
+// Exit codes: 0 clean (w.r.t. baseline unless --strict), 1 findings,
+// 2 usage / IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using namespace holms::lint;  // HOLMS_LINT_ALLOW(C003): main.cpp, not a header
+
+namespace {
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h";
+}
+
+bool skipped_dir(const std::string& name) {
+  // lint_fixtures hold deliberate violations for the golden tests; build
+  // trees hold generated code.
+  return name == "lint_fixtures" || name == ".git" ||
+         name.rfind("build", 0) == 0;
+}
+
+void collect(const fs::path& root, std::vector<std::string>& out) {
+  if (fs::is_regular_file(root)) {
+    if (lintable_extension(root)) out.push_back(root.generic_string());
+    return;
+  }
+  if (!fs::is_directory(root)) return;
+  for (auto it = fs::recursive_directory_iterator(root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_directory() && skipped_dir(it->path().filename().string())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable_extension(it->path())) {
+      out.push_back(it->path().generic_string());
+    }
+  }
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return "";
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ok = true;
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string baseline_path;
+  std::string json_path = "LINT_report.json";
+  std::string write_baseline_path;
+  bool strict = false, quiet = false;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto need_value = [&](const char* flag) -> std::string {
+      if (a + 1 >= argc) {
+        std::cerr << "holms_lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--baseline") {
+      baseline_path = need_value("--baseline");
+    } else if (arg == "--json") {
+      json_path = need_value("--json");
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = need_value("--write-baseline");
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& r : rule_catalogue()) {
+        std::printf("%s  %s\n", r.id, r.summary);
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: holms_lint [--strict] [--baseline FILE] [--json FILE]\n"
+          "                  [--write-baseline FILE] [--list-rules]\n"
+          "                  [--quiet] <path>...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "holms_lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "holms_lint: no paths given (try: holms_lint src tests "
+                 "bench)\n";
+    return 2;
+  }
+
+  std::vector<std::string> paths;
+  for (const std::string& r : roots) {
+    if (!fs::exists(r)) {
+      std::cerr << "holms_lint: no such path: " << r << "\n";
+      return 2;
+    }
+    collect(r, paths);
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  std::vector<SourceFile> sources;
+  sources.reserve(paths.size());
+  std::vector<Finding> findings;
+  for (const std::string& p : paths) {
+    bool ok = true;
+    const std::string content = read_file(p, ok);
+    if (!ok) {
+      std::cerr << "holms_lint: cannot read " << p << "\n";
+      return 2;
+    }
+    sources.push_back(lex(p, content, classify_path(p)));
+    const std::vector<Finding> fs_ = run_rules(sources.back());
+    findings.insert(findings.end(), fs_.begin(), fs_.end());
+  }
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& s : sources) by_path[s.path] = &s;
+
+  if (!write_baseline_path.empty()) {
+    const Baseline b = make_baseline(findings, by_path);
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "holms_lint: cannot write " << write_baseline_path << "\n";
+      return 2;
+    }
+    out << baseline_to_json(b);
+    std::printf("holms_lint: wrote %zu baseline entr%s to %s\n", b.size(),
+                b.size() == 1 ? "y" : "ies", write_baseline_path.c_str());
+    return 0;
+  }
+
+  Baseline base;
+  if (!baseline_path.empty() && !strict) {
+    bool ok = true;
+    const std::string text = read_file(baseline_path, ok);
+    if (!ok) {
+      std::cerr << "holms_lint: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    try {
+      base = parse_baseline_json(text);
+    } catch (const std::exception& e) {
+      std::cerr << "holms_lint: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  const std::vector<Finding> fresh = subtract_baseline(findings, by_path, base);
+
+  std::size_t suppressed = 0, total = 0;
+  for (const Finding& f : findings) {
+    f.suppressed ? ++suppressed : ++total;
+  }
+
+  if (!quiet) {
+    for (const Finding& f : fresh) {
+      std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    if (strict) {
+      // --strict surfaces the explicit suppressions too, with their reasons,
+      // so "what is being allowed and why" is one command away.
+      for (const Finding& f : findings) {
+        if (f.suppressed) {
+          std::printf("%s:%zu: [%s] suppressed: %s\n", f.file.c_str(), f.line,
+                      f.rule.c_str(), f.suppress_reason.c_str());
+        }
+      }
+    }
+  }
+
+  if (json_path != "-") {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "holms_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << report_to_json(findings, fresh, strict);
+  }
+
+  std::printf(
+      "holms_lint: %zu file%s, %zu finding%s (%zu new, %zu baselined, %zu "
+      "suppressed)%s\n",
+      paths.size(), paths.size() == 1 ? "" : "s", total, total == 1 ? "" : "s",
+      fresh.size(), total - fresh.size(), suppressed,
+      strict ? " [strict]" : "");
+  return fresh.empty() ? 0 : 1;
+}

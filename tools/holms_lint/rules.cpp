@@ -1,0 +1,457 @@
+// Rule engine for holms_lint.  Every rule is a pass over the token stream of
+// one file; see lint.hpp for the catalogue and DESIGN.md §5f for rationale.
+
+#include <array>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace holms::lint {
+
+namespace {
+
+// HOLMS_LINT_ALLOW_FILE(D003): the rule tables below are compile-time
+// constant string sets that no result-producing code ever iterates.
+const std::unordered_set<std::string>& std_engines() {
+  static const std::unordered_set<std::string> kSet{
+      "random_device",   "mt19937",        "mt19937_64",
+      "minstd_rand",     "minstd_rand0",   "default_random_engine",
+      "knuth_b",         "ranlux24",       "ranlux24_base",
+      "ranlux48",        "ranlux48_base",  "random_shuffle",
+  };
+  return kSet;
+}
+
+const std::unordered_set<std::string>& std_distributions() {
+  static const std::unordered_set<std::string> kSet{
+      "uniform_real_distribution",    "uniform_int_distribution",
+      "bernoulli_distribution",       "binomial_distribution",
+      "negative_binomial_distribution", "geometric_distribution",
+      "poisson_distribution",         "exponential_distribution",
+      "gamma_distribution",           "weibull_distribution",
+      "extreme_value_distribution",   "normal_distribution",
+      "lognormal_distribution",       "chi_squared_distribution",
+      "cauchy_distribution",          "fisher_f_distribution",
+      "student_t_distribution",       "discrete_distribution",
+      "piecewise_constant_distribution", "piecewise_linear_distribution",
+  };
+  return kSet;
+}
+
+const std::unordered_set<std::string>& unordered_containers() {
+  static const std::unordered_set<std::string> kSet{
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset", "flat_hash_map", "flat_hash_set"};
+  return kSet;
+}
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Token::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Token::kPunct && t.text == text;
+}
+
+class Pass {
+ public:
+  Pass(const SourceFile& f, std::vector<Finding>& out) : f_(f), out_(out) {}
+
+  const Token& tok(std::size_t i) const { return f_.tokens[i]; }
+  std::size_t size() const { return f_.tokens.size(); }
+
+  void report(const char* rule, std::size_t line, std::string message) {
+    out_.push_back(Finding{rule, f_.path, line, std::move(message), false, {}});
+  }
+
+  /// True when the identifier at `i` is written bare or reached through a
+  /// qualifier chain containing `std` (so `std::mt19937`, `std::chrono::…`
+  /// and unqualified uses match, while `mylib::mt19937` and member accesses
+  /// `obj.rand(...)` do not).
+  bool bare_or_std(std::size_t i) const {
+    if (i == 0) return true;
+    const Token& p = f_.tokens[i - 1];
+    if (is_punct(p, ".") || is_punct(p, "->")) return false;
+    if (!is_punct(p, "::")) return true;
+    // Walk the qualifier chain: ident :: ident :: X
+    std::size_t j = i - 1;
+    while (j >= 1 && is_punct(f_.tokens[j], "::")) {
+      if (j == 0) break;
+      const Token& q = f_.tokens[j - 1];
+      if (q.kind != Token::kIdent) return true;  // ::X — global qualification
+      if (q.text == "std") return true;
+      if (j < 2) break;
+      j -= 2;
+    }
+    return false;
+  }
+
+  bool next_is(std::size_t i, const char* text) const {
+    return i + 1 < size() && (f_.tokens[i + 1].kind == Token::kPunct
+                                  ? f_.tokens[i + 1].text == text
+                                  : false);
+  }
+
+ protected:
+  const SourceFile& f_;
+  std::vector<Finding>& out_;
+};
+
+// ---- D001: banned randomness primitives -----------------------------------
+
+void rule_d001(Pass& p) {
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const Token& t = p.tok(i);
+    if (t.kind != Token::kIdent) continue;
+    const bool engine = std_engines().count(t.text) > 0;
+    const bool dist = std_distributions().count(t.text) > 0;
+    bool call_like = engine || dist;
+    if (!call_like && (t.text == "rand" || t.text == "srand")) {
+      call_like = p.next_is(i, "(");  // only calls, not variables named rand
+    } else if (!engine && !dist) {
+      continue;
+    }
+    if (!call_like || !p.bare_or_std(i)) continue;
+    p.report("D001", t.line,
+             "banned randomness primitive '" + t.text +
+                 "' outside the RNG module; draw through sim::Rng "
+                 "(exec::stream_seed for parallel streams)");
+  }
+}
+
+// ---- D002: wall-clock reads -----------------------------------------------
+
+void rule_d002(Pass& p) {
+  static const std::array<const char*, 3> kClocks = {
+      "steady_clock", "system_clock", "high_resolution_clock"};
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const Token& t = p.tok(i);
+    if (t.kind != Token::kIdent) continue;
+    for (const char* clk : kClocks) {
+      if (t.text == clk && i + 2 < p.size() && is_punct(p.tok(i + 1), "::") &&
+          is_ident(p.tok(i + 2), "now")) {
+        p.report("D002", t.line,
+                 std::string("wall-clock read '") + clk +
+                     "::now()' in library code; simulation state must come "
+                     "from sim::Simulator time, wall time only via "
+                     "exec::metrics");
+      }
+    }
+    if ((t.text == "time" || t.text == "clock" || t.text == "gettimeofday" ||
+         t.text == "clock_gettime") &&
+        p.next_is(i, "(") && p.bare_or_std(i)) {
+      p.report("D002", t.line,
+               "wall-clock read '" + t.text + "()' in library code");
+    }
+  }
+}
+
+// ---- D003: range-for over unordered containers ----------------------------
+
+void rule_d003(Pass& p) {
+  // Pass 1: names declared with an unordered container type in this file.
+  std::set<std::string> unordered_names;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p.tok(i).kind != Token::kIdent ||
+        unordered_containers().count(p.tok(i).text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    // Skip template argument list.
+    if (j < p.size() && is_punct(p.tok(j), "<")) {
+      int depth = 0;
+      for (; j < p.size(); ++j) {
+        if (is_punct(p.tok(j), "<")) ++depth;
+        if (is_punct(p.tok(j), ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    // Skip refs/pointers/cv between type and name.
+    while (j < p.size() &&
+           (is_punct(p.tok(j), "&") || is_punct(p.tok(j), "*") ||
+            is_ident(p.tok(j), "const") || is_ident(p.tok(j), "constexpr"))) {
+      ++j;
+    }
+    if (j < p.size() && p.tok(j).kind == Token::kIdent) {
+      unordered_names.insert(p.tok(j).text);
+    }
+  }
+  if (unordered_names.empty()) return;
+
+  // Pass 2: for ( ... : <expr mentioning such a name> ).
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    if (!is_ident(p.tok(i), "for") || !is_punct(p.tok(i + 1), "(")) continue;
+    int depth = 0;
+    std::size_t colon = 0, close = 0;
+    for (std::size_t j = i + 1; j < p.size(); ++j) {
+      if (is_punct(p.tok(j), "(")) ++depth;
+      if (is_punct(p.tok(j), ")") && --depth == 0) {
+        close = j;
+        break;
+      }
+      if (depth == 1 && colon == 0 && is_punct(p.tok(j), ":")) colon = j;
+    }
+    if (colon == 0 || close == 0) continue;  // classic for, or unterminated
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (p.tok(j).kind == Token::kIdent &&
+          unordered_names.count(p.tok(j).text) > 0) {
+        p.report("D003", p.tok(i).line,
+                 "range-for over unordered container '" + p.tok(j).text +
+                     "': iteration order is implementation-defined; iterate "
+                     "a sorted copy or an ordered container on "
+                     "result-producing paths");
+        break;
+      }
+    }
+  }
+}
+
+// ---- D004: mutable statics at namespace scope -----------------------------
+
+void rule_d004(Pass& p) {
+  // Scope tracking: push a kind per '{'; namespace scope = every open brace
+  // is a namespace (or extern "C") block.
+  enum Kind { kNamespace, kOther };
+  std::vector<Kind> stack;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const Token& t = p.tok(i);
+    if (is_punct(t, "{")) {
+      // Look back for what opened this brace.
+      Kind k = kOther;
+      for (std::size_t back = 1; back <= 8 && back <= i; ++back) {
+        const Token& b = p.tok(i - back);
+        if (is_punct(b, ";") || is_punct(b, "}") || is_punct(b, "{") ||
+            is_punct(b, ")")) {
+          break;  // statement boundary or function body — not a namespace
+        }
+        if (is_ident(b, "namespace")) {
+          k = kNamespace;
+          break;
+        }
+        if (is_ident(b, "extern")) {
+          k = kNamespace;  // extern "C" { ... } keeps namespace scope
+          break;
+        }
+        if (is_ident(b, "class") || is_ident(b, "struct") ||
+            is_ident(b, "union") || is_ident(b, "enum")) {
+          break;
+        }
+      }
+      stack.push_back(k);
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    if (!is_ident(t, "static")) continue;
+    bool at_namespace_scope = true;
+    for (Kind k : stack) at_namespace_scope &= (k == kNamespace);
+    if (!at_namespace_scope) continue;
+    // Scan the declaration: a '(' before '=' / ';' / '{' means a function;
+    // const/constexpr/constinit means immutable.
+    bool is_function = false, is_const = false;
+    std::size_t line = t.line;
+    int angle = 0;
+    for (std::size_t j = i + 1; j < p.size(); ++j) {
+      const Token& d = p.tok(j);
+      if (is_punct(d, "<")) ++angle;
+      if (is_punct(d, ">") && angle > 0) --angle;
+      if (angle > 0) continue;
+      if (is_punct(d, "(")) {
+        is_function = true;
+        break;
+      }
+      if (is_ident(d, "const") || is_ident(d, "constexpr") ||
+          is_ident(d, "constinit")) {
+        is_const = true;
+      }
+      if (is_punct(d, ";") || is_punct(d, "=") || is_punct(d, "{")) break;
+    }
+    if (!is_function && !is_const) {
+      p.report("D004", line,
+               "mutable `static` at namespace scope: hidden global state "
+               "breaks run-to-run and thread-count invariance; thread it "
+               "through the owning object or make it constexpr");
+    }
+  }
+}
+
+// ---- C001: Params/Options structs must expose validate() ------------------
+
+bool params_like(const std::string& name) {
+  auto ends_with = [&](const char* suffix) {
+    const std::string s = suffix;
+    return name.size() >= s.size() &&
+           name.compare(name.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with("Params") || ends_with("Options");
+}
+
+void rule_c001(Pass& p) {
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    if (!is_ident(p.tok(i), "struct") && !is_ident(p.tok(i), "class")) {
+      continue;
+    }
+    const Token& name = p.tok(i + 1);
+    if (name.kind != Token::kIdent || !params_like(name.text)) continue;
+    // Find the opening brace of the definition (skip final / base clause);
+    // stop at ';' (forward declaration) or '=' (alias-like, not ours).
+    std::size_t open = 0;
+    for (std::size_t j = i + 2; j < p.size(); ++j) {
+      if (is_punct(p.tok(j), "{")) {
+        open = j;
+        break;
+      }
+      if (is_punct(p.tok(j), ";") || is_punct(p.tok(j), "=") ||
+          is_punct(p.tok(j), ")")) {
+        break;  // fwd decl, or `struct X` used inside another declaration
+      }
+    }
+    if (open == 0) continue;
+    int depth = 0;
+    bool has_validate = false;
+    std::size_t j = open;
+    for (; j < p.size(); ++j) {
+      if (is_punct(p.tok(j), "{")) ++depth;
+      if (is_punct(p.tok(j), "}") && --depth == 0) break;
+      if (is_ident(p.tok(j), "validate") && j + 1 < p.size() &&
+          is_punct(p.tok(j + 1), "(")) {
+        has_validate = true;
+      }
+    }
+    if (!has_validate) {
+      p.report("C001", name.line,
+               "public struct '" + name.text +
+                   "' has no validate() member; every Params/Options struct "
+                   "must carry its contract checks (throwing "
+                   "holms::InvalidArgument)");
+    }
+  }
+}
+
+// ---- C002: typed exception hierarchy only ---------------------------------
+
+void rule_c002(Pass& p) {
+  for (std::size_t i = 0; i + 2 < p.size(); ++i) {
+    if (!is_ident(p.tok(i), "throw")) continue;
+    if (is_ident(p.tok(i + 1), "std") && is_punct(p.tok(i + 2), "::")) {
+      const std::string what =
+          i + 3 < p.size() ? p.tok(i + 3).text : std::string("?");
+      p.report("C002", p.tok(i).line,
+               "`throw std::" + what +
+                   "`: public APIs must throw the typed holms hierarchy "
+                   "(holms::InvalidArgument / OutOfRange / RuntimeError, "
+                   "exec/error.hpp)");
+    }
+  }
+}
+
+// ---- C003: no `using namespace` in headers --------------------------------
+
+void rule_c003(Pass& p) {
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    if (is_ident(p.tok(i), "using") && is_ident(p.tok(i + 1), "namespace")) {
+      p.report("C003", p.tok(i).line,
+               "`using namespace` in a header leaks into every includer");
+    }
+  }
+}
+
+// ---- H001: no direct stdout/stderr in library code ------------------------
+
+void rule_h001(Pass& p) {
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const Token& t = p.tok(i);
+    if (t.kind != Token::kIdent) continue;
+    const bool stream = t.text == "cout" || t.text == "cerr" ||
+                        t.text == "clog";
+    const bool fn = (t.text == "printf" || t.text == "fprintf" ||
+                     t.text == "puts" || t.text == "putchar" ||
+                     t.text == "fputs") &&
+                    p.next_is(i, "(");
+    if ((stream || fn) && p.bare_or_std(i)) {
+      p.report("H001", t.line,
+               "direct console output '" + t.text +
+                   "' in library code; route through exec::metrics / trace "
+                   "hooks so callers own the I/O policy");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalogue() {
+  static const std::vector<RuleInfo> kRules{
+      {"D001", "banned randomness primitive outside the RNG module"},
+      {"D002", "wall-clock read in library code"},
+      {"D003", "range-for over an unordered container in library code"},
+      {"D004", "mutable static at namespace scope"},
+      {"C001", "Params/Options struct without validate() member"},
+      {"C002", "throw of a bare std:: exception (use exec/error.hpp types)"},
+      {"C003", "using namespace in a header"},
+      {"C004", "header without #pragma once"},
+      {"H001", "direct console output in library code"},
+      {"X001", "malformed HOLMS_LINT_ALLOW (unknown rule or missing reason)"},
+  };
+  return kRules;
+}
+
+bool is_known_rule(const std::string& id) {
+  for (const RuleInfo& r : rule_catalogue()) {
+    if (id == r.id) return true;
+  }
+  return false;
+}
+
+std::vector<Finding> run_rules(const SourceFile& f) {
+  std::vector<Finding> findings;
+  Pass p(f, findings);
+
+  if (f.is_library()) {
+    rule_d001(p);
+    rule_d002(p);
+    rule_d003(p);
+    rule_d004(p);
+    rule_c002(p);
+    rule_h001(p);
+  }
+  if (f.is_header()) {
+    rule_c003(p);
+    if (f.kind == FileKind::kLibraryHeader) rule_c001(p);
+    if (!f.has_pragma_once) {
+      findings.push_back(Finding{"C004", f.path, 1,
+                                 "header is missing #pragma once", false, {}});
+    }
+  }
+  // X001 findings for malformed annotations (never suppressible).
+  for (const Suppression& s : f.suppressions) {
+    if (s.malformed) {
+      findings.push_back(
+          Finding{"X001", f.path, s.comment_line,
+                  "malformed HOLMS_LINT_ALLOW: need a known rule id and a "
+                  "non-empty reason (`// HOLMS_LINT_ALLOW(D001): why`)",
+                  false, {}});
+    }
+  }
+
+  // Apply suppressions.
+  for (Finding& fd : findings) {
+    if (fd.rule == "X001") continue;
+    for (const Suppression& s : f.suppressions) {
+      if (s.malformed || s.rule != fd.rule) continue;
+      if (s.file_level || s.anchor_line == fd.line) {
+        fd.suppressed = true;
+        fd.suppress_reason = s.reason;
+        break;
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace holms::lint
