@@ -8,8 +8,13 @@
 // perf-smoke job gates those numbers against bench/thresholds.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
 #include <chrono>
+#include <limits>
 #include <cstdio>
+#include <string>
+#include <thread>
 
 #include "asip/kernels.hpp"
 #include "bench_util.hpp"
@@ -278,6 +283,139 @@ double sim_events_per_s() {
   return static_cast<double>(kEvents) / dt;
 }
 
+// Banded chain (band neighbors each side, forward drift): n=4096 with band 8
+// gives ~69k nonzeros — comfortably past the sharding floors.
+holms::markov::Dtmc banded_chain(std::size_t n, std::size_t band) {
+  holms::markov::Dtmc d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i > band ? i - band : 0;
+    const std::size_t hi = std::min(n - 1, i + band);
+    double off = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) {
+      if (j == i) continue;
+      const double side = j > i ? 0.3 : 0.2;
+      const std::size_t count = j > i ? hi - i : i - lo;
+      const double w = side / static_cast<double>(count);
+      d.set(i, j, w);
+      off += w;
+    }
+    d.set(i, i, 1.0 - off);
+  }
+  return d;
+}
+
+// Sharded sparse power iteration wall time at a fixed sweep count (the
+// tolerance is unreachable, so every thread count does identical work —
+// the solves are bitwise identical by design, only the wall time moves).
+double threaded_solve_seconds(const holms::markov::Dtmc& d,
+                              std::size_t threads) {
+  holms::markov::SolveOptions opts;
+  opts.sparsity = holms::markov::SparsityMode::kSparse;
+  opts.parallel_min_states = 256;
+  opts.parallel_min_nnz = 1024;
+  opts.threads = threads;
+  opts.max_iterations = 400;
+  opts.tolerance = 1e-300;  // never met: exactly 400 sweeps
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = d.steady_state(opts);
+  benchmark::DoNotOptimize(r.distribution.data());
+  return seconds_since(t0);
+}
+
+// SA move-mix ablation on the E4 configuration: moves/s and final mapping
+// cost per mix, so the move-set's value (quality per wall-second) is recorded
+// alongside its throughput cost.
+struct MoveMix {
+  const char* key;
+  double w_swap, w_seg, w_cluster;
+  std::size_t reheat_after;
+};
+
+void sa_move_mix_metrics(holms::bench::BenchReport& report) {
+  static constexpr MoveMix kMixes[] = {
+      {"swap", 1.0, 0.0, 0.0, 0},
+      {"swap2opt", 0.7, 0.3, 0.0, 0},
+      {"swapcluster", 0.7, 0.0, 0.3, 0},
+      {"mixed", 0.6, 0.2, 0.2, 0},
+      {"mixed_reheat", 0.6, 0.2, 0.2, 2000},
+  };
+  const auto g = holms::noc::mms_graph();
+  holms::noc::Mesh2D mesh(4, 4);
+  holms::noc::EnergyModel em;
+  double swap_rate = 0.0, mixed_rate = 0.0;
+  constexpr std::size_t kNumMixes = std::size(kMixes);
+  constexpr int kReps = 5;
+  std::array<holms::noc::SaOptions, kNumMixes> opt;
+  std::array<double, kNumMixes> best_dt;
+  std::array<holms::noc::Mapping, kNumMixes> map;
+  for (std::size_t i = 0; i < kNumMixes; ++i) {
+    // Long enough (~100ms/rep) that a scheduler quantum of interference
+    // averages out instead of poisoning a whole repetition.
+    opt[i].iterations = 600000;
+    opt[i].cooling = 1.0 - 1.0 / static_cast<double>(opt[i].iterations);
+    opt[i].w_swap = kMixes[i].w_swap;
+    opt[i].w_segment_reversal = kMixes[i].w_seg;
+    opt[i].w_cluster_relocate = kMixes[i].w_cluster;
+    opt[i].reheat_after = kMixes[i].reheat_after;
+    best_dt[i] = std::numeric_limits<double>::infinity();
+    {  // warmup
+      holms::sim::Rng rng(4);
+      holms::noc::SaOptions w = opt[i];
+      w.iterations = 2000;
+      benchmark::DoNotOptimize(holms::noc::sa_mapping(g, mesh, em, rng, w));
+    }
+  }
+  // Per-mix rate is best-of-kReps, and the repetitions are interleaved
+  // round-robin across mixes: a stretch of machine-state drift (thermal,
+  // co-tenant load) then lands on every mix instead of poisoning one side
+  // of the mixed/swap ratio gate.
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (std::size_t i = 0; i < kNumMixes; ++i) {
+      holms::sim::Rng rng(4);
+      const auto t0 = std::chrono::steady_clock::now();
+      map[i] = holms::noc::sa_mapping(g, mesh, em, rng, opt[i]);
+      best_dt[i] = std::min(best_dt[i], seconds_since(t0));
+    }
+  }
+  for (std::size_t i = 0; i < kNumMixes; ++i) {
+    const double rate =
+        static_cast<double>(opt[i].iterations) / best_dt[i];
+    const double cost =
+        holms::noc::evaluate_mapping(g, mesh, em, map[i]).comm_energy_j;
+    report.set(std::string("sa_moves_per_s_") + kMixes[i].key, rate);
+    report.set(std::string("sa_final_cost_") + kMixes[i].key, cost);
+    report.set(std::string("sa_cost_per_wall_s_") + kMixes[i].key,
+               cost / best_dt[i]);
+    std::printf("-- SA mix %-13s %.3g moves/s, final E4 cost %.6g J\n",
+                kMixes[i].key, rate, cost);
+    if (std::string(kMixes[i].key) == "swap") swap_rate = rate;
+    if (std::string(kMixes[i].key) == "mixed") mixed_rate = rate;
+  }
+  report.set("sa_move_mix_throughput_ratio",
+             swap_rate > 0.0 ? mixed_rate / swap_rate : 0.0);
+  std::printf("-- SA mixed/swap throughput ratio: %.2f\n",
+              swap_rate > 0.0 ? mixed_rate / swap_rate : 0.0);
+}
+
+void threaded_solve_metrics(holms::bench::BenchReport& report) {
+  const auto d = banded_chain(4096, 8);
+  benchmark::DoNotOptimize(threaded_solve_seconds(d, 1));  // warmup
+  const double t1 = threaded_solve_seconds(d, 1);
+  const double t2 = threaded_solve_seconds(d, 2);
+  const double t4 = threaded_solve_seconds(d, 4);
+  report.set("stationary_sparse_s_n4096_t1", t1);
+  report.set("stationary_sparse_s_n4096_t2", t2);
+  report.set("stationary_sparse_s_n4096_t4", t4);
+  report.set("solve_thread_speedup_n4096", t4 > 0.0 ? t1 / t4 : 0.0);
+  report.set("hw_threads",
+             static_cast<double>(std::thread::hardware_concurrency()));
+  std::printf(
+      "-- sharded solve n=4096: t1 %.3gs, t2 %.3gs, t4 %.3gs (4T %.2fx, "
+      "%u hw threads)\n",
+      t1, t2, t4, t4 > 0.0 ? t1 / t4 : 0.0,
+      std::thread::hardware_concurrency());
+}
+
 void headline_metrics(holms::bench::BenchReport& report) {
   const double full = sa_moves_per_s(true);
   const double inc = sa_moves_per_s(false);
@@ -300,6 +438,9 @@ void headline_metrics(holms::bench::BenchReport& report) {
   const double events = sim_events_per_s();
   report.set("sim_events_per_s", events);
   std::printf("-- simulator events/s: %.3g\n", events);
+
+  threaded_solve_metrics(report);
+  sa_move_mix_metrics(report);
 }
 
 }  // namespace

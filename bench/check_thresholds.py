@@ -1,26 +1,62 @@
 #!/usr/bin/env python3
 """Gate a BENCH_*.json report against bench/thresholds.json.
 
-Usage: check_thresholds.py <report.json> [thresholds.json]
+Usage: check_thresholds.py <report.json> [thresholds.json] [--append-history]
 
 The thresholds file may hold one section per report name (keyed by the
 report's "name" field, e.g. "fault" for BENCH_fault.json); reports without
 their own section use the top-level "min" block.  Every key under the
 selected "min" must be present in the report (top level) and >= the
 threshold.  Exits non-zero listing all violations.
+
+A section may also carry a "min_if" list of conditional gates:
+
+    {"key": "solve_thread_speedup_n4096", "floor": 2.0,
+     "requires": "hw_threads", "at_least": 4}
+
+enforces report[key] >= floor only when report[requires] >= at_least —
+machine-dependent floors (threaded speedups) skip gracefully on starved
+runners instead of failing on hardware the gate cannot measure.
+
+--append-history appends one JSON line per run (report name, UTC timestamp,
+every numeric top-level field) to bench/history.jsonl, building the
+perf-trajectory record the ROADMAP calls for.
 """
+import datetime
 import json
+import os
 import sys
+
+HISTORY_PATH = os.path.join(os.path.dirname(__file__), "history.jsonl")
+
+
+def append_history(report: dict) -> None:
+    line = {
+        "name": report.get("name"),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+    for key, value in report.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            line[key] = value
+    with open(HISTORY_PATH, "a") as f:
+        f.write(json.dumps(line, sort_keys=True) + "\n")
+    print(f"history: appended {line['name']} run to {HISTORY_PATH}")
 
 
 def main() -> int:
-    if len(sys.argv) < 2:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    flags = {a for a in sys.argv[1:] if a.startswith("--")}
+    unknown = flags - {"--append-history"}
+    if unknown:
+        print(f"unknown flags: {' '.join(sorted(unknown))}\n{__doc__}")
+        return 2
+    if not args:
         print(__doc__)
         return 2
-    report_path = sys.argv[1]
-    thresholds_path = (
-        sys.argv[2] if len(sys.argv) > 2 else "bench/thresholds.json"
-    )
+    report_path = args[0]
+    thresholds_path = args[1] if len(args) > 1 else "bench/thresholds.json"
     with open(report_path) as f:
         report = json.load(f)
     with open(thresholds_path) as f:
@@ -39,6 +75,30 @@ def main() -> int:
             failures.append(f"{key}: {value:.6g} < required {floor:.6g}")
         else:
             print(f"ok  {key}: {value:.6g} >= {floor:.6g}")
+    for gate in section.get("min_if", []):
+        key, floor = gate["key"], gate["floor"]
+        requires, at_least = gate["requires"], gate["at_least"]
+        available = report.get(requires)
+        if available is None or available < at_least:
+            print(
+                f"skip {key}: {requires}={available} < {at_least} "
+                "(gate not applicable on this machine)"
+            )
+            continue
+        value = report.get(key)
+        if value is None:
+            failures.append(f"{key}: missing from {report_path}")
+        elif value < floor:
+            failures.append(
+                f"{key}: {value:.6g} < required {floor:.6g} "
+                f"({requires}={available:.6g})"
+            )
+        else:
+            print(f"ok  {key}: {value:.6g} >= {floor:.6g}")
+
+    if "--append-history" in flags:
+        append_history(report)
+
     if failures:
         print("\nperf-smoke FAILED:")
         for f_ in failures:

@@ -2,10 +2,20 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 
 namespace holms::exec {
+
+std::size_t env_threads(std::size_t fallback) {
+  const char* raw = std::getenv("HOLMS_THREADS");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0' || v == 0) return fallback;
+  return static_cast<std::size_t>(v);
+}
 
 // Generation-stamped job dispatch: parallel_for publishes a job under the
 // mutex and bumps `generation`; each worker remembers the last generation it

@@ -27,6 +27,14 @@ inline std::size_t resolve_threads(std::size_t requested) {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+/// Thread count requested by the HOLMS_THREADS environment variable, or
+/// `fallback` when the variable is unset / empty / not a positive integer.
+/// The CI matrix runs the whole test suite under HOLMS_THREADS=1 and =4;
+/// tests fold this value into their thread-count sweeps so both runs
+/// exercise genuinely different pool sizes (results must not change —
+/// every parallel kernel here is thread-count invariant by construction).
+std::size_t env_threads(std::size_t fallback = 1);
+
 /// Fixed-size pool of persistent workers executing index-parallel loops.
 /// One loop at a time: parallel_for blocks until every index has run (the
 /// caller participates as a worker, so a pool of size N uses N-1 threads).

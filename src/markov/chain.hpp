@@ -23,6 +23,10 @@
 
 #include "exec/error.hpp"
 
+namespace holms::exec {
+class ThreadPool;
+}  // namespace holms::exec
+
 namespace holms::markov {
 
 /// Dense row-major matrix; small helper sufficient for chain analysis
@@ -62,6 +66,19 @@ struct SolveOptions {
   /// sweep fits in cache and the CSR indirection isn't worth building.
   std::size_t sparse_min_states = 64;
   double sparse_max_density = 0.25;
+
+  /// Parallel sharding of the CSR kernels (DESIGN.md §5g).  The sharded
+  /// fixed-grid kernels engage whenever n >= parallel_min_states AND
+  /// nnz >= parallel_min_nnz — *independent of the thread count* — so the
+  /// iterate sequence is a function of the problem alone and solves are
+  /// bitwise identical across 1/2/4/7/... threads.  `threads` follows the
+  /// explorer convention (0 = hardware concurrency, 1 = run the shard loop
+  /// inline); `pool` lets callers amortize worker startup across many
+  /// solves and overrides `threads` when set (not owned).
+  std::size_t threads = 1;
+  exec::ThreadPool* pool = nullptr;
+  std::size_t parallel_min_states = 1024;
+  std::size_t parallel_min_nnz = 4096;
 
   /// Rejects nonsensical solver settings; called by the steady_state /
   /// transient entry points (contract rule C001, DESIGN.md §5f).

@@ -1,9 +1,13 @@
 #include "markov/sparse.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "exec/error.hpp"
+#include "exec/metrics.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace holms::markov {
 namespace {
@@ -21,6 +25,29 @@ double l1_delta(std::span<const double> a, std::span<const double> b) {
   double d = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
   return d;
+}
+
+// Fixed shard grid for the parallel kernels (DESIGN.md §5g): always 256
+// columns per shard, *independent of the thread count*, so the work
+// decomposition — and therefore every floating-point accumulation order —
+// is a function of the problem size alone.  Workers claim whole shards from
+// the pool's atomic index counter and write only their own output columns.
+constexpr std::size_t kShardCols = 256;
+
+std::size_t shard_count(std::size_t n) {
+  return (n + kShardCols - 1) / kShardCols;
+}
+
+// Resolves the pool to run a sharded solve on: the caller's external pool if
+// set, else a solve-local pool when `opts.threads` asks for more than one
+// thread, else null (parallel_for_each runs the shard loop inline).
+exec::ThreadPool* resolve_pool(const SolveOptions& opts,
+                               std::unique_ptr<exec::ThreadPool>& owned) {
+  if (opts.pool != nullptr) return opts.pool;
+  const std::size_t t = exec::resolve_threads(opts.threads);
+  if (t <= 1) return nullptr;
+  owned = std::make_unique<exec::ThreadPool>(t);
+  return owned.get();
 }
 
 }  // namespace
@@ -87,18 +114,63 @@ SolveResult sparse_power_iteration(const CsrMatrix& p,
   if (n == 0) return res;
   std::vector<double> pi(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n, 0.0);
-  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
-    std::fill(next.begin(), next.end(), 0.0);
-    for (std::size_t r = 0; r < n; ++r) {
-      const double pr = pi[r];
-      if (pr == 0.0) continue;
-      const auto cols = p.row_cols(r);
-      const auto vals = p.row_vals(r);
-      for (std::size_t i = 0; i < cols.size(); ++i) {
-        next[cols[i]] += pr * vals[i];
+
+  if (!sharded_solve_engaged(n, p.nnz(), opts)) {
+    // Legacy serial scatter: next += pi[r] * P[r, :] row by row.
+    for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+      std::fill(next.begin(), next.end(), 0.0);
+      for (std::size_t r = 0; r < n; ++r) {
+        const double pr = pi[r];
+        if (pr == 0.0) continue;
+        const auto cols = p.row_cols(r);
+        const auto vals = p.row_vals(r);
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+          next[cols[i]] += pr * vals[i];
+        }
+      }
+      const double delta = l1_delta(pi, next);
+      pi.swap(next);
+      res.iterations = it + 1;
+      if (delta < opts.tolerance) {
+        res.converged = true;
+        break;
       }
     }
-    const double delta = l1_delta(pi, next);
+    normalize(pi);
+    res.distribution = std::move(pi);
+    return res;
+  }
+
+  // Sharded gather form: next[c] = sum_r pi[r] * P[r, c], computed from the
+  // transpose.  Each transposed row stores column c's contributions in
+  // ascending source-row order (transposed() preserves the scan order), which
+  // is exactly the order the serial scatter adds them to next[c] — so every
+  // per-column sum, and hence the whole iterate sequence, is bitwise
+  // identical to the scatter loop above no matter how shards are assigned to
+  // workers.  The ISSUE's "per-shard partials merged in fixed order" collapse
+  // here to per-column sums whose order never depended on sharding at all.
+  const CsrMatrix pt = p.transposed();
+  std::unique_ptr<exec::ThreadPool> owned;
+  exec::ThreadPool* pool = resolve_pool(opts, owned);
+  const std::size_t shards = shard_count(n);
+  exec::count("markov.sharded_solves");
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    exec::parallel_for_each(pool, shards, [&](std::size_t s) {
+      const std::size_t lo = s * kShardCols;
+      const std::size_t hi = std::min(n, lo + kShardCols);
+      for (std::size_t c = lo; c < hi; ++c) {
+        double acc = 0.0;
+        const auto rows = pt.row_cols(c);  // source rows with p(r, c) != 0
+        const auto vals = pt.row_vals(c);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          const double pr = pi[rows[i]];
+          if (pr == 0.0) continue;  // mirrors the scatter loop's row skip
+          acc += pr * vals[i];
+        }
+        next[c] = acc;
+      }
+    });
+    const double delta = l1_delta(pi, next);  // serial, fixed order
     pi.swap(next);
     res.iterations = it + 1;
     if (delta < opts.tolerance) {
@@ -129,20 +201,70 @@ SolveResult sparse_gauss_seidel(const CsrMatrix& p, const SolveOptions& opts) {
   }
   std::vector<double> pi(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n, 0.0);
+
+  if (!sharded_solve_engaged(n, p.nnz(), opts)) {
+    // Legacy serial sweep: bitwise identical to the dense Gauss–Seidel.
+    for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+      next = pi;
+      for (std::size_t c = 0; c < n; ++c) {
+        double acc = 0.0;
+        const auto rows = pt.row_cols(c);  // source rows with p(r, c) != 0
+        const auto vals = pt.row_vals(c);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          if (rows[i] == c) continue;
+          acc += next[rows[i]] * vals[i];
+        }
+        const double self = diag[c];
+        next[c] = self < 1.0 ? acc / (1.0 - self) : acc;
+      }
+      normalize(next);
+      const double delta = l1_delta(pi, next);
+      pi.swap(next);
+      res.iterations = it + 1;
+      if (delta < opts.tolerance) {
+        res.converged = true;
+        break;
+      }
+    }
+    normalize(pi);
+    res.distribution = std::move(pi);
+    return res;
+  }
+
+  // Block-hybrid sweep (DESIGN.md §5g): Gauss–Seidel within each fixed
+  // 256-column shard, Jacobi across shards.  `next` starts as a copy of pi,
+  // each shard updates only its own columns in ascending order, and a column
+  // reads `next` for in-shard sources (already-updated values below it,
+  // prior-sweep values above — exactly serial GS restricted to the shard)
+  // and the prior-sweep `pi` for out-of-shard sources.  No shard ever reads
+  // another shard's output, so the sweep is race-free and its result depends
+  // only on the fixed grid — bitwise invariant to thread count, though a
+  // *different* (still convergent) iterate sequence than full serial GS,
+  // which is why engagement is gated on size floors rather than on threads.
+  std::unique_ptr<exec::ThreadPool> owned;
+  exec::ThreadPool* pool = resolve_pool(opts, owned);
+  const std::size_t shards = shard_count(n);
+  exec::count("markov.sharded_solves");
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
     next = pi;
-    for (std::size_t c = 0; c < n; ++c) {
-      double acc = 0.0;
-      const auto rows = pt.row_cols(c);  // source rows with p(r, c) != 0
-      const auto vals = pt.row_vals(c);
-      for (std::size_t i = 0; i < rows.size(); ++i) {
-        if (rows[i] == c) continue;
-        acc += next[rows[i]] * vals[i];
+    exec::parallel_for_each(pool, shards, [&](std::size_t s) {
+      const std::size_t lo = s * kShardCols;
+      const std::size_t hi = std::min(n, lo + kShardCols);
+      for (std::size_t c = lo; c < hi; ++c) {
+        double acc = 0.0;
+        const auto rows = pt.row_cols(c);
+        const auto vals = pt.row_vals(c);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          const std::size_t r = rows[i];
+          if (r == c) continue;
+          const double src = (r >= lo && r < hi) ? next[r] : pi[r];
+          acc += src * vals[i];
+        }
+        const double self = diag[c];
+        next[c] = self < 1.0 ? acc / (1.0 - self) : acc;
       }
-      const double self = diag[c];
-      next[c] = self < 1.0 ? acc / (1.0 - self) : acc;
-    }
-    normalize(next);
+    });
+    normalize(next);  // serial, fixed order
     const double delta = l1_delta(pi, next);
     pi.swap(next);
     res.iterations = it + 1;

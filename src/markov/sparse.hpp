@@ -56,13 +56,32 @@ class CsrMatrix {
   std::vector<double> vals_;
 };
 
+/// True when `opts` engages the fixed-grid sharded kernels for a matrix of
+/// this size (DESIGN.md §5g).  Deliberately independent of `opts.threads` /
+/// `opts.pool`: the kernel choice is a function of the problem, so every
+/// thread count runs the identical algorithm and solves stay bitwise
+/// invariant to parallelism.  Exposed for tests and benchmarks.
+inline bool sharded_solve_engaged(std::size_t n, std::size_t nnz,
+                                  const SolveOptions& opts) {
+  return n >= opts.parallel_min_states && nnz >= opts.parallel_min_nnz;
+}
+
 /// Power iteration pi <- pi P on a row-stochastic CSR matrix.  Iterates are
-/// bitwise identical to Dtmc::steady_state's dense power iteration.
+/// bitwise identical to Dtmc::steady_state's dense power iteration — in both
+/// the serial scatter form and the sharded gather form (the gather visits each
+/// output column's contributions in ascending source-row order, which is
+/// exactly the order the serial scatter adds them in), so engaging the
+/// parallel path never changes a result.
 SolveResult sparse_power_iteration(const CsrMatrix& p,
                                    const SolveOptions& opts);
 
 /// Gauss–Seidel on pi = pi P, sweeping columns in place (needs the transpose;
-/// built internally once).  Matches the dense Gauss–Seidel bitwise.
+/// built internally once).  Below the parallel floors this matches the dense
+/// Gauss–Seidel bitwise.  At or above them it switches to the block-hybrid
+/// sweep (Gauss–Seidel within each fixed 256-column shard, Jacobi across
+/// shards — DESIGN.md §5g): a *different but deterministic* iterate sequence
+/// that converges to the same stationary distribution and is bitwise
+/// invariant to thread count because the shard grid never moves.
 SolveResult sparse_gauss_seidel(const CsrMatrix& p, const SolveOptions& opts);
 
 }  // namespace holms::markov

@@ -216,6 +216,148 @@ Mapping greedy_mapping(const AppGraph& g, const Mesh2D& mesh,
   return m;
 }
 
+namespace {
+
+// Builds the tile-content swap sequence a cluster-relocate move denotes: the
+// seed core plus its up-to-two heaviest-volume neighbors (volume aggregated
+// per neighbor, ties broken by lower core index) translate rigidly by the
+// (dx, dy) taking the seed's tile to `target`, clamped at the mesh rim.  All
+// sources and destinations come from the *pre-move* placement; a member
+// displaced by an earlier swap of the same move simply rides along — the
+// move stays a bijection on tile contents, so unwinding the swaps in reverse
+// is an exact inverse.  Shared by SwapEvaluator::apply_move and the
+// debug_full_eval oracle so both execute identical swap sequences.
+// The membership is graph-only (it never looks at the mapping), so it is
+// precomputed once per SA run / evaluator as a per-core {count, n1, n2} row
+// by cluster_neighbor_table() — a cluster move then costs only its swap
+// deltas, not an edge-list rescan.
+std::vector<std::array<std::size_t, 3>> cluster_neighbor_table(
+    const AppGraph& g) {
+  // (core, total volume), per core, in first-encounter edge order — the same
+  // aggregation order as a per-seed scan of the edge list.
+  std::vector<std::vector<std::pair<std::size_t, double>>> nb(g.num_nodes());
+  for (const auto& e : g.edges()) {
+    if (e.src == e.dst) continue;  // self-loop carries no placement cost
+    const auto add = [&](std::size_t core, std::size_t other) {
+      auto& v = nb[core];
+      const auto it =
+          std::find_if(v.begin(), v.end(),
+                       [&](const std::pair<std::size_t, double>& p) {
+                         return p.first == other;
+                       });
+      if (it == v.end()) {
+        v.emplace_back(other, e.volume_bits);
+      } else {
+        it->second += e.volume_bits;
+      }
+    };
+    add(e.src, e.dst);
+    add(e.dst, e.src);
+  }
+  std::vector<std::array<std::size_t, 3>> top(g.num_nodes(), {0, 0, 0});
+  for (std::size_t c = 0; c < g.num_nodes(); ++c) {
+    auto& v = nb[c];
+    // Only the two heaviest neighbors ride along: selection, not a full sort.
+    const std::size_t k = std::min<std::size_t>(v.size(), 2);
+    std::partial_sort(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                      v.end(),
+                      [](const std::pair<std::size_t, double>& x,
+                         const std::pair<std::size_t, double>& y) {
+                        return x.second != y.second ? x.second > y.second
+                                                    : x.first < y.first;
+                      });
+    top[c][0] = k;
+    for (std::size_t i = 0; i < k; ++i) top[c][i + 1] = v[i].first;
+  }
+  return top;
+}
+
+void expand_cluster(const Mesh2D& mesh, const Mapping& m,
+                    const std::array<std::size_t, 3>& top,
+                    std::size_t seed_core, TileId target,
+                    std::vector<std::pair<TileId, TileId>>& steps) {
+  const auto w = static_cast<std::ptrdiff_t>(mesh.width());
+  const auto h = static_cast<std::ptrdiff_t>(mesh.height());
+  const TileId seed_tile = m[seed_core];
+  const std::ptrdiff_t dx = static_cast<std::ptrdiff_t>(mesh.x_of(target)) -
+                            static_cast<std::ptrdiff_t>(mesh.x_of(seed_tile));
+  const std::ptrdiff_t dy = static_cast<std::ptrdiff_t>(mesh.y_of(target)) -
+                            static_cast<std::ptrdiff_t>(mesh.y_of(seed_tile));
+  const std::size_t members = top[0];
+  for (std::size_t k = 0; k <= members; ++k) {
+    const std::size_t core = k == 0 ? seed_core : top[k];
+    const TileId src = m[core];
+    const std::ptrdiff_t nx = std::clamp<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(mesh.x_of(src)) + dx, 0, w - 1);
+    const std::ptrdiff_t ny = std::clamp<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(mesh.y_of(src)) + dy, 0, h - 1);
+    const TileId dst = mesh.tile_at(static_cast<std::size_t>(nx),
+                                    static_cast<std::size_t>(ny));
+    if (src != dst) steps.emplace_back(src, dst);
+  }
+}
+
+// Expands a move descriptor into its tile-content swap sequence, derived
+// entirely from the pre-move placement `m`.
+void expand_move(const std::vector<std::array<std::size_t, 3>>& cluster_top,
+                 const Mesh2D& mesh, const Mapping& m, const MoveDesc& mv,
+                 std::vector<std::pair<TileId, TileId>>& steps) {
+  steps.clear();
+  switch (mv.kind) {
+    case SaMove::kSwap:
+      if (mv.a != mv.b) steps.emplace_back(mv.a, mv.b);
+      break;
+    case SaMove::k2OptSegmentReversal:
+      for (TileId lo = mv.a, hi = mv.b; lo < hi; ++lo, --hi) {
+        steps.emplace_back(lo, hi);
+      }
+      break;
+    case SaMove::kClusterRelocate:
+      expand_cluster(mesh, m, cluster_top[mv.core], mv.core, mv.target, steps);
+      break;
+  }
+}
+
+}  // namespace
+
+MoveDesc sample_move(sim::Rng& rng, const SaOptions& opts, std::size_t tiles,
+                     std::size_t num_cores) {
+  MoveDesc mv;
+  const bool mixed =
+      opts.w_segment_reversal > 0.0 || opts.w_cluster_relocate > 0.0;
+  if (mixed) {
+    const double total =
+        opts.w_swap + opts.w_segment_reversal + opts.w_cluster_relocate;
+    const double u = rng.uniform(0.0, total);
+    if (u < opts.w_swap) {
+      mv.kind = SaMove::kSwap;
+    } else if (u < opts.w_swap + opts.w_segment_reversal) {
+      mv.kind = SaMove::k2OptSegmentReversal;
+    } else {
+      mv.kind = SaMove::kClusterRelocate;
+    }
+  }
+  if (mv.kind == SaMove::kClusterRelocate && num_cores == 0) {
+    mv.kind = SaMove::kSwap;  // degenerate graph; keep the draw count fixed
+  }
+  if (mv.kind == SaMove::kClusterRelocate) {
+    mv.core = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_cores) - 1));
+    mv.target = static_cast<TileId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(tiles) - 1));
+  } else {
+    // Same single draw over the T^2 pair space as the legacy swap loop.
+    const auto pair = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(tiles * tiles) - 1));
+    TileId a = static_cast<TileId>(pair / tiles);
+    TileId b = static_cast<TileId>(pair % tiles);
+    if (mv.kind == SaMove::k2OptSegmentReversal && a > b) std::swap(a, b);
+    mv.a = a;
+    mv.b = b;
+  }
+  return mv;
+}
+
 // ---------------------------------------------------------------------------
 // SwapEvaluator — O(deg) delta-cost move evaluation for sa_mapping.
 // ---------------------------------------------------------------------------
@@ -237,6 +379,7 @@ SwapEvaluator::SwapEvaluator(const AppGraph& g, const Mesh2D& mesh,
   const IncidenceIndex inc(g_);
   inc_offsets_ = inc.offsets;
   inc_edges_ = inc.occ;
+  cluster_top_ = cluster_neighbor_table(g_);
   // A move touches the routes of deg(a) + deg(b) edges, each route once per
   // endpoint in the worst case.
   undo_links_.reserve(64);
@@ -308,17 +451,19 @@ void SwapEvaluator::sub_route_load(TileId src, TileId dst, double bw) {
   }
 }
 
-double SwapEvaluator::apply_swap(TileId a, TileId b) {
-  assert(!move_open_ && "apply_swap before resolving the previous move");
-  assert(a != b);
-  const std::size_t ca = occupant_[a], cb = occupant_[b];
+void SwapEvaluator::begin_move() {
   undo_links_.clear();
+  undo_swaps_.clear();
   undo_energy_ = energy_j_;
   undo_max_ = max_load_;
   undo_dirty_ = max_dirty_;
-  last_a_ = a;
-  last_b_ = b;
   move_open_ = true;
+}
+
+void SwapEvaluator::swap_step(TileId a, TileId b) {
+  assert(move_open_ && a != b);
+  const std::size_t ca = occupant_[a], cb = occupant_[b];
+  undo_swaps_.emplace_back(a, b);
 
   // Tile of a core after the swap (m_ still holds the pre-swap placement).
   const auto tile_after = [&](std::size_t core) -> TileId {
@@ -365,11 +510,34 @@ double SwapEvaluator::apply_swap(TileId a, TileId b) {
   if (ca != kEmpty) m_[ca] = b;
   if (cb != kEmpty) m_[cb] = a;
   std::swap(occupant_[a], occupant_[b]);
+}
+
+double SwapEvaluator::apply_swap(TileId a, TileId b) {
+  assert(!move_open_ && "apply_swap before resolving the previous move");
+  assert(a != b);
+  begin_move();
+  swap_step(a, b);
   return cost();
 }
 
-void SwapEvaluator::revert_swap() {
-  assert(move_open_ && "revert_swap without a pending apply_swap");
+double SwapEvaluator::apply_move(const MoveDesc& mv) {
+  assert(!move_open_ && "apply_move before resolving the previous move");
+  begin_move();
+  if (mv.kind == SaMove::kSwap) {
+    // A swap is its own one-step sequence — skip the expansion scratch, it
+    // costs a measurable fraction of the O(deg) delta on small graphs.
+    if (mv.a != mv.b) swap_step(mv.a, mv.b);
+    return cost();
+  }
+  // Expand fully before executing: cluster sources/destinations must all be
+  // derived from the pre-move placement (see expand_cluster).
+  expand_move(cluster_top_, mesh_, m_, mv, move_steps_);
+  for (const auto& [a, b] : move_steps_) swap_step(a, b);
+  return cost();
+}
+
+void SwapEvaluator::revert_move() {
+  assert(move_open_ && "revert without a pending move");
   move_open_ = false;
   // Restore touched link loads in reverse so repeated touches of one link
   // unwind correctly; everything else comes back from scalar snapshots.
@@ -379,12 +547,16 @@ void SwapEvaluator::revert_swap() {
   energy_j_ = undo_energy_;
   max_load_ = undo_max_;
   max_dirty_ = undo_dirty_;
-  const std::size_t ca = occupant_[last_a_], cb = occupant_[last_b_];
-  // occupant_ was swapped by apply: the core now on a came from b and vice
-  // versa.  Swap back and restore the mapping entries.
-  if (ca != kEmpty) m_[ca] = last_b_;
-  if (cb != kEmpty) m_[cb] = last_a_;
-  std::swap(occupant_[last_a_], occupant_[last_b_]);
+  // Unwind the swap sequence in reverse — the exact inverse of the move.
+  for (auto it = undo_swaps_.rbegin(); it != undo_swaps_.rend(); ++it) {
+    const TileId a = it->first, b = it->second;
+    // occupant_ was swapped by the step: the core now on a came from b and
+    // vice versa.  Swap back and restore the mapping entries.
+    const std::size_t ca = occupant_[a], cb = occupant_[b];
+    if (ca != kEmpty) m_[ca] = b;
+    if (cb != kEmpty) m_[cb] = a;
+    std::swap(occupant_[a], occupant_[b]);
+  }
 }
 
 namespace {
@@ -403,23 +575,34 @@ Mapping sa_mapping_full(const AppGraph& g, const Mesh2D& mesh,
   double best_cost = cost;
   Mapping best = m;
   double temp = opts.initial_temperature * std::max(cost, 1e-12);
-  std::uint64_t accepted = 0, rejected = 0;
+  std::uint64_t accepted = 0, rejected = 0, reheats = 0;
+  std::size_t since_accept = 0;
 
   const std::size_t tiles = mesh.num_tiles();
+  const auto cluster_top = cluster_neighbor_table(g);
+  std::vector<std::pair<TileId, TileId>> steps;  // expand_move scratch
   for (std::size_t it = 0; it < opts.iterations; ++it) {
-    const auto pair = static_cast<std::size_t>(rng.uniform_int(
-        0, static_cast<std::int64_t>(tiles * tiles) - 1));
-    const TileId a = pair / tiles, b = pair % tiles;
-    if (a == b || (occupant[a] == n && occupant[b] == n)) continue;
-    const std::size_t ca = occupant[a], cb = occupant[b];
-    if (ca != n) m[ca] = b;
-    if (cb != n) m[cb] = a;
-    std::swap(occupant[a], occupant[b]);
+    const MoveDesc mv = sample_move(rng, opts, tiles, n);
+    if (mv.kind == SaMove::kSwap &&
+        (mv.a == mv.b || (occupant[mv.a] == n && occupant[mv.b] == n))) {
+      continue;
+    }
+    if (mv.kind == SaMove::k2OptSegmentReversal && mv.a == mv.b) continue;
+    // Execute the move's swap sequence on the plain arrays (the evaluator
+    // path executes the identical sequence via swap_step).
+    expand_move(cluster_top, mesh, m, mv, steps);
+    for (const auto& [a, b] : steps) {
+      const std::size_t ca = occupant[a], cb = occupant[b];
+      if (ca != n) m[ca] = b;
+      if (cb != n) m[cb] = a;
+      std::swap(occupant[a], occupant[b]);
+    }
 
     const double new_cost = penalized_cost(g, mesh, energy, m, opts);
     const double delta = new_cost - cost;
     if (delta <= 0.0 || metropolis_accept(rng, delta / temp)) {
       ++accepted;
+      since_accept = 0;
       cost = new_cost;
       if (cost < best_cost) {
         best_cost = cost;
@@ -427,15 +610,25 @@ Mapping sa_mapping_full(const AppGraph& g, const Mesh2D& mesh,
       }
     } else {
       ++rejected;
-      // Undo.
-      if (ca != n) m[ca] = a;
-      if (cb != n) m[cb] = b;
-      std::swap(occupant[a], occupant[b]);
+      // Undo by unwinding the swaps in reverse.
+      for (auto rit = steps.rbegin(); rit != steps.rend(); ++rit) {
+        const TileId a = rit->first, b = rit->second;
+        const std::size_t ca = occupant[a], cb = occupant[b];
+        if (ca != n) m[ca] = b;
+        if (cb != n) m[cb] = a;
+        std::swap(occupant[a], occupant[b]);
+      }
+      if (opts.reheat_after > 0 && ++since_accept >= opts.reheat_after) {
+        temp *= opts.reheat_factor;
+        since_accept = 0;
+        ++reheats;
+      }
     }
     temp *= opts.cooling;
   }
   exec::count("sa.moves_accepted", accepted);
   exec::count("sa.moves_rejected", rejected);
+  if (reheats > 0) exec::count("sa.reheats", reheats);
   exec::observe("sa.final_temperature", temp);
   return best;
 }
@@ -465,24 +658,46 @@ Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
   double temp = opts.initial_temperature * std::max(cost, 1e-12);
   // Accumulated locally and flushed once: the Metropolis loop is the mapper's
   // hot path and must not take the metrics fast-path branch per move.
-  std::uint64_t accepted = 0, rejected = 0;
+  std::uint64_t accepted = 0, rejected = 0, reheats = 0;
+  std::size_t since_accept = 0;
+  const std::size_t n = g.num_nodes();
+  const bool mixed =
+      opts.w_segment_reversal > 0.0 || opts.w_cluster_relocate > 0.0;
 
   const std::size_t tiles = mesh.num_tiles();
   for (std::size_t it = 0; it < opts.iterations; ++it) {
-    // Swap the contents of two tiles (core<->core or core<->empty); one draw
-    // over the T^2 pair space replaces two per-tile draws.
-    const auto pair = static_cast<std::size_t>(rng.uniform_int(
-        0, static_cast<std::int64_t>(tiles * tiles) - 1));
-    const TileId a = pair / tiles, b = pair % tiles;
-    if (a == b || (ev.occupant(a) == SwapEvaluator::kEmpty &&
-                   ev.occupant(b) == SwapEvaluator::kEmpty)) {
-      continue;
+    double new_cost;
+    if (!mixed) {
+      // Legacy swap-only fast path: swap the contents of two tiles
+      // (core<->core or core<->empty); one draw over the T^2 pair space
+      // replaces two per-tile draws, and no move-selector draw happens, so
+      // the stream matches pre-move-set builds exactly.
+      const auto pair = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(tiles * tiles) - 1));
+      const TileId a = pair / tiles, b = pair % tiles;
+      if (a == b || (ev.occupant(a) == SwapEvaluator::kEmpty &&
+                     ev.occupant(b) == SwapEvaluator::kEmpty)) {
+        continue;
+      }
+      new_cost = ev.apply_swap(a, b);
+    } else {
+      const MoveDesc mv = sample_move(rng, opts, tiles, n);
+      if (mv.kind == SaMove::kSwap &&
+          (mv.a == mv.b ||
+           (ev.occupant(mv.a) == SwapEvaluator::kEmpty &&
+            ev.occupant(mv.b) == SwapEvaluator::kEmpty))) {
+        continue;
+      }
+      if (mv.kind == SaMove::k2OptSegmentReversal && mv.a == mv.b) continue;
+      // Swaps (the bulk of any mix) take the single-step entry directly.
+      new_cost = mv.kind == SaMove::kSwap ? ev.apply_swap(mv.a, mv.b)
+                                          : ev.apply_move(mv);
     }
-    const double new_cost = ev.apply_swap(a, b);
     const double delta = new_cost - cost;
     if (delta <= 0.0 || metropolis_accept(rng, delta / temp)) {
       ++accepted;
-      ev.commit_swap();
+      since_accept = 0;
+      ev.commit_move();
       cost = new_cost;
       if (cost < best_cost) {
         best_cost = cost;
@@ -490,12 +705,18 @@ Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
       }
     } else {
       ++rejected;
-      ev.revert_swap();
+      ev.revert_move();
+      if (opts.reheat_after > 0 && ++since_accept >= opts.reheat_after) {
+        temp *= opts.reheat_factor;
+        since_accept = 0;
+        ++reheats;
+      }
     }
     temp *= opts.cooling;
   }
   exec::count("sa.moves_accepted", accepted);
   exec::count("sa.moves_rejected", rejected);
+  if (reheats > 0) exec::count("sa.reheats", reheats);
   exec::observe("sa.final_temperature", temp);
   return best;
 }

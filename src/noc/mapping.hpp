@@ -12,6 +12,9 @@
 // constraints (the branch-and-bound of [20] is approximated by SA, which
 // reaches the same quality regime on graphs of this size).
 
+#include <array>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "noc/taskgraph.hpp"
@@ -47,6 +50,27 @@ Mapping random_mapping(std::size_t num_cores, const Mesh2D& mesh,
 Mapping greedy_mapping(const AppGraph& g, const Mesh2D& mesh,
                        const EnergyModel& energy);
 
+/// SA move kinds (DESIGN.md §5g).  Every kind decomposes into a sequence of
+/// tile-content swaps derived from the pre-move placement, so one undo
+/// mechanism (unwind the swaps in reverse) reverts any of them bitwise.
+enum class SaMove : std::uint8_t {
+  kSwap,                 // exchange the contents of two tiles (legacy move)
+  k2OptSegmentReversal,  // reverse the occupant sequence of tiles [a, b]
+  kClusterRelocate,      // translate a core + its heaviest neighbors rigidly
+};
+
+/// One sampled SA move.  Field meaning depends on `kind`: kSwap uses (a, b)
+/// as the two tiles; k2OptSegmentReversal uses [a, b] (a <= b) as the tile
+/// range to reverse; kClusterRelocate moves `core`'s cluster so that `core`
+/// lands on (or is clamped toward) tile `target`.
+struct MoveDesc {
+  SaMove kind = SaMove::kSwap;
+  TileId a = 0;
+  TileId b = 0;
+  std::size_t core = 0;
+  TileId target = 0;
+};
+
 struct SaOptions {
   std::size_t iterations = 20000;
   double initial_temperature = 1.0;  // relative to initial cost
@@ -58,6 +82,21 @@ struct SaOptions {
   /// benchmarking and as the correctness oracle the equivalence tests and
   /// bench_micro compare against.
   bool debug_full_eval = false;
+
+  /// Move-mix weights (DESIGN.md §5g).  With the default swap-only mix the
+  /// loop consumes exactly the legacy RNG draw sequence (no selector draw);
+  /// any nonzero non-swap weight switches both SA paths to the shared
+  /// sample_move() stream.  Weights are relative, not normalized.
+  double w_swap = 1.0;
+  double w_segment_reversal = 0.0;
+  double w_cluster_relocate = 0.0;
+
+  /// Temperature reheating: after `reheat_after` consecutive rejected moves
+  /// the temperature is multiplied by `reheat_factor` (a cheap restart that
+  /// costs no RNG draws, so enabling it never perturbs the move stream).
+  /// 0 disables reheating.
+  std::size_t reheat_after = 0;
+  double reheat_factor = 8.0;
 
   /// Contract rule C001; called by sa_mapping.
   void validate() const {
@@ -79,8 +118,24 @@ struct SaOptions {
       throw holms::InvalidArgument(
           "SaOptions: infeasibility_penalty must be >= 0");
     }
+    if (!(w_swap >= 0.0 && w_segment_reversal >= 0.0 &&
+          w_cluster_relocate >= 0.0) ||
+        !(w_swap + w_segment_reversal + w_cluster_relocate > 0.0)) {
+      throw holms::InvalidArgument(
+          "SaOptions: move weights must be >= 0 with a positive sum");
+    }
+    if (!(reheat_factor >= 1.0)) {
+      throw holms::InvalidArgument("SaOptions: reheat_factor must be >= 1");
+    }
   }
 };
+
+/// Draws the next SA move from the configured mix.  Shared by the incremental
+/// and debug_full_eval loops so both consume the identical RNG stream: a
+/// swap-only mix skips the selector draw entirely (preserving the legacy
+/// sequence), mixed runs draw one selector then the kind-specific indices.
+MoveDesc sample_move(sim::Rng& rng, const SaOptions& opts, std::size_t tiles,
+                     std::size_t num_cores);
 
 /// Incremental (delta-cost) mapping evaluator: the state behind sa_mapping's
 /// O(deg(a) + deg(b)) swap moves.  Maintains the per-link load table, the
@@ -121,12 +176,22 @@ class SwapEvaluator {
   /// O((deg(a)+deg(b)) * mean_hops) link-load adjustments.
   double apply_swap(TileId a, TileId b);
 
-  /// Restores the exact pre-apply_swap state (bitwise).  Only valid once
-  /// per apply_swap.
-  void revert_swap();
+  /// Applies a full move descriptor (swap / segment reversal / cluster
+  /// relocation) as one transaction and returns the new penalized cost.
+  /// Every move is executed as the tile-content swap sequence expand_move
+  /// derives from the pre-move placement, each swap O(deg)-incremental, so
+  /// a k-swap move costs k swap updates and reverts bitwise like a single
+  /// swap (DESIGN.md §5g).
+  double apply_move(const MoveDesc& mv);
 
-  /// Accepts the pending move: discards the undo log.  Every apply_swap must
-  /// be resolved by exactly one commit_swap or revert_swap.
+  /// Restores the exact pre-apply state (bitwise) of the pending move,
+  /// whether opened by apply_swap or apply_move.  Only valid once per move.
+  void revert_move();
+  void revert_swap() { revert_move(); }
+
+  /// Accepts the pending move: discards the undo log.  Every apply_* must
+  /// be resolved by exactly one commit or revert.
+  void commit_move() { move_open_ = false; }
   void commit_swap() { move_open_ = false; }
 
   /// Recomputes every cached quantity from the mapping (drift control /
@@ -134,6 +199,8 @@ class SwapEvaluator {
   void rebuild();
 
  private:
+  void begin_move();
+  void swap_step(TileId a, TileId b);
   void add_route_load(TileId src, TileId dst, double bw);
   void sub_route_load(TileId src, TileId dst, double bw);
 
@@ -156,12 +223,19 @@ class SwapEvaluator {
   double max_load_ = 0.0;
   bool max_dirty_ = false;
 
-  // Undo log of the last apply_swap.
+  // Undo log of the pending move: touched link loads (unwound in reverse),
+  // scalar snapshots, and the executed tile-swap sequence (unwound in
+  // reverse — the exact inverse of any multi-swap transaction).
   std::vector<std::pair<std::uint32_t, double>> undo_links_;
   double undo_energy_ = 0.0;
   double undo_max_ = 0.0;
   bool undo_dirty_ = false;
-  TileId last_a_ = 0, last_b_ = 0;
+  std::vector<std::pair<TileId, TileId>> undo_swaps_;
+  std::vector<std::pair<TileId, TileId>> move_steps_;  // expand_move scratch
+  // Per-core {count, n1, n2}: the <=2 heaviest-volume neighbors that ride
+  // along on a cluster relocation.  Graph-only, so built once at
+  // construction instead of rescanning the edge list on every cluster move.
+  std::vector<std::array<std::size_t, 3>> cluster_top_;
   bool move_open_ = false;
 };
 

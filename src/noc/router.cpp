@@ -6,6 +6,7 @@
 #include "noc/taskgraph.hpp"
 
 #include "exec/error.hpp"
+#include "exec/metrics.hpp"
 
 namespace holms::noc {
 namespace {
@@ -38,7 +39,10 @@ NocSim::NocSim(const Mesh2D& mesh, const Config& cfg, sim::Rng rng)
     for (auto& p : r.in) p.vc.resize(v);
     r.vc_owner.assign(kNumPorts * v, -1);
   }
-  if (cfg_.routing == RoutingAlgo::kFaultTolerant) rebuild_ft_tables();
+  if (cfg_.routing == RoutingAlgo::kFaultTolerant) {
+    ft_on_demand_ = mesh_.num_tiles() >= cfg_.ft_on_demand_min_tiles;
+    rebuild_ft_tables();
+  }
 }
 
 void NocSim::arm_faults() {
@@ -219,61 +223,109 @@ bool NocSim::move_legal(TileId t_from, Dir in_from, Dir move) const {
 }
 
 void NocSim::rebuild_ft_tables() {
+  if (ft_on_demand_) {
+    // Large mesh: no O(T^2 * 5) table.  Bumping the epoch turns every cached
+    // per-destination table stale; each is recomputed lazily on next use.
+    ++ft_epoch_;
+    return;
+  }
   const std::size_t T = mesh_.num_tiles();
   ft_admit_.assign(T * T * kNumPorts, 0);
-  constexpr std::uint32_t kInf = 0xffffffffu;
-  std::vector<std::uint32_t> dist(T * kNumPorts);
-  std::vector<std::uint32_t> queue;
-  queue.reserve(T * kNumPorts);
   for (TileId dst = 0; dst < T; ++dst) {
-    // Reverse BFS from the destination over (tile, in_port) states: a state
-    // records through which port the worm *entered* the tile, because the
-    // turn model constrains the next move by the previous one.
-    std::fill(dist.begin(), dist.end(), kInf);
-    queue.clear();
-    if (router_live(dst)) {
-      for (std::size_t in = 0; in < kNumPorts; ++in) {
-        dist[dst * kNumPorts + in] = 0;
-        queue.push_back(static_cast<std::uint32_t>(dst * kNumPorts + in));
-      }
+    compute_ft_admit(dst, ft_admit_.data() + dst * T * kNumPorts);
+  }
+}
+
+void NocSim::compute_ft_admit(TileId dst, std::uint8_t* admit) const {
+  const std::size_t T = mesh_.num_tiles();
+  constexpr std::uint32_t kInf = 0xffffffffu;
+  // Reverse BFS from the destination over (tile, in_port) states: a state
+  // records through which port the worm *entered* the tile, because the
+  // turn model constrains the next move by the previous one.
+  ft_dist_.assign(T * kNumPorts, kInf);
+  ft_queue_.clear();
+  ft_queue_.reserve(T * kNumPorts);
+  std::vector<std::uint32_t>& dist = ft_dist_;
+  std::vector<std::uint32_t>& queue = ft_queue_;
+  if (router_live(dst)) {
+    for (std::size_t in = 0; in < kNumPorts; ++in) {
+      dist[dst * kNumPorts + in] = 0;
+      queue.push_back(static_cast<std::uint32_t>(dst * kNumPorts + in));
     }
-    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
-      const std::size_t state = queue[qi];
-      const TileId t_to = state / kNumPorts;
-      const Dir in_to = static_cast<Dir>(state % kNumPorts);
-      // kLocal entry states are injection-only: no move produces them.
-      if (in_to == Dir::kLocal || !mesh_.has_neighbor(t_to, in_to)) continue;
-      const Dir d_move = entry_port(in_to);  // the move that entered via in_to
-      const TileId t_from = mesh_.neighbor(t_to, in_to);
-      for (std::size_t in_from = 0; in_from < kNumPorts; ++in_from) {
-        if (!move_legal(t_from, static_cast<Dir>(in_from), d_move)) continue;
-        const std::size_t s2 = t_from * kNumPorts + in_from;
-        if (dist[s2] == kInf) {
-          dist[s2] = dist[state] + 1;
-          queue.push_back(static_cast<std::uint32_t>(s2));
-        }
-      }
-    }
-    std::uint8_t* admit = ft_admit_.data() + dst * T * kNumPorts;
-    for (TileId t = 0; t < T; ++t) {
-      for (std::size_t in = 0; in < kNumPorts; ++in) {
-        std::uint8_t mask = 0;
-        if (t == dst) {
-          mask = 1u << port_of(Dir::kLocal);
-        } else if (dist[t * kNumPorts + in] != kInf) {
-          const std::uint32_t d = dist[t * kNumPorts + in];
-          for (std::size_t m = 1; m < kNumPorts; ++m) {
-            const Dir dm = static_cast<Dir>(m);
-            if (!move_legal(t, static_cast<Dir>(in), dm)) continue;
-            const std::size_t s2 = mesh_.neighbor(t, dm) * kNumPorts +
-                                   port_of(entry_port(dm));
-            if (dist[s2] != kInf && dist[s2] + 1 == d) mask |= 1u << m;
-          }
-        }
-        admit[t * kNumPorts + in] = mask;
+  }
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::size_t state = queue[qi];
+    const TileId t_to = state / kNumPorts;
+    const Dir in_to = static_cast<Dir>(state % kNumPorts);
+    // kLocal entry states are injection-only: no move produces them.
+    if (in_to == Dir::kLocal || !mesh_.has_neighbor(t_to, in_to)) continue;
+    const Dir d_move = entry_port(in_to);  // the move that entered via in_to
+    const TileId t_from = mesh_.neighbor(t_to, in_to);
+    for (std::size_t in_from = 0; in_from < kNumPorts; ++in_from) {
+      if (!move_legal(t_from, static_cast<Dir>(in_from), d_move)) continue;
+      const std::size_t s2 = t_from * kNumPorts + in_from;
+      if (dist[s2] == kInf) {
+        dist[s2] = dist[state] + 1;
+        queue.push_back(static_cast<std::uint32_t>(s2));
       }
     }
   }
+  for (TileId t = 0; t < T; ++t) {
+    for (std::size_t in = 0; in < kNumPorts; ++in) {
+      std::uint8_t mask = 0;
+      if (t == dst) {
+        mask = 1u << port_of(Dir::kLocal);
+      } else if (dist[t * kNumPorts + in] != kInf) {
+        const std::uint32_t d = dist[t * kNumPorts + in];
+        for (std::size_t m = 1; m < kNumPorts; ++m) {
+          const Dir dm = static_cast<Dir>(m);
+          if (!move_legal(t, static_cast<Dir>(in), dm)) continue;
+          const std::size_t s2 = mesh_.neighbor(t, dm) * kNumPorts +
+                                 port_of(entry_port(dm));
+          if (dist[s2] != kInf && dist[s2] + 1 == d) mask |= 1u << m;
+        }
+      }
+      admit[t * kNumPorts + in] = mask;
+    }
+  }
+}
+
+const std::uint8_t* NocSim::ft_table_for(TileId dst) const {
+  // MRU shortcut: consecutive route_admits calls overwhelmingly share dst.
+  if (ft_mru_ < ft_cache_.size()) {
+    FtCacheEntry& e = ft_cache_[ft_mru_];
+    if (e.dst == dst && e.epoch == ft_epoch_) {
+      e.last_use = ++ft_cache_tick_;
+      return e.admit.data();
+    }
+  }
+  for (std::size_t i = 0; i < ft_cache_.size(); ++i) {
+    FtCacheEntry& e = ft_cache_[i];
+    if (e.dst == dst && e.epoch == ft_epoch_) {
+      e.last_use = ++ft_cache_tick_;
+      ft_mru_ = i;
+      return e.admit.data();
+    }
+  }
+  // Miss (cold or stale epoch): BFS into a fresh or least-recently-used slot.
+  exec::count("noc.ft_bfs_on_demand");
+  std::size_t slot = ft_cache_.size();
+  if (slot < kFtCacheCapacity) {
+    ft_cache_.emplace_back();
+  } else {
+    slot = 0;
+    for (std::size_t i = 1; i < ft_cache_.size(); ++i) {
+      if (ft_cache_[i].last_use < ft_cache_[slot].last_use) slot = i;
+    }
+  }
+  FtCacheEntry& e = ft_cache_[slot];
+  e.dst = dst;
+  e.epoch = ft_epoch_;
+  e.last_use = ++ft_cache_tick_;
+  e.admit.assign(mesh_.num_tiles() * kNumPorts, 0);
+  compute_ft_admit(dst, e.admit.data());
+  ft_mru_ = slot;
+  return e.admit.data();
 }
 
 void NocSim::add_flow(const Flow& f) {
@@ -363,9 +415,10 @@ bool NocSim::route_admits(TileId here, TileId dst, Dir out,
     return mesh_.xy_next(here, dst) == out;
   }
   if (cfg_.routing == RoutingAlgo::kFaultTolerant) {
-    const std::uint8_t mask =
-        ft_admit_[(dst * mesh_.num_tiles() + here) * kNumPorts +
-                  port_of(in_port)];
+    const std::uint8_t* admit =
+        ft_on_demand_ ? ft_table_for(dst)
+                      : ft_admit_.data() + dst * mesh_.num_tiles() * kNumPorts;
+    const std::uint8_t mask = admit[here * kNumPorts + port_of(in_port)];
     return (mask >> port_of(out)) & 1u;
   }
   // West-first turn model: any westward progress must happen before other

@@ -4,15 +4,45 @@
 
 namespace holms::sim {
 
+Simulator::Simulator(EventPoolCache* cache) : cache_(cache) {
+  if (cache_ == nullptr || cache_->slabs_.empty()) return;
+  // Adopt the recycled arena wholesale.  No per-slot reset is needed: bump
+  // allocation (slot_count_ starts at 0) hands slots out in order and
+  // emplace_callback overwrites every field a live slot reads.
+  slabs_ = std::move(cache_->slabs_);
+  cache_->slabs_.clear();
+  exec::count("sim.pool_slabs_reused", slabs_.size());
+}
+
 Simulator::~Simulator() {
   // Destroy the callables of every still-queued event (cancelled or not);
-  // the slabs themselves die with slabs_.
+  // the slabs themselves die with slabs_ — or outlive us in the cache.
   while (!queue_.empty()) {
     const Entry ev = queue_.top();
     queue_.pop();
     Slot& s = slot(ev.slot);
     if (s.destroy) s.destroy(s);
   }
+  if (slabs_allocated_ > 0) {
+    exec::count("sim.pool_slabs_allocated", slabs_allocated_);
+  }
+  if (cache_ != nullptr && !slabs_.empty()) {
+    cache_->park(std::move(slabs_));
+  }
+}
+
+EventPoolCache& EventPoolCache::this_thread() {
+  static thread_local EventPoolCache cache;
+  return cache;
+}
+
+void EventPoolCache::park(
+    std::vector<std::unique_ptr<Simulator::Slot[]>>&& slabs) {
+  // All callables were already destroyed by ~Simulator's queue drain, so the
+  // parked slabs hold raw capacity only.
+  if (slabs.size() > slabs_.size()) slabs_ = std::move(slabs);
+  high_water_ = std::max(high_water_, slabs_.size());
+  exec::observe("sim.pool_high_water", static_cast<double>(high_water_));
 }
 
 void Simulator::cancel(EventId id) {

@@ -40,13 +40,19 @@ struct EventId {
   std::uint64_t seq = 0;
 };
 
+class EventPoolCache;
+
 /// Event-driven simulation kernel with cancellation and a stop condition.
 class Simulator {
  public:
   /// Captures up to this many bytes are stored inline in the event slot.
   static constexpr std::size_t kInlineCallbackBytes = 48;
 
-  Simulator() = default;
+  /// With a cache, the simulator adopts the cache's recycled slab arena at
+  /// construction (pool-reset fast path: recycled slabs need no zeroing —
+  /// every slot field is written before it is read) and returns its arena on
+  /// destruction.  The cache must outlive the simulator and is not owned.
+  explicit Simulator(EventPoolCache* cache = nullptr);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
   ~Simulator();
@@ -136,8 +142,11 @@ class Simulator {
       return idx;
     }
     const std::uint32_t idx = static_cast<std::uint32_t>(slot_count_);
-    if (slot_count_ % kSlabSize == 0) {
+    // Allocate only past the last slab — bump allocation walks through any
+    // slabs preloaded from an EventPoolCache before touching the heap.
+    if (slot_count_ / kSlabSize == slabs_.size()) {
       slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+      ++slabs_allocated_;
     }
     ++slot_count_;
     return idx;
@@ -199,12 +208,56 @@ class Simulator {
   std::vector<std::unique_ptr<Slot[]>> slabs_;
   std::size_t slot_count_ = 0;
   std::uint32_t free_head_ = kNoSlot;
+  EventPoolCache* cache_ = nullptr;       // not owned; may be null
+  std::uint64_t slabs_allocated_ = 0;     // fresh (non-recycled) slabs
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t live_events_ = 0;
   std::size_t queue_high_water_ = 0;
   bool stop_requested_ = false;
+
+  friend class EventPoolCache;
+};
+
+/// Recycles Simulator slab arenas across runs (DESIGN.md §5g).  Explore-style
+/// fleets construct one short-lived Simulator per candidate; without a cache
+/// each re-grows its slab pool from zero, so the per-candidate cost is a
+/// fresh round of heap allocations.  A cache keeps the largest arena any
+/// finished simulator returned and hands it to the next one wholesale.
+///
+/// The cache is intentionally unsynchronized — it is *per-worker* state.  Use
+/// `EventPoolCache::this_thread()` to get the calling thread's instance:
+/// exec::ThreadPool workers are persistent threads, so each worker of an
+/// explore fleet accumulates and reuses its own arena for the whole run.
+/// (The ISSUE sketched this type in holms::exec; it lives in holms::sim
+/// because the dependency arrow points sim -> exec and the slab type is the
+/// simulator's.)  A cache must outlive every Simulator constructed on it;
+/// the thread-local instance trivially satisfies this for stack simulators.
+class EventPoolCache {
+ public:
+  EventPoolCache() = default;
+  EventPoolCache(const EventPoolCache&) = delete;
+  EventPoolCache& operator=(const EventPoolCache&) = delete;
+
+  /// The calling thread's cache (thread_local storage).
+  static EventPoolCache& this_thread();
+
+  /// Slabs currently parked and ready for the next Simulator.
+  std::size_t slabs_cached() const { return slabs_.size(); }
+  /// Largest arena (in slabs) ever parked here — reuse high-water mark.
+  std::size_t high_water() const { return high_water_; }
+
+ private:
+  friend class Simulator;
+
+  // Called by ~Simulator: park the larger of (current, returned) arena and
+  // drop the other, so the cache converges on the fleet's high-water size
+  // without hoarding every retired arena.
+  void park(std::vector<std::unique_ptr<Simulator::Slot[]>>&& slabs);
+
+  std::vector<std::unique_ptr<Simulator::Slot[]>> slabs_;
+  std::size_t high_water_ = 0;
 };
 
 /// Convenience: a periodic activity bound to a simulator.  The callback may

@@ -8,7 +8,9 @@ namespace holms::stream {
 Mpeg2Report run_mpeg2_decoder(traffic::VideoTraceGenerator& video,
                               std::size_t num_frames, const Mpeg2Config& cfg,
                               double extra_drain_time) {
-  sim::Simulator sim;
+  // Per-thread slab recycling: repeated runs on one worker reuse the arena
+  // of the previous run instead of re-growing it (DESIGN.md Â§5g).
+  sim::Simulator sim(&sim::EventPoolCache::this_thread());
   ProcessNetwork net(sim);
 
   const CpuId cpu0 = net.add_cpu(cfg.policy);

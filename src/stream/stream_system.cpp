@@ -173,7 +173,9 @@ class StreamRun {
 
 StreamQos run_stream(traffic::ArrivalProcess& source, ErrorModel& errors,
                      const StreamConfig& cfg, double duration) {
-  sim::Simulator sim;
+  // Per-thread slab recycling: repeated runs on one worker reuse the arena
+  // of the previous run instead of re-growing it (DESIGN.md Â§5g).
+  sim::Simulator sim(&sim::EventPoolCache::this_thread());
   StreamRun run(sim, source, errors, cfg);
   run.start();
   sim.run(duration);

@@ -1,0 +1,14 @@
+// D003 positive: range-for over unordered containers reached through a
+// using-alias, a typedef, and an alias of an alias.
+#include <unordered_map>
+#include <unordered_set>
+using Index = std::unordered_map<int, int>;
+typedef std::unordered_set<int> IdSet;
+using IndexAlias = Index;
+int sum_all(const Index& idx, const IdSet& ids, IndexAlias& again) {
+  int s = 0;
+  for (const auto& kv : idx) s += kv.second;
+  for (int v : ids) s += v;
+  for (const auto& kv : again) s += kv.second;
+  return s;
+}

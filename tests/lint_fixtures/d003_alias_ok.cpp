@@ -1,0 +1,14 @@
+// D003 negative: aliases of *ordered* containers iterate freely, and an
+// aliased unordered container used only for lookups stays clean.
+#include <map>
+#include <unordered_map>
+#include <vector>
+using Ordered = std::map<int, int>;
+typedef std::vector<int> Row;
+using Index = std::unordered_map<int, int>;
+int lookup(const Ordered& ordered, const Row& row, const Index& idx, int k) {
+  int s = idx.count(k) ? idx.at(k) : 0;
+  for (const auto& kv : ordered) s += kv.second;
+  for (int v : row) s += v;
+  return s;
+}

@@ -187,6 +187,45 @@ TEST(NocFault, SameScheduleSameSeedBitwiseIdentical) {
   EXPECT_DOUBLE_EQ(a.delivery_ratio, b.delivery_ratio);
 }
 
+TEST(NocFault, OnDemandFtTablesRouteIdenticallyToPrecomputed) {
+  // The on-demand reverse-BFS + LRU path (meshes >= ft_on_demand_min_tiles)
+  // must reproduce the precomputed-table routes exactly: force it on at 8x8
+  // and compare every stats field bitwise against the default table mode,
+  // under a fault schedule that crosses several epochs.
+  const holms::noc::Mesh2D mesh(8, 8);
+  std::vector<FaultEvent> trace;
+  for (std::size_t i = 0; i < mesh.num_undirected_links(); i += 20) {
+    trace.push_back({2000.0, FaultKind::kFail, Target::kLink, i});
+    trace.push_back({5000.0, FaultKind::kRepair, Target::kLink, i});
+  }
+  trace.push_back({3000.0, FaultKind::kFail, Target::kNode, 27});
+  const auto sched = FaultSchedule::from_trace(trace);
+
+  auto run = [&](std::size_t min_tiles) {
+    auto cfg = noc_cfg(holms::noc::RoutingAlgo::kFaultTolerant);
+    cfg.ft_on_demand_min_tiles = min_tiles;
+    holms::noc::NocSim sim(mesh, cfg, Rng(99));
+    add_pattern_flows(sim, mesh, holms::noc::TrafficPattern::kUniformRandom,
+                      0.02, 4);
+    sim.attach_fault_schedule(&sched);
+    sim.run(8000);
+    return sim.stats();
+  };
+  const auto table = run(1024);   // default: 64 tiles < 1024 -> full table
+  const auto lazy = run(1);       // forced on-demand + LRU
+  EXPECT_GT(table.faults_applied, 0u);
+  EXPECT_EQ(table.packets_injected, lazy.packets_injected);
+  EXPECT_EQ(table.packets_delivered, lazy.packets_delivered);
+  EXPECT_EQ(table.packets_dropped, lazy.packets_dropped);
+  EXPECT_EQ(table.flit_hops, lazy.flit_hops);
+  EXPECT_EQ(table.reroute_hops, lazy.reroute_hops);
+  EXPECT_EQ(table.faults_applied, lazy.faults_applied);
+  EXPECT_DOUBLE_EQ(table.mean_packet_latency, lazy.mean_packet_latency);
+  EXPECT_DOUBLE_EQ(table.p99_packet_latency, lazy.p99_packet_latency);
+  EXPECT_DOUBLE_EQ(table.energy_joules, lazy.energy_joules);
+  EXPECT_DOUBLE_EQ(table.delivery_ratio, lazy.delivery_ratio);
+}
+
 TEST(NocFault, FaultTolerantSustainsDeliveryWhereXyBlackholes) {
   // Acceptance scenario: 8x8 mesh, ~5% of links fail mid-run and stay dead.
   const holms::noc::Mesh2D mesh(8, 8);

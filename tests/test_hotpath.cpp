@@ -1,15 +1,21 @@
-// Equivalence suites for the PR-2 hot-path kernels: the incremental SA move
-// evaluator vs full re-evaluation, the CSR stationary solvers vs their dense
-// counterparts, and the slab/small-buffer event pool vs the documented kernel
-// semantics (ordering, cancellation, batching, lifetimes).
+// Equivalence suites for the hot-path kernels: the incremental SA move
+// evaluator (swap / 2-opt / cluster moves) vs full re-evaluation, the CSR
+// stationary solvers vs their dense counterparts — bitwise identical across
+// thread counts (PR 5) — and the slab/small-buffer event pool plus its
+// cross-candidate EventPoolCache recycling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/evaluator.hpp"
+#include "core/explorer.hpp"
+#include "exec/thread_pool.hpp"
 #include "markov/chain.hpp"
 #include "markov/sparse.hpp"
 #include "noc/mapping.hpp"
@@ -122,6 +128,149 @@ TEST(XyRouteTable, MatchesMeshRoutes) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// SA move-set: swap / 2-opt segment reversal / cluster relocation (PR 5).
+// ---------------------------------------------------------------------------
+
+// Drives sampled moves of every kind through apply_move with a random
+// commit/revert mix: reverts must restore the cost bitwise, and the
+// incremental cost must track full re-evaluation to 1e-9.
+void drive_moves_and_compare(const noc::AppGraph& g, const noc::Mesh2D& mesh,
+                             double capacity, std::uint64_t seed) {
+  const noc::EnergyModel em;
+  const double penalty = 2.0;
+  sim::Rng rng(seed);
+  noc::SaOptions mix;
+  mix.w_swap = 0.5;
+  mix.w_segment_reversal = 0.3;
+  mix.w_cluster_relocate = 0.2;
+  noc::Mapping m0 = noc::greedy_mapping(g, mesh, em);
+  noc::SwapEvaluator ev(g, mesh, em, m0, capacity, penalty);
+  const std::size_t cores = ev.mapping().size();
+
+  bool saw[3] = {false, false, false};
+  constexpr std::size_t kMoves = 5000;
+  for (std::size_t i = 0; i < kMoves; ++i) {
+    const noc::MoveDesc mv =
+        noc::sample_move(rng, mix, mesh.num_tiles(), cores);
+    if (mv.kind != noc::SaMove::kClusterRelocate && mv.a == mv.b) continue;
+    saw[static_cast<std::size_t>(mv.kind)] = true;
+    const double before = ev.cost();
+    ev.apply_move(mv);
+    if (rng.bernoulli(0.5)) {
+      ev.commit_move();
+    } else {
+      ev.revert_move();
+      ASSERT_EQ(ev.cost(), before) << "revert not bitwise at move " << i;
+    }
+    if (i % 250 == 0) {
+      // The mapping must stay an injective placement through every move.
+      noc::Mapping sorted = ev.mapping();
+      std::sort(sorted.begin(), sorted.end());
+      ASSERT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                  sorted.end())
+          << "mapping lost injectivity at move " << i;
+      const double full = full_penalized_cost(g, mesh, em, ev.mapping(),
+                                              capacity, penalty);
+      ASSERT_NEAR(ev.cost(), full, 1e-9 * std::max(1.0, std::abs(full)))
+          << "incremental cost drifted at move " << i;
+    }
+  }
+  EXPECT_TRUE(saw[0] && saw[1] && saw[2]);  // every kind exercised
+  const double full =
+      full_penalized_cost(g, mesh, em, ev.mapping(), capacity, penalty);
+  EXPECT_NEAR(ev.cost(), full, 1e-9 * std::max(1.0, std::abs(full)));
+}
+
+TEST(SaMoves, AllKindsTrackFullCostAndRevertBitwise) {
+  drive_moves_and_compare(noc::mms_graph(), noc::Mesh2D(4, 4), 0.0, 41);
+  drive_moves_and_compare(noc::mms_graph(), noc::Mesh2D(4, 4), 2e9, 42);
+}
+
+TEST(SaMoves, AllKindsTrackFullCostOnRectangularMeshWithEmptyTiles) {
+  sim::Rng grng(33);
+  const auto g = noc::random_graph(12, grng, 1e6);
+  drive_moves_and_compare(g, noc::Mesh2D(5, 3), 0.0, 51);
+  drive_moves_and_compare(g, noc::Mesh2D(5, 3), 5e5, 52);
+}
+
+TEST(SaMoves, SwapOnlyMixPreservesLegacyDrawSequence) {
+  // The default (swap-only) mix must consume exactly the legacy RNG stream:
+  // one T^2 pair draw per move, no selector draw.
+  const noc::SaOptions def;
+  const std::size_t tiles = 16;
+  sim::Rng a(123), b(123);
+  for (int i = 0; i < 200; ++i) {
+    const noc::MoveDesc mv = noc::sample_move(a, def, tiles, 9);
+    EXPECT_EQ(mv.kind, noc::SaMove::kSwap);
+    const auto pair = static_cast<std::size_t>(
+        b.uniform_int(0, static_cast<std::int64_t>(tiles * tiles) - 1));
+    EXPECT_EQ(mv.a, static_cast<noc::TileId>(pair / tiles));
+    EXPECT_EQ(mv.b, static_cast<noc::TileId>(pair % tiles));
+  }
+  EXPECT_EQ(a.bits(), b.bits());  // identical draw counts
+}
+
+TEST(SaMoves, MixedMoveSaMatchesDebugFullEvalQuality) {
+  const auto g = noc::mms_graph();
+  const noc::Mesh2D mesh(4, 4);
+  const noc::EnergyModel em;
+  noc::SaOptions opts;
+  opts.iterations = 4000;
+  opts.w_swap = 0.6;
+  opts.w_segment_reversal = 0.2;
+  opts.w_cluster_relocate = 0.2;
+  opts.reheat_after = 1500;
+  opts.debug_full_eval = false;
+  sim::Rng r1(7);
+  const auto inc = noc::sa_mapping(g, mesh, em, r1, opts);
+  opts.debug_full_eval = true;
+  sim::Rng r2(7);
+  const auto full = noc::sa_mapping(g, mesh, em, r2, opts);
+  const double ci = noc::evaluate_mapping(g, mesh, em, inc).comm_energy_j;
+  const double cf = noc::evaluate_mapping(g, mesh, em, full).comm_energy_j;
+  // Both paths consume the shared sample_move stream; trajectories agree
+  // except where an accept flips inside the ~1e-12 incremental/full gap.
+  EXPECT_NEAR(ci, cf, 0.05 * cf);
+}
+
+TEST(SaMoves, ReheatingKeepsMappingValidAndCompetitive) {
+  const auto g = noc::mms_graph();
+  const noc::Mesh2D mesh(4, 4);
+  const noc::EnergyModel em;
+  noc::SaOptions opts;
+  opts.iterations = 6000;
+  opts.reheat_after = 400;
+  opts.reheat_factor = 16.0;
+  sim::Rng rng(13);
+  const auto m = noc::sa_mapping(g, mesh, em, rng, opts);
+  noc::Mapping sorted = m;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+  const double sa = noc::evaluate_mapping(g, mesh, em, m).comm_energy_j;
+  const double greedy =
+      noc::evaluate_mapping(g, mesh, em, noc::greedy_mapping(g, mesh, em))
+          .comm_energy_j;
+  EXPECT_LE(sa, greedy * 1.05);  // reheating must not wreck the anneal
+}
+
+TEST(SaMoves, ValidateRejectsBadMoveOptions) {
+  noc::SaOptions o;
+  o.w_swap = -1.0;
+  EXPECT_THROW(o.validate(), holms::InvalidArgument);
+  o = noc::SaOptions{};
+  o.w_swap = 0.0;  // zero-sum mix
+  EXPECT_THROW(o.validate(), holms::InvalidArgument);
+  o = noc::SaOptions{};
+  o.reheat_factor = 0.5;
+  EXPECT_THROW(o.validate(), holms::InvalidArgument);
+  o = noc::SaOptions{};
+  o.w_swap = 0.0;
+  o.w_cluster_relocate = 1.0;  // non-swap-only mixes are legal
+  EXPECT_NO_THROW(o.validate());
+}
+
 TEST(SaMapping, DebugFullEvalReachesSameQuality) {
   const auto g = noc::mms_graph();
   const noc::Mesh2D mesh(4, 4);
@@ -216,6 +365,148 @@ TEST(SparseSolve, AutoStaysDenseWhenSmallOrDense) {
   const auto rd = dense.steady_state({});
   EXPECT_FALSE(rd.used_sparse);
   EXPECT_TRUE(rd.converged);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance (PR 5): the sharded solvers and explore() must be
+// a function of the problem alone, never of the worker count.
+// ---------------------------------------------------------------------------
+
+// Banded chain: each state talks to its `band` neighbors on each side, so
+// nnz ~ n * (2*band + 1) — big and sparse enough to clear the sharding
+// floors without being trivial.  Forward drift (0.3 up vs 0.2 down) keeps
+// the spectral gap bounded away from 1 so the iterative solvers converge.
+markov::Dtmc banded_chain(std::size_t n, std::size_t band) {
+  markov::Dtmc d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i > band ? i - band : 0;
+    const std::size_t hi = std::min(n - 1, i + band);
+    double off = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) {
+      if (j == i) continue;
+      const double side = j > i ? 0.3 : 0.2;
+      const std::size_t count = j > i ? hi - i : i - lo;
+      const double w = side / static_cast<double>(count);
+      d.set(i, j, w);
+      off += w;
+    }
+    d.set(i, i, 1.0 - off);
+  }
+  return d;
+}
+
+TEST(ThreadInvariance, SparseSolvesBitwiseAcrossThreadCounts) {
+  const std::size_t n = 1500;
+  const markov::Dtmc d = banded_chain(n, 4);
+  for (const auto method : {markov::SteadyStateMethod::kPowerIteration,
+                            markov::SteadyStateMethod::kGaussSeidel}) {
+    markov::SolveOptions opts;
+    opts.method = method;
+    opts.sparsity = markov::SparsityMode::kSparse;
+    opts.parallel_min_states = 256;
+    opts.parallel_min_nnz = 1024;
+    opts.max_iterations = 3000;
+
+    opts.threads = 1;
+    const auto base = d.steady_state(opts);
+    ASSERT_TRUE(base.used_sparse);
+    // env_threads folds the CI HOLMS_THREADS matrix into the sweep, so the
+    // two ctest runs exercise different pool sizes against the same oracle.
+    for (const std::size_t t :
+         {std::size_t{2}, std::size_t{4}, std::size_t{7},
+          holms::exec::env_threads(2)}) {
+      opts.threads = t;
+      const auto r = d.steady_state(opts);
+      EXPECT_EQ(base.iterations, r.iterations);
+      EXPECT_EQ(base.converged, r.converged);
+      ASSERT_EQ(base.distribution.size(), r.distribution.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(base.distribution[i], r.distribution[i])
+            << "threads=" << t << " state " << i;
+      }
+    }
+    // A caller-owned shared pool must give the same bits as owned workers.
+    holms::exec::ThreadPool pool(3);
+    opts.pool = &pool;
+    const auto rp = d.steady_state(opts);
+    EXPECT_EQ(base.iterations, rp.iterations);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(base.distribution[i], rp.distribution[i]) << "state " << i;
+    }
+  }
+}
+
+TEST(ThreadInvariance, ShardedPowerIterationMatchesSerialScatterBitwise) {
+  // The gather-form sharded kernel reproduces the serial scatter per-column
+  // accumulation order exactly — engaging the shards must not change a bit.
+  const markov::Dtmc d = banded_chain(1500, 4);
+  markov::SolveOptions serial;
+  serial.sparsity = markov::SparsityMode::kSparse;
+  serial.max_iterations = 2000;
+  serial.parallel_min_states = static_cast<std::size_t>(1) << 30;  // off
+  markov::SolveOptions sharded = serial;
+  sharded.parallel_min_states = 256;
+  sharded.parallel_min_nnz = 1024;
+  sharded.threads = 4;
+  const auto a = d.steady_state(serial);
+  const auto b = d.steady_state(sharded);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  ASSERT_EQ(a.distribution.size(), b.distribution.size());
+  for (std::size_t i = 0; i < a.distribution.size(); ++i) {
+    ASSERT_EQ(a.distribution[i], b.distribution[i]) << "state " << i;
+  }
+}
+
+TEST(ThreadInvariance, HybridGaussSeidelConvergesToSerialFixpoint) {
+  // The block-hybrid GS takes a different (but deterministic) iterate path
+  // than serial GS; both must land on the same stationary distribution.
+  const markov::Dtmc d = banded_chain(1500, 4);
+  markov::SolveOptions serial;
+  serial.method = markov::SteadyStateMethod::kGaussSeidel;
+  serial.sparsity = markov::SparsityMode::kSparse;
+  serial.parallel_min_states = static_cast<std::size_t>(1) << 30;  // off
+  markov::SolveOptions hybrid = serial;
+  hybrid.parallel_min_states = 256;
+  hybrid.parallel_min_nnz = 1024;
+  hybrid.threads = 4;
+  const auto a = d.steady_state(serial);
+  const auto b = d.steady_state(hybrid);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  for (std::size_t i = 0; i < a.distribution.size(); ++i) {
+    EXPECT_NEAR(a.distribution[i], b.distribution[i], 1e-8) << "state " << i;
+  }
+}
+
+TEST(ThreadInvariance, ExploreBitwiseAcrossThreadCounts) {
+  core::Application app;
+  sim::Rng grng(3);
+  app.graph = noc::random_graph(12, grng, 5e5);
+  app.qos.period_s = 0.05;
+  const core::Platform plat = core::Platform::homogeneous(4, 4);
+  core::ExploreOptions opts;
+  opts.restarts = 2;
+  opts.sa.iterations = 1200;
+
+  opts.threads = 1;
+  sim::Rng r1(5);
+  const core::ExploreResult base = core::explore(app, plat, r1, opts);
+  ASSERT_TRUE(base.found_feasible);
+  ASSERT_GT(base.evaluated, 0u);
+  for (const std::size_t t :
+       {std::size_t{2}, std::size_t{4}, std::size_t{7},
+        holms::exec::env_threads(2)}) {
+    opts.threads = t;
+    sim::Rng rt(5);
+    const core::ExploreResult r = core::explore(app, plat, rt, opts);
+    EXPECT_EQ(base.found_feasible, r.found_feasible);
+    EXPECT_EQ(base.evaluated, r.evaluated);
+    EXPECT_EQ(base.best.mapping, r.best.mapping) << "threads=" << t;
+    EXPECT_EQ(base.best.eval.total_energy_j, r.best.eval.total_energy_j);
+    EXPECT_EQ(base.best.eval.schedule.makespan_s,
+              r.best.eval.schedule.makespan_s);
+  }
 }
 
 TEST(CsrMatrix, TransposeRoundTrip) {
@@ -352,6 +643,103 @@ TEST(EventPool, SlotsAreRecycledAcrossManyEvents) {
   EXPECT_EQ(s.executed(), 10000u);
   // One live event at a time: the pool never needs more than one slab.
   EXPECT_EQ(s.queue_high_water(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// EventPoolCache: slab-arena recycling across simulator fleets (PR 5).
+// ---------------------------------------------------------------------------
+
+TEST(EventPoolCache, RecyclesSlabsAcrossSimulators) {
+  sim::EventPoolCache cache;
+  EXPECT_EQ(cache.slabs_cached(), 0u);
+  {
+    sim::Simulator s(&cache);
+    int n = 0;
+    // 600 concurrent live events: forces >= 3 slabs of 256 slots.
+    for (int i = 0; i < 600; ++i) {
+      s.schedule_at(1.0 + i, [&n] { ++n; });
+    }
+    s.run();
+    EXPECT_EQ(n, 600);
+  }
+  const std::size_t parked = cache.slabs_cached();
+  EXPECT_GE(parked, 3u);
+  EXPECT_EQ(cache.high_water(), parked);
+  {
+    sim::Simulator s2(&cache);
+    // The second simulator adopts the parked arena wholesale.
+    EXPECT_EQ(cache.slabs_cached(), 0u);
+    int n = 0;
+    for (int i = 0; i < 600; ++i) {
+      s2.schedule_at(1.0 + i, [&n] { ++n; });
+    }
+    s2.run();
+    EXPECT_EQ(n, 600);
+  }
+  // Same workload, recycled slots: the arena comes back unchanged.
+  EXPECT_EQ(cache.slabs_cached(), parked);
+  EXPECT_EQ(cache.high_water(), parked);
+}
+
+TEST(EventPoolCache, KeepsLargestArena) {
+  sim::EventPoolCache cache;
+  {
+    sim::Simulator big(&cache);
+    int n = 0;
+    for (int i = 0; i < 600; ++i) big.schedule_at(1.0 + i, [&n] { ++n; });
+    big.run();
+  }
+  const std::size_t parked = cache.slabs_cached();
+  ASSERT_GE(parked, 3u);
+  {
+    // A small run adopts the big arena and returns it intact: parking the
+    // larger-of arenas means the cache never shrinks below its high water.
+    sim::Simulator small(&cache);
+    int n = 0;
+    small.schedule_at(1.0, [&n] { ++n; });
+    small.run();
+  }
+  EXPECT_EQ(cache.slabs_cached(), parked);
+  EXPECT_EQ(cache.high_water(), parked);
+}
+
+std::vector<std::pair<double, int>> batch_cancel_trace(sim::Simulator& s) {
+  std::vector<std::pair<double, int>> trace;
+  const auto mark = [&](int tag) { trace.emplace_back(s.now(), tag); };
+  s.schedule_at(2.0, [&] { mark(1); });
+  const auto victim = s.schedule_at(2.0, [&] { mark(99); });
+  s.schedule_at(2.0, [&] { mark(2); });
+  s.schedule_at(1.0, [&] {
+    mark(0);
+    s.cancel(victim);
+    s.schedule_at(2.0, [&] { mark(3); });
+    s.schedule_in(0.0, [&] { mark(4); });
+  });
+  s.run();
+  return trace;
+}
+
+TEST(EventPoolCache, RecycledArenaProducesIdenticalTrace) {
+  sim::EventPoolCache cache;
+  std::vector<std::pair<double, int>> fresh, recycled;
+  {
+    sim::Simulator s(&cache);
+    fresh = batch_cancel_trace(s);
+  }
+  {
+    sim::Simulator s(&cache);  // runs entirely on recycled slots
+    recycled = batch_cancel_trace(s);
+  }
+  const std::vector<std::pair<double, int>> expected = {
+      {1.0, 0}, {1.0, 4}, {2.0, 1}, {2.0, 2}, {2.0, 3}};
+  EXPECT_EQ(fresh, expected);
+  EXPECT_EQ(recycled, expected);
+}
+
+TEST(EventPoolCache, ThisThreadReturnsPerThreadSingleton) {
+  sim::EventPoolCache& a = sim::EventPoolCache::this_thread();
+  sim::EventPoolCache& b = sim::EventPoolCache::this_thread();
+  EXPECT_EQ(&a, &b);
 }
 
 }  // namespace

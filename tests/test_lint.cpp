@@ -109,6 +109,19 @@ TEST(LintD003, AllowsOrderedIterationAndMembershipTests) {
   EXPECT_EQ(active_total(fs), 0u);
 }
 
+TEST(LintD003, SeesThroughTypedefsAndUsingAliases) {
+  const auto fs =
+      lint_fixture("d003_alias_bad.cpp", lint::FileKind::kLibrarySource);
+  // using-alias, typedef, and alias-of-alias range-fors all flagged.
+  EXPECT_EQ(active_count(fs, "D003"), 3u);
+}
+
+TEST(LintD003, IgnoresAliasesOfOrderedContainers) {
+  const auto fs =
+      lint_fixture("d003_alias_ok.cpp", lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_total(fs), 0u);
+}
+
 // ---- D004: mutable statics at namespace scope -----------------------------
 
 TEST(LintD004, FlagsMutableNamespaceScopeStatics) {

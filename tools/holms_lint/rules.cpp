@@ -151,11 +151,55 @@ void rule_d002(Pass& p) {
 // ---- D003: range-for over unordered containers ----------------------------
 
 void rule_d003(Pass& p) {
+  // Pass 0: type names that *are* unordered containers in this file — the
+  // std ones plus any typedef/using alias whose target mentions one.  Run to
+  // a fixpoint so aliases of aliases resolve regardless of declaration
+  // order.  (Purely lexical, like the rest of the scanner: an alias declared
+  // in another header is invisible, same as any cross-file type info.)
+  std::set<std::string> unordered_types(unordered_containers().begin(),
+                                        unordered_containers().end());
+  for (bool grew = true; grew;) {
+    grew = false;
+    for (std::size_t i = 0; i + 2 < p.size(); ++i) {
+      if (p.tok(i).kind != Token::kIdent) continue;
+      std::size_t name = 0, body_lo = 0;
+      if (is_ident(p.tok(i), "using") && p.tok(i + 1).kind == Token::kIdent &&
+          is_punct(p.tok(i + 2), "=")) {
+        name = i + 1;  // using NAME = <body> ;
+        body_lo = i + 3;
+      } else if (is_ident(p.tok(i), "typedef")) {
+        body_lo = i + 1;  // typedef <body> NAME ;
+      } else {
+        continue;
+      }
+      std::size_t semi = body_lo;
+      while (semi < p.size() && !is_punct(p.tok(semi), ";")) ++semi;
+      if (semi >= p.size()) continue;
+      if (name == 0) {  // typedef: the declared name is the token before ';'
+        if (semi == body_lo || p.tok(semi - 1).kind != Token::kIdent) continue;
+        name = semi - 1;
+      }
+      bool aliases_unordered = false;
+      for (std::size_t j = body_lo; j < semi; ++j) {
+        if (j == name) continue;
+        if (p.tok(j).kind == Token::kIdent &&
+            unordered_types.count(p.tok(j).text) > 0 && p.bare_or_std(j)) {
+          aliases_unordered = true;
+          break;
+        }
+      }
+      if (aliases_unordered &&
+          unordered_types.insert(p.tok(name).text).second) {
+        grew = true;
+      }
+    }
+  }
+
   // Pass 1: names declared with an unordered container type in this file.
   std::set<std::string> unordered_names;
   for (std::size_t i = 0; i < p.size(); ++i) {
     if (p.tok(i).kind != Token::kIdent ||
-        unordered_containers().count(p.tok(i).text) == 0) {
+        unordered_types.count(p.tok(i).text) == 0) {
       continue;
     }
     std::size_t j = i + 1;
@@ -176,7 +220,11 @@ void rule_d003(Pass& p) {
             is_ident(p.tok(j), "const") || is_ident(p.tok(j), "constexpr"))) {
       ++j;
     }
-    if (j < p.size() && p.tok(j).kind == Token::kIdent) {
+    // The token after the type must be a *variable* name: alias definitions
+    // put another type name there (typedef unordered_map<K,V> MyMap;) and
+    // pass 0 already classified those as types, not instances.
+    if (j < p.size() && p.tok(j).kind == Token::kIdent &&
+        unordered_types.count(p.tok(j).text) == 0) {
       unordered_names.insert(p.tok(j).text);
     }
   }
