@@ -9,6 +9,7 @@
 //   xy_delivery_gap_5pct     >= 0.30  (kXY demonstrably blackholes)
 //   fgs_min_psnr_db_30loss   >= 30.0  (base-layer PSNR intact under loss)
 //   bitwise_reproducible     >= 1.0   (same (seed, schedule) => same stats)
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -149,6 +150,8 @@ int main() {
   report.set("poisson_faults_applied", static_cast<double>(r1.faults_applied));
 
   // --- FGS: graceful degradation under sustained 30% loss ---
+  // Driven through the FgsSessionFom step protocol (bitwise-identical to the
+  // one-shot run) so per-slot PSNR telemetry can feed a quantile sketch.
   const FaultSchedule always_bad =
       FaultSchedule::from_trace({{0.0, FaultKind::kFail, Target::kLink, 0}});
   holms::streaming::FgsConfig fgs_cfg;
@@ -156,17 +159,27 @@ int main() {
                              holms::dvfs::PowerModel{});
   holms::streaming::ChannelTrace ch(Rng(31), 3.0e6, 1.2e6, 0.6e6);
   holms::streaming::SlotLossTrace loss(&always_bad, fgs_cfg.slot_s, 0.0, 0.3);
-  const auto fgs = holms::streaming::run_fgs_session(
+  holms::streaming::FgsSessionFom fom(
       holms::streaming::FgsPolicy::kGracefulDegradation, fgs_cfg, cpu, ch,
       400, &loss);
+  holms::sim::QuantileSketch slot_psnr(1.0, 128.0, 32);
+  while (!fom.done()) {
+    const std::size_t before = fom.slots_done();
+    fom.step();
+    if (fom.slots_done() > before) slot_psnr.add(fom.last_psnr_db());
+  }
+  const holms::streaming::FgsReport& fgs = fom.report();
   std::printf(
       "fgs graceful @30%% loss: min psnr %.2f dB, base misses %zu, "
-      "mean shed %.3f\n",
-      fgs.min_psnr_db, fgs.base_layer_misses, fgs.mean_enhancement_shed);
+      "mean shed %.3f, slot psnr p50/p1 %.2f/%.2f dB\n",
+      fgs.min_psnr_db, fgs.base_layer_misses, fgs.mean_enhancement_shed,
+      slot_psnr.p50(), slot_psnr.quantile(0.01));
   report.set("fgs_min_psnr_db_30loss", fgs.min_psnr_db);
   report.set("fgs_base_misses_30loss",
              static_cast<double>(fgs.base_layer_misses));
   report.set("fgs_mean_shed_30loss", fgs.mean_enhancement_shed);
+  report.set("fgs_slot_psnr_p50_db_30loss", slot_psnr.p50());
+  report.set("fgs_slot_psnr_p1_db_30loss", slot_psnr.quantile(0.01));
 
   // --- MANET: route repair keeps sessions alive through node crashes ---
   holms::manet::Manet::Params mp;

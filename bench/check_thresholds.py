@@ -21,6 +21,12 @@ runners instead of failing on hardware the gate cannot measure.
 --append-history appends one JSON line per run (report name, UTC timestamp,
 every numeric top-level field) to bench/history.jsonl, building the
 perf-trajectory record the ROADMAP calls for.
+
+--render-history regenerates bench/HISTORY.md from bench/history.jsonl: one
+markdown table per report name, rows in run order, headline columns first
+(capped at 8 per table so the file stays reviewable).  The flag works
+standalone — `check_thresholds.py --render-history` with no report argument
+only renders.
 """
 import datetime
 import json
@@ -28,6 +34,97 @@ import os
 import sys
 
 HISTORY_PATH = os.path.join(os.path.dirname(__file__), "history.jsonl")
+HISTORY_MD_PATH = os.path.join(os.path.dirname(__file__), "HISTORY.md")
+
+# Columns surfaced first in HISTORY.md, per report name; anything else fills
+# the remaining width in first-seen order.
+HEADLINE_KEYS = {
+    "micro": [
+        "sim_events_per_s",
+        "sa_moves_per_s_incremental",
+        "sa_speedup_vs_full",
+        "sparse_speedup_n512",
+        "solve_thread_speedup_n4096",
+        "wall_time_s",
+    ],
+    "fault": [
+        "ft_delivery_ratio_5pct",
+        "xy_delivery_gap_5pct",
+        "fgs_min_psnr_db_30loss",
+        "bitwise_reproducible",
+        "wall_time_s",
+    ],
+    "serve": [
+        "serve_concurrent_sessions",
+        "serve_events_per_s",
+        "serve_event_p99_us",
+        "serve_thread_invariant",
+        "serve_bitwise_reproducible",
+        "wall_time_s",
+    ],
+}
+MAX_COLUMNS = 8
+
+
+def fmt(value) -> str:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_history() -> None:
+    if not os.path.exists(HISTORY_PATH):
+        print(f"history: {HISTORY_PATH} does not exist; nothing to render")
+        return
+    rows = []
+    with open(HISTORY_PATH) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+
+    groups: dict = {}  # name -> list of rows, insertion-ordered
+    for row in rows:
+        groups.setdefault(row.get("name", "?"), []).append(row)
+
+    out = [
+        "# Bench history",
+        "",
+        "Perf trajectory across CI runs, one table per bench report.",
+        "Generated from `bench/history.jsonl` by",
+        "`check_thresholds.py --render-history` — do not edit by hand.",
+        "",
+    ]
+    for name, group in groups.items():
+        keys = list(HEADLINE_KEYS.get(name, []))
+        for row in group:
+            for key in row:
+                if key in ("name", "timestamp") or key in keys:
+                    continue
+                if isinstance(row[key], (int, float)):
+                    keys.append(key)
+        dropped = len(keys) - MAX_COLUMNS
+        keys = keys[:MAX_COLUMNS]
+        out.append(f"## {name}")
+        out.append("")
+        out.append("| timestamp | " + " | ".join(keys) + " |")
+        out.append("|---" * (len(keys) + 1) + "|")
+        for row in group:
+            cells = [fmt(row[k]) if k in row else "" for k in keys]
+            out.append(
+                "| " + row.get("timestamp", "?") + " | "
+                + " | ".join(cells) + " |")
+        if dropped > 0:
+            out.append("")
+            out.append(
+                f"({dropped} more field(s) recorded in history.jsonl "
+                "but not shown)")
+        out.append("")
+    with open(HISTORY_MD_PATH, "w") as f:
+        f.write("\n".join(out))
+    print(
+        f"history: rendered {len(rows)} run(s), {len(groups)} report(s) "
+        f"to {HISTORY_MD_PATH}")
 
 
 def append_history(report: dict) -> None:
@@ -48,11 +145,14 @@ def append_history(report: dict) -> None:
 def main() -> int:
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     flags = {a for a in sys.argv[1:] if a.startswith("--")}
-    unknown = flags - {"--append-history"}
+    unknown = flags - {"--append-history", "--render-history"}
     if unknown:
         print(f"unknown flags: {' '.join(sorted(unknown))}\n{__doc__}")
         return 2
     if not args:
+        if "--render-history" in flags:
+            render_history()
+            return 0
         print(__doc__)
         return 2
     report_path = args[0]
@@ -98,6 +198,8 @@ def main() -> int:
 
     if "--append-history" in flags:
         append_history(report)
+    if "--render-history" in flags:
+        render_history()
 
     if failures:
         print("\nperf-smoke FAILED:")

@@ -1,4 +1,6 @@
 #include "core/evaluator.hpp"
+// HOLMS_LINT_ALLOW_FILE(D005): EvalCache shard lookups take a short-lived
+// lock_guard on the exploration path; see the header's rationale.
 
 #include <algorithm>
 #include <cstring>

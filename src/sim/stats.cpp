@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "exec/error.hpp"
+#include "exec/rng_stream.hpp"
 
 namespace holms::sim {
 
@@ -123,6 +124,129 @@ double Histogram::tail_fraction(double x) const {
     }
   }
   return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+QuantileSketch::QuantileSketch(double min_value, double max_value,
+                               std::size_t sub_buckets)
+    : min_value_(min_value), max_value_(max_value), sub_buckets_(sub_buckets) {
+  if (!(min_value > 0.0) || !(max_value > 2.0 * min_value) ||
+      sub_buckets == 0) {
+    throw holms::InvalidArgument(
+        "QuantileSketch requires 0 < min_value, max_value > 2*min_value and "
+        "sub_buckets > 0");
+  }
+  // Octave count by exact doubling: no std::log2, so the layout is identical
+  // on every platform for the same arguments.
+  octaves_ = 0;
+  for (double hi = min_value_; hi < max_value_; hi *= 2.0) ++octaves_;
+  const std::size_t n = 2 + octaves_ * sub_buckets_;
+  if (n > (1u << 20)) {
+    throw holms::InvalidArgument("QuantileSketch layout too large");
+  }
+  counts_.assign(n, 0);
+}
+
+std::size_t QuantileSketch::bucket_for(double x) const {
+  if (!(x >= min_value_)) return 0;  // underflow (and NaN)
+  if (x >= max_value_) return counts_.size() - 1;
+  // Exact exponent extraction instead of log2: ilogb/scalbn are integer
+  // operations on the exponent field, so bucket choice never depends on
+  // libm rounding.
+  const double m = x / min_value_;  // >= 1 by construction
+  const int oct = std::ilogb(m);
+  const double frac = std::scalbn(m, -oct);  // in [1, 2)
+  std::size_t sub = static_cast<std::size_t>((frac - 1.0) *
+                                             static_cast<double>(sub_buckets_));
+  sub = std::min(sub, sub_buckets_ - 1);
+  const std::size_t idx =
+      1 + static_cast<std::size_t>(oct) * sub_buckets_ + sub;
+  return std::min(idx, counts_.size() - 2);
+}
+
+double QuantileSketch::bucket_lo(std::size_t i) const {
+  if (i == 0) return total_ ? seen_min_ : min_value_;
+  if (i >= counts_.size() - 1) return max_value_;
+  const std::size_t oct = (i - 1) / sub_buckets_;
+  const std::size_t sub = (i - 1) % sub_buckets_;
+  return std::scalbn(min_value_, static_cast<int>(oct)) *
+         (1.0 + static_cast<double>(sub) / static_cast<double>(sub_buckets_));
+}
+
+double QuantileSketch::bucket_hi(std::size_t i) const {
+  if (i == 0) return min_value_;
+  if (i >= counts_.size() - 1) return total_ ? seen_max_ : max_value_;
+  const std::size_t oct = (i - 1) / sub_buckets_;
+  const std::size_t sub = (i - 1) % sub_buckets_;
+  if (sub + 1 == sub_buckets_) {
+    return std::scalbn(min_value_, static_cast<int>(oct) + 1);
+  }
+  return std::scalbn(min_value_, static_cast<int>(oct)) *
+         (1.0 +
+          static_cast<double>(sub + 1) / static_cast<double>(sub_buckets_));
+}
+
+void QuantileSketch::add(double x) {
+  if (total_ == 0) {
+    seen_min_ = seen_max_ = x;
+  } else {
+    seen_min_ = std::min(seen_min_, x);
+    seen_max_ = std::max(seen_max_, x);
+  }
+  ++counts_[bucket_for(x)];
+  ++total_;
+}
+
+double QuantileSketch::quantile(double p) const {
+  if (total_ == 0) return 0.0;
+  const double target = p * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double within =
+          (target - cum) / static_cast<double>(counts_[i]);
+      const double lo = bucket_lo(i);
+      const double v = lo + within * (bucket_hi(i) - lo);
+      return std::min(std::max(v, seen_min_), seen_max_);
+    }
+    cum = next;
+  }
+  return seen_max_;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (min_value_ != other.min_value_ || max_value_ != other.max_value_ ||
+      sub_buckets_ != other.sub_buckets_) {
+    throw holms::InvalidArgument("QuantileSketch merge: layout mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.total_ > 0) {
+    if (total_ == 0) {
+      seen_min_ = other.seen_min_;
+      seen_max_ = other.seen_max_;
+    } else {
+      seen_min_ = std::min(seen_min_, other.seen_min_);
+      seen_max_ = std::max(seen_max_, other.seen_max_);
+    }
+  }
+  total_ += other.total_;
+}
+
+std::uint64_t QuantileSketch::fingerprint() const {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    return exec::splitmix64(h ^ exec::splitmix64(v));
+  };
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  h = mix(h, static_cast<std::uint64_t>(sub_buckets_));
+  h = mix(h, static_cast<std::uint64_t>(octaves_));
+  h = mix(h, static_cast<std::uint64_t>(total_));
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;  // sparse: position-salted nonzero buckets
+    h = mix(h, static_cast<std::uint64_t>(i) * 0x100000001b3ull + counts_[i]);
+  }
+  return h;
 }
 
 double batch_means_half_width(std::span<const double> samples,

@@ -7,6 +7,9 @@
 //   - OnlineStats        event-weighted mean/variance (Welford)
 //   - TimeWeightedStats  time-weighted averages for occupancy-style signals
 //   - Histogram          fixed-bin empirical distribution + quantiles
+//   - QuantileSketch     log-linear p50/p99/p999 sketch with a layout fixed
+//                        at construction (deterministic, order-insensitive,
+//                        mergeable across localities)
 //   - batch-means CI     confidence intervals for correlated DES output
 //   - autocorrelation    used to distinguish short- vs long-range dependence
 
@@ -89,6 +92,58 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+};
+
+/// Streaming quantile estimator with a log-linear (HDR-histogram style)
+/// bucket layout: `sub_buckets` linearly spaced buckets per octave between
+/// `min_value` and `max_value`, plus saturating under-/overflow buckets.
+///
+/// The layout is a pure function of the constructor arguments — never of the
+/// data — so two sketches fed the same multiset of samples hold identical
+/// counts regardless of arrival order or how the stream was sharded.  That
+/// makes p50/p99/p999 reproducible bitwise across thread counts: each
+/// locality keeps its own sketch and the service layer merges them in index
+/// order.  Relative quantile error is bounded by one sub-bucket width,
+/// ~1/sub_buckets of the value.
+class QuantileSketch {
+ public:
+  QuantileSketch(double min_value, double max_value,
+                 std::size_t sub_buckets = 16);
+
+  void add(double x);
+  std::size_t count() const { return total_; }
+  /// Empirical p-quantile (p in [0,1]), linear within the containing bucket
+  /// and clamped to the exact observed [min, max].  0 when empty.
+  double quantile(double p) const;
+  double p50() const { return quantile(0.50); }
+  double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
+  double min() const { return total_ ? seen_min_ : 0.0; }
+  double max() const { return total_ ? seen_max_ : 0.0; }
+
+  /// Merges a sketch with the identical layout (throws InvalidArgument
+  /// otherwise).  merge-then-quantile == feed-everything-then-quantile.
+  void merge(const QuantileSketch& other);
+
+  /// Order-insensitive splitmix64 chain over the layout and bucket counts;
+  /// equal streams -> equal fingerprints, used by the determinism gates.
+  std::uint64_t fingerprint() const;
+
+  std::size_t buckets() const { return counts_.size(); }
+
+ private:
+  std::size_t bucket_for(double x) const;
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  double min_value_;
+  double max_value_;
+  std::size_t sub_buckets_;
+  std::size_t octaves_;
+  std::vector<std::uint64_t> counts_;
+  std::size_t total_ = 0;
+  double seen_min_ = 0.0;
+  double seen_max_ = 0.0;
 };
 
 /// Half-width of a normal-approximation confidence interval computed with the

@@ -10,6 +10,9 @@
 // it reflects their utilization over time."
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "sim/simulator.hpp"
 #include "stream/kpn.hpp"
@@ -45,9 +48,76 @@ struct Mpeg2Report {
   std::uint64_t frames_dropped = 0;  // receive found B2 full
 };
 
+/// Explicit phases of one decode session, reqh/FOM style.
+enum class Mpeg2FomPhase : std::uint8_t {
+  kBuild,  // construct the Fig.1(b) network on the simulator, arm sources
+  kDrain,  // feed+drain window elapsed: close statistics, build the report
+  kDone,   // report available
+};
+
+/// Resumable, non-blocking state machine for one MPEG-2 decode session on an
+/// *external* (possibly shared, possibly time-offset) Simulator.
+///
+/// step() in kBuild constructs the process network at the simulator's
+/// current time and returns horizon() — the feed+drain window during which
+/// the DES kernel drives the network's own events; the scheduler must call
+/// step() again once the clock has advanced by that much.  The second step()
+/// (kDrain) closes the statistics and builds the report; further steps
+/// return kFinished.  CPU utilization is measured against the session's own
+/// elapsed window, so a session admitted at t=7 reports the same numbers as
+/// one admitted at t=0.
+///
+/// The network's callbacks capture `this`: the FOM must not move once built
+/// and must be destroyed before the Simulator drains further events.  The
+/// frame trace is drawn from `video` in the constructor (one generator draw
+/// per session, independent of admission time).  The legacy one-shot
+/// run_mpeg2_decoder() below is a thin driver over this machine and produces
+/// bitwise-identical reports.
+class Mpeg2SessionFom {
+ public:
+  static constexpr double kFinished = -1.0;
+
+  Mpeg2SessionFom(sim::Simulator& sim, traffic::VideoTraceGenerator& video,
+                  std::size_t num_frames, const Mpeg2Config& cfg,
+                  double extra_drain_time = 2.0);
+  Mpeg2SessionFom(const Mpeg2SessionFom&) = delete;
+  Mpeg2SessionFom& operator=(const Mpeg2SessionFom&) = delete;
+
+  /// Runs one phase transition; see class comment for the return protocol.
+  double step();
+
+  bool done() const { return phase_ == Mpeg2FomPhase::kDone; }
+  Mpeg2FomPhase phase() const { return phase_; }
+  /// Feed + drain window (known at construction, before the network exists).
+  double horizon() const { return horizon_; }
+
+  /// Valid once done(); throws RuntimeError before that.
+  const Mpeg2Report& report() const;
+
+ private:
+  sim::Simulator& sim_;
+  Mpeg2Config cfg_;
+  std::vector<traffic::VideoFrame> frames_;
+  double period_;
+  double horizon_;
+  double start_ = 0.0;
+  std::size_t next_frame_ = 0;
+  std::unique_ptr<ProcessNetwork> net_;
+  CpuId cpu0_{};
+  CpuId cpu1_{};
+  NodeId receive_{};
+  NodeId vld_{};
+  EdgeId b2_{};
+  EdgeId b3_{};
+  EdgeId b4_{};
+  Mpeg2FomPhase phase_ = Mpeg2FomPhase::kBuild;
+  Mpeg2Report report_;
+};
+
 /// Builds the decoder network, feeds it `num_frames` frames from the trace
 /// generator at its frame rate, and runs until the pipeline drains (bounded
-/// by `extra_drain_time` after the last arrival).
+/// by `extra_drain_time` after the last arrival).  (Thin synchronous driver
+/// over Mpeg2SessionFom.)
 Mpeg2Report run_mpeg2_decoder(traffic::VideoTraceGenerator& video,
                               std::size_t num_frames, const Mpeg2Config& cfg,
                               double extra_drain_time = 2.0);

@@ -70,26 +70,11 @@ double psnr_at_rate(const FgsConfig& cfg, double decoded_bps) {
          cfg.psnr_gain_db_per_doubling * std::log2(ratio + 1e-12);
 }
 
-/// Accumulators for one client across slots.
-struct ClientState {
-  sim::OnlineStats psnr;
-  sim::OnlineStats load;
-  sim::OnlineStats loss;
-  sim::OnlineStats shed;
-  double rx_bits = 0.0;
-  double wasted_bits = 0.0;
-  double rx_energy_j = 0.0;
-  double cpu_energy_j = 0.0;
-  double min_psnr = std::numeric_limits<double>::infinity();
-  std::size_t base_misses = 0;
-  double loss_ewma = 0.0;  // sustained-loss estimate driving the ladder
-};
-
 /// One client's slot under the given policy, channel share, and loss
 /// fraction.
 void process_slot(FgsPolicy policy, const FgsConfig& cfg,
                   dvfs::Processor& cpu, double capacity_bps, double loss,
-                  ClientState& st) {
+                  FgsSlotAccum& st) {
   const double max_stream_bps = cfg.base_layer_bps + cfg.max_enhancement_bps;
   const bool feedback = policy == FgsPolicy::kClientFeedback ||
                         policy == FgsPolicy::kGracefulDegradation;
@@ -185,9 +170,11 @@ void process_slot(FgsPolicy policy, const FgsConfig& cfg,
   st.min_psnr = std::min(st.min_psnr, psnr);
   st.loss_ewma =
       cfg.loss_ewma_alpha * loss + (1.0 - cfg.loss_ewma_alpha) * st.loss_ewma;
+  st.last_psnr = psnr;
+  st.last_load = aptitude_bits > 0.0 ? rx_bits / aptitude_bits : 0.0;
 }
 
-FgsReport make_report(const ClientState& st, std::size_t slots) {
+FgsReport make_report(const FgsSlotAccum& st, std::size_t slots) {
   FgsReport rep;
   rep.slots = slots;
   rep.mean_psnr_db = st.psnr.mean();
@@ -206,18 +193,59 @@ FgsReport make_report(const ClientState& st, std::size_t slots) {
 
 }  // namespace
 
+FgsSessionFom::FgsSessionFom(FgsPolicy policy, const FgsConfig& cfg,
+                             dvfs::Processor& client_cpu,
+                             ChannelTrace& channel, std::size_t slots,
+                             SlotLossTrace* loss)
+    : policy_(policy), cfg_(cfg), cpu_(client_cpu), channel_(channel),
+      loss_(loss), slots_(slots) {}
+
+double FgsSessionFom::step() {
+  switch (phase_) {
+    case FgsFomPhase::kInit:
+      if (policy_ == FgsPolicy::kNonAdaptive) {
+        cpu_.set_level(cpu_.num_points() - 1);
+      }
+      if (slots_ == 0) {
+        report_ = make_report(accum_, 0);
+        phase_ = FgsFomPhase::kDone;
+        return kFinished;
+      }
+      phase_ = FgsFomPhase::kSlot;
+      return kAgain;
+    case FgsFomPhase::kSlot: {
+      // Evaluation order matters for bitwise equivalence with the original
+      // loop: the loss cursor advances before the channel draws its RNG.
+      const double l = loss_ != nullptr ? loss_->loss_for_slot(slot_) : 0.0;
+      process_slot(policy_, cfg_, cpu_, channel_.next_capacity_bps(), l,
+                   accum_);
+      ++slot_;
+      if (slot_ >= slots_) {
+        report_ = make_report(accum_, slots_);
+        phase_ = FgsFomPhase::kDone;
+        return kFinished;
+      }
+      return cfg_.slot_s;
+    }
+    case FgsFomPhase::kDone:
+      return kFinished;
+  }
+  return kFinished;  // unreachable
+}
+
+const FgsReport& FgsSessionFom::report() const {
+  if (phase_ != FgsFomPhase::kDone) {
+    throw holms::RuntimeError("FgsSessionFom: report() before done()");
+  }
+  return report_;
+}
+
 FgsReport run_fgs_session(FgsPolicy policy, const FgsConfig& cfg,
                           dvfs::Processor& client_cpu, ChannelTrace& channel,
                           std::size_t slots, SlotLossTrace* loss) {
-  if (policy == FgsPolicy::kNonAdaptive) {
-    client_cpu.set_level(client_cpu.num_points() - 1);
-  }
-  ClientState st;
-  for (std::size_t s = 0; s < slots; ++s) {
-    const double l = loss != nullptr ? loss->loss_for_slot(s) : 0.0;
-    process_slot(policy, cfg, client_cpu, channel.next_capacity_bps(), l, st);
-  }
-  return make_report(st, slots);
+  FgsSessionFom fom(policy, cfg, client_cpu, channel, slots, loss);
+  while (!fom.done()) fom.step();
+  return fom.report();
 }
 
 AdhocReport run_fgs_adhoc(FgsPolicy policy, const FgsConfig& cfg,
@@ -229,7 +257,7 @@ AdhocReport run_fgs_adhoc(FgsPolicy policy, const FgsConfig& cfg,
   if (policy == FgsPolicy::kNonAdaptive) {
     for (auto& c : clients) c.set_level(c.num_points() - 1);
   }
-  std::vector<ClientState> states(clients.size());
+  std::vector<FgsSlotAccum> states(clients.size());
   for (std::size_t s = 0; s < slots; ++s) {
     // Fair medium share: every active stream gets capacity / N this slot
     // (every multimedia host also forwards/receives, §4.2 — here they all

@@ -18,6 +18,8 @@
 // energy waste; aptitude beyond the received data is compute-energy waste.
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "dvfs/dvfs.hpp"
@@ -110,9 +112,88 @@ struct FgsReport {
   double mean_enhancement_shed = 0.0;  // mean shed fraction (graceful only)
 };
 
+/// Per-slot accumulators for one client.  A detail of the slot step shared
+/// by the session state machine and the ad hoc simulation; results are read
+/// through FgsReport, but the struct lives here so FgsSessionFom can embed
+/// it without heap indirection.
+struct FgsSlotAccum {
+  sim::OnlineStats psnr;
+  sim::OnlineStats load;
+  sim::OnlineStats loss;
+  sim::OnlineStats shed;
+  double rx_bits = 0.0;
+  double wasted_bits = 0.0;
+  double rx_energy_j = 0.0;
+  double cpu_energy_j = 0.0;
+  double min_psnr = std::numeric_limits<double>::infinity();
+  std::size_t base_misses = 0;
+  double loss_ewma = 0.0;  // sustained-loss estimate driving the ladder
+  double last_psnr = 0.0;  // most recent slot (serve-layer telemetry)
+  double last_load = 0.0;
+};
+
+/// Explicit phases of one streaming session, reqh/FOM style.
+enum class FgsFomPhase : std::uint8_t {
+  kInit,  // one-time policy setup (non-adaptive pins the max DVFS level)
+  kSlot,  // one timeslot of adapt -> send -> lose -> decode per step()
+  kDone,  // report available
+};
+
+/// Resumable, non-blocking state machine for one FGS streaming session.
+///
+/// Each step() executes exactly one phase transition and returns the
+/// simulated delay until the machine must run again — kAgain (0.0) to
+/// continue within the same timestamp, cfg.slot_s between slots, or a
+/// negative value (kFinished) once the session is done.  The FOM never
+/// blocks and holds no thread: a scheduler (serve::ServiceManager) parks it
+/// between steps as a DES event, so tens of thousands of sessions multiplex
+/// onto one locality.  The legacy one-shot run_fgs_session() below is a thin
+/// driver over this machine and produces bitwise-identical reports.
+///
+/// Holds references to the client's Processor and ChannelTrace; the FOM must
+/// not outlive them and must not move once stepping begins (sessions are
+/// heap-pinned by the service layer).
+class FgsSessionFom {
+ public:
+  static constexpr double kAgain = 0.0;
+  static constexpr double kFinished = -1.0;
+
+  FgsSessionFom(FgsPolicy policy, const FgsConfig& cfg,
+                dvfs::Processor& client_cpu, ChannelTrace& channel,
+                std::size_t slots, SlotLossTrace* loss = nullptr);
+
+  /// Runs one phase transition; see class comment for the return protocol.
+  double step();
+
+  bool done() const { return phase_ == FgsFomPhase::kDone; }
+  FgsFomPhase phase() const { return phase_; }
+  std::size_t slots_done() const { return slot_; }
+
+  /// Telemetry of the most recent completed slot (serve feeds these into
+  /// its streaming quantile sketches without touching the accumulators).
+  double last_psnr_db() const { return accum_.last_psnr; }
+  double last_load() const { return accum_.last_load; }
+
+  /// Valid once done(); throws RuntimeError before that.
+  const FgsReport& report() const;
+
+ private:
+  FgsPolicy policy_;
+  FgsConfig cfg_;
+  dvfs::Processor& cpu_;
+  ChannelTrace& channel_;
+  SlotLossTrace* loss_;
+  std::size_t slots_;
+  std::size_t slot_ = 0;
+  FgsFomPhase phase_ = FgsFomPhase::kInit;
+  FgsSlotAccum accum_;
+  FgsReport report_;
+};
+
 /// Runs one streaming session for `slots` timeslots.  An optional loss trace
 /// injects per-slot channel loss; graceful degradation sheds enhancement
 /// before the base layer, every other policy loses bits uniformly.
+/// (Thin synchronous driver over FgsSessionFom.)
 FgsReport run_fgs_session(FgsPolicy policy, const FgsConfig& cfg,
                           dvfs::Processor& client_cpu, ChannelTrace& channel,
                           std::size_t slots, SlotLossTrace* loss = nullptr);

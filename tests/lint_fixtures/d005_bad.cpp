@@ -1,0 +1,23 @@
+// Positive fixture for D005: blocking primitives in library code.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace holms::demo {
+
+inline void nap() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // finding 1
+  usleep(100);                                                 // finding 2
+}
+
+struct Guarded {
+  std::mutex mu;               // finding 3
+  std::condition_variable cv;  // finding 4
+
+  void touch() {
+    std::unique_lock lk(mu);   // finding 5
+    cv.wait(lk);               // member call: not a finding
+  }
+};
+
+}  // namespace holms::demo

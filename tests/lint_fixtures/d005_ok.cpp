@@ -1,0 +1,26 @@
+// Negative fixture for D005: lookalike identifiers, member calls, non-std
+// qualification and own-type declarations must stay clean.
+
+namespace holms::demo {
+
+struct Waiter {
+  int sleep_budget = 0;  // 'sleep_budget' is not 'sleep'
+  void rest();
+};
+
+inline void drive(Waiter& w) {
+  w.rest();                // member call
+  w.sleep_budget = 3;
+}
+
+inline int sim_sleep_slots(int n) { return n; }  // substring, not a call
+
+// A non-std library's own synchronization vocabulary: qualified uses do not
+// name the std primitives, and `struct mutex;` declares a new type.
+namespace rt {
+struct mutex;
+struct lock_guard;
+}  // namespace rt
+inline rt::mutex* make_lock_table() { return nullptr; }
+
+}  // namespace holms::demo

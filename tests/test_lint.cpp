@@ -137,6 +137,29 @@ TEST(LintD004, AllowsConstantsStaticFunctionsAndLocals) {
   EXPECT_EQ(active_total(fs), 0u);
 }
 
+// ---- D005: blocking primitives outside exec/ ------------------------------
+
+TEST(LintD005, FlagsSleepsAndLockPrimitivesInLibraryCode) {
+  const auto fs =
+      lint_fixture("d005_bad.cpp", lint::FileKind::kLibrarySource);
+  // sleep_for, usleep, mutex, condition_variable, unique_lock.
+  EXPECT_EQ(active_count(fs, "D005"), 5u);
+}
+
+TEST(LintD005, IgnoresLookalikesMemberCallsAndOwnTypes) {
+  const auto fs = lint_fixture("d005_ok.cpp", lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_total(fs), 0u);
+}
+
+TEST(LintD005, ExecModuleMayBlock) {
+  // The worker pool is the one module allowed to block: the same tokens
+  // under an exec/ path produce no findings.
+  const lint::SourceFile f =
+      lint::lex("src/exec/pool_detail.cpp", fixture_text("d005_bad.cpp"),
+                lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_count(lint::run_rules(f), "D005"), 0u);
+}
+
 // ---- C001: Params/Options structs must expose validate() ------------------
 
 TEST(LintC001, FlagsParamsStructsWithoutValidate) {
@@ -221,7 +244,7 @@ TEST(LintScoping, TestAndBenchCodeIsExemptFromLibraryRules) {
   // they legitimately use ad-hoc randomness, clocks and stdout.
   for (const char* name :
        {"d001_bad.cpp", "d002_bad.cpp", "d003_bad.cpp", "d004_bad.cpp",
-        "c002_bad.cpp", "h001_bad.cpp"}) {
+        "d005_bad.cpp", "c002_bad.cpp", "h001_bad.cpp"}) {
     const auto fs = lint_fixture(name, lint::FileKind::kOtherSource);
     EXPECT_EQ(active_total(fs), 0u) << name;
   }

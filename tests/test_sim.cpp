@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "exec/error.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -13,6 +14,7 @@ namespace {
 using holms::sim::EventId;
 using holms::sim::Histogram;
 using holms::sim::OnlineStats;
+using holms::sim::QuantileSketch;
 using holms::sim::Rng;
 using holms::sim::Simulator;
 using holms::sim::Ticker;
@@ -320,6 +322,81 @@ TEST(Histogram, TailFraction) {
 TEST(Histogram, RejectsDegenerateRange) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// ---------- QuantileSketch ----------
+
+TEST(QuantileSketch, QuantilesOfUniformFillWithinOneSubBucket) {
+  QuantileSketch s(1.0, 2048.0, 32);
+  for (int i = 1; i <= 1000; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.count(), 1000u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1000.0);
+  // Relative error is bounded by one sub-bucket width (~1/32).
+  EXPECT_NEAR(s.p50(), 500.0, 500.0 / 32 + 1.0);
+  EXPECT_NEAR(s.p99(), 990.0, 990.0 / 32 + 1.0);
+  EXPECT_NEAR(s.p999(), 999.0, 999.0 / 32 + 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1000.0);
+}
+
+TEST(QuantileSketch, OrderInsensitive) {
+  QuantileSketch asc(1e-3, 64.0, 16), desc(1e-3, 64.0, 16);
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.exponential(1.0));
+  for (double x : xs) asc.add(x);
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) desc.add(*it);
+  EXPECT_EQ(asc.fingerprint(), desc.fingerprint());
+  EXPECT_DOUBLE_EQ(asc.p99(), desc.p99());
+  EXPECT_DOUBLE_EQ(asc.p999(), desc.p999());
+}
+
+TEST(QuantileSketch, MergeMatchesSingleStream) {
+  QuantileSketch whole(1.0, 1024.0, 32);
+  QuantileSketch a(1.0, 1024.0, 32), b(1.0, 1024.0, 32);
+  Rng rng(9);
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.uniform(0.5, 900.0);
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.fingerprint(), whole.fingerprint());
+  EXPECT_DOUBLE_EQ(a.p50(), whole.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), whole.p99());
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(QuantileSketch, OutOfRangeSaturatesEdgeBuckets) {
+  QuantileSketch s(1.0, 100.0, 8);
+  s.add(0.25);   // below min_value -> underflow bucket
+  s.add(1e9);    // above max_value -> overflow bucket
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.25);
+  EXPECT_DOUBLE_EQ(s.max(), 1e9);
+  // Quantiles clamp to the exact observed extremes, so no mass escapes.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1e9);
+}
+
+TEST(QuantileSketch, EmptySketchReportsZero) {
+  const QuantileSketch s(1.0, 100.0, 8);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(QuantileSketch, ValidatesLayout) {
+  EXPECT_THROW(QuantileSketch(0.0, 10.0), holms::InvalidArgument);
+  EXPECT_THROW(QuantileSketch(1.0, 1.5), holms::InvalidArgument);
+  EXPECT_THROW(QuantileSketch(1.0, 10.0, 0), holms::InvalidArgument);
+  QuantileSketch a(1.0, 100.0, 8);
+  QuantileSketch b(1.0, 100.0, 16);
+  EXPECT_THROW(a.merge(b), holms::InvalidArgument);
 }
 
 // ---------- batch means & autocorrelation ----------

@@ -11,6 +11,10 @@
 //     D003  range-for iteration over an unordered container in library code
 //           (iteration order is implementation-defined -> result order isn't)
 //     D004  mutable `static` at namespace scope (hidden cross-run state)
+//     D005  blocking primitive (this_thread::sleep_for, std::mutex and
+//           friends) in library code outside exec/ — the serve layer's
+//           never-block discipline: sessions are state machines that yield
+//           to the DES kernel, and only the exec worker pool may block
 //
 //   C-rules (contracts — machine-checkable API conventions)
 //     C001  public Params/Options struct without a validate() member

@@ -94,6 +94,8 @@ class Pass {
                                   : false);
   }
 
+  const SourceFile& file() const { return f_; }
+
  protected:
   const SourceFile& f_;
   std::vector<Finding>& out_;
@@ -329,6 +331,54 @@ void rule_d004(Pass& p) {
   }
 }
 
+// ---- D005: blocking primitives outside exec/ ------------------------------
+
+const std::unordered_set<std::string>& blocking_sync_types() {
+  static const std::unordered_set<std::string> kSet{
+      "mutex",          "timed_mutex",        "recursive_mutex",
+      "recursive_timed_mutex",                "shared_mutex",
+      "shared_timed_mutex",                   "condition_variable",
+      "condition_variable_any",               "lock_guard",
+      "unique_lock",    "scoped_lock",        "shared_lock",
+      "counting_semaphore",                   "binary_semaphore",
+      "latch",          "barrier",
+  };
+  return kSet;
+}
+
+void rule_d005(Pass& p) {
+  // The exec module owns the worker pool and is the one place allowed to
+  // block; everywhere else a session is a non-blocking state machine that
+  // yields to the DES kernel between steps (serve/fom.hpp), so sleeps and
+  // lock waits in library code would stall a whole locality.
+  if (p.file().path.find("exec/") != std::string::npos) return;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const Token& t = p.tok(i);
+    if (t.kind != Token::kIdent) continue;
+    if (i > 0) {
+      const Token& prev = p.tok(i - 1);
+      // `struct mutex;` in a non-std namespace declares a new type, not a
+      // use of the std primitive.
+      if (is_ident(prev, "struct") || is_ident(prev, "class") ||
+          is_ident(prev, "enum")) {
+        continue;
+      }
+    }
+    const bool sleep_call =
+        (t.text == "sleep_for" || t.text == "sleep_until" ||
+         t.text == "usleep" || t.text == "nanosleep" || t.text == "sleep") &&
+        p.next_is(i, "(");
+    const bool sync_type = blocking_sync_types().count(t.text) > 0;
+    if ((sleep_call || sync_type) && p.bare_or_std(i)) {
+      p.report("D005", t.line,
+               "blocking primitive '" + t.text +
+                   "' in library code: sessions must yield to the DES kernel "
+                   "instead of blocking (serve/fom.hpp); blocking "
+                   "synchronization lives only under exec/");
+    }
+  }
+}
+
 // ---- C001: Params/Options structs must expose validate() ------------------
 
 bool params_like(const std::string& name) {
@@ -439,6 +489,7 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"D002", "wall-clock read in library code"},
       {"D003", "range-for over an unordered container in library code"},
       {"D004", "mutable static at namespace scope"},
+      {"D005", "blocking primitive (sleep / lock wait) outside exec/"},
       {"C001", "Params/Options struct without validate() member"},
       {"C002", "throw of a bare std:: exception (use exec/error.hpp types)"},
       {"C003", "using namespace in a header"},
@@ -465,6 +516,7 @@ std::vector<Finding> run_rules(const SourceFile& f) {
     rule_d002(p);
     rule_d003(p);
     rule_d004(p);
+    rule_d005(p);
     rule_c002(p);
     rule_h001(p);
   }
