@@ -43,7 +43,8 @@ HEADLINE_KEYS = {
         "sim_events_per_s",
         "sa_moves_per_s_incremental",
         "sa_speedup_vs_full",
-        "sparse_speedup_n512",
+        "spmv_simd_speedup",
+        "sa_delta_simd_speedup",
         "solve_thread_speedup_n4096",
         "wall_time_s",
     ],

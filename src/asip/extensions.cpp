@@ -126,6 +126,7 @@ double total_gates(const CoreConfig& cfg,
   if (cfg.num_registers < kNumRegs) {
     g -= 350.0 * static_cast<double>(kNumRegs - cfg.num_registers);
   }
+  // HOLMS_LINT_ALLOW(D006): gate-count sum over the fixed selection order; cold synthesis-area estimate
   for (const auto& e : selected) g += e.gate_count;
   return g;
 }

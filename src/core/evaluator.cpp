@@ -87,6 +87,7 @@ Evaluation evaluate_design(const Application& app, const Platform& platform,
   for (std::size_t i = 0; i < prob.tasks.size(); ++i) {
     const TileSpec& spec = platform.tiles.at(mapping[i]);
     const auto& op = platform.points.at(ev.schedule.placement[i].dvs_level);
+    // HOLMS_LINT_ALLOW(D006): per-candidate energy roll-up in fixed task-index order
     compute_j +=
         platform.power.energy_for_cycles(prob.tasks[i].cycles, op) *
         spec.energy_factor;

@@ -164,6 +164,7 @@ ExploreResult explore(const Application& app, const Platform& platform,
     for (std::size_t j = 0; j < jobs.size(); ++j) {
       double sum = 0.0;
       for (std::size_t r = 0; r < fs.replicas; ++r) {
+        // HOLMS_LINT_ALLOW(D006): mean over a job's replica runs in fixed replica order
         sum += avail_runs[j * fs.replicas + r];
       }
       availability[j] = sum / static_cast<double>(fs.replicas);

@@ -1,0 +1,84 @@
+#pragma once
+// 64-byte-aligned storage helpers for the hot-path kernels (DESIGN.md §5i).
+//
+// The SIMD layer (exec/simd.hpp) loads packs with unaligned instructions, so
+// alignment is never required for correctness — but starting every hot array
+// on its own cache line keeps pack loads from straddling lines and makes the
+// slab event pool's 64-byte slots line-exact.  Two shapes are provided:
+//
+//   aligned_vector<T>        drop-in std::vector with 64-byte-aligned data()
+//   make_aligned_array<T>(n) fixed-size array of trivially-destructible T,
+//                            value-initialized, freed with the matching
+//                            aligned operator delete
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace holms::exec {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal allocator backing aligned_vector: every allocation starts on a
+/// cache-line boundary.  Stateless, so all instances compare equal and
+/// vectors swap/move freely.
+template <class T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kCacheLineBytes}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(static_cast<void*>(p),
+                      std::align_val_t{kCacheLineBytes});
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// std::vector whose data() is 64-byte aligned.  Used for the CsrMatrix
+/// value/column arrays and the SIMD scratch buffers.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+namespace detail {
+template <class T>
+struct AlignedArrayDeleter {
+  void operator()(T* p) const noexcept {
+    // Destruction is a no-op by the static_assert in make_aligned_array;
+    // only the aligned storage needs releasing.
+    ::operator delete(static_cast<void*>(p),
+                      std::align_val_t{kCacheLineBytes});
+  }
+};
+}  // namespace detail
+
+template <class T>
+using AlignedArray = std::unique_ptr<T[], detail::AlignedArrayDeleter<T>>;
+
+/// Allocates a 64-byte-aligned, value-initialized array of `n` elements.
+/// Restricted to trivially-destructible T so the deleter can skip element
+/// destruction (there is no array cookie to recover the length from).
+template <class T>
+AlignedArray<T> make_aligned_array(std::size_t n) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "make_aligned_array requires trivially-destructible T");
+  T* p = static_cast<T*>(::operator new(
+      n * sizeof(T), std::align_val_t{kCacheLineBytes}));
+  for (std::size_t i = 0; i < n; ++i) ::new (static_cast<void*>(p + i)) T();
+  return AlignedArray<T>(p);
+}
+
+}  // namespace holms::exec

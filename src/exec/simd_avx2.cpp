@@ -1,0 +1,100 @@
+// AVX2 implementation of the holms::exec::simd kernels.  One Pack is two
+// __m256d accumulators (lanes 0-3 and 4-7); reduce() adds them, folds the
+// register halves, then the final pair — which is precisely the canonical
+// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)) tree the scalar reference emulates.
+// Compiled with -mavx2 -ffp-contract=off; only built on x86_64 (see
+// exec/CMakeLists.txt).
+
+#include "exec/simd.hpp"
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace holms::exec::simd::detail {
+namespace {
+
+struct Mask {
+  __m256d a, b;
+};
+
+struct Pack {
+  __m256d a, b;  // lanes 0-3, lanes 4-7
+
+  static Pack zero() {
+    return {_mm256_setzero_pd(), _mm256_setzero_pd()};
+  }
+  static Pack broadcast(double v) {
+    return {_mm256_set1_pd(v), _mm256_set1_pd(v)};
+  }
+  static Pack load(const double* src) {
+    return {_mm256_loadu_pd(src), _mm256_loadu_pd(src + 4)};
+  }
+  static Pack gather(const double* x, const std::uint32_t* idx) {
+    // set_pd outruns vgatherdpd on these short rows and keeps the port
+    // pressure off the load units; operands are listed high lane first.
+    return {_mm256_set_pd(x[idx[3]], x[idx[2]], x[idx[1]], x[idx[0]]),
+            _mm256_set_pd(x[idx[7]], x[idx[6]], x[idx[5]], x[idx[4]])};
+  }
+  void store(double* dst) const {
+    _mm256_storeu_pd(dst, a);
+    _mm256_storeu_pd(dst + 4, b);
+  }
+
+  friend Pack operator+(Pack x, Pack y) {
+    return {_mm256_add_pd(x.a, y.a), _mm256_add_pd(x.b, y.b)};
+  }
+  friend Pack operator-(Pack x, Pack y) {
+    return {_mm256_sub_pd(x.a, y.a), _mm256_sub_pd(x.b, y.b)};
+  }
+  friend Pack operator*(Pack x, Pack y) {
+    return {_mm256_mul_pd(x.a, y.a), _mm256_mul_pd(x.b, y.b)};
+  }
+  friend Pack operator/(Pack x, Pack y) {
+    return {_mm256_div_pd(x.a, y.a), _mm256_div_pd(x.b, y.b)};
+  }
+
+  static Pack vmin(Pack x, Pack y) {
+    return {_mm256_min_pd(x.a, y.a), _mm256_min_pd(x.b, y.b)};
+  }
+  static Pack vmax(Pack x, Pack y) {
+    return {_mm256_max_pd(x.a, y.a), _mm256_max_pd(x.b, y.b)};
+  }
+  static Pack vabs(Pack x) {
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    return {_mm256_andnot_pd(sign, x.a), _mm256_andnot_pd(sign, x.b)};
+  }
+  static Mask gt(Pack x, Pack y) {
+    return {_mm256_cmp_pd(x.a, y.a, _CMP_GT_OQ),
+            _mm256_cmp_pd(x.b, y.b, _CMP_GT_OQ)};
+  }
+  static Mask ge(Pack x, Pack y) {
+    return {_mm256_cmp_pd(x.a, y.a, _CMP_GE_OQ),
+            _mm256_cmp_pd(x.b, y.b, _CMP_GE_OQ)};
+  }
+  static Pack blend(Mask m, Pack x, Pack y) {
+    return {_mm256_blendv_pd(y.a, x.a, m.a),
+            _mm256_blendv_pd(y.b, x.b, m.b)};
+  }
+
+  double reduce() const {
+    const __m256d s = _mm256_add_pd(a, b);  // (l0+l4, l1+l5, l2+l6, l3+l7)
+    const __m128d t = _mm_add_pd(_mm256_castpd256_pd128(s),
+                                 _mm256_extractf128_pd(s, 1));
+    return _mm_cvtsd_f64(_mm_add_sd(t, _mm_unpackhi_pd(t, t)));
+  }
+};
+
+#include "exec/simd_kernels.inc"
+
+}  // namespace
+
+const Kernels& avx2_kernels() {
+  static const Kernels k = make_table(Isa::kAvx2, "avx2");
+  return k;
+}
+
+}  // namespace holms::exec::simd::detail

@@ -1,0 +1,112 @@
+// Scalar reference implementation of the holms::exec::simd kernels: 8
+// explicit f64 chains and the canonical combine tree from simd.hpp, so this
+// TU defines the bit pattern every vector ISA must reproduce.  Compiled with
+// -ffp-contract=off -fno-tree-vectorize (see exec/CMakeLists.txt) so the
+// compiler neither fuses FMAs nor SLP-vectorizes the lane chains — the
+// reference stays honestly scalar.
+
+#include "exec/simd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace holms::exec::simd::detail {
+namespace {
+
+struct Mask {
+  bool m[8];
+};
+
+struct Pack {
+  double l[8];
+
+  static Pack zero() { return broadcast(0.0); }
+  static Pack broadcast(double v) {
+    Pack p;
+    for (int k = 0; k < 8; ++k) p.l[k] = v;
+    return p;
+  }
+  static Pack load(const double* src) {
+    Pack p;
+    for (int k = 0; k < 8; ++k) p.l[k] = src[k];
+    return p;
+  }
+  static Pack gather(const double* x, const std::uint32_t* idx) {
+    Pack p;
+    for (int k = 0; k < 8; ++k) p.l[k] = x[idx[k]];
+    return p;
+  }
+  void store(double* dst) const {
+    for (int k = 0; k < 8; ++k) dst[k] = l[k];
+  }
+
+  friend Pack operator+(Pack a, Pack b) {
+    Pack p;
+    for (int k = 0; k < 8; ++k) p.l[k] = a.l[k] + b.l[k];
+    return p;
+  }
+  friend Pack operator-(Pack a, Pack b) {
+    Pack p;
+    for (int k = 0; k < 8; ++k) p.l[k] = a.l[k] - b.l[k];
+    return p;
+  }
+  friend Pack operator*(Pack a, Pack b) {
+    Pack p;
+    for (int k = 0; k < 8; ++k) p.l[k] = a.l[k] * b.l[k];
+    return p;
+  }
+  friend Pack operator/(Pack a, Pack b) {
+    Pack p;
+    for (int k = 0; k < 8; ++k) p.l[k] = a.l[k] / b.l[k];
+    return p;
+  }
+
+  // minpd/maxpd convention: second operand on ties.
+  static Pack vmin(Pack a, Pack b) {
+    Pack p;
+    for (int k = 0; k < 8; ++k) p.l[k] = a.l[k] < b.l[k] ? a.l[k] : b.l[k];
+    return p;
+  }
+  static Pack vmax(Pack a, Pack b) {
+    Pack p;
+    for (int k = 0; k < 8; ++k) p.l[k] = a.l[k] > b.l[k] ? a.l[k] : b.l[k];
+    return p;
+  }
+  static Pack vabs(Pack a) {
+    Pack p;
+    for (int k = 0; k < 8; ++k) p.l[k] = std::fabs(a.l[k]);
+    return p;
+  }
+  static Mask gt(Pack a, Pack b) {
+    Mask m;
+    for (int k = 0; k < 8; ++k) m.m[k] = a.l[k] > b.l[k];
+    return m;
+  }
+  static Mask ge(Pack a, Pack b) {
+    Mask m;
+    for (int k = 0; k < 8; ++k) m.m[k] = a.l[k] >= b.l[k];
+    return m;
+  }
+  static Pack blend(Mask m, Pack a, Pack b) {
+    Pack p;
+    for (int k = 0; k < 8; ++k) p.l[k] = m.m[k] ? a.l[k] : b.l[k];
+    return p;
+  }
+
+  double reduce() const {
+    return ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]));
+  }
+};
+
+#include "exec/simd_kernels.inc"
+
+}  // namespace
+
+const Kernels& scalar_kernels() {
+  static const Kernels k = make_table(Isa::kScalar, "scalar");
+  return k;
+}
+
+}  // namespace holms::exec::simd::detail

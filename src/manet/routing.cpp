@@ -199,6 +199,7 @@ LifetimeResult simulate_lifetime(Protocol p, const Manet::Params& params,
     // Deliver this tick's packets along cached routes.
     for (auto& f : flows) {
       if (!net.node(f.src).alive || !net.node(f.dst).alive) continue;
+      // HOLMS_LINT_ALLOW(D006): double-typed loop counter with fixed stride, not a reduction
       for (double k = 0.0; k < packets_per_tick; k += 1.0) {
         ++res.packets_sent;
         // Validate the cached route (mobility or deaths may break it).

@@ -14,15 +14,10 @@ namespace {
 
 void normalize(std::vector<double>& v) {
   double sum = 0.0;
+  // HOLMS_LINT_ALLOW(D006): direct-solver/CTMC normalize over the state vector in index order; iterative paths reduce through exec::simd
   for (double x : v) sum += x;
   if (sum <= 0.0) throw holms::RuntimeError("distribution has zero mass");
   for (double& x : v) x /= sum;
-}
-
-double l1_delta(std::span<const double> a, std::span<const double> b) {
-  double d = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
-  return d;
 }
 
 // Solves pi * A = 0 with sum(pi) = 1 by replacing the last column with the
@@ -110,8 +105,11 @@ SolveResult Dtmc::steady_state(const SolveOptions& opts) const {
     return res;
   }
 
-  // Representation choice (speed only — the sparse kernels reproduce the
-  // dense iterates bitwise, see sparse.hpp).
+  // Representation choice.  Since the exec::simd port both representations
+  // execute the SAME CSR kernels (the dense O(n^2) sweeps are gone), so
+  // kDense and kSparse are bitwise identical by construction; the heuristic
+  // below only decides what `used_sparse` reports — kept so callers and
+  // tests can still observe which representation the auto mode would pick.
   bool use_sparse = opts.sparsity == SparsityMode::kSparse;
   if (opts.sparsity == SparsityMode::kAuto && n >= opts.sparse_min_states) {
     std::size_t nnz = 0;
@@ -122,46 +120,11 @@ SolveResult Dtmc::steady_state(const SolveOptions& opts) const {
                  opts.sparse_max_density * static_cast<double>(n) *
                      static_cast<double>(n);
   }
-  if (use_sparse) {
-    const CsrMatrix p = CsrMatrix::from_dense(p_);
-    return opts.method == SteadyStateMethod::kPowerIteration
-               ? sparse_power_iteration(p, opts)
-               : sparse_gauss_seidel(p, opts);
-  }
-
-  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
-  std::vector<double> next(n, 0.0);
-  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
-    if (opts.method == SteadyStateMethod::kPowerIteration) {
-      std::fill(next.begin(), next.end(), 0.0);
-      for (std::size_t r = 0; r < n; ++r) {
-        const double pr = pi[r];
-        if (pr == 0.0) continue;
-        for (std::size_t c = 0; c < n; ++c) next[c] += pr * p_.at(r, c);
-      }
-    } else {  // Gauss–Seidel on pi = pi P, updating in place column by column.
-      next = pi;
-      for (std::size_t c = 0; c < n; ++c) {
-        double acc = 0.0;
-        for (std::size_t r = 0; r < n; ++r) {
-          if (r == c) continue;
-          acc += next[r] * p_.at(r, c);
-        }
-        const double self = p_.at(c, c);
-        next[c] = self < 1.0 ? acc / (1.0 - self) : acc;
-      }
-      normalize(next);
-    }
-    const double delta = l1_delta(pi, next);
-    pi.swap(next);
-    res.iterations = it + 1;
-    if (delta < opts.tolerance) {
-      res.converged = true;
-      break;
-    }
-  }
-  normalize(pi);
-  res.distribution = std::move(pi);
+  const CsrMatrix p = CsrMatrix::from_dense(p_);
+  res = opts.method == SteadyStateMethod::kPowerIteration
+            ? sparse_power_iteration(p, opts)
+            : sparse_gauss_seidel(p, opts);
+  res.used_sparse = use_sparse;
   return res;
 }
 
@@ -269,6 +232,7 @@ std::vector<double> Ctmc::transient(std::span<const double> initial, double t,
 double expected_reward(std::span<const double> pi,
                        const std::function<double(std::size_t)>& reward) {
   double acc = 0.0;
+  // HOLMS_LINT_ALLOW(D006): cold analytic reward sum in state-index order
   for (std::size_t i = 0; i < pi.size(); ++i) acc += pi[i] * reward(i);
   return acc;
 }

@@ -62,6 +62,7 @@ JacksonSolution JacksonNetwork::solve() const {
     }
     delta = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
+      // HOLMS_LINT_ALLOW(D006): L1 convergence check over a handful of stations in index order
       delta += std::abs(next[j] - lambda[j]);
     }
     lambda.swap(next);
@@ -75,6 +76,7 @@ JacksonSolution JacksonNetwork::solve() const {
 
   double external = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
+    // HOLMS_LINT_ALLOW(D006): external-arrival sum over stations in index order; cold
     external += stations_[i].external_arrivals;
     if (lambda[i] >= stations_[i].service_rate) {
       sol.stable = false;

@@ -93,6 +93,7 @@ std::vector<double> birth_death_steady_state(std::span<const double> birth,
       throw holms::InvalidArgument("birth_death: death rate must be > 0");
     }
     pi[i + 1] = pi[i] * birth[i] / death[i + 1];
+    // HOLMS_LINT_ALLOW(D006): birth-death recurrence normalizer; term i depends on term i-1
     sum += pi[i + 1];
   }
   for (double& x : pi) x /= sum;

@@ -7,24 +7,24 @@
 
 #include "exec/error.hpp"
 #include "exec/metrics.hpp"
+#include "exec/simd.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace holms::markov {
 namespace {
 
-// Same helpers as chain.cpp's (kept file-local there); duplicated rather than
-// exported so the dense translation unit keeps zero extra surface.
+// Both helpers run on the exec::simd kernels, so every solver reduction in
+// this TU follows the canonical 8-lane order (exec/simd.hpp) no matter which
+// ISA executes it.
 void normalize(std::vector<double>& v) {
-  double sum = 0.0;
-  for (double x : v) sum += x;
+  const auto& k = exec::simd::kernels();
+  const double sum = k.sum(v.data(), v.size());
   if (sum <= 0.0) throw holms::RuntimeError("distribution has zero mass");
-  for (double& x : v) x /= sum;
+  k.div_all(v.data(), v.size(), sum);
 }
 
 double l1_delta(std::span<const double> a, std::span<const double> b) {
-  double d = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
-  return d;
+  return exec::simd::kernels().sum_abs_diff(a.data(), b.data(), a.size());
 }
 
 // Fixed shard grid for the parallel kernels (DESIGN.md §5g): always 256
@@ -87,7 +87,8 @@ CsrMatrix CsrMatrix::transposed() const {
   t.cols_ = rows_;
   // Counting sort by column: offsets first, then stable placement.  Scanning
   // source rows in order makes each transposed row's entries arrive in
-  // increasing (source-row = transposed-column) order.
+  // increasing (source-row = transposed-column) order — the strictly
+  // ascending source order the simd kernels' gather run-detection relies on.
   t.offsets_.assign(cols_ + 1, 0);
   for (const std::uint32_t c : cols_idx_) ++t.offsets_[c + 1];
   for (std::size_t i = 0; i < cols_; ++i) t.offsets_[i + 1] += t.offsets_[i];
@@ -115,61 +116,31 @@ SolveResult sparse_power_iteration(const CsrMatrix& p,
   std::vector<double> pi(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n, 0.0);
 
-  if (!sharded_solve_engaged(n, p.nnz(), opts)) {
-    // Legacy serial scatter: next += pi[r] * P[r, :] row by row.
-    for (std::size_t it = 0; it < opts.max_iterations; ++it) {
-      std::fill(next.begin(), next.end(), 0.0);
-      for (std::size_t r = 0; r < n; ++r) {
-        const double pr = pi[r];
-        if (pr == 0.0) continue;
-        const auto cols = p.row_cols(r);
-        const auto vals = p.row_vals(r);
-        for (std::size_t i = 0; i < cols.size(); ++i) {
-          next[cols[i]] += pr * vals[i];
-        }
-      }
-      const double delta = l1_delta(pi, next);
-      pi.swap(next);
-      res.iterations = it + 1;
-      if (delta < opts.tolerance) {
-        res.converged = true;
-        break;
-      }
-    }
-    normalize(pi);
-    res.distribution = std::move(pi);
-    return res;
-  }
-
-  // Sharded gather form: next[c] = sum_r pi[r] * P[r, c], computed from the
-  // transpose.  Each transposed row stores column c's contributions in
-  // ascending source-row order (transposed() preserves the scan order), which
-  // is exactly the order the serial scatter adds them to next[c] — so every
-  // per-column sum, and hence the whole iterate sequence, is bitwise
-  // identical to the scatter loop above no matter how shards are assigned to
-  // workers.  The ISSUE's "per-shard partials merged in fixed order" collapse
-  // here to per-column sums whose order never depended on sharding at all.
+  // Gather form on the transpose: next[c] = sum_r pi[r] * P[r, c], one
+  // exec::simd 8-lane reduction per column in ascending source-row order.
+  // Serial and sharded execution run the identical per-column kernel — a
+  // shard is just a [lo, hi) column range and no shard reads another's
+  // output — so the iterate sequence is a function of the problem alone:
+  // bitwise invariant to the thread count, the shard grid, and the ISA.
+  const auto& k = exec::simd::kernels();
   const CsrMatrix pt = p.transposed();
+  const bool sharded = sharded_solve_engaged(n, p.nnz(), opts);
   std::unique_ptr<exec::ThreadPool> owned;
-  exec::ThreadPool* pool = resolve_pool(opts, owned);
+  exec::ThreadPool* pool = sharded ? resolve_pool(opts, owned) : nullptr;
   const std::size_t shards = shard_count(n);
-  exec::count("markov.sharded_solves");
+  if (sharded) exec::count("markov.sharded_solves");
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
-    exec::parallel_for_each(pool, shards, [&](std::size_t s) {
-      const std::size_t lo = s * kShardCols;
-      const std::size_t hi = std::min(n, lo + kShardCols);
-      for (std::size_t c = lo; c < hi; ++c) {
-        double acc = 0.0;
-        const auto rows = pt.row_cols(c);  // source rows with p(r, c) != 0
-        const auto vals = pt.row_vals(c);
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-          const double pr = pi[rows[i]];
-          if (pr == 0.0) continue;  // mirrors the scatter loop's row skip
-          acc += pr * vals[i];
-        }
-        next[c] = acc;
-      }
-    });
+    if (sharded) {
+      exec::parallel_for_each(pool, shards, [&](std::size_t s) {
+        const std::size_t lo = s * kShardCols;
+        const std::size_t hi = std::min(n, lo + kShardCols);
+        k.spmv_cols(pt.offsets_data(), pt.cols_data(), pt.vals_data(),
+                    pi.data(), next.data(), lo, hi);
+      });
+    } else {
+      k.spmv_cols(pt.offsets_data(), pt.cols_data(), pt.vals_data(), pi.data(),
+                  next.data(), 0, n);
+    }
     const double delta = l1_delta(pi, next);  // serial, fixed order
     pi.swap(next);
     res.iterations = it + 1;
@@ -189,9 +160,9 @@ SolveResult sparse_gauss_seidel(const CsrMatrix& p, const SolveOptions& opts) {
   res.used_sparse = true;
   if (n == 0) return res;
   // Column sweeps need column access: work on the transpose, with the
-  // diagonal split out (the dense loop skips r == c and divides by 1 - p_cc).
+  // diagonal split out (the sweep skips r == c and divides by 1 - p_cc).
   const CsrMatrix pt = p.transposed();
-  std::vector<double> diag(n, 0.0);
+  exec::aligned_vector<double> diag(n, 0.0);
   for (std::size_t r = 0; r < n; ++r) {
     const auto cols = p.row_cols(r);
     const auto vals = p.row_vals(r);
@@ -202,35 +173,6 @@ SolveResult sparse_gauss_seidel(const CsrMatrix& p, const SolveOptions& opts) {
   std::vector<double> pi(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n, 0.0);
 
-  if (!sharded_solve_engaged(n, p.nnz(), opts)) {
-    // Legacy serial sweep: bitwise identical to the dense Gauss–Seidel.
-    for (std::size_t it = 0; it < opts.max_iterations; ++it) {
-      next = pi;
-      for (std::size_t c = 0; c < n; ++c) {
-        double acc = 0.0;
-        const auto rows = pt.row_cols(c);  // source rows with p(r, c) != 0
-        const auto vals = pt.row_vals(c);
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-          if (rows[i] == c) continue;
-          acc += next[rows[i]] * vals[i];
-        }
-        const double self = diag[c];
-        next[c] = self < 1.0 ? acc / (1.0 - self) : acc;
-      }
-      normalize(next);
-      const double delta = l1_delta(pi, next);
-      pi.swap(next);
-      res.iterations = it + 1;
-      if (delta < opts.tolerance) {
-        res.converged = true;
-        break;
-      }
-    }
-    normalize(pi);
-    res.distribution = std::move(pi);
-    return res;
-  }
-
   // Block-hybrid sweep (DESIGN.md §5g): Gauss–Seidel within each fixed
   // 256-column shard, Jacobi across shards.  `next` starts as a copy of pi,
   // each shard updates only its own columns in ascending order, and a column
@@ -238,32 +180,30 @@ SolveResult sparse_gauss_seidel(const CsrMatrix& p, const SolveOptions& opts) {
   // prior-sweep values above — exactly serial GS restricted to the shard)
   // and the prior-sweep `pi` for out-of-shard sources.  No shard ever reads
   // another shard's output, so the sweep is race-free and its result depends
-  // only on the fixed grid — bitwise invariant to thread count, though a
-  // *different* (still convergent) iterate sequence than full serial GS,
+  // only on the fixed grid — bitwise invariant to thread count.  Below the
+  // engagement floors the sweep is ONE full-range gs_cols call, where the
+  // out-of-shard segments are empty and the kernel reduces to serial GS —
+  // a *different* (still convergent) iterate sequence than the hybrid,
   // which is why engagement is gated on size floors rather than on threads.
+  const auto& k = exec::simd::kernels();
+  const bool sharded = sharded_solve_engaged(n, p.nnz(), opts);
   std::unique_ptr<exec::ThreadPool> owned;
-  exec::ThreadPool* pool = resolve_pool(opts, owned);
+  exec::ThreadPool* pool = sharded ? resolve_pool(opts, owned) : nullptr;
   const std::size_t shards = shard_count(n);
-  exec::count("markov.sharded_solves");
+  if (sharded) exec::count("markov.sharded_solves");
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
     next = pi;
-    exec::parallel_for_each(pool, shards, [&](std::size_t s) {
-      const std::size_t lo = s * kShardCols;
-      const std::size_t hi = std::min(n, lo + kShardCols);
-      for (std::size_t c = lo; c < hi; ++c) {
-        double acc = 0.0;
-        const auto rows = pt.row_cols(c);
-        const auto vals = pt.row_vals(c);
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-          const std::size_t r = rows[i];
-          if (r == c) continue;
-          const double src = (r >= lo && r < hi) ? next[r] : pi[r];
-          acc += src * vals[i];
-        }
-        const double self = diag[c];
-        next[c] = self < 1.0 ? acc / (1.0 - self) : acc;
-      }
-    });
+    if (sharded) {
+      exec::parallel_for_each(pool, shards, [&](std::size_t s) {
+        const std::size_t lo = s * kShardCols;
+        const std::size_t hi = std::min(n, lo + kShardCols);
+        k.gs_cols(pt.offsets_data(), pt.cols_data(), pt.vals_data(),
+                  diag.data(), pi.data(), next.data(), lo, hi);
+      });
+    } else {
+      k.gs_cols(pt.offsets_data(), pt.cols_data(), pt.vals_data(), diag.data(),
+                pi.data(), next.data(), 0, n);
+    }
     normalize(next);  // serial, fixed order
     const double delta = l1_delta(pi, next);
     pi.swap(next);

@@ -4,18 +4,20 @@
 // Queueing-network generator matrices are overwhelmingly sparse — a
 // birth-death chain has O(n) nonzeros in an n x n matrix, and even the
 // Jackson-network product-form chains touch only a handful of neighbors per
-// state.  The dense solvers in chain.cpp are O(n^2) per sweep regardless;
-// these CSR kernels are O(nnz) per sweep and produce *bitwise identical*
-// iterates to their dense counterparts, because the skipped entries are exact
-// zeros and the surviving products are visited in the same (row, col) order
-// the dense loops use.  Dtmc/Ctmc::steady_state route here automatically (see
-// SolveOptions::sparsity); these entry points are public for tests and
+// state.  These CSR kernels are O(nnz) per sweep, SIMD-vectorized through
+// exec::simd (fixed 8-lane reduction order, bitwise identical across
+// HOLMS_SIMD=off/avx2/neon — see exec/simd.hpp), and since this PR they are
+// the ONLY iterative engine: Dtmc::steady_state builds a CsrMatrix for the
+// dense representation too, so kDense and kSparse produce bitwise identical
+// results by construction (`used_sparse` still reports which representation
+// the heuristic picked).  These entry points are public for tests and
 // benchmarks that want to pin one representation.
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "exec/aligned.hpp"
 #include "markov/chain.hpp"
 
 namespace holms::markov {
@@ -48,12 +50,19 @@ class CsrMatrix {
   /// order — counting placement preserves the scan order.
   CsrMatrix transposed() const;
 
+  /// Raw views for the exec::simd kernels (spmv_cols / gs_cols).
+  const std::size_t* offsets_data() const { return offsets_.data(); }
+  const std::uint32_t* cols_data() const { return cols_idx_.data(); }
+  const double* vals_data() const { return vals_.data(); }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<std::size_t> offsets_;     // rows_ + 1
-  std::vector<std::uint32_t> cols_idx_;  // column of each entry
-  std::vector<double> vals_;
+  // Hot arrays are 64-byte aligned so the SIMD pack loads never straddle a
+  // cache line (exec/aligned.hpp).
+  exec::aligned_vector<std::size_t> offsets_;     // rows_ + 1
+  exec::aligned_vector<std::uint32_t> cols_idx_;  // column of each entry
+  exec::aligned_vector<double> vals_;
 };
 
 /// True when `opts` engages the fixed-grid sharded kernels for a matrix of
@@ -66,18 +75,19 @@ inline bool sharded_solve_engaged(std::size_t n, std::size_t nnz,
   return n >= opts.parallel_min_states && nnz >= opts.parallel_min_nnz;
 }
 
-/// Power iteration pi <- pi P on a row-stochastic CSR matrix.  Iterates are
-/// bitwise identical to Dtmc::steady_state's dense power iteration — in both
-/// the serial scatter form and the sharded gather form (the gather visits each
-/// output column's contributions in ascending source-row order, which is
-/// exactly the order the serial scatter adds them in), so engaging the
-/// parallel path never changes a result.
+/// Power iteration pi <- pi P on a row-stochastic CSR matrix, gather form:
+/// next[c] = sum_r pi[r] * P[r, c] over the transpose, each column an
+/// exec::simd 8-lane reduction in ascending source-row order.  Serial and
+/// sharded execution run the identical per-column kernel (a shard is just a
+/// [lo, hi) column range), so engaging the parallel path — or changing the
+/// thread count, or the ISA — never changes a bit.
 SolveResult sparse_power_iteration(const CsrMatrix& p,
                                    const SolveOptions& opts);
 
 /// Gauss–Seidel on pi = pi P, sweeping columns in place (needs the transpose;
-/// built internally once).  Below the parallel floors this matches the dense
-/// Gauss–Seidel bitwise.  At or above them it switches to the block-hybrid
+/// built internally once).  Below the parallel floors the sweep is one
+/// full-range exec::simd gs_cols call — serial Gauss–Seidel with 8-lane
+/// segment reductions.  At or above them it switches to the block-hybrid
 /// sweep (Gauss–Seidel within each fixed 256-column shard, Jacobi across
 /// shards — DESIGN.md §5g): a *different but deterministic* iterate sequence
 /// that converges to the same stationary distribution and is bitwise

@@ -17,10 +17,11 @@
 #include <utility>
 #include <vector>
 
+#include "exec/aligned.hpp"
+#include "exec/error.hpp"
 #include "noc/taskgraph.hpp"
 #include "noc/topology.hpp"
 #include "sim/random.hpp"
-#include "exec/error.hpp"
 
 namespace holms::noc {
 
@@ -232,6 +233,11 @@ class SwapEvaluator {
   bool undo_dirty_ = false;
   std::vector<std::pair<TileId, TileId>> undo_swaps_;
   std::vector<std::pair<TileId, TileId>> move_steps_;  // expand_move scratch
+  // swap_step gather scratch for the exec::simd transfer_delta kernel: the
+  // touched edges' {volume, old hops, new hops}, in visit order.
+  exec::aligned_vector<double> delta_vol_;
+  exec::aligned_vector<double> delta_old_hops_;
+  exec::aligned_vector<double> delta_new_hops_;
   // Per-core {count, n1, n2}: the <=2 heaviest-volume neighbors that ride
   // along on a cluster relocation.  Graph-only, so built once at
   // construction instead of rescanning the edge list on every cluster move.

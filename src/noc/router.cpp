@@ -696,6 +696,7 @@ void add_appgraph_flows(NocSim& sim, const AppGraph& g,
   }
   double routed_volume = 0.0;
   for (const auto& e : g.edges()) {
+    // HOLMS_LINT_ALLOW(D006): one-off feasibility sum over the edge list at flow setup
     if (mapping[e.src] != mapping[e.dst]) routed_volume += e.volume_bits;
   }
   if (routed_volume <= 0.0) return;  // everything co-located: no traffic

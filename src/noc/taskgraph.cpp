@@ -24,6 +24,7 @@ void AppGraph::add_edge(std::size_t src, std::size_t dst, double volume_bits,
 
 double AppGraph::total_volume() const {
   double v = 0.0;
+  // HOLMS_LINT_ALLOW(D006): graph-constant volume sum in edge declaration order
   for (const auto& e : edges_) v += e.volume_bits;
   return v;
 }
@@ -31,6 +32,7 @@ double AppGraph::total_volume() const {
 double AppGraph::node_traffic(std::size_t i) const {
   double v = 0.0;
   for (const auto& e : edges_) {
+    // HOLMS_LINT_ALLOW(D006): graph-constant per-node traffic sum in edge declaration order
     if (e.src == i || e.dst == i) v += e.volume_bits;
   }
   return v;

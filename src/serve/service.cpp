@@ -259,9 +259,77 @@ void ServiceManager::pump_mpeg2(Locality& loc, Mpeg2Session& s) {
   loc.sim.schedule_at(when, [this, &loc, &s] { pump_mpeg2(loc, s); });
 }
 
+// Wave scheduler: the homogeneous-FGS fast path.  When a locality hosts only
+// FGS sessions with one common slot length and nothing observes intermediate
+// time (no slicing, no dispatch quantum), the DES degenerates to lockstep
+// waves: every live session fires at t = 0, slot_s, 2*slot_s, ... in
+// admission order.  Replaying that schedule directly — one step_batch call
+// per wave — produces the identical event count, the identical per-session
+// arithmetic (the batch kernel is elementwise) and the identical
+// statistics-insertion order, so the ServeReport fingerprint matches the
+// event-driven path bitwise while the slot math runs through one
+// exec::simd::fgs_slots call per wave instead of per session.
+void ServiceManager::run_locality_waves(Locality& loc, double horizon,
+                                        double slot_s) {
+  // t = 0: the kInit wave (admission order), exactly as the armed events
+  // would have run.  Zero-slot sessions finish here.
+  std::vector<streaming::FgsSessionFom*> active;
+  active.reserve(loc.fgs.size());
+  for (std::unique_ptr<FgsSession>& s : loc.fgs) {
+    const double d = s->fom.step();
+    ++loc.events;
+    if (d < 0.0) {
+      const streaming::FgsReport& r = s->fom.report();
+      ++loc.completed;
+      loc.session_psnr.add(r.mean_psnr_db);
+      loc.session_energy.add(r.client_total_energy_j);
+      loc.session_shed.add(r.mean_enhancement_shed);
+    } else {
+      active.push_back(&s->fom);
+    }
+  }
+  // Slot waves.  The DES executes events with when <= horizon; each wave's
+  // timestamp accumulates exactly like the event chain's now() + slot_s.
+  streaming::FgsBatchScratch scratch;
+  std::vector<double> delays;
+  for (double t = 0.0; t <= horizon && !active.empty(); t += slot_s) {
+    delays.resize(active.size());
+    streaming::FgsSessionFom::step_batch(active, scratch, delays);
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      streaming::FgsSessionFom& fom = *active[i];
+      ++loc.events;
+      loc.slot_psnr.add(fom.last_psnr_db());
+      loc.slot_load.add(fom.last_load());
+      if (delays[i] < 0.0) {
+        const streaming::FgsReport& r = fom.report();
+        ++loc.completed;
+        loc.session_psnr.add(r.mean_psnr_db);
+        loc.session_energy.add(r.client_total_energy_j);
+        loc.session_shed.add(r.mean_enhancement_shed);
+      } else {
+        active[keep++] = active[i];  // stable compaction keeps wave order
+      }
+    }
+    active.resize(keep);
+  }
+}
+
 void ServiceManager::run_locality(Locality& loc, std::size_t index,
                                   double horizon, double slice_s,
                                   const SliceObserver& observer) {
+  if (slice_s <= 0.0 && opt_.dispatch_quantum_s <= 0.0 && loc.mpeg2.empty() &&
+      !loc.fgs.empty()) {
+    const double slot_s = loc.fgs.front()->fom.slot_s();
+    bool uniform = slot_s > 0.0;
+    for (const std::unique_ptr<FgsSession>& s : loc.fgs) {
+      uniform = uniform && s->fom.slot_s() == slot_s;
+    }
+    if (uniform) {
+      run_locality_waves(loc, horizon, slot_s);
+      return;
+    }
+  }
   // Arm every session's first step at t=0 in admission order; the kernel's
   // same-timestamp batching then dispatches each wave of aligned slots as
   // one cohort in insertion order.

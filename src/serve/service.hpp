@@ -132,6 +132,7 @@ class ServiceManager {
   void pump_mpeg2(Locality& loc, Mpeg2Session& s);
   void run_locality(Locality& loc, std::size_t index, double horizon,
                     double slice_s, const SliceObserver& observer);
+  void run_locality_waves(Locality& loc, double horizon, double slot_s);
 
   ServeOptions opt_;
   std::vector<std::unique_ptr<Locality>> localities_;

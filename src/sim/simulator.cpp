@@ -37,7 +37,7 @@ EventPoolCache& EventPoolCache::this_thread() {
 }
 
 void EventPoolCache::park(
-    std::vector<std::unique_ptr<Simulator::Slot[]>>&& slabs) {
+    std::vector<exec::AlignedArray<Simulator::Slot>>&& slabs) {
   // All callables were already destroyed by ~Simulator's queue drain, so the
   // parked slabs hold raw capacity only.
   if (slabs.size() > slabs_.size()) slabs_ = std::move(slabs);

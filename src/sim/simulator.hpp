@@ -31,6 +31,8 @@
 #include <utility>
 #include <vector>
 
+#include "exec/aligned.hpp"
+
 namespace holms::sim {
 
 using Time = double;
@@ -110,6 +112,8 @@ class Simulator {
 
   /// One pooled callback.  The callable object is constructed into `storage`
   /// (or, when it doesn't fit, `storage` holds a pointer to a heap copy).
+  /// Slabs are 64-byte aligned (exec::make_aligned_array) so the 64-byte
+  /// Slot layout maps one slot per cache line across the whole arena.
   /// Lifetime rules: the slot is owned by exactly one queue entry from
   /// schedule to dispatch; invoke() runs the callable in place, destroy()
   /// destructs/frees it, and the slot returns to the free list only *after*
@@ -145,7 +149,7 @@ class Simulator {
     // Allocate only past the last slab — bump allocation walks through any
     // slabs preloaded from an EventPoolCache before touching the heap.
     if (slot_count_ / kSlabSize == slabs_.size()) {
-      slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+      slabs_.push_back(exec::make_aligned_array<Slot>(kSlabSize));
       ++slabs_allocated_;
     }
     ++slot_count_;
@@ -205,7 +209,7 @@ class Simulator {
   // case), keeping the set near the count of cancelled-but-not-yet-due
   // events.
   std::unordered_set<std::uint64_t> cancelled_;
-  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::vector<exec::AlignedArray<Slot>> slabs_;
   std::size_t slot_count_ = 0;
   std::uint32_t free_head_ = kNoSlot;
   EventPoolCache* cache_ = nullptr;       // not owned; may be null
@@ -254,9 +258,9 @@ class EventPoolCache {
   // Called by ~Simulator: park the larger of (current, returned) arena and
   // drop the other, so the cache converges on the fleet's high-water size
   // without hoarding every retired arena.
-  void park(std::vector<std::unique_ptr<Simulator::Slot[]>>&& slabs);
+  void park(std::vector<exec::AlignedArray<Simulator::Slot>>&& slabs);
 
-  std::vector<std::unique_ptr<Simulator::Slot[]>> slabs_;
+  std::vector<exec::AlignedArray<Simulator::Slot>> slabs_;
   std::size_t high_water_ = 0;
 };
 

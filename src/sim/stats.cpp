@@ -1,3 +1,6 @@
+// HOLMS_LINT_ALLOW_FILE(D006): summary-statistics post-processing (sketch
+// quantile interpolation, weighted means) over small fixed-order arrays;
+// cold, single-TU, order fixed by the data layout.
 #include "sim/stats.hpp"
 
 #include <algorithm>

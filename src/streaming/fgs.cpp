@@ -1,11 +1,14 @@
 #include "streaming/fgs.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "exec/aligned.hpp"
 #include "exec/error.hpp"
+#include "exec/simd.hpp"
 
 namespace holms::streaming {
 
@@ -70,108 +73,138 @@ double psnr_at_rate(const FgsConfig& cfg, double decoded_bps) {
          cfg.psnr_gain_db_per_doubling * std::log2(ratio + 1e-12);
 }
 
+/// One session's slot work order for the batched step below.
+struct SlotInput {
+  FgsPolicy policy;
+  const FgsConfig* cfg;
+  dvfs::Processor* cpu;
+  double capacity_bps;
+  double loss;
+  FgsSlotAccum* st;
+};
+
+// Batch staging layout: kBatchFields arrays of n doubles carved out of one
+// buffer, in FgsSlotBatch field order (16 inputs then 8 outputs).
+constexpr std::size_t kBatchFields = 24;
+
+/// A batch of per-client slots in three phases: (A) per-session adaptation
+/// in batch order — the DVFS level search, feedback energy debit, and input
+/// staging mutate Processor/accumulator state, so they stay scalar and
+/// ordered; (B) the slot arithmetic as one exec::simd::fgs_slots call,
+/// purely elementwise so each session's numbers are bitwise independent of
+/// the batch grouping and the ISA; (C) per-session accumulator mutations in
+/// the original process_slot order.  `buf` holds kBatchFields * n doubles,
+/// one array per FgsSlotBatch field in declaration order.
+void process_slots(std::span<const SlotInput> in, double* buf) {
+  const std::size_t n = in.size();
+  double* f[kBatchFields];
+  for (std::size_t k = 0; k < kBatchFields; ++k) f[k] = buf + k * n;
+  exec::simd::FgsSlotBatch b;
+  b.n = n;
+  b.capacity_bps = f[0];
+  b.loss = f[1];
+  b.policy_graceful = f[2];
+  b.policy_feedback = f[3];
+  b.freq_hz = f[4];
+  b.total_power_w = f[5];
+  b.max_stream_bps = f[6];
+  b.base_layer_bps = f[7];
+  b.slot_s = f[8];
+  b.decode_cycles_per_bit = f[9];
+  b.rx_nj_per_bit = f[10];
+  b.loss_shed_gain = f[11];
+  b.base_only_loss_threshold = f[12];
+  b.base_fec_cap = f[13];
+  b.max_enhancement_bps = f[14];
+  b.loss_ewma = f[15];
+  b.shed = f[16];
+  b.rx_bits = f[17];
+  b.decodable_bits = f[18];
+  b.rx_energy_j = f[19];
+  b.cpu_decode_energy_j = f[20];
+  b.cpu_idle_energy_j = f[21];
+  b.load_norm = f[22];
+  b.decoded_bps = f[23];
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const SlotInput& s = in[i];
+    const FgsConfig& cfg = *s.cfg;
+    dvfs::Processor& cpu = *s.cpu;
+    const double max_stream_bps = cfg.base_layer_bps + cfg.max_enhancement_bps;
+    const bool feedback = s.policy == FgsPolicy::kClientFeedback ||
+                          s.policy == FgsPolicy::kGracefulDegradation;
+
+    // --- client advertises its decoding aptitude ---
+    if (feedback) {
+      const double expected_bps = std::min(s.capacity_bps, max_stream_bps);
+      const double needed_cycles = expected_bps * cfg.slot_s *
+                                   cfg.decode_cycles_per_bit /
+                                   cfg.target_normalized_load;
+      std::size_t lvl = cpu.num_points() - 1;
+      for (std::size_t l = 0; l < cpu.num_points(); ++l) {
+        if (cpu.point(l).frequency_hz * cfg.slot_s >= needed_cycles) {
+          lvl = l;
+          break;
+        }
+      }
+      cpu.set_level(lvl);
+      s.st->rx_energy_j += cfg.feedback_tx_nj * 1e-9;  // per-slot feedback
+    }
+    f[0][i] = s.capacity_bps;
+    f[1][i] = s.loss;
+    f[2][i] = s.policy == FgsPolicy::kGracefulDegradation ? 1.0 : 0.0;
+    f[3][i] = s.policy == FgsPolicy::kClientFeedback ? 1.0 : 0.0;
+    f[4][i] = cpu.current().frequency_hz;
+    f[5][i] = cpu.model().total_power(cpu.current());
+    f[6][i] = max_stream_bps;
+    f[7][i] = cfg.base_layer_bps;
+    f[8][i] = cfg.slot_s;
+    f[9][i] = cfg.decode_cycles_per_bit;
+    f[10][i] = cfg.rx_nj_per_bit;
+    f[11][i] = cfg.loss_shed_gain;
+    f[12][i] = cfg.base_only_loss_threshold;
+    f[13][i] = cfg.base_fec_cap;
+    f[14][i] = cfg.max_enhancement_bps;
+    f[15][i] = s.st->loss_ewma;
+  }
+
+  exec::simd::kernels().fgs_slots(b);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const SlotInput& s = in[i];
+    const FgsConfig& cfg = *s.cfg;
+    FgsSlotAccum& st = *s.st;
+    st.rx_bits += b.rx_bits[i];
+    st.wasted_bits += b.rx_bits[i] - b.decodable_bits[i];  // incl. FEC copies
+    st.rx_energy_j += b.rx_energy_j[i];
+    st.cpu_energy_j += b.cpu_decode_energy_j[i];
+    st.cpu_energy_j += b.cpu_idle_energy_j[i];
+    st.load.add(b.load_norm[i]);
+    st.loss.add(s.loss);
+    st.shed.add(b.shed[i]);
+    const double decoded_bps = b.decoded_bps[i];
+    if (decoded_bps < cfg.base_layer_bps) ++st.base_misses;
+    const double psnr = psnr_at_rate(cfg, decoded_bps);
+    st.psnr.add(psnr);
+    st.min_psnr = std::min(st.min_psnr, psnr);
+    st.loss_ewma = cfg.loss_ewma_alpha * s.loss +
+                   (1.0 - cfg.loss_ewma_alpha) * st.loss_ewma;
+    st.last_psnr = psnr;
+    st.last_load = b.load_norm[i];
+  }
+}
+
 /// One client's slot under the given policy, channel share, and loss
-/// fraction.
+/// fraction: a batch of one on stack storage, so the DES per-event path
+/// stays allocation-free while sharing the exec::simd kernel with the wave
+/// scheduler's big batches (bitwise identical either way — the kernel is
+/// elementwise).
 void process_slot(FgsPolicy policy, const FgsConfig& cfg,
                   dvfs::Processor& cpu, double capacity_bps, double loss,
                   FgsSlotAccum& st) {
-  const double max_stream_bps = cfg.base_layer_bps + cfg.max_enhancement_bps;
-  const bool feedback = policy == FgsPolicy::kClientFeedback ||
-                        policy == FgsPolicy::kGracefulDegradation;
-
-  // --- client advertises its decoding aptitude ---
-  if (feedback) {
-    const double expected_bps = std::min(capacity_bps, max_stream_bps);
-    const double needed_cycles = expected_bps * cfg.slot_s *
-                                 cfg.decode_cycles_per_bit /
-                                 cfg.target_normalized_load;
-    std::size_t lvl = cpu.num_points() - 1;
-    for (std::size_t l = 0; l < cpu.num_points(); ++l) {
-      if (cpu.point(l).frequency_hz * cfg.slot_s >= needed_cycles) {
-        lvl = l;
-        break;
-      }
-    }
-    cpu.set_level(lvl);
-    st.rx_energy_j += cfg.feedback_tx_nj * 1e-9;  // per-slot feedback cost
-  }
-  const double aptitude_bits =
-      cpu.current().frequency_hz * cfg.slot_s / cfg.decode_cycles_per_bit;
-
-  // --- degradation ladder (graceful only): shed enhancement, protect base ---
-  double shed = 0.0, fec_margin = 0.0;
-  if (policy == FgsPolicy::kGracefulDegradation) {
-    shed = std::clamp(cfg.loss_shed_gain * st.loss_ewma, 0.0, 1.0);
-    if (st.loss_ewma >= cfg.base_only_loss_threshold) shed = 1.0;
-    // Repetition FEC sized so base survives the estimated loss:
-    // (1+m)(1-L) >= 1  =>  m >= L/(1-L), capped.
-    fec_margin = std::min(
-        st.loss_ewma / std::max(1.0 - st.loss_ewma, 1e-9), cfg.base_fec_cap);
-  }
-
-  // --- server picks the send rate ---
-  double send_bps;
-  double base_sent_bps = cfg.base_layer_bps;
-  if (policy == FgsPolicy::kGracefulDegradation) {
-    const double cap =
-        std::min({capacity_bps, max_stream_bps, aptitude_bits / cfg.slot_s});
-    base_sent_bps = std::min(cfg.base_layer_bps * (1.0 + fec_margin), cap);
-    const double enh_budget_bps = cfg.max_enhancement_bps * (1.0 - shed);
-    send_bps =
-        base_sent_bps + std::min(enh_budget_bps,
-                                 std::max(0.0, cap - base_sent_bps));
-  } else if (policy == FgsPolicy::kClientFeedback) {
-    send_bps =
-        std::min({capacity_bps, max_stream_bps, aptitude_bits / cfg.slot_s});
-  } else {
-    send_bps = std::min(capacity_bps, max_stream_bps);
-  }
-  const double sent_bits = send_bps * cfg.slot_s;
-
-  // --- channel loss ---
-  // Graceful degradation marks enhancement packets droppable, so loss
-  // consumes the enhancement first, then eats into the (FEC-protected) base;
-  // every other policy loses bits uniformly across the stream.
-  const double lost_bits = loss * sent_bits;
-  const double rx_bits = sent_bits - lost_bits;  // what reaches the radio
-  double useful_bits;  // arrived bits that carry decodable video
-  const double base_target_bits = cfg.base_layer_bps * cfg.slot_s;
-  if (policy == FgsPolicy::kGracefulDegradation) {
-    const double base_sent_bits = base_sent_bps * cfg.slot_s;
-    const double enh_sent_bits = sent_bits - base_sent_bits;
-    const double enh_lost = std::min(lost_bits, enh_sent_bits);
-    const double base_arrived = base_sent_bits - (lost_bits - enh_lost);
-    const double base_usable = std::min(base_arrived, base_target_bits);
-    useful_bits = base_usable + (enh_sent_bits - enh_lost);
-  } else {
-    useful_bits = rx_bits;
-  }
-
-  // --- client receives and decodes ---
-  const double decodable_bits = std::min(useful_bits, aptitude_bits);
-  st.rx_bits += rx_bits;
-  st.wasted_bits += rx_bits - decodable_bits;  // incl. surviving FEC copies
-  st.rx_energy_j += cfg.rx_nj_per_bit * 1e-9 * rx_bits;
-
-  const double decode_cycles = decodable_bits * cfg.decode_cycles_per_bit;
-  st.cpu_energy_j += cpu.energy_for_cycles(decode_cycles);
-  const double busy_s = decode_cycles / cpu.current().frequency_hz;
-  const double idle_s = std::max(0.0, cfg.slot_s - busy_s);
-  st.cpu_energy_j +=
-      0.25 * cpu.model().total_power(cpu.current()) * idle_s;
-
-  st.load.add(aptitude_bits > 0.0 ? rx_bits / aptitude_bits : 0.0);
-  st.loss.add(loss);
-  st.shed.add(shed);
-  const double decoded_bps = decodable_bits / cfg.slot_s;
-  if (decoded_bps < cfg.base_layer_bps) ++st.base_misses;
-  const double psnr = psnr_at_rate(cfg, decoded_bps);
-  st.psnr.add(psnr);
-  st.min_psnr = std::min(st.min_psnr, psnr);
-  st.loss_ewma =
-      cfg.loss_ewma_alpha * loss + (1.0 - cfg.loss_ewma_alpha) * st.loss_ewma;
-  st.last_psnr = psnr;
-  st.last_load = aptitude_bits > 0.0 ? rx_bits / aptitude_bits : 0.0;
+  const SlotInput one{policy, &cfg, &cpu, capacity_bps, loss, &st};
+  double buf[kBatchFields];
+  process_slots({&one, 1}, buf);
 }
 
 FgsReport make_report(const FgsSlotAccum& st, std::size_t slots) {
@@ -192,6 +225,17 @@ FgsReport make_report(const FgsSlotAccum& st, std::size_t slots) {
 }
 
 }  // namespace
+
+struct FgsBatchScratch::Impl {
+  exec::aligned_vector<double> buf;  // kBatchFields arrays of n doubles
+  std::vector<SlotInput> inputs;
+};
+
+FgsBatchScratch::FgsBatchScratch() : impl_(std::make_unique<Impl>()) {}
+FgsBatchScratch::~FgsBatchScratch() = default;
+FgsBatchScratch::FgsBatchScratch(FgsBatchScratch&&) noexcept = default;
+FgsBatchScratch& FgsBatchScratch::operator=(FgsBatchScratch&&) noexcept =
+    default;
 
 FgsSessionFom::FgsSessionFom(FgsPolicy policy, const FgsConfig& cfg,
                              dvfs::Processor& client_cpu,
@@ -233,6 +277,38 @@ double FgsSessionFom::step() {
   return kFinished;  // unreachable
 }
 
+void FgsSessionFom::step_batch(std::span<FgsSessionFom* const> sessions,
+                               FgsBatchScratch& scratch,
+                               std::span<double> delay_out) {
+  const std::size_t n = sessions.size();
+  assert(delay_out.size() >= n);
+  auto& impl = *scratch.impl_;
+  impl.buf.resize(kBatchFields * n);
+  impl.inputs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FgsSessionFom& f = *sessions[i];
+    assert(f.phase_ == FgsFomPhase::kSlot);
+    // Per-session order within the batch matches a DES draining the
+    // same-timestamp cohort; per session, the loss cursor advances before
+    // the channel draws its RNG (the documented kSlot contract).
+    const double l = f.loss_ != nullptr ? f.loss_->loss_for_slot(f.slot_) : 0.0;
+    impl.inputs[i] = SlotInput{f.policy_, &f.cfg_, &f.cpu_,
+                               f.channel_.next_capacity_bps(), l, &f.accum_};
+  }
+  process_slots(impl.inputs, impl.buf.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    FgsSessionFom& f = *sessions[i];
+    ++f.slot_;
+    if (f.slot_ >= f.slots_) {
+      f.report_ = make_report(f.accum_, f.slots_);
+      f.phase_ = FgsFomPhase::kDone;
+      delay_out[i] = kFinished;
+    } else {
+      delay_out[i] = f.cfg_.slot_s;
+    }
+  }
+}
+
 const FgsReport& FgsSessionFom::report() const {
   if (phase_ != FgsFomPhase::kDone) {
     throw holms::RuntimeError("FgsSessionFom: report() before done()");
@@ -258,16 +334,21 @@ AdhocReport run_fgs_adhoc(FgsPolicy policy, const FgsConfig& cfg,
     for (auto& c : clients) c.set_level(c.num_points() - 1);
   }
   std::vector<FgsSlotAccum> states(clients.size());
+  std::vector<SlotInput> inputs(clients.size());
+  exec::aligned_vector<double> buf(kBatchFields * clients.size());
   for (std::size_t s = 0; s < slots; ++s) {
     // Fair medium share: every active stream gets capacity / N this slot
     // (every multimedia host also forwards/receives, §4.2 — here they all
-    // contend for the same spectrum).
+    // contend for the same spectrum).  The whole slot is one batched
+    // exec::simd call across the clients — bitwise identical to the old
+    // per-client loop because the kernel is elementwise.
     const double share = shared_channel.next_capacity_bps() /
                          static_cast<double>(clients.size());
     const double l = loss != nullptr ? loss->loss_for_slot(s) : 0.0;
     for (std::size_t c = 0; c < clients.size(); ++c) {
-      process_slot(policy, cfg, clients[c], share, l, states[c]);
+      inputs[c] = SlotInput{policy, &cfg, &clients[c], share, l, &states[c]};
     }
+    process_slots(inputs, buf.data());
   }
   rep.min_psnr_db = std::numeric_limits<double>::infinity();
   sim::OnlineStats psnr;

@@ -20,6 +20,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "dvfs/dvfs.hpp"
@@ -132,6 +134,22 @@ struct FgsSlotAccum {
   double last_load = 0.0;
 };
 
+/// Reusable SoA staging buffers for FgsSessionFom::step_batch (pimpl — the
+/// layout is a detail of fgs.cpp's exec::simd batch kernel).  One scratch
+/// per caller; capacity grows to the largest batch seen and is reused.
+class FgsBatchScratch {
+ public:
+  FgsBatchScratch();
+  ~FgsBatchScratch();
+  FgsBatchScratch(FgsBatchScratch&&) noexcept;
+  FgsBatchScratch& operator=(FgsBatchScratch&&) noexcept;
+
+ private:
+  friend class FgsSessionFom;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Explicit phases of one streaming session, reqh/FOM style.
 enum class FgsFomPhase : std::uint8_t {
   kInit,  // one-time policy setup (non-adaptive pins the max DVFS level)
@@ -165,9 +183,24 @@ class FgsSessionFom {
   /// Runs one phase transition; see class comment for the return protocol.
   double step();
 
+  /// Steps a batch of sessions, all in phase kSlot, through one timeslot
+  /// each: per-session adaptation (loss cursor, channel draw, DVFS feedback)
+  /// runs scalar in batch order — exactly the order a DES executing the
+  /// same-timestamp cohort would use — then the slot arithmetic runs as ONE
+  /// exec::simd::fgs_slots call, and the accumulator mutations replay
+  /// per-session in the original order.  The kernel is purely elementwise,
+  /// so each session's results are bitwise identical to stepping it alone;
+  /// delay_out[i] receives what sessions[i]->step() would have returned
+  /// (cfg.slot_s or kFinished).  serve's wave scheduler uses this to batch a
+  /// locality's runnable sessions per slot.
+  static void step_batch(std::span<FgsSessionFom* const> sessions,
+                         FgsBatchScratch& scratch,
+                         std::span<double> delay_out);
+
   bool done() const { return phase_ == FgsFomPhase::kDone; }
   FgsFomPhase phase() const { return phase_; }
   std::size_t slots_done() const { return slot_; }
+  double slot_s() const { return cfg_.slot_s; }
 
   /// Telemetry of the most recent completed slot (serve feeds these into
   /// its streaming quantile sketches without touching the accumulators).

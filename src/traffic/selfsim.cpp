@@ -1,3 +1,7 @@
+// HOLMS_LINT_ALLOW_FILE(D006): offline self-similarity analysis (Hurst
+// estimators, R/S and variance-time statistics) over fixed-order trace
+// vectors in one TU; cold path, iteration order is part of the estimator's
+// definition.
 #include "traffic/selfsim.hpp"
 
 #include "sim/stats.hpp"

@@ -106,6 +106,7 @@ SuperposedSource::SuperposedSource(
 
 double SuperposedSource::mean_rate() const {
   double sum = 0.0;
+  // HOLMS_LINT_ALLOW(D006): mean-rate sum over a handful of component sources; cold
   for (const auto& s : sources_) sum += s->mean_rate();
   return sum;
 }

@@ -1,0 +1,40 @@
+// Positive fixture for D006: scalar floating-point reduction loops.
+#include <cstddef>
+#include <vector>
+
+namespace holms::demo {
+
+inline double total(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];  // finding 1
+  }
+  return acc;
+}
+
+inline double product(const std::vector<double>& xs) {
+  double prod = 1.0;
+  for (double x : xs) prod *= x;  // finding 2 (single-statement body)
+  return prod;
+}
+
+inline float drain(const std::vector<float>& xs) {
+  float level = 0.0f;
+  std::size_t i = 0;
+  while (i < xs.size()) {
+    level += xs[i];  // finding 3 (while loop)
+    ++i;
+  }
+  return level;
+}
+
+struct Meter {
+  double energy_j = 0.0;
+  void charge(const std::vector<double>& js) {
+    for (double j : js) {
+      energy_j += j;  // finding 4 (member declared double in this file)
+    }
+  }
+};
+
+}  // namespace holms::demo

@@ -1,0 +1,43 @@
+// Negative fixture for D006: integer accumulators, non-compound FP writes,
+// subscripted stores, reductions outside loops and annotated sites stay
+// clean.
+#include <cstddef>
+#include <vector>
+
+namespace holms::demo {
+
+inline std::size_t count_up(const std::vector<int>& xs) {
+  std::size_t n = 0;
+  for (int x : xs) n += static_cast<std::size_t>(x);  // integer accumulator
+  return n;
+}
+
+inline void scale(std::vector<double>& xs, double k) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] *= k;  // subscripted elementwise store, not a reduction
+  }
+}
+
+inline double assign_last(const std::vector<double>& xs) {
+  double last = 0.0;
+  for (double x : xs) last = x;  // plain assignment, order-safe overwrite
+  return last;
+}
+
+inline double straight_line(double a, double b) {
+  double acc = a;
+  acc += b;  // not inside a loop
+  return acc;
+}
+
+inline double annotated(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (double x : xs) {
+    // HOLMS_LINT_ALLOW(D006): fixed iteration order (plain vector walk in
+    // one TU); cold path, not worth a lane kernel.
+    acc += x;
+  }
+  return acc;
+}
+
+}  // namespace holms::demo

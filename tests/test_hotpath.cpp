@@ -15,6 +15,8 @@
 
 #include "core/evaluator.hpp"
 #include "core/explorer.hpp"
+#include "exec/aligned.hpp"
+#include "exec/simd.hpp"
 #include "exec/thread_pool.hpp"
 #include "markov/chain.hpp"
 #include "markov/sparse.hpp"
@@ -740,6 +742,225 @@ TEST(EventPoolCache, ThisThreadReturnsPerThreadSingleton) {
   sim::EventPoolCache& a = sim::EventPoolCache::this_thread();
   sim::EventPoolCache& b = sim::EventPoolCache::this_thread();
   EXPECT_EQ(&a, &b);
+}
+
+// ---- exec::simd: scalar-vs-native bitwise equivalence ----------------------
+//
+// The lane model's contract (DESIGN.md §5i): every kernel produces the SAME
+// BITS on every ISA because all backends emulate the identical 8-lane
+// assignment and the identical reduction tree.  Under HOLMS_SIMD=off the
+// native table below aliases the scalar one and these tests compare it to
+// itself — still meaningful as a determinism smoke, and the CI matrix runs
+// both settings.
+
+namespace simd = holms::exec::simd;
+
+TEST(Simd, ElementwiseAndReductionKernelsBitwiseIdentical) {
+  const simd::Kernels& s = simd::kernels_for(simd::Isa::kScalar);
+  const simd::Kernels& v = simd::kernels_for(simd::best_isa());
+  sim::Rng rng(42);
+  // Sizes straddle the 8-lane boundary: every tail length, plus bulk.
+  for (std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{15}, std::size_t{16}, std::size_t{333},
+        std::size_t{4096}}) {
+    std::vector<double> a(n), b(n);
+    for (double& x : a) x = rng.uniform(-2.0, 2.0);
+    for (double& x : b) x = rng.uniform(-2.0, 2.0);
+    EXPECT_EQ(s.sum(a.data(), n), v.sum(a.data(), n)) << "sum n=" << n;
+    EXPECT_EQ(s.sum_abs_diff(a.data(), b.data(), n),
+              v.sum_abs_diff(a.data(), b.data(), n))
+        << "sum_abs_diff n=" << n;
+    std::vector<double> c = a, d = a;
+    s.div_all(c.data(), n, 3.7);
+    v.div_all(d.data(), n, 3.7);
+    EXPECT_EQ(c, d) << "div_all n=" << n;
+  }
+}
+
+// Random CSR with strictly-ascending sources per column (the transposed()
+// invariant the run-detection fast load relies on), mixing contiguous runs
+// with scattered entries.
+struct TestCsr {
+  std::vector<std::size_t> offsets{0};
+  std::vector<std::uint32_t> srcs;
+  std::vector<double> vals;
+};
+
+TestCsr random_csr(sim::Rng& rng, std::size_t ncols) {
+  TestCsr m;
+  for (std::size_t c = 0; c < ncols; ++c) {
+    if (ncols > 20 && rng.uniform_int(0, 2) == 0) {
+      const auto start =
+          static_cast<std::uint32_t>(rng.uniform_int(0, ncols - 17));
+      for (std::uint32_t k = 0; k < 16; ++k) {
+        m.srcs.push_back(start + k);
+        m.vals.push_back(rng.uniform());
+      }
+    } else {
+      std::vector<std::uint32_t> pick;
+      const std::size_t deg = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(
+                                 std::min<std::size_t>(ncols, 24)) - 1));
+      for (std::size_t k = 0; k < deg; ++k) {
+        pick.push_back(static_cast<std::uint32_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(ncols) - 1)));
+      }
+      std::sort(pick.begin(), pick.end());
+      pick.erase(std::unique(pick.begin(), pick.end()), pick.end());
+      for (const std::uint32_t p : pick) {
+        m.srcs.push_back(p);
+        m.vals.push_back(rng.uniform());
+      }
+    }
+    m.offsets.push_back(m.srcs.size());
+  }
+  return m;
+}
+
+TEST(Simd, SpmvAndGaussSeidelKernelsBitwiseIdentical) {
+  const simd::Kernels& s = simd::kernels_for(simd::Isa::kScalar);
+  const simd::Kernels& v = simd::kernels_for(simd::best_isa());
+  sim::Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 199));
+    const TestCsr m = random_csr(rng, n);
+    std::vector<double> x(n), pi(n), diag(n);
+    for (double& e : x) e = rng.uniform();
+    for (double& e : pi) e = rng.uniform();
+    for (double& e : diag) e = rng.uniform(0.0, 0.9);
+
+    std::vector<double> o1(n), o2(n), o3(n);
+    s.spmv_cols(m.offsets.data(), m.srcs.data(), m.vals.data(), x.data(),
+                o1.data(), 0, n);
+    v.spmv_cols(m.offsets.data(), m.srcs.data(), m.vals.data(), x.data(),
+                o2.data(), 0, n);
+    EXPECT_EQ(o1, o2) << "spmv trial " << trial;
+    // Column sharding is a pure work split: any cut reproduces full-range.
+    const std::size_t mid = n / 2;
+    v.spmv_cols(m.offsets.data(), m.srcs.data(), m.vals.data(), x.data(),
+                o3.data(), 0, mid);
+    v.spmv_cols(m.offsets.data(), m.srcs.data(), m.vals.data(), x.data(),
+                o3.data(), mid, n);
+    EXPECT_EQ(o1, o3) << "sharded spmv trial " << trial;
+
+    std::vector<double> g1 = pi, g2 = pi;
+    s.gs_cols(m.offsets.data(), m.srcs.data(), m.vals.data(), diag.data(),
+              pi.data(), g1.data(), 0, n);
+    v.gs_cols(m.offsets.data(), m.srcs.data(), m.vals.data(), diag.data(),
+              pi.data(), g2.data(), 0, n);
+    EXPECT_EQ(g1, g2) << "gs trial " << trial;
+  }
+}
+
+TEST(Simd, TransferDeltaKernelBitwiseIdentical) {
+  const simd::Kernels& s = simd::kernels_for(simd::Isa::kScalar);
+  const simd::Kernels& v = simd::kernels_for(simd::best_isa());
+  sim::Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(0, 40));
+    std::vector<double> vol(n), oh(n), nh(n);
+    for (double& e : vol) e = rng.uniform(0.0, 1e6);
+    for (double& e : oh) e = static_cast<double>(rng.uniform_int(0, 13));
+    for (double& e : nh) e = static_cast<double>(rng.uniform_int(0, 13));
+    EXPECT_EQ(
+        s.transfer_delta(vol.data(), oh.data(), nh.data(), n, 0.98, 1.74),
+        v.transfer_delta(vol.data(), oh.data(), nh.data(), n, 0.98, 1.74))
+        << "trial " << trial;
+  }
+}
+
+TEST(Simd, FgsSlotKernelBitwiseIdenticalAcrossPolicies) {
+  const simd::Kernels& s = simd::kernels_for(simd::Isa::kScalar);
+  const simd::Kernels& v = simd::kernels_for(simd::best_isa());
+  sim::Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 36));
+    auto mk = [&](double lo, double hi) {
+      std::vector<double> r(n);
+      for (double& e : r) e = rng.uniform(lo, hi);
+      return r;
+    };
+    auto cap = mk(1e5, 8e6), loss = mk(0.0, 0.6), fr = mk(1e8, 1e9);
+    auto pw = mk(0.3, 2.0), ms = mk(1e6, 6e6), bl = mk(2e5, 1e6);
+    auto sl = mk(0.01, 0.1), dc = mk(0.5, 3.0), nj = mk(1.0, 20.0);
+    auto g = mk(0.5, 3.0), th = mk(0.3, 0.7), fc = mk(0.1, 0.8);
+    auto me = mk(1e5, 4e6), ew = mk(0.0, 0.9);
+    std::vector<double> pg(n), pf(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t p = rng.uniform_int(0, 2);  // all three policies
+      pg[i] = p == 0 ? 1.0 : 0.0;
+      pf[i] = p == 1 ? 1.0 : 0.0;
+    }
+    std::array<std::vector<double>, 8> out_s, out_v;
+    for (auto& o : out_s) o.assign(n, 0.0);
+    for (auto& o : out_v) o.assign(n, 0.0);
+    auto bind = [&](std::array<std::vector<double>, 8>& o) {
+      simd::FgsSlotBatch t{};
+      t.n = n;
+      t.capacity_bps = cap.data();
+      t.loss = loss.data();
+      t.policy_graceful = pg.data();
+      t.policy_feedback = pf.data();
+      t.freq_hz = fr.data();
+      t.total_power_w = pw.data();
+      t.max_stream_bps = ms.data();
+      t.base_layer_bps = bl.data();
+      t.slot_s = sl.data();
+      t.decode_cycles_per_bit = dc.data();
+      t.rx_nj_per_bit = nj.data();
+      t.loss_shed_gain = g.data();
+      t.base_only_loss_threshold = th.data();
+      t.base_fec_cap = fc.data();
+      t.max_enhancement_bps = me.data();
+      t.loss_ewma = ew.data();
+      t.shed = o[0].data();
+      t.rx_bits = o[1].data();
+      t.decodable_bits = o[2].data();
+      t.rx_energy_j = o[3].data();
+      t.cpu_decode_energy_j = o[4].data();
+      t.cpu_idle_energy_j = o[5].data();
+      t.load_norm = o[6].data();
+      t.decoded_bps = o[7].data();
+      return t;
+    };
+    const simd::FgsSlotBatch ts = bind(out_s);
+    s.fgs_slots(ts);
+    const simd::FgsSlotBatch tv = bind(out_v);
+    v.fgs_slots(tv);
+    for (std::size_t f = 0; f < out_s.size(); ++f) {
+      EXPECT_EQ(out_s[f], out_v[f]) << "field " << f << " trial " << trial;
+    }
+  }
+}
+
+TEST(Simd, DispatchExposesScalarFallbackAndNames) {
+  EXPECT_TRUE(simd::isa_available(simd::Isa::kScalar));
+  const simd::Kernels& k = simd::kernels();  // resolves HOLMS_SIMD once
+  EXPECT_NE(k.name, nullptr);
+  // kernels_for never fails: unavailable ISAs fall back to scalar.
+  for (const simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    const simd::Kernels& t = simd::kernels_for(isa);
+    EXPECT_NE(t.sum, nullptr);
+    if (!simd::isa_available(isa)) {
+      EXPECT_EQ(t.isa, simd::Isa::kScalar);
+    }
+  }
+}
+
+TEST(Simd, AlignedHelpersReturnCacheLineAlignedStorage) {
+  holms::exec::aligned_vector<double> v(100, 1.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) %
+                holms::exec::kCacheLineBytes,
+            0u);
+  auto arr = holms::exec::make_aligned_array<double>(37);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arr.get()) %
+                holms::exec::kCacheLineBytes,
+            0u);
+  for (std::size_t i = 0; i < 37; ++i) {
+    EXPECT_EQ(arr[i], 0.0);  // value-initialized
+  }
 }
 
 }  // namespace

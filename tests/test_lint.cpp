@@ -160,6 +160,30 @@ TEST(LintD005, ExecModuleMayBlock) {
   EXPECT_EQ(active_count(lint::run_rules(f), "D005"), 0u);
 }
 
+// ---- D006: scalar floating-point reduction loops ---------------------------
+
+TEST(LintD006, FlagsFpCompoundAccumulationInLoops) {
+  const auto fs =
+      lint_fixture("d006_bad.cpp", lint::FileKind::kLibrarySource);
+  // acc += (for), prod *= (single-statement for), level += (while),
+  // energy_j += (member declared double in-file).
+  EXPECT_EQ(active_count(fs, "D006"), 4u);
+}
+
+TEST(LintD006, IgnoresIntegerSubscriptedAndAnnotatedSites) {
+  const auto fs = lint_fixture("d006_ok.cpp", lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_total(fs), 0u);
+  // The annotated reduction is found but suppressed with a reason.
+  EXPECT_EQ(suppressed_count(fs, "D006"), 1u);
+}
+
+TEST(LintD006, SimdModuleIsTheBlessedReductionHome) {
+  const lint::SourceFile f =
+      lint::lex("src/exec/simd_scalar.cpp", fixture_text("d006_bad.cpp"),
+                lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_count(lint::run_rules(f), "D006"), 0u);
+}
+
 // ---- C001: Params/Options structs must expose validate() ------------------
 
 TEST(LintC001, FlagsParamsStructsWithoutValidate) {
@@ -244,7 +268,7 @@ TEST(LintScoping, TestAndBenchCodeIsExemptFromLibraryRules) {
   // they legitimately use ad-hoc randomness, clocks and stdout.
   for (const char* name :
        {"d001_bad.cpp", "d002_bad.cpp", "d003_bad.cpp", "d004_bad.cpp",
-        "d005_bad.cpp", "c002_bad.cpp", "h001_bad.cpp"}) {
+        "d005_bad.cpp", "d006_bad.cpp", "c002_bad.cpp", "h001_bad.cpp"}) {
     const auto fs = lint_fixture(name, lint::FileKind::kOtherSource);
     EXPECT_EQ(active_total(fs), 0u) << name;
   }

@@ -226,6 +226,46 @@ TEST(Serve, AggregateReportIsThreadCountInvariant) {
   EXPECT_NE(run_mixed_service(1, 100).fingerprint(), base.fingerprint());
 }
 
+// A homogeneous FGS-only service (no slicing, no quantum) takes the wave
+// scheduler fast path; slicing forces the event-driven kernel.  Both must
+// produce the identical report, fingerprint and all.
+ServeReport run_fgs_only_service(std::size_t threads, double slice_s) {
+  ServeOptions o;
+  o.localities = 4;
+  o.threads = threads;
+  o.max_sessions = 200;
+  o.seed = 7;
+  ServiceManager m(o);
+  const FgsConfig cfg;
+  const FgsPolicy policies[] = {FgsPolicy::kNonAdaptive,
+                                FgsPolicy::kClientFeedback,
+                                FgsPolicy::kGracefulDegradation};
+  for (std::size_t i = 0; i < 60; ++i) {
+    m.add_fgs_session(policies[i % 3], cfg, 30);
+  }
+  m.add_fgs_session(FgsPolicy::kClientFeedback, cfg, 0);  // init-only session
+  return m.run(30.0, slice_s);
+}
+
+TEST(Serve, WaveSchedulerMatchesEventDrivenPathBitwise) {
+  const ServeReport wave = run_fgs_only_service(1, 0.0);
+  const ServeReport des = run_fgs_only_service(1, 1.0);
+  EXPECT_EQ(wave.fingerprint(), des.fingerprint());
+  EXPECT_EQ(wave.events_dispatched, des.events_dispatched);
+  EXPECT_EQ(wave.sessions_completed, 61u);
+  EXPECT_EQ(wave.session_psnr_db.mean(), des.session_psnr_db.mean());
+  EXPECT_EQ(wave.session_energy_j.sum(), des.session_energy_j.sum());
+  EXPECT_EQ(wave.slot_psnr_db.count(), 60u * 30u);
+  EXPECT_EQ(wave.dispatch_lag_s.count(), 0u);
+
+  // The wave path is thread-count invariant like the event-driven one.
+  for (std::size_t threads : {std::size_t{2}, std::size_t{7}}) {
+    EXPECT_EQ(run_fgs_only_service(threads, 0.0).fingerprint(),
+              wave.fingerprint())
+        << threads << " threads";
+  }
+}
+
 TEST(Serve, AdmissionCapRejectsBeyondMaxSessions) {
   ServeOptions o;
   o.localities = 2;

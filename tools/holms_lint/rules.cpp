@@ -379,6 +379,128 @@ void rule_d005(Pass& p) {
   }
 }
 
+// ---- D006: scalar floating-point reduction loops ---------------------------
+
+void rule_d006(Pass& p) {
+  // A `+=` / `*=` onto a double/float accumulator inside a loop sums in
+  // source order, so its result depends on iteration order — the exact
+  // sensitivity the exec::simd lane model exists to pin down (DESIGN.md
+  // §5i).  Hot paths must reduce through the fixed-lane kernels; cold or
+  // provably order-fixed sites carry a HOLMS_LINT_ALLOW(D006) reason.
+  // The simd layer itself is the blessed home of reduction loops.
+  if (p.file().path.find("exec/simd") != std::string::npos) return;
+
+  // Pass 0: names declared with a floating-point type in this file (purely
+  // lexical, like D003's alias scan: cross-file type info is invisible).
+  std::set<std::string> fp_names;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    if (!is_ident(p.tok(i), "double") && !is_ident(p.tok(i), "float")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < p.size() &&
+           (is_punct(p.tok(j), "*") || is_punct(p.tok(j), "&") ||
+            is_ident(p.tok(j), "const"))) {
+      ++j;
+    }
+    // Collect the declarator chain `double a = .., b = ..;` but not function
+    // names (`double f(...)`).
+    while (j < p.size() && p.tok(j).kind == Token::kIdent) {
+      if (j + 1 < p.size() && is_punct(p.tok(j + 1), "(")) break;
+      fp_names.insert(p.tok(j).text);
+      // Advance to the next declarator in this statement, if any.
+      std::size_t k = j + 1;
+      int depth = 0;
+      for (; k < p.size(); ++k) {
+        if (is_punct(p.tok(k), "(") || is_punct(p.tok(k), "[") ||
+            is_punct(p.tok(k), "{")) {
+          ++depth;
+        }
+        if (is_punct(p.tok(k), ")") || is_punct(p.tok(k), "]") ||
+            is_punct(p.tok(k), "}")) {
+          if (depth == 0) break;
+          --depth;
+        }
+        if (depth == 0 && (is_punct(p.tok(k), ";") || is_punct(p.tok(k), ","))) {
+          break;
+        }
+      }
+      if (k >= p.size() || !is_punct(p.tok(k), ",")) break;
+      j = k + 1;
+    }
+  }
+  if (fp_names.empty()) return;
+
+  // Pass 1: loop bodies.  For each for/while, find the body token range —
+  // `{...}` block or single statement — and flag `name +=` / `name *=`
+  // where `name` is a known floating-point variable and the loop walks a
+  // container: a range-for, or a right-hand side reading a subscripted
+  // element.  Scalar recurrences (`t += dt`, `temp *= cooling`) depend on
+  // iteration *count*, not order, so they are not reductions and stay
+  // clean.  (Subscripted stores `arr[i] +=` put `]` before the operator,
+  // so they never match as the target; member targets only match when the
+  // member itself was declared double/float in this file.)
+  std::set<std::size_t> reported;  // token index of the accumulator
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    if (!is_ident(p.tok(i), "for") && !is_ident(p.tok(i), "while")) continue;
+    if (!is_punct(p.tok(i + 1), "(")) continue;
+    int depth = 0;
+    std::size_t close = 0;
+    bool range_for = false;
+    for (std::size_t j = i + 1; j < p.size(); ++j) {
+      if (is_punct(p.tok(j), "(")) ++depth;
+      if (is_punct(p.tok(j), ")") && --depth == 0) {
+        close = j;
+        break;
+      }
+      if (depth == 1 && is_punct(p.tok(j), ":") && !is_punct(p.tok(j - 1), ":") &&
+          !(j + 1 < p.size() && is_punct(p.tok(j + 1), ":"))) {
+        range_for = is_ident(p.tok(i), "for");
+      }
+    }
+    if (close == 0 || close + 1 >= p.size()) continue;
+    std::size_t body_lo = close + 1, body_hi = body_lo;
+    if (is_punct(p.tok(body_lo), "{")) {
+      int braces = 0;
+      for (std::size_t j = body_lo; j < p.size(); ++j) {
+        if (is_punct(p.tok(j), "{")) ++braces;
+        if (is_punct(p.tok(j), "}") && --braces == 0) {
+          body_hi = j;
+          break;
+        }
+      }
+    } else {
+      while (body_hi < p.size() && !is_punct(p.tok(body_hi), ";")) ++body_hi;
+    }
+    for (std::size_t j = body_lo; j + 2 < body_hi; ++j) {
+      const Token& t = p.tok(j);
+      if (t.kind != Token::kIdent || fp_names.count(t.text) == 0) continue;
+      const bool compound =
+          (is_punct(p.tok(j + 1), "+") || is_punct(p.tok(j + 1), "*")) &&
+          is_punct(p.tok(j + 2), "=");
+      if (!compound) continue;
+      // Container evidence: range-for, or a `[` in the right-hand side.
+      bool subscripted = false;
+      for (std::size_t k = j + 3; k < body_hi && !is_punct(p.tok(k), ";");
+           ++k) {
+        if (is_punct(p.tok(k), "[")) {
+          subscripted = true;
+          break;
+        }
+      }
+      if ((!range_for && !subscripted) || !reported.insert(j).second) {
+        continue;
+      }
+      p.report("D006", t.line,
+               "floating-point container reduction '" + t.text + " " +
+                   p.tok(j + 1).text +
+                   "= ...' in a loop: source-order accumulation; reduce "
+                   "through exec::simd's fixed-lane kernels or annotate the "
+                   "order-insensitive/cold site with HOLMS_LINT_ALLOW(D006)");
+    }
+  }
+}
+
 // ---- C001: Params/Options structs must expose validate() ------------------
 
 bool params_like(const std::string& name) {
@@ -490,6 +612,7 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"D003", "range-for over an unordered container in library code"},
       {"D004", "mutable static at namespace scope"},
       {"D005", "blocking primitive (sleep / lock wait) outside exec/"},
+      {"D006", "scalar floating-point reduction loop outside exec/simd"},
       {"C001", "Params/Options struct without validate() member"},
       {"C002", "throw of a bare std:: exception (use exec/error.hpp types)"},
       {"C003", "using namespace in a header"},
@@ -517,6 +640,7 @@ std::vector<Finding> run_rules(const SourceFile& f) {
     rule_d003(p);
     rule_d004(p);
     rule_d005(p);
+    rule_d006(p);
     rule_c002(p);
     rule_h001(p);
   }
