@@ -53,6 +53,9 @@ HEADLINE_KEYS = {
         "xy_delivery_gap_5pct",
         "fgs_min_psnr_db_30loss",
         "bitwise_reproducible",
+        "slo_fraction_burst",
+        "worst_window_availability",
+        "crew_queue_max_depth",
         "wall_time_s",
     ],
     "serve": [

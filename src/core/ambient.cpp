@@ -64,6 +64,47 @@ bool remap_off_dead_tiles(const Application& app, const Platform& platform,
 
 }  // namespace
 
+SloScore availability_slo(const std::vector<std::uint8_t>& period_ok,
+                          double target, std::size_t window) {
+  if (!(target > 0.0 && target <= 1.0)) {
+    throw holms::InvalidArgument(
+        "availability_slo: target must be in (0, 1]");
+  }
+  if (window == 0) {
+    throw holms::InvalidArgument("availability_slo: window must be >= 1");
+  }
+  SloScore score;
+  score.window = window;
+  std::size_t worst_ok = 0;
+  std::size_t worst_len = 1;  // worst availability as the ratio worst_ok/worst_len
+  for (std::size_t begin = 0; begin < period_ok.size(); begin += window) {
+    const std::size_t len = std::min(window, period_ok.size() - begin);
+    std::size_t ok = 0;
+    for (std::size_t i = begin; i < begin + len; ++i) {
+      if (period_ok[i] != 0) ++ok;
+    }
+    ++score.windows;
+    // Integer-exact target test: ok/len >= target  <=>  ok >= target*len,
+    // with a tiny guard against the product rounding just above an integer.
+    if (static_cast<double>(ok) + 1e-9 >=
+        target * static_cast<double>(len)) {
+      ++score.windows_met;
+    }
+    // Worst window by cross-multiplied integer ratio (no FP accumulation).
+    if (score.windows == 1 || ok * worst_len < worst_ok * len) {
+      worst_ok = ok;
+      worst_len = len;
+    }
+  }
+  if (score.windows > 0) {
+    score.slo_fraction = static_cast<double>(score.windows_met) /
+                         static_cast<double>(score.windows);
+    score.worst_window_availability =
+        static_cast<double>(worst_ok) / static_cast<double>(worst_len);
+  }
+  return score;
+}
+
 AmbientResult run_ambient_scenario(const Application& app,
                                    const Platform& platform,
                                    FaultPolicy policy,
@@ -119,6 +160,7 @@ AmbientResult run_ambient_scenario(const Application& app,
 
   const std::size_t periods =
       static_cast<std::size_t>(cfg.duration_s / period);
+  res.period_ok.reserve(periods);
   for (std::size_t k = 0; k < periods; ++k) {
     ++res.periods;
 
@@ -127,6 +169,17 @@ AmbientResult run_ambient_scenario(const Application& app,
     injector.poll(static_cast<double>(k) * period,
                   [&](const fault::FaultEvent& e) {
                     if (e.target != fault::Target::kTile) return;
+                    // Transient soft faults never change tile liveness; they
+                    // are counted for telemetry and otherwise pass through
+                    // (per-slot corruption is a streaming-layer concern).
+                    if (e.kind == fault::FaultKind::kSoftFail) {
+                      ++res.soft_faults_seen;
+                      return;
+                    }
+                    if (e.kind == fault::FaultKind::kScrub) {
+                      ++res.scrubs_seen;
+                      return;
+                    }
                     const bool up = e.kind == fault::FaultKind::kRepair;
                     if (tile_alive[e.id] == up) return;
                     tile_alive[e.id] = up;
@@ -186,6 +239,7 @@ AmbientResult run_ambient_scenario(const Application& app,
 
     if (!mapping_valid) {
       ++res.periods_failed;
+      res.period_ok.push_back(0);
       continue;
     }
 
@@ -196,8 +250,10 @@ AmbientResult run_ambient_scenario(const Application& app,
         cached_eval.schedule.makespan_s * activity;
     if (effective_makespan <= period) {
       ++res.periods_ok;
+      res.period_ok.push_back(1);
     } else {
       ++res.periods_degraded;
+      res.period_ok.push_back(0);
       if (displaced) ++res.periods_fault_degraded;
     }
     res.energy_j += cached_eval.total_energy_j * activity;

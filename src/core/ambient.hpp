@@ -15,6 +15,8 @@
 // behaviour of [33].
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "core/evaluator.hpp"
 #include "fault/schedule.hpp"
@@ -50,7 +52,32 @@ struct AmbientResult {
   std::size_t failures_injected = 0;
   std::size_t repairs_applied = 0;   // tile-repair events consumed
   std::size_t remaps_performed = 0;
+  std::size_t soft_faults_seen = 0;  // transient kSoftFail events replayed
+  std::size_t scrubs_seen = 0;       // kScrub events replayed
+  /// Per-period outcome bits (1 = period ok), in period order — the raw
+  /// trace availability_slo() scores.  Mean availability hides bursts:
+  /// windowed scoring over this vector is what distinguishes "0.999 on
+  /// average" from "met the SLO in every window".
+  std::vector<std::uint8_t> period_ok;
 };
+
+/// Windowed availability-SLO score over a per-period outcome trace.
+/// Counters are integers so replica aggregation needs no FP accumulation:
+/// sum `windows_met`/`windows` across replicas and divide once.
+struct SloScore {
+  std::size_t windows = 0;      // tumbling windows scored (last may be short)
+  std::size_t windows_met = 0;  // windows with availability >= target
+  std::size_t window = 0;       // window length used, in periods
+  double slo_fraction = 1.0;    // windows_met / windows (1.0 when no windows)
+  double worst_window_availability = 1.0;
+};
+
+/// Scores `period_ok` against an availability `target` over tumbling
+/// windows of `window` periods (the final partial window is scored over its
+/// actual length).  `target` must be in (0, 1], `window` >= 1.  An empty
+/// trace yields zero windows and the vacuous perfect score.
+SloScore availability_slo(const std::vector<std::uint8_t>& period_ok,
+                          double target, std::size_t window);
 
 /// Optional inputs for the ambient scenario.
 struct AmbientOptions {

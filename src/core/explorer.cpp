@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <optional>
+#include <unordered_map>
 
 #include "exec/metrics.hpp"
 #include "exec/rng_stream.hpp"
@@ -128,48 +129,134 @@ ExploreResult explore(const Application& app, const Platform& platform,
   exec::count("explore.candidates", jobs.size());
 
   // Robustness pass: replay each (still feasible) candidate through R
-  // ambient fault replicas.  The replicas are independent schedules derived
-  // from (ambient.seed, replica) — candidate j's score never depends on the
-  // thread schedule, so thread-count invariance is preserved.
+  // ambient fault replicas — either independent Poisson schedules derived
+  // from (ambient.seed, replica) or one shared schedule (burst/crew traces)
+  // with per-replica activity seeds.  Candidate j's score never depends on
+  // the thread schedule, so thread-count invariance is preserved.
   std::vector<double> availability(jobs.size(), 1.0);
+  std::vector<double> slo_fraction(jobs.size(), 1.0);
+  std::vector<double> worst_window(jobs.size(), 1.0);
   if (opts.faults != nullptr && opts.faults->replicas > 0) {
     const FaultScenario& fs = *opts.faults;
-    std::vector<fault::FaultSchedule> schedules;
-    schedules.reserve(fs.replicas);
-    fault::FaultSchedule::PoissonSpec spec;
-    spec.target = fault::Target::kTile;
-    spec.num_targets = platform.mesh.num_tiles();
-    spec.fail_rate = 1.0 / fs.ambient.tile_mtbf_s;
-    spec.repair_rate =
-        fs.ambient.tile_mttr_s > 0.0 ? 1.0 / fs.ambient.tile_mttr_s : 0.0;
-    spec.horizon = fs.ambient.duration_s;
-    for (std::size_t r = 0; r < fs.replicas; ++r) {
-      schedules.push_back(fault::FaultSchedule::poisson(
-          exec::stream_seed(fs.ambient.seed, r), spec));
+    std::vector<fault::FaultSchedule> derived;
+    std::vector<const fault::FaultSchedule*> schedules(fs.replicas,
+                                                       fs.schedule);
+    std::vector<AmbientConfig> cfgs(fs.replicas, fs.ambient);
+    if (fs.schedule == nullptr) {
+      derived.reserve(fs.replicas);
+      fault::FaultSchedule::PoissonSpec spec;
+      spec.target = fault::Target::kTile;
+      spec.num_targets = platform.mesh.num_tiles();
+      spec.fail_rate = 1.0 / fs.ambient.tile_mtbf_s;
+      spec.repair_rate =
+          fs.ambient.tile_mttr_s > 0.0 ? 1.0 / fs.ambient.tile_mttr_s : 0.0;
+      spec.horizon = fs.ambient.duration_s;
+      for (std::size_t r = 0; r < fs.replicas; ++r) {
+        derived.push_back(fault::FaultSchedule::poisson(
+            exec::stream_seed(fs.ambient.seed, r), spec));
+        schedules[r] = &derived[r];
+      }
+    } else {
+      // Shared schedule: the fault events are identical per replica, so the
+      // replicas sample the *user-activity* axis instead.
+      for (std::size_t r = 0; r < fs.replicas; ++r) {
+        cfgs[r].seed = exec::stream_seed(fs.ambient.seed, r);
+      }
     }
-    const std::size_t total = jobs.size() * fs.replicas;
-    const std::vector<double> avail_runs = exec::parallel_transform<double>(
-        pool, total, [&](std::size_t i) {
-          const std::size_t j = i / fs.replicas;
+
+    // Replay-cursor reuse: SA restarts routinely converge onto the same
+    // mapping, and both scheduler variants of one mapping share it too when
+    // use_dvs matches — replaying the identical (schedule, mapping, dvs)
+    // triple once per replica is pure waste.  Key each job's replay off the
+    // schedule fingerprints + mapping digest and run only the first job of
+    // every key; the rest reuse its scores bitwise.
+    std::uint64_t sched_fp = exec::splitmix64(fs.replicas);
+    for (std::size_t r = 0; r < fs.replicas; ++r) {
+      sched_fp = exec::splitmix64(sched_fp ^ schedules[r]->fingerprint() ^
+                                  cfgs[r].seed);
+    }
+    const auto mapping_digest = [](const noc::Mapping& m) {
+      std::uint64_t h = 0x6d61707066703164ULL;
+      for (const std::size_t tile : m) h = exec::splitmix64(h ^ tile);
+      return h;
+    };
+    constexpr std::size_t kSkip = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> rep(jobs.size(), kSkip);  // unique-slot of job j
+    std::vector<std::size_t> unique_jobs;
+    std::unordered_map<std::uint64_t, std::size_t> first_slot;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (!evals[j].feasible) continue;  // deterministic skip: perfect score
+      const std::uint64_t key = exec::splitmix64(
+          sched_fp ^ mapping_digest(mappings[jobs[j].mapping]) ^
+          (jobs[j].use_dvs ? 0x9e3779b97f4a7c15ULL : 0x51ed270b7a9f3cd1ULL));
+      const auto it = first_slot.find(key);
+      if (it == first_slot.end()) {
+        first_slot.emplace(key, unique_jobs.size());
+        rep[j] = unique_jobs.size();
+        unique_jobs.push_back(j);
+      } else {
+        rep[j] = it->second;
+      }
+    }
+
+    struct ReplayScore {
+      double availability = 1.0;
+      std::uint64_t windows = 0;
+      std::uint64_t windows_met = 0;
+      double worst_window = 1.0;
+    };
+    const std::size_t total = unique_jobs.size() * fs.replicas;
+    const std::vector<ReplayScore> runs =
+        exec::parallel_transform<ReplayScore>(pool, total, [&](std::size_t i) {
+          const std::size_t j = unique_jobs[i / fs.replicas];
           const std::size_t r = i % fs.replicas;
-          if (!evals[j].feasible) return 1.0;  // deterministic skip
           AmbientOptions aopts;
-          aopts.schedule = &schedules[r];
+          aopts.schedule = schedules[r];
           aopts.initial_mapping = &mappings[jobs[j].mapping];
           aopts.use_dvs = jobs[j].use_dvs;
-          return run_ambient_scenario(app, platform, fs.policy, fs.ambient,
-                                      aopts)
-              .availability;
+          const AmbientResult res =
+              run_ambient_scenario(app, platform, fs.policy, cfgs[r], aopts);
+          ReplayScore score;
+          score.availability = res.availability;
+          if (fs.slo_window > 0) {
+            const SloScore slo = availability_slo(res.period_ok, fs.slo_target,
+                                                  fs.slo_window);
+            score.windows = slo.windows;
+            score.windows_met = slo.windows_met;
+            score.worst_window = slo.worst_window_availability;
+          }
+          return score;
         });
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (std::size_t u = 0; u < unique_jobs.size(); ++u) {
       double sum = 0.0;
+      std::uint64_t windows = 0, windows_met = 0;
+      double worst = 1.0;
       for (std::size_t r = 0; r < fs.replicas; ++r) {
+        const ReplayScore& s = runs[u * fs.replicas + r];
         // HOLMS_LINT_ALLOW(D006): mean over a job's replica runs in fixed replica order
-        sum += avail_runs[j * fs.replicas + r];
+        sum += s.availability;
+        windows += s.windows;
+        windows_met += s.windows_met;
+        worst = std::min(worst, s.worst_window);
       }
+      const std::size_t j = unique_jobs[u];
       availability[j] = sum / static_cast<double>(fs.replicas);
+      slo_fraction[j] = windows > 0 ? static_cast<double>(windows_met) /
+                                          static_cast<double>(windows)
+                                    : 1.0;
+      worst_window[j] = worst;
+    }
+    // Fan the unique scores back out to every aliased job.
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (rep[j] == kSkip) continue;
+      const std::size_t u = rep[j];
+      availability[j] = availability[unique_jobs[u]];
+      slo_fraction[j] = slo_fraction[unique_jobs[u]];
+      worst_window[j] = worst_window[unique_jobs[u]];
     }
     exec::count("explore.fault_replicas", total);
+    exec::count("explore.fault_replays_reused",
+                (jobs.size() - unique_jobs.size()) * fs.replicas);
   }
 
   out.evaluated = jobs.size();
@@ -179,9 +266,15 @@ ExploreResult explore(const Application& app, const Platform& platform,
     c.use_dvs = jobs[j].use_dvs;
     c.eval = std::move(evals[j]);
     c.availability = availability[j];
+    c.slo_fraction = slo_fraction[j];
+    c.worst_window_availability = worst_window[j];
     if (opts.faults != nullptr &&
         c.availability < opts.faults->min_availability) {
       c.eval.feasible = false;  // robust-infeasible: can't meet uptime floor
+    }
+    if (opts.faults != nullptr && opts.faults->slo_window > 0 &&
+        c.slo_fraction < opts.faults->min_slo_fraction) {
+      c.eval.feasible = false;  // mean may pass, the SLO windows do not
     }
     merge_candidate(out, best_energy, std::move(c));
   }

@@ -34,6 +34,14 @@ struct DesignCandidate {
   /// Mean ambient availability across fault replicas (1.0 when exploration
   /// ran without a FaultScenario).
   double availability = 1.0;
+  /// Windowed SLO score pooled over all replicas' windows (1.0 when no
+  /// FaultScenario or FaultScenario::slo_window == 0): the fraction of
+  /// tumbling availability windows that met FaultScenario::slo_target.
+  double slo_fraction = 1.0;
+  /// Worst single window's availability across every replica.  The mean
+  /// can clear 0.999 while one burst window sits at 0.2; this is the number
+  /// that exposes it.
+  double worst_window_availability = 1.0;
 };
 
 /// Robustness-aware scoring: every candidate design is additionally replayed
@@ -47,6 +55,21 @@ struct FaultScenario {
   FaultPolicy policy = FaultPolicy::kAdaptiveRemap;
   std::size_t replicas = 2;
   double min_availability = 0.0;
+  /// Optional shared schedule replayed by every replica *instead of* the
+  /// per-replica Poisson derivation — how burst/crew traces (e.g.
+  /// FaultSchedule::bursts over a FailureDomainTree) reach the explorer.
+  /// Times in seconds, Target::kTile, ids = tiles.  With `replicas > 1`
+  /// each replica still runs (the activity chain differs per replica seed),
+  /// but the fault events are identical.
+  const fault::FaultSchedule* schedule = nullptr;
+  /// Windowed SLO scoring (0 disables it): each replica's per-period trace
+  /// is cut into tumbling windows of `slo_window` periods; a window is met
+  /// when its availability >= `slo_target`.  Candidate feasibility then
+  /// additionally requires the pooled met-fraction to clear
+  /// `min_slo_fraction` — an SLO floor, not a mean floor.
+  std::size_t slo_window = 0;
+  double slo_target = 0.999;
+  double min_slo_fraction = 0.0;
 };
 
 struct ExploreOptions {
@@ -74,6 +97,15 @@ struct ExploreOptions {
       // callers use to probe infeasibility.
       throw holms::InvalidArgument(
           "ExploreOptions: FaultScenario.min_availability must be >= 0");
+    }
+    if (faults != nullptr && !(faults->min_slo_fraction >= 0.0)) {
+      throw holms::InvalidArgument(
+          "ExploreOptions: FaultScenario.min_slo_fraction must be >= 0");
+    }
+    if (faults != nullptr &&
+        !(faults->slo_target > 0.0 && faults->slo_target <= 1.0)) {
+      throw holms::InvalidArgument(
+          "ExploreOptions: FaultScenario.slo_target must be in (0, 1]");
     }
   }
 };

@@ -153,10 +153,12 @@ LifetimeResult simulate_lifetime(Protocol p, const Manet::Params& params,
       if (e.kind == fault::FaultKind::kFail) {
         net.fail_node(e.id);
         ++res.faults_applied;
-      } else {
+      } else if (e.kind == fault::FaultKind::kRepair) {
         net.repair_node(e.id);
         ++res.repairs_applied;
       }
+      // kSoftFail/kScrub: transient corruption is a channel-layer concern
+      // (SlotLossTrace); node liveness is unaffected.
     });
 
     if (cfg.mobile) net.move(cfg.tick_s);

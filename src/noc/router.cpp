@@ -143,6 +143,13 @@ void NocSim::set_router_up(TileId t, bool up) {
 }
 
 void NocSim::apply_fault_event(const fault::FaultEvent& e) {
+  // Soft faults corrupt payloads, they do not change link/router liveness;
+  // the NoC models hard outages only, so a merged schedule's soft events
+  // pass through without touching the admit tables or the applied counter.
+  if (e.kind == fault::FaultKind::kSoftFail ||
+      e.kind == fault::FaultKind::kScrub) {
+    return;
+  }
   const bool up = e.kind == fault::FaultKind::kRepair;
   if (e.target == fault::Target::kLink) {
     const auto [t, d] = mesh_.undirected_link(e.id);

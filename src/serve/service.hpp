@@ -44,6 +44,11 @@ struct ServeOptions {
   /// (Target::kNode, id == locality index) is active / not active.
   double fault_loss = 0.3;
   double nominal_loss = 0.0;
+  /// Loss while only transient soft faults (kSoftFail, cleared by kScrub
+  /// scrubbing passes — see fault::FaultSchedule::soft) are pending on the
+  /// locality; negative = reuse fault_loss.  Soft corruption drives the
+  /// graceful-degradation ladder without a repair crew ever being involved.
+  double soft_loss = -1.0;
   std::uint64_t seed = 1;
 
   void validate() const;

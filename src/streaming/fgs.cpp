@@ -14,30 +14,44 @@ namespace holms::streaming {
 
 SlotLossTrace::SlotLossTrace(const fault::FaultSchedule* schedule,
                              double slot_s, double nominal_loss,
-                             double faulty_loss)
+                             double faulty_loss, double soft_loss)
     : injector_(schedule), slot_s_(slot_s), nominal_(nominal_loss),
-      faulty_(faulty_loss) {
+      faulty_(faulty_loss),
+      soft_(soft_loss < 0.0 ? faulty_loss : soft_loss) {
   if (!(slot_s > 0.0)) {
     throw holms::InvalidArgument("SlotLossTrace: slot_s must be > 0");
   }
   if (!(nominal_loss >= 0.0 && nominal_loss <= 1.0) ||
-      !(faulty_loss >= 0.0 && faulty_loss <= 1.0)) {
+      !(faulty_loss >= 0.0 && faulty_loss <= 1.0) || !(soft_ <= 1.0)) {
     throw holms::InvalidArgument("SlotLossTrace: loss must be in [0, 1]");
   }
 }
 
 double SlotLossTrace::loss_for_slot(std::size_t slot) {
-  // Apply every event up to the start of this slot; the active-fault count
-  // is what's left standing.
+  // Apply every event up to the start of this slot; the active hard and
+  // soft counts are what's left standing.
   injector_.poll(static_cast<double>(slot) * slot_s_,
                  [this](const fault::FaultEvent& e) {
-                   if (e.kind == fault::FaultKind::kFail) {
-                     ++active_faults_;
-                   } else if (active_faults_ > 0) {
-                     --active_faults_;
+                   switch (e.kind) {
+                     case fault::FaultKind::kFail:
+                       ++active_faults_;
+                       break;
+                     case fault::FaultKind::kRepair:
+                       if (active_faults_ > 0) --active_faults_;
+                       break;
+                     case fault::FaultKind::kSoftFail:
+                       ++active_soft_;
+                       break;
+                     case fault::FaultKind::kScrub:
+                       if (active_soft_ > 0) {
+                         --active_soft_;
+                         ++scrubs_applied_;
+                       }
+                       break;
                    }
                  });
-  return active_faults_ > 0 ? faulty_ : nominal_;
+  if (active_faults_ > 0) return faulty_;
+  return active_soft_ > 0 ? soft_ : nominal_;
 }
 
 ChannelTrace::ChannelTrace(sim::Rng rng, double good_bps, double mid_bps,

@@ -67,23 +67,33 @@ struct FgsConfig {
 };
 
 /// Per-slot packet-loss fraction derived from a shared FaultSchedule (event
-/// times in seconds): while any scheduled fault is active the channel loses
-/// `faulty_loss` of the bits in flight, otherwise `nominal_loss`.  Slots must
-/// be queried in increasing order (replay cursor).
+/// times in seconds).  While any hard fault (kFail .. kRepair) is active the
+/// channel loses `faulty_loss` of the bits in flight; while only transient
+/// soft faults (kSoftFail .. kScrub) are pending, `soft_loss` (pass a
+/// negative value to reuse `faulty_loss`); otherwise `nominal_loss`.  Hard
+/// outages dominate soft corruption when both are active.  Slots must be
+/// queried in increasing order (replay cursor).
 class SlotLossTrace {
  public:
   SlotLossTrace(const fault::FaultSchedule* schedule, double slot_s,
-                double nominal_loss = 0.0, double faulty_loss = 0.3);
+                double nominal_loss = 0.0, double faulty_loss = 0.3,
+                double soft_loss = -1.0);
 
   /// Loss fraction for slot `slot` (slots queried monotonically).
   double loss_for_slot(std::size_t slot);
+
+  /// Soft faults cleared by scrub events replayed so far.
+  std::size_t scrubs_applied() const { return scrubs_applied_; }
 
  private:
   fault::FaultInjector injector_;
   double slot_s_;
   double nominal_;
   double faulty_;
+  double soft_;
   std::size_t active_faults_ = 0;
+  std::size_t active_soft_ = 0;
+  std::size_t scrubs_applied_ = 0;
 };
 
 /// Markov-modulated wireless channel capacity per slot (three states).

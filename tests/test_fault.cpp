@@ -12,10 +12,12 @@
 #include "core/ambient.hpp"
 #include "core/explorer.hpp"
 #include "exec/rng_stream.hpp"
+#include "fault/domain.hpp"
 #include "fault/injector.hpp"
 #include "fault/schedule.hpp"
 #include "manet/routing.hpp"
 #include "noc/router.hpp"
+#include "serve/service.hpp"
 #include "streaming/fgs.hpp"
 
 namespace {
@@ -514,6 +516,557 @@ TEST(ExploreFault, UnreachableAvailabilityFloorRejectsEverything) {
   const auto res = holms::core::explore(app, plat, rng, opts);
   EXPECT_FALSE(res.found_feasible);
   EXPECT_TRUE(res.pareto.empty());
+}
+
+// ---------- failure-domain trees ----------
+
+using holms::fault::FailureDomainTree;
+
+// rack -> 2 enclosures -> 9 tiles (enc0 owns tiles 0..4, enc1 owns 5..8).
+struct TileTree {
+  FailureDomainTree tree{"rack"};
+  std::size_t enc0 = 0;
+  std::size_t enc1 = 0;
+  TileTree() {
+    enc0 = tree.add_domain(FailureDomainTree::kRoot, "enc0");
+    enc1 = tree.add_domain(FailureDomainTree::kRoot, "enc1");
+    for (std::size_t t = 0; t < 9; ++t) {
+      tree.map_target(Target::kTile, t, t < 5 ? enc0 : enc1);
+    }
+  }
+};
+
+TEST(DomainTree, StructureQueriesAreCanonical) {
+  TileTree tt;
+  EXPECT_EQ(tt.tree.num_domains(), 3u);
+  EXPECT_EQ(tt.tree.num_targets(), 9u);
+  EXPECT_EQ(tt.tree.parent(tt.enc0), FailureDomainTree::kRoot);
+  EXPECT_TRUE(tt.tree.is_ancestor(FailureDomainTree::kRoot, tt.enc1));
+  EXPECT_TRUE(tt.tree.is_ancestor(tt.enc0, tt.enc0));
+  EXPECT_FALSE(tt.tree.is_ancestor(tt.enc0, tt.enc1));
+  EXPECT_EQ(tt.tree.subtree_targets(tt.enc0), 5u);
+  EXPECT_EQ(tt.tree.subtree_targets(tt.enc1), 4u);
+  EXPECT_EQ(tt.tree.subtree_targets(FailureDomainTree::kRoot), 9u);
+  const auto under = tt.tree.targets_under(tt.enc1);
+  ASSERT_EQ(under.size(), 4u);
+  for (std::size_t i = 0; i < under.size(); ++i) {
+    EXPECT_EQ(under[i].target, Target::kTile);
+    EXPECT_EQ(under[i].id, 5 + i);  // canonical (target, id) order
+  }
+  // Fingerprint is a pure function of structure + mapping.
+  EXPECT_EQ(tt.tree.fingerprint(), TileTree().tree.fingerprint());
+}
+
+TEST(DomainTree, RejectsBadParentsAndDuplicateTargets) {
+  FailureDomainTree tree;
+  EXPECT_THROW(tree.add_domain(99, "orphan"), std::invalid_argument);
+  const auto d = tree.add_domain(FailureDomainTree::kRoot, "d");
+  tree.map_target(Target::kNode, 3, d);
+  EXPECT_THROW(tree.map_target(Target::kNode, 3, FailureDomainTree::kRoot),
+               std::invalid_argument);
+  EXPECT_THROW(tree.map_target(Target::kLink, 0, 42), std::invalid_argument);
+  EXPECT_THROW(tree.targets_under(42), std::invalid_argument);
+}
+
+// ---------- correlated domain bursts ----------
+
+FaultSchedule::BurstSpec tile_burst_spec(const TileTree& tt) {
+  FaultSchedule::BurstSpec spec;
+  spec.domains = {tt.enc0, tt.enc1};
+  spec.burst_rate = 1.0 / 40.0;
+  spec.onset_jitter = 0.5;
+  spec.repair_time = 2.0;
+  spec.repair_stagger = 1.0;
+  spec.horizon = 200.0;
+  return spec;
+}
+
+TEST(DomainBurst, SameSeedSameFingerprint) {
+  TileTree tt;
+  const auto spec = tile_burst_spec(tt);
+  const auto a = FaultSchedule::bursts(5, tt.tree, spec);
+  const auto b = FaultSchedule::bursts(5, tt.tree, spec);
+  const auto c = FaultSchedule::bursts(6, tt.tree, spec);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(DomainBurst, BurstFailsEveryTargetInSubtree) {
+  // One eligible domain, rate high enough that at least one burst lands:
+  // every target under the domain must fail, none outside it.
+  TileTree tt;
+  FaultSchedule::BurstSpec spec;
+  spec.domains = {tt.enc0};
+  spec.burst_rate = 1.0;  // ~200 bursts over the horizon
+  spec.horizon = 200.0;
+  spec.repair_time = 0.05;
+  FaultSchedule::BurstStats stats;
+  const auto sched = FaultSchedule::bursts(11, tt.tree, spec, &stats);
+  EXPECT_GT(stats.bursts, 0u);
+  EXPECT_EQ(stats.targets_failed, stats.bursts * 5);  // enc0 owns 5 tiles
+  std::vector<std::size_t> fails(9, 0);
+  for (const auto& e : sched.events()) {
+    EXPECT_EQ(e.target, Target::kTile);
+    if (e.kind == FaultKind::kFail) ++fails[e.id];
+  }
+  for (std::size_t t = 0; t < 5; ++t) EXPECT_EQ(fails[t], stats.bursts);
+  for (std::size_t t = 5; t < 9; ++t) EXPECT_EQ(fails[t], 0u);
+}
+
+TEST(DomainBurst, CrewCountShapesTheTrace) {
+  // The repair legs depend on the crew pool, so crews=1 and unlimited crews
+  // must yield different traces; the fail legs are identical.
+  TileTree tt;
+  auto spec = tile_burst_spec(tt);
+  FaultSchedule::BurstStats unlimited_stats;
+  const auto unlimited =
+      FaultSchedule::bursts(5, tt.tree, spec, &unlimited_stats);
+  spec.crews = 1;
+  FaultSchedule::BurstStats one_stats;
+  const auto one = FaultSchedule::bursts(5, tt.tree, spec, &one_stats);
+  ASSERT_FALSE(unlimited.empty());
+  EXPECT_NE(unlimited.fingerprint(), one.fingerprint());
+  EXPECT_EQ(one_stats.bursts, unlimited_stats.bursts);
+  EXPECT_EQ(one_stats.targets_failed, unlimited_stats.targets_failed);
+
+  auto fails_only = [](const FaultSchedule& s) {
+    std::vector<FaultEvent> f;
+    for (const auto& e : s.events()) {
+      if (e.kind == FaultKind::kFail) f.push_back(e);
+    }
+    return FaultSchedule::from_trace(std::move(f)).fingerprint();
+  };
+  EXPECT_EQ(fails_only(unlimited), fails_only(one));
+
+  // One crew serialises every repair: the last repair lands strictly later
+  // and the queue visibly saturates (a whole enclosure fails at once).
+  EXPECT_GT(one_stats.last_repair_time, unlimited_stats.last_repair_time);
+  EXPECT_GE(one_stats.crew_queue_max_depth, 2u);
+  EXPECT_LE(unlimited_stats.crew_queue_max_depth, 1u);
+}
+
+TEST(DomainBurst, CrewSaturationDelaysAvailability) {
+  // Replaying the crews=1 trace through the ambient scenario must cost
+  // availability relative to the unlimited-crew trace of the same bursts.
+  TileTree tt;
+  auto spec = tile_burst_spec(tt);
+  spec.horizon = 300.0;
+  const auto unlimited = FaultSchedule::bursts(5, tt.tree, spec);
+  spec.crews = 1;
+  const auto one = FaultSchedule::bursts(5, tt.tree, spec);
+
+  const auto app = fault_app();
+  const auto plat = holms::core::Platform::homogeneous(3, 3);
+  holms::core::AmbientConfig cfg;
+  cfg.duration_s = 300.0;
+  cfg.activity_low = 1.0;  // pin activity: availability is fault-driven only
+  cfg.seed = 23;
+  auto run = [&](const FaultSchedule* s) {
+    holms::core::AmbientOptions opts;
+    opts.schedule = s;
+    return holms::core::run_ambient_scenario(
+        app, plat, holms::core::FaultPolicy::kStatic, cfg, opts);
+  };
+  const auto res_unlimited = run(&unlimited);
+  const auto res_one = run(&one);
+  EXPECT_GT(res_one.failures_injected, 0u);
+  EXPECT_LT(res_one.availability, res_unlimited.availability);
+  EXPECT_EQ(res_one.period_ok.size(), res_one.periods);
+}
+
+TEST(DomainBurst, ValidatesSpec) {
+  TileTree tt;
+  FaultSchedule::BurstSpec spec;  // empty domains
+  spec.burst_rate = 1.0;
+  spec.horizon = 10.0;
+  EXPECT_THROW(FaultSchedule::bursts(1, tt.tree, spec),
+               std::invalid_argument);
+  spec.domains = {tt.enc0, tt.enc0};  // duplicate
+  EXPECT_THROW(FaultSchedule::bursts(1, tt.tree, spec),
+               std::invalid_argument);
+  spec.domains = {99};  // out of range
+  EXPECT_THROW(FaultSchedule::bursts(1, tt.tree, spec),
+               std::invalid_argument);
+  spec.domains = {tt.enc0};
+  spec.burst_rate = 0.0;  // must be > 0
+  EXPECT_THROW(FaultSchedule::bursts(1, tt.tree, spec),
+               std::invalid_argument);
+}
+
+// ---------- transient soft faults + scrubbing ----------
+
+FaultSchedule::SoftSpec soft_spec() {
+  FaultSchedule::SoftSpec spec;
+  spec.target = Target::kLink;
+  spec.num_targets = 4;
+  spec.soft_rate = 1.0 / 30.0;
+  spec.scrub_interval = 10.0;
+  spec.horizon = 400.0;
+  return spec;
+}
+
+TEST(SoftFault, SeedDeterministicAndScrubBalanced) {
+  const auto spec = soft_spec();
+  const auto a = FaultSchedule::soft(3, spec);
+  const auto b = FaultSchedule::soft(3, spec);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), FaultSchedule::soft(4, spec).fingerprint());
+  // Every soft fault is cleared by a scrub at the next scrubbing pass, so
+  // per-target counts balance and only soft kinds appear.
+  std::vector<long> pending(spec.num_targets, 0);
+  std::size_t soft_seen = 0;
+  for (const auto& e : a.events()) {
+    ASSERT_TRUE(e.kind == FaultKind::kSoftFail || e.kind == FaultKind::kScrub);
+    if (e.kind == FaultKind::kSoftFail) {
+      ++pending[e.id];
+      ++soft_seen;
+      // Scrub passes land on the global grid, never before the fault.
+    } else {
+      --pending[e.id];
+      EXPECT_GE(pending[e.id], 0);
+    }
+  }
+  EXPECT_GT(soft_seen, 0u);
+  for (const auto p : pending) EXPECT_EQ(p, 0);
+}
+
+TEST(SoftFault, SlotLossTraceDistinguishesSoftFromHard) {
+  const auto sched = FaultSchedule::from_trace({
+      {5.0, FaultKind::kSoftFail, Target::kLink, 0},
+      {10.0, FaultKind::kScrub, Target::kLink, 0},
+      {15.0, FaultKind::kFail, Target::kLink, 0},
+      {18.0, FaultKind::kSoftFail, Target::kLink, 0},  // hard outage dominates
+      {20.0, FaultKind::kRepair, Target::kLink, 0},
+      {25.0, FaultKind::kScrub, Target::kLink, 0},
+  });
+  holms::streaming::SlotLossTrace trace(&sched, 1.0, 0.01, 0.4, 0.1);
+  for (std::size_t s = 0; s < 30; ++s) {
+    const double l = trace.loss_for_slot(s);
+    if (s >= 15 && s < 20) {
+      EXPECT_DOUBLE_EQ(l, 0.4) << "slot " << s;  // hard fault
+    } else if ((s >= 5 && s < 10) || (s >= 20 && s < 25)) {
+      EXPECT_DOUBLE_EQ(l, 0.1) << "slot " << s;  // soft corruption
+    } else {
+      EXPECT_DOUBLE_EQ(l, 0.01) << "slot " << s;
+    }
+  }
+  EXPECT_EQ(trace.scrubs_applied(), 2u);
+}
+
+TEST(SoftFault, ScrubbingNeverOccupiesARepairCrew) {
+  // Merging a soft schedule into a crews=1 burst trace must not change the
+  // crew telemetry (scrubbing is background hygiene, not crew work), and the
+  // ambient scenario counts — but never acts on — the soft events.
+  TileTree tt;
+  auto bspec = tile_burst_spec(tt);
+  bspec.crews = 1;
+  FaultSchedule::BurstStats alone;
+  const auto burst = FaultSchedule::bursts(5, tt.tree, bspec, &alone);
+  FaultSchedule::SoftSpec sspec = soft_spec();
+  sspec.target = Target::kTile;
+  sspec.num_targets = 9;
+  sspec.horizon = 200.0;
+  const auto merged = FaultSchedule::merge(burst, FaultSchedule::soft(3, sspec));
+  FaultSchedule::BurstStats again;
+  FaultSchedule::bursts(5, tt.tree, bspec, &again);
+  EXPECT_EQ(alone.crew_queue_max_depth, again.crew_queue_max_depth);
+  EXPECT_DOUBLE_EQ(alone.last_repair_time, again.last_repair_time);
+
+  const auto app = fault_app();
+  const auto plat = holms::core::Platform::homogeneous(3, 3);
+  holms::core::AmbientConfig cfg;
+  cfg.duration_s = 200.0;
+  cfg.activity_low = 1.0;
+  auto run = [&](const FaultSchedule* s) {
+    holms::core::AmbientOptions opts;
+    opts.schedule = s;
+    return holms::core::run_ambient_scenario(
+        app, plat, holms::core::FaultPolicy::kStatic, cfg, opts);
+  };
+  const auto hard_only = run(&burst);
+  const auto with_soft = run(&merged);
+  EXPECT_GT(with_soft.soft_faults_seen, 0u);
+  EXPECT_GT(with_soft.scrubs_seen, 0u);
+  EXPECT_EQ(hard_only.soft_faults_seen, 0u);
+  // Tile liveness — and so availability — is untouched by soft events.
+  EXPECT_EQ(with_soft.periods_ok, hard_only.periods_ok);
+  EXPECT_EQ(with_soft.periods_failed, hard_only.periods_failed);
+  EXPECT_DOUBLE_EQ(with_soft.availability, hard_only.availability);
+}
+
+TEST(SoftFault, ServeSoftLossDrivesGracefulShedding) {
+  // serve: a locality under transient soft corruption sheds enhancement on
+  // its graceful-degradation sessions, without any hard outage.
+  FaultSchedule::SoftSpec spec;
+  spec.target = Target::kNode;  // serve locality namespace
+  spec.num_targets = 2;
+  spec.soft_rate = 1.0;  // essentially always corrupted until scrubbed
+  spec.scrub_interval = 5.0;
+  spec.horizon = 30.0;
+  const auto soft = FaultSchedule::soft(17, spec);
+  auto run = [&](const FaultSchedule* s) {
+    holms::serve::ServeOptions o;
+    o.localities = 2;
+    o.threads = 1;
+    o.soft_loss = 0.3;
+    holms::serve::ServiceManager m(o);
+    if (s != nullptr) m.attach_fault_schedule(s);
+    const holms::streaming::FgsConfig cfg;
+    for (std::size_t i = 0; i < 8; ++i) {
+      m.add_fgs_session(holms::streaming::FgsPolicy::kGracefulDegradation,
+                        cfg, 40);
+    }
+    return m.run(30.0);
+  };
+  const auto corrupted = run(&soft);
+  const auto clean = run(nullptr);
+  EXPECT_GT(corrupted.session_shed.mean(), clean.session_shed.mean());
+  EXPECT_GT(corrupted.session_shed.mean(), 0.05);
+  // Deterministic replay: same schedule, same report.
+  EXPECT_EQ(corrupted.fingerprint(), run(&soft).fingerprint());
+}
+
+// ---------- windowed availability SLO ----------
+
+TEST(AvailabilitySlo, ScoresTumblingWindows) {
+  // 100 periods, one 10-period outage inside the second window of 20.
+  std::vector<std::uint8_t> ok(100, 1);
+  for (std::size_t p = 25; p < 35; ++p) ok[p] = 0;
+  const auto s = holms::core::availability_slo(ok, 0.999, 20);
+  EXPECT_EQ(s.windows, 5u);
+  EXPECT_EQ(s.windows_met, 4u);
+  EXPECT_EQ(s.window, 20u);
+  EXPECT_DOUBLE_EQ(s.slo_fraction, 0.8);
+  EXPECT_DOUBLE_EQ(s.worst_window_availability, 0.5);  // 10/20 in window 1
+}
+
+TEST(AvailabilitySlo, PartialFinalWindowScoredOverActualLength) {
+  std::vector<std::uint8_t> ok(25, 1);
+  ok[24] = 0;  // last window holds periods 20..24 only
+  const auto s = holms::core::availability_slo(ok, 0.999, 10);
+  EXPECT_EQ(s.windows, 3u);
+  EXPECT_EQ(s.windows_met, 2u);
+  EXPECT_DOUBLE_EQ(s.worst_window_availability, 0.8);  // 4/5
+  // A lax target admits the partial window too.
+  EXPECT_EQ(holms::core::availability_slo(ok, 0.75, 10).windows_met, 3u);
+}
+
+TEST(AvailabilitySlo, EmptyTraceAndValidation) {
+  const auto s = holms::core::availability_slo({}, 0.999, 10);
+  EXPECT_EQ(s.windows, 0u);
+  EXPECT_DOUBLE_EQ(s.slo_fraction, 1.0);
+  EXPECT_THROW(holms::core::availability_slo({1}, 0.0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(holms::core::availability_slo({1}, 1.5, 10),
+               std::invalid_argument);
+  EXPECT_THROW(holms::core::availability_slo({1}, 0.999, 0),
+               std::invalid_argument);
+}
+
+// A bursty tile schedule engineered so the *mean* availability stays high
+// (short, rare outages over a long run) while the windows containing the
+// bursts blow the SLO — the divergence the windowed score exists to expose.
+FaultSchedule divergence_schedule() {
+  TileTree tt;
+  FaultSchedule::BurstSpec spec;
+  // One rack-level burst early in the run: all 9 tiles fail and a single
+  // crew repairs them one by one (~0.45 s each), so the outage lasts a few
+  // seconds — deep enough to blow a 10 s window, brief enough that the mean
+  // over an hour still clears three nines.
+  spec.domains = {FailureDomainTree::kRoot};
+  spec.burst_rate = 1.0 / 100.0;
+  spec.onset_jitter = 0.05;
+  spec.repair_time = 0.4;
+  spec.repair_stagger = 0.1;
+  spec.horizon = 100.0;
+  spec.crews = 1;
+  return FaultSchedule::bursts(41, tt.tree, spec);
+}
+
+TEST(ExploreFault, MeanAvailabilityHidesWhatTheSloCatches) {
+  const auto sched = divergence_schedule();
+  ASSERT_FALSE(sched.empty());
+  const auto app = fault_app();
+  const auto plat = holms::core::Platform::homogeneous(3, 3);
+  holms::core::AmbientConfig cfg;
+  cfg.duration_s = 3600.0;
+  cfg.activity_low = 1.0;
+  holms::core::AmbientOptions opts;
+  opts.schedule = &sched;
+  const auto res = holms::core::run_ambient_scenario(
+      app, plat, holms::core::FaultPolicy::kStatic, cfg, opts);
+  ASSERT_GT(res.failures_injected, 0u);
+  // The acceptance divergence: mean clears three nines...
+  EXPECT_GE(res.availability, 0.999);
+  EXPECT_LT(res.availability, 1.0);
+  // ...while 10 s windows (250 periods at the 40 ms QoS period) do not.
+  const auto slo = holms::core::availability_slo(res.period_ok, 0.999, 250);
+  EXPECT_LT(slo.slo_fraction, 1.0);
+  EXPECT_LT(slo.worst_window_availability, 0.9);
+}
+
+TEST(ExploreFault, SloFloorRejectsWhatTheMeanFloorAccepts) {
+  const auto sched = divergence_schedule();
+  const auto app = fault_app();
+  const auto plat = holms::core::Platform::homogeneous(3, 3);
+  holms::core::FaultScenario fs;
+  fs.ambient.duration_s = 3600.0;
+  fs.ambient.activity_low = 1.0;
+  fs.ambient.seed = 23;
+  fs.policy = holms::core::FaultPolicy::kStatic;
+  fs.replicas = 2;
+  fs.schedule = &sched;
+  fs.slo_window = 250;
+  fs.min_availability = 0.999;  // mean floor: passes
+  holms::core::ExploreOptions opts;
+  opts.restarts = 1;
+  opts.faults = &fs;
+  {
+    Rng rng(9);
+    const auto res = holms::core::explore(app, plat, rng, opts);
+    ASSERT_TRUE(res.found_feasible);
+    EXPECT_GE(res.best.availability, 0.999);
+    EXPECT_LT(res.best.slo_fraction, 1.0);
+    EXPECT_LT(res.best.worst_window_availability, 0.9);
+  }
+  fs.min_slo_fraction = 1.0;  // SLO floor: the same designs now fail
+  {
+    Rng rng(9);
+    const auto res = holms::core::explore(app, plat, rng, opts);
+    EXPECT_FALSE(res.found_feasible);
+  }
+}
+
+TEST(ExploreFault, SloScoresAreThreadCountInvariant) {
+  const auto sched = divergence_schedule();
+  const auto app = fault_app();
+  const auto plat = holms::core::Platform::homogeneous(3, 3);
+  holms::core::FaultScenario fs;
+  fs.ambient.duration_s = 1200.0;
+  fs.ambient.activity_low = 1.0;
+  fs.ambient.seed = 23;
+  fs.policy = holms::core::FaultPolicy::kStatic;
+  fs.replicas = 3;
+  fs.schedule = &sched;
+  fs.slo_window = 250;
+  auto run = [&](std::size_t threads) {
+    holms::core::ExploreOptions opts;
+    opts.restarts = 2;
+    opts.threads = threads;
+    opts.faults = &fs;
+    Rng rng(9);
+    return holms::core::explore(app, plat, rng, opts);
+  };
+  const auto base = run(1);
+  ASSERT_TRUE(base.found_feasible);
+  for (const std::size_t threads : {2u, 4u, 7u}) {
+    const auto r = run(threads);
+    EXPECT_DOUBLE_EQ(base.best.availability, r.best.availability)
+        << threads << " threads";
+    EXPECT_DOUBLE_EQ(base.best.slo_fraction, r.best.slo_fraction)
+        << threads << " threads";
+    EXPECT_DOUBLE_EQ(base.best.worst_window_availability,
+                     r.best.worst_window_availability)
+        << threads << " threads";
+    EXPECT_DOUBLE_EQ(base.best.eval.total_energy_j,
+                     r.best.eval.total_energy_j)
+        << threads << " threads";
+    EXPECT_EQ(base.evaluated, r.evaluated) << threads << " threads";
+  }
+}
+
+// ---------- NoC row bursts ----------
+
+TEST(NocFault, RowBurstOnDemandMatchesTableBitwise) {
+  // A cable-bundle domain owning every horizontal link of two mesh rows:
+  // one burst severs whole rows at once, and the on-demand FT path must
+  // reroute identically to the precomputed tables.
+  const holms::noc::Mesh2D mesh(8, 8);
+  FailureDomainTree tree("mesh");
+  const auto bundle3 = tree.add_domain(FailureDomainTree::kRoot, "row3");
+  const auto bundle5 = tree.add_domain(FailureDomainTree::kRoot, "row5");
+  for (std::size_t i = 0; i < 7; ++i) {
+    tree.map_target(Target::kLink, 3 * 7 + i, bundle3);  // row-3 horizontals
+    tree.map_target(Target::kLink, 5 * 7 + i, bundle5);
+  }
+  FaultSchedule::BurstSpec spec;
+  spec.domains = {bundle3, bundle5};
+  spec.burst_rate = 1.0 / 4000.0;  // times are cycles here
+  spec.onset_jitter = 50.0;
+  spec.repair_time = 2500.0;
+  spec.repair_stagger = 500.0;
+  spec.horizon = 8000.0;
+  spec.crews = 2;
+  const auto sched = FaultSchedule::bursts(33, tree, spec);
+  ASSERT_FALSE(sched.empty());
+
+  auto run = [&](std::size_t min_tiles) {
+    auto cfg = noc_cfg(holms::noc::RoutingAlgo::kFaultTolerant);
+    cfg.ft_on_demand_min_tiles = min_tiles;
+    holms::noc::NocSim sim(mesh, cfg, Rng(99));
+    add_pattern_flows(sim, mesh, holms::noc::TrafficPattern::kUniformRandom,
+                      0.02, 4);
+    sim.attach_fault_schedule(&sched);
+    sim.run(8000);
+    return sim.stats();
+  };
+  const auto table = run(1024);
+  const auto lazy = run(1);
+  EXPECT_GT(table.faults_applied, 0u);
+  EXPECT_GT(table.reroute_hops, 0u);  // the severed rows forced detours
+  EXPECT_EQ(table.packets_injected, lazy.packets_injected);
+  EXPECT_EQ(table.packets_delivered, lazy.packets_delivered);
+  EXPECT_EQ(table.packets_dropped, lazy.packets_dropped);
+  EXPECT_EQ(table.flit_hops, lazy.flit_hops);
+  EXPECT_EQ(table.reroute_hops, lazy.reroute_hops);
+  EXPECT_EQ(table.faults_applied, lazy.faults_applied);
+  EXPECT_DOUBLE_EQ(table.mean_packet_latency, lazy.mean_packet_latency);
+  EXPECT_DOUBLE_EQ(table.energy_joules, lazy.energy_joules);
+  EXPECT_DOUBLE_EQ(table.delivery_ratio, lazy.delivery_ratio);
+}
+
+// ---------- MANET enclosure bursts ----------
+
+TEST(ManetFault, EnclosureBurstCrashesAreCorrelatedAndDeterministic) {
+  // 30 nodes in 3 enclosures of 10: one backplane burst crashes a third of
+  // the network near-simultaneously, which Poisson i.i.d. crashes never do.
+  holms::manet::Manet::Params p;
+  p.num_nodes = 30;
+  FailureDomainTree tree("site");
+  std::vector<std::size_t> encs;
+  for (std::size_t e = 0; e < 3; ++e) {
+    encs.push_back(tree.add_domain(FailureDomainTree::kRoot,
+                                   "enc" + std::to_string(e)));
+  }
+  for (std::size_t n = 0; n < p.num_nodes; ++n) {
+    tree.map_target(Target::kNode, n, encs[n / 10]);
+  }
+  FaultSchedule::BurstSpec spec;
+  spec.domains = encs;
+  spec.burst_rate = 1.0 / 600.0;
+  spec.onset_jitter = 2.0;
+  spec.repair_time = 60.0;
+  spec.repair_stagger = 20.0;
+  spec.horizon = 800.0;
+  spec.crews = 2;
+  FaultSchedule::BurstStats stats;
+  const auto sched = FaultSchedule::bursts(47, tree, spec, &stats);
+  ASSERT_GT(stats.bursts, 0u);
+  EXPECT_EQ(stats.targets_failed, stats.bursts * 10);  // whole enclosures
+
+  const auto a = holms::manet::simulate_lifetime(
+      holms::manet::Protocol::kBatteryCost, p, manet_cfg(), 17, &sched);
+  const auto b = holms::manet::simulate_lifetime(
+      holms::manet::Protocol::kBatteryCost, p, manet_cfg(), 17, &sched);
+  EXPECT_GT(a.faults_applied, 0u);
+  EXPECT_GT(a.route_repairs, 0u);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.faults_applied, b.faults_applied);
+  EXPECT_EQ(a.repairs_applied, b.repairs_applied);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, b.delivery_ratio);
 }
 
 }  // namespace

@@ -418,3 +418,26 @@ TEST(LintBaseline, SuppressedFindingsNeverReachTheBaselineDiff) {
   // And suppressed findings are not written into fresh baselines.
   EXPECT_TRUE(lint::make_baseline(v.findings, v.by_path).empty());
 }
+
+// ---- the fault layer itself ------------------------------------------------
+
+// PR gate: the failure-domain / burst / crew sources ship rule-clean with
+// zero suppressions — no lint-allow escape hatches in holms::fault.
+TEST(LintRepo, FaultLayerIsCleanWithZeroSuppressions) {
+  const char* files[] = {"fault/schedule.hpp", "fault/schedule.cpp",
+                         "fault/domain.hpp",   "fault/domain.cpp",
+                         "fault/injector.hpp"};
+  for (const char* rel : files) {
+    const std::string path = std::string(HOLMS_SRC_DIR) + "/" + rel;
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << "missing source " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto findings =
+        lint::run_rules(lint::lex(rel, buf.str(), lint::classify_path(path)));
+    for (const lint::Finding& f : findings) {
+      ADD_FAILURE() << rel << ":" << f.line << " " << f.rule << " "
+                    << f.message << (f.suppressed ? " (suppressed)" : "");
+    }
+  }
+}
