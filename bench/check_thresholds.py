@@ -7,7 +7,9 @@ The thresholds file may hold one section per report name (keyed by the
 report's "name" field, e.g. "fault" for BENCH_fault.json); reports without
 their own section use the top-level "min" block.  Every key under the
 selected "min" must be present in the report (top level) and >= the
-threshold.  Exits non-zero listing all violations.
+threshold; every key under "max" must be present and <= the threshold
+(used by the "lint" section to pin graph_rules_findings and
+stale_suppressions at zero).  Exits non-zero listing all violations.
 
 A section may also carry a "min_if" list of conditional gates:
 
@@ -65,6 +67,16 @@ HEADLINE_KEYS = {
         "serve_thread_invariant",
         "serve_bitwise_reproducible",
         "wall_time_s",
+    ],
+    "lint": [
+        "files",
+        "files_per_s",
+        "lint_ms",
+        "graph_build_ms",
+        "total_findings",
+        "graph_rules_findings",
+        "stale_suppressions",
+        "suppressed",
     ],
 }
 MAX_COLUMNS = 8
@@ -167,7 +179,9 @@ def main() -> int:
         thresholds = json.load(f)
 
     section = thresholds.get(report.get("name"), thresholds)
-    if not isinstance(section, dict) or "min" not in section:
+    if not isinstance(section, dict) or not (
+        "min" in section or "max" in section or "min_if" in section
+    ):
         section = thresholds
 
     failures = []
@@ -179,6 +193,14 @@ def main() -> int:
             failures.append(f"{key}: {value:.6g} < required {floor:.6g}")
         else:
             print(f"ok  {key}: {value:.6g} >= {floor:.6g}")
+    for key, ceiling in section.get("max", {}).items():
+        value = report.get(key)
+        if value is None:
+            failures.append(f"{key}: missing from {report_path}")
+        elif value > ceiling:
+            failures.append(f"{key}: {value:.6g} > allowed {ceiling:.6g}")
+        else:
+            print(f"ok  {key}: {value:.6g} <= {ceiling:.6g}")
     for gate in section.get("min_if", []):
         key, floor = gate["key"], gate["floor"]
         requires, at_least = gate["requires"], gate["at_least"]

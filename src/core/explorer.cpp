@@ -233,7 +233,6 @@ ExploreResult explore(const Application& app, const Platform& platform,
       double worst = 1.0;
       for (std::size_t r = 0; r < fs.replicas; ++r) {
         const ReplayScore& s = runs[u * fs.replicas + r];
-        // HOLMS_LINT_ALLOW(D006): mean over a job's replica runs in fixed replica order
         sum += s.availability;
         windows += s.windows;
         windows_met += s.windows_met;

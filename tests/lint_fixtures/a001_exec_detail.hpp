@@ -1,0 +1,6 @@
+#pragma once
+// Module-internal header: the "_detail" marker makes it non-public, so even
+// correctly-layered modules may not include it from outside exec/.
+namespace holms::exec::detail {
+int scratch_slots();
+}

@@ -1,0 +1,5 @@
+#pragma once
+// Public header of the (fixture) markov module — low in the layer DAG.
+namespace holms::markov {
+double stationary_mass();
+}

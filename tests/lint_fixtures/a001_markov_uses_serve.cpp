@@ -1,0 +1,7 @@
+// Deliberate layering violation: markov (layer 2) reaching up into serve
+// (layer 9).  The include edge, not any symbol use, is the offense.
+#include "serve/api.hpp"
+
+namespace holms::markov {
+int peek_service() { return holms::serve::service_version(); }
+}

@@ -1,0 +1,8 @@
+// noc (layer 5) may depend on exec (layer 0), but not on exec's internal
+// headers: the "_detail" marker makes this include an A001 even though the
+// direction is fine.
+#include "exec/impl_detail.hpp"
+
+namespace holms::noc {
+int reserve() { return holms::exec::detail::scratch_slots(); }
+}

@@ -1,0 +1,6 @@
+// Correct layering: serve (layer 9) depends down the DAG on markov (layer 2).
+#include "markov/api.hpp"
+
+namespace holms::serve {
+double weigh() { return holms::markov::stationary_mass(); }
+}

@@ -1,0 +1,5 @@
+#pragma once
+// Public header of the (fixture) serve module — top of the layer DAG.
+namespace holms::serve {
+int service_version();
+}

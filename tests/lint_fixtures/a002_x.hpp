@@ -1,0 +1,10 @@
+#pragma once
+// Half of a deliberate include cycle (same module, so no A001 — the SCC is
+// the only offense).
+#include "stream/a002_y.hpp"
+
+namespace holms::stream {
+struct XNode {
+  int id = 0;
+};
+}

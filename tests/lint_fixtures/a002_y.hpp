@@ -1,0 +1,9 @@
+#pragma once
+// Other half of the include cycle.
+#include "stream/a002_x.hpp"
+
+namespace holms::stream {
+struct YNode {
+  int id = 0;
+};
+}

@@ -1,0 +1,7 @@
+// Top of the D007 chain: the outermost tainted frame, where the single
+// finding anchors with the full chain as evidence.
+namespace holms::serve {
+
+int handle() { return holms::stream::shape(); }
+
+}  // namespace holms::serve

@@ -1,0 +1,10 @@
+// Bottom of the 3-file D007 chain: a suppressed D001 primitive.  The ALLOW
+// keeps the per-file rule quiet, but the taint still propagates — that is
+// the whole point of the escape analysis.
+namespace holms::markov {
+
+int jitter() {
+  return std::rand() % 7;  // HOLMS_LINT_ALLOW(D001): fixture chain source
+}
+
+}  // namespace holms::markov

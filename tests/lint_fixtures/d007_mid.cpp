@@ -1,0 +1,7 @@
+// Middle of the D007 chain: no primitive of its own, taint arrives through
+// the call to markov::jitter.
+namespace holms::stream {
+
+int shape() { return holms::markov::jitter() + 1; }
+
+}  // namespace holms::stream

@@ -1,0 +1,7 @@
+// Clean leaf with the same signature as d007_leaf.cpp: swapping it into the
+// chain must make every D007 disappear.
+namespace holms::markov {
+
+int jitter() { return 3; }
+
+}  // namespace holms::markov

@@ -1,0 +1,18 @@
+// Raw string literals (with and without encoding prefixes) must be opaque to
+// the rules: everything inside is data, not code.  Exactly one real D001
+// lives at the bottom as the positive control.
+namespace holms::stream {
+
+const char* plain = R"(std::rand() and time(nullptr) inside a raw string)";
+const char* utf8 = u8R"x(srand(42); "inner quotes" std::mt19937 gen;)x";
+const wchar_t* wide = LR"(std::random_device rd;)";
+const char16_t* u16 = uR"(printf("hello"))";
+const char32_t* u32 = UR"delim(std::cout << "x";)delim";
+const char* prefixed = u8"std::rand() \" still a string";
+const wchar_t* wprefixed = L"time(nullptr)";
+
+int real_violation() {
+  return std::rand();  // the one finding this fixture should produce
+}
+
+}  // namespace holms::stream

@@ -1,0 +1,14 @@
+// A stale suppression: the allow names D002 but nothing on its line reads a
+// clock, so the annotation itself becomes the finding.  The D001 allow below
+// is genuinely used and must stay silent.
+namespace holms::traffic {
+
+int quiet() {
+  return 12;  // HOLMS_LINT_ALLOW(D002): the clock read this excused is gone
+}
+
+int noisy() {
+  return std::rand();  // HOLMS_LINT_ALLOW(D001): fixture control, still live
+}
+
+}  // namespace holms::traffic

@@ -9,12 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "graph.hpp"
 #include "lint.hpp"
 
 namespace lint = holms::lint;
@@ -440,4 +442,317 @@ TEST(LintRepo, FaultLayerIsCleanWithZeroSuppressions) {
                     << f.message << (f.suppressed ? " (suppressed)" : "");
     }
   }
+}
+
+// ---- lexer regressions: raw strings, prefixes, CRLF continuations ----------
+
+TEST(LintLexer, RawStringPrefixesAreOpaqueToRules) {
+  const auto fs =
+      lint_fixture("lexer_raw.cpp", lint::FileKind::kLibrarySource);
+  // Every banned token inside the R"..."/u8R"..."/LR"..."/uR"..."/UR"..."
+  // bodies and the prefixed ordinary literals is data; only the real
+  // std::rand() at the bottom fires.
+  EXPECT_EQ(active_count(fs, "D001"), 1u);
+  EXPECT_EQ(active_count(fs, "D002"), 0u);
+  EXPECT_EQ(active_count(fs, "H001"), 0u);
+  EXPECT_EQ(active_total(fs), 1u);
+}
+
+TEST(LintLexer, MacroContinuationWithCrlfStaysPreprocessor) {
+  // The backslash sits before a CRLF line ending: the continuation line is
+  // still part of the directive, so the std::rand() in the macro body never
+  // reaches the rules as code.
+  const std::string src =
+      "#define DRAW(x) \\\r\n"
+      "  std::rand() + (x)\r\n"
+      "int f(int x) { return x; }\n";
+  const lint::SourceFile f =
+      lint::lex("src/stream/macro.cpp", src, lint::FileKind::kLibrarySource);
+  EXPECT_EQ(active_count(lint::run_rules(f), "D001"), 0u);
+  // And lexing resumes correctly after the directive.
+  ASSERT_FALSE(f.tokens.empty());
+  EXPECT_EQ(f.tokens.front().text, "int");
+  EXPECT_EQ(f.tokens.front().line, 3u);
+}
+
+TEST(LintLexer, RecordsQuotedIncludesWithLines) {
+  const std::string src =
+      "#pragma once\n"
+      "#include \"markov/api.hpp\"\n"
+      "#include <vector>\n"
+      "#include \"stream/pipe.hpp\"  // trailing comment\n";
+  const lint::SourceFile f =
+      lint::lex("src/serve/inc.hpp", src, lint::FileKind::kLibraryHeader);
+  ASSERT_EQ(f.includes.size(), 2u);
+  EXPECT_EQ(f.includes[0].target, "markov/api.hpp");
+  EXPECT_EQ(f.includes[0].line, 2u);
+  EXPECT_EQ(f.includes[1].target, "stream/pipe.hpp");
+  EXPECT_EQ(f.includes[1].line, 4u);
+}
+
+// ---- the whole-program graph pack (graph.hpp) ------------------------------
+
+namespace {
+
+/// Lexes fixtures under fake src/ paths (their on-disk home would classify
+/// them as test code), runs the per-file rules, builds the index, and runs
+/// the graph pack — the same sequencing the CLI uses.
+struct GraphHarness {
+  std::vector<lint::SourceFile> files;
+  std::vector<lint::Finding> per_file;
+  lint::ProgramGraph graph;
+
+  void add(const std::string& fake_path, const std::string& fixture) {
+    files.push_back(lint::lex(fake_path, fixture_text(fixture),
+                              lint::classify_path(fake_path)));
+  }
+  std::vector<lint::Finding> run(const lint::LayerConfig& layers) {
+    per_file.clear();
+    for (const lint::SourceFile& f : files) {
+      const auto fs = lint::run_rules(f);
+      per_file.insert(per_file.end(), fs.begin(), fs.end());
+    }
+    graph = lint::build_graph(files);
+    return lint::run_graph_rules(files, graph, layers, per_file);
+  }
+};
+
+lint::LayerConfig test_layers() {
+  return lint::parse_layers_json(R"({
+    "layers": [["exec"], ["sim"], ["markov", "traffic", "dvfs", "fault"],
+               ["stream"], ["asip"], ["noc"], ["wireless"], ["streaming"],
+               ["manet"], ["serve"], ["core"]],
+    "internal_markers": ["_detail"],
+    "rule_homes": {"D001": ["sim/random.hpp"]},
+    "escape_boundaries": []
+  })");
+}
+
+}  // namespace
+
+TEST(LintLayers, CheckedInLayersFileParsesAndRanksBottomUp) {
+  lint::LayerConfig cfg;
+  ASSERT_TRUE(lint::load_layers_file(HOLMS_LAYERS_FILE, cfg));
+  EXPECT_TRUE(cfg.loaded);
+  // Spot-check the DESIGN.md §5 dependency order, bottom-up.
+  EXPECT_EQ(cfg.rank.at("exec"), 0);
+  EXPECT_EQ(cfg.rank.at("sim"), 1);
+  EXPECT_LT(cfg.rank.at("markov"), cfg.rank.at("stream"));
+  EXPECT_LT(cfg.rank.at("serve"), cfg.rank.at("core"));
+  EXPECT_EQ(cfg.rank.count("fault"), 1u);
+  EXPECT_EQ(cfg.rank.at("fault"), cfg.rank.at("markov"));
+}
+
+TEST(LintLayers, MalformedConfigsThrow) {
+  EXPECT_THROW(lint::parse_layers_json("{}"), std::runtime_error);
+  EXPECT_THROW(lint::parse_layers_json("not json"), std::runtime_error);
+  EXPECT_THROW(lint::parse_layers_json(R"({"layers": [["a"], ["a"]]})"),
+               std::runtime_error);
+}
+
+TEST(LintA001, UpwardIncludeAcrossTheDagFires) {
+  GraphHarness h;
+  h.add("src/serve/api.hpp", "a001_serve_api.hpp");
+  h.add("src/markov/uses_serve.cpp", "a001_markov_uses_serve.cpp");
+  const auto fs = h.run(test_layers());
+  ASSERT_EQ(active_count(fs, "A001"), 1u);
+  for (const lint::Finding& f : fs) {
+    if (f.rule != "A001") continue;
+    EXPECT_EQ(f.file, "src/markov/uses_serve.cpp");
+    EXPECT_NE(f.message.find("serve"), std::string::npos);
+  }
+}
+
+TEST(LintA001, DownwardIncludeIsClean) {
+  GraphHarness h;
+  h.add("src/markov/api.hpp", "a001_markov_api.hpp");
+  h.add("src/serve/ok.cpp", "a001_ok.cpp");
+  const auto fs = h.run(test_layers());
+  EXPECT_EQ(active_count(fs, "A001"), 0u);
+  EXPECT_EQ(active_total(fs), 0u);
+}
+
+TEST(LintA001, CrossModuleIncludeOfInternalHeaderFires) {
+  GraphHarness h;
+  h.add("src/exec/impl_detail.hpp", "a001_exec_detail.hpp");
+  h.add("src/noc/uses_detail.cpp", "a001_noc_uses_detail.cpp");
+  // noc -> exec is the right direction; the "_detail" marker is the offense.
+  const auto fs = h.run(test_layers());
+  ASSERT_EQ(active_count(fs, "A001"), 1u);
+  for (const lint::Finding& f : fs) {
+    if (f.rule != "A001") continue;
+    EXPECT_EQ(f.file, "src/noc/uses_detail.cpp");
+    EXPECT_NE(f.message.find("internal"), std::string::npos);
+  }
+}
+
+TEST(LintA002, IncludeCycleFiresOncePerScc) {
+  GraphHarness h;
+  h.add("src/stream/a002_x.hpp", "a002_x.hpp");
+  h.add("src/stream/a002_y.hpp", "a002_y.hpp");
+  const auto fs = h.run(test_layers());
+  // Same module, so no A001 — exactly one A002 for the two-file SCC.
+  EXPECT_EQ(active_count(fs, "A001"), 0u);
+  ASSERT_EQ(active_count(fs, "A002"), 1u);
+  ASSERT_EQ(h.graph.sccs.size(), 1u);
+  EXPECT_EQ(h.graph.sccs[0].size(), 2u);
+}
+
+TEST(LintA002, AcyclicIncludesAreClean) {
+  GraphHarness h;
+  h.add("src/markov/api.hpp", "a001_markov_api.hpp");
+  h.add("src/serve/ok.cpp", "a001_ok.cpp");
+  h.run(test_layers());
+  EXPECT_TRUE(h.graph.sccs.empty());
+}
+
+TEST(LintD007, ThreeFileChainFlagsTheOutermostFrame) {
+  GraphHarness h;
+  h.add("src/markov/leaf.cpp", "d007_leaf.cpp");
+  h.add("src/stream/mid.cpp", "d007_mid.cpp");
+  h.add("src/serve/entry.cpp", "d007_entry.cpp");
+  const auto fs = h.run(test_layers());
+  // The suppressed D001 in the leaf seeds taint; serve::handle is the only
+  // root (stream::shape has a tainted caller, the leaf is the source).
+  ASSERT_EQ(active_count(fs, "D007"), 1u);
+  for (const lint::Finding& f : fs) {
+    if (f.rule != "D007") continue;
+    EXPECT_EQ(f.file, "src/serve/entry.cpp");
+    EXPECT_NE(f.message.find("handle"), std::string::npos);
+    EXPECT_NE(f.message.find("jitter"), std::string::npos);
+    EXPECT_NE(f.message.find(" -> "), std::string::npos);
+    EXPECT_NE(f.message.find("src/markov/leaf.cpp"), std::string::npos);
+  }
+  // The leaf's allow is used (by its own D001), so no X002 either.
+  EXPECT_EQ(active_count(fs, "X002"), 0u);
+}
+
+TEST(LintD007, CleanLeafProducesNoEscape) {
+  GraphHarness h;
+  h.add("src/markov/leaf.cpp", "d007_ok_leaf.cpp");
+  h.add("src/stream/mid.cpp", "d007_mid.cpp");
+  h.add("src/serve/entry.cpp", "d007_entry.cpp");
+  const auto fs = h.run(test_layers());
+  EXPECT_EQ(active_count(fs, "D007"), 0u);
+}
+
+TEST(LintD007, RuleHomePrimitivesDoNotTaint) {
+  // Same chain, but the layer config declares markov/ the sanctioned home
+  // for D001 — the primitive no longer seeds taint.
+  GraphHarness h;
+  h.add("src/markov/leaf.cpp", "d007_leaf.cpp");
+  h.add("src/stream/mid.cpp", "d007_mid.cpp");
+  h.add("src/serve/entry.cpp", "d007_entry.cpp");
+  lint::LayerConfig layers = test_layers();
+  layers.rule_homes["D001"] = {"markov/"};
+  const auto fs = h.run(layers);
+  EXPECT_EQ(active_count(fs, "D007"), 0u);
+}
+
+TEST(LintX002, StaleSuppressionFires) {
+  GraphHarness h;
+  h.add("src/traffic/x002_bad.cpp", "x002_bad.cpp");
+  const auto fs = h.run(test_layers());
+  // The D002 allow matches nothing; the D001 allow is still used.
+  ASSERT_EQ(active_count(fs, "X002"), 1u);
+  for (const lint::Finding& f : fs) {
+    if (f.rule != "X002") continue;
+    EXPECT_NE(f.message.find("D002"), std::string::npos);
+  }
+}
+
+TEST(LintX002, LiveSuppressionStaysQuiet) {
+  GraphHarness h;
+  h.add("src/traffic/x002_ok.cpp", "x002_ok.cpp");
+  const auto fs = h.run(test_layers());
+  EXPECT_EQ(active_count(fs, "X002"), 0u);
+  EXPECT_EQ(active_total(fs), 0u);
+}
+
+TEST(LintGraphDump, RoundTripsWithIdenticalFingerprint) {
+  GraphHarness h;
+  h.add("src/markov/leaf.cpp", "d007_leaf.cpp");
+  h.add("src/stream/mid.cpp", "d007_mid.cpp");
+  h.add("src/serve/entry.cpp", "d007_entry.cpp");
+  const lint::LayerConfig layers = test_layers();
+  const auto fs = h.run(layers);
+  std::map<std::string, std::size_t> counts;
+  for (const lint::Finding& f : fs) {
+    if (!f.suppressed) ++counts[f.rule];
+  }
+  const lint::GraphDump dump = lint::make_graph_dump(h.graph, layers, counts);
+  const std::string json = lint::graph_to_json(dump);
+
+  std::string stored;
+  const lint::GraphDump parsed = lint::parse_graph_json(json, &stored);
+  // dump -> reload -> identical fingerprint, and a canonical serialization:
+  // re-emitting the parsed dump reproduces the bytes exactly.
+  EXPECT_EQ(lint::graph_fingerprint(parsed), lint::graph_fingerprint(dump));
+  EXPECT_FALSE(stored.empty());
+  EXPECT_EQ(lint::graph_to_json(parsed), json);
+  // Building the index again from the same sources changes nothing.
+  const lint::ProgramGraph again = lint::build_graph(h.files);
+  EXPECT_EQ(lint::graph_fingerprint(
+                lint::make_graph_dump(again, layers, counts)),
+            lint::graph_fingerprint(dump));
+
+  EXPECT_THROW(lint::parse_graph_json("not json"), std::runtime_error);
+}
+
+TEST(LintBaseline, PruneDropsEntriesForMissingFiles) {
+  Linted v("d002_bad.cpp", fixture_text("d002_bad.cpp"),
+           lint::FileKind::kLibrarySource);
+  lint::Baseline base = lint::make_baseline(v.findings, v.by_path);
+  ASSERT_FALSE(base.empty());
+  const std::string ghost = "D002|ghost/deleted.cpp|auto t = now();";
+  base[ghost] = 2;
+
+  std::vector<std::string> dropped;
+  const lint::Baseline pruned = lint::prune_baseline(base, v.by_path, &dropped);
+  EXPECT_EQ(pruned.size(), base.size() - 1);
+  EXPECT_EQ(pruned.count(ghost), 0u);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0], ghost);
+}
+
+// ---- tree-wide gate: the graph pack holds at zero, with zero suppressions --
+
+TEST(LintRepo, GraphRulesCleanZeroSuppressions) {
+  namespace stdfs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const auto& e : stdfs::recursive_directory_iterator(HOLMS_SRC_DIR)) {
+    if (!e.is_regular_file()) continue;
+    const std::string ext = e.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+    paths.push_back(e.path().generic_string());
+  }
+  std::sort(paths.begin(), paths.end());
+  ASSERT_FALSE(paths.empty());
+
+  const std::string root(HOLMS_SRC_DIR);
+  std::vector<lint::SourceFile> files;
+  files.reserve(paths.size());
+  std::vector<lint::Finding> per_file;
+  for (const std::string& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << p;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string rel = "src" + p.substr(root.size());
+    files.push_back(lint::lex(rel, buf.str(), lint::classify_path(rel)));
+    const auto fs = lint::run_rules(files.back());
+    per_file.insert(per_file.end(), fs.begin(), fs.end());
+  }
+
+  lint::LayerConfig layers;
+  ASSERT_TRUE(lint::load_layers_file(HOLMS_LAYERS_FILE, layers));
+  const lint::ProgramGraph graph = lint::build_graph(files);
+  const auto findings = lint::run_graph_rules(files, graph, layers, per_file);
+  // Zero A001/A002/D007/X002 — and none hidden behind suppressions either.
+  for (const lint::Finding& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " " << f.rule << " "
+                  << f.message << (f.suppressed ? " (suppressed)" : "");
+  }
+  EXPECT_FALSE(graph.include_edges.empty());
+  EXPECT_FALSE(graph.call_edges.empty());
 }

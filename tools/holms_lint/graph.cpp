@@ -1,0 +1,1346 @@
+// Whole-program index + graph rule pack for holms_lint (DESIGN.md §5k).
+//
+// Everything here is token-level, like the per-file rules: no libclang, no
+// preprocessor evaluation.  The include DAG is exact over `#include "..."`
+// directives; the call graph is an over-approximation built from
+// namespace-qualified function definitions and qualified-suffix call-site
+// resolution.  All containers are iterated in sorted order so every output
+// (findings, LINT_graph.json, the fingerprint) is bit-identical across runs.
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph.hpp"
+
+namespace holms::lint {
+
+namespace {
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Token::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Token::kPunct && t.text == text;
+}
+
+// ---- minimal JSON reader ---------------------------------------------------
+// Parses the subset emitted by graph_to_json / checked into layers.json:
+// objects, arrays, strings (with \" \\ \n \t escapes), integers, booleans.
+
+struct Jv {
+  enum Kind { kNull, kNum, kStr, kArr, kObj };
+  Kind kind = kNull;
+  double num = 0;
+  std::string str;
+  std::vector<Jv> arr;
+  std::vector<std::pair<std::string, Jv>> obj;
+
+  const Jv* find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+struct JsonReader {
+  const std::string& s;
+  std::size_t i = 0;
+
+  explicit JsonReader(const std::string& text) : s(text) {}
+
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error(std::string("json: ") + what + " at offset " +
+                             std::to_string(i));
+  }
+  void ws() {
+    while (i < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+  char peek() {
+    ws();
+    if (i >= s.size()) fail("unexpected end");
+    return s[i];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++i;
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        ++i;
+        switch (s[i]) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          default: out.push_back(s[i]);
+        }
+      } else {
+        out.push_back(s[i]);
+      }
+      ++i;
+    }
+    if (i >= s.size()) fail("unterminated string");
+    ++i;
+    return out;
+  }
+  Jv value() {
+    const char c = peek();
+    Jv v;
+    if (c == '{') {
+      ++i;
+      v.kind = Jv::kObj;
+      if (peek() == '}') {
+        ++i;
+        return v;
+      }
+      while (true) {
+        std::string key = string();
+        expect(':');
+        v.obj.emplace_back(std::move(key), value());
+        const char d = peek();
+        ++i;
+        if (d == '}') break;
+        if (d != ',') fail("expected , or }");
+      }
+      return v;
+    }
+    if (c == '[') {
+      ++i;
+      v.kind = Jv::kArr;
+      if (peek() == ']') {
+        ++i;
+        return v;
+      }
+      while (true) {
+        v.arr.push_back(value());
+        const char d = peek();
+        ++i;
+        if (d == ']') break;
+        if (d != ',') fail("expected , or ]");
+      }
+      return v;
+    }
+    if (c == '"') {
+      v.kind = Jv::kStr;
+      v.str = string();
+      return v;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      v.kind = Jv::kNum;
+      std::size_t start = i;
+      if (s[i] == '-') ++i;
+      while (i < s.size() &&
+             (std::isdigit(static_cast<unsigned char>(s[i])) ||
+              s[i] == '.' || s[i] == 'e' || s[i] == 'E' || s[i] == '+' ||
+              s[i] == '-')) {
+        ++i;
+      }
+      v.num = std::stod(s.substr(start, i - start));
+      return v;
+    }
+    if (s.compare(i, 4, "true") == 0) {
+      i += 4;
+      v.kind = Jv::kNum;
+      v.num = 1;
+      return v;
+    }
+    if (s.compare(i, 5, "false") == 0) {
+      i += 5;
+      v.kind = Jv::kNum;
+      return v;
+    }
+    if (s.compare(i, 4, "null") == 0) {
+      i += 4;
+      return v;
+    }
+    fail("unexpected value");
+  }
+};
+
+Jv parse_json(const std::string& text) {
+  JsonReader r(text);
+  Jv v = r.value();
+  return v;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// ---- path helpers ----------------------------------------------------------
+
+/// Lexically joins and normalizes: drops "./" segments and resolves "a/..".
+std::string normalize_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (cur == "..") {
+        if (!parts.empty() && parts.back() != "..") {
+          parts.pop_back();
+        } else {
+          parts.push_back(cur);
+        }
+      } else if (!cur.empty() && cur != ".") {
+        parts.push_back(cur);
+      }
+      cur.clear();
+    } else {
+      cur.push_back(path[i]);
+    }
+  }
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += "/";
+    out += p;
+  }
+  if (!path.empty() && path[0] == '/') out = "/" + out;
+  return out;
+}
+
+/// Path relative to its src/ segment ("markov/chain.hpp"), or "" if the path
+/// has no src/ segment.
+std::string src_relative(const std::string& path) {
+  if (path.rfind("src/", 0) == 0) return path.substr(4);
+  const std::size_t pos = path.find("/src/");
+  if (pos != std::string::npos) return path.substr(pos + 5);
+  return "";
+}
+
+bool matches_prefix_of(const std::string& rel,
+                       const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (rel.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+// ---- function & call-site extraction ---------------------------------------
+
+struct RawCall {
+  int caller = -1;                 // index into the global FunctionDef list
+  std::vector<std::string> chain;  // e.g. {"markov", "helper"}
+  std::size_t line = 0;
+};
+
+const std::unordered_set<std::string>& not_a_call() {
+  // Keywords and type names that read as `ident (` but are neither calls nor
+  // function definitions (casts, control flow, operators).
+  static const std::unordered_set<std::string> kSet{
+      "if",       "for",      "while",    "switch",   "return",
+      "catch",    "sizeof",   "alignof",  "alignas",  "noexcept",
+      "decltype", "typeid",   "static_assert",        "assert",
+      "throw",    "new",      "delete",   "operator", "defined",
+      "co_await", "co_return",            "co_yield",
+      "int",      "double",   "float",    "bool",     "char",
+      "void",     "auto",     "unsigned", "signed",   "long",
+      "short",    "wchar_t",  "char8_t",  "char16_t", "char32_t",
+      "size_t",   "ptrdiff_t",
+      "int8_t",   "int16_t",  "int32_t",  "int64_t",
+      "uint8_t",  "uint16_t", "uint32_t", "uint64_t", "uintptr_t",
+  };
+  return kSet;
+}
+
+/// One extraction pass over a lexed file.  Appends definitions (with body
+/// line extents) and raw call sites to the global lists.  Scope tracking is
+/// heuristic: namespaces, type bodies and function bodies are classified by
+/// lookahead; anything unrecognized becomes a plain block.  Calls are only
+/// recorded inside recognized function bodies; operator overload and
+/// namespace-scope lambda bodies are therefore invisible (DESIGN.md §5k
+/// records the limitation).
+void extract_functions(const SourceFile& f, std::vector<FunctionDef>& defs,
+                       std::vector<RawCall>& calls) {
+  const std::vector<Token>& T = f.tokens;
+  const std::size_t n = T.size();
+
+  struct Scope {
+    enum Kind { kBlock, kNamespace, kType, kFunction } kind = kBlock;
+    std::string name;
+    int fn = -1;
+  };
+  std::vector<Scope> st;
+
+  auto cur_fn = [&]() -> int {
+    for (auto it = st.rbegin(); it != st.rend(); ++it) {
+      if (it->kind == Scope::kFunction) return it->fn;
+    }
+    return -1;
+  };
+  // Returns the index just past the token matching T[k] (which must be
+  // `open`), or n when unbalanced.
+  auto skip_balanced = [&](std::size_t k, const char* open,
+                           const char* close) -> std::size_t {
+    int depth = 0;
+    for (; k < n; ++k) {
+      if (is_punct(T[k], open)) {
+        ++depth;
+      } else if (is_punct(T[k], close) && --depth == 0) {
+        return k + 1;
+      }
+    }
+    return n;
+  };
+  auto skip_angles = [&](std::size_t k) -> std::size_t {
+    int depth = 0;
+    for (; k < n; ++k) {
+      if (is_punct(T[k], "<")) {
+        ++depth;
+      } else if (is_punct(T[k], ">") && --depth == 0) {
+        return k + 1;
+      }
+    }
+    return n;
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    const Token& t = T[i];
+    if (is_punct(t, "{")) {
+      st.push_back(Scope{Scope::kBlock, "", -1});
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (!st.empty()) {
+        if (st.back().kind == Scope::kFunction && st.back().fn >= 0) {
+          defs[static_cast<std::size_t>(st.back().fn)].body_end = t.line;
+        }
+        st.pop_back();
+      }
+      ++i;
+      continue;
+    }
+
+    if (cur_fn() >= 0) {
+      // Inside a function body: record call sites only.
+      if (t.kind == Token::kIdent && i + 1 < n && is_punct(T[i + 1], "(") &&
+          not_a_call().count(t.text) == 0) {
+        RawCall c;
+        c.caller = cur_fn();
+        c.line = t.line;
+        c.chain.push_back(t.text);
+        std::size_t lo = i;
+        while (lo >= 2 && is_punct(T[lo - 1], "::") &&
+               T[lo - 2].kind == Token::kIdent) {
+          c.chain.insert(c.chain.begin(), T[lo - 2].text);
+          lo -= 2;
+        }
+        calls.push_back(std::move(c));
+      }
+      ++i;
+      continue;
+    }
+
+    // --- namespace / extern "C" ---
+    if (is_ident(t, "namespace")) {
+      std::string name;
+      std::size_t j = i + 1;
+      while (j < n && (T[j].kind == Token::kIdent || is_punct(T[j], "::"))) {
+        if (T[j].kind == Token::kIdent) {
+          if (!name.empty()) name += "::";
+          name += T[j].text;
+        }
+        ++j;
+      }
+      if (j < n && is_punct(T[j], "{")) {
+        st.push_back(Scope{Scope::kNamespace, name, -1});
+        i = j + 1;
+      } else {
+        i = j;  // namespace alias or malformed; resume at the terminator
+      }
+      continue;
+    }
+    if (is_ident(t, "extern") && i + 1 < n &&
+        T[i + 1].kind == Token::kString) {
+      if (i + 2 < n && is_punct(T[i + 2], "{")) {
+        st.push_back(Scope{Scope::kNamespace, "", -1});
+        i += 3;
+      } else {
+        i += 2;
+      }
+      continue;
+    }
+    if (is_ident(t, "using") || is_ident(t, "typedef")) {
+      while (i < n && !is_punct(T[i], ";")) ++i;
+      ++i;
+      continue;
+    }
+    if (is_ident(t, "template")) {
+      i = (i + 1 < n && is_punct(T[i + 1], "<")) ? skip_angles(i + 1) : i + 1;
+      continue;
+    }
+
+    // --- class/struct/union/enum definitions ---
+    if (is_ident(t, "class") || is_ident(t, "struct") ||
+        is_ident(t, "union") || is_ident(t, "enum")) {
+      std::size_t j = i + 1;
+      if (is_ident(t, "enum") && j < n &&
+          (is_ident(T[j], "class") || is_ident(T[j], "struct"))) {
+        ++j;
+      }
+      std::string name;
+      while (j < n) {
+        if (T[j].kind == Token::kIdent) {
+          if (is_ident(T[j], "alignas") && j + 1 < n &&
+              is_punct(T[j + 1], "(")) {
+            j = skip_balanced(j + 1, "(", ")");
+            continue;
+          }
+          if (is_ident(T[j], "final")) {
+            ++j;
+            continue;
+          }
+          name = T[j].text;
+          ++j;
+          continue;
+        }
+        if (is_punct(T[j], "::")) {
+          ++j;
+          continue;
+        }
+        if (is_punct(T[j], "[")) {  // [[attribute]]
+          j = skip_balanced(j, "[", "]");
+          continue;
+        }
+        break;
+      }
+      std::size_t k = j;  // scan the (possibly templated) base clause
+      int ang = 0;
+      while (k < n) {
+        if (is_punct(T[k], "<")) ++ang;
+        if (is_punct(T[k], ">") && ang > 0) --ang;
+        if (ang == 0 &&
+            (is_punct(T[k], "{") || is_punct(T[k], ";") ||
+             is_punct(T[k], "=") || is_punct(T[k], "(") ||
+             is_punct(T[k], ")"))) {
+          break;
+        }
+        ++k;
+      }
+      if (k < n && is_punct(T[k], "{")) {
+        // enum bodies are not member scopes; push them as plain blocks.
+        if (is_ident(t, "enum")) {
+          st.push_back(Scope{Scope::kBlock, "", -1});
+        } else {
+          st.push_back(Scope{Scope::kType, name, -1});
+        }
+        i = k + 1;
+      } else {
+        i = k;  // forward declaration or `struct X x;`
+      }
+      continue;
+    }
+
+    // --- function definition candidate: ident '(' ---
+    if (t.kind == Token::kIdent && i + 1 < n && is_punct(T[i + 1], "(") &&
+        not_a_call().count(t.text) == 0 && !is_ident(t, "final") &&
+        !is_ident(t, "override")) {
+      const bool member_access =
+          i > 0 && (is_punct(T[i - 1], ".") || is_punct(T[i - 1], "->"));
+      std::vector<std::string> chain{t.text};
+      std::size_t lo = i;
+      while (lo >= 2 && is_punct(T[lo - 1], "::") &&
+             T[lo - 2].kind == Token::kIdent) {
+        chain.insert(chain.begin(), T[lo - 2].text);
+        lo -= 2;
+      }
+      const bool dtor = lo > 0 && is_punct(T[lo - 1], "~");
+      std::size_t k = skip_balanced(i + 1, "(", ")");
+      bool is_def = false;
+      // Scan past trailing qualifiers / trailing return / ctor-init list to
+      // decide whether a body follows.
+      while (k < n) {
+        const Token& q = T[k];
+        if (is_ident(q, "const") || is_ident(q, "noexcept") ||
+            is_ident(q, "override") || is_ident(q, "final") ||
+            is_ident(q, "mutable") || is_ident(q, "volatile") ||
+            is_ident(q, "try") || is_punct(q, "&")) {
+          if (is_ident(q, "noexcept") && k + 1 < n &&
+              is_punct(T[k + 1], "(")) {
+            k = skip_balanced(k + 1, "(", ")");
+          } else {
+            ++k;
+          }
+          continue;
+        }
+        if (is_punct(q, "->")) {  // trailing return type
+          ++k;
+          int ang = 0;
+          while (k < n) {
+            if (is_punct(T[k], "<")) ++ang;
+            if (is_punct(T[k], ">") && ang > 0) --ang;
+            if (is_punct(T[k], "(")) {
+              k = skip_balanced(k, "(", ")");
+              continue;
+            }
+            if (ang == 0 && (is_punct(T[k], "{") || is_punct(T[k], ";") ||
+                             is_punct(T[k], "="))) {
+              break;
+            }
+            ++k;
+          }
+          continue;
+        }
+        if (is_punct(q, ":")) {  // constructor initializer list
+          ++k;
+          bool parsed_group = false;
+          while (k < n) {
+            if (parsed_group) {
+              if (is_punct(T[k], ",")) {
+                ++k;
+                parsed_group = false;
+                continue;
+              }
+              break;  // '{' here is the body; anything else aborts
+            }
+            const std::size_t start = k;
+            while (k < n &&
+                   (T[k].kind == Token::kIdent || is_punct(T[k], "::"))) {
+              ++k;
+            }
+            if (k < n && is_punct(T[k], "<")) k = skip_angles(k);
+            if (k < n && is_punct(T[k], "(")) {
+              k = skip_balanced(k, "(", ")");
+              parsed_group = true;
+              continue;
+            }
+            if (k < n && is_punct(T[k], "{") && k > start) {
+              k = skip_balanced(k, "{", "}");
+              parsed_group = true;
+              continue;
+            }
+            break;
+          }
+          if (k < n && is_punct(T[k], "{")) is_def = true;
+          break;
+        }
+        if (is_punct(q, "{")) is_def = true;
+        break;  // ';' (declaration), '=' (default/delete/variable), etc.
+      }
+      if (is_def && !member_access && k < n) {
+        std::string qual;
+        for (const Scope& s : st) {
+          if ((s.kind == Scope::kNamespace || s.kind == Scope::kType) &&
+              !s.name.empty()) {
+            if (!qual.empty()) qual += "::";
+            qual += s.name;
+          }
+        }
+        for (std::size_t c = 0; c < chain.size(); ++c) {
+          if (!qual.empty()) qual += "::";
+          if (dtor && c + 1 == chain.size()) qual += "~";
+          qual += chain[c];
+        }
+        FunctionDef d;
+        d.qualified = std::move(qual);
+        d.name = (dtor ? "~" : "") + chain.back();
+        d.file = f.path;
+        d.line = t.line;
+        d.body_end = t.line;
+        defs.push_back(std::move(d));
+        st.push_back(
+            Scope{Scope::kFunction, "", static_cast<int>(defs.size()) - 1});
+        i = k + 1;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+
+    ++i;
+  }
+}
+
+std::vector<std::string> split_qualified(const std::string& q) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (i + 1 < q.size() && q[i] == ':' && q[i + 1] == ':') {
+      out.push_back(cur);
+      cur.clear();
+      ++i;
+    } else {
+      cur.push_back(q[i]);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+// ---- include resolution ----------------------------------------------------
+
+struct IncludeResolver {
+  std::map<std::string, int> by_path;
+  std::multimap<std::string, int> by_suffix;  // "/"+target suffix matching
+
+  explicit IncludeResolver(const std::vector<std::string>& files) {
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      by_path[files[i]] = static_cast<int>(i);
+    }
+  }
+
+  std::vector<int> resolve(const std::string& includer,
+                           const std::string& target) const {
+    std::vector<int> out;
+    auto try_path = [&](const std::string& p) {
+      auto it = by_path.find(normalize_path(p));
+      if (it != by_path.end() &&
+          std::find(out.begin(), out.end(), it->second) == out.end()) {
+        out.push_back(it->second);
+      }
+    };
+    const std::size_t slash = includer.rfind('/');
+    if (slash != std::string::npos) {
+      try_path(includer.substr(0, slash + 1) + target);
+    }
+    try_path("src/" + target);
+    try_path(target);
+    if (out.empty()) {
+      // Last resort: unique suffix match (covers out-of-tree include dirs
+      // like tests including "lint.hpp" from tools/holms_lint).
+      const std::string suffix = "/" + target;
+      for (const auto& [path, idx] : by_path) {
+        if (path.size() > suffix.size() &&
+            path.compare(path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+          out.push_back(idx);
+        }
+      }
+    }
+    return out;
+  }
+};
+
+// ---- Tarjan SCC over the include graph -------------------------------------
+
+std::vector<std::vector<int>> include_sccs(
+    std::size_t node_count, const std::vector<std::pair<int, int>>& edges) {
+  std::vector<std::vector<int>> adj(node_count);
+  for (const auto& [a, b] : edges) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+  }
+  std::vector<int> index(node_count, -1), low(node_count, 0);
+  std::vector<bool> on_stack(node_count, false);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> sccs;
+  int next_index = 0;
+
+  // Iterative Tarjan: frame = (node, next child position).
+  struct Frame {
+    int v;
+    std::size_t child;
+  };
+  for (std::size_t root = 0; root < node_count; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{Frame{static_cast<int>(root), 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(static_cast<int>(root));
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto v = static_cast<std::size_t>(f.v);
+      if (f.child < adj[v].size()) {
+        const auto w = static_cast<std::size_t>(adj[v][f.child++]);
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(static_cast<int>(w));
+          on_stack[w] = true;
+          frames.push_back(Frame{static_cast<int>(w), 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+        continue;
+      }
+      if (low[v] == index[v]) {
+        std::vector<int> scc;
+        while (true) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          scc.push_back(w);
+          if (w == f.v) break;
+        }
+        if (scc.size() > 1) {
+          std::sort(scc.begin(), scc.end());
+          sccs.push_back(std::move(scc));
+        }
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const auto p = static_cast<std::size_t>(frames.back().v);
+        low[p] = std::min(low[p], low[v]);
+      }
+    }
+  }
+  std::sort(sccs.begin(), sccs.end());
+  return sccs;
+}
+
+}  // namespace
+
+// ---- layer configuration ---------------------------------------------------
+
+LayerConfig parse_layers_json(const std::string& text) {
+  Jv root;
+  try {
+    root = parse_json(text);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("layers: ") + e.what());
+  }
+  if (root.kind != Jv::kObj) throw std::runtime_error("layers: not an object");
+  const Jv* layers = root.find("layers");
+  if (layers == nullptr || layers->kind != Jv::kArr || layers->arr.empty()) {
+    throw std::runtime_error("layers: missing \"layers\" array");
+  }
+  LayerConfig cfg;
+  for (const Jv& band : layers->arr) {
+    if (band.kind != Jv::kArr) {
+      throw std::runtime_error("layers: each layer must be an array");
+    }
+    std::vector<std::string> modules;
+    for (const Jv& m : band.arr) {
+      if (m.kind != Jv::kStr || m.str.empty()) {
+        throw std::runtime_error("layers: module names must be strings");
+      }
+      if (!cfg.rank
+               .emplace(m.str, static_cast<int>(cfg.layers.size()))
+               .second) {
+        throw std::runtime_error("layers: duplicate module '" + m.str + "'");
+      }
+      modules.push_back(m.str);
+    }
+    cfg.layers.push_back(std::move(modules));
+  }
+  auto read_strings = [](const Jv* v, std::vector<std::string>& out) {
+    if (v == nullptr) return;
+    if (v->kind != Jv::kArr) {
+      throw std::runtime_error("layers: expected an array of strings");
+    }
+    for (const Jv& s : v->arr) {
+      if (s.kind != Jv::kStr) {
+        throw std::runtime_error("layers: expected an array of strings");
+      }
+      out.push_back(s.str);
+    }
+  };
+  read_strings(root.find("internal_markers"), cfg.internal_markers);
+  read_strings(root.find("escape_boundaries"), cfg.escape_boundaries);
+  if (const Jv* homes = root.find("rule_homes")) {
+    if (homes->kind != Jv::kObj) {
+      throw std::runtime_error("layers: \"rule_homes\" must be an object");
+    }
+    for (const auto& [rule, paths] : homes->obj) {
+      read_strings(&paths, cfg.rule_homes[rule]);
+    }
+  }
+  cfg.loaded = true;
+  return cfg;
+}
+
+bool load_layers_file(const std::string& path, LayerConfig& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = parse_layers_json(buf.str());
+  return true;
+}
+
+std::string module_of_path(const std::string& path) {
+  const std::string rel = src_relative(normalize_path(path));
+  const std::size_t slash = rel.find('/');
+  if (slash == std::string::npos) return "";
+  return rel.substr(0, slash);
+}
+
+// ---- index construction ----------------------------------------------------
+
+ProgramGraph build_graph(const std::vector<SourceFile>& files) {
+  ProgramGraph g;
+  std::vector<const SourceFile*> sorted;
+  sorted.reserve(files.size());
+  for (const SourceFile& f : files) sorted.push_back(&f);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SourceFile* a, const SourceFile* b) {
+              return a->path < b->path;
+            });
+  for (const SourceFile* f : sorted) {
+    g.files.push_back(f->path);
+    g.modules.push_back(module_of_path(f->path));
+  }
+
+  IncludeResolver resolver(g.files);
+  std::set<std::pair<int, int>> edge_set;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    for (const IncludeDirective& inc : sorted[i]->includes) {
+      for (int target : resolver.resolve(g.files[i], inc.target)) {
+        if (target != static_cast<int>(i)) {
+          edge_set.emplace(static_cast<int>(i), target);
+        }
+      }
+    }
+  }
+  g.include_edges.assign(edge_set.begin(), edge_set.end());
+  g.sccs = include_sccs(g.files.size(), g.include_edges);
+
+  std::vector<RawCall> calls;
+  for (const SourceFile* f : sorted) {
+    extract_functions(*f, g.functions, calls);
+  }
+  // Functions come out ordered by (file, line) already — files are iterated
+  // sorted and extraction is a forward pass — but sort defensively so the
+  // fingerprint never depends on extraction order details.
+  std::vector<std::size_t> order(g.functions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const FunctionDef& fa = g.functions[a];
+                     const FunctionDef& fb = g.functions[b];
+                     if (fa.file != fb.file) return fa.file < fb.file;
+                     if (fa.line != fb.line) return fa.line < fb.line;
+                     return fa.qualified < fb.qualified;
+                   });
+  std::vector<std::size_t> rank_of(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) rank_of[order[i]] = i;
+  {
+    std::vector<FunctionDef> reordered(g.functions.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      reordered[i] = std::move(g.functions[order[i]]);
+    }
+    g.functions = std::move(reordered);
+  }
+
+  // Name resolution: last-component lookup filtered by qualified suffix.
+  std::unordered_map<std::string, std::vector<int>> by_name;
+  std::vector<std::vector<std::string>> components(g.functions.size());
+  for (std::size_t i = 0; i < g.functions.size(); ++i) {
+    by_name[g.functions[i].name].push_back(static_cast<int>(i));
+    components[i] = split_qualified(g.functions[i].qualified);
+  }
+  std::set<std::pair<int, int>> call_set;
+  for (const RawCall& c : calls) {
+    const int caller = static_cast<int>(rank_of[static_cast<std::size_t>(
+        c.caller)]);
+    auto it = by_name.find(c.chain.back());
+    if (it == by_name.end()) continue;
+    for (int cand : it->second) {
+      const std::vector<std::string>& comp =
+          components[static_cast<std::size_t>(cand)];
+      if (comp.size() < c.chain.size()) continue;
+      bool suffix = true;
+      for (std::size_t k = 0; k < c.chain.size(); ++k) {
+        if (comp[comp.size() - c.chain.size() + k] != c.chain[k]) {
+          suffix = false;
+          break;
+        }
+      }
+      if (suffix && cand != caller) call_set.emplace(caller, cand);
+    }
+  }
+  g.call_edges.assign(call_set.begin(), call_set.end());
+  return g;
+}
+
+// ---- graph rules -----------------------------------------------------------
+
+std::vector<Finding> run_graph_rules(const std::vector<SourceFile>& files,
+                                     const ProgramGraph& g,
+                                     const LayerConfig& layers,
+                                     const std::vector<Finding>& per_file) {
+  std::vector<Finding> out;
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : files) by_path[f.path] = &f;
+  std::map<std::string, int> file_index;
+  for (std::size_t i = 0; i < g.files.size(); ++i) {
+    file_index[g.files[i]] = static_cast<int>(i);
+  }
+
+  // --- A001: layering + non-public header includes (src files only) ---
+  if (layers.loaded) {
+    IncludeResolver resolver(g.files);
+    for (const std::string& path : g.files) {
+      const SourceFile* f = by_path.at(path);
+      const std::string fmod = module_of_path(path);
+      if (fmod.empty()) continue;  // tests/bench/tools include freely
+      for (const IncludeDirective& inc : f->includes) {
+        std::string tmod;
+        const std::vector<int> targets = resolver.resolve(path, inc.target);
+        if (!targets.empty()) {
+          tmod = g.modules[static_cast<std::size_t>(targets.front())];
+        } else {
+          // Unresolved: classify by the include text when its first segment
+          // names a ranked module (a not-yet-created or generated header);
+          // anything else is an external library include.
+          const std::size_t slash = inc.target.find('/');
+          if (slash != std::string::npos) {
+            const std::string head = inc.target.substr(0, slash);
+            if (layers.rank.count(head) > 0) tmod = head;
+          }
+        }
+        if (tmod.empty() || tmod == fmod) continue;
+        bool internal = false;
+        for (const std::string& marker : layers.internal_markers) {
+          if (inc.target.find(marker) != std::string::npos) {
+            internal = true;
+            break;
+          }
+        }
+        if (internal) {
+          out.push_back(Finding{
+              "A001", path, inc.line,
+              "include of module-internal header \"" + inc.target +
+                  "\" from module '" + fmod +
+                  "': cross-module includes may only target public headers "
+                  "(tools/holms_lint/layers.json internal_markers)",
+              false,
+              {}});
+          continue;
+        }
+        auto fr = layers.rank.find(fmod);
+        auto tr = layers.rank.find(tmod);
+        if (fr == layers.rank.end() || tr == layers.rank.end()) {
+          const std::string& missing =
+              fr == layers.rank.end() ? fmod : tmod;
+          out.push_back(Finding{
+              "A001", path, inc.line,
+              "module '" + missing +
+                  "' is not ranked in tools/holms_lint/layers.json; add it "
+                  "to the layer DAG before wiring cross-module includes",
+              false,
+              {}});
+        } else if (tr->second >= fr->second) {
+          out.push_back(Finding{
+              "A001", path, inc.line,
+              "architecture-layering violation: module '" + fmod +
+                  "' (layer " + std::to_string(fr->second) +
+                  ") includes \"" + inc.target + "\" from module '" + tmod +
+                  "' (layer " + std::to_string(tr->second) +
+                  "); dependencies must point strictly down the DAG in "
+                  "tools/holms_lint/layers.json",
+              false,
+              {}});
+        }
+      }
+    }
+  }
+
+  // --- A002: include cycles (one finding per SCC, at its first file) ---
+  for (const std::vector<int>& scc : g.sccs) {
+    std::string members;
+    for (int v : scc) {
+      if (!members.empty()) members += " -> ";
+      members += g.files[static_cast<std::size_t>(v)];
+    }
+    const std::string& anchor = g.files[static_cast<std::size_t>(scc[0])];
+    std::size_t line = 1;
+    const SourceFile* f = by_path.at(anchor);
+    for (const IncludeDirective& inc : f->includes) {
+      // Anchor at the first include that participates in the cycle.
+      for (int target : IncludeResolver(g.files).resolve(anchor, inc.target)) {
+        if (std::binary_search(scc.begin(), scc.end(), target)) {
+          line = inc.line;
+          break;
+        }
+      }
+      if (line != 1) break;
+    }
+    out.push_back(Finding{
+        "A002", anchor, line,
+        "include cycle: " + members + " -> " + anchor +
+            "; break the strongly-connected component (forward-declare or "
+            "split the shared types into a lower-layer header)",
+        false,
+        {}});
+  }
+
+  // --- D007: interprocedural determinism escape ---
+  {
+    static const char* kEscapeRules[] = {"D001", "D002", "D005"};
+    static const std::map<std::string, std::string> kPrimitiveKind = {
+        {"D001", "banned randomness"},
+        {"D002", "wall-clock read"},
+        {"D005", "blocking primitive"}};
+
+    // Function lookup per file, and the boundary set.
+    std::map<std::string, std::vector<int>> fns_of_file;
+    for (std::size_t i = 0; i < g.functions.size(); ++i) {
+      fns_of_file[g.functions[i].file].push_back(static_cast<int>(i));
+    }
+    std::vector<bool> is_boundary(g.functions.size(), false);
+    std::vector<bool> is_library(g.functions.size(), false);
+    for (std::size_t i = 0; i < g.functions.size(); ++i) {
+      const std::string rel = src_relative(g.functions[i].file);
+      is_library[i] = !rel.empty();
+      is_boundary[i] =
+          !rel.empty() && matches_prefix_of(rel, layers.escape_boundaries);
+    }
+    auto enclosing = [&](const std::string& file, std::size_t line) -> int {
+      auto it = fns_of_file.find(file);
+      if (it == fns_of_file.end()) return -1;
+      int best = -1;
+      for (int idx : it->second) {
+        const FunctionDef& d = g.functions[static_cast<std::size_t>(idx)];
+        if (d.line <= line && line <= d.body_end) best = idx;  // innermost
+      }
+      return best;
+    };
+
+    // Reverse adjacency restricted to library functions.
+    std::vector<std::vector<int>> callers_of(g.functions.size());
+    for (const auto& [caller, callee] : g.call_edges) {
+      if (is_library[static_cast<std::size_t>(caller)]) {
+        callers_of[static_cast<std::size_t>(callee)].push_back(caller);
+      }
+    }
+
+    for (const char* rule : kEscapeRules) {
+      std::vector<std::string> homes;
+      auto hit = layers.rule_homes.find(rule);
+      if (hit != layers.rule_homes.end()) homes = hit->second;
+
+      // Sources: primitive findings (suppressed or not) outside the rule's
+      // sanctioned home, mapped to their enclosing function.
+      struct Site {
+        std::string file;
+        std::size_t line;
+      };
+      std::map<int, Site> source_site;  // fn -> first primitive site
+      for (const Finding& fd : per_file) {
+        if (fd.rule != rule) continue;
+        const std::string rel = src_relative(fd.file);
+        if (rel.empty() || matches_prefix_of(rel, homes)) continue;
+        const int fn = enclosing(fd.file, fd.line);
+        if (fn < 0 || is_boundary[static_cast<std::size_t>(fn)]) continue;
+        source_site.emplace(fn, Site{fd.file, fd.line});
+      }
+      if (source_site.empty()) continue;
+
+      // BFS up the call graph; parent[fn] = callee the taint arrived from
+      // (-1 for sources).  Deterministic: sources and caller lists sorted.
+      std::map<int, int> parent;
+      std::deque<int> queue;
+      for (const auto& [fn, site] : source_site) {
+        parent[fn] = -1;
+        queue.push_back(fn);
+      }
+      for (auto& cs : callers_of) std::sort(cs.begin(), cs.end());
+      while (!queue.empty()) {
+        const int fn = queue.front();
+        queue.pop_front();
+        for (int caller : callers_of[static_cast<std::size_t>(fn)]) {
+          if (parent.count(caller) > 0 ||
+              is_boundary[static_cast<std::size_t>(caller)]) {
+            continue;
+          }
+          parent[caller] = fn;
+          queue.push_back(caller);
+        }
+      }
+
+      // Report at roots: tainted non-source functions with no tainted
+      // caller (mutually-recursive dead cycles have no root and stay
+      // silent — DESIGN.md §5k).
+      for (const auto& [fn, par] : parent) {
+        if (par < 0) continue;  // the source itself: the per-file rule's job
+        bool has_tainted_caller = false;
+        for (int caller : callers_of[static_cast<std::size_t>(fn)]) {
+          if (parent.count(caller) > 0) {
+            has_tainted_caller = true;
+            break;
+          }
+        }
+        if (has_tainted_caller) continue;
+        std::string chain;
+        int walk = fn;
+        while (walk >= 0) {
+          if (!chain.empty()) chain += " -> ";
+          chain += g.functions[static_cast<std::size_t>(walk)].qualified;
+          walk = parent.at(walk);
+        }
+        const Site& site = source_site.at([&] {
+          int leaf = fn;
+          while (parent.at(leaf) >= 0) leaf = parent.at(leaf);
+          return leaf;
+        }());
+        const FunctionDef& root = g.functions[static_cast<std::size_t>(fn)];
+        out.push_back(Finding{
+            "D007", root.file, root.line,
+            "interprocedural determinism escape: '" + root.qualified +
+                "' reaches a " + kPrimitiveKind.at(rule) + " (" + rule +
+                ") at " + site.file + ":" + std::to_string(site.line) +
+                " via " + chain +
+                "; route through the sanctioned module or carry a reviewed "
+                "HOLMS_LINT_ALLOW(D007)",
+            false,
+            {}});
+      }
+    }
+  }
+
+  // Apply suppressions to the graph findings (A-rules and D007 are
+  // suppressible like any other rule; X002 below is not).
+  for (Finding& fd : out) {
+    auto it = by_path.find(fd.file);
+    if (it == by_path.end()) continue;
+    for (const Suppression& s : it->second->suppressions) {
+      if (s.malformed || s.rule != fd.rule) continue;
+      if (s.file_level || s.anchor_line == fd.line) {
+        fd.suppressed = true;
+        fd.suppress_reason = s.reason;
+        break;
+      }
+    }
+  }
+
+  // --- X002: stale suppressions ---
+  // A well-formed HOLMS_LINT_ALLOW[_FILE] must still match at least one
+  // finding (per-file or graph).  The one it matched is suppressed, so the
+  // check is: does any suppressed finding of that rule anchor to it?
+  {
+    auto used = [&](const SourceFile& f, const Suppression& s) {
+      auto matches = [&](const Finding& fd) {
+        return fd.suppressed && fd.file == f.path && fd.rule == s.rule &&
+               (s.file_level || fd.line == s.anchor_line);
+      };
+      for (const Finding& fd : per_file) {
+        if (matches(fd)) return true;
+      }
+      for (const Finding& fd : out) {
+        if (matches(fd)) return true;
+      }
+      return false;
+    };
+    for (const std::string& path : g.files) {
+      const SourceFile* f = by_path.at(path);
+      for (const Suppression& s : f->suppressions) {
+        if (s.malformed || used(*f, s)) continue;
+        out.push_back(Finding{
+            "X002", path, s.comment_line,
+            std::string("stale suppression: HOLMS_LINT_ALLOW") +
+                (s.file_level ? "_FILE" : "") + "(" + s.rule +
+                ") matches no finding on its line any more; delete it so "
+                "the suppression inventory stays honest",
+            false,
+            {}});
+      }
+    }
+  }
+
+  // Deterministic order: by (file, line, rule, message).
+  std::sort(out.begin(), out.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return out;
+}
+
+// ---- LINT_graph.json -------------------------------------------------------
+
+GraphDump make_graph_dump(
+    const ProgramGraph& g, const LayerConfig& layers,
+    const std::map<std::string, std::size_t>& rule_counts) {
+  GraphDump d;
+  d.layers = layers.layers;
+  d.paths = g.files;
+  d.modules = g.modules;
+  d.ranks.reserve(g.files.size());
+  for (const std::string& m : g.modules) {
+    auto it = layers.rank.find(m);
+    d.ranks.push_back(it == layers.rank.end() ? -1 : it->second);
+  }
+  d.include_edges = g.include_edges;
+  d.sccs = g.sccs;
+  d.functions = g.functions.size();
+  d.call_edges = g.call_edges.size();
+  d.rule_counts = rule_counts;
+  return d;
+}
+
+std::uint64_t graph_fingerprint(const GraphDump& d) {
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix_byte = [&](unsigned char c) {
+    h ^= c;
+    h *= 1099511628211ull;
+  };
+  auto mix_str = [&](const std::string& s) {
+    for (char c : s) mix_byte(static_cast<unsigned char>(c));
+    mix_byte(0xff);
+  };
+  auto mix_num = [&](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) mix_byte((v >> (8 * b)) & 0xff);
+  };
+  mix_str("layers");
+  for (const auto& band : d.layers) {
+    mix_num(band.size());
+    for (const std::string& m : band) mix_str(m);
+  }
+  mix_str("nodes");
+  mix_num(d.paths.size());
+  for (std::size_t i = 0; i < d.paths.size(); ++i) {
+    mix_str(d.paths[i]);
+    mix_str(i < d.modules.size() ? d.modules[i] : "");
+    mix_num(static_cast<std::uint64_t>(
+        i < d.ranks.size() ? d.ranks[i] + 1 : 0));
+  }
+  mix_str("include_edges");
+  mix_num(d.include_edges.size());
+  for (const auto& [a, b] : d.include_edges) {
+    mix_num(static_cast<std::uint64_t>(a));
+    mix_num(static_cast<std::uint64_t>(b));
+  }
+  mix_str("sccs");
+  mix_num(d.sccs.size());
+  for (const auto& scc : d.sccs) {
+    mix_num(scc.size());
+    for (int v : scc) mix_num(static_cast<std::uint64_t>(v));
+  }
+  mix_str("calls");
+  mix_num(d.functions);
+  mix_num(d.call_edges);
+  mix_str("rules");
+  for (const auto& [rule, count] : d.rule_counts) {
+    mix_str(rule);
+    mix_num(count);
+  }
+  return h;
+}
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string graph_to_json(const GraphDump& d) {
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"holms_lint_graph\",\n  \"version\": 1,\n";
+  os << "  \"fingerprint\": \"" << hex64(graph_fingerprint(d)) << "\",\n";
+  os << "  \"layers\": [";
+  for (std::size_t i = 0; i < d.layers.size(); ++i) {
+    os << (i ? ", [" : "[");
+    for (std::size_t j = 0; j < d.layers[i].size(); ++j) {
+      os << (j ? ", " : "") << '"' << json_escape(d.layers[i][j]) << '"';
+    }
+    os << "]";
+  }
+  os << "],\n  \"nodes\": [";
+  for (std::size_t i = 0; i < d.paths.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << "{\"path\": \""
+       << json_escape(d.paths[i]) << "\", \"module\": \""
+       << json_escape(i < d.modules.size() ? d.modules[i] : "")
+       << "\", \"rank\": " << (i < d.ranks.size() ? d.ranks[i] : -1) << "}";
+  }
+  os << (d.paths.empty() ? "]" : "\n  ]") << ",\n  \"include_edges\": [";
+  for (std::size_t i = 0; i < d.include_edges.size(); ++i) {
+    os << (i ? ", " : "") << "[" << d.include_edges[i].first << ", "
+       << d.include_edges[i].second << "]";
+  }
+  os << "],\n  \"sccs\": [";
+  for (std::size_t i = 0; i < d.sccs.size(); ++i) {
+    os << (i ? ", [" : "[");
+    for (std::size_t j = 0; j < d.sccs[i].size(); ++j) {
+      os << (j ? ", " : "") << d.sccs[i][j];
+    }
+    os << "]";
+  }
+  os << "],\n  \"functions\": " << d.functions
+     << ",\n  \"call_edges\": " << d.call_edges << ",\n  \"rule_counts\": {";
+  bool first = true;
+  for (const auto& [rule, count] : d.rule_counts) {
+    os << (first ? "" : ", ") << '"' << rule << "\": " << count;
+    first = false;
+  }
+  os << "}\n}\n";
+  return os.str();
+}
+
+GraphDump parse_graph_json(const std::string& text,
+                           std::string* stored_fingerprint) {
+  Jv root = parse_json(text);
+  if (root.kind != Jv::kObj) {
+    throw std::runtime_error("graph json: not an object");
+  }
+  auto require = [&](const char* key) -> const Jv& {
+    const Jv* v = root.find(key);
+    if (v == nullptr) {
+      throw std::runtime_error(std::string("graph json: missing \"") + key +
+                               "\"");
+    }
+    return *v;
+  };
+  if (stored_fingerprint != nullptr) {
+    *stored_fingerprint = require("fingerprint").str;
+  }
+  GraphDump d;
+  for (const Jv& band : require("layers").arr) {
+    std::vector<std::string> modules;
+    for (const Jv& m : band.arr) modules.push_back(m.str);
+    d.layers.push_back(std::move(modules));
+  }
+  for (const Jv& node : require("nodes").arr) {
+    const Jv* path = node.find("path");
+    const Jv* module = node.find("module");
+    const Jv* rank = node.find("rank");
+    if (path == nullptr || module == nullptr || rank == nullptr) {
+      throw std::runtime_error("graph json: malformed node");
+    }
+    d.paths.push_back(path->str);
+    d.modules.push_back(module->str);
+    d.ranks.push_back(static_cast<int>(rank->num));
+  }
+  for (const Jv& e : require("include_edges").arr) {
+    if (e.arr.size() != 2) {
+      throw std::runtime_error("graph json: malformed include edge");
+    }
+    d.include_edges.emplace_back(static_cast<int>(e.arr[0].num),
+                                 static_cast<int>(e.arr[1].num));
+  }
+  for (const Jv& scc : require("sccs").arr) {
+    std::vector<int> members;
+    for (const Jv& v : scc.arr) members.push_back(static_cast<int>(v.num));
+    d.sccs.push_back(std::move(members));
+  }
+  d.functions = static_cast<std::size_t>(require("functions").num);
+  d.call_edges = static_cast<std::size_t>(require("call_edges").num);
+  for (const auto& [rule, count] : require("rule_counts").obj) {
+    d.rule_counts[rule] = static_cast<std::size_t>(count.num);
+  }
+  return d;
+}
+
+}  // namespace holms::lint

@@ -129,11 +129,15 @@ SourceFile lex(std::string path, const std::string& content, FileKind kind) {
     // Preprocessor logical line (only at start of line, possibly indented —
     // last_token_line check is unnecessary: '#' is not a token we emit).
     if (c == '#') {
+      const std::size_t directive_line = line;
       std::size_t end = i;
       std::string directive;
       while (end < n) {
         if (content[end] == '\n') {
-          if (end > 0 && content[end - 1] == '\\') {
+          // Backslash continuation, tolerating CRLF ("\\\r\n").
+          std::size_t back = end;
+          if (back > 0 && content[back - 1] == '\r') --back;
+          if (back > 0 && content[back - 1] == '\\') {
             ++line;
             ++end;
             continue;
@@ -147,25 +151,77 @@ SourceFile lex(std::string path, const std::string& content, FileKind kind) {
           directive.find("once") != std::string::npos) {
         out.has_pragma_once = true;
       }
+      // Record quoted includes for the whole-program pass (graph.hpp).
+      // System includes (<...>) carry no architecture information.
+      {
+        std::size_t p = 1;  // past '#'
+        while (p < directive.size() &&
+               (directive[p] == ' ' || directive[p] == '\t')) {
+          ++p;
+        }
+        if (directive.compare(p, 7, "include") == 0) {
+          const std::size_t open = directive.find('"', p + 7);
+          if (open != std::string::npos) {
+            const std::size_t close = directive.find('"', open + 1);
+            if (close != std::string::npos && close > open + 1) {
+              out.includes.push_back(IncludeDirective{
+                  directive.substr(open + 1, close - open - 1),
+                  directive_line});
+            }
+          }
+        }
+      }
       i = end;
       continue;
     }
-    // Raw string literal R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
-      std::size_t p = i + 2;
-      std::string delim;
-      while (p < n && content[p] != '(') delim.push_back(content[p++]);
-      const std::string closer = ")" + delim + "\"";
-      std::size_t end = content.find(closer, p);
-      if (end == std::string::npos) end = n;
-      line += static_cast<std::size_t>(
-          std::count(content.begin() + static_cast<std::ptrdiff_t>(i),
-                     content.begin() + static_cast<std::ptrdiff_t>(
-                                           std::min(end, n)),
-                     '\n'));
-      push(Token::kString, "<raw-string>");
-      i = std::min(end + closer.size(), n);
-      continue;
+    // Raw string literal R"delim( ... )delim", with optional encoding prefix
+    // (u8R, uR, UR, LR).  Handled before the identifier branch so the prefix
+    // doesn't get lexed as an ident and the body as code.
+    {
+      std::size_t raw_r = std::string::npos;  // index of the 'R'
+      if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+        raw_r = i;
+      } else if ((c == 'u' || c == 'U' || c == 'L') && i + 2 < n) {
+        std::size_t r = i + 1;
+        if (c == 'u' && content[r] == '8') ++r;  // u8R"..."
+        if (r + 1 < n && content[r] == 'R' && content[r + 1] == '"') raw_r = r;
+      }
+      if (raw_r != std::string::npos) {
+        std::size_t p = raw_r + 2;
+        std::string delim;
+        while (p < n && content[p] != '(') delim.push_back(content[p++]);
+        const std::string closer = ")" + delim + "\"";
+        std::size_t end = content.find(closer, p);
+        if (end == std::string::npos) end = n;
+        line += static_cast<std::size_t>(
+            std::count(content.begin() + static_cast<std::ptrdiff_t>(i),
+                       content.begin() + static_cast<std::ptrdiff_t>(
+                                             std::min(end, n)),
+                       '\n'));
+        push(Token::kString, "<raw-string>");
+        i = std::min(end + closer.size(), n);
+        continue;
+      }
+    }
+    // Encoding-prefixed ordinary literal (u8"...", u'.', U"...", L"...").
+    // Skip the prefix; the string/char branch below consumes the body.
+    if ((c == 'u' || c == 'U' || c == 'L') && i + 1 < n) {
+      std::size_t q = i + 1;
+      if (c == 'u' && content[q] == '8' && q + 1 < n) ++q;
+      if (content[q] == '"' || content[q] == '\'') {
+        i = q;
+        // fall through to the literal branch via the loop: re-dispatch
+        const char quote = content[i];
+        std::size_t p = i + 1;
+        while (p < n && content[p] != quote) {
+          if (content[p] == '\\' && p + 1 < n) ++p;
+          if (content[p] == '\n') ++line;
+          ++p;
+        }
+        push(Token::kString, quote == '"' ? "<string>" : "<char>");
+        i = p + 1;
+        continue;
+      }
     }
     // String / char literal.
     if (c == '"' || c == '\'') {

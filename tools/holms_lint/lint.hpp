@@ -28,6 +28,16 @@
 //
 //   X-rules (lint hygiene)
 //     X001  malformed suppression: unknown rule id or missing reason
+//     X002  stale suppression: a well-formed HOLMS_LINT_ALLOW that no
+//           finding matches any more (graph pass, see graph.hpp)
+//
+//   A-rules + D007 (whole-program, PR 9 — see graph.hpp)
+//     A001  architecture-layering violation (include edge against the layer
+//           DAG in tools/holms_lint/layers.json, or into another module's
+//           non-public header)
+//     A002  include cycle (SCC over the header include graph)
+//     D007  interprocedural determinism escape (transitive reach of a
+//           D001/D002/D005 primitive, flagged at the outermost frame)
 //
 // Suppression: `// HOLMS_LINT_ALLOW(rule-id): reason` on the offending line,
 // or alone on the line directly above it.  `HOLMS_LINT_ALLOW_FILE(rule-id):
@@ -66,6 +76,13 @@ struct Token {
   std::size_t line = 0;
 };
 
+/// One `#include "..."` directive (quoted form only — system includes carry
+/// no architecture information).  Raw target text, as written.
+struct IncludeDirective {
+  std::string target;
+  std::size_t line = 0;
+};
+
 struct Suppression {
   std::string rule;
   std::string reason;
@@ -82,6 +99,7 @@ struct SourceFile {
   std::vector<Token> tokens;
   std::vector<std::string> lines;  // raw source lines, 1-based via line-1
   std::vector<Suppression> suppressions;
+  std::vector<IncludeDirective> includes;  // quoted includes, in file order
   bool has_pragma_once = false;
 
   bool is_header() const {
@@ -143,8 +161,28 @@ std::vector<Finding> subtract_baseline(
     const std::vector<Finding>& findings,
     const std::map<std::string, const SourceFile*>& files, const Baseline& base);
 
-/// Machine-readable report (LINT_report.json).
+/// Drops baseline keys whose file component is not among `existing_files`
+/// (linted this run), so --write-baseline output never carries entries for
+/// deleted or renamed files.  Returns the pruned baseline; appends the
+/// dropped keys to `dropped` when non-null.  std::map keeps the survivors
+/// canonically sorted.
+Baseline prune_baseline(const Baseline& base,
+                        const std::map<std::string, const SourceFile*>& files,
+                        std::vector<std::string>* dropped = nullptr);
+
+/// Analyzer cost counters surfaced in LINT_report.json (and from there in
+/// bench/history.jsonl via check_thresholds.py --append-history).
+struct ReportStats {
+  std::size_t files = 0;
+  double lint_ms = 0.0;   // lex + per-file rules
+  double graph_ms = 0.0;  // whole-program index + graph rules
+};
+
+/// Machine-readable report (LINT_report.json).  `all` holds every finding
+/// including the graph pack's; graph_rules_findings / stale_suppressions are
+/// derived here so check_thresholds.py can gate them.
 std::string report_to_json(const std::vector<Finding>& all,
-                           const std::vector<Finding>& fresh, bool strict);
+                           const std::vector<Finding>& fresh, bool strict,
+                           const ReportStats& stats = {});
 
 }  // namespace holms::lint

@@ -8,7 +8,13 @@
 //                          explicit, reviewed annotations)
 //   --json FILE            write the machine-readable report (default
 //                          LINT_report.json; "-" disables)
+//   --layers FILE          layer DAG for the A001 rule (default:
+//                          tools/holms_lint/layers.json when present)
+//   --graph-dump FILE      write the whole-program index (LINT_graph.json:
+//                          nodes, edges, layer ranks, SCCs, rule counts)
 //   --write-baseline FILE  regenerate a baseline from the current findings
+//                          (canonically sorted; entries whose file is gone
+//                          are dropped and reported)
 //   --list-rules           print the rule catalogue and exit
 //   --quiet                summary only, no per-finding lines
 //
@@ -16,6 +22,7 @@
 // 2 usage / IO error.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -25,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "graph.hpp"
 #include "lint.hpp"
 
 namespace fs = std::filesystem;
@@ -82,6 +90,8 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string json_path = "LINT_report.json";
   std::string write_baseline_path;
+  std::string layers_path;  // empty -> probe the default location
+  std::string graph_dump_path;
   bool strict = false, quiet = false;
 
   for (int a = 1; a < argc; ++a) {
@@ -103,6 +113,10 @@ int main(int argc, char** argv) {
       json_path = need_value("--json");
     } else if (arg == "--write-baseline") {
       write_baseline_path = need_value("--write-baseline");
+    } else if (arg == "--layers") {
+      layers_path = need_value("--layers");
+    } else if (arg == "--graph-dump") {
+      graph_dump_path = need_value("--graph-dump");
     } else if (arg == "--list-rules") {
       for (const RuleInfo& r : rule_catalogue()) {
         std::printf("%s  %s\n", r.id, r.summary);
@@ -111,6 +125,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: holms_lint [--strict] [--baseline FILE] [--json FILE]\n"
+          "                  [--layers FILE] [--graph-dump FILE]\n"
           "                  [--write-baseline FILE] [--list-rules]\n"
           "                  [--quiet] <path>...\n");
       return 0;
@@ -138,6 +153,12 @@ int main(int argc, char** argv) {
   std::sort(paths.begin(), paths.end());
   paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
+  using clock = std::chrono::steady_clock;
+  const auto ms_between = [](clock::time_point a, clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+
+  const auto t_lint0 = clock::now();
   std::vector<SourceFile> sources;
   sources.reserve(paths.size());
   std::vector<Finding> findings;
@@ -154,9 +175,74 @@ int main(int argc, char** argv) {
   }
   std::map<std::string, const SourceFile*> by_path;
   for (const SourceFile& s : sources) by_path[s.path] = &s;
+  const auto t_lint1 = clock::now();
+
+  // Whole-program pass: layer config, include/call graph, graph rule pack.
+  LayerConfig layers;
+  {
+    std::string path = layers_path;
+    const bool required = !path.empty();
+    if (path.empty() && fs::exists("tools/holms_lint/layers.json")) {
+      path = "tools/holms_lint/layers.json";
+    }
+    if (!path.empty()) {
+      try {
+        if (!load_layers_file(path, layers) && required) {
+          std::cerr << "holms_lint: cannot read layers file " << path << "\n";
+          return 2;
+        }
+      } catch (const std::exception& e) {
+        std::cerr << "holms_lint: " << path << ": " << e.what() << "\n";
+        return 2;
+      }
+    }
+  }
+  const ProgramGraph graph = build_graph(sources);
+  {
+    const std::vector<Finding> graph_findings =
+        run_graph_rules(sources, graph, layers, findings);
+    findings.insert(findings.end(), graph_findings.begin(),
+                    graph_findings.end());
+  }
+  const auto t_graph1 = clock::now();
+
+  ReportStats stats;
+  stats.files = paths.size();
+  stats.lint_ms = ms_between(t_lint0, t_lint1);
+  stats.graph_ms = ms_between(t_lint1, t_graph1);
+
+  if (!graph_dump_path.empty()) {
+    std::map<std::string, std::size_t> rule_counts;
+    for (const Finding& f : findings) {
+      if (!f.suppressed) ++rule_counts[f.rule];
+    }
+    const GraphDump dump = make_graph_dump(graph, layers, rule_counts);
+    std::ofstream out(graph_dump_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "holms_lint: cannot write " << graph_dump_path << "\n";
+      return 2;
+    }
+    out << graph_to_json(dump);
+  }
 
   if (!write_baseline_path.empty()) {
-    const Baseline b = make_baseline(findings, by_path);
+    // Regenerate from scratch (std::map keeps entries canonically sorted),
+    // prune anything keyed to a file outside this run, and report entries
+    // from the previous baseline that disappear — keeps diffs reviewable.
+    std::vector<std::string> dropped;
+    const Baseline b =
+        prune_baseline(make_baseline(findings, by_path), by_path, &dropped);
+    {
+      bool ok = true;
+      const std::string old_text = read_file(write_baseline_path, ok);
+      if (ok) {
+        try {
+          prune_baseline(parse_baseline_json(old_text), by_path, &dropped);
+        } catch (const std::exception&) {
+          // Unreadable previous baseline: nothing to report dropping.
+        }
+      }
+    }
     std::ofstream out(write_baseline_path, std::ios::binary);
     if (!out) {
       std::cerr << "holms_lint: cannot write " << write_baseline_path << "\n";
@@ -165,6 +251,10 @@ int main(int argc, char** argv) {
     out << baseline_to_json(b);
     std::printf("holms_lint: wrote %zu baseline entr%s to %s\n", b.size(),
                 b.size() == 1 ? "y" : "ies", write_baseline_path.c_str());
+    for (const std::string& key : dropped) {
+      std::printf("holms_lint: dropped stale baseline entry: %s\n",
+                  key.c_str());
+    }
     return 0;
   }
 
@@ -215,7 +305,7 @@ int main(int argc, char** argv) {
       std::cerr << "holms_lint: cannot write " << json_path << "\n";
       return 2;
     }
-    out << report_to_json(findings, fresh, strict);
+    out << report_to_json(findings, fresh, strict, stats);
   }
 
   std::printf(

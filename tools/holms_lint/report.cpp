@@ -165,21 +165,72 @@ std::vector<Finding> subtract_baseline(
   return fresh;
 }
 
+Baseline prune_baseline(const Baseline& base,
+                        const std::map<std::string, const SourceFile*>& files,
+                        std::vector<std::string>* dropped) {
+  Baseline pruned;
+  for (const auto& [key, count] : base) {
+    // key = rule|file|normalized-line; the file component is everything
+    // between the first and last '|' (paths never contain '|').
+    const std::size_t first = key.find('|');
+    const std::size_t last = key.rfind('|');
+    bool keep = false;
+    if (first != std::string::npos && last != std::string::npos &&
+        last > first) {
+      keep = files.count(key.substr(first + 1, last - first - 1)) > 0;
+    }
+    if (keep) {
+      pruned[key] = count;
+    } else if (dropped != nullptr) {
+      dropped->push_back(key);
+    }
+  }
+  return pruned;
+}
+
+namespace {
+
+std::string ms_fixed(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
 std::string report_to_json(const std::vector<Finding>& all,
-                           const std::vector<Finding>& fresh, bool strict) {
+                           const std::vector<Finding>& fresh, bool strict,
+                           const ReportStats& stats) {
   std::size_t suppressed = 0;
+  std::size_t graph_rules = 0;
+  std::size_t stale = 0;
   std::map<std::string, std::size_t> by_rule;
   for (const Finding& f : all) {
     if (f.suppressed) {
       ++suppressed;
     } else {
       ++by_rule[f.rule];
+      if (f.rule == "A001" || f.rule == "A002" || f.rule == "D007") {
+        ++graph_rules;
+      }
+      if (f.rule == "X002") ++stale;
     }
   }
+  const double total_ms = stats.lint_ms + stats.graph_ms;
+  const double files_per_s =
+      total_ms > 0.0 ? static_cast<double>(stats.files) / (total_ms / 1000.0)
+                     : 0.0;
   std::ostringstream os;
-  os << "{\n  \"tool\": \"holms_lint\",\n  \"version\": 1,\n  \"strict\": "
-     << (strict ? "true" : "false") << ",\n  \"total_findings\": "
+  os << "{\n  \"name\": \"lint\",\n  \"tool\": \"holms_lint\",\n"
+     << "  \"version\": 2,\n  \"strict\": "
+     << (strict ? "true" : "false") << ",\n  \"files\": " << stats.files
+     << ",\n  \"lint_ms\": " << ms_fixed(stats.lint_ms)
+     << ",\n  \"graph_build_ms\": " << ms_fixed(stats.graph_ms)
+     << ",\n  \"files_per_s\": " << ms_fixed(files_per_s)
+     << ",\n  \"total_findings\": "
      << (all.size() - suppressed) << ",\n  \"suppressed\": " << suppressed
+     << ",\n  \"graph_rules_findings\": " << graph_rules
+     << ",\n  \"stale_suppressions\": " << stale
      << ",\n  \"new_findings\": " << fresh.size() << ",\n  \"by_rule\": {";
   bool first = true;
   for (const auto& [rule, count] : by_rule) {

@@ -619,6 +619,10 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"C004", "header without #pragma once"},
       {"H001", "direct console output in library code"},
       {"X001", "malformed HOLMS_LINT_ALLOW (unknown rule or missing reason)"},
+      {"X002", "stale HOLMS_LINT_ALLOW that no finding matches any more"},
+      {"A001", "architecture-layering violation (include against layers.json)"},
+      {"A002", "include cycle (SCC over the header include graph)"},
+      {"D007", "interprocedural determinism escape (transitive D001/D002/D005)"},
   };
   return kRules;
 }
