@@ -1,17 +1,20 @@
-// EP — parallel design-space exploration (ISSUE 1): serial vs parallel
-// explore() on the holms::exec thread pool, with the determinism contract
-// checked on every run (threads=N must reproduce threads=1 bitwise).
-//
-// The ISSUE names a "6x6 mesh, 64-task app"; mappings are injective (one
-// core per tile), so 64 tasks need an 8x8 mesh — we run the 6x6 mesh at its
-// injective capacity-half (32 tasks) and the 64-task app on 8x8.
+// EP — parallel design-space exploration: serial vs parallel explore() on
+// the holms::exec thread pool (ISSUE 1), plus the island-model sections
+// (ISSUE 10): K-island convergence scaling on a 32x32 surveillance farm,
+// checkpoint/resume identity, thread-count invariance, and the
+// cluster-relocate vs swap-only move-mix verdict at scale.  Determinism is
+// checked on every run: threads=N must reproduce threads=1 bitwise, and a
+// resumed island run must reproduce the uninterrupted one bitwise.
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/explorer.hpp"
+#include "core/islands.hpp"
 #include "noc/taskgraph.hpp"
+#include "noc/topology.hpp"
 
 using namespace holms::core;
 using holms::sim::Rng;
@@ -69,11 +72,93 @@ RunStats run_case(const char* name, std::size_t tasks, std::size_t mesh_w,
   return st;
 }
 
+// ---- island scaling on the 32x32 surveillance farm -------------------------
+
+Application farm_app() {
+  Application app;
+  app.name = "surveillance-farm";
+  app.graph = holms::noc::surveillance_farm_graph(46);  // 202 tasks
+  app.qos.period_s = 1.0;
+  return app;
+}
+
+/// 32x32 platform in the regime the NoC mapping literature studies.  Two
+/// deliberate departures from the stock homogeneous() numbers:
+///  * per-flit energies x100 (a deep-submicron wire-dominated design point):
+///    on a homogeneous mesh the compute term is mapping-invariant, so with
+///    stock coefficients every mapping prices within ~2% and the sweep would
+///    measure noise — scaled, communication is the majority term;
+///  * link bandwidth cut to 240 Mbps, ~60% of the greedy mapping's busiest
+///    link (402 Mbps).  The greedy packing funnels all 46 camera chains into
+///    the aggregation tiles and saturates the links around them, so greedy
+///    is *infeasible* here and the mapper has to spread traffic to get a
+///    design at all.  That is what makes the search problem real: on an
+///    unconstrained mesh the greedy seed is already swap-optimal (measured:
+///    300k SA moves never improve it) and every explorer just returns it.
+Platform farm_platform() {
+  Platform plat = Platform::homogeneous(32, 32);
+  plat.noc_energy.e_router_pj *= 100.0;
+  plat.noc_energy.e_link_pj *= 100.0;
+  plat.noc_energy.e_buffer_pj *= 100.0;
+  plat.link_bandwidth_bps = 2.4e8;
+  return plat;
+}
+
+struct IslandRun {
+  std::vector<std::pair<std::uint64_t, double>> trajectory;
+  double final_energy = 0.0;
+  std::uint64_t evaluated = 0;
+  bool found = false;
+  double wall_s = 0.0;
+};
+
+IslandRun run_islands(const Application& app, const Platform& plat,
+                      const holms::noc::XyRouteTable& routes,
+                      std::size_t islands, std::size_t epochs,
+                      std::size_t sa_iters, std::size_t threads) {
+  IslandOptions opts;
+  opts.islands = islands;
+  opts.epochs = epochs;
+  opts.sa.iterations = sa_iters;
+  // Refinement regime: the default T0 (1.0 x initial cost) randomizes a good
+  // incumbent away; 0.02 keeps the chain near it while still crossing small
+  // barriers.  The cluster move is what lets a chain drain a saturated
+  // aggregation link in one step (see the move-mix verdict below).
+  opts.sa.initial_temperature = 0.02;
+  opts.sa.w_cluster_relocate = 0.3;
+  opts.sa.routes = &routes;
+  opts.threads = threads;
+  Rng rng(42);
+  const auto t0 = std::chrono::steady_clock::now();
+  IslandExplorer ex(app, plat, rng, opts);
+  while (ex.step()) {
+  }
+  IslandRun run;
+  run.trajectory = ex.trajectory();
+  const ExploreResult res = ex.result();
+  run.final_energy = res.best.eval.total_energy_j;
+  run.evaluated = res.evaluated;
+  run.found = res.found_feasible;
+  run.wall_s = seconds_since(t0);
+  return run;
+}
+
+/// 1-based epoch at which the run's best feasible energy reached `target`
+/// (0 if it never did).  Both runs are fully seeded, so the comparison is
+/// deterministic — no wall clock involved.
+std::size_t epochs_to_target(const IslandRun& run, double target) {
+  for (std::size_t e = 0; e < run.trajectory.size(); ++e) {
+    if (run.trajectory[e].second <= target) return e + 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main() {
   holms::bench::BenchReport report("explore_parallel");
-  holms::bench::title("EP", "Parallel DSE: holms::exec speedup + determinism");
+  holms::bench::title("EP", "Parallel DSE: exec speedup, island scaling, "
+                            "checkpoint/resume identity");
   const std::size_t hw = std::thread::hardware_concurrency();
   // At least 4 so the pool path is exercised (and determinism checked under
   // real interleaving) even on small machines; speedup obviously needs the
@@ -86,9 +171,180 @@ int main() {
                                   threads);
   const RunStats large = run_case("64-task app", 64, 8, 8, threads);
 
+  // ---- island scaling: K=4 vs K=1 at a fixed evaluation budget ------------
   holms::bench::rule();
-  holms::bench::note("expected shape: speedup -> thread count while restarts "
-                     ">= threads; identical must always be yes.");
+  holms::bench::note("island scaling: surveillance_farm_graph(46) = 202 "
+                     "tasks on a 32x32 mesh, K=4 x E epochs vs K=1 x 4E "
+                     "epochs (same SA budget per island per epoch)");
+  const Application farm = farm_app();
+  const Platform mesh32 = farm_platform();
+  // One shared route table (~90 MB at 32x32) for every island run and the
+  // move-mix sweep below.
+  const auto t_routes = std::chrono::steady_clock::now();
+  const holms::noc::XyRouteTable routes32(mesh32.mesh);
+  holms::bench::note("XyRouteTable(32x32) built in " +
+                     std::to_string(seconds_since(t_routes)) + " s");
+  const std::size_t kEpochs4 = 6;
+  const std::size_t kSaIters = 3000;
+  const IslandRun k4 =
+      run_islands(farm, mesh32, routes32, 4, kEpochs4, kSaIters, threads);
+  const IslandRun k1 =
+      run_islands(farm, mesh32, routes32, 1, 4 * kEpochs4, kSaIters, threads);
+
+  std::printf("  K=4 trajectory:");
+  for (const auto& [e, j] : k4.trajectory) {
+    std::printf("  %llu:%.4g", static_cast<unsigned long long>(e), j);
+  }
+  std::printf("\n  K=1 trajectory:");
+  for (const auto& [e, j] : k1.trajectory) {
+    std::printf("  %llu:%.4g", static_cast<unsigned long long>(e), j);
+  }
+  std::printf("\n");
+
+  // Machine-independent convergence metric: epochs needed to reach the
+  // weaker run's final best feasible energy.  An epoch is the wall-clock
+  // unit when islands run on parallel workers, and both runs burn the same
+  // per-island per-epoch SA budget, so this is time-to-target at fixed eval
+  // budget.  Both runs are seeded and bitwise deterministic, so the ratio is
+  // a constant of the code, not the host.  A run that never found a feasible
+  // design contributes no target (its best is an infeasible placeholder);
+  // if K=1 never reaches the target within its (4x longer) epoch budget,
+  // that budget is the conservative lower bound on its time-to-target.
+  double target = k4.final_energy;
+  if (k1.found && k1.final_energy > target) target = k1.final_energy;
+  const std::size_t k4_epochs = epochs_to_target(k4, target);
+  std::size_t k1_epochs = epochs_to_target(k1, target);
+  const bool k1_reached = k1_epochs > 0;
+  if (!k1_reached) k1_epochs = k1.trajectory.size();
+  const double convergence_speedup =
+      k4_epochs > 0 ? static_cast<double>(k1_epochs) /
+                          static_cast<double>(k4_epochs)
+                    : 0.0;
+  std::printf("  final: K=4 %.8g J (feasible %s), K=1 %.8g J (feasible %s), "
+              "budget %llu vs %llu evals, wall %.2fs vs %.2fs\n",
+              k4.final_energy, k4.found ? "yes" : "NO", k1.final_energy,
+              k1.found ? "yes" : "no",
+              static_cast<unsigned long long>(k4.evaluated),
+              static_cast<unsigned long long>(k1.evaluated), k4.wall_s,
+              k1.wall_s);
+  std::printf("  epochs to shared target %.8g J: K=1 %zu%s, K=4 %zu -> "
+              "convergence speedup %.2fx\n",
+              target, k1_epochs, k1_reached ? "" : " (never; budget bound)",
+              k4_epochs, convergence_speedup);
+
+  // ---- resume identity + thread invariance (8x8 island scenario) ----------
+  holms::bench::rule();
+  Application app8;
+  Rng graph_rng(17);
+  app8.graph = holms::noc::random_graph(64, graph_rng, 5e5);
+  app8.qos.period_s = 0.08;
+  const Platform plat8 = Platform::homogeneous(8, 8);
+  IslandOptions iopts;
+  iopts.islands = 4;
+  iopts.epochs = 4;
+  iopts.sa.iterations = 2000;
+
+  const auto island_fp = [&](std::size_t run_threads) {
+    IslandOptions opts = iopts;
+    opts.threads = run_threads;
+    Rng rng(42);
+    IslandExplorer ex(app8, plat8, rng, opts);
+    while (ex.step()) {
+    }
+    return ex.result_fingerprint();
+  };
+  const std::uint64_t fp_serial = island_fp(1);
+  const std::uint64_t fp_pool = island_fp(threads);
+  const bool thread_invariant = fp_serial == fp_pool;
+
+  std::uint64_t fp_resumed = 0;
+  {
+    IslandOptions opts = iopts;
+    opts.threads = threads;
+    Rng rng(42);
+    IslandExplorer part(app8, plat8, rng, opts);
+    part.step(2);
+    const std::vector<std::uint8_t> blob = part.checkpoint();
+    IslandExplorer resumed =
+        IslandExplorer::resume(app8, plat8, opts, blob);
+    resumed.step(2);
+    fp_resumed = resumed.result_fingerprint();
+  }
+  const bool resume_identity = fp_resumed == fp_serial;
+  holms::bench::note(std::string("island fingerprints: serial ") +
+                     std::to_string(fp_serial) + ", pool " +
+                     std::to_string(fp_pool) + ", resumed " +
+                     std::to_string(fp_resumed));
+  std::printf("  thread invariance %s, resume identity %s\n",
+              thread_invariant ? "yes" : "NO",
+              resume_identity ? "yes" : "NO");
+
+  // ---- move-mix verdict at 32x32: cluster-relocate vs swap-only -----------
+  holms::bench::rule();
+  holms::bench::note("SA move mix on the bandwidth-capped 32x32 farm (greedy "
+                     "start, 50000 iterations, 3 seeds): swap-only vs "
+                     "+cluster-relocate.  A seed is a win for the cluster mix "
+                     "if its design is feasible where swap-only's is not, or "
+                     "both match on feasibility and it prices lower.");
+  double swap_sum = 0.0, cluster_sum = 0.0;
+  std::size_t cluster_wins = 0, swap_feasible = 0, cluster_feasible = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    holms::noc::SaOptions swap_only;
+    swap_only.iterations = 50000;
+    swap_only.initial_temperature = 0.02;
+    swap_only.link_capacity_bps = mesh32.link_bandwidth_bps;
+    swap_only.routes = &routes32;
+    holms::noc::SaOptions cluster = swap_only;
+    cluster.w_cluster_relocate = 0.5;
+
+    Rng rs(seed), rc(seed);
+    const holms::noc::Mapping ms = holms::noc::sa_mapping(
+        farm.graph, mesh32.mesh, mesh32.noc_energy, rs, swap_only);
+    const holms::noc::Mapping mc = holms::noc::sa_mapping(
+        farm.graph, mesh32.mesh, mesh32.noc_energy, rc, cluster);
+    const Evaluation es = evaluate_design(farm, mesh32, ms, true);
+    const Evaluation ec = evaluate_design(farm, mesh32, mc, true);
+    const bool win = ec.feasible != es.feasible
+                         ? ec.feasible
+                         : ec.total_energy_j < es.total_energy_j;
+    std::printf("  seed %llu: swap-only %.6g J (feasible %s), +cluster %.6g "
+                "J (feasible %s) -> %s\n",
+                static_cast<unsigned long long>(seed), es.total_energy_j,
+                es.feasible ? "yes" : "no", ec.total_energy_j,
+                ec.feasible ? "yes" : "no",
+                win ? "cluster wins" : "swap holds");
+    swap_sum += es.total_energy_j;
+    cluster_sum += ec.total_energy_j;
+    if (win) ++cluster_wins;
+    if (es.feasible) ++swap_feasible;
+    if (ec.feasible) ++cluster_feasible;
+  }
+  const double swap_mean = swap_sum / 3.0;
+  const double cluster_mean = cluster_sum / 3.0;
+  std::printf("  feasible designs: swap-only %zu/3, +cluster-relocate %zu/3; "
+              "cluster wins %zu/3\n",
+              swap_feasible, cluster_feasible, cluster_wins);
+
+  // ---- cache counters (satellite: EvalCache telemetry) ---------------------
+  holms::bench::rule();
+  const auto counter = [&](const char* name) {
+    return static_cast<double>(report.registry().counter(name).value());
+  };
+  const double cache_hits = counter("explore.cache_hits");
+  const double cache_misses = counter("explore.cache_misses");
+  const double cache_inserts = counter("explore.cache_inserts");
+  std::printf("EvalCache telemetry: %.0f hits, %.0f misses, %.0f inserts "
+              "(hit rate %.3f)\n",
+              cache_hits, cache_misses, cache_inserts,
+              cache_hits + cache_misses > 0.0
+                  ? cache_hits / (cache_hits + cache_misses)
+                  : 0.0);
+
+  holms::bench::rule();
+  holms::bench::note("expected shape: explore speedup -> thread count while "
+                     "restarts >= threads; identical / invariant / resume "
+                     "identity must always be yes; island convergence "
+                     "speedup is seeded and machine-independent.");
 
   report.set("hardware_threads", static_cast<double>(hw));
   report.set("pool_threads", static_cast<double>(threads));
@@ -98,7 +354,29 @@ int main() {
   report.set("serial_s_8x8", large.serial_s);
   report.set("parallel_s_8x8", large.parallel_s);
   report.set("speedup_8x8", large.speedup);
+  report.set("island_k4_energy_j", k4.final_energy);
+  report.set("island_k1_energy_j", k1.final_energy);
+  report.set("island_convergence_speedup", convergence_speedup);
+  report.set("island_thread_invariant", thread_invariant ? 1.0 : 0.0);
+  report.set("island_resume_identity", resume_identity ? 1.0 : 0.0);
+  report.set("sweep32_swap_energy_j", swap_mean);
+  report.set("sweep32_cluster_energy_j", cluster_mean);
+  report.set("sweep32_swap_feasible", static_cast<double>(swap_feasible));
+  report.set("sweep32_cluster_feasible",
+             static_cast<double>(cluster_feasible));
+  report.set("sweep32_cluster_wins", static_cast<double>(cluster_wins) / 3.0);
+  report.set("cache_hits", cache_hits);
+  report.set("cache_misses", cache_misses);
+  report.set("cache_inserts", cache_inserts);
   report.set("deterministic",
-             (small.identical && large.identical) ? 1.0 : 0.0);
-  return (small.identical && large.identical) ? 0 : 1;
+             (small.identical && large.identical && thread_invariant &&
+              resume_identity)
+                 ? 1.0
+                 : 0.0);
+  // K=1 finding a feasible design is NOT required: on the capped farm the
+  // greedy-seeded single island may legitimately never escape the saturated
+  // packing — that is the island model's selling point, not a bench failure.
+  const bool ok = small.identical && large.identical && thread_invariant &&
+                  resume_identity && k4.found;
+  return ok ? 0 : 1;
 }

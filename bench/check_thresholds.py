@@ -60,6 +60,16 @@ HEADLINE_KEYS = {
         "crew_queue_max_depth",
         "wall_time_s",
     ],
+    "explore_parallel": [
+        "island_convergence_speedup",
+        "island_thread_invariant",
+        "island_resume_identity",
+        "sweep32_cluster_wins",
+        "island_k4_energy_j",
+        "cache_hits",
+        "deterministic",
+        "wall_time_s",
+    ],
     "serve": [
         "serve_concurrent_sessions",
         "serve_events_per_s",

@@ -202,7 +202,10 @@ Evaluation EvalCache::evaluate(const Application& app, std::uint64_t app_fp,
   exec::count("explore.cache_misses");
   {
     std::lock_guard<std::mutex> lk(shard.mu);
-    shard.map.emplace(std::move(key), ev);
+    if (shard.map.emplace(std::move(key), ev).second) {
+      inserts_.fetch_add(1, std::memory_order_relaxed);
+      exec::count("explore.cache_inserts");
+    }
   }
   return ev;
 }

@@ -104,6 +104,12 @@ class EvalCache {
   std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// Entries actually added (misses minus same-key compute races).  Also the
+  /// cache "generation" the island checkpoints record: it only grows, so a
+  /// resumed process can tell how much memoized state it is rebuilding.
+  std::uint64_t inserts() const {
+    return inserts_.load(std::memory_order_relaxed);
+  }
   std::size_t size() const;
 
  private:
@@ -132,6 +138,7 @@ class EvalCache {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> inserts_{0};
 };
 
 /// Several applications time-sharing one platform (§1: resources "shared

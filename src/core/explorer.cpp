@@ -19,47 +19,185 @@ bool dominates(const DesignCandidate& a, const DesignCandidate& b) {
           a.eval.schedule.makespan_s < b.eval.schedule.makespan_s);
 }
 
-/// Serial, index-ordered merge of priced candidates into best + Pareto
-/// front.  Runs after the parallel pricing phase, always in job order, which
-/// pins the tie-breaks (first minimal-energy candidate wins) independently
-/// of which thread priced which job.
-void merge_candidate(ExploreResult& out, double& best_energy,
-                     DesignCandidate&& c) {
+}  // namespace
+
+std::uint64_t mapping_digest(const noc::Mapping& m) {
+  std::uint64_t h = 0x6d61707066703164ULL;  // "mapfp1d"
+  for (const std::size_t tile : m) h = exec::splitmix64(h ^ tile);
+  return h;
+}
+
+bool candidate_precedes(const DesignCandidate& a, const DesignCandidate& b) {
+  if (a.eval.feasible != b.eval.feasible) return a.eval.feasible;
+  if (a.eval.total_energy_j != b.eval.total_energy_j) {
+    return a.eval.total_energy_j < b.eval.total_energy_j;
+  }
+  const std::uint64_t da = mapping_digest(a.mapping);
+  const std::uint64_t db = mapping_digest(b.mapping);
+  if (da != db) return da < db;
+  return static_cast<int>(a.use_dvs) < static_cast<int>(b.use_dvs);
+}
+
+void ParetoAccumulator::merge(DesignCandidate c) {
   if (c.eval.feasible && c.eval.total_energy_j < best_energy) {
     best_energy = c.eval.total_energy_j;
-    out.best = c;
-    out.found_feasible = true;
+    best = c;
+    found_feasible = true;
   }
   // Maintain the Pareto front over (energy, makespan) among feasible
   // candidates.
   if (c.eval.feasible) {
     bool dominated = false;
-    for (const auto& p : out.pareto) {
+    for (const auto& p : front) {
       if (dominates(p, c)) {
         dominated = true;
         break;
       }
     }
     if (!dominated) {
-      out.pareto.erase(
-          std::remove_if(out.pareto.begin(), out.pareto.end(),
-                         [&](const DesignCandidate& p) {
-                           return dominates(c, p);
-                         }),
-          out.pareto.end());
-      out.pareto.push_back(std::move(c));
+      front.erase(std::remove_if(front.begin(), front.end(),
+                                 [&](const DesignCandidate& p) {
+                                   return dominates(c, p);
+                                 }),
+                  front.end());
+      front.push_back(std::move(c));
     }
   }
 }
 
-}  // namespace
+void score_fault_robustness(const Application& app, const Platform& platform,
+                            const FaultScenario& fs, exec::ThreadPool* pool,
+                            std::vector<DesignCandidate>& candidates) {
+  if (fs.replicas == 0 || candidates.empty()) return;
+  std::vector<fault::FaultSchedule> derived;
+  std::vector<const fault::FaultSchedule*> schedules(fs.replicas, fs.schedule);
+  std::vector<AmbientConfig> cfgs(fs.replicas, fs.ambient);
+  if (fs.schedule == nullptr) {
+    derived.reserve(fs.replicas);
+    fault::FaultSchedule::PoissonSpec spec;
+    spec.target = fault::Target::kTile;
+    spec.num_targets = platform.mesh.num_tiles();
+    spec.fail_rate = 1.0 / fs.ambient.tile_mtbf_s;
+    spec.repair_rate =
+        fs.ambient.tile_mttr_s > 0.0 ? 1.0 / fs.ambient.tile_mttr_s : 0.0;
+    spec.horizon = fs.ambient.duration_s;
+    for (std::size_t r = 0; r < fs.replicas; ++r) {
+      derived.push_back(fault::FaultSchedule::poisson(
+          exec::stream_seed(fs.ambient.seed, r), spec));
+      schedules[r] = &derived[r];
+    }
+  } else {
+    // Shared schedule: the fault events are identical per replica, so the
+    // replicas sample the *user-activity* axis instead.
+    for (std::size_t r = 0; r < fs.replicas; ++r) {
+      cfgs[r].seed = exec::stream_seed(fs.ambient.seed, r);
+    }
+  }
+
+  // Replay-cursor reuse: SA restarts routinely converge onto the same
+  // mapping, and both scheduler variants of one mapping share it too when
+  // use_dvs matches — replaying the identical (schedule, mapping, dvs)
+  // triple once per replica is pure waste.  Key each candidate's replay off
+  // the schedule fingerprints + mapping digest and run only the first
+  // candidate of every key; the rest reuse its scores bitwise.
+  std::uint64_t sched_fp = exec::splitmix64(fs.replicas);
+  for (std::size_t r = 0; r < fs.replicas; ++r) {
+    sched_fp = exec::splitmix64(sched_fp ^ schedules[r]->fingerprint() ^
+                                cfgs[r].seed);
+  }
+  constexpr std::size_t kSkip = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> rep(candidates.size(), kSkip);
+  std::vector<std::size_t> unique_jobs;
+  std::unordered_map<std::uint64_t, std::size_t> first_slot;
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    if (!candidates[j].eval.feasible) continue;  // deterministic skip
+    const std::uint64_t key = exec::splitmix64(
+        sched_fp ^ mapping_digest(candidates[j].mapping) ^
+        (candidates[j].use_dvs ? 0x9e3779b97f4a7c15ULL
+                               : 0x51ed270b7a9f3cd1ULL));
+    const auto it = first_slot.find(key);
+    if (it == first_slot.end()) {
+      first_slot.emplace(key, unique_jobs.size());
+      rep[j] = unique_jobs.size();
+      unique_jobs.push_back(j);
+    } else {
+      rep[j] = it->second;
+    }
+  }
+
+  struct ReplayScore {
+    double availability = 1.0;
+    std::uint64_t windows = 0;
+    std::uint64_t windows_met = 0;
+    double worst_window = 1.0;
+  };
+  const std::size_t total = unique_jobs.size() * fs.replicas;
+  const std::vector<ReplayScore> runs =
+      exec::parallel_transform<ReplayScore>(pool, total, [&](std::size_t i) {
+        const DesignCandidate& c = candidates[unique_jobs[i / fs.replicas]];
+        const std::size_t r = i % fs.replicas;
+        AmbientOptions aopts;
+        aopts.schedule = schedules[r];
+        aopts.initial_mapping = &c.mapping;
+        aopts.use_dvs = c.use_dvs;
+        const AmbientResult res =
+            run_ambient_scenario(app, platform, fs.policy, cfgs[r], aopts);
+        ReplayScore score;
+        score.availability = res.availability;
+        if (fs.slo_window > 0) {
+          const SloScore slo = availability_slo(res.period_ok, fs.slo_target,
+                                                fs.slo_window);
+          score.windows = slo.windows;
+          score.windows_met = slo.windows_met;
+          score.worst_window = slo.worst_window_availability;
+        }
+        return score;
+      });
+  std::vector<double> availability(unique_jobs.size(), 1.0);
+  std::vector<double> slo_fraction(unique_jobs.size(), 1.0);
+  std::vector<double> worst_window(unique_jobs.size(), 1.0);
+  for (std::size_t u = 0; u < unique_jobs.size(); ++u) {
+    double sum = 0.0;
+    std::uint64_t windows = 0, windows_met = 0;
+    double worst = 1.0;
+    for (std::size_t r = 0; r < fs.replicas; ++r) {
+      const ReplayScore& s = runs[u * fs.replicas + r];
+      sum += s.availability;
+      windows += s.windows;
+      windows_met += s.windows_met;
+      worst = std::min(worst, s.worst_window);
+    }
+    availability[u] = sum / static_cast<double>(fs.replicas);
+    slo_fraction[u] = windows > 0 ? static_cast<double>(windows_met) /
+                                        static_cast<double>(windows)
+                                  : 1.0;
+    worst_window[u] = worst;
+  }
+  // Fan the unique scores back out to every aliased candidate and apply the
+  // scenario floors (infeasible inputs keep their perfect defaults).
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    if (rep[j] == kSkip) continue;
+    DesignCandidate& c = candidates[j];
+    c.availability = availability[rep[j]];
+    c.slo_fraction = slo_fraction[rep[j]];
+    c.worst_window_availability = worst_window[rep[j]];
+    if (c.availability < fs.min_availability) {
+      c.eval.feasible = false;  // robust-infeasible: can't meet uptime floor
+    }
+    if (fs.slo_window > 0 && c.slo_fraction < fs.min_slo_fraction) {
+      c.eval.feasible = false;  // mean may pass, the SLO windows do not
+    }
+  }
+  exec::count("explore.fault_replicas", total);
+  exec::count("explore.fault_replays_reused",
+              (candidates.size() - unique_jobs.size()) * fs.replicas);
+}
 
 ExploreResult explore(const Application& app, const Platform& platform,
                       sim::Rng& rng, const ExploreOptions& opts) {
   opts.validate();
   exec::ScopedTimer timer("explore.seconds");
   ExploreResult out;
-  double best_energy = std::numeric_limits<double>::infinity();
 
   // One base draw; every candidate derives its stream from (base, index) so
   // the schedule of the pool below can never leak into the results.
@@ -76,6 +214,18 @@ ExploreResult explore(const Application& app, const Platform& platform,
   // run (index 1 + 2r) and one random probe (index 2 + 2r).
   const std::size_t num_mappings = 1 + 2 * opts.restarts;
   exec::count("explore.restarts", opts.restarts);
+
+  // One SaOptions copy and one route table for every restart: the table is
+  // O(tiles^2 * mean_hops) — ~90 MB at 32x32 — so per-restart construction
+  // would multiply that by the pool width.
+  noc::SaOptions sa_base = opts.sa;
+  sa_base.link_capacity_bps = platform.link_bandwidth_bps;
+  std::optional<noc::XyRouteTable> shared_routes;
+  if (opts.restarts > 0 && sa_base.routes == nullptr) {
+    shared_routes.emplace(platform.mesh);
+    sa_base.routes = &*shared_routes;
+  }
+
   const std::vector<noc::Mapping> mappings =
       exec::parallel_transform<noc::Mapping>(
           pool, num_mappings, [&](std::size_t i) {
@@ -85,10 +235,8 @@ ExploreResult explore(const Application& app, const Platform& platform,
             }
             sim::Rng stream(exec::stream_seed(stream_base, i));
             if ((i - 1) % 2 == 0) {
-              noc::SaOptions sa = opts.sa;
-              sa.link_capacity_bps = platform.link_bandwidth_bps;
               return noc::sa_mapping(app.graph, platform.mesh,
-                                     platform.noc_energy, stream, sa);
+                                     platform.noc_energy, stream, sa_base);
             }
             return noc::random_mapping(app.graph.num_nodes(), platform.mesh,
                                        stream);
@@ -128,155 +276,28 @@ ExploreResult explore(const Application& app, const Platform& platform,
       });
   exec::count("explore.candidates", jobs.size());
 
+  std::vector<DesignCandidate> candidates(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    candidates[j].mapping = mappings[jobs[j].mapping];
+    candidates[j].use_dvs = jobs[j].use_dvs;
+    candidates[j].eval = std::move(evals[j]);
+  }
+
   // Robustness pass: replay each (still feasible) candidate through R
   // ambient fault replicas — either independent Poisson schedules derived
   // from (ambient.seed, replica) or one shared schedule (burst/crew traces)
   // with per-replica activity seeds.  Candidate j's score never depends on
   // the thread schedule, so thread-count invariance is preserved.
-  std::vector<double> availability(jobs.size(), 1.0);
-  std::vector<double> slo_fraction(jobs.size(), 1.0);
-  std::vector<double> worst_window(jobs.size(), 1.0);
-  if (opts.faults != nullptr && opts.faults->replicas > 0) {
-    const FaultScenario& fs = *opts.faults;
-    std::vector<fault::FaultSchedule> derived;
-    std::vector<const fault::FaultSchedule*> schedules(fs.replicas,
-                                                       fs.schedule);
-    std::vector<AmbientConfig> cfgs(fs.replicas, fs.ambient);
-    if (fs.schedule == nullptr) {
-      derived.reserve(fs.replicas);
-      fault::FaultSchedule::PoissonSpec spec;
-      spec.target = fault::Target::kTile;
-      spec.num_targets = platform.mesh.num_tiles();
-      spec.fail_rate = 1.0 / fs.ambient.tile_mtbf_s;
-      spec.repair_rate =
-          fs.ambient.tile_mttr_s > 0.0 ? 1.0 / fs.ambient.tile_mttr_s : 0.0;
-      spec.horizon = fs.ambient.duration_s;
-      for (std::size_t r = 0; r < fs.replicas; ++r) {
-        derived.push_back(fault::FaultSchedule::poisson(
-            exec::stream_seed(fs.ambient.seed, r), spec));
-        schedules[r] = &derived[r];
-      }
-    } else {
-      // Shared schedule: the fault events are identical per replica, so the
-      // replicas sample the *user-activity* axis instead.
-      for (std::size_t r = 0; r < fs.replicas; ++r) {
-        cfgs[r].seed = exec::stream_seed(fs.ambient.seed, r);
-      }
-    }
-
-    // Replay-cursor reuse: SA restarts routinely converge onto the same
-    // mapping, and both scheduler variants of one mapping share it too when
-    // use_dvs matches — replaying the identical (schedule, mapping, dvs)
-    // triple once per replica is pure waste.  Key each job's replay off the
-    // schedule fingerprints + mapping digest and run only the first job of
-    // every key; the rest reuse its scores bitwise.
-    std::uint64_t sched_fp = exec::splitmix64(fs.replicas);
-    for (std::size_t r = 0; r < fs.replicas; ++r) {
-      sched_fp = exec::splitmix64(sched_fp ^ schedules[r]->fingerprint() ^
-                                  cfgs[r].seed);
-    }
-    const auto mapping_digest = [](const noc::Mapping& m) {
-      std::uint64_t h = 0x6d61707066703164ULL;
-      for (const std::size_t tile : m) h = exec::splitmix64(h ^ tile);
-      return h;
-    };
-    constexpr std::size_t kSkip = static_cast<std::size_t>(-1);
-    std::vector<std::size_t> rep(jobs.size(), kSkip);  // unique-slot of job j
-    std::vector<std::size_t> unique_jobs;
-    std::unordered_map<std::uint64_t, std::size_t> first_slot;
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      if (!evals[j].feasible) continue;  // deterministic skip: perfect score
-      const std::uint64_t key = exec::splitmix64(
-          sched_fp ^ mapping_digest(mappings[jobs[j].mapping]) ^
-          (jobs[j].use_dvs ? 0x9e3779b97f4a7c15ULL : 0x51ed270b7a9f3cd1ULL));
-      const auto it = first_slot.find(key);
-      if (it == first_slot.end()) {
-        first_slot.emplace(key, unique_jobs.size());
-        rep[j] = unique_jobs.size();
-        unique_jobs.push_back(j);
-      } else {
-        rep[j] = it->second;
-      }
-    }
-
-    struct ReplayScore {
-      double availability = 1.0;
-      std::uint64_t windows = 0;
-      std::uint64_t windows_met = 0;
-      double worst_window = 1.0;
-    };
-    const std::size_t total = unique_jobs.size() * fs.replicas;
-    const std::vector<ReplayScore> runs =
-        exec::parallel_transform<ReplayScore>(pool, total, [&](std::size_t i) {
-          const std::size_t j = unique_jobs[i / fs.replicas];
-          const std::size_t r = i % fs.replicas;
-          AmbientOptions aopts;
-          aopts.schedule = schedules[r];
-          aopts.initial_mapping = &mappings[jobs[j].mapping];
-          aopts.use_dvs = jobs[j].use_dvs;
-          const AmbientResult res =
-              run_ambient_scenario(app, platform, fs.policy, cfgs[r], aopts);
-          ReplayScore score;
-          score.availability = res.availability;
-          if (fs.slo_window > 0) {
-            const SloScore slo = availability_slo(res.period_ok, fs.slo_target,
-                                                  fs.slo_window);
-            score.windows = slo.windows;
-            score.windows_met = slo.windows_met;
-            score.worst_window = slo.worst_window_availability;
-          }
-          return score;
-        });
-    for (std::size_t u = 0; u < unique_jobs.size(); ++u) {
-      double sum = 0.0;
-      std::uint64_t windows = 0, windows_met = 0;
-      double worst = 1.0;
-      for (std::size_t r = 0; r < fs.replicas; ++r) {
-        const ReplayScore& s = runs[u * fs.replicas + r];
-        sum += s.availability;
-        windows += s.windows;
-        windows_met += s.windows_met;
-        worst = std::min(worst, s.worst_window);
-      }
-      const std::size_t j = unique_jobs[u];
-      availability[j] = sum / static_cast<double>(fs.replicas);
-      slo_fraction[j] = windows > 0 ? static_cast<double>(windows_met) /
-                                          static_cast<double>(windows)
-                                    : 1.0;
-      worst_window[j] = worst;
-    }
-    // Fan the unique scores back out to every aliased job.
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      if (rep[j] == kSkip) continue;
-      const std::size_t u = rep[j];
-      availability[j] = availability[unique_jobs[u]];
-      slo_fraction[j] = slo_fraction[unique_jobs[u]];
-      worst_window[j] = worst_window[unique_jobs[u]];
-    }
-    exec::count("explore.fault_replicas", total);
-    exec::count("explore.fault_replays_reused",
-                (jobs.size() - unique_jobs.size()) * fs.replicas);
+  if (opts.faults != nullptr) {
+    score_fault_robustness(app, platform, *opts.faults, pool, candidates);
   }
 
   out.evaluated = jobs.size();
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    DesignCandidate c;
-    c.mapping = mappings[jobs[j].mapping];
-    c.use_dvs = jobs[j].use_dvs;
-    c.eval = std::move(evals[j]);
-    c.availability = availability[j];
-    c.slo_fraction = slo_fraction[j];
-    c.worst_window_availability = worst_window[j];
-    if (opts.faults != nullptr &&
-        c.availability < opts.faults->min_availability) {
-      c.eval.feasible = false;  // robust-infeasible: can't meet uptime floor
-    }
-    if (opts.faults != nullptr && opts.faults->slo_window > 0 &&
-        c.slo_fraction < opts.faults->min_slo_fraction) {
-      c.eval.feasible = false;  // mean may pass, the SLO windows do not
-    }
-    merge_candidate(out, best_energy, std::move(c));
-  }
+  ParetoAccumulator acc;
+  for (DesignCandidate& c : candidates) acc.merge(std::move(c));
+  out.best = std::move(acc.best);
+  out.found_feasible = acc.found_feasible;
+  out.pareto = std::move(acc.front);
   std::sort(out.pareto.begin(), out.pareto.end(),
             [](const DesignCandidate& a, const DesignCandidate& b) {
               return a.eval.total_energy_j < b.eval.total_energy_j;

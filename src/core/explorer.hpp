@@ -14,6 +14,8 @@
 // bitwise-identical ExploreResult to `threads = 1` for the same seed.
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/ambient.hpp"
@@ -107,6 +109,20 @@ struct ExploreOptions {
       throw holms::InvalidArgument(
           "ExploreOptions: FaultScenario.slo_target must be in (0, 1]");
     }
+    // Dead-config rejection (contract rule C001): a floor that can never
+    // bind is a silently-ignored knob, not a configuration.
+    if (faults != nullptr && faults->min_slo_fraction > 0.0 &&
+        faults->slo_window == 0) {
+      throw holms::InvalidArgument(
+          "ExploreOptions: FaultScenario.min_slo_fraction > 0 requires "
+          "slo_window > 0 — with windowing off the SLO floor never applies");
+    }
+    if (faults != nullptr && faults->slo_window > 0 &&
+        faults->ambient.duration_s <= 0.0) {
+      throw holms::InvalidArgument(
+          "ExploreOptions: FaultScenario.slo_window > 0 needs a positive "
+          "ambient.duration_s — zero periods yield no windows to score");
+    }
   }
 };
 
@@ -116,6 +132,45 @@ struct ExploreResult {
   std::size_t evaluated = 0;
   bool found_feasible = false;
 };
+
+/// Order-sensitive 64-bit digest of a mapping (splitmix64 chain).  Shared by
+/// the fault-replay dedupe, the island emigrant ordering and the checkpoint
+/// fingerprints, so "same mapping" means the same thing everywhere.
+std::uint64_t mapping_digest(const noc::Mapping& m);
+
+/// Canonical strict-weak order on candidates: feasible before infeasible,
+/// then lower energy, then (mapping digest, use_dvs) as an arbitrary-but-
+/// deterministic tie-break.  This is the order island emigrants are selected
+/// by, which is what makes migration bitwise invariant to thread count and
+/// island scheduling (DESIGN.md §5l).
+bool candidate_precedes(const DesignCandidate& a, const DesignCandidate& b);
+
+/// Serial, insertion-ordered accumulator of the best feasible candidate and
+/// the energy/makespan Pareto front, shared by explore() and the island
+/// explorer.  Merge order pins the tie-breaks (first minimal-energy candidate
+/// wins), so callers feed it in deterministic candidate order after any
+/// parallel pricing.  State is deliberately open: island checkpoints
+/// serialize and restore it verbatim.
+class ParetoAccumulator {
+ public:
+  void merge(DesignCandidate c);
+
+  DesignCandidate best{};
+  bool found_feasible = false;
+  double best_energy = std::numeric_limits<double>::infinity();
+  std::vector<DesignCandidate> front;
+};
+
+/// Replays already-priced candidates through `fs` (replay cursors deduped by
+/// (schedule fingerprint, mapping digest, use_dvs)), fills availability /
+/// slo_fraction / worst_window_availability and applies the scenario floors,
+/// marking candidates that miss them infeasible.  Infeasible inputs keep
+/// their perfect default scores and are never replayed.  Deterministic in
+/// candidate order; thread-count invariant.  Shared by explore() and
+/// core::IslandExplorer.
+void score_fault_robustness(const Application& app, const Platform& platform,
+                            const FaultScenario& fs, exec::ThreadPool* pool,
+                            std::vector<DesignCandidate>& candidates);
 
 /// Searches mappings (greedy seed + SA restarts + random probes) and
 /// scheduler choice for the minimum-energy feasible design.

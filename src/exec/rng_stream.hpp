@@ -33,4 +33,22 @@ constexpr std::uint64_t stream_seed(std::uint64_t base, std::uint64_t index) {
   return splitmix64(splitmix64(base) ^ splitmix64(index * 0xd1342543de82ef95ULL + 1));
 }
 
+/// Hierarchical substream derivation for nested parallel axes — the island
+/// explorer's (island, epoch) and (island, epoch, slot) streams.  Each level
+/// re-applies stream_seed, so substream_seed(base, a, b) is exactly
+/// stream_seed(stream_seed(base, a), b): a parent axis owns a full 64-bit
+/// stream space and its children subdivide it, which means adding an epoch
+/// (or a slot) never perturbs any other island's draws, and a resumed run
+/// re-derives the identical stream for (island, epoch, slot) from the
+/// checkpointed base alone — no engine state needs serializing.
+constexpr std::uint64_t substream_seed(std::uint64_t base, std::uint64_t a,
+                                       std::uint64_t b) {
+  return stream_seed(stream_seed(base, a), b);
+}
+
+constexpr std::uint64_t substream_seed(std::uint64_t base, std::uint64_t a,
+                                       std::uint64_t b, std::uint64_t c) {
+  return stream_seed(substream_seed(base, a, b), c);
+}
+
 }  // namespace holms::exec

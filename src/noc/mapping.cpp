@@ -370,14 +370,24 @@ MoveDesc sample_move(sim::Rng& rng, const SaOptions& opts, std::size_t tiles,
 SwapEvaluator::SwapEvaluator(const AppGraph& g, const Mesh2D& mesh,
                              const EnergyModel& energy, Mapping m,
                              double link_capacity_bps,
-                             double infeasibility_penalty)
+                             double infeasibility_penalty,
+                             const XyRouteTable* shared_routes)
     : g_(g),
       mesh_(mesh),
       energy_(energy),
       capacity_(link_capacity_bps),
       penalty_(infeasibility_penalty),
-      routes_(mesh),
       m_(std::move(m)) {
+  if (shared_routes != nullptr) {
+    if (shared_routes->tiles() != mesh.num_tiles()) {
+      throw holms::InvalidArgument(
+          "SwapEvaluator: shared route table was built for a different mesh");
+    }
+    routes_ = shared_routes;
+  } else {
+    owned_routes_.emplace(mesh);
+    routes_ = &*owned_routes_;
+  }
   if (m_.size() != g_.num_nodes()) {
     throw holms::InvalidArgument("SwapEvaluator: mapping size mismatch");
   }
@@ -402,9 +412,9 @@ void SwapEvaluator::rebuild() {
   energy_j_ = 0.0;
   for (const auto& e : g_.edges()) {
     const TileId src = m_[e.src], dst = m_[e.dst];
-    energy_j_ += energy_.transfer_energy(e.volume_bits, routes_.hops(src, dst));
+    energy_j_ += energy_.transfer_energy(e.volume_bits, routes_->hops(src, dst));
     const double bw = e.bandwidth_bps > 0.0 ? e.bandwidth_bps : e.volume_bits;
-    for (const std::uint32_t link : routes_.links(src, dst)) {
+    for (const std::uint32_t link : routes_->links(src, dst)) {
       link_load_[link] += bw;
     }
   }
@@ -437,7 +447,7 @@ double SwapEvaluator::cost() {
 }
 
 void SwapEvaluator::add_route_load(TileId src, TileId dst, double bw) {
-  for (const std::uint32_t link : routes_.links(src, dst)) {
+  for (const std::uint32_t link : routes_->links(src, dst)) {
     double& load = link_load_[link];
     undo_links_.emplace_back(link, load);
     load += bw;
@@ -446,7 +456,7 @@ void SwapEvaluator::add_route_load(TileId src, TileId dst, double bw) {
 }
 
 void SwapEvaluator::sub_route_load(TileId src, TileId dst, double bw) {
-  for (const std::uint32_t link : routes_.links(src, dst)) {
+  for (const std::uint32_t link : routes_->links(src, dst)) {
     double& load = link_load_[link];
     undo_links_.emplace_back(link, load);
     // Decrementing the busiest link dethrones the cached maximum; rescan
@@ -493,8 +503,8 @@ void SwapEvaluator::swap_step(TileId a, TileId b) {
     const TileId ns = tile_after(e.src), nd = tile_after(e.dst);
     if (os == ns && od == nd) return;  // both endpoints moved in lockstep
     delta_vol_.push_back(e.volume_bits);
-    delta_old_hops_.push_back(static_cast<double>(routes_.hops(os, od)));
-    delta_new_hops_.push_back(static_cast<double>(routes_.hops(ns, nd)));
+    delta_old_hops_.push_back(static_cast<double>(routes_->hops(os, od)));
+    delta_new_hops_.push_back(static_cast<double>(routes_->hops(ns, nd)));
     if (track_loads) {
       const double bw =
           e.bandwidth_bps > 0.0 ? e.bandwidth_bps : e.volume_bits;
@@ -652,11 +662,17 @@ Mapping sa_mapping_full(const AppGraph& g, const Mesh2D& mesh,
 Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
                    const EnergyModel& energy, sim::Rng& rng,
                    const SaOptions& opts) {
-  opts.validate();
   // Start from the greedy solution; SA then escapes its local minimum.
-  Mapping m = greedy_mapping(g, mesh, energy);
+  return sa_mapping_from(g, mesh, energy, greedy_mapping(g, mesh, energy),
+                         rng, opts);
+}
+
+Mapping sa_mapping_from(const AppGraph& g, const Mesh2D& mesh,
+                        const EnergyModel& energy, Mapping initial,
+                        sim::Rng& rng, const SaOptions& opts) {
+  opts.validate();
   if (opts.debug_full_eval) {
-    return sa_mapping_full(g, mesh, energy, rng, opts, std::move(m));
+    return sa_mapping_full(g, mesh, energy, rng, opts, std::move(initial));
   }
 
   // Delta-cost path: the evaluator keeps per-link loads and the running
@@ -664,8 +680,9 @@ Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
   // a full O(edges * hops) re-evaluation.  The RNG draw sequence is the same
   // as the full path's, so both modes explore the same move trajectory
   // (modulo accept flips within the ~1e-12 incremental/full cost gap).
-  SwapEvaluator ev(g, mesh, energy, std::move(m), opts.link_capacity_bps,
-                   opts.infeasibility_penalty);
+  SwapEvaluator ev(g, mesh, energy, std::move(initial),
+                   opts.link_capacity_bps, opts.infeasibility_penalty,
+                   opts.routes);
   double cost = ev.cost();
   double best_cost = cost;
   Mapping best = ev.mapping();

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -99,6 +100,13 @@ struct SaOptions {
   std::size_t reheat_after = 0;
   double reheat_factor = 8.0;
 
+  /// Optional precomputed route table for the target mesh, shared read-only
+  /// across concurrent SA runs.  The table is O(tiles^2 * mean_hops) — ~90 MB
+  /// at 32x32 — so the explorers build exactly one and hand it to every
+  /// restart / island instead of letting each SwapEvaluator rebuild its own.
+  /// nullptr = the evaluator builds (and owns) a private table.
+  const XyRouteTable* routes = nullptr;
+
   /// Contract rule C001; called by sa_mapping.
   void validate() const {
     if (iterations == 0) {
@@ -153,10 +161,14 @@ class SwapEvaluator {
   /// Marker for "no core on this tile" in occupant().
   static constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
 
+  /// `shared_routes` (optional) is a caller-owned XyRouteTable for `mesh`,
+  /// shared read-only across evaluators; nullptr builds a private table.
+  /// Throws holms::InvalidArgument when the table's tile count mismatches.
   SwapEvaluator(const AppGraph& g, const Mesh2D& mesh,
                 const EnergyModel& energy, Mapping m,
                 double link_capacity_bps = 0.0,
-                double infeasibility_penalty = 2.0);
+                double infeasibility_penalty = 2.0,
+                const XyRouteTable* shared_routes = nullptr);
 
   /// Current penalized cost: comm energy, scaled by the same overload
   /// penalty sa_mapping's full-evaluation path applies.
@@ -211,7 +223,8 @@ class SwapEvaluator {
   double capacity_;
   double penalty_;
 
-  XyRouteTable routes_;
+  std::optional<XyRouteTable> owned_routes_;  // absent when sharing
+  const XyRouteTable* routes_;                // table in use (owned or shared)
   // Incident-occurrence CSR: for each core, the edges touching it, encoded
   // as edge_index * 2 + (1 if the core is the edge's src endpoint).
   std::vector<std::uint32_t> inc_offsets_;
@@ -246,9 +259,19 @@ class SwapEvaluator {
 };
 
 /// Simulated-annealing energy-aware mapping (swap moves, Metropolis accept).
+/// Starts from the greedy seed; equivalent to
+/// sa_mapping_from(greedy_mapping(...)).
 Mapping sa_mapping(const AppGraph& g, const Mesh2D& mesh,
                    const EnergyModel& energy, sim::Rng& rng,
                    const SaOptions& opts = {});
+
+/// SA refinement from a caller-supplied initial placement — the island
+/// explorer's incumbent-seeded local search (DESIGN.md §5l).  Same Metropolis
+/// loop and RNG draw sequence as sa_mapping(), only the starting point (which
+/// costs no draws) differs.
+Mapping sa_mapping_from(const AppGraph& g, const Mesh2D& mesh,
+                        const EnergyModel& energy, Mapping initial,
+                        sim::Rng& rng, const SaOptions& opts = {});
 
 /// Exact branch-and-bound mapping — the actual algorithm of [20].  Explores
 /// core placements in traffic order, pruning any partial placement whose

@@ -225,4 +225,59 @@ AppGraph mms_dag() {
   return g;
 }
 
+AppGraph surveillance_farm_graph(std::size_t cameras) {
+  if (cameras == 0) {
+    throw holms::InvalidArgument("surveillance_farm_graph: need >= 1 camera");
+  }
+  AppGraph g;
+  auto mb = [](double m) { return m * 1e6 * 8.0; };
+
+  // Shared front matter first so every edge runs low -> high index.
+  const auto ui = g.add_node("user-input", 0.1e6);
+  const auto ctrl = g.add_node("controller", 0.5e6);
+  const auto db = g.add_node("pattern-db", 0.1e6);
+  g.add_edge(ui, ctrl, mb(0.01));
+
+  // Per-camera §3.2 front end: camera -> motion-detect -> filter -> match.
+  std::vector<std::size_t> match(cameras);
+  for (std::size_t c = 0; c < cameras; ++c) {
+    const std::string tag = "-" + std::to_string(c);
+    const auto cam = g.add_node("camera-in" + tag, 0.2e6);
+    const auto md = g.add_node("motion-detect" + tag, 5.0e6);
+    const auto filt = g.add_node("filtering" + tag, 3.2e6);
+    const auto om = g.add_node("object-match" + tag, 6.5e6);
+    g.add_edge(cam, md, mb(3.0));
+    g.add_edge(md, filt, mb(5.5));
+    g.add_edge(filt, om, mb(4.8));
+    g.add_edge(db, om, mb(1.5));
+    // Sparse control fan-out: poking every camera would make the controller
+    // a star hub; every 8th pipeline keeps it a side channel.
+    if (c % 8 == 0) g.add_edge(ctrl, md, mb(0.02));
+    match[c] = om;
+  }
+
+  // Every 4 cameras share one rendering stage; renderers merge into the
+  // encode -> {storage, net-out} back end.
+  const std::size_t groups = (cameras + 3) / 4;
+  std::vector<std::size_t> rend(groups);
+  for (std::size_t r = 0; r < groups; ++r) {
+    rend[r] = g.add_node("rendering-" + std::to_string(r), 2.5e6);
+  }
+  const auto enc = g.add_node("mpeg-encode", 4.8e6);
+  const auto store = g.add_node("storage", 0.1e6);
+  const auto net = g.add_node("net-out", 0.3e6);
+  for (std::size_t c = 0; c < cameras; ++c) {
+    g.add_edge(match[c], rend[c / 4], mb(2.2));
+    // Match logs ride to storage directly (the forward stand-in for the
+    // om -> pattern-db write-back of video_surveillance_graph()).
+    g.add_edge(match[c], store, mb(0.05));
+  }
+  for (std::size_t r = 0; r < groups; ++r) {
+    g.add_edge(rend[r], enc, mb(2.0));
+  }
+  g.add_edge(enc, store, mb(0.6));
+  g.add_edge(enc, net, mb(0.6));
+  return g;
+}
+
 }  // namespace holms::noc

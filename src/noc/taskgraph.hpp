@@ -78,4 +78,14 @@ AppGraph video_surveillance_dag();
 /// the memory write-back cycles; compute/volume figures match mms_graph().
 AppGraph mms_dag();
 
+/// Scaled-out surveillance workload for 32x32+ mapping sweeps: `cameras`
+/// independent §3.2 front-end pipelines (camera -> motion-detect -> filter ->
+/// object-match), every 4 cameras fanned into one rendering stage, all
+/// renderers merged by a shared encode -> {storage, net-out} back end, plus
+/// the low-bandwidth controller / pattern-db side channels.  Node indices are
+/// topologically ordered (schedulable as-is); 3 + 4*cameras + ceil(cameras/4)
+/// + 3 nodes total, so cameras = 46 gives the ~200-task graph the island
+/// sweeps use.  Deterministic — no RNG, same graph every call.
+AppGraph surveillance_farm_graph(std::size_t cameras);
+
 }  // namespace holms::noc

@@ -185,6 +185,10 @@ class XyRouteTable {
     return offsets_[p + 1] - offsets_[p];
   }
 
+  /// Number of tiles the table was built for (mesh-compatibility checks when
+  /// one table is shared across SA runs).
+  std::size_t tiles() const { return tiles_; }
+
  private:
   std::size_t tiles_;
   std::vector<std::uint32_t> offsets_;  // pair index -> start in links_

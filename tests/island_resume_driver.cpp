@@ -1,0 +1,161 @@
+// Kill-and-resume driver for the island explorer (DESIGN.md §5l).
+//
+// The ctest leg `island_resume_reexec` runs `selftest`, which (1) computes
+// the fingerprint of an uninterrupted K=2, 4-epoch island run in-process,
+// then (2) re-executes this same binary twice — `part` runs 2 epochs and
+// writes a checkpoint before exiting (the "kill"), `resume` loads the blob
+// in a genuinely fresh process, runs the remaining epochs and writes its
+// fingerprint to a file — and (3) compares the two fingerprints.  Exit 0
+// iff they are bitwise identical.  Thread count comes from HOLMS_THREADS,
+// so the CI matrix exercises the cross-process identity serially and on a
+// real pool.
+//
+// Modes (also usable by hand):
+//   island_resume_driver selftest <workdir>
+//   island_resume_driver full <fingerprint-file>
+//   island_resume_driver part <checkpoint-file>
+//   island_resume_driver resume <checkpoint-file> <fingerprint-file>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "core/islands.hpp"
+#include "core/platform.hpp"
+#include "exec/thread_pool.hpp"
+#include "noc/taskgraph.hpp"
+
+namespace {
+
+using namespace holms::core;
+
+constexpr std::uint64_t kSeed = 42;
+constexpr std::size_t kEpochsTotal = 4;
+constexpr std::size_t kEpochsBeforeKill = 2;
+
+Application driver_app() {
+  Application app;
+  app.name = "resume-driver";
+  holms::sim::Rng rng(11);
+  app.graph = holms::noc::random_graph(14, rng, 6e5);
+  app.qos.period_s = 0.05;
+  return app;
+}
+
+IslandOptions driver_opts() {
+  IslandOptions opts;
+  opts.islands = 2;
+  opts.epochs = kEpochsTotal;
+  opts.sa.iterations = 400;
+  opts.threads = holms::exec::env_threads(1);
+  return opts;
+}
+
+IslandExplorer fresh_explorer(const Application& app, const Platform& plat) {
+  holms::sim::Rng rng(kSeed);
+  return IslandExplorer(app, plat, rng, driver_opts());
+}
+
+void write_fingerprint(const std::string& path, std::uint64_t fp) {
+  std::ofstream out(path, std::ios::trunc);
+  out << fp << "\n";
+  if (!out) {
+    std::fprintf(stderr, "cannot write fingerprint to %s\n", path.c_str());
+    std::exit(2);
+  }
+}
+
+std::uint64_t read_fingerprint(const std::string& path) {
+  std::ifstream in(path);
+  std::uint64_t fp = 0;
+  if (!(in >> fp)) {
+    std::fprintf(stderr, "cannot read fingerprint from %s\n", path.c_str());
+    std::exit(2);
+  }
+  return fp;
+}
+
+int run_full(const std::string& fp_path) {
+  const Application app = driver_app();
+  const Platform plat = Platform::homogeneous(4, 4);
+  IslandExplorer ex = fresh_explorer(app, plat);
+  ex.step(kEpochsTotal);
+  write_fingerprint(fp_path, ex.result_fingerprint());
+  return 0;
+}
+
+int run_part(const std::string& ckpt_path) {
+  const Application app = driver_app();
+  const Platform plat = Platform::homogeneous(4, 4);
+  IslandExplorer ex = fresh_explorer(app, plat);
+  ex.step(kEpochsBeforeKill);
+  ex.save_checkpoint(ckpt_path);
+  // Process exits here: everything not in the blob is deliberately lost.
+  return 0;
+}
+
+int run_resume(const std::string& ckpt_path, const std::string& fp_path) {
+  const Application app = driver_app();
+  const Platform plat = Platform::homogeneous(4, 4);
+  IslandExplorer ex =
+      IslandExplorer::resume_from_file(app, plat, driver_opts(), ckpt_path);
+  ex.step(kEpochsTotal - ex.epoch());
+  write_fingerprint(fp_path, ex.result_fingerprint());
+  return 0;
+}
+
+int run_selftest(const std::string& self, const std::string& workdir) {
+  // Reference fingerprint from the uninterrupted run, in-process.
+  const Application app = driver_app();
+  const Platform plat = Platform::homogeneous(4, 4);
+  IslandExplorer full = fresh_explorer(app, plat);
+  full.step(kEpochsTotal);
+  const std::uint64_t want = full.result_fingerprint();
+
+  const std::string ckpt = workdir + "/island_resume.ckpt";
+  const std::string fp_file = workdir + "/island_resume.fp";
+  const std::string part_cmd = "'" + self + "' part '" + ckpt + "'";
+  const std::string resume_cmd =
+      "'" + self + "' resume '" + ckpt + "' '" + fp_file + "'";
+  if (std::system(part_cmd.c_str()) != 0) {
+    std::fprintf(stderr, "FAIL: part phase exited nonzero\n");
+    return 1;
+  }
+  if (std::system(resume_cmd.c_str()) != 0) {
+    std::fprintf(stderr, "FAIL: resume phase exited nonzero\n");
+    return 1;
+  }
+  const std::uint64_t got = read_fingerprint(fp_file);
+  if (got != want) {
+    std::fprintf(stderr,
+                 "FAIL: resume fingerprint %llu != uninterrupted %llu\n",
+                 static_cast<unsigned long long>(got),
+                 static_cast<unsigned long long>(want));
+    return 1;
+  }
+  std::printf("island resume identity OK (fingerprint %llu, threads %zu)\n",
+              static_cast<unsigned long long>(want),
+              holms::exec::env_threads(1));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  try {
+    if (mode == "full" && argc == 3) return run_full(argv[2]);
+    if (mode == "part" && argc == 3) return run_part(argv[2]);
+    if (mode == "resume" && argc == 4) return run_resume(argv[2], argv[3]);
+    if (mode == "selftest" && argc == 3) return run_selftest(argv[0], argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr,
+               "usage: %s selftest <workdir> | full <fp-file> | "
+               "part <ckpt> | resume <ckpt> <fp-file>\n",
+               argc > 0 ? argv[0] : "island_resume_driver");
+  return 2;
+}

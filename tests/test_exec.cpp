@@ -91,6 +91,30 @@ TEST(RngStream, DeterministicAndDistinct) {
   EXPECT_NE(stream_seed(1, 0), stream_seed(2, 0));  // base matters
 }
 
+TEST(RngStream, SubstreamSeedIsNestedStreamSeed) {
+  // The hierarchical derivation the island explorer relies on: substreams
+  // are exactly nested stream_seed calls, so (base, island, epoch, slot)
+  // addresses one stream no matter who re-derives it (e.g. after a resume).
+  EXPECT_EQ(substream_seed(42, 3, 9), stream_seed(stream_seed(42, 3), 9));
+  EXPECT_EQ(substream_seed(42, 3, 9, 2),
+            stream_seed(substream_seed(42, 3, 9), 2));
+}
+
+TEST(RngStream, SubstreamsDistinctAcrossAxes) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    for (std::uint64_t e = 0; e < 8; ++e) {
+      for (std::uint64_t s = 0; s < 8; ++s) {
+        seeds.insert(substream_seed(42, i, e, s));
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), 8u * 8u * 8u);  // no collisions across the lattice
+  // Swapping axes addresses different streams.
+  EXPECT_NE(substream_seed(42, 1, 2, 3), substream_seed(42, 3, 2, 1));
+  EXPECT_NE(substream_seed(42, 1, 2), substream_seed(42, 2, 1));
+}
+
 // ---------- explorer determinism (acceptance criterion) ----------
 
 Application exploration_app(std::uint64_t seed, std::size_t tasks) {

@@ -444,6 +444,23 @@ TEST(LintRepo, FaultLayerIsCleanWithZeroSuppressions) {
   }
 }
 
+TEST(LintRepo, IslandFilesAreCleanWithZeroSuppressions) {
+  const char* files[] = {"core/islands.hpp", "core/islands.cpp"};
+  for (const char* rel : files) {
+    const std::string path = std::string(HOLMS_SRC_DIR) + "/" + rel;
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << "missing source " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto findings =
+        lint::run_rules(lint::lex(rel, buf.str(), lint::classify_path(path)));
+    for (const lint::Finding& f : findings) {
+      ADD_FAILURE() << rel << ":" << f.line << " " << f.rule << " "
+                    << f.message << (f.suppressed ? " (suppressed)" : "");
+    }
+  }
+}
+
 // ---- lexer regressions: raw strings, prefixes, CRLF continuations ----------
 
 TEST(LintLexer, RawStringPrefixesAreOpaqueToRules) {
